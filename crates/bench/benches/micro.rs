@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the substrate layers:
+//! RDFS saturation, one propagation (explore) step, connection-index
+//! construction and a full S3k query, plus the TopkS baseline query.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use s3_core::{S3kEngine, SearchConfig};
+use s3_datasets::{twitter, workload, Scale};
+use s3_graph::Propagation;
+use s3_rdf::{vocabulary as voc, Term, TripleStore};
+use s3_topks::{uit_from_s3, TopkSConfig, TopkSEngine};
+
+fn bench_saturation(c: &mut Criterion) {
+    // A subclass chain + instance assertions: classic saturation stress.
+    let build = || {
+        let mut st = TripleStore::new();
+        let classes: Vec<_> =
+            (0..200).map(|i| st.dictionary_mut().intern(&format!("c{i}"))).collect();
+        for w in classes.windows(2) {
+            st.insert(w[0], voc::RDFS_SUBCLASS_OF, Term::Uri(w[1]), 1.0);
+        }
+        for i in 0..400 {
+            let e = st.dictionary_mut().intern(&format!("e{i}"));
+            st.insert(e, voc::RDF_TYPE, Term::Uri(classes[i % 50]), 1.0);
+        }
+        st
+    };
+    c.bench_function("rdfs_saturation_chain200_inst400", |b| {
+        b.iter_batched(build, |mut st| st.saturate(), BatchSize::SmallInput)
+    });
+}
+
+fn bench_propagation_step(c: &mut Criterion) {
+    let ds = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Small));
+    let inst = &ds.instance;
+    let seeker = inst.user_node(s3_core::UserId(0));
+    c.bench_function("propagation_explore_step_small_i1", |b| {
+        b.iter_batched(
+            || {
+                let mut p = Propagation::new(inst.graph(), 1.5, seeker);
+                // Warm to a dense frontier (the expensive regime).
+                for _ in 0..3 {
+                    p.step();
+                }
+                p
+            },
+            |mut p| {
+                p.step();
+                p.border_mass()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_s3k_query(c: &mut Criterion) {
+    let ds = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Small));
+    let inst = &ds.instance;
+    let engine = S3kEngine::new(inst, SearchConfig::default());
+    let w = workload::generate(
+        inst,
+        workload::WorkloadConfig {
+            frequency: s3_text::FrequencyClass::Common,
+            keywords_per_query: 1,
+            k: 10,
+            queries: 16,
+            seed: 11,
+        },
+    );
+    let mut i = 0usize;
+    c.bench_function("s3k_query_common_k10_small_i1", |b| {
+        b.iter(|| {
+            let q = &w.queries[i % w.queries.len()].query;
+            i += 1;
+            engine.run(q).hits.len()
+        })
+    });
+}
+
+fn bench_topks_query(c: &mut Criterion) {
+    let ds = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Small));
+    let inst = &ds.instance;
+    let adaptation = uit_from_s3(inst);
+    let engine = TopkSEngine::new(&adaptation.uit, TopkSConfig { alpha: 0.5, epsilon: 1e-9 });
+    let w = workload::generate(
+        inst,
+        workload::WorkloadConfig {
+            frequency: s3_text::FrequencyClass::Common,
+            keywords_per_query: 1,
+            k: 10,
+            queries: 16,
+            seed: 11,
+        },
+    );
+    let mut i = 0usize;
+    c.bench_function("topks_query_common_k10_small_i1", |b| {
+        b.iter(|| {
+            let q = &w.queries[i % w.queries.len()].query;
+            i += 1;
+            engine.run(q.seeker, &q.keywords, q.k).hits.len()
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_saturation, bench_propagation_step, bench_s3k_query, bench_topks_query
+);
+criterion_main!(micro);

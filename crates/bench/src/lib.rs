@@ -1,0 +1,16 @@
+//! Benchmark-harness library: workload runners, quartile statistics,
+//! qualitative-comparison metrics (Figure 8) and table rendering.
+//!
+//! The `repro` binary (see `src/bin/repro.rs`) drives these to regenerate
+//! every figure and table of the paper's evaluation section; the Criterion
+//! benches under `benches/` use the same pieces for micro-measurements.
+
+
+#![warn(missing_docs)]
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use metrics::{compare_runs, QualitativeMeasures};
+pub use runner::{run_s3k_workload, run_topks_workload, RuntimeSummary, WorkloadTimes};
+pub use table::Table;

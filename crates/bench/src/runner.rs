@@ -1,0 +1,128 @@
+//! Executing query workloads against S3k and TopkS, with the summary
+//! statistics the paper plots (median for Figures 5/6, min/Q1/median/Q3/max
+//! for Figure 7).
+
+use s3_core::{S3kEngine, SearchConfig, TopKResult};
+use s3_datasets::Workload;
+use s3_topks::{TopkSConfig, TopkSEngine, TopkSResult, UitAdaptation};
+use std::time::{Duration, Instant};
+
+/// Wall-clock times of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadTimes {
+    /// Workload label (`f,l,k`).
+    pub label: String,
+    /// Per-query durations, in execution order.
+    pub times: Vec<Duration>,
+}
+
+impl WorkloadTimes {
+    /// Five-number summary.
+    pub fn summary(&self) -> RuntimeSummary {
+        let mut sorted = self.times.clone();
+        sorted.sort_unstable();
+        let q = |f: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((sorted.len() - 1) as f64 * f).round() as usize;
+            sorted[idx]
+        };
+        RuntimeSummary {
+            min: q(0.0),
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: q(1.0),
+            mean: if sorted.is_empty() {
+                Duration::ZERO
+            } else {
+                sorted.iter().sum::<Duration>() / sorted.len() as u32
+            },
+        }
+    }
+}
+
+/// Min/Q1/median/Q3/max/mean of a workload (Figure 7 plots exactly these).
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeSummary {
+    /// Fastest query.
+    pub min: Duration,
+    /// First quartile.
+    pub q1: Duration,
+    /// Median (Figures 5/6 plot this).
+    pub median: Duration,
+    /// Third quartile.
+    pub q3: Duration,
+    /// Slowest query.
+    pub max: Duration,
+    /// Mean.
+    pub mean: Duration,
+}
+
+/// Run a workload through S3k; returns times plus the per-query results
+/// (consumed by the Figure 8 metrics).
+pub fn run_s3k_workload(
+    engine: &S3kEngine<'_>,
+    workload: &Workload,
+) -> (WorkloadTimes, Vec<TopKResult>) {
+    let mut times = Vec::with_capacity(workload.queries.len());
+    let mut results = Vec::with_capacity(workload.queries.len());
+    for q in &workload.queries {
+        let t0 = Instant::now();
+        let res = engine.run(&q.query);
+        times.push(t0.elapsed());
+        results.push(res);
+    }
+    (WorkloadTimes { label: workload.label.clone(), times }, results)
+}
+
+/// Run a workload through TopkS on the adapted UIT instance.
+pub fn run_topks_workload(
+    adaptation: &UitAdaptation,
+    config: TopkSConfig,
+    workload: &Workload,
+) -> (WorkloadTimes, Vec<TopkSResult>) {
+    let engine = TopkSEngine::new(&adaptation.uit, config);
+    let mut times = Vec::with_capacity(workload.queries.len());
+    let mut results = Vec::with_capacity(workload.queries.len());
+    for q in &workload.queries {
+        let t0 = Instant::now();
+        let res = engine.run(q.query.seeker, &q.query.keywords, q.query.k);
+        times.push(t0.elapsed());
+        results.push(res);
+    }
+    (WorkloadTimes { label: workload.label.clone(), times }, results)
+}
+
+/// A [`SearchConfig`] preset matching the paper's S3k runs for a given γ.
+pub fn s3k_config(gamma: f64) -> SearchConfig {
+    SearchConfig {
+        score: s3_core::S3kScore::new(gamma, 0.5),
+        ..SearchConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_quartiles() {
+        let times: Vec<Duration> = (1..=9).map(Duration::from_millis).collect();
+        let w = WorkloadTimes { label: "t".into(), times };
+        let s = w.summary();
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.median, Duration::from_millis(5));
+        assert_eq!(s.q1, Duration::from_millis(3));
+        assert_eq!(s.q3, Duration::from_millis(7));
+        assert_eq!(s.max, Duration::from_millis(9));
+        assert_eq!(s.mean, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let w = WorkloadTimes { label: "e".into(), times: vec![] };
+        assert_eq!(w.summary().median, Duration::ZERO);
+    }
+}

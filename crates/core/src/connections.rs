@@ -1,0 +1,587 @@
+//! The connection relation `con(d, k)` (paper §3.2).
+//!
+//! `con(d, k)` is the set of `(type, frag, src)` tuples witnessing that
+//! document `d` is connected to keyword `k`:
+//!
+//! * **contains** — a fragment `f` of `d` contains `k`: `(S3:contains, f, d)`
+//!   (one tuple per ancestor-or-self `d` of `f`, each with itself as
+//!   source);
+//! * **tags** — a tag on a fragment `f` of `d` whose keyword is `k` gives
+//!   `(S3:relatedTo, f, author)`; more generally *any* connection of a tag
+//!   on `f` flows to `d` as `S3:relatedTo`, keeping its source;
+//! * **endorsements** — a keyword-less tag (like/+1/retweet) on `x`
+//!   *inherits* `x`'s connections with the endorser as source (they then
+//!   flow back to ancestors by the tag rule — the paper's `(S3:relatedTo,
+//!   d0.5.1, u5)` example);
+//! * **higher-level tags** (R4) — a tag on a tag contributes through the
+//!   same two rules, chained;
+//! * **comments** — when a comment `c` on fragment `f` is connected to `k`,
+//!   every ancestor `d` of `f` gains `(S3:commentsOn, f, src)` with the
+//!   source carried over (the paper's `(S3:commentsOn, d0.3.2, d2)`
+//!   example).
+//!
+//! The rules are mutually recursive; we compute the fixpoint with a
+//! worklist over a finite tuple domain, so it terminates. The result is
+//! **seeker-independent** and is built once per instance; at query time
+//! `con(d, k) = ⋃_{k' ∈ Ext(k)} conDirect(d, k')` (see DESIGN.md §3.3/§3.5).
+//!
+//! Each stored tuple also records `|pos(d, f)|` (the structural depth used
+//! by the concrete score), so scores never need to re-walk the tree.
+
+use crate::ids::{TagId, TagSubject};
+use s3_doc::{DocNodeId, Forest};
+use s3_graph::NodeId;
+use s3_text::KeywordId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Connection type (§3.2): how `d` relates to the keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ConnType {
+    /// `S3:contains`: the keyword occurs in a fragment.
+    Contains,
+    /// `S3:relatedTo`: a tag relates the fragment to the keyword.
+    RelatedTo,
+    /// `S3:commentsOn`: a comment on the fragment carries the keyword.
+    CommentsOn,
+}
+
+/// One `con(d, k)` tuple, stored under its document `d` and keyword `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Connection {
+    /// Connection type.
+    pub ctype: ConnType,
+    /// The fragment of `d` due to which the connection holds.
+    pub frag: DocNodeId,
+    /// `|pos(d, frag)|`: structural distance from `d` to the fragment.
+    pub depth: u8,
+    /// The source: a user (tag author) or a document node, as a graph node.
+    pub src: NodeId,
+}
+
+/// Tag description needed to build the index.
+#[derive(Debug, Clone, Copy)]
+pub struct TagInput {
+    /// What the tag is on.
+    pub subject: TagSubject,
+    /// The tag author, as a graph node (user).
+    pub author_node: NodeId,
+    /// The tag keyword; `None` for endorsements (like/+1/retweet).
+    pub keyword: Option<KeywordId>,
+}
+
+/// Connection tuple carried by a *tag* during the fixpoint. A tag's only
+/// fragment is itself (paper footnote 6), so tuples remember instead the
+/// *originating* document fragment when one exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TagConn {
+    ctype: ConnType,
+    origin_frag: Option<DocNodeId>,
+    src: NodeId,
+    kw: KeywordId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DocConn {
+    ctype: ConnType,
+    frag: DocNodeId,
+    src: NodeId,
+    kw: KeywordId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Item {
+    Doc(DocNodeId),
+    Tag(TagId),
+}
+
+/// The frozen `con` index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConnectionIndex {
+    /// Per doc node: keyword → connections, sorted by (frag, src, type).
+    per_doc: Vec<HashMap<KeywordId, Vec<Connection>>>,
+    /// Total number of stored tuples.
+    total: usize,
+}
+
+impl ConnectionIndex {
+    /// Build the index by running the §3.2 rules to fixpoint.
+    ///
+    /// `comments` maps a comment document's **root** node to the fragments
+    /// it comments on (the `S3:commentsOn` edges).
+    pub fn build(
+        forest: &Forest,
+        tags: &[TagInput],
+        comments: &[(DocNodeId, DocNodeId)],
+        doc_src_node: impl Fn(DocNodeId) -> NodeId,
+    ) -> Self {
+        let n = forest.num_nodes();
+        let mut doc_sets: Vec<HashSet<DocConn>> = vec![HashSet::new(); n];
+        let mut tag_sets: Vec<HashSet<TagConn>> = vec![HashSet::new(); tags.len()];
+
+        // Lookup structures for the propagation rules.
+        let mut endorsements_on_frag: HashMap<DocNodeId, Vec<TagId>> = HashMap::new();
+        let mut endorsements_on_tag: HashMap<TagId, Vec<TagId>> = HashMap::new();
+        for (i, t) in tags.iter().enumerate() {
+            if t.keyword.is_none() {
+                match t.subject {
+                    TagSubject::Frag(f) => {
+                        endorsements_on_frag.entry(f).or_default().push(TagId(i as u32))
+                    }
+                    TagSubject::Tag(b) => {
+                        endorsements_on_tag.entry(b).or_default().push(TagId(i as u32))
+                    }
+                }
+            }
+        }
+        let mut comments_of_root: HashMap<DocNodeId, Vec<DocNodeId>> = HashMap::new();
+        for &(root, target) in comments {
+            comments_of_root.entry(root).or_default().push(target);
+        }
+
+        let mut queue: VecDeque<(Item, DocConn, Option<TagConn>)> = VecDeque::new();
+
+        // Seed 1: contains — every keyword occurrence, pushed to every
+        // ancestor-or-self with itself as source.
+        for idx in 0..n {
+            let f = DocNodeId(idx as u32);
+            if forest.content(f).is_empty() {
+                continue;
+            }
+            let kws: Vec<KeywordId> = {
+                let mut v = forest.content(f).to_vec();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            for d in forest.ancestors_or_self(f) {
+                for &kw in &kws {
+                    let conn =
+                        DocConn { ctype: ConnType::Contains, frag: f, src: doc_src_node(d), kw };
+                    if doc_sets[d.index()].insert(conn) {
+                        queue.push_back((Item::Doc(d), conn, None));
+                    }
+                }
+            }
+        }
+
+        // Seed 2: keyword tags.
+        for (i, t) in tags.iter().enumerate() {
+            if let Some(kw) = t.keyword {
+                let origin = match t.subject {
+                    TagSubject::Frag(f) => Some(f),
+                    TagSubject::Tag(_) => None,
+                };
+                let conn = TagConn {
+                    ctype: ConnType::RelatedTo,
+                    origin_frag: origin,
+                    src: t.author_node,
+                    kw,
+                };
+                if tag_sets[i].insert(conn) {
+                    queue.push_back((
+                        Item::Tag(TagId(i as u32)),
+                        DocConn {
+                            ctype: conn.ctype,
+                            frag: DocNodeId(0),
+                            src: conn.src,
+                            kw: conn.kw,
+                        },
+                        Some(conn),
+                    ));
+                }
+            }
+        }
+
+        // Fixpoint.
+        while let Some((item, dconn, tconn)) = queue.pop_front() {
+            match item {
+                Item::Doc(d) => {
+                    // Rule E: endorsements on d inherit its connections,
+                    // with the endorser as source.
+                    if let Some(endorsers) = endorsements_on_frag.get(&d) {
+                        for &a in endorsers {
+                            let inherited = TagConn {
+                                ctype: dconn.ctype,
+                                origin_frag: Some(dconn.frag),
+                                src: tags[a.index()].author_node,
+                                kw: dconn.kw,
+                            };
+                            if tag_sets[a.index()].insert(inherited) {
+                                queue.push_back((Item::Tag(a), dconn, Some(inherited)));
+                            }
+                        }
+                    }
+                    // Rule C: if d is a comment root, its connections flow
+                    // to the ancestors of the commented fragments as
+                    // S3:commentsOn, source carried over.
+                    if let Some(targets) = comments_of_root.get(&d) {
+                        for &f0 in targets {
+                            for anc in forest.ancestors_or_self(f0) {
+                                let conn = DocConn {
+                                    ctype: ConnType::CommentsOn,
+                                    frag: f0,
+                                    src: dconn.src,
+                                    kw: dconn.kw,
+                                };
+                                if doc_sets[anc.index()].insert(conn) {
+                                    queue.push_back((Item::Doc(anc), conn, None));
+                                }
+                            }
+                        }
+                    }
+                }
+                Item::Tag(a) => {
+                    let tconn = tconn.expect("tag items carry their tag connection");
+                    // Rule E': endorsements on the tag inherit.
+                    if let Some(endorsers) = endorsements_on_tag.get(&a) {
+                        for &b in endorsers {
+                            let inherited = TagConn {
+                                src: tags[b.index()].author_node,
+                                ..tconn
+                            };
+                            if tag_sets[b.index()].insert(inherited) {
+                                queue.push_back((Item::Tag(b), dconn, Some(inherited)));
+                            }
+                        }
+                    }
+                    // Rule T: the tag's connections flow to its subject.
+                    match tags[a.index()].subject {
+                        TagSubject::Frag(f0) => {
+                            for d in forest.ancestors_or_self(f0) {
+                                // Use the originating fragment when it is a
+                                // fragment of d (the paper's d0.5.1 case),
+                                // else the tagged fragment itself.
+                                let frag = match tconn.origin_frag {
+                                    Some(g) if forest.is_ancestor_or_self(d, g) => g,
+                                    _ => f0,
+                                };
+                                let conn = DocConn {
+                                    ctype: ConnType::RelatedTo,
+                                    frag,
+                                    src: tconn.src,
+                                    kw: tconn.kw,
+                                };
+                                if doc_sets[d.index()].insert(conn) {
+                                    queue.push_back((Item::Doc(d), conn, None));
+                                }
+                            }
+                        }
+                        TagSubject::Tag(b) => {
+                            let lifted = TagConn { ctype: ConnType::RelatedTo, ..tconn };
+                            if tag_sets[b.index()].insert(lifted) {
+                                queue.push_back((Item::Tag(b), dconn, Some(lifted)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Freeze: group per (doc, keyword), record |pos(d, f)| per tuple.
+        let mut per_doc: Vec<HashMap<KeywordId, Vec<Connection>>> = vec![HashMap::new(); n];
+        let mut total = 0usize;
+        for (idx, set) in doc_sets.into_iter().enumerate() {
+            let d = DocNodeId(idx as u32);
+            let map = &mut per_doc[idx];
+            for c in set {
+                let depth = forest
+                    .structural_distance(d, c.frag)
+                    .expect("connection fragments are fragments of d")
+                    .min(u8::MAX as u32) as u8;
+                map.entry(c.kw).or_default().push(Connection {
+                    ctype: c.ctype,
+                    frag: c.frag,
+                    depth,
+                    src: c.src,
+                });
+                total += 1;
+            }
+            for v in map.values_mut() {
+                v.sort_unstable_by_key(|c| (c.frag, c.src, c.ctype));
+            }
+        }
+        ConnectionIndex { per_doc, total }
+    }
+
+    /// `conDirect(d, k)`: connections of `d` for the *exact* keyword `k`.
+    pub fn connections(&self, d: DocNodeId, k: KeywordId) -> &[Connection] {
+        self.per_doc[d.index()].get(&k).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does `d` have at least one connection for some keyword in `ext`?
+    pub fn matches_any(&self, d: DocNodeId, ext: &[KeywordId]) -> bool {
+        ext.iter().any(|k| !self.connections(d, *k).is_empty())
+    }
+
+    /// The keywords `d` is connected to.
+    pub fn keywords_of(&self, d: DocNodeId) -> impl Iterator<Item = KeywordId> + '_ {
+        self.per_doc[d.index()].keys().copied()
+    }
+
+    /// Total number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no connection exists.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// `Smax(k) = max_d Σ_{(t,f,src) ∈ conDirect(d,k)} η^{|pos(d,f)|}`, for
+    /// every keyword: the structural-weight bound used by the S3k threshold
+    /// (DESIGN.md §3.4). One pass over the index.
+    pub fn smax_table(&self, eta: f64) -> HashMap<KeywordId, f64> {
+        self.smax_table_with(|_, depth| eta.powi(depth as i32))
+    }
+
+    /// Generic form of [`Self::smax_table`] for arbitrary structural-weight
+    /// functions (generic score models).
+    pub fn smax_table_with(
+        &self,
+        weight: impl Fn(ConnType, u8) -> f64,
+    ) -> HashMap<KeywordId, f64> {
+        let mut out: HashMap<KeywordId, f64> = HashMap::new();
+        for map in &self.per_doc {
+            for (&kw, conns) in map {
+                let s: f64 = conns.iter().map(|c| weight(c.ctype, c.depth)).sum();
+                let e = out.entry(kw).or_insert(0.0);
+                if s > *e {
+                    *e = s;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_doc::DocBuilder;
+
+    /// Reconstruct the Figure 1 scenario:
+    /// * d0 with fragments d0.3.2 (under d0.3) and d0.5.1 (under d0.5);
+    /// * d2, posted by u3, comments on d0.3.2 and contains "university" in
+    ///   its fragment d2.7.5;
+    /// * u4 tags d0.5.1 with "university";
+    /// * u5 endorses d0 with a keyword-less tag.
+    struct Fig1 {
+        forest: Forest,
+        d0: DocNodeId,
+        d0_3_2: DocNodeId,
+        d0_5_1: DocNodeId,
+        d2: DocNodeId,
+        d2_7_5: DocNodeId,
+        index: ConnectionIndex,
+        university: KeywordId,
+        u4_node: NodeId,
+        u5_node: NodeId,
+    }
+
+    fn fig1() -> Fig1 {
+        let university = KeywordId(0);
+        let mut forest = Forest::new();
+        let mut b0 = DocBuilder::new("article");
+        let s3 = b0.child(b0.root(), "sec");
+        let s3_2 = b0.child(s3, "p");
+        let s5 = b0.child(b0.root(), "sec");
+        let s5_1 = b0.child(s5, "p");
+        let t0 = forest.add_document(b0);
+
+        let mut b2 = DocBuilder::new("comment");
+        let c7 = b2.child(b2.root(), "sec");
+        let c7_5 = b2.child(c7, "p");
+        b2.set_content(c7_5, vec![university]);
+        let t2 = forest.add_document(b2);
+
+        let d0 = forest.root(t0);
+        let d0_3_2 = forest.resolve(t0, s3_2);
+        let d0_5_1 = forest.resolve(t0, s5_1);
+        let d2 = forest.root(t2);
+        let d2_7_5 = forest.resolve(t2, c7_5);
+
+        // Graph nodes: we only need stable ids for sources here; document
+        // sources are identified by synthetic node ids derived from the doc
+        // node, users by fixed ids.
+        let u4_node = NodeId(1000);
+        let u5_node = NodeId(1001);
+        let tags = vec![
+            TagInput {
+                subject: TagSubject::Frag(d0_5_1),
+                author_node: u4_node,
+                keyword: Some(university),
+            },
+            TagInput { subject: TagSubject::Frag(d0), author_node: u5_node, keyword: None },
+        ];
+        let comments = vec![(d2, d0_3_2)];
+        let index =
+            ConnectionIndex::build(&forest, &tags, &comments, |d| NodeId(d.0));
+        Fig1 { forest, d0, d0_3_2, d0_5_1, d2, d2_7_5, index, university, u4_node, u5_node }
+    }
+
+    #[test]
+    fn contains_connection_with_ancestors() {
+        // (S3:contains, d2.7.5, d2) ∈ con(d2, "university") — §3.2.
+        let f = fig1();
+        let conns = f.index.connections(f.d2, f.university);
+        assert!(conns.iter().any(|c| c.ctype == ConnType::Contains
+            && c.frag == f.d2_7_5
+            && c.src == NodeId(f.d2.0)
+            && c.depth == 2));
+        // The fragment itself has a depth-0 contains connection.
+        let own = f.index.connections(f.d2_7_5, f.university);
+        assert!(own.iter().any(|c| c.ctype == ConnType::Contains && c.depth == 0));
+    }
+
+    #[test]
+    fn tag_connection() {
+        // u4's tag creates (S3:relatedTo, d0.5.1, u4) ∈ con(d0, "university").
+        let f = fig1();
+        let conns = f.index.connections(f.d0, f.university);
+        assert!(conns.iter().any(|c| c.ctype == ConnType::RelatedTo
+            && c.frag == f.d0_5_1
+            && c.src == f.u4_node
+            && c.depth == 2));
+    }
+
+    #[test]
+    fn comment_connection_carries_source() {
+        // d2 is connected to "university", d2 comments on d0.3.2 ⇒
+        // (S3:commentsOn, d0.3.2, d2) ∈ con(d0, "university").
+        let f = fig1();
+        let conns = f.index.connections(f.d0, f.university);
+        assert!(conns.iter().any(|c| c.ctype == ConnType::CommentsOn
+            && c.frag == f.d0_3_2
+            && c.src == NodeId(f.d2.0)
+            && c.depth == 2));
+    }
+
+    #[test]
+    fn endorsement_inherits_with_endorser_as_source() {
+        // u5 endorses d0 ⇒ (S3:relatedTo, d0.5.1, u5) ∈ con(d0, "university")
+        // — the paper's exact example.
+        let f = fig1();
+        let conns = f.index.connections(f.d0, f.university);
+        assert!(conns.iter().any(|c| c.ctype == ConnType::RelatedTo
+            && c.frag == f.d0_5_1
+            && c.src == f.u5_node));
+    }
+
+    #[test]
+    fn intermediate_ancestors_get_connections_too() {
+        let f = fig1();
+        // d0.3 (parent of d0.3.2) gets the comment connection at depth 1.
+        let d0_3 = f.forest.parent(f.d0_3_2).unwrap();
+        let conns = f.index.connections(d0_3, f.university);
+        assert!(conns.iter().any(|c| c.ctype == ConnType::CommentsOn && c.depth == 1));
+        // But d0.5 does not get it (d0.3.2 is not its fragment).
+        let d0_5 = f.forest.parent(f.d0_5_1).unwrap();
+        assert!(!f
+            .index
+            .connections(d0_5, f.university)
+            .iter()
+            .any(|c| c.ctype == ConnType::CommentsOn));
+    }
+
+    #[test]
+    fn higher_level_tags_reach_the_document() {
+        // Tag b (keyword) on tag a (on fragment f): the document must gain
+        // a relatedTo connection sourced at b's author (requirement R4).
+        let kw = KeywordId(9);
+        let mut forest = Forest::new();
+        let t = forest.add_document(DocBuilder::new("doc"));
+        let d = forest.root(t);
+        let tags = vec![
+            TagInput { subject: TagSubject::Frag(d), author_node: NodeId(500), keyword: None },
+            TagInput {
+                subject: TagSubject::Tag(TagId(0)),
+                author_node: NodeId(501),
+                keyword: Some(kw),
+            },
+        ];
+        let index = ConnectionIndex::build(&forest, &tags, &[], |d| NodeId(d.0));
+        let conns = index.connections(d, kw);
+        assert!(
+            conns.iter().any(|c| c.ctype == ConnType::RelatedTo && c.src == NodeId(501)),
+            "higher-level tag keyword must reach the base document: {conns:?}"
+        );
+    }
+
+    #[test]
+    fn comment_chains_propagate_transitively() {
+        // c2 comments on c1, c1 comments on d; a keyword in c2 must reach d.
+        let kw = KeywordId(3);
+        let mut forest = Forest::new();
+        let td = forest.add_document(DocBuilder::new("doc"));
+        let tc1 = forest.add_document(DocBuilder::new("c1"));
+        let mut b2 = DocBuilder::new("c2");
+        b2.set_content(b2.root(), vec![kw]);
+        let tc2 = forest.add_document(b2);
+        let (d, c1, c2) = (forest.root(td), forest.root(tc1), forest.root(tc2));
+        let comments = vec![(c1, d), (c2, c1)];
+        let index = ConnectionIndex::build(&forest, &[], &comments, |x| NodeId(x.0));
+        let conns = index.connections(d, kw);
+        assert!(
+            conns.iter().any(|c| c.ctype == ConnType::CommentsOn && c.src == NodeId(c2.0)),
+            "comment chains must carry sources transitively: {conns:?}"
+        );
+    }
+
+    #[test]
+    fn smax_table_is_a_max_of_structural_sums() {
+        let f = fig1();
+        let eta = 0.5;
+        let smax = f.index.smax_table(eta);
+        let s = smax[&f.university];
+        // d0 has three depth-2 connections (tag, endorsement, comment) →
+        // 3·η²; d2 has contains at depths 2/1/0 → η²+η+1 = 1.75 (itself,
+        // via ancestors d2.7 and d2.7.5's own entries are on those nodes).
+        // The max over all docs must dominate every per-doc sum.
+        for idx in 0..f.forest.num_nodes() {
+            let d = DocNodeId(idx as u32);
+            let sum: f64 = f
+                .index
+                .connections(d, f.university)
+                .iter()
+                .map(|c| eta.powi(c.depth as i32))
+                .sum();
+            assert!(s + 1e-12 >= sum, "smax violated at {d}");
+        }
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn endorsement_fixpoint_terminates_on_cycles() {
+        // Two endorsements on the same doc plus a keyword tag: the
+        // inherit/push-back cycle must terminate via deduplication.
+        let kw = KeywordId(1);
+        let mut forest = Forest::new();
+        let t = forest.add_document(DocBuilder::new("doc"));
+        let d = forest.root(t);
+        let tags = vec![
+            TagInput { subject: TagSubject::Frag(d), author_node: NodeId(600), keyword: None },
+            TagInput { subject: TagSubject::Frag(d), author_node: NodeId(601), keyword: None },
+            TagInput {
+                subject: TagSubject::Frag(d),
+                author_node: NodeId(602),
+                keyword: Some(kw),
+            },
+        ];
+        let index = ConnectionIndex::build(&forest, &tags, &[], |x| NodeId(x.0));
+        let conns = index.connections(d, kw);
+        // Original tag + both endorsers as sources.
+        let srcs: HashSet<NodeId> = conns.iter().map(|c| c.src).collect();
+        assert!(srcs.contains(&NodeId(600)));
+        assert!(srcs.contains(&NodeId(601)));
+        assert!(srcs.contains(&NodeId(602)));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let forest = Forest::new();
+        let index = ConnectionIndex::build(&forest, &[], &[], |x| NodeId(x.0));
+        assert!(index.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Export an [`crate::S3Instance`] as one weighted RDF graph.
+//!
+//! §2 of the paper defines S3 as "a single weighted RDF graph": users,
+//! social edges, document structure (`S3:partOf`, `S3:contains`,
+//! `S3:nodeName`), user actions (`S3:postedBy`, `S3:commentsOn`) and tags
+//! (`S3:relatedTo` with `S3:hasSubject` / `S3:hasKeyword` / `S3:hasAuthor`)
+//! are all triples over the namespace of Table 2. Our in-memory structures
+//! are a specialized materialization of that graph; this module writes the
+//! graph itself back out — for interoperability (requirement R6), for
+//! pattern queries over the full instance, and as a correctness check
+//! (tests assert the exact triples of Examples 2.1/2.2).
+
+use crate::ids::{TagSubject, UserId};
+use crate::instance::S3Instance;
+use s3_doc::DocNodeId;
+use s3_graph::EdgeKind;
+use s3_rdf::{vocabulary as voc, Term, TripleStore, UriId};
+
+/// Deterministic URI of a user.
+pub fn user_uri(u: UserId) -> String {
+    format!("s3i:user/{}", u.0)
+}
+
+/// Deterministic URI of a document node (fragment).
+pub fn node_uri(d: DocNodeId) -> String {
+    format!("s3i:node/{}", d.0)
+}
+
+/// Deterministic URI of a tag.
+pub fn tag_uri(index: usize) -> String {
+    format!("s3i:tag/{index}")
+}
+
+/// Materialize the instance as RDF. The export contains the knowledge-base
+/// triples already present in the instance's store, plus every S3-namespace
+/// triple of Table 2 (with the paper's inverse properties). Weights carry
+/// over on `S3:social` edges; all structural triples have weight 1.
+pub fn export_rdf(instance: &S3Instance) -> TripleStore {
+    let mut out = instance.rdf().clone();
+    let graph = instance.graph();
+    let forest = instance.forest();
+
+    // Users: u type S3:user (§2.2).
+    let user_ids: Vec<UriId> = (0..instance.num_users())
+        .map(|u| {
+            let uri = out.dictionary_mut().intern(&user_uri(UserId(u as u32)));
+            out.insert(uri, voc::RDF_TYPE, Term::Uri(voc::S3_USER), 1.0);
+            uri
+        })
+        .collect();
+
+    // Social edges with their weights.
+    for u in 0..instance.num_users() {
+        let node = instance.user_node(UserId(u as u32));
+        for (target, kind, w) in graph.out_edges(node) {
+            if kind == EdgeKind::Social {
+                if let s3_graph::NodeKind::User(v) = graph.kind(target) {
+                    out.insert(
+                        user_ids[u],
+                        voc::S3_SOCIAL,
+                        Term::Uri(user_ids[v as usize]),
+                        w,
+                    );
+                }
+            }
+        }
+    }
+
+    // Documents: types, partOf, nodeName, contains (§2.3).
+    let mut node_ids: Vec<UriId> = Vec::with_capacity(forest.num_nodes());
+    for idx in 0..forest.num_nodes() {
+        let uri = out.dictionary_mut().intern(&node_uri(DocNodeId(idx as u32)));
+        node_ids.push(uri);
+    }
+    for idx in 0..forest.num_nodes() {
+        let d = DocNodeId(idx as u32);
+        out.insert(node_ids[idx], voc::RDF_TYPE, Term::Uri(voc::S3_DOC), 1.0);
+        if let Some(p) = forest.parent(d) {
+            out.insert(node_ids[idx], voc::S3_PART_OF, Term::Uri(node_ids[p.index()]), 1.0);
+        }
+        let name = out.dictionary_mut().intern(forest.name(d));
+        out.insert(node_ids[idx], voc::S3_NODE_NAME, Term::Literal(name), 1.0);
+        for &kw in forest.content(d) {
+            let lit = out
+                .dictionary_mut()
+                .intern(instance.vocabulary().text(kw));
+            out.insert(node_ids[idx], voc::S3_CONTAINS, Term::Literal(lit), 1.0);
+        }
+    }
+
+    // postedBy and commentsOn, with inverse properties (§2.4).
+    for tree in forest.trees() {
+        if let Some(poster) = instance.poster_of(tree) {
+            let root = forest.root(tree);
+            let (s, o) = (node_ids[root.index()], user_ids[poster.index()]);
+            out.insert(s, voc::S3_POSTED_BY, Term::Uri(o), 1.0);
+            out.insert(o, voc::S3_POSTED_BY_INV, Term::Uri(s), 1.0);
+        }
+    }
+    for &(comment_root, target) in instance.comment_pairs() {
+        let (s, o) = (node_ids[comment_root.index()], node_ids[target.index()]);
+        out.insert(s, voc::S3_COMMENTS_ON, Term::Uri(o), 1.0);
+        out.insert(o, voc::S3_COMMENTS_ON_INV, Term::Uri(s), 1.0);
+    }
+
+    // Tags: a type S3:relatedTo; hasSubject/hasKeyword/hasAuthor (§2.4).
+    let tag_ids: Vec<UriId> = (0..instance.num_tags())
+        .map(|i| out.dictionary_mut().intern(&tag_uri(i)))
+        .collect();
+    for (i, tag) in instance.tags().iter().enumerate() {
+        let a = tag_ids[i];
+        out.insert(a, voc::RDF_TYPE, Term::Uri(voc::S3_RELATED_TO), 1.0);
+        let subject = match tag.subject {
+            TagSubject::Frag(f) => node_ids[f.index()],
+            TagSubject::Tag(t) => tag_ids[t.index()],
+        };
+        out.insert(a, voc::S3_HAS_SUBJECT, Term::Uri(subject), 1.0);
+        out.insert(subject, voc::S3_HAS_SUBJECT_INV, Term::Uri(a), 1.0);
+        let author = user_ids[tag.author.index()];
+        out.insert(a, voc::S3_HAS_AUTHOR, Term::Uri(author), 1.0);
+        out.insert(author, voc::S3_HAS_AUTHOR_INV, Term::Uri(a), 1.0);
+        if let Some(kw) = tag.keyword {
+            let lit = out.dictionary_mut().intern(instance.vocabulary().text(kw));
+            out.insert(a, voc::S3_HAS_KEYWORD, Term::Literal(lit), 1.0);
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use s3_doc::DocBuilder;
+    use s3_rdf::{Pattern, TermOrVar, UriOrVar};
+    use s3_text::Language;
+
+    fn sample() -> (S3Instance, UserId, UserId) {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let u3 = b.add_user();
+        b.add_social_edge(u3, u0, 0.7);
+        // d0 with a nested fragment (Example 2.1 shape).
+        let mut d0 = DocBuilder::new("article");
+        let sec = d0.child(d0.root(), "section");
+        let kws = b.analyze("masters degrees");
+        let mut d0b = d0;
+        d0b.set_content(sec, kws);
+        let t0 = b.add_document(d0b, Some(u0));
+        let target = b.doc_node(t0, sec);
+        // d2 posted by u3, comments on the fragment (Example 2.2).
+        let mut d2 = DocBuilder::new("text");
+        let kws2 = b.analyze("universities");
+        d2.set_content(d2.root(), kws2);
+        let t2 = b.add_document(d2, Some(u3));
+        b.add_comment_edge(t2, target);
+        let univers = b.analyzer_mut().vocabulary_mut().intern("univers");
+        b.add_tag(crate::ids::TagSubject::Frag(target), u3, Some(univers));
+        (b.build(), u0, u3)
+    }
+
+    #[test]
+    fn example_2_1_document_triples() {
+        let (inst, _, _) = sample();
+        let rdf = export_rdf(&inst);
+        let d = rdf.dictionary();
+        // sec S3:partOf root; sec S3:contains "master"; sec nodeName.
+        let sec = d.get(&node_uri(DocNodeId(1))).unwrap();
+        let root = d.get(&node_uri(DocNodeId(0))).unwrap();
+        assert!(rdf.contains(sec, voc::S3_PART_OF, Term::Uri(root)));
+        let master = d.get("master").expect("stemmed literal interned");
+        assert!(rdf.contains(sec, voc::S3_CONTAINS, Term::Literal(master)));
+        let section = d.get("section").unwrap();
+        assert!(rdf.contains(sec, voc::S3_NODE_NAME, Term::Literal(section)));
+        assert!(rdf.contains(sec, voc::RDF_TYPE, Term::Uri(voc::S3_DOC)));
+    }
+
+    #[test]
+    fn example_2_2_posting_and_comment_triples() {
+        let (inst, u0, u3) = sample();
+        let rdf = export_rdf(&inst);
+        let d = rdf.dictionary();
+        let u0_uri = d.get(&user_uri(u0)).unwrap();
+        let u3_uri = d.get(&user_uri(u3)).unwrap();
+        let d0 = d.get(&node_uri(DocNodeId(0))).unwrap();
+        let target = d.get(&node_uri(DocNodeId(1))).unwrap();
+        let d2 = d.get(&node_uri(DocNodeId(2))).unwrap();
+        assert!(rdf.contains(d0, voc::S3_POSTED_BY, Term::Uri(u0_uri)));
+        assert!(rdf.contains(d2, voc::S3_POSTED_BY, Term::Uri(u3_uri)));
+        assert!(rdf.contains(d2, voc::S3_COMMENTS_ON, Term::Uri(target)));
+        // Inverse properties (§2.4).
+        assert!(rdf.contains(target, voc::S3_COMMENTS_ON_INV, Term::Uri(d2)));
+        assert!(rdf.contains(u0_uri, voc::S3_POSTED_BY_INV, Term::Uri(d0)));
+    }
+
+    #[test]
+    fn social_weights_carry_over() {
+        let (inst, u0, u3) = sample();
+        let rdf = export_rdf(&inst);
+        let d = rdf.dictionary();
+        let u0_uri = d.get(&user_uri(u0)).unwrap();
+        let u3_uri = d.get(&user_uri(u3)).unwrap();
+        assert_eq!(rdf.weight(u3_uri, voc::S3_SOCIAL, Term::Uri(u0_uri)), Some(0.7));
+        assert!(rdf.contains(u3_uri, voc::RDF_TYPE, Term::Uri(voc::S3_USER)));
+    }
+
+    #[test]
+    fn tag_triples_follow_table_2() {
+        let (inst, _, u3) = sample();
+        let rdf = export_rdf(&inst);
+        let d = rdf.dictionary();
+        let a = d.get(&tag_uri(0)).unwrap();
+        let target = d.get(&node_uri(DocNodeId(1))).unwrap();
+        let u3_uri = d.get(&user_uri(u3)).unwrap();
+        assert!(rdf.contains(a, voc::RDF_TYPE, Term::Uri(voc::S3_RELATED_TO)));
+        assert!(rdf.contains(a, voc::S3_HAS_SUBJECT, Term::Uri(target)));
+        assert!(rdf.contains(a, voc::S3_HAS_AUTHOR, Term::Uri(u3_uri)));
+        let univers = d.get("univers").unwrap();
+        assert!(rdf.contains(a, voc::S3_HAS_KEYWORD, Term::Literal(univers)));
+    }
+
+    #[test]
+    fn exported_graph_answers_pattern_queries() {
+        // GraphSearch-style query over the export (§6): "documents posted
+        // by whoever commented on something" — a two-hop BGP.
+        let (inst, _, u3) = sample();
+        let rdf = export_rdf(&inst);
+        let mut pat = Pattern::new();
+        let doc = pat.var("doc");
+        let poster = pat.var("poster");
+        let other = pat.var("other");
+        pat.triple(UriOrVar::Var(doc), UriOrVar::Uri(voc::S3_COMMENTS_ON), TermOrVar::Var(other));
+        pat.triple(UriOrVar::Var(doc), UriOrVar::Uri(voc::S3_POSTED_BY), TermOrVar::Var(poster));
+        let sols = pat.solutions(&rdf);
+        assert_eq!(sols.len(), 1);
+        let u3_uri = rdf.dictionary().get(&user_uri(u3)).unwrap();
+        assert_eq!(sols[0][1], Term::Uri(u3_uri));
+    }
+}

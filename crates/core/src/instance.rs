@@ -1,0 +1,647 @@
+//! The S3 instance: assembly of the social, structured and semantic layers
+//! (paper §2), plus the derived query-time structures.
+
+use crate::connections::{ConnectionIndex, TagInput};
+use crate::ids::{TagId, TagSubject, UserId};
+use parking_lot::Mutex;
+use s3_doc::{DocBuilder, DocNodeId, Forest, TreeId};
+use s3_graph::{CompId, EdgeKind, GraphBuilder, NodeId, SocialGraph};
+use s3_rdf::{TripleStore, UriId};
+use s3_text::{Analyzer, KeywordId, Language, Vocabulary};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Construction-time record of a tag.
+#[derive(Debug, Clone, Copy)]
+struct PendingTag {
+    subject: TagSubject,
+    author: UserId,
+    keyword: Option<KeywordId>,
+}
+
+/// Mutable S3 instance under construction. The build order mirrors the
+/// paper's data model: users + social edges (§2.2), documents (§2.3), tags
+/// and comments (§2.4), RDF schema (§2.1) — then [`InstanceBuilder::build`]
+/// freezes everything and derives the network graph, the saturation, the
+/// `con` index and the component keyword sets.
+#[derive(Debug)]
+pub struct InstanceBuilder {
+    analyzer: Analyzer,
+    rdf: TripleStore,
+    forest: Forest,
+    num_users: u32,
+    user_uris: HashMap<UriId, UserId>,
+    social_edges: Vec<(UserId, UserId, f64)>,
+    posters: Vec<(TreeId, UserId)>,
+    comments: Vec<(TreeId, DocNodeId)>,
+    tags: Vec<PendingTag>,
+}
+
+impl InstanceBuilder {
+    /// Start an empty instance for a corpus language.
+    pub fn new(language: Language) -> Self {
+        InstanceBuilder {
+            analyzer: Analyzer::new(language),
+            rdf: TripleStore::new(),
+            forest: Forest::new(),
+            num_users: 0,
+            user_uris: HashMap::new(),
+            social_edges: Vec::new(),
+            posters: Vec::new(),
+            comments: Vec::new(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Analyze a text into content keywords (counted in corpus statistics).
+    pub fn analyze(&mut self, text: &str) -> Vec<KeywordId> {
+        self.analyzer.analyze(text)
+    }
+
+    /// The text analyzer (vocabulary access, query analysis…).
+    pub fn analyzer_mut(&mut self) -> &mut Analyzer {
+        &mut self.analyzer
+    }
+
+    /// The RDF store, for schema and knowledge-base triples.
+    pub fn rdf_mut(&mut self) -> &mut TripleStore {
+        &mut self.rdf
+    }
+
+    /// Intern a keyword that is a URI (entity mention) and bridge it to the
+    /// RDF dictionary, so keyword extension can see it. Returns the keyword.
+    pub fn intern_entity_keyword(&mut self, uri: &str) -> KeywordId {
+        self.rdf.dictionary_mut().intern(uri);
+        self.analyzer.vocabulary_mut().intern(uri)
+    }
+
+    /// Add a user (§2.2: `u type S3:user`).
+    pub fn add_user(&mut self) -> UserId {
+        let id = UserId(self.num_users);
+        self.num_users += 1;
+        id
+    }
+
+    /// Add a user identified by a URI, bridging them to the RDF layer: the
+    /// triple `u type S3:user` is asserted, and at [`Self::build`] any
+    /// `u' S3:social u''` triple between registered user URIs — asserted
+    /// directly, or *derived* by saturation from a sub-property like the
+    /// paper's `workedWith ≺sp S3:social`, possibly produced by a
+    /// [`s3_rdf::Rule`] (§2.2 "Extensibility") — becomes a social edge.
+    pub fn add_user_with_uri(&mut self, uri: &str) -> UserId {
+        let id = self.add_user();
+        let u = self.rdf.dictionary_mut().intern(uri);
+        self.rdf.insert(u, s3_rdf::vocabulary::RDF_TYPE, s3_rdf::Term::Uri(voc_user()), 1.0);
+        self.user_uris.insert(u, id);
+        id
+    }
+
+    /// The user registered under an RDF URI, if any.
+    pub fn user_by_uri(&self, uri: UriId) -> Option<UserId> {
+        self.user_uris.get(&uri).copied()
+    }
+
+    /// Add a weighted social edge `from S3:social to` (§2.2). The higher
+    /// the weight, the closer the users.
+    pub fn add_social_edge(&mut self, from: UserId, to: UserId, weight: f64) {
+        assert!(from.0 < self.num_users && to.0 < self.num_users, "unknown user");
+        assert!(weight > 0.0 && weight <= 1.0, "social weight must be in (0,1]");
+        self.social_edges.push((from, to, weight));
+    }
+
+    /// Add a document tree (§2.3), optionally recording its poster
+    /// (`d S3:postedBy u`).
+    pub fn add_document(&mut self, doc: DocBuilder, poster: Option<UserId>) -> TreeId {
+        let tree = self.forest.add_document(doc);
+        if let Some(u) = poster {
+            assert!(u.0 < self.num_users, "unknown poster");
+            self.posters.push((tree, u));
+        }
+        tree
+    }
+
+    /// Resolve a builder-local node id to the global document node id.
+    pub fn doc_node(&self, tree: TreeId, local: s3_doc::LocalNodeId) -> DocNodeId {
+        self.forest.resolve(tree, local)
+    }
+
+    /// The root fragment of a document.
+    pub fn doc_root(&self, tree: TreeId) -> DocNodeId {
+        self.forest.root(tree)
+    }
+
+    /// Declare that document `comment` comments on fragment `target`
+    /// (§2.4: `S3:commentsOn`; replies, reviews-of-the-same-item, etc. are
+    /// specializations of it).
+    pub fn add_comment_edge(&mut self, comment: TreeId, target: DocNodeId) {
+        assert_ne!(self.forest.tree_of(target), comment, "a document cannot comment on itself");
+        self.comments.push((comment, target));
+    }
+
+    /// Add a tag (§2.4). `keyword = None` is an endorsement (like, +1,
+    /// retweet). The subject may be a fragment or another tag (R4).
+    pub fn add_tag(
+        &mut self,
+        subject: TagSubject,
+        author: UserId,
+        keyword: Option<KeywordId>,
+    ) -> TagId {
+        assert!(author.0 < self.num_users, "unknown author");
+        if let TagSubject::Tag(t) = subject {
+            assert!(t.index() < self.tags.len(), "tag subjects must already exist");
+        }
+        let id = TagId(self.tags.len() as u32);
+        self.tags.push(PendingTag { subject, author, keyword });
+        id
+    }
+
+    /// Current number of users.
+    pub fn num_users(&self) -> usize {
+        self.num_users as usize
+    }
+
+    /// Freeze the instance: saturate the RDF graph, build the network graph
+    /// (with inverse edges, normalization weights and components), run the
+    /// `con(d,k)` fixpoint, and bridge keywords to RDF URIs.
+    pub fn build(self) -> S3Instance {
+        let InstanceBuilder {
+            analyzer,
+            mut rdf,
+            forest,
+            num_users,
+            user_uris,
+            mut social_edges,
+            posters,
+            comments,
+            tags,
+        } = self;
+        rdf.saturate();
+
+        // §2.2 extensibility: S3:social triples between registered user
+        // URIs (direct or derived through ≺sp by the saturation above)
+        // materialize as social edges.
+        if !user_uris.is_empty() {
+            let mut seen: std::collections::HashSet<(UserId, UserId)> =
+                social_edges.iter().map(|&(a, b, _)| (a, b)).collect();
+            for t in rdf.with_property(s3_rdf::vocabulary::S3_SOCIAL) {
+                let (Some(&a), Some(b)) = (
+                    user_uris.get(&t.triple.s),
+                    t.triple.o.as_uri().and_then(|o| user_uris.get(&o)).copied(),
+                ) else {
+                    continue;
+                };
+                if a != b && t.weight > 0.0 && seen.insert((a, b)) {
+                    social_edges.push((a, b, t.weight.min(1.0)));
+                }
+            }
+        }
+        let language = analyzer.language();
+        let vocabulary = analyzer.into_vocabulary();
+
+        // Graph: users, then all trees (contiguous in pre-order), then tags.
+        let mut gb = GraphBuilder::new(forest);
+        let user_nodes: Vec<NodeId> = (0..num_users).map(|_| gb.add_user()).collect();
+        for tree in gb.forest().trees().collect::<Vec<_>>() {
+            gb.register_tree(tree);
+        }
+        let tag_nodes: Vec<NodeId> = (0..tags.len()).map(|_| gb.add_tag()).collect();
+
+        for (from, to, w) in social_edges {
+            gb.add_edge(user_nodes[from.index()], user_nodes[to.index()], EdgeKind::Social, w);
+        }
+        let mut poster_of: HashMap<TreeId, UserId> = HashMap::new();
+        for (tree, u) in posters {
+            let root = gb.forest().root(tree);
+            let root_node = gb.node_of_frag(root).expect("registered");
+            gb.add_edge(root_node, user_nodes[u.index()], EdgeKind::PostedBy, 1.0);
+            poster_of.insert(tree, u);
+        }
+        let mut comment_pairs: Vec<(DocNodeId, DocNodeId)> = Vec::new();
+        for (tree, target) in comments {
+            let root = gb.forest().root(tree);
+            let root_node = gb.node_of_frag(root).expect("registered");
+            let target_node = gb.node_of_frag(target).expect("registered");
+            gb.add_edge(root_node, target_node, EdgeKind::CommentsOn, 1.0);
+            comment_pairs.push((root, target));
+        }
+        for (i, t) in tags.iter().enumerate() {
+            let tag_node = tag_nodes[i];
+            let subject_node = match t.subject {
+                TagSubject::Frag(f) => gb.node_of_frag(f).expect("registered"),
+                TagSubject::Tag(b) => tag_nodes[b.index()],
+            };
+            gb.add_edge(tag_node, subject_node, EdgeKind::HasSubject, 1.0);
+            gb.add_edge(tag_node, user_nodes[t.author.index()], EdgeKind::HasAuthor, 1.0);
+        }
+        let graph = gb.build();
+
+        // Connection index (seeker-independent).
+        let tag_inputs: Vec<TagInput> = tags
+            .iter()
+            .map(|t| TagInput {
+                subject: t.subject,
+                author_node: user_nodes[t.author.index()],
+                keyword: t.keyword,
+            })
+            .collect();
+        let conn_index = ConnectionIndex::build(graph.forest(), &tag_inputs, &comment_pairs, |d| {
+            graph.node_of_frag(d).expect("registered")
+        });
+
+        // Keyword ↔ URI bridge (entity mentions are interned in both).
+        let mut kw_to_uri: HashMap<KeywordId, UriId> = HashMap::new();
+        let mut uri_to_kw: HashMap<UriId, KeywordId> = HashMap::new();
+        for (kw, text, _) in vocabulary.iter() {
+            if let Some(uri) = rdf.dictionary().get(text) {
+                kw_to_uri.insert(kw, uri);
+                uri_to_kw.insert(uri, kw);
+            }
+        }
+
+        // Component → keyword sets (the §5.2 pruning test "each keyword is
+        // present in every component").
+        let mut comp_keywords: Vec<HashSet<KeywordId>> =
+            vec![HashSet::new(); graph.components().len()];
+        for idx in 0..graph.forest().num_nodes() {
+            let d = DocNodeId(idx as u32);
+            let node = graph.node_of_frag(d).expect("registered");
+            let comp = graph.components().component_of(node);
+            comp_keywords[comp.index()].extend(conn_index.keywords_of(d));
+        }
+
+        let tag_records: Vec<TagRecord> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TagRecord {
+                node: tag_nodes[i],
+                subject: t.subject,
+                author: t.author,
+                keyword: t.keyword,
+            })
+            .collect();
+
+        S3Instance {
+            language,
+            vocabulary,
+            rdf,
+            graph,
+            user_nodes,
+            tag_records,
+            poster_of,
+            comment_pairs,
+            conn_index,
+            comp_keywords,
+            kw_to_uri,
+            uri_to_kw,
+            ext_cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+fn voc_user() -> UriId {
+    s3_rdf::vocabulary::S3_USER
+}
+
+/// A frozen tag.
+#[derive(Debug, Clone, Copy)]
+pub struct TagRecord {
+    /// The tag's graph node.
+    pub node: NodeId,
+    /// What it annotates.
+    pub subject: TagSubject,
+    /// Its author.
+    pub author: UserId,
+    /// Its keyword (`None` = endorsement).
+    pub keyword: Option<KeywordId>,
+}
+
+/// Frozen, query-ready S3 instance.
+#[derive(Debug)]
+pub struct S3Instance {
+    language: Language,
+    vocabulary: Vocabulary,
+    rdf: TripleStore,
+    graph: SocialGraph,
+    user_nodes: Vec<NodeId>,
+    tag_records: Vec<TagRecord>,
+    poster_of: HashMap<TreeId, UserId>,
+    comment_pairs: Vec<(DocNodeId, DocNodeId)>,
+    conn_index: ConnectionIndex,
+    comp_keywords: Vec<HashSet<KeywordId>>,
+    kw_to_uri: HashMap<KeywordId, UriId>,
+    uri_to_kw: HashMap<UriId, KeywordId>,
+    ext_cache: Mutex<HashMap<KeywordId, Arc<Vec<KeywordId>>>>,
+}
+
+impl S3Instance {
+    /// The corpus vocabulary (keyword texts and frequencies).
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// The saturated RDF store.
+    pub fn rdf(&self) -> &TripleStore {
+        &self.rdf
+    }
+
+    /// The network graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The document forest.
+    pub fn forest(&self) -> &Forest {
+        self.graph.forest()
+    }
+
+    /// The `con(d,k)` index.
+    pub fn connections(&self) -> &ConnectionIndex {
+        &self.conn_index
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.user_nodes.len()
+    }
+
+    /// Number of tags.
+    pub fn num_tags(&self) -> usize {
+        self.tag_records.len()
+    }
+
+    /// Number of documents (trees).
+    pub fn num_documents(&self) -> usize {
+        self.forest().num_trees()
+    }
+
+    /// The graph node of a user.
+    pub fn user_node(&self, u: UserId) -> NodeId {
+        self.user_nodes[u.index()]
+    }
+
+    /// The frozen tags.
+    pub fn tags(&self) -> &[TagRecord] {
+        &self.tag_records
+    }
+
+    /// The poster of a document, if recorded.
+    pub fn poster_of(&self, tree: TreeId) -> Option<UserId> {
+        self.poster_of.get(&tree).copied()
+    }
+
+    /// The `(comment root, commented fragment)` pairs.
+    pub fn comment_pairs(&self) -> &[(DocNodeId, DocNodeId)] {
+        &self.comment_pairs
+    }
+
+    /// Keywords a component is connected to (the §5.2 pruning sets).
+    pub fn component_keywords(&self, comp: CompId) -> &HashSet<KeywordId> {
+        &self.comp_keywords[comp.index()]
+    }
+
+    /// `Ext(k)` at the keyword level (Definition 2.1): the keyword itself
+    /// plus every specialization/instance from the saturated RDF graph that
+    /// also exists as a corpus keyword. Cached.
+    pub fn expand_keyword(&self, k: KeywordId) -> Arc<Vec<KeywordId>> {
+        if let Some(hit) = self.ext_cache.lock().get(&k) {
+            return Arc::clone(hit);
+        }
+        let mut out = vec![k];
+        if let Some(&uri) = self.kw_to_uri.get(&k) {
+            for b in self.rdf.extension(uri) {
+                if b == uri {
+                    continue;
+                }
+                if let Some(&kw) = self.uri_to_kw.get(&b) {
+                    if !out.contains(&kw) {
+                        out.push(kw);
+                    }
+                }
+            }
+        }
+        let arc = Arc::new(out);
+        self.ext_cache.lock().insert(k, Arc::clone(&arc));
+        arc
+    }
+
+    /// The corpus language.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    /// Convenience: analyze a query string into keywords of this instance's
+    /// vocabulary (unknown words yield no keyword — they cannot match).
+    pub fn query_keywords(&self, text: &str) -> Vec<KeywordId> {
+        // Re-tokenize with a throwaway analyzer sharing no state, then map
+        // through the frozen vocabulary.
+        let mut scratch = Analyzer::new(self.language);
+        let mut out = Vec::new();
+        for kw in scratch.analyze_query(text) {
+            let t = scratch.vocabulary().text(kw).to_string();
+            if let Some(id) = self.vocabulary.get(&t) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Run an S3k search (see [`crate::search`]).
+    pub fn search(
+        &self,
+        query: &crate::search::Query,
+        config: &crate::search::SearchConfig,
+    ) -> crate::search::TopKResult {
+        crate::search::S3kEngine::new(self, config.clone()).run(query)
+    }
+
+    /// Instance statistics in the spirit of the paper's Figure 4.
+    pub fn stats(&self) -> InstanceStats {
+        let forest = self.forest();
+        InstanceStats {
+            users: self.num_users(),
+            social_edges: self
+                .graph
+                .nodes()
+                .filter(|n| self.graph.kind(*n).is_user())
+                .map(|n| {
+                    self.graph
+                        .out_edges(n)
+                        .filter(|(_, k, _)| *k == EdgeKind::Social)
+                        .count()
+                })
+                .sum(),
+            documents: forest.num_trees(),
+            fragments_non_root: forest.num_nodes() - forest.num_trees(),
+            tags: self.num_tags(),
+            keywords: forest.total_keywords(),
+            distinct_keywords: self.vocabulary.len(),
+            nodes: self.graph.num_nodes(),
+            edges: self.graph.num_edges(),
+            connections: self.conn_index.len(),
+        }
+    }
+}
+
+/// Counters mirroring the paper's Figure 4 statistics tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Number of users.
+    pub users: usize,
+    /// Number of directed `S3:social` edges.
+    pub social_edges: usize,
+    /// Number of documents (trees).
+    pub documents: usize,
+    /// Non-root fragments.
+    pub fragments_non_root: usize,
+    /// Number of tags.
+    pub tags: usize,
+    /// Total keyword occurrences in document content.
+    pub keywords: usize,
+    /// Distinct keywords in the vocabulary.
+    pub distinct_keywords: usize,
+    /// Graph nodes (users + fragments + tags).
+    pub nodes: usize,
+    /// Directed network edges (inverses included).
+    pub edges: usize,
+    /// `con` tuples in the index.
+    pub connections: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> S3Instance {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        b.add_social_edge(u1, u0, 1.0);
+        let kws = b.analyze("university degrees are great");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws);
+        let t = b.add_document(doc, Some(u0));
+        let root = b.doc_root(t);
+        let kw = b.analyzer_mut().vocabulary_mut().intern("univers");
+        b.add_tag(TagSubject::Frag(root), u1, Some(kw));
+        b.build()
+    }
+
+    #[test]
+    fn build_wires_everything() {
+        let inst = tiny();
+        assert_eq!(inst.num_users(), 2);
+        assert_eq!(inst.num_documents(), 1);
+        assert_eq!(inst.num_tags(), 1);
+        let stats = inst.stats();
+        assert_eq!(stats.users, 2);
+        assert_eq!(stats.social_edges, 1);
+        assert!(stats.edges >= 1 + 2 + 4); // social + postedBy± + tag edges±
+        assert!(stats.connections > 0);
+    }
+
+    #[test]
+    fn component_keywords_cover_doc_keywords() {
+        let inst = tiny();
+        let root = inst.forest().root(s3_doc::TreeId(0));
+        let node = inst.graph().node_of_frag(root).unwrap();
+        let comp = inst.graph().components().component_of(node);
+        let kws = inst.component_keywords(comp);
+        let univers = inst.vocabulary().get("univers").unwrap();
+        assert!(kws.contains(&univers));
+    }
+
+    #[test]
+    fn expand_keyword_without_ontology_is_identity() {
+        let inst = tiny();
+        let k = inst.vocabulary().get("great").unwrap();
+        assert_eq!(inst.expand_keyword(k).as_slice(), &[k]);
+    }
+
+    #[test]
+    fn expand_keyword_with_ontology() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u = b.add_user();
+        // Content mentions the entity URI "ex:MS" and the word "degree".
+        let ms = b.intern_entity_keyword("ex:MS");
+        let degree = b.intern_entity_keyword("ex:Degree");
+        let (ms_uri, deg_uri) = {
+            let d = b.rdf_mut().dictionary_mut();
+            (d.intern("ex:MS"), d.intern("ex:Degree"))
+        };
+        b.rdf_mut().insert(
+            ms_uri,
+            s3_rdf::vocabulary::RDFS_SUBCLASS_OF,
+            s3_rdf::Term::Uri(deg_uri),
+            1.0,
+        );
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), vec![ms]);
+        b.add_document(doc, Some(u));
+        let inst = b.build();
+        let ext = inst.expand_keyword(degree);
+        assert!(ext.contains(&ms), "Ext(degree) must contain the M.S. specialization");
+        assert_eq!(ext[0], degree);
+    }
+
+    #[test]
+    fn rdf_social_triples_become_edges() {
+        // §2.2 extensibility: a workedWith ≺sp S3:social triple between
+        // URI-registered users materializes as a graph edge at build.
+        let mut b = InstanceBuilder::new(Language::English);
+        let ana = b.add_user_with_uri("ex:ana");
+        let bob = b.add_user_with_uri("ex:bob");
+        {
+            let rdf = b.rdf_mut();
+            let ww = rdf.dictionary_mut().intern("ex:workedWith");
+            rdf.insert(
+                ww,
+                s3_rdf::vocabulary::RDFS_SUBPROPERTY_OF,
+                s3_rdf::Term::Uri(s3_rdf::vocabulary::S3_SOCIAL),
+                1.0,
+            );
+            let (a, b_) =
+                (rdf.dictionary().get("ex:ana").unwrap(), rdf.dictionary().get("ex:bob").unwrap());
+            rdf.insert(a, ww, s3_rdf::Term::Uri(b_), 1.0);
+        }
+        let inst = b.build();
+        let ana_node = inst.user_node(ana);
+        let bob_node = inst.user_node(bob);
+        let found = inst
+            .graph()
+            .out_edges(ana_node)
+            .any(|(t, k, w)| t == bob_node && k == EdgeKind::Social && w == 1.0);
+        assert!(found, "derived social edge missing");
+    }
+
+    #[test]
+    fn explicit_edges_take_precedence_over_rdf_duplicates() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let ana = b.add_user_with_uri("ex:ana");
+        let bob = b.add_user_with_uri("ex:bob");
+        b.add_social_edge(ana, bob, 0.4);
+        {
+            let rdf = b.rdf_mut();
+            let (a, b_) =
+                (rdf.dictionary().get("ex:ana").unwrap(), rdf.dictionary().get("ex:bob").unwrap());
+            rdf.insert(a, s3_rdf::vocabulary::S3_SOCIAL, s3_rdf::Term::Uri(b_), 0.9);
+        }
+        let inst = b.build();
+        let ana_node = inst.user_node(ana);
+        let social: Vec<f64> = inst
+            .graph()
+            .out_edges(ana_node)
+            .filter(|(_, k, _)| *k == EdgeKind::Social)
+            .map(|(_, _, w)| w)
+            .collect();
+        assert_eq!(social, vec![0.4], "the explicit edge wins; no duplicate");
+    }
+
+    #[test]
+    fn query_keywords_map_through_frozen_vocabulary() {
+        let inst = tiny();
+        let kws = inst.query_keywords("universities");
+        assert_eq!(kws.len(), 1);
+        assert_eq!(inst.vocabulary().text(kws[0]), "univers");
+        assert!(inst.query_keywords("nonexistentword").is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Brute-force reference implementation, used by tests to certify S3k
+//! (Theorems 4.1–4.3) on small instances.
+//!
+//! The oracle ignores every optimization: it converges the proximity
+//! engine until the attenuation bound drops below a requested precision,
+//! then scores **every** document in the instance and applies Definition
+//! 3.2 greedily (best score first, skipping vertical neighbors of already
+//! chosen documents). Exponentially safer but linearly slower than S3k —
+//! never use it outside tests and benchmarks.
+
+use crate::instance::S3Instance;
+use crate::score::{S3kScore, ScoreModel};
+use crate::search::Query;
+use s3_doc::DocNodeId;
+use s3_graph::{NodeId, Propagation};
+use s3_text::KeywordId;
+use std::collections::{HashMap, HashSet};
+
+/// A scored document from the oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleHit {
+    /// The document/fragment.
+    pub doc: DocNodeId,
+    /// Its score, exact up to the requested precision.
+    pub score: f64,
+}
+
+/// Exhaustive top-k per Definition 3.2.
+pub fn oracle_topk(
+    instance: &S3Instance,
+    query: &Query,
+    score: &S3kScore,
+    precision: f64,
+) -> Vec<OracleHit> {
+    let prox = converged_proximity(instance, query.seeker, score, precision);
+    let mut scored = score_all(instance, &query.keywords, score, |n| prox[n.index()]);
+    scored.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc))
+    });
+    // Greedy selection skipping vertical neighbors (Definition 3.2).
+    let forest = instance.forest();
+    let mut out: Vec<OracleHit> = Vec::new();
+    for h in scored {
+        if out.len() == query.k {
+            break;
+        }
+        if h.score <= 0.0 {
+            break;
+        }
+        if out.iter().all(|s| !forest.is_vertical_neighbor(s.doc, h.doc)) {
+            out.push(h);
+        }
+    }
+    out
+}
+
+/// Converge `prox≤n` until `B>n < precision`; returns per-node proximity.
+pub fn converged_proximity(
+    instance: &S3Instance,
+    seeker: crate::ids::UserId,
+    score: &S3kScore,
+    precision: f64,
+) -> Vec<f64> {
+    let graph = instance.graph();
+    let mut prop = Propagation::new(graph, score.gamma(), instance.user_node(seeker));
+    let mut guard = 0u32;
+    while prop.bound_beyond() > precision && guard < 100_000 {
+        prop.step();
+        guard += 1;
+    }
+    (0..graph.num_nodes()).map(|i| prop.prox_leq(NodeId(i as u32))).collect()
+}
+
+/// Score every document node under a proximity function, with the same
+/// `Ext`-union + tuple-dedup semantics as the engine.
+pub fn score_all(
+    instance: &S3Instance,
+    keywords: &[KeywordId],
+    score: &S3kScore,
+    mut prox: impl FnMut(NodeId) -> f64,
+) -> Vec<OracleHit> {
+    let mut kws: Vec<KeywordId> = keywords.to_vec();
+    kws.sort_unstable();
+    kws.dedup();
+    let exts: Vec<_> = kws.iter().map(|&k| instance.expand_keyword(k)).collect();
+    let index = instance.connections();
+    let forest = instance.forest();
+    let mut out = Vec::new();
+    for idx in 0..forest.num_nodes() {
+        let d = DocNodeId(idx as u32);
+        let mut doc_score = 1.0f64;
+        let mut ok = true;
+        for ext in &exts {
+            let mut seen: HashSet<(crate::connections::ConnType, DocNodeId, NodeId)> =
+                HashSet::new();
+            let mut agg: HashMap<NodeId, f64> = HashMap::new();
+            for &k in ext.iter() {
+                for c in index.connections(d, k) {
+                    if seen.insert((c.ctype, c.frag, c.src)) {
+                        *agg.entry(c.src).or_insert(0.0) +=
+                            score.structural_weight(c.ctype, c.depth);
+                    }
+                }
+            }
+            if agg.is_empty() {
+                ok = false;
+                break;
+            }
+            let part: f64 = agg.iter().map(|(&src, &coef)| coef * prox(src)).sum();
+            doc_score *= part;
+        }
+        if ok {
+            out.push(OracleHit { doc: d, score: doc_score });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::search::{Query, SearchConfig, StopReason};
+    use s3_doc::DocBuilder;
+    use s3_text::Language;
+
+    fn small_instance() -> (S3Instance, crate::ids::UserId, Vec<KeywordId>) {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        let u2 = b.add_user();
+        b.add_social_edge(u0, u1, 0.9);
+        b.add_social_edge(u1, u2, 0.4);
+        b.add_social_edge(u2, u0, 0.6);
+        let mut kws = Vec::new();
+        for (i, text) in [
+            "university degrees open doors",
+            "a degree from a good university",
+            "doors and windows",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let content = b.analyze(text);
+            kws.push(content.clone());
+            let mut doc = DocBuilder::new("post");
+            let t = doc.child(doc.root(), "text");
+            doc.set_content(t, content);
+            let poster = crate::ids::UserId((i % 3) as u32);
+            b.add_document(doc, Some(poster));
+        }
+        let inst = b.build();
+        let degre = inst.vocabulary().get("degre").unwrap();
+        (inst, u0, vec![degre])
+    }
+
+    #[test]
+    fn oracle_agrees_with_engine_on_small_instance() {
+        let (inst, seeker, kws) = small_instance();
+        let q = Query::new(seeker, kws, 3);
+        let cfg = SearchConfig::default();
+        let engine_res = inst.search(&q, &cfg);
+        assert_eq!(engine_res.stats.stop, StopReason::Converged);
+        let oracle_res = oracle_topk(&inst, &q, &cfg.score, 1e-12);
+        assert_eq!(engine_res.hits.len(), oracle_res.len());
+        for (h, o) in engine_res.hits.iter().zip(&oracle_res) {
+            assert_eq!(h.doc, o.doc, "engine {:?} oracle {:?}", engine_res.hits, oracle_res);
+            assert!(h.lower - 1e-6 <= o.score && o.score <= h.upper + 1e-6);
+        }
+    }
+
+    #[test]
+    fn oracle_score_positive_only_with_all_keywords() {
+        let (inst, seeker, _) = small_instance();
+        let univers = inst.vocabulary().get("univers").unwrap();
+        let door = inst.vocabulary().get("door").unwrap();
+        let prox = converged_proximity(&inst, seeker, &S3kScore::default(), 1e-12);
+        let scored = score_all(&inst, &[univers, door], &S3kScore::default(), |n| {
+            prox[n.index()]
+        });
+        // Only doc 0 ("university degrees open doors") has both.
+        assert!(!scored.is_empty());
+        for h in &scored {
+            let node = inst.graph().node_of_frag(h.doc).unwrap();
+            let comp = inst.graph().components().component_of(node);
+            let ks = inst.component_keywords(comp);
+            assert!(ks.contains(&univers) && ks.contains(&door));
+        }
+    }
+}

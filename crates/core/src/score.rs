@@ -1,0 +1,291 @@
+//! Score model: the generic interface of §3.3 and the concrete S3k score of
+//! §3.4 / Definition 3.5.
+//!
+//! The generic score combines, for each query keyword, the contributions of
+//! the document's connections — each weighted by the structural importance
+//! of its fragment (`pos(d, f)`) and the social proximity of its source —
+//! and then aggregates across keywords (`⊕gen`). The query-answering
+//! algorithm only needs the *feasibility properties* of §3.3, which in this
+//! implementation are guaranteed structurally:
+//!
+//! 1. **Relationship with path proximity** — proximity enters the score
+//!    only through per-source values, which the propagation engine updates
+//!    with its `Uprox` (the per-step accumulation);
+//! 2. **Long-path attenuation** — `B>n = M_n/γ^{n+1}` from the engine;
+//! 3. **Score soundness** — [`ScoreModel::keyword_part`] is monotone in
+//!    every proximity and continuous;
+//! 4. **Score convergence** — `Bscore(q, B) = ⊕gen(Smax(k)·B)` which tends
+//!    to 0 with B (used as the S3k threshold).
+
+use crate::connections::{ConnType, Connection};
+
+/// A (structural weight, social proximity) pair for one connection: the
+/// materialized form of `(type, pos(d,f), prox(u, src))`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnScorePart {
+    /// `η^{|pos(d,f)|}`-style structural weight (model-dependent).
+    pub structural: f64,
+    /// `prox(u, src)` or a bound on it.
+    pub proximity: f64,
+}
+
+/// The generic score interface (§3.3).
+///
+/// The S3k engine accepts any implementation; the §3.3 feasibility
+/// properties are guaranteed structurally as long as implementations keep
+/// the contract below:
+///
+/// * the per-keyword component is the **linear form**
+///   `Σ structural_weight(type, |pos|) · prox(src)` (this is what lets the
+///   engine maintain certified lower/upper bounds by substituting bounded
+///   proximities — score soundness, property 3);
+/// * [`ScoreModel::combine_keywords`] must be monotone in every component
+///   and satisfy `combine(0,…,0) = 0` (score convergence, property 4: the
+///   engine's threshold is `combine(SmaxExt(k)·B>n)`).
+pub trait ScoreModel: Send + Sync {
+    /// The proximity damping factor γ (> 1) used by the propagation.
+    fn gamma(&self) -> f64;
+
+    /// Structural weight of one connection: the model's function of the
+    /// connection type and `|pos(d, f)|`.
+    fn structural_weight(&self, ctype: ConnType, depth: u8) -> f64;
+
+    /// Per-keyword aggregation: combine the connection parts into the
+    /// keyword's score component (Σ structural·prox for S3k).
+    fn keyword_part(&self, parts: &[ConnScorePart]) -> f64 {
+        parts.iter().map(|p| p.structural * p.proximity).sum()
+    }
+
+    /// Cross-keyword aggregation `⊕gen` (product for S3k). `parts` has one
+    /// entry per query keyword.
+    fn combine_keywords(&self, parts: &[f64]) -> f64;
+
+    /// Conjunctive (`true`, S3k's product: a document missing a keyword
+    /// scores 0) or disjunctive (`false`, e.g. a sum `⊕gen`) semantics.
+    /// Drives candidate filtering and the empty-extension early exit.
+    fn requires_all_keywords(&self) -> bool {
+        true
+    }
+
+    /// Convenience: score a document's connection lists (one list per query
+    /// keyword) under a per-source proximity function.
+    fn score_with(
+        &self,
+        keyword_conns: &[Vec<Connection>],
+        mut prox: impl FnMut(s3_graph::NodeId) -> f64,
+    ) -> f64 {
+        let mut parts = Vec::with_capacity(keyword_conns.len());
+        let mut scratch: Vec<ConnScorePart> = Vec::new();
+        for conns in keyword_conns {
+            scratch.clear();
+            scratch.extend(conns.iter().map(|c| ConnScorePart {
+                structural: self.structural_weight(c.ctype, c.depth),
+                proximity: prox(c.src),
+            }));
+            parts.push(self.keyword_part(&scratch));
+        }
+        self.combine_keywords(&parts)
+    }
+}
+
+/// The concrete S3k score (Definition 3.5):
+///
+/// ```text
+/// score(d, (u, φ)) = Π_{k∈φ} Σ_{(type,f,src) ∈ con(d,k)} η^{|pos(d,f)|} · prox(u, src)
+/// ```
+///
+/// with damping factor `η < 1`; the proximity is the §3.4 all-paths sum
+/// with damping `γ > 1`. "If we ignore the social aspects (prox = 1), ⊕gen
+/// gives the best score to the lowest common ancestor of the nodes
+/// containing the query keywords" — the XML-IR behaviour (see tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct S3kScore {
+    /// Social damping factor γ > 1 (paper sweeps 1.25–4).
+    pub gamma: f64,
+    /// Structural damping factor η < 1.
+    pub eta: f64,
+}
+
+impl S3kScore {
+    /// New score; panics if the parameters are out of range.
+    pub fn new(gamma: f64, eta: f64) -> Self {
+        assert!(gamma > 1.0, "γ must exceed 1");
+        assert!(eta > 0.0 && eta < 1.0, "η must be in (0,1)");
+        S3kScore { gamma, eta }
+    }
+}
+
+impl Default for S3kScore {
+    /// γ = 1.5 (the paper's middle setting), η = 0.5.
+    fn default() -> Self {
+        S3kScore { gamma: 1.5, eta: 0.5 }
+    }
+}
+
+impl ScoreModel for S3kScore {
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    fn structural_weight(&self, _ctype: ConnType, depth: u8) -> f64 {
+        self.eta.powi(depth as i32)
+    }
+
+    fn combine_keywords(&self, parts: &[f64]) -> f64 {
+        parts.iter().product()
+    }
+}
+
+/// A connection-type-weighted variant of the S3k score: "different types of
+/// connections may not be accounted for equally" (§3.4). A direct
+/// occurrence, a human tag and a comment mention each receive their own
+/// multiplier on top of the structural damping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeWeightedScore {
+    /// Social damping (γ > 1).
+    pub gamma: f64,
+    /// Structural damping (η < 1).
+    pub eta: f64,
+    /// Multiplier for `S3:contains` connections.
+    pub contains_weight: f64,
+    /// Multiplier for `S3:relatedTo` (tag) connections.
+    pub related_weight: f64,
+    /// Multiplier for `S3:commentsOn` connections.
+    pub comments_weight: f64,
+}
+
+impl Default for TypeWeightedScore {
+    /// Direct content counts full, tags 80%, comments 60%.
+    fn default() -> Self {
+        TypeWeightedScore {
+            gamma: 1.5,
+            eta: 0.5,
+            contains_weight: 1.0,
+            related_weight: 0.8,
+            comments_weight: 0.6,
+        }
+    }
+}
+
+impl ScoreModel for TypeWeightedScore {
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    fn structural_weight(&self, ctype: ConnType, depth: u8) -> f64 {
+        let type_w = match ctype {
+            ConnType::Contains => self.contains_weight,
+            ConnType::RelatedTo => self.related_weight,
+            ConnType::CommentsOn => self.comments_weight,
+        };
+        type_w * self.eta.powi(depth as i32)
+    }
+
+    fn combine_keywords(&self, parts: &[f64]) -> f64 {
+        parts.iter().product()
+    }
+}
+
+/// A disjunctive (`OR`) variant: keyword components are *summed*, so
+/// documents matching any query keyword qualify. Demonstrates the `⊕gen`
+/// flexibility §3.4 calls out ("there are many possible ways to define
+/// ⊕gen and ⊕path, depending on the application") while keeping all four
+/// feasibility properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnyKeywordScore {
+    /// Social damping (γ > 1).
+    pub gamma: f64,
+    /// Structural damping (η < 1).
+    pub eta: f64,
+}
+
+impl Default for AnyKeywordScore {
+    fn default() -> Self {
+        AnyKeywordScore { gamma: 1.5, eta: 0.5 }
+    }
+}
+
+impl ScoreModel for AnyKeywordScore {
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    fn structural_weight(&self, _ctype: ConnType, depth: u8) -> f64 {
+        self.eta.powi(depth as i32)
+    }
+
+    fn combine_keywords(&self, parts: &[f64]) -> f64 {
+        parts.iter().sum()
+    }
+
+    fn requires_all_keywords(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_graph::NodeId;
+
+    fn conn(depth: u8, src: u32) -> Connection {
+        Connection {
+            ctype: ConnType::Contains,
+            frag: s3_doc::DocNodeId(0),
+            depth,
+            src: NodeId(src),
+        }
+    }
+
+    #[test]
+    fn definition_3_5_formula() {
+        let s = S3kScore::new(2.0, 0.5);
+        // One keyword, two connections at depths 0 and 2 with prox 1 and 0.5.
+        let conns = vec![vec![conn(0, 1), conn(2, 2)]];
+        let score = s.score_with(&conns, |n| if n == NodeId(1) { 1.0 } else { 0.5 });
+        let expected = 0.5f64.powi(0) * 1.0 + 0.5f64.powi(2) * 0.5;
+        assert!((score - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_over_keywords_requires_all() {
+        let s = S3kScore::default();
+        let conns = vec![vec![conn(0, 1)], vec![]];
+        // Missing second keyword ⇒ empty sum ⇒ product is 0 (AND semantics).
+        assert_eq!(s.score_with(&conns, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_proximity() {
+        let s = S3kScore::default();
+        let conns = vec![vec![conn(1, 1), conn(3, 2)], vec![conn(0, 3)]];
+        let low = s.score_with(&conns, |_| 0.3);
+        let high = s.score_with(&conns, |_| 0.6);
+        assert!(high > low, "score soundness: monotone in prox");
+    }
+
+    #[test]
+    fn lca_behaviour_without_social() {
+        // With prox ≡ 1, the LCA of two keyword occurrences beats both any
+        // strict ancestor of the LCA and unrelated nodes — the XML-IR view.
+        let s = S3kScore::new(1.5, 0.5);
+        // d = LCA: keyword 1 at depth 1, keyword 2 at depth 1.
+        let lca = vec![vec![conn(1, 1)], vec![conn(1, 1)]];
+        // d = parent of LCA: both at depth 2.
+        let parent = vec![vec![conn(2, 1)], vec![conn(2, 1)]];
+        let one = |_: NodeId| 1.0;
+        assert!(s.score_with(&lca, one) > s.score_with(&parent, one));
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must exceed 1")]
+    fn rejects_bad_gamma() {
+        S3kScore::new(1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "η must be in (0,1)")]
+    fn rejects_bad_eta() {
+        S3kScore::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,695 @@
+//! The S3k query-answering algorithm (paper §4).
+//!
+//! The instance is explored from the seeker outwards, one social-path hop
+//! per iteration (Algorithm 3 / `ExploreStep`, implemented by
+//! `s3_graph::Propagation` in the paper's optimized `borderProx` form).
+//! Candidate documents accumulate a score interval `[lower, upper]`:
+//!
+//! * `lower` uses the bounded proximity `prox≤n` of the paths seen so far —
+//!   a candidate "can only get closer to the seeker";
+//! * `upper` replaces each source proximity with
+//!   `min(1, prox≤n + B>n)`, where `B>n` is the long-path attenuation bound.
+//!
+//! A `threshold` bounds the score of every **undiscovered** document: a
+//! document is discovered as soon as any node of its content component — or
+//! any author of a tag inside it — carries border mass, so an undiscovered
+//! document's sources all have `prox≤n = 0`, giving
+//! `score ≤ ⊕gen(SmaxExt(k)·B>n)` (DESIGN.md §3.4). Once the frontier stops
+//! growing, no undiscovered document can ever have positive score and the
+//! threshold collapses to 0.
+//!
+//! The search stops (Algorithm 2 / `StopCondition`) when the greedy,
+//! vertical-neighbor-respecting top-k selection is provably final: every
+//! unselected candidate either cannot beat the selection's worst lower
+//! bound, or is dominated by a selected vertical neighbor (Definition 3.2
+//! forbids a fragment and its ancestor from co-existing in an answer), and
+//! the threshold cannot beat the selection either. Any-time termination
+//! (time budget / iteration cap) returns the current best-effort selection,
+//! as in §4.1 "Any-time termination".
+
+use crate::ids::UserId;
+use crate::instance::S3Instance;
+use crate::score::{S3kScore, ScoreModel};
+use s3_doc::DocNodeId;
+use s3_graph::{CompId, EdgeKind, NodeId, NodeKind, Propagation};
+use s3_text::KeywordId;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A keyword query `(u, φ)` with a result size `k` (Definition 3.1).
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The seeker.
+    pub seeker: UserId,
+    /// The query keywords `φ` (duplicates are ignored).
+    pub keywords: Vec<KeywordId>,
+    /// Number of results requested.
+    pub k: usize,
+}
+
+impl Query {
+    /// Construct a query.
+    pub fn new(seeker: UserId, keywords: Vec<KeywordId>, k: usize) -> Self {
+        Query { seeker, keywords, k }
+    }
+}
+
+/// Search tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// The concrete score (γ for proximity damping, η for structure).
+    pub score: S3kScore,
+    /// Hard cap on explore iterations (any-time safeguard).
+    pub max_iterations: u32,
+    /// Optional wall-clock budget (any-time termination, §4.1).
+    pub time_budget: Option<Duration>,
+    /// Worker threads for the explore step (1 = sequential).
+    pub threads: usize,
+    /// Enable the §5.2 component-keyword pruning.
+    pub component_pruning: bool,
+    /// Expand query keywords through `Ext` (Definition 2.1). Disabling
+    /// reduces S3k to keyword-only matching — used by the Figure 8
+    /// "semantic reachability" measurement.
+    pub semantic_expansion: bool,
+    /// Slack used to break ties between converging bounds (the paper's
+    /// finite-precision de-facto tie-breaking).
+    pub epsilon: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            score: S3kScore::default(),
+            max_iterations: 256,
+            time_budget: None,
+            threads: 1,
+            component_pruning: true,
+            semantic_expansion: true,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// Why the search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum StopReason {
+    /// The stop condition held: the returned answer is provably a top-k
+    /// answer (Theorem 4.1).
+    #[default]
+    Converged,
+    /// No document can match every query keyword (empty answer is exact).
+    NoMatch,
+    /// Iteration cap hit: best-effort answer (any-time mode).
+    MaxIterations,
+    /// Time budget exhausted: best-effort answer (any-time mode).
+    TimeBudget,
+}
+
+/// One result document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// The returned fragment (identified by the URI of its root, §2.3).
+    pub doc: DocNodeId,
+    /// Certified lower bound on its score.
+    pub lower: f64,
+    /// Certified upper bound on its score.
+    pub upper: f64,
+}
+
+/// Search outcome.
+#[derive(Debug, Clone)]
+pub struct TopKResult {
+    /// The top-k documents, best first.
+    pub hits: Vec<Hit>,
+    /// Every candidate document examined (used by the §5.4 qualitative
+    /// measures — "candidates reached by our algorithm").
+    pub candidate_docs: Vec<DocNodeId>,
+    /// Diagnostics.
+    pub stats: SearchStats,
+}
+
+/// Search diagnostics (used by the benchmark harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Explore iterations executed.
+    pub iterations: u32,
+    /// Candidate documents ever considered.
+    pub candidates: usize,
+    /// Documents rejected by the per-document keyword check.
+    pub rejected: usize,
+    /// Content components processed.
+    pub components: usize,
+    /// Components skipped by the keyword pruning test.
+    pub pruned_components: usize,
+    /// Why the search ended.
+    pub stop: StopReason,
+}
+
+
+#[derive(Debug)]
+struct Candidate {
+    doc: DocNodeId,
+    /// Per query keyword: deduplicated `(source, structural coefficient)`
+    /// pairs aggregated over `Ext(k)` (DESIGN.md §3.3).
+    kw_sources: Vec<Vec<(NodeId, f64)>>,
+    lower: f64,
+    upper: f64,
+}
+
+/// Reusable S3k engine: holds the per-(instance, score) precomputations
+/// (the `Smax` table). Build once, run many queries.
+///
+/// The engine is generic over the score model (the paper's §3.3 "generic
+/// score"): [`S3kEngine::new`] uses the concrete S3k score from the
+/// configuration, [`S3kEngine::with_model`] accepts any [`ScoreModel`].
+pub struct S3kEngine<'i, S: ScoreModel = S3kScore> {
+    instance: &'i S3Instance,
+    config: SearchConfig,
+    model: S,
+    smax: HashMap<KeywordId, f64>,
+}
+
+impl<'i> S3kEngine<'i> {
+    /// Precompute the `Smax` table for this score's structural damping.
+    pub fn new(instance: &'i S3Instance, config: SearchConfig) -> Self {
+        let model = config.score;
+        S3kEngine::with_model(instance, config, model)
+    }
+}
+
+impl<'i, S: ScoreModel> S3kEngine<'i, S> {
+    /// Build an engine around an arbitrary feasible score model; the
+    /// `config.score` field is ignored in favor of `model`.
+    pub fn with_model(instance: &'i S3Instance, config: SearchConfig, model: S) -> Self {
+        let smax =
+            instance.connections().smax_table_with(|t, d| model.structural_weight(t, d));
+        S3kEngine { instance, config, model, smax }
+    }
+
+    /// The score model driving this engine.
+    pub fn model(&self) -> &S {
+        &self.model
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Answer one query.
+    pub fn run(&self, query: &Query) -> TopKResult {
+        let started = Instant::now();
+        let inst = self.instance;
+        let graph = inst.graph();
+
+        // Deduplicate φ and expand each keyword (Definition 2.1).
+        let mut keywords: Vec<KeywordId> = query.keywords.clone();
+        keywords.sort_unstable();
+        keywords.dedup();
+        let exts: Vec<Arc<Vec<KeywordId>>> = keywords
+            .iter()
+            .map(|&k| {
+                if self.config.semantic_expansion {
+                    inst.expand_keyword(k)
+                } else {
+                    Arc::new(vec![k])
+                }
+            })
+            .collect();
+
+        let mut stats = SearchStats::default();
+
+        // SmaxExt(k) = Σ_{k' ∈ Ext(k)} Smax(k'): threshold coefficients.
+        let smax_ext: Vec<f64> = exts
+            .iter()
+            .map(|ext| ext.iter().map(|k| self.smax.get(k).copied().unwrap_or(0.0)).sum())
+            .collect();
+        let unanswerable = if self.model.requires_all_keywords() {
+            smax_ext.iter().any(|&s| s <= 0.0)
+        } else {
+            smax_ext.iter().all(|&s| s <= 0.0)
+        };
+        if keywords.is_empty() || unanswerable {
+            // Some keyword (or its whole extension) never occurs: the score
+            // of every document is 0 and the (positive-score) answer is
+            // empty — exact.
+            stats.stop = StopReason::NoMatch;
+            return TopKResult { hits: Vec::new(), candidate_docs: Vec::new(), stats };
+        }
+
+        let seeker = inst.user_node(query.seeker);
+        let mut prop = Propagation::new(graph, self.model.gamma(), seeker);
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut candidate_of: HashMap<DocNodeId, usize> = HashMap::new();
+        let mut processed: Vec<bool> = vec![false; graph.components().len()];
+        let mut frontier_closed = false;
+
+        // Discovery from the seed (the seeker may source tags/documents).
+        let mut newly: Vec<NodeId> = vec![seeker];
+
+        loop {
+            // ---- Discovery (Algorithm GetDocuments, component form). ----
+            for &v in &newly {
+                match graph.kind(v) {
+                    NodeKind::Frag(_) | NodeKind::Tag(_) => {
+                        self.discover(
+                            graph.components().component_of(v),
+                            &exts,
+                            &mut candidates,
+                            &mut candidate_of,
+                            &mut processed,
+                            &mut stats,
+                        );
+                    }
+                    NodeKind::User(_) => {
+                        // Tags authored by this user may source connections
+                        // in otherwise-unreached components.
+                        for (t, kind, _) in graph.out_edges(v) {
+                            if kind == EdgeKind::HasAuthorInv {
+                                self.discover(
+                                    graph.components().component_of(t),
+                                    &exts,
+                                    &mut candidates,
+                                    &mut candidate_of,
+                                    &mut processed,
+                                    &mut stats,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // ---- Bounds (Algorithm ComputeCandidatesBounds). ----
+            let bound = prop.bound_beyond();
+            let mut lo_parts: Vec<f64> = Vec::with_capacity(exts.len());
+            let mut hi_parts: Vec<f64> = Vec::with_capacity(exts.len());
+            for c in candidates.iter_mut() {
+                lo_parts.clear();
+                hi_parts.clear();
+                for srcs in &c.kw_sources {
+                    let mut lo = 0.0f64;
+                    let mut hi = 0.0f64;
+                    for &(src, coef) in srcs {
+                        let p = prop.prox_leq(src);
+                        lo += coef * p;
+                        hi += coef * (p + bound).min(1.0);
+                    }
+                    lo_parts.push(lo);
+                    hi_parts.push(hi);
+                }
+                c.lower = self.model.combine_keywords(&lo_parts);
+                c.upper = self.model.combine_keywords(&hi_parts);
+            }
+            let threshold = if frontier_closed {
+                0.0
+            } else {
+                let parts: Vec<f64> =
+                    smax_ext.iter().map(|&s| s * bound.min(1.0)).collect();
+                self.model.combine_keywords(&parts)
+            };
+
+            // ---- Selection + stop test (Algorithm StopCondition). ----
+            let selection = self.select(&candidates, query.k);
+            if self.stop_condition(&candidates, &selection, query.k, threshold, frontier_closed)
+            {
+                stats.stop = StopReason::Converged;
+                stats.iterations = prop.iteration();
+                return self.finish(candidates, selection, stats);
+            }
+            if prop.iteration() >= self.config.max_iterations {
+                stats.stop = StopReason::MaxIterations;
+                stats.iterations = prop.iteration();
+                return self.finish(candidates, selection, stats);
+            }
+            if let Some(budget) = self.config.time_budget {
+                if started.elapsed() >= budget {
+                    stats.stop = StopReason::TimeBudget;
+                    stats.iterations = prop.iteration();
+                    return self.finish(candidates, selection, stats);
+                }
+            }
+
+            // ---- Explore one more hop (Algorithm ExploreStep). ----
+            newly = if self.config.threads > 1 {
+                prop.step_parallel(self.config.threads)
+            } else {
+                prop.step()
+            };
+            if newly.is_empty() {
+                frontier_closed = true;
+            }
+        }
+    }
+
+    /// Process one content component: keyword pruning (§5.2), then the
+    /// per-document `con` check.
+    fn discover(
+        &self,
+        comp: CompId,
+        exts: &[Arc<Vec<KeywordId>>],
+        candidates: &mut Vec<Candidate>,
+        candidate_of: &mut HashMap<DocNodeId, usize>,
+        processed: &mut [bool],
+        stats: &mut SearchStats,
+    ) {
+        if processed[comp.index()] {
+            return;
+        }
+        processed[comp.index()] = true;
+        stats.components += 1;
+
+        let inst = self.instance;
+        if self.config.component_pruning {
+            let comp_kws = inst.component_keywords(comp);
+            let hit = |ext: &Arc<Vec<KeywordId>>| ext.iter().any(|k| comp_kws.contains(k));
+            let matches = if self.model.requires_all_keywords() {
+                exts.iter().all(hit)
+            } else {
+                exts.iter().any(hit)
+            };
+            if !matches {
+                stats.pruned_components += 1;
+                return;
+            }
+        }
+
+        let graph = inst.graph();
+        let index = inst.connections();
+        let conjunctive = self.model.requires_all_keywords();
+        for &node in graph.components().members(comp) {
+            let Some(d) = graph.frag_of_node(node) else { continue };
+            if candidate_of.contains_key(&d) {
+                continue;
+            }
+            // con(d, k) = ∪_{k' ∈ Ext(k)} conDirect(d, k'), deduplicated on
+            // (type, fragment, source) — con is a set.
+            let mut kw_sources: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(exts.len());
+            let mut matched = 0usize;
+            let mut missing = false;
+            for ext in exts {
+                let mut seen: HashSet<(crate::connections::ConnType, DocNodeId, NodeId)> =
+                    HashSet::new();
+                let mut agg: HashMap<NodeId, f64> = HashMap::new();
+                for &k in ext.iter() {
+                    for c in index.connections(d, k) {
+                        if seen.insert((c.ctype, c.frag, c.src)) {
+                            *agg.entry(c.src).or_insert(0.0) +=
+                                self.model.structural_weight(c.ctype, c.depth);
+                        }
+                    }
+                }
+                if agg.is_empty() {
+                    missing = true;
+                    if conjunctive {
+                        break;
+                    }
+                } else {
+                    matched += 1;
+                }
+                let mut v: Vec<(NodeId, f64)> = agg.into_iter().collect();
+                v.sort_unstable_by_key(|(n, _)| *n);
+                kw_sources.push(v);
+            }
+            let qualifies = if conjunctive { !missing } else { matched > 0 };
+            if !qualifies {
+                stats.rejected += 1;
+                continue;
+            }
+            // Disjunctive models may have skipped pushing nothing; pad the
+            // keyword slots so bounds line up positionally.
+            while kw_sources.len() < exts.len() {
+                kw_sources.push(Vec::new());
+            }
+            candidate_of.insert(d, candidates.len());
+            candidates.push(Candidate { doc: d, kw_sources, lower: 0.0, upper: f64::MAX });
+            stats.candidates += 1;
+        }
+    }
+
+    /// Greedy top-k selection by upper bound, skipping vertical neighbors
+    /// of already-selected documents (Definition 3.2's constraint).
+    fn select(&self, candidates: &[Candidate], k: usize) -> Vec<usize> {
+        let forest = self.instance.forest();
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            candidates[b]
+                .upper
+                .partial_cmp(&candidates[a].upper)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(candidates[a].doc.cmp(&candidates[b].doc))
+        });
+        let mut selection: Vec<usize> = Vec::with_capacity(k);
+        for i in order {
+            if selection.len() == k {
+                break;
+            }
+            let d = candidates[i].doc;
+            if candidates[i].upper <= 0.0 {
+                break;
+            }
+            let conflict = selection
+                .iter()
+                .any(|&s| forest.is_vertical_neighbor(candidates[s].doc, d));
+            if !conflict {
+                selection.push(i);
+            }
+        }
+        selection
+    }
+
+    /// Is the current selection provably a top-k answer?
+    fn stop_condition(
+        &self,
+        candidates: &[Candidate],
+        selection: &[usize],
+        k: usize,
+        threshold: f64,
+        frontier_closed: bool,
+    ) -> bool {
+        let eps = self.config.epsilon;
+        let forest = self.instance.forest();
+        let in_selection: HashSet<usize> = selection.iter().copied().collect();
+        let min_lower = selection
+            .iter()
+            .map(|&i| candidates[i].lower)
+            .fold(f64::INFINITY, f64::min);
+
+        if selection.len() == k {
+            // Undiscovered documents must not be able to enter.
+            if threshold > min_lower + eps {
+                return false;
+            }
+        } else {
+            // Fewer than k positive-score documents may exist; that is only
+            // certain once the frontier stopped growing (no undiscovered
+            // document can have positive score) — see module docs.
+            if !frontier_closed {
+                return false;
+            }
+        }
+        // Every unselected candidate must be provably excluded: either it
+        // cannot beat the selection's weakest member, or a selected
+        // vertical neighbor provably dominates it.
+        for (i, c) in candidates.iter().enumerate() {
+            if in_selection.contains(&i) || c.upper <= 0.0 {
+                continue;
+            }
+            let beaten_globally = selection.len() == k && c.upper <= min_lower + eps;
+            if beaten_globally {
+                continue;
+            }
+            let dominated = selection.iter().any(|&s| {
+                forest.is_vertical_neighbor(candidates[s].doc, c.doc)
+                    && candidates[s].lower + eps >= c.upper
+            });
+            if !dominated {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Materialize the result.
+    fn finish(
+        &self,
+        candidates: Vec<Candidate>,
+        selection: Vec<usize>,
+        stats: SearchStats,
+    ) -> TopKResult {
+        let hits = selection
+            .into_iter()
+            .map(|i| Hit {
+                doc: candidates[i].doc,
+                lower: candidates[i].lower,
+                upper: candidates[i].upper,
+            })
+            .collect();
+        let candidate_docs = candidates.iter().map(|c| c.doc).collect();
+        TopKResult { hits, candidate_docs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TagSubject;
+    use crate::instance::InstanceBuilder;
+    use s3_doc::DocBuilder;
+    use s3_text::Language;
+
+    /// Figure-1-style instance: u1 (seeker) is a friend of u0; u0 posted d0;
+    /// u2 replied to d0 with d1 containing "M.S."; an ontology says
+    /// M.S. ≺sc degree ≺sc graduate-related keywords.
+    fn motivating() -> (S3Instance, UserId, KeywordId, DocNodeId) {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        let u2 = b.add_user();
+        b.add_social_edge(u1, u0, 1.0);
+        b.add_social_edge(u0, u1, 1.0);
+
+        // Ontology: ex:MS ≺sc ex:degree.
+        let ms_kw = b.intern_entity_keyword("ex:MS");
+        let degree_kw = b.intern_entity_keyword("ex:degree");
+        let (ms_uri, deg_uri) = {
+            let d = b.rdf_mut().dictionary_mut();
+            (d.intern("ex:MS"), d.intern("ex:degree"))
+        };
+        b.rdf_mut().insert(
+            ms_uri,
+            s3_rdf::vocabulary::RDFS_SUBCLASS_OF,
+            s3_rdf::Term::Uri(deg_uri),
+            1.0,
+        );
+
+        // d0 by u0: "a university education matters".
+        let kws0 = b.analyze("a university education matters");
+        let mut d0 = DocBuilder::new("post");
+        d0.set_content(d0.root(), kws0);
+        let t0 = b.add_document(d0, Some(u0));
+        let d0_root = b.doc_root(t0);
+
+        // d1 by u2, replying to d0, mentions the ex:MS entity.
+        let mut d1 = DocBuilder::new("reply");
+        let text = d1.child(d1.root(), "text");
+        d1.set_content(text, vec![ms_kw]);
+        let t1 = b.add_document(d1, Some(u2));
+        b.add_comment_edge(t1, d0_root);
+        let d1_text = b.doc_node(t1, text);
+
+        (b.build(), u1, degree_kw, d1_text)
+    }
+
+    #[test]
+    fn semantic_search_finds_the_reply_snippet() {
+        // The paper's R3 scenario: u1 searches "degree"; d1 only says
+        // "M.S.", but the ontology bridges them.
+        let (inst, u1, degree, d1_text) = motivating();
+        let res = inst.search(&Query::new(u1, vec![degree], 3), &SearchConfig::default());
+        assert_eq!(res.stats.stop, StopReason::Converged);
+        assert!(!res.hits.is_empty(), "semantics must surface the M.S. snippet");
+        assert!(
+            res.hits.iter().any(|h| h.doc == d1_text
+                || inst.forest().is_vertical_neighbor(h.doc, d1_text)),
+            "expected the d1 snippet among {:?}",
+            res.hits
+        );
+        // Without vertical neighbors in the answer (Definition 3.2).
+        for (i, a) in res.hits.iter().enumerate() {
+            for b in &res.hits[i + 1..] {
+                assert!(!inst.forest().is_vertical_neighbor(a.doc, b.doc));
+            }
+        }
+    }
+
+    #[test]
+    fn no_match_returns_empty_exactly() {
+        let (inst, u1, _, _) = motivating();
+        let ghost = KeywordId(9999);
+        let res = inst.search(&Query::new(u1, vec![ghost], 3), &SearchConfig::default());
+        assert_eq!(res.stats.stop, StopReason::NoMatch);
+        assert!(res.hits.is_empty());
+    }
+
+    #[test]
+    fn bounds_bracket_each_other() {
+        let (inst, u1, degree, _) = motivating();
+        let res = inst.search(&Query::new(u1, vec![degree], 2), &SearchConfig::default());
+        for h in &res.hits {
+            assert!(h.lower <= h.upper + 1e-12);
+            assert!(h.lower > 0.0, "converged hits have certified positive score");
+        }
+    }
+
+    #[test]
+    fn k_limits_result_size() {
+        let (inst, u1, degree, _) = motivating();
+        let res = inst.search(&Query::new(u1, vec![degree], 1), &SearchConfig::default());
+        assert_eq!(res.hits.len(), 1);
+    }
+
+    #[test]
+    fn anytime_time_budget_returns_best_effort() {
+        let (inst, u1, degree, _) = motivating();
+        let cfg = SearchConfig {
+            time_budget: Some(Duration::from_nanos(1)),
+            ..SearchConfig::default()
+        };
+        let res = inst.search(&Query::new(u1, vec![degree], 3), &cfg);
+        // Either it converged instantly or it reports the budget.
+        assert!(matches!(res.stats.stop, StopReason::TimeBudget | StopReason::Converged));
+    }
+
+    #[test]
+    fn component_pruning_does_not_change_results() {
+        let (inst, u1, degree, _) = motivating();
+        let on = inst.search(&Query::new(u1, vec![degree], 3), &SearchConfig::default());
+        let cfg_off = SearchConfig { component_pruning: false, ..SearchConfig::default() };
+        let off = inst.search(&Query::new(u1, vec![degree], 3), &cfg_off);
+        let docs_on: Vec<_> = on.hits.iter().map(|h| h.doc).collect();
+        let docs_off: Vec<_> = off.hits.iter().map(|h| h.doc).collect();
+        assert_eq!(docs_on, docs_off);
+    }
+
+    #[test]
+    fn multi_keyword_requires_all() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u = b.add_user();
+        let kws = b.analyze("university degree");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws.clone());
+        b.add_document(doc, Some(u));
+        let mut doc2 = DocBuilder::new("post");
+        let only_first = vec![kws[0]];
+        doc2.set_content(doc2.root(), only_first);
+        b.add_document(doc2, Some(u));
+        let inst = b.build();
+        let res = inst.search(&Query::new(u, kws, 5), &SearchConfig::default());
+        assert_eq!(res.hits.len(), 1, "only the document with both keywords qualifies");
+    }
+
+    #[test]
+    fn endorsement_tags_contribute_to_score() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let author = b.add_user();
+        let endorser = b.add_user();
+        let seeker = b.add_user();
+        // The seeker is socially close to the endorser only.
+        b.add_social_edge(seeker, endorser, 1.0);
+        let kws = b.analyze("great university");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws);
+        let t = b.add_document(doc, Some(author));
+        let root = b.doc_root(t);
+        b.add_tag(TagSubject::Frag(root), endorser, None);
+        let inst = b.build();
+        let univers = inst.vocabulary().get("univers").unwrap();
+        let res = inst.search(&Query::new(seeker, vec![univers], 1), &SearchConfig::default());
+        assert_eq!(res.hits.len(), 1);
+        assert!(res.hits[0].lower > 0.0, "the endorsement links the seeker to the doc");
+    }
+}

@@ -1,0 +1,202 @@
+//! DBpedia stand-in (DESIGN.md substitution table).
+//!
+//! The paper enriched tweet and review text against DBpedia (Mapping-based
+//! Types/Properties, Persondata, Lexicalizations): words `w` with
+//! `u foaf:name w` were replaced by the entity URI `u`, and queries were
+//! expanded through `Ext(k)` over the class hierarchy. What S3k's behaviour
+//! depends on is (a) how often text mentions a typed entity and (b) the
+//! fan-out of `Ext`, both of which this generator controls.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_core::InstanceBuilder;
+use s3_rdf::{vocabulary as voc, Term};
+use s3_text::KeywordId;
+
+/// Shape of the generated ontology.
+#[derive(Debug, Clone, Copy)]
+pub struct OntologyConfig {
+    /// Number of classes in the `≺sc` tree.
+    pub classes: usize,
+    /// Number of typed entities.
+    pub entities: usize,
+    /// Number of relation properties arranged in `≺sp` chains.
+    pub properties: usize,
+    /// Seed for the shape.
+    pub seed: u64,
+}
+
+impl Default for OntologyConfig {
+    fn default() -> Self {
+        OntologyConfig { classes: 60, entities: 400, properties: 12, seed: 0xD8BED1A }
+    }
+}
+
+/// The generated ontology: URIs plus their keyword bridge, after
+/// installation into an [`InstanceBuilder`].
+#[derive(Debug)]
+pub struct Ontology {
+    /// Keyword of each class URI (classes can be queried directly).
+    pub class_keywords: Vec<KeywordId>,
+    /// Keyword of each entity URI (entities appear in text).
+    pub entity_keywords: Vec<KeywordId>,
+    /// Class index of each entity.
+    pub entity_class: Vec<usize>,
+    /// Parent class of each class (`None` for roots).
+    pub class_parent: Vec<Option<usize>>,
+}
+
+impl Ontology {
+    /// Generate and install: adds the `≺sc`/`type`/`≺sp` triples to the
+    /// builder's RDF store and interns every URI as an entity keyword.
+    pub fn install(config: &OntologyConfig, builder: &mut InstanceBuilder) -> Ontology {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        assert!(config.classes > 0, "need at least one class");
+
+        // Class tree: each class after the first few roots picks an earlier
+        // parent, biased toward the roots so the tree is shallow and wide
+        // (DBpedia's ontology is ~7 levels for hundreds of classes).
+        let mut class_parent: Vec<Option<usize>> = Vec::with_capacity(config.classes);
+        for i in 0..config.classes {
+            if i < 3 {
+                class_parent.push(None);
+            } else {
+                let parent = rng.gen_range(0..i.min(3 + i / 2));
+                class_parent.push(Some(parent));
+            }
+        }
+
+        let mut class_keywords = Vec::with_capacity(config.classes);
+        let mut class_uris = Vec::with_capacity(config.classes);
+        for i in 0..config.classes {
+            let uri = format!("dbp:Class{i}");
+            let kw = builder.intern_entity_keyword(&uri);
+            class_keywords.push(kw);
+            class_uris.push(uri);
+        }
+        for (i, parent) in class_parent.iter().enumerate() {
+            if let Some(p) = parent {
+                let (s, o) = {
+                    let d = builder.rdf_mut().dictionary_mut();
+                    (d.intern(&class_uris[i]), d.intern(&class_uris[*p]))
+                };
+                builder.rdf_mut().insert(s, voc::RDFS_SUBCLASS_OF, Term::Uri(o), 1.0);
+            }
+        }
+
+        // Entities: typed by a random class; the URI doubles as the
+        // `foaf:name`-matched surface form (entity-linking replaces the
+        // word with the URI, so only the URI ever reaches the keyword set).
+        let mut entity_keywords = Vec::with_capacity(config.entities);
+        let mut entity_class = Vec::with_capacity(config.entities);
+        for j in 0..config.entities {
+            let class = rng.gen_range(0..config.classes);
+            let uri = format!("dbp:e{j}");
+            let kw = builder.intern_entity_keyword(&uri);
+            let (s, c) = {
+                let d = builder.rdf_mut().dictionary_mut();
+                (d.intern(&uri), d.intern(&class_uris[class]))
+            };
+            builder.rdf_mut().insert(s, voc::RDF_TYPE, Term::Uri(c), 1.0);
+            // foaf:name for the record (exercises the enrichment path).
+            let name = Term::Literal(builder.rdf_mut().dictionary_mut().intern(&format!("\"e{j}\"")));
+            builder.rdf_mut().insert(s, voc::FOAF_NAME, name, 1.0);
+            entity_keywords.push(kw);
+            entity_class.push(class);
+        }
+
+        // Relation properties in ≺sp chains of length 2–3 (they exercise
+        // the subproperty rules; instance data rarely queries them).
+        let mut prev: Option<s3_rdf::UriId> = None;
+        for p in 0..config.properties {
+            let uri = builder.rdf_mut().dictionary_mut().intern(&format!("dbp:p{p}"));
+            if let Some(parent) = prev {
+                if p % 3 != 0 {
+                    builder.rdf_mut().insert(uri, voc::RDFS_SUBPROPERTY_OF, Term::Uri(parent), 1.0);
+                }
+            }
+            prev = Some(uri);
+        }
+
+        Ontology { class_keywords, entity_keywords, entity_class, class_parent }
+    }
+
+    /// Entities belonging to `class` or any of its subclasses — i.e. the
+    /// entity keywords `Ext(class)` will reach after saturation.
+    pub fn entities_under(&self, class: usize) -> Vec<usize> {
+        let mut in_subtree = vec![false; self.class_parent.len()];
+        in_subtree[class] = true;
+        // Parents precede children in generation order, so one pass works.
+        for i in 0..self.class_parent.len() {
+            if let Some(p) = self.class_parent[i] {
+                if in_subtree[p] {
+                    in_subtree[i] = true;
+                }
+            }
+        }
+        self.entity_class
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| in_subtree[c])
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_text::Language;
+
+    #[test]
+    fn installs_a_consistent_hierarchy() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let config = OntologyConfig { classes: 10, entities: 30, properties: 5, seed: 1 };
+        let ont = Ontology::install(&config, &mut b);
+        assert_eq!(ont.class_keywords.len(), 10);
+        assert_eq!(ont.entity_keywords.len(), 30);
+        let inst = b.build();
+        // After saturation, Ext of a root class reaches entities typed by
+        // its descendants.
+        let root = ont
+            .class_parent
+            .iter()
+            .position(|p| p.is_none())
+            .expect("at least one root");
+        let under = ont.entities_under(root);
+        let ext = inst.expand_keyword(ont.class_keywords[root]);
+        for &e in &under {
+            assert!(
+                ext.contains(&ont.entity_keywords[e]),
+                "entity {e} typed under root {root} missing from Ext"
+            );
+        }
+    }
+
+    #[test]
+    fn extension_respects_specialization_direction() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let config = OntologyConfig { classes: 8, entities: 20, properties: 3, seed: 2 };
+        let ont = Ontology::install(&config, &mut b);
+        let inst = b.build();
+        // An entity's extension never contains its class (no
+        // generalization — Definition 2.1).
+        for (e, &kw) in ont.entity_keywords.iter().enumerate() {
+            let ext = inst.expand_keyword(kw);
+            assert!(
+                !ext.contains(&ont.class_keywords[ont.entity_class[e]]),
+                "Ext(entity) must not generalize to its class"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let build = || {
+            let mut b = InstanceBuilder::new(Language::English);
+            let ont = Ontology::install(&OntologyConfig::default(), &mut b);
+            (ont.entity_class, ont.class_parent)
+        };
+        assert_eq!(build(), build());
+    }
+}

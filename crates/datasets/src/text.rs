@@ -1,0 +1,158 @@
+//! Zipf text generation with topical bias and entity mentions.
+//!
+//! Documents draw their words from a Zipf-distributed base vocabulary, a
+//! per-community topic pocket (so that socially-linked users talk about the
+//! same things — the correlation that makes social search useful), and the
+//! ontology's entities (the §5.1 semantic-enrichment path replaces matched
+//! words by their URIs, so entity mentions enter content as URI keywords).
+
+use crate::ontology::Ontology;
+use crate::zipf::Zipf;
+use rand::Rng;
+use s3_core::InstanceBuilder;
+use s3_text::KeywordId;
+
+/// Reusable text generator bound to a base vocabulary size.
+#[derive(Debug)]
+pub struct TextGen {
+    prefix: &'static str,
+    word_zipf: Zipf,
+    entity_zipf: Option<Zipf>,
+    /// Interned base words, populated lazily.
+    words: Vec<Option<KeywordId>>,
+}
+
+impl TextGen {
+    /// Generator over `vocab_size` base words named `{prefix}{rank}`.
+    pub fn new(prefix: &'static str, vocab_size: usize, entities: usize) -> Self {
+        TextGen {
+            prefix,
+            word_zipf: Zipf::new(vocab_size, 1.05),
+            entity_zipf: if entities > 0 { Some(Zipf::new(entities, 1.1)) } else { None },
+            words: vec![None; vocab_size],
+        }
+    }
+
+    /// Intern (once) and return the base word of a rank, counting one
+    /// corpus occurrence.
+    fn word(&mut self, builder: &mut InstanceBuilder, rank: usize) -> KeywordId {
+        let kw = match self.words[rank] {
+            Some(kw) => kw,
+            None => {
+                let text = format!("{}{}", self.prefix, rank);
+                let kw = builder.analyzer_mut().vocabulary_mut().intern(&text);
+                self.words[rank] = Some(kw);
+                kw
+            }
+        };
+        builder.analyzer_mut().vocabulary_mut().add_occurrences(kw, 1);
+        kw
+    }
+
+    /// Generate the keyword content of one text node.
+    ///
+    /// * `len` — number of tokens;
+    /// * `topic` — optional (community) topic words mixed in with
+    ///   probability `topic_prob`;
+    /// * `ontology`/`entity_prob` — probability of an entity mention.
+    #[allow(clippy::too_many_arguments)]
+    pub fn content<R: Rng>(
+        &mut self,
+        builder: &mut InstanceBuilder,
+        rng: &mut R,
+        len: usize,
+        topic: Option<&[usize]>,
+        topic_prob: f64,
+        ontology: Option<&Ontology>,
+        entity_prob: f64,
+    ) -> Vec<KeywordId> {
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            if let (Some(ont), Some(ez)) = (ontology, self.entity_zipf.as_ref()) {
+                if rng.gen_bool(entity_prob) {
+                    let e = ez.sample(rng).min(ont.entity_keywords.len().saturating_sub(1));
+                    // Texts sometimes mention the *concept* rather than a
+                    // specific entity ("university" vs "@UAlberta") — these
+                    // class mentions are what query extension later fans
+                    // out from.
+                    let kw = if rng.gen_bool(0.35) {
+                        ont.class_keywords[ont.entity_class[e]]
+                    } else {
+                        ont.entity_keywords[e]
+                    };
+                    builder.analyzer_mut().vocabulary_mut().add_occurrences(kw, 1);
+                    out.push(kw);
+                    continue;
+                }
+            }
+            let rank = match topic {
+                Some(words) if !words.is_empty() && rng.gen_bool(topic_prob) => {
+                    words[rng.gen_range(0..words.len())]
+                }
+                _ => self.word_zipf.sample(rng),
+            };
+            out.push(self.word(builder, rank));
+        }
+        out
+    }
+
+    /// Base vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::OntologyConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use s3_text::Language;
+
+    #[test]
+    fn generates_counted_keywords() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let mut gen = TextGen::new("word", 100, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let content = gen.content(&mut b, &mut rng, 20, None, 0.0, None, 0.0);
+        assert_eq!(content.len(), 20);
+        let inst = b.build();
+        let total: u64 = content.iter().map(|&k| inst.vocabulary().frequency(k)).sum();
+        assert!(total >= 20, "every token counted at least once");
+    }
+
+    #[test]
+    fn entity_mentions_appear() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let ont = Ontology::install(
+            &OntologyConfig { classes: 5, entities: 10, properties: 0, seed: 0 },
+            &mut b,
+        );
+        let mut gen = TextGen::new("word", 100, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let content = gen.content(&mut b, &mut rng, 200, None, 0.0, Some(&ont), 0.5);
+        let entity_hits =
+            content.iter().filter(|k| ont.entity_keywords.contains(k)).count();
+        assert!(entity_hits > 40, "≈50% entity rate, got {entity_hits}/200");
+    }
+
+    #[test]
+    fn topic_words_bias_content() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let mut gen = TextGen::new("word", 1000, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let topic = vec![990, 991, 992]; // rare ranks: only topic bias reaches them
+        let content =
+            gen.content(&mut b, &mut rng, 300, Some(&topic), 0.5, None, 0.0);
+        let inst_vocab = b.analyzer_mut().vocabulary_mut();
+        let topical = content
+            .iter()
+            .filter(|&&k| {
+                let t = inst_vocab.text(k);
+                t == "word990" || t == "word991" || t == "word992"
+            })
+            .count();
+        assert!(topical > 100, "topic bias too weak: {topical}/300");
+    }
+}

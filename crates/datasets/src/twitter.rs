@@ -1,0 +1,367 @@
+//! Synthetic I1: the Twitter-like instance (paper §5.1).
+//!
+//! Construction rules follow the paper:
+//!
+//! * every non-retweet tweet becomes a 3-node document — a `text` node
+//!   (semantically enriched), a `date` node and a `geo` node;
+//! * a retweet of `t` contributes **tags on `t`**: an endorsement, plus one
+//!   keyword tag per hashtag it introduces;
+//! * a reply is a document that `S3:commentsOn` the replied tweet;
+//! * user links: the paper computes a Jaccard similarity over the users'
+//!   keyword sets and keeps pairs above 0.1. We generate community
+//!   structure first (users share topics), then set the edge weight to the
+//!   Jaccard similarity of the two users' community sets — the same
+//!   statistic the paper's `u∼` approximates — keeping pairs ≥ threshold.
+//!
+//! Shape targets from Figure 4 (scaled): 85% retweets, 6.9% replies,
+//! documents ≈ 15% of tweets, ~0.6 tags/tweet, 2 non-root fragments per
+//! document.
+
+use crate::ontology::{Ontology, OntologyConfig};
+use crate::text::TextGen;
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_core::{InstanceBuilder, S3Instance, TagSubject, UserId};
+use s3_doc::{DocBuilder, DocNodeId};
+use s3_text::{KeywordId, Language};
+
+/// Generator parameters for the Twitter-like instance.
+#[derive(Debug, Clone)]
+pub struct TwitterConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Total tweets (originals + retweets).
+    pub tweets: usize,
+    /// Fraction of tweets that are retweets (paper: 85%).
+    pub retweet_ratio: f64,
+    /// Fraction of original tweets that reply to another tweet (paper: 6.9%).
+    pub reply_ratio: f64,
+    /// Base vocabulary size.
+    pub vocab_size: usize,
+    /// Number of hashtags.
+    pub hashtags: usize,
+    /// Probability that a retweet introduces a hashtag tag.
+    pub hashtag_prob: f64,
+    /// Number of user communities (topical clusters).
+    pub communities: usize,
+    /// Tweet text length range (tokens).
+    pub tweet_len: (usize, usize),
+    /// Probability of an entity mention per token (semantic enrichment).
+    pub entity_prob: f64,
+    /// Per-community topic vocabulary size.
+    pub topic_words: usize,
+    /// Probability a token is drawn from the community topic.
+    pub topic_prob: f64,
+    /// Jaccard threshold for keeping a user edge (paper: 0.1).
+    pub similarity_threshold: f64,
+    /// Average number of candidate neighbors sampled per user.
+    pub avg_degree: usize,
+    /// Ontology shape.
+    pub ontology: OntologyConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl TwitterConfig {
+    /// Preset sizes per scale (Small ≈ 1/300 of the paper's crawl).
+    pub fn scaled(scale: Scale) -> Self {
+        let f = scale.factor();
+        let users = (1600.0 * f) as usize;
+        TwitterConfig {
+            users,
+            tweets: (3300.0 * f) as usize,
+            retweet_ratio: 0.85,
+            reply_ratio: 0.069,
+            vocab_size: (4000.0 * f) as usize + 500,
+            hashtags: (300.0 * f) as usize + 30,
+            hashtag_prob: 0.4,
+            communities: ((users as f64 / 40.0) as usize).max(4),
+            tweet_len: (4, 12),
+            entity_prob: 0.22,
+            topic_words: 25,
+            topic_prob: 0.35,
+            similarity_threshold: 0.1,
+            avg_degree: 12,
+            ontology: OntologyConfig { classes: 260, entities: 420, properties: 12, seed: 0xD8BED1A },
+            seed: 0x7717E2,
+        }
+    }
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig::scaled(Scale::Small)
+    }
+}
+
+/// Shape counters of the generated instance (the Figure 4 row data).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwitterMeta {
+    /// Total simulated tweets.
+    pub tweets: usize,
+    /// Retweets (become tags).
+    pub retweets: usize,
+    /// Replies (become commentsOn documents).
+    pub replies: usize,
+    /// Documents created.
+    pub documents: usize,
+    /// Keyword (hashtag) tags created.
+    pub hashtag_tags: usize,
+    /// Endorsement tags created.
+    pub endorsements: usize,
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct TwitterDataset {
+    /// The frozen instance.
+    pub instance: S3Instance,
+    /// Generation counters.
+    pub meta: TwitterMeta,
+    /// The installed ontology (query generation may target classes).
+    pub ontology: Ontology,
+}
+
+/// Generate the Twitter-like instance.
+pub fn generate(config: &TwitterConfig) -> TwitterDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = InstanceBuilder::new(Language::English);
+    let ontology = Ontology::install(&config.ontology, &mut b);
+    let mut textgen = TextGen::new("word", config.vocab_size, config.ontology.entities);
+
+    // ---- Users and communities. ----
+    let users: Vec<UserId> = (0..config.users).map(|_| b.add_user()).collect();
+    let mut community_of: Vec<Vec<usize>> = Vec::with_capacity(config.users);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); config.communities];
+    for (i, _) in users.iter().enumerate() {
+        let n = 1 + rng.gen_range(0..3usize.min(config.communities));
+        let mut cs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..config.communities)).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        for &c in &cs {
+            members[c].push(i);
+        }
+        community_of.push(cs);
+    }
+    // Topic pockets: distinct word ranks per community.
+    let topics: Vec<Vec<usize>> = (0..config.communities)
+        .map(|c| {
+            (0..config.topic_words)
+                .map(|i| (c * config.topic_words + i) % config.vocab_size)
+                .collect()
+        })
+        .collect();
+
+    // ---- Social edges: community-set Jaccard above the threshold. ----
+    let jaccard = |a: &[usize], bs: &[usize]| -> f64 {
+        let inter = a.iter().filter(|x| bs.contains(x)).count() as f64;
+        let union = (a.len() + bs.len()) as f64 - inter;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    };
+    let mut edge_seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for i in 0..config.users {
+        for _ in 0..config.avg_degree {
+            // Sample a candidate from one of i's communities (or anywhere).
+            let j = if !community_of[i].is_empty() && rng.gen_bool(0.8) {
+                let c = community_of[i][rng.gen_range(0..community_of[i].len())];
+                if members[c].is_empty() {
+                    continue;
+                }
+                members[c][rng.gen_range(0..members[c].len())]
+            } else {
+                rng.gen_range(0..config.users)
+            };
+            if i == j {
+                continue;
+            }
+            let key = (i.min(j), i.max(j));
+            if !edge_seen.insert(key) {
+                continue;
+            }
+            let w = jaccard(&community_of[i], &community_of[j]);
+            if w >= config.similarity_threshold {
+                b.add_social_edge(users[i], users[j], w.min(1.0));
+                b.add_social_edge(users[j], users[i], w.min(1.0));
+            }
+        }
+    }
+
+    // ---- Tweets. ----
+    let mut meta = TwitterMeta { tweets: config.tweets, ..TwitterMeta::default() };
+    // Hashtag keyword pool.
+    let hashtag_kws: Vec<KeywordId> = (0..config.hashtags)
+        .map(|h| b.analyzer_mut().vocabulary_mut().intern(&format!("#tag{h}")))
+        .collect();
+    let hashtag_zipf = crate::zipf::Zipf::new(config.hashtags.max(1), 1.1);
+    // Roots of original tweets, with retweet counts for preferential
+    // attachment of retweets/replies.
+    let mut originals: Vec<(DocNodeId, u32)> = Vec::new();
+
+    let pick_original = |rng: &mut StdRng, originals: &[(DocNodeId, u32)]| -> usize {
+        // Preferential: weight 1 + retweet count.
+        let total: u64 = originals.iter().map(|(_, c)| 1 + *c as u64).sum();
+        let mut x = rng.gen_range(0..total);
+        for (i, (_, c)) in originals.iter().enumerate() {
+            let w = 1 + *c as u64;
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        originals.len() - 1
+    };
+
+    for _ in 0..config.tweets {
+        let author_idx = rng.gen_range(0..config.users);
+        let author = users[author_idx];
+        let is_retweet = !originals.is_empty() && rng.gen_bool(config.retweet_ratio);
+        if is_retweet {
+            // Retweet ⇒ endorsement tag (+ hashtag keyword tags) on t.
+            meta.retweets += 1;
+            let oi = pick_original(&mut rng, &originals);
+            let (root, _) = originals[oi];
+            b.add_tag(TagSubject::Frag(root), author, None);
+            meta.endorsements += 1;
+            if rng.gen_bool(config.hashtag_prob) && !hashtag_kws.is_empty() {
+                let h = hashtag_kws[hashtag_zipf.sample(&mut rng)];
+                b.analyzer_mut().vocabulary_mut().add_occurrences(h, 1);
+                b.add_tag(TagSubject::Frag(root), author, Some(h));
+                meta.hashtag_tags += 1;
+            }
+            originals[oi].1 += 1;
+            continue;
+        }
+        // Original tweet: text/date/geo document.
+        let topic = community_of[author_idx]
+            .first()
+            .map(|&c| topics[c].as_slice());
+        let len = rng.gen_range(config.tweet_len.0..=config.tweet_len.1);
+        let text_kws = textgen.content(
+            &mut b,
+            &mut rng,
+            len,
+            topic,
+            config.topic_prob,
+            Some(&ontology),
+            config.entity_prob,
+        );
+        let date_kw = {
+            let day = rng.gen_range(0..2u32); // the paper's crawl spans one day
+            let v = b.analyzer_mut().vocabulary_mut();
+            let k = v.intern(&format!("2014-05-{:02}", 2 + day));
+            v.add_occurrences(k, 1);
+            k
+        };
+        let mut doc = DocBuilder::new("tweet");
+        let text = doc.child(doc.root(), "text");
+        doc.set_content(text, text_kws);
+        let date = doc.child(doc.root(), "date");
+        doc.set_content(date, vec![date_kw]);
+        let geo = doc.child(doc.root(), "geo");
+        if rng.gen_bool(0.3) {
+            let place = {
+                let v = b.analyzer_mut().vocabulary_mut();
+                let k = v.intern(&format!("place{}", rng.gen_range(0..50u32)));
+                v.add_occurrences(k, 1);
+                k
+            };
+            doc.set_content(geo, vec![place]);
+        }
+        let tree = b.add_document(doc, Some(author));
+        let root = b.doc_root(tree);
+        meta.documents += 1;
+
+        // Reply? `reply_ratio` is a fraction of ALL tweets (paper: 6.9%),
+        // but only non-retweets (1 − retweet_ratio of tweets) can carry
+        // the comment edge, hence the rescaled per-document probability.
+        let reply_prob =
+            (config.reply_ratio / (1.0 - config.retweet_ratio).max(1e-9)).min(1.0);
+        if !originals.is_empty() && rng.gen_bool(reply_prob) {
+            let oi = pick_original(&mut rng, &originals);
+            let (target, _) = originals[oi];
+            b.add_comment_edge(tree, target);
+            meta.replies += 1;
+        }
+        originals.push((root, 0));
+    }
+
+    TwitterDataset { instance: b.build(), meta, ontology }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> TwitterConfig {
+        let mut c = TwitterConfig::scaled(Scale::Tiny);
+        c.users = 60;
+        c.tweets = 200;
+        c.ontology = OntologyConfig { classes: 10, entities: 50, properties: 4, seed: 3 };
+        c
+    }
+
+    #[test]
+    fn shape_matches_paper_ratios() {
+        let ds = generate(&tiny_config());
+        let m = ds.meta;
+        assert_eq!(m.tweets, 200);
+        // 85% retweets, within generous tolerance at this scale.
+        let rt = m.retweets as f64 / m.tweets as f64;
+        assert!(rt > 0.7 && rt < 0.95, "retweet ratio {rt}");
+        assert_eq!(m.documents + m.retweets, m.tweets);
+        assert!(m.endorsements == m.retweets);
+        // Documents are 3-node trees.
+        let stats = ds.instance.stats();
+        assert_eq!(stats.documents, m.documents);
+        assert_eq!(stats.fragments_non_root, 3 * m.documents);
+        assert!(stats.tags >= m.retweets);
+    }
+
+    #[test]
+    fn social_edges_respect_threshold() {
+        let ds = generate(&tiny_config());
+        let g = ds.instance.graph();
+        for node in g.nodes() {
+            if !g.kind(node).is_user() {
+                continue;
+            }
+            for (_, kind, w) in g.out_edges(node) {
+                if kind == s3_graph::EdgeKind::Social {
+                    assert!((0.1..=1.0).contains(&w), "edge weight {w} below threshold");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&tiny_config());
+        let b = generate(&tiny_config());
+        assert_eq!(a.meta.retweets, b.meta.retweets);
+        assert_eq!(a.meta.replies, b.meta.replies);
+        assert_eq!(a.instance.stats(), b.instance.stats());
+    }
+
+    #[test]
+    fn replies_create_comment_edges() {
+        let ds = generate(&tiny_config());
+        assert_eq!(ds.instance.comment_pairs().len(), ds.meta.replies);
+    }
+
+    #[test]
+    fn entity_mentions_create_semantic_bridge() {
+        let ds = generate(&tiny_config());
+        // Some class keyword must have a non-trivial extension.
+        let grew = ds
+            .ontology
+            .class_keywords
+            .iter()
+            .any(|&c| ds.instance.expand_keyword(c).len() > 1);
+        assert!(grew, "ontology must produce non-trivial extensions");
+    }
+}

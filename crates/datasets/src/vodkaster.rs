@@ -1,0 +1,217 @@
+//! Synthetic I2: the Vodkaster-like instance (paper §5.1).
+//!
+//! Vodkaster is a French social network about movies. Construction rules
+//! from the paper:
+//!
+//! * `u vdk:follow v 1` for every follower pair (a weight-1 `S3:social`
+//!   specialization);
+//! * the **first comment of each movie becomes the document**; every later
+//!   comment on the movie `S3:commentsOn` the first;
+//! * each stemmed sentence of a comment becomes a fragment;
+//! * no knowledge base (the corpus is French; the paper left I2
+//!   unmatched), and no tags.
+
+use crate::text::TextGen;
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_core::{InstanceBuilder, S3Instance, UserId};
+use s3_doc::DocBuilder;
+use s3_text::Language;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct VodkasterConfig {
+    /// Number of users (paper: 5,328).
+    pub users: usize,
+    /// Number of movies (paper: 20,022).
+    pub movies: usize,
+    /// Mean comments per movie (paper: ≈16.5).
+    pub mean_comments: f64,
+    /// Sentences per comment (min, max).
+    pub sentences: (usize, usize),
+    /// Tokens per sentence (min, max).
+    pub sentence_len: (usize, usize),
+    /// Base vocabulary size.
+    pub vocab_size: usize,
+    /// Mean follow out-degree (paper: ≈17.7).
+    pub mean_follows: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl VodkasterConfig {
+    /// Preset sizes per scale (Small ≈ 1/40 of the crawl).
+    pub fn scaled(scale: Scale) -> Self {
+        let f = scale.factor();
+        VodkasterConfig {
+            users: (130.0 * f) as usize + 10,
+            movies: (500.0 * f) as usize + 10,
+            mean_comments: 8.0,
+            sentences: (1, 4),
+            sentence_len: (3, 9),
+            vocab_size: (3000.0 * f) as usize + 400,
+            mean_follows: 17,
+            seed: 0x70D6A,
+        }
+    }
+}
+
+impl Default for VodkasterConfig {
+    fn default() -> Self {
+        VodkasterConfig::scaled(Scale::Small)
+    }
+}
+
+/// Generation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VodkasterMeta {
+    /// Movies simulated.
+    pub movies: usize,
+    /// Total comments (documents).
+    pub comments: usize,
+    /// Follow edges.
+    pub follows: usize,
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct VodkasterDataset {
+    /// The frozen instance.
+    pub instance: S3Instance,
+    /// Generation counters.
+    pub meta: VodkasterMeta,
+}
+
+/// Generate the Vodkaster-like instance.
+pub fn generate(config: &VodkasterConfig) -> VodkasterDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = InstanceBuilder::new(Language::French);
+    let mut textgen = TextGen::new("mot", config.vocab_size, 0);
+
+    let users: Vec<UserId> = (0..config.users).map(|_| b.add_user()).collect();
+
+    // Follow graph: preferential attachment (weights are all 1, as in the
+    // paper's vdk:follow).
+    let mut meta = VodkasterMeta { movies: config.movies, ..VodkasterMeta::default() };
+    let mut popularity: Vec<u32> = vec![1; config.users];
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for i in 0..config.users {
+        let degree = rng.gen_range(1..=config.mean_follows * 2);
+        for _ in 0..degree {
+            // Preferential target.
+            let total: u64 = popularity.iter().map(|&c| c as u64).sum();
+            let mut x = rng.gen_range(0..total);
+            let mut j = config.users - 1;
+            for (cand, &c) in popularity.iter().enumerate() {
+                if x < c as u64 {
+                    j = cand;
+                    break;
+                }
+                x -= c as u64;
+            }
+            if i == j || !seen.insert((i, j)) {
+                continue;
+            }
+            b.add_social_edge(users[i], users[j], 1.0);
+            popularity[j] += 1;
+            meta.follows += 1;
+        }
+    }
+
+    // Movies: first comment = document; later comments comment on it.
+    // Per-movie topic pocket so comments on one movie share vocabulary.
+    for m in 0..config.movies {
+        let n_comments = 1 + (rng.gen_range(0.0..1.0f64).powf(2.0)
+            * 2.0
+            * (config.mean_comments - 1.0)) as usize;
+        let topic: Vec<usize> =
+            (0..8).map(|i| (m * 8 + i) % config.vocab_size).collect();
+        let mut first_root = None;
+        for _ in 0..n_comments {
+            let author = users[rng.gen_range(0..config.users)];
+            let mut doc = DocBuilder::new("comment");
+            let n_sentences = rng.gen_range(config.sentences.0..=config.sentences.1);
+            for _ in 0..n_sentences {
+                let len = rng.gen_range(config.sentence_len.0..=config.sentence_len.1);
+                let kws =
+                    textgen.content(&mut b, &mut rng, len, Some(&topic), 0.45, None, 0.0);
+                let s = doc.child(doc.root(), "sentence");
+                doc.set_content(s, kws);
+            }
+            let tree = b.add_document(doc, Some(author));
+            meta.comments += 1;
+            match first_root {
+                None => first_root = Some(b.doc_root(tree)),
+                Some(root) => b.add_comment_edge(tree, root),
+            }
+        }
+    }
+
+    VodkasterDataset { instance: b.build(), meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> VodkasterConfig {
+        let mut c = VodkasterConfig::scaled(Scale::Tiny);
+        c.users = 30;
+        c.movies = 20;
+        c
+    }
+
+    #[test]
+    fn movies_form_single_components() {
+        let ds = generate(&tiny());
+        let inst = &ds.instance;
+        // Comments per movie all collapse into one content component.
+        let comps: std::collections::HashSet<_> = inst
+            .forest()
+            .trees()
+            .map(|t| {
+                let node = inst.graph().node_of_frag(inst.forest().root(t)).unwrap();
+                inst.graph().components().component_of(node)
+            })
+            .collect();
+        assert_eq!(comps.len(), ds.meta.movies.min(comps.len()));
+        assert!(comps.len() <= ds.meta.movies);
+        assert!(ds.meta.comments >= ds.meta.movies);
+    }
+
+    #[test]
+    fn follow_edges_have_weight_one() {
+        let ds = generate(&tiny());
+        let g = ds.instance.graph();
+        for node in g.nodes() {
+            if !g.kind(node).is_user() {
+                continue;
+            }
+            for (_, kind, w) in g.out_edges(node) {
+                if kind == s3_graph::EdgeKind::Social {
+                    assert_eq!(w, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sentences_are_fragments() {
+        let ds = generate(&tiny());
+        let stats = ds.instance.stats();
+        assert!(stats.fragments_non_root >= stats.documents, "≥1 sentence per comment");
+        assert_eq!(stats.tags, 0, "I2 has no tags");
+    }
+
+    #[test]
+    fn french_language() {
+        let ds = generate(&tiny());
+        assert_eq!(ds.instance.language(), Language::French);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(&tiny()).instance.stats(), generate(&tiny()).instance.stats());
+    }
+}

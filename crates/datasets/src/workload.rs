@@ -1,0 +1,285 @@
+//! Query-workload generation (paper §5.1, "Queries").
+//!
+//! For each instance the paper builds workloads of 100 queries from three
+//! parameters: keyword frequency `f ∈ {+, −}` (top / bottom quartile of
+//! document frequency), query length `l ∈ {1, 5}` and result size
+//! `k ∈ {5, 10}` — eight workloads `qset(f, l, k)` per instance, plus
+//! extra `k ∈ {1, 50}` workloads on I1 for Figure 7.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_core::{Query, S3Instance, UserId};
+use s3_text::{FrequencyClass, KeywordId};
+
+/// Parameters of one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Keyword frequency class (`+` = Common, `−` = Rare).
+    pub frequency: FrequencyClass,
+    /// Keywords per query (paper: 1 or 5).
+    pub keywords_per_query: usize,
+    /// Result size (paper: 5 or 10; 1..50 for Figure 7).
+    pub k: usize,
+    /// Number of queries (paper: 100).
+    pub queries: usize,
+    /// Seed (vary per workload for independence).
+    pub seed: u64,
+}
+
+/// One generated query plus its provenance.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The runnable query.
+    pub query: Query,
+}
+
+/// A named batch of queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display label, e.g. `+,1,5` as in the paper's figures.
+    pub label: String,
+    /// Parameters.
+    pub config: WorkloadConfig,
+    /// The queries.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl Workload {
+    /// The paper's label notation: `f,l,k` with `f ∈ {+,−}`.
+    pub fn paper_label(config: &WorkloadConfig) -> String {
+        let f = match config.frequency {
+            FrequencyClass::Common => "+",
+            FrequencyClass::Rare => "−",
+            FrequencyClass::Middle => "~",
+        };
+        format!("{f},{},{}", config.keywords_per_query, config.k)
+    }
+}
+
+/// Generate one workload against a frozen instance.
+pub fn generate(instance: &S3Instance, config: WorkloadConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pool: Vec<KeywordId> = instance.vocabulary().keywords_in_class(config.frequency);
+    assert!(
+        !pool.is_empty(),
+        "no keywords in class {:?}; corpus too small",
+        config.frequency
+    );
+    let pool_set: std::collections::HashSet<KeywordId> = pool.iter().copied().collect();
+    let num_comps = instance.graph().components().len();
+    let mut queries = Vec::with_capacity(config.queries);
+    for _ in 0..config.queries {
+        let seeker = UserId(rng.gen_range(0..instance.num_users()) as u32);
+        let mut kws = Vec::with_capacity(config.keywords_per_query);
+        if config.keywords_per_query > 1 && num_comps > 0 {
+            // Multi-keyword queries describe one topic: draw co-occurring
+            // keywords from a random content component (falling back to the
+            // global pool), so conjunctive matches exist — users search for
+            // phrases, not independent random words.
+            let comp = s3_graph::CompId(rng.gen_range(0..num_comps) as u32);
+            let mut local: Vec<KeywordId> = instance
+                .component_keywords(comp)
+                .iter()
+                .copied()
+                .filter(|k| pool_set.contains(k))
+                .collect();
+            local.sort_unstable();
+            while kws.len() < config.keywords_per_query && !local.is_empty() {
+                let i = rng.gen_range(0..local.len());
+                kws.push(local.swap_remove(i));
+            }
+        }
+        while kws.len() < config.keywords_per_query {
+            kws.push(pool[rng.gen_range(0..pool.len())]);
+        }
+        kws.sort_unstable();
+        kws.dedup();
+        queries.push(QuerySpec { query: Query::new(seeker, kws, config.k) });
+    }
+    Workload { label: Workload::paper_label(&config), config, queries }
+}
+
+/// The paper's eight `qset(f, l, k)` workloads (§5.1), with
+/// `queries_per_workload` queries each.
+pub fn paper_workloads(instance: &S3Instance, queries_per_workload: usize) -> Vec<Workload> {
+    let mut out = Vec::new();
+    let mut seed = 0xBEEF;
+    for frequency in [FrequencyClass::Common, FrequencyClass::Rare] {
+        for keywords_per_query in [1usize, 5] {
+            for k in [5usize, 10] {
+                seed += 1;
+                out.push(generate(
+                    instance,
+                    WorkloadConfig {
+                        frequency,
+                        keywords_per_query,
+                        k,
+                        queries: queries_per_workload,
+                        seed,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The Figure 7 workloads: `l = 1`, `k ∈ {1, 5, 10, 50}`, both frequency
+/// classes.
+pub fn figure7_workloads(instance: &S3Instance, queries_per_workload: usize) -> Vec<Workload> {
+    let mut out = Vec::new();
+    let mut seed = 0xF16;
+    for frequency in [FrequencyClass::Common, FrequencyClass::Rare] {
+        for k in [1usize, 5, 10, 50] {
+            seed += 1;
+            out.push(generate(
+                instance,
+                WorkloadConfig {
+                    frequency,
+                    keywords_per_query: 1,
+                    k,
+                    queries: queries_per_workload,
+                    seed,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Average relative growth of query size under keyword extension — the
+/// paper reports "+50% on average" for its workloads (§5.1).
+pub fn extension_growth(instance: &S3Instance, workloads: &[Workload]) -> f64 {
+    let mut total_before = 0usize;
+    let mut total_after = 0usize;
+    for w in workloads {
+        for q in &w.queries {
+            for &k in &q.query.keywords {
+                total_before += 1;
+                total_after += instance.expand_keyword(k).len();
+            }
+        }
+    }
+    if total_before == 0 {
+        0.0
+    } else {
+        total_after as f64 / total_before as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twitter::{self, TwitterConfig};
+    use crate::Scale;
+
+    fn instance() -> S3Instance {
+        let mut c = TwitterConfig::scaled(Scale::Tiny);
+        c.users = 50;
+        c.tweets = 300;
+        twitter::generate(&c).instance
+    }
+
+    #[test]
+    fn eight_paper_workloads() {
+        let inst = instance();
+        let ws = paper_workloads(&inst, 10);
+        assert_eq!(ws.len(), 8);
+        let labels: Vec<&str> = ws.iter().map(|w| w.label.as_str()).collect();
+        assert!(labels.contains(&"+,1,5"));
+        assert!(labels.contains(&"−,5,10"));
+        for w in &ws {
+            assert_eq!(w.queries.len(), 10);
+            for q in &w.queries {
+                assert!(!q.query.keywords.is_empty());
+                assert!(q.query.seeker.index() < inst.num_users());
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_classes_differ() {
+        let inst = instance();
+        let common = generate(
+            &inst,
+            WorkloadConfig {
+                frequency: FrequencyClass::Common,
+                keywords_per_query: 1,
+                k: 5,
+                queries: 20,
+                seed: 1,
+            },
+        );
+        let rare = generate(
+            &inst,
+            WorkloadConfig {
+                frequency: FrequencyClass::Rare,
+                keywords_per_query: 1,
+                k: 5,
+                queries: 20,
+                seed: 1,
+            },
+        );
+        let avg = |w: &Workload| -> f64 {
+            let v: Vec<u64> = w
+                .queries
+                .iter()
+                .flat_map(|q| q.query.keywords.iter())
+                .map(|&k| inst.vocabulary().frequency(k))
+                .collect();
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        };
+        assert!(
+            avg(&common) > 3.0 * avg(&rare),
+            "common {} vs rare {}",
+            avg(&common),
+            avg(&rare)
+        );
+    }
+
+    #[test]
+    fn figure7_has_k_sweep() {
+        let inst = instance();
+        let ws = figure7_workloads(&inst, 5);
+        assert_eq!(ws.len(), 8);
+        let ks: Vec<usize> = ws.iter().map(|w| w.config.k).collect();
+        assert!(ks.contains(&1) && ks.contains(&50));
+    }
+
+    #[test]
+    fn extension_growth_is_nonnegative() {
+        let inst = instance();
+        let ws = paper_workloads(&inst, 10);
+        let g = extension_growth(&inst, &ws);
+        assert!(g >= 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = instance();
+        let a = generate(
+            &inst,
+            WorkloadConfig {
+                frequency: FrequencyClass::Common,
+                keywords_per_query: 5,
+                k: 10,
+                queries: 5,
+                seed: 42,
+            },
+        );
+        let b = generate(
+            &inst,
+            WorkloadConfig {
+                frequency: FrequencyClass::Common,
+                keywords_per_query: 5,
+                k: 10,
+                queries: 5,
+                seed: 42,
+            },
+        );
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.query.keywords, y.query.keywords);
+            assert_eq!(x.query.seeker, y.query.seeker);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Synthetic I3: the Yelp-like instance (paper §5.1).
+//!
+//! Yelp Dataset Challenge data: textual business reviews plus a friend
+//! graph. Construction rules from the paper:
+//!
+//! * `u yelp:friend v 1` (weight-1 `S3:social` specialization, symmetric);
+//! * the first review of a business is the document, subsequent reviews
+//!   `S3:commentsOn` it;
+//! * reviews are semantically enriched against DBpedia (unlike I2).
+
+use crate::ontology::{Ontology, OntologyConfig};
+use crate::text::TextGen;
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_core::{InstanceBuilder, S3Instance, UserId};
+use s3_doc::DocBuilder;
+use s3_text::Language;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct YelpConfig {
+    /// Number of users (paper: 366,715).
+    pub users: usize,
+    /// Number of businesses (paper: 61,184).
+    pub businesses: usize,
+    /// Mean reviews per business (paper: ≈34).
+    pub mean_reviews: f64,
+    /// Sentences per review (min, max).
+    pub sentences: (usize, usize),
+    /// Tokens per sentence (min, max).
+    pub sentence_len: (usize, usize),
+    /// Base vocabulary size.
+    pub vocab_size: usize,
+    /// Mean friend degree (paper: ≈10.5).
+    pub mean_friends: usize,
+    /// Probability of an entity mention per token.
+    pub entity_prob: f64,
+    /// Ontology shape.
+    pub ontology: OntologyConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl YelpConfig {
+    /// Preset sizes per scale (Small ≈ 1/500 of the dataset).
+    pub fn scaled(scale: Scale) -> Self {
+        let f = scale.factor();
+        YelpConfig {
+            users: (700.0 * f) as usize + 30,
+            businesses: (120.0 * f) as usize + 10,
+            mean_reviews: 12.0,
+            sentences: (1, 5),
+            sentence_len: (4, 10),
+            vocab_size: (5000.0 * f) as usize + 500,
+            mean_friends: 10,
+            entity_prob: 0.08,
+            ontology: OntologyConfig::default(),
+            seed: 0x9E19,
+        }
+    }
+}
+
+impl Default for YelpConfig {
+    fn default() -> Self {
+        YelpConfig::scaled(Scale::Small)
+    }
+}
+
+/// Generation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YelpMeta {
+    /// Businesses simulated.
+    pub businesses: usize,
+    /// Total reviews (documents).
+    pub reviews: usize,
+    /// Friend edges (undirected pairs).
+    pub friend_pairs: usize,
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct YelpDataset {
+    /// The frozen instance.
+    pub instance: S3Instance,
+    /// Generation counters.
+    pub meta: YelpMeta,
+    /// The installed ontology.
+    pub ontology: Ontology,
+}
+
+/// Generate the Yelp-like instance.
+pub fn generate(config: &YelpConfig) -> YelpDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = InstanceBuilder::new(Language::English);
+    let ontology = Ontology::install(&config.ontology, &mut b);
+    let mut textgen = TextGen::new("word", config.vocab_size, config.ontology.entities);
+
+    let users: Vec<UserId> = (0..config.users).map(|_| b.add_user()).collect();
+
+    // Friend graph: symmetric weight-1 edges, preferential attachment.
+    let mut meta = YelpMeta { businesses: config.businesses, ..YelpMeta::default() };
+    let mut popularity: Vec<u32> = vec![1; config.users];
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for i in 0..config.users {
+        let degree = rng.gen_range(0..=config.mean_friends * 2);
+        for _ in 0..degree {
+            let total: u64 = popularity.iter().map(|&c| c as u64).sum();
+            let mut x = rng.gen_range(0..total);
+            let mut j = config.users - 1;
+            for (cand, &c) in popularity.iter().enumerate() {
+                if x < c as u64 {
+                    j = cand;
+                    break;
+                }
+                x -= c as u64;
+            }
+            let key = (i.min(j), i.max(j));
+            if i == j || !seen.insert(key) {
+                continue;
+            }
+            b.add_social_edge(users[i], users[j], 1.0);
+            b.add_social_edge(users[j], users[i], 1.0);
+            popularity[i] += 1;
+            popularity[j] += 1;
+            meta.friend_pairs += 1;
+        }
+    }
+
+    // Businesses and reviews.
+    for biz in 0..config.businesses {
+        let n_reviews = 1 + (rng.gen_range(0.0..1.0f64).powf(2.0)
+            * 2.0
+            * (config.mean_reviews - 1.0)) as usize;
+        let topic: Vec<usize> =
+            (0..10).map(|i| (biz * 10 + i) % config.vocab_size).collect();
+        let mut first_root = None;
+        for _ in 0..n_reviews {
+            let author = users[rng.gen_range(0..config.users)];
+            let mut doc = DocBuilder::new("review");
+            let n_sentences = rng.gen_range(config.sentences.0..=config.sentences.1);
+            for _ in 0..n_sentences {
+                let len = rng.gen_range(config.sentence_len.0..=config.sentence_len.1);
+                let kws = textgen.content(
+                    &mut b,
+                    &mut rng,
+                    len,
+                    Some(&topic),
+                    0.4,
+                    Some(&ontology),
+                    config.entity_prob,
+                );
+                let s = doc.child(doc.root(), "sentence");
+                doc.set_content(s, kws);
+            }
+            let tree = b.add_document(doc, Some(author));
+            meta.reviews += 1;
+            match first_root {
+                None => first_root = Some(b.doc_root(tree)),
+                Some(root) => b.add_comment_edge(tree, root),
+            }
+        }
+    }
+
+    YelpDataset { instance: b.build(), meta, ontology }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> YelpConfig {
+        let mut c = YelpConfig::scaled(Scale::Tiny);
+        c.users = 50;
+        c.businesses = 15;
+        c.ontology = OntologyConfig { classes: 8, entities: 40, properties: 3, seed: 1 };
+        c
+    }
+
+    #[test]
+    fn shape() {
+        let ds = generate(&tiny());
+        let stats = ds.instance.stats();
+        assert_eq!(stats.documents, ds.meta.reviews);
+        assert_eq!(stats.users, 50);
+        assert!(ds.meta.reviews >= ds.meta.businesses);
+        // Friend edges are symmetric → social_edges = 2 × pairs.
+        assert_eq!(stats.social_edges, 2 * ds.meta.friend_pairs);
+    }
+
+    #[test]
+    fn businesses_merge_reviews_into_components() {
+        let ds = generate(&tiny());
+        let inst = &ds.instance;
+        let comps: std::collections::HashSet<_> = inst
+            .forest()
+            .trees()
+            .map(|t| {
+                let node = inst.graph().node_of_frag(inst.forest().root(t)).unwrap();
+                inst.graph().components().component_of(node)
+            })
+            .collect();
+        assert!(comps.len() <= ds.meta.businesses);
+    }
+
+    #[test]
+    fn semantic_enrichment_present() {
+        let ds = generate(&tiny());
+        let grew = ds
+            .ontology
+            .class_keywords
+            .iter()
+            .any(|&c| ds.instance.expand_keyword(c).len() > 1);
+        assert!(grew);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(&tiny()).instance.stats(), generate(&tiny()).instance.stats());
+    }
+}

@@ -1,0 +1,86 @@
+//! Zipf-distributed sampling (word frequencies in natural text are
+//! famously Zipfian; the workload's rare/common quartile split depends on
+//! reproducing that skew).
+
+use rand::Rng;
+
+/// A Zipf(s) sampler over ranks `0..n` using precomputed cumulative
+/// weights (O(log n) per sample).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `n` ranks with exponent `s` (s ≈ 1 for natural text).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw one rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Roughly Zipfian head: rank 0 ≈ 2× rank 1.
+        let ratio = counts[0] as f64 / counts[1].max(1) as f64;
+        assert!(ratio > 1.4 && ratio < 3.0, "head ratio {ratio}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(100, 1.0);
+        let a: Vec<usize> =
+            (0..50).scan(StdRng::seed_from_u64(3), |r, _| Some(z.sample(r))).collect();
+        let b: Vec<usize> =
+            (0..50).scan(StdRng::seed_from_u64(3), |r, _| Some(z.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Dewey-style positions (paper §2.3, "Fragment position").
+//!
+//! `pos(d, f)` is the list of integers `(i1, …, in)` such that starting from
+//! the root of `d`, moving to its `i1`-th child, then that node's `i2`-th
+//! child, etc., ends at the root of the fragment `f`. The paper implements
+//! it with Dewey-style node IDs as in ORDPATH \[19\] and \[22\]; we do the same.
+//!
+//! The score function only uses `|pos(d, f)|` (the structural distance), but
+//! Dewey labels also give document order and ancestry tests, which the test
+//! suite exercises.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey label: the child-rank path from an (implicit) root. The root
+/// itself has the empty label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Dewey {
+    path: Vec<u16>,
+}
+
+impl Dewey {
+    /// The empty label (the document root relative to itself).
+    pub fn root() -> Self {
+        Dewey { path: Vec::new() }
+    }
+
+    /// Build from explicit child ranks (1-based).
+    pub fn from_path(path: Vec<u16>) -> Self {
+        debug_assert!(path.iter().all(|&r| r >= 1), "child ranks are 1-based");
+        Dewey { path }
+    }
+
+    /// The label of this node's `rank`-th child (1-based).
+    pub fn child(&self, rank: u16) -> Self {
+        let mut path = self.path.clone();
+        path.push(rank);
+        Dewey { path }
+    }
+
+    /// The parent label; `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.path.is_empty() {
+            return None;
+        }
+        Dewey { path: self.path[..self.path.len() - 1].to_vec() }.into()
+    }
+
+    /// The number of steps, i.e. the paper's `|pos(d, f)|`.
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True for the root label.
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// The raw rank path.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.path
+    }
+
+    /// Is `self` an ancestor of (or equal to) `other`? With Dewey labels
+    /// this is exactly the prefix test.
+    pub fn is_ancestor_or_self(&self, other: &Dewey) -> bool {
+        other.path.len() >= self.path.len() && other.path[..self.path.len()] == self.path[..]
+    }
+
+    /// Vertical-neighbor test at the label level (Definition 2.2): one of
+    /// the two is a prefix of the other.
+    pub fn is_vertical_neighbor(&self, other: &Dewey) -> bool {
+        self.is_ancestor_or_self(other) || other.is_ancestor_or_self(self)
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Document order: pre-order traversal order, i.e. lexicographic order on
+/// rank paths with the ancestor before its descendants.
+impl Ord for Dewey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.path.cmp(&other.path)
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            return write!(f, "ε");
+        }
+        let parts: Vec<String> = self.path.iter().map(|r| r.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_position() {
+        // Figure 1 / §2.3: pos(d0.3.2, d0) "may be (3, 2)".
+        let d0 = Dewey::root();
+        let d0_3 = d0.child(3);
+        let d0_3_2 = d0_3.child(2);
+        assert_eq!(d0_3_2.as_slice(), &[3, 2]);
+        assert_eq!(d0_3_2.len(), 2);
+        assert_eq!(d0_3_2.parent(), Some(d0_3));
+    }
+
+    #[test]
+    fn ancestry_is_prefix() {
+        let a = Dewey::from_path(vec![1, 2]);
+        let b = Dewey::from_path(vec![1, 2, 4]);
+        let c = Dewey::from_path(vec![1, 3]);
+        assert!(a.is_ancestor_or_self(&b));
+        assert!(!b.is_ancestor_or_self(&a));
+        assert!(!a.is_ancestor_or_self(&c));
+        assert!(a.is_ancestor_or_self(&a));
+    }
+
+    #[test]
+    fn vertical_neighbors_match_figure_3() {
+        // URI0 and URI0.0.0 are vertical neighbors, so are URI0 and URI0.1,
+        // but URI0.0.0 and URI0.1 are not (§2.5).
+        let uri0 = Dewey::root();
+        let uri0_0_0 = Dewey::from_path(vec![1, 1]);
+        let uri0_1 = Dewey::from_path(vec![2]);
+        assert!(uri0.is_vertical_neighbor(&uri0_0_0));
+        assert!(uri0.is_vertical_neighbor(&uri0_1));
+        assert!(!uri0_0_0.is_vertical_neighbor(&uri0_1));
+    }
+
+    #[test]
+    fn document_order() {
+        let mut labels = [Dewey::from_path(vec![2]),
+            Dewey::from_path(vec![1, 2]),
+            Dewey::root(),
+            Dewey::from_path(vec![1]),
+            Dewey::from_path(vec![1, 1])];
+        labels.sort();
+        let rendered: Vec<String> = labels.iter().map(|d| d.to_string()).collect();
+        assert_eq!(rendered, vec!["ε", "1", "1.1", "1.2", "2"]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dewey::from_path(vec![3, 2]).to_string(), "3.2");
+        assert_eq!(Dewey::root().to_string(), "ε");
+    }
+}

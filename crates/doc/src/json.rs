@@ -1,0 +1,357 @@
+//! Minimal JSON ingestion (paper §2.3: documents are tree-shaped, "e.g.,
+//! XML, JSON, etc.").
+//!
+//! Maps a JSON value onto the S3 document model:
+//!
+//! * an object becomes a node whose children are its members (member names
+//!   are node names from the paper's `N`), in source order;
+//! * an array becomes a node with one `item` child per element;
+//! * strings are analyzed into content keywords of the enclosing node;
+//! * numbers and booleans become single verbatim keywords;
+//! * `null` contributes nothing.
+//!
+//! The parser is a small recursive-descent JSON reader (strings with
+//! escapes, numbers, literals) — no third-party dependency.
+
+use crate::builder::{DocBuilder, LocalNodeId};
+use s3_text::KeywordId;
+use std::fmt;
+
+/// JSON parsing error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a JSON document into a [`DocBuilder`] whose root node carries
+/// `root_name`; `analyze` converts string values into content keywords.
+pub fn parse_json(
+    input: &str,
+    root_name: &str,
+    mut analyze: impl FnMut(&str) -> Vec<KeywordId>,
+) -> Result<DocBuilder, JsonError> {
+    let mut p = JsonParser { bytes: input.as_bytes(), pos: 0 };
+    let mut builder = DocBuilder::new(root_name);
+    let root = builder.root();
+    p.skip_ws();
+    p.value(&mut builder, root, &mut analyze)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after the JSON value"));
+    }
+    Ok(builder)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(
+        &mut self,
+        builder: &mut DocBuilder,
+        node: LocalNodeId,
+        analyze: &mut impl FnMut(&str) -> Vec<KeywordId>,
+    ) -> Result<(), JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(builder, node, analyze),
+            Some(b'[') => self.array(builder, node, analyze),
+            Some(b'"') => {
+                let s = self.string()?;
+                builder.add_content(node, analyze(&s));
+                Ok(())
+            }
+            Some(b't') => self.literal("true", builder, node, analyze),
+            Some(b'f') => self.literal("false", builder, node, analyze),
+            Some(b'n') => {
+                self.keyword_literal("null")?;
+                Ok(())
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let n = self.number()?;
+                builder.add_content(node, analyze(&n));
+                Ok(())
+            }
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(
+        &mut self,
+        word: &'static str,
+        builder: &mut DocBuilder,
+        node: LocalNodeId,
+        analyze: &mut impl FnMut(&str) -> Vec<KeywordId>,
+    ) -> Result<(), JsonError> {
+        self.keyword_literal(word)?;
+        builder.add_content(node, analyze(word));
+        Ok(())
+    }
+
+    fn keyword_literal(&mut self, word: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(
+        &mut self,
+        builder: &mut DocBuilder,
+        node: LocalNodeId,
+        analyze: &mut impl FnMut(&str) -> Vec<KeywordId>,
+    ) -> Result<(), JsonError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let child = builder.child(node, key);
+            self.value(builder, child, analyze)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(
+        &mut self,
+        builder: &mut DocBuilder,
+        node: LocalNodeId,
+        analyze: &mut impl FnMut(&str) -> Vec<KeywordId>,
+    ) -> Result<(), JsonError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let child = builder.child(node, "item");
+            self.value(builder, child, analyze)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<String, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::Forest;
+    use s3_text::{Analyzer, Language};
+
+    fn parse(json: &str) -> (Forest, crate::forest::TreeId, Analyzer) {
+        let mut analyzer = Analyzer::new(Language::English);
+        let builder = parse_json(json, "tweet", |t| analyzer.analyze(t)).expect("parse");
+        let mut forest = Forest::new();
+        let tree = forest.add_document(builder);
+        (forest, tree, analyzer)
+    }
+
+    #[test]
+    fn tweet_shaped_object() {
+        // The paper's I1 documents: text/date/geo — exactly a JSON object.
+        let (forest, tree, _) = parse(
+            r#"{"text": "universities matter", "date": "2014-05-02", "geo": "Bordeaux"}"#,
+        );
+        let root = forest.root(tree);
+        let kids = forest.children(root);
+        assert_eq!(kids.len(), 3);
+        assert_eq!(forest.name(kids[0]), "text");
+        assert_eq!(forest.name(kids[1]), "date");
+        assert_eq!(forest.content(kids[0]).len(), 2);
+    }
+
+    #[test]
+    fn arrays_become_item_children() {
+        let (forest, tree, _) = parse(r#"{"tags": ["alpha", "beta"]}"#);
+        let root = forest.root(tree);
+        let tags = forest.children(root)[0];
+        let items = forest.children(tags);
+        assert_eq!(items.len(), 2);
+        assert_eq!(forest.name(items[0]), "item");
+        assert_eq!(forest.content(items[1]).len(), 1);
+    }
+
+    #[test]
+    fn nested_objects_and_positions() {
+        let (forest, tree, _) = parse(r#"{"a": {"b": {"c": "deep words here"}}}"#);
+        let root = forest.root(tree);
+        let a = forest.children(root)[0];
+        let b = forest.children(a)[0];
+        let c = forest.children(b)[0];
+        assert_eq!(forest.pos(root, c).unwrap().as_slice(), &[1, 1, 1]);
+        // "here" is a stop word; "deep" and "words" survive.
+        assert_eq!(forest.content(c).len(), 2);
+    }
+
+    #[test]
+    fn numbers_and_booleans_are_keywords() {
+        let (forest, tree, analyzer) = parse(r#"{"year": 2012, "grad": true}"#);
+        let root = forest.root(tree);
+        let year = forest.children(root)[0];
+        let y2012 = analyzer.vocabulary().get("2012").unwrap();
+        assert_eq!(forest.content(year), &[y2012]);
+        let grad = forest.children(root)[1];
+        assert_eq!(forest.content(grad).len(), 1);
+    }
+
+    #[test]
+    fn null_contributes_nothing() {
+        let (forest, tree, _) = parse(r#"{"geo": null}"#);
+        let root = forest.root(tree);
+        let geo = forest.children(root)[0];
+        assert!(forest.content(geo).is_empty());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let (forest, tree, analyzer) = parse(r#"{"text": "says \"hello\"\nworld"}"#);
+        let root = forest.root(tree);
+        let text = forest.children(root)[0];
+        assert!(forest.content(text).len() >= 3);
+        assert!(analyzer.vocabulary().get("world").is_some());
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let mut analyzer = Analyzer::new(Language::English);
+        let e = parse_json("{\"a\": }", "d", |t| analyzer.analyze(t)).unwrap_err();
+        assert!(e.offset > 0);
+        assert!(parse_json("[1, 2,]", "d", |t| analyzer.analyze(t)).is_err());
+        assert!(parse_json("{}extra", "d", |t| analyzer.analyze(t)).is_err());
+    }
+
+    #[test]
+    fn unicode_escape() {
+        let (_, _, analyzer) = parse(r#"{"text": "café time"}"#);
+        assert!(analyzer.vocabulary().get("café").is_some());
+    }
+}

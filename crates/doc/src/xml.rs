@@ -1,0 +1,345 @@
+//! Minimal XML ingestion (paper §2.3: "content is created under the form
+//! of structured, tree-shaped documents, e.g., XML, JSON").
+//!
+//! Parses a pragmatic XML subset — elements, attributes, text, comments,
+//! XML declarations, the five predefined entities — directly into a
+//! [`crate::DocBuilder`]. Attributes become child nodes named `@attr`
+//! (attribute names are node names in the paper's `N`), and text is
+//! analyzed by the caller-supplied closure (typically
+//! `s3_text::Analyzer::analyze`), so the content lands in the keyword set
+//! `K` already tokenized/stemmed.
+
+use crate::builder::{DocBuilder, LocalNodeId};
+use s3_text::KeywordId;
+use std::fmt;
+
+/// XML parsing error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse an XML document into a [`DocBuilder`]; `analyze` converts raw text
+/// into content keywords.
+pub fn parse_xml(
+    input: &str,
+    mut analyze: impl FnMut(&str) -> Vec<KeywordId>,
+) -> Result<DocBuilder, XmlError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_prolog();
+    let (name, attrs, self_closing) = p.open_tag()?;
+    let mut builder = DocBuilder::new(name.clone());
+    let root = builder.root();
+    attach_attributes(&mut builder, root, &attrs, &mut analyze);
+    if !self_closing {
+        p.element_body(&name, &mut builder, root, &mut analyze)?;
+    }
+    p.skip_ws_and_comments();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(builder)
+}
+
+fn attach_attributes(
+    builder: &mut DocBuilder,
+    node: LocalNodeId,
+    attrs: &[(String, String)],
+    analyze: &mut impl FnMut(&str) -> Vec<KeywordId>,
+) {
+    for (k, v) in attrs {
+        let child = builder.child(node, format!("@{k}"));
+        builder.set_content(child, analyze(v));
+    }
+}
+
+/// Parsed open tag: name, attributes, self-closing flag.
+type OpenTag = (String, Vec<(String, String)>, bool);
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> XmlError {
+        XmlError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_ws_and_comments();
+        if self.starts_with("<?") {
+            while self.pos < self.bytes.len() && !self.starts_with("?>") {
+                self.pos += 1;
+            }
+            self.pos = (self.pos + 2).min(self.bytes.len());
+        }
+        self.skip_ws_and_comments();
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                while self.pos < self.bytes.len() && !self.starts_with("-->") {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 3).min(self.bytes.len());
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    /// Parse `<name a="v" …>` or `<name …/>`. Assumes `<` is next.
+    fn open_tag(&mut self) -> Result<OpenTag, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((name, attrs, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok((name, attrs, true));
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(self.err("expected a quoted attribute value"));
+                    }
+                    let q = quote.expect("checked");
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != q) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(q) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    attrs.push((key, decode_entities(&raw)));
+                }
+                None => return Err(self.err("unterminated tag")),
+            }
+        }
+    }
+
+    /// Parse children + text until `</name>`.
+    fn element_body(
+        &mut self,
+        name: &str,
+        builder: &mut DocBuilder,
+        node: LocalNodeId,
+        analyze: &mut impl FnMut(&str) -> Vec<KeywordId>,
+    ) -> Result<(), XmlError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated element")),
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.skip_ws_and_comments();
+                        continue;
+                    }
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.name()?;
+                        if close != name {
+                            return Err(self.err("mismatched closing tag"));
+                        }
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err("expected '>'"));
+                        }
+                        self.pos += 1;
+                        let trimmed = text.trim();
+                        if !trimmed.is_empty() {
+                            builder.add_content(node, analyze(trimmed));
+                        }
+                        return Ok(());
+                    }
+                    // Child element.
+                    let (child_name, attrs, self_closing) = self.open_tag()?;
+                    let child = builder.child(node, child_name.clone());
+                    attach_attributes(builder, child, &attrs, analyze);
+                    if !self_closing {
+                        self.element_body(&child_name, builder, child, analyze)?;
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'<') {
+                        self.pos += 1;
+                    }
+                    text.push_str(&decode_entities(&String::from_utf8_lossy(
+                        &self.bytes[start..self.pos],
+                    )));
+                    text.push(' ');
+                }
+            }
+        }
+    }
+}
+
+/// Decode the five predefined XML entities.
+fn decode_entities(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::Forest;
+    use s3_text::{Analyzer, Language};
+
+    fn parse(xml: &str) -> (Forest, crate::forest::TreeId, Analyzer) {
+        let mut analyzer = Analyzer::new(Language::English);
+        let builder = parse_xml(xml, |t| analyzer.analyze(t)).expect("parse");
+        let mut forest = Forest::new();
+        let tree = forest.add_document(builder);
+        (forest, tree, analyzer)
+    }
+
+    #[test]
+    fn parses_nested_structure() {
+        let (forest, tree, _) = parse(
+            "<article><section><p>universities and degrees</p></section><aside/></article>",
+        );
+        let root = forest.root(tree);
+        assert_eq!(forest.name(root), "article");
+        let kids = forest.children(root);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(forest.name(kids[0]), "section");
+        assert_eq!(forest.name(kids[1]), "aside");
+        let p = forest.children(kids[0])[0];
+        assert_eq!(forest.name(p), "p");
+        assert_eq!(forest.content(p).len(), 2); // "univers", "degre"
+    }
+
+    #[test]
+    fn attributes_become_nodes() {
+        let (forest, tree, analyzer) = parse(r#"<tweet lang="english"><text>hello world</text></tweet>"#);
+        let root = forest.root(tree);
+        let kids = forest.children(root);
+        assert_eq!(forest.name(kids[0]), "@lang");
+        let english = analyzer.vocabulary().get("english").unwrap();
+        assert_eq!(forest.content(kids[0]), &[english]);
+    }
+
+    #[test]
+    fn prolog_comments_and_entities() {
+        let (forest, tree, analyzer) = parse(
+            "<?xml version=\"1.0\"?><!-- a comment --><doc>ties &amp; bonds</doc><!-- end -->",
+        );
+        let root = forest.root(tree);
+        assert_eq!(forest.name(root), "doc");
+        // "&" disappears at tokenization; "ties"→"ti", "bonds"→"bond".
+        assert!(analyzer.vocabulary().get("bond").is_some());
+        assert_eq!(forest.content(root).len(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let mut analyzer = Analyzer::new(Language::English);
+        let err = parse_xml("<a><b></a></b>", |t| analyzer.analyze(t)).unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let mut analyzer = Analyzer::new(Language::English);
+        let err = parse_xml("<a/>junk", |t| analyzer.analyze(t)).unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_errors() {
+        let mut analyzer = Analyzer::new(Language::English);
+        assert!(parse_xml("<a><b>", |t| analyzer.analyze(t)).is_err());
+        assert!(parse_xml("<a attr=>x</a>", |t| analyzer.analyze(t)).is_err());
+    }
+
+    #[test]
+    fn mixed_text_and_children() {
+        let (forest, tree, _) = parse("<p>alpha <b>beta</b> gamma</p>");
+        let root = forest.root(tree);
+        // Text accumulates on the parent ("alpha", "gamma"), child holds
+        // "beta".
+        assert_eq!(forest.content(root).len(), 2);
+        let b = forest.children(root)[0];
+        assert_eq!(forest.content(b).len(), 1);
+    }
+
+    #[test]
+    fn dewey_positions_from_xml() {
+        let (forest, tree, _) = parse("<r><a/><b><c/></b></r>");
+        let root = forest.root(tree);
+        let b = forest.children(root)[1];
+        let c = forest.children(b)[0];
+        assert_eq!(forest.pos(root, c).unwrap().as_slice(), &[2, 1]);
+    }
+}

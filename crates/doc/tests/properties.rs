@@ -1,0 +1,113 @@
+//! Property tests for the forest and Dewey labels on random trees.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_doc::{DocBuilder, Dewey, Forest};
+
+/// Build a random tree of up to `max_nodes` nodes from a seed.
+fn random_tree(seed: u64, max_nodes: usize) -> (Forest, s3_doc::TreeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DocBuilder::new("root");
+    let mut nodes = vec![b.root()];
+    let extra = rng.gen_range(0..max_nodes);
+    for _ in 0..extra {
+        let parent = nodes[rng.gen_range(0..nodes.len())];
+        nodes.push(b.child(parent, "n"));
+    }
+    let mut forest = Forest::new();
+    let tree = forest.add_document(b);
+    (forest, tree)
+}
+
+proptest! {
+    /// Pre-order contiguity: every subtree is exactly its id interval, and
+    /// parent intervals contain child intervals.
+    #[test]
+    fn subtree_ranges_nest(seed in 0u64..5000) {
+        let (forest, tree) = random_tree(seed, 30);
+        for node in forest.fragments(forest.root(tree)) {
+            let range = forest.subtree_range(node);
+            prop_assert!(range.contains(&node.index()));
+            if let Some(p) = forest.parent(node) {
+                let pr = forest.subtree_range(p);
+                prop_assert!(pr.start <= range.start && range.end <= pr.end);
+            }
+        }
+    }
+
+    /// `pos(d, f)` walks exactly to `f`: replaying the Dewey ranks through
+    /// `children()` lands on the fragment, and `|pos|` equals the depth gap.
+    #[test]
+    fn pos_roundtrips(seed in 0u64..3000) {
+        let (forest, tree) = random_tree(seed, 25);
+        let root = forest.root(tree);
+        for f in forest.fragments(root) {
+            let pos = forest.pos(root, f).expect("root is an ancestor");
+            prop_assert_eq!(pos.len() as u32, forest.depth(f));
+            let mut cur = root;
+            for &rank in pos.as_slice() {
+                let kids = forest.children(cur);
+                prop_assert!(rank as usize <= kids.len());
+                cur = kids[rank as usize - 1];
+            }
+            prop_assert_eq!(cur, f);
+        }
+    }
+
+    /// Vertical neighborhood is symmetric, reflexive, and equals the
+    /// ancestor-or-descendant relation.
+    #[test]
+    fn vertical_neighborhood_properties(seed in 0u64..2000) {
+        let (forest, tree) = random_tree(seed, 15);
+        let nodes: Vec<_> = forest.fragments(forest.root(tree)).collect();
+        for &a in &nodes {
+            prop_assert!(forest.is_vertical_neighbor(a, a));
+            for &b in &nodes {
+                let direct = forest.is_ancestor_or_self(a, b) || forest.is_ancestor_or_self(b, a);
+                prop_assert_eq!(forest.is_vertical_neighbor(a, b), direct);
+                prop_assert_eq!(
+                    forest.is_vertical_neighbor(a, b),
+                    forest.is_vertical_neighbor(b, a)
+                );
+            }
+        }
+    }
+
+    /// Dewey prefix-order agrees with the forest's ancestor relation.
+    #[test]
+    fn dewey_prefix_equals_ancestry(seed in 0u64..2000) {
+        let (forest, tree) = random_tree(seed, 20);
+        let root = forest.root(tree);
+        let labels: Vec<(s3_doc::DocNodeId, Dewey)> = forest
+            .fragments(root)
+            .map(|f| (f, forest.pos(root, f).expect("ancestor")))
+            .collect();
+        for (a, la) in &labels {
+            for (b, lb) in &labels {
+                prop_assert_eq!(
+                    la.is_ancestor_or_self(lb),
+                    forest.is_ancestor_or_self(*a, *b),
+                    "{} vs {}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    /// Document order (Dewey lexicographic) equals pre-order id order.
+    #[test]
+    fn document_order_is_preorder(seed in 0u64..2000) {
+        let (forest, tree) = random_tree(seed, 20);
+        let root = forest.root(tree);
+        let mut labels: Vec<(Dewey, s3_doc::DocNodeId)> = forest
+            .fragments(root)
+            .map(|f| (forest.pos(root, f).expect("ancestor"), f))
+            .collect();
+        labels.sort();
+        for w in labels.windows(2) {
+            prop_assert!(w[0].1 < w[1].1, "Dewey order must equal id (pre-)order");
+        }
+    }
+}

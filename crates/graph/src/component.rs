@@ -1,0 +1,181 @@
+//! Content components (paper §5.2).
+//!
+//! "Reachability by such edges [`S3:partOf`, `S3:commentsOn±`,
+//! `S3:hasSubject±`] defines a partition of the documents into connected
+//! components. … a fragment matches the query keywords iff its component
+//! matches it, leading to an efficient pruning procedure."
+//!
+//! Components are computed once at graph freeze with a union-find; users are
+//! singletons (social edges are not content edges).
+
+use crate::node::{NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Dense component id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The frozen partition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Components {
+    comp_of: Vec<CompId>,
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Components {
+    /// Build the partition: unite each registered tree's node range, then
+    /// the endpoints of every content-closure edge.
+    pub fn build(
+        num_nodes: usize,
+        kinds: &[NodeKind],
+        tree_ranges: impl Iterator<Item = std::ops::Range<usize>>,
+        content_edges: impl Iterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let mut uf = UnionFind::new(num_nodes);
+        for range in tree_ranges {
+            let root = range.start;
+            for i in range {
+                uf.union(root, i);
+            }
+        }
+        for (a, b) in content_edges {
+            uf.union(a.index(), b.index());
+        }
+        // Dense relabeling.
+        let mut label = vec![u32::MAX; num_nodes];
+        let mut comp_of = Vec::with_capacity(num_nodes);
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        for i in 0..num_nodes {
+            let r = uf.find(i);
+            if label[r] == u32::MAX {
+                label[r] = members.len() as u32;
+                members.push(Vec::new());
+            }
+            let c = CompId(label[r]);
+            comp_of.push(c);
+            members[c.index()].push(NodeId(i as u32));
+        }
+        debug_assert_eq!(kinds.len(), num_nodes);
+        Components { comp_of, members }
+    }
+
+    /// The component of a node.
+    pub fn component_of(&self, node: NodeId) -> CompId {
+        self.comp_of[node.index()]
+    }
+
+    /// The member nodes of a component (ascending ids).
+    pub fn members(&self, comp: CompId) -> &[NodeId] {
+        &self.members[comp.index()]
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterate over component ids.
+    pub fn iter(&self) -> impl Iterator<Item = CompId> {
+        (0..self.members.len() as u32).map(CompId)
+    }
+}
+
+/// Path-halving union-find.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_eq!(uf.find(3), uf.find(4));
+        assert_ne!(uf.find(0), uf.find(3));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(4));
+        assert_ne!(uf.find(2), uf.find(0));
+    }
+
+    #[test]
+    fn build_partitions() {
+        // 6 nodes: users 0,1; tree [2..5); tag 5 attached to node 3.
+        let kinds = vec![
+            NodeKind::User(0),
+            NodeKind::User(1),
+            NodeKind::Frag(s3_doc::DocNodeId(0)),
+            NodeKind::Frag(s3_doc::DocNodeId(1)),
+            NodeKind::Frag(s3_doc::DocNodeId(2)),
+            NodeKind::Tag(0),
+        ];
+        let comps = Components::build(
+            6,
+            &kinds,
+            std::iter::once(2..5),
+            std::iter::once((NodeId(5), NodeId(3))),
+        );
+        assert_eq!(comps.component_of(NodeId(2)), comps.component_of(NodeId(4)));
+        assert_eq!(comps.component_of(NodeId(5)), comps.component_of(NodeId(3)));
+        assert_ne!(comps.component_of(NodeId(0)), comps.component_of(NodeId(1)));
+        assert_ne!(comps.component_of(NodeId(0)), comps.component_of(NodeId(2)));
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps.members(comps.component_of(NodeId(2))).len(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let comps = Components::build(0, &[], std::iter::empty(), std::iter::empty());
+        assert!(comps.is_empty());
+        assert_eq!(comps.len(), 0);
+    }
+}

@@ -1,0 +1,474 @@
+//! The social graph: construction ([`GraphBuilder`]) and the frozen,
+//! query-ready form ([`SocialGraph`]).
+//!
+//! Freezing computes the three derived structures everything else needs:
+//! a CSR adjacency over network edges, the vertical-neighborhood weights
+//! `W(neigh(n))` of §2.5, and the content components of §5.2.
+
+use crate::component::Components;
+use crate::edge::EdgeKind;
+use crate::node::{NodeId, NodeKind};
+use s3_doc::{DocNodeId, Forest, TreeId};
+
+const UNREGISTERED: u32 = u32::MAX;
+
+/// Mutable graph under construction. Nodes of a registered document tree
+/// receive contiguous ids in pre-order.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    forest: Forest,
+    kinds: Vec<NodeKind>,
+    frag_node: Vec<u32>,
+    tree_root_node: Vec<u32>,
+    edges: Vec<(NodeId, NodeId, EdgeKind, f64)>,
+    num_users: u32,
+    num_tags: u32,
+}
+
+impl GraphBuilder {
+    /// Start building over a frozen document forest.
+    pub fn new(forest: Forest) -> Self {
+        let frag_node = vec![UNREGISTERED; forest.num_nodes()];
+        let tree_root_node = vec![UNREGISTERED; forest.num_trees()];
+        GraphBuilder {
+            forest,
+            kinds: Vec::new(),
+            frag_node,
+            tree_root_node,
+            edges: Vec::new(),
+            num_users: 0,
+            num_tags: 0,
+        }
+    }
+
+    /// The underlying forest.
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Add a user node.
+    pub fn add_user(&mut self) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::User(self.num_users));
+        self.num_users += 1;
+        id
+    }
+
+    /// Add a tag node.
+    pub fn add_tag(&mut self) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Tag(self.num_tags));
+        self.num_tags += 1;
+        id
+    }
+
+    /// Register every node of a document tree as a fragment node; returns
+    /// the node id of the tree root. Ids are contiguous in pre-order.
+    pub fn register_tree(&mut self, tree: TreeId) -> NodeId {
+        assert_eq!(
+            self.tree_root_node[tree.index()],
+            UNREGISTERED,
+            "tree registered twice"
+        );
+        let base = self.kinds.len() as u32;
+        self.tree_root_node[tree.index()] = base;
+        for doc_idx in self.forest.tree_range(tree) {
+            self.frag_node[doc_idx] = self.kinds.len() as u32;
+            self.kinds.push(NodeKind::Frag(DocNodeId(doc_idx as u32)));
+        }
+        NodeId(base)
+    }
+
+    /// The graph node of a document node, if its tree was registered.
+    pub fn node_of_frag(&self, f: DocNodeId) -> Option<NodeId> {
+        match self.frag_node[f.index()] {
+            UNREGISTERED => None,
+            id => Some(NodeId(id)),
+        }
+    }
+
+    /// Add a network edge; for invertible kinds the inverse edge is added
+    /// automatically (the paper's `s p̄ o ∈ I iff o p s ∈ I`, §2.4).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind, weight: f64) {
+        debug_assert!(weight > 0.0 && weight <= 1.0, "edge weight {weight} outside (0,1]");
+        self.edges.push((from, to, kind, weight));
+        if let Some(inv) = kind.inverse() {
+            self.edges.push((to, from, inv, weight));
+        }
+    }
+
+    /// Number of nodes so far.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Freeze into a [`SocialGraph`].
+    pub fn build(self) -> SocialGraph {
+        let n = self.kinds.len();
+        // CSR over out-edges.
+        let mut degree = vec![0u32; n];
+        for &(from, _, _, _) in &self.edges {
+            degree[from.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let m = self.edges.len();
+        let mut targets = vec![NodeId(0); m];
+        let mut weights = vec![0.0f64; m];
+        let mut ekinds = vec![EdgeKind::Social; m];
+        let mut cursor = offsets[..n].to_vec();
+        for &(from, to, kind, w) in &self.edges {
+            let slot = cursor[from.index()] as usize;
+            cursor[from.index()] += 1;
+            targets[slot] = to;
+            weights[slot] = w;
+            ekinds[slot] = kind;
+        }
+
+        // Per-node total outgoing weight.
+        let mut out_weight = vec![0.0f64; n];
+        for i in 0..n {
+            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+            out_weight[i] = weights[s..e].iter().sum();
+        }
+
+        // W(neigh(n)) (§2.5): for users/tags the node itself; for fragments
+        // the ancestor-or-self chain plus the subtree.
+        let mut nb_weight = out_weight.clone();
+        for tree in self.forest.trees() {
+            let base = self.tree_root_node[tree.index()];
+            if base == UNREGISTERED {
+                continue;
+            }
+            let range = self.forest.tree_range(tree);
+            let first_doc = range.start;
+            let len = range.len();
+            // anc[i]: sum of out_weight over strict ancestors.
+            let mut anc = vec![0.0f64; len];
+            // sub[i]: sum of out_weight over the subtree (incl. self).
+            let mut sub = vec![0.0f64; len];
+            for (i, doc_idx) in range.clone().enumerate() {
+                let node = base as usize + i;
+                sub[i] = out_weight[node];
+                if let Some(p) = self.forest.parent(DocNodeId(doc_idx as u32)) {
+                    let pi = p.index() - first_doc;
+                    let pnode = base as usize + pi;
+                    anc[i] = anc[pi] + out_weight[pnode];
+                }
+            }
+            for i in (0..len).rev() {
+                let doc_idx = first_doc + i;
+                if let Some(p) = self.forest.parent(DocNodeId(doc_idx as u32)) {
+                    let pi = p.index() - first_doc;
+                    sub[pi] += sub[i];
+                }
+            }
+            for i in 0..len {
+                nb_weight[base as usize + i] = anc[i] + sub[i];
+            }
+        }
+
+        let components = Components::build(
+            n,
+            &self.kinds,
+            self.forest
+                .trees()
+                .filter(|t| self.tree_root_node[t.index()] != UNREGISTERED)
+                .map(|t| {
+                    let base = self.tree_root_node[t.index()] as usize;
+                    base..base + self.forest.tree_len(t)
+                }),
+            self.edges
+                .iter()
+                .filter(|(_, _, k, _)| k.is_content_closure())
+                .map(|&(f, t, _, _)| (f, t)),
+        );
+
+        SocialGraph {
+            forest: self.forest,
+            kinds: self.kinds,
+            frag_node: self.frag_node,
+            tree_root_node: self.tree_root_node,
+            offsets,
+            targets,
+            weights,
+            ekinds,
+            out_weight,
+            nb_weight,
+            components,
+            num_users: self.num_users,
+            num_tags: self.num_tags,
+        }
+    }
+}
+
+/// Immutable, query-ready social graph.
+#[derive(Debug)]
+pub struct SocialGraph {
+    forest: Forest,
+    kinds: Vec<NodeKind>,
+    frag_node: Vec<u32>,
+    tree_root_node: Vec<u32>,
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+    ekinds: Vec<EdgeKind>,
+    out_weight: Vec<f64>,
+    nb_weight: Vec<f64>,
+    components: Components,
+    num_users: u32,
+    num_tags: u32,
+}
+
+impl SocialGraph {
+    /// The document forest.
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Node kind.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of user nodes.
+    pub fn num_users(&self) -> usize {
+        self.num_users as usize
+    }
+
+    /// Number of tag nodes.
+    pub fn num_tags(&self) -> usize {
+        self.num_tags as usize
+    }
+
+    /// Number of directed network edges (inverses included).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The graph node of a document node, if registered.
+    pub fn node_of_frag(&self, f: DocNodeId) -> Option<NodeId> {
+        match self.frag_node[f.index()] {
+            UNREGISTERED => None,
+            id => Some(NodeId(id)),
+        }
+    }
+
+    /// The document node behind a fragment graph-node.
+    pub fn frag_of_node(&self, node: NodeId) -> Option<DocNodeId> {
+        self.kinds[node.index()].as_frag()
+    }
+
+    /// The tree of a fragment node.
+    pub fn tree_of_node(&self, node: NodeId) -> Option<TreeId> {
+        self.frag_of_node(node).map(|f| self.forest.tree_of(f))
+    }
+
+    /// Graph-node range of a registered tree (contiguous, pre-order).
+    pub fn tree_node_range(&self, tree: TreeId) -> Option<std::ops::Range<usize>> {
+        match self.tree_root_node[tree.index()] {
+            UNREGISTERED => None,
+            base => Some(base as usize..base as usize + self.forest.tree_len(tree)),
+        }
+    }
+
+    /// Outgoing network edges of a node: `(target, kind, weight)`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind, f64)> + '_ {
+        let (s, e) =
+            (self.offsets[node.index()] as usize, self.offsets[node.index() + 1] as usize);
+        (s..e).map(move |i| (self.targets[i], self.ekinds[i], self.weights[i]))
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        (self.offsets[node.index() + 1] - self.offsets[node.index()]) as usize
+    }
+
+    /// Total weight of the network edges leaving this node.
+    pub fn out_weight(&self, node: NodeId) -> f64 {
+        self.out_weight[node.index()]
+    }
+
+    /// `W(neigh(n))` (§2.5): total weight of network edges leaving any
+    /// vertical neighbor of `n` — the denominator of path normalization.
+    pub fn neighborhood_weight(&self, node: NodeId) -> f64 {
+        self.nb_weight[node.index()]
+    }
+
+    /// The vertical neighborhood of a node, as graph nodes (ancestors +
+    /// subtree for fragments; the singleton otherwise). Mainly for tests
+    /// and the naive oracle — hot paths use contiguous ranges instead.
+    pub fn neighborhood_nodes(&self, node: NodeId) -> Vec<NodeId> {
+        match self.kinds[node.index()] {
+            NodeKind::User(_) | NodeKind::Tag(_) => vec![node],
+            NodeKind::Frag(f) => {
+                let mut out = Vec::new();
+                for anc in self.forest.ancestors(f) {
+                    out.push(self.node_of_frag(anc).expect("tree registered"));
+                }
+                for d in self.forest.fragments(f) {
+                    out.push(self.node_of_frag(d).expect("tree registered"));
+                }
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Are `a` and `b` in the same vertical neighborhood (`a = b`, or the
+    /// fragment relation holds between them)?
+    pub fn same_neighborhood(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.frag_of_node(a), self.frag_of_node(b)) {
+            (Some(fa), Some(fb)) => self.forest.is_vertical_neighbor(fa, fb),
+            _ => false,
+        }
+    }
+
+    /// The content components (§5.2 pruning partition).
+    pub fn components(&self) -> &Components {
+        &self.components
+    }
+
+    /// All nodes of a given kind predicate (testing convenience).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_doc::DocBuilder;
+
+    /// Build the Figure 3 instance of the paper:
+    /// users u0..u3, documents URI0 (with children URI0.0 → URI0.0.0 and
+    /// URI0.1) and URI1, and tag a0.
+    pub(crate) fn figure3() -> (SocialGraph, Vec<NodeId>, Vec<NodeId>, NodeId) {
+        let mut forest = Forest::new();
+        let mut b0 = DocBuilder::new("doc"); // URI0
+        let n00 = b0.child(b0.root(), "sec"); // URI0.0
+        let _n000 = b0.child(n00, "p"); // URI0.0.0
+        let _n01 = b0.child(b0.root(), "sec"); // URI0.1
+        let t0 = forest.add_document(b0);
+        let b1 = DocBuilder::new("doc"); // URI1
+        let t1 = forest.add_document(b1);
+
+        let mut g = GraphBuilder::new(forest);
+        let users: Vec<NodeId> = (0..4).map(|_| g.add_user()).collect();
+        let root0 = g.register_tree(t0);
+        let uri0 = root0;
+        let uri0_0 = NodeId(root0.0 + 1);
+        let uri0_0_0 = NodeId(root0.0 + 2);
+        let uri0_1 = NodeId(root0.0 + 3);
+        let uri1 = g.register_tree(t1);
+        let a0 = g.add_tag();
+
+        // Social edges of Figure 3.
+        g.add_edge(users[0], users[3], EdgeKind::Social, 0.3);
+        g.add_edge(users[1], users[3], EdgeKind::Social, 0.5);
+        g.add_edge(users[3], users[2], EdgeKind::Social, 0.5);
+        g.add_edge(users[2], users[3], EdgeKind::Social, 0.7);
+        // Posting.
+        g.add_edge(uri0, users[0], EdgeKind::PostedBy, 1.0);
+        g.add_edge(uri1, users[1], EdgeKind::PostedBy, 1.0);
+        // URI1 comments on URI0.1; URI0.0 is commented by nothing else.
+        g.add_edge(uri1, uri0_1, EdgeKind::CommentsOn, 1.0);
+        // Tag a0 on URI0.0.0 by u2.
+        g.add_edge(a0, uri0_0_0, EdgeKind::HasSubject, 1.0);
+        g.add_edge(a0, users[2], EdgeKind::HasAuthor, 1.0);
+
+        let graph = g.build();
+        (graph, users, vec![uri0, uri0_0, uri0_0_0, uri0_1, uri1], a0)
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let (g, users, docs, a0) = figure3();
+        assert_eq!(g.num_users(), 4);
+        assert_eq!(g.num_tags(), 1);
+        assert_eq!(g.num_nodes(), 4 + 5 + 1);
+        assert!(g.kind(users[0]).is_user());
+        assert!(g.kind(docs[0]).is_frag());
+        assert!(g.kind(a0).is_tag());
+        // 4 social + (1+1 posted)×2 + 1×2 comments + 2×2 tag edges = 14.
+        assert_eq!(g.num_edges(), 14);
+    }
+
+    #[test]
+    fn inverse_edges_are_materialized() {
+        let (g, users, docs, _) = figure3();
+        let from_u0: Vec<_> = g.out_edges(users[0]).collect();
+        assert!(from_u0
+            .iter()
+            .any(|&(t, k, _)| t == docs[0] && k == EdgeKind::PostedByInv));
+        assert!(from_u0.iter().any(|&(t, k, w)| t == users[3] && k == EdgeKind::Social && w == 0.3));
+        assert_eq!(g.out_degree(users[0]), 2);
+    }
+
+    #[test]
+    fn example_2_3_normalization_weights() {
+        // Paper Example 2.3: the first edge of the path from u0 is
+        // normalized by W(neigh(u0)) = 1 + 0.3; the edge leaving URI0.0.0
+        // after the vertical traversal is normalized by the 4 weight-1
+        // edges leaving fragments of URI0.
+        let (g, users, docs, _) = figure3();
+        assert!((g.neighborhood_weight(users[0]) - 1.3).abs() < 1e-12);
+        // Edges leaving the URI0 tree: postedBy (URI0→u0), commentsOn⁻
+        // (URI0.1→URI1), hasSubject⁻ (URI0.0.0→a0) = 3 total for the root's
+        // neighborhood (the whole tree).
+        assert!((g.neighborhood_weight(docs[0]) - 3.0).abs() < 1e-12);
+        // neigh(URI0.0.0) = {URI0, URI0.0, URI0.0.0}: edges out are
+        // postedBy from URI0 and hasSubject⁻ from URI0.0.0 → weight 2.
+        assert!((g.neighborhood_weight(docs[2]) - 2.0).abs() < 1e-12);
+        // neigh(URI0.1) = {URI0, URI0.1}: postedBy + commentsOn⁻ → 2.
+        assert!((g.neighborhood_weight(docs[3]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighborhood_nodes_follow_definition() {
+        let (g, _, docs, a0) = figure3();
+        let nb = g.neighborhood_nodes(docs[2]); // URI0.0.0
+        assert_eq!(nb, vec![docs[0], docs[1], docs[2]]);
+        // A leaf in the other branch: {URI0, URI0.1}.
+        let nb = g.neighborhood_nodes(docs[3]);
+        assert_eq!(nb, vec![docs[0], docs[3]]);
+        assert_eq!(g.neighborhood_nodes(a0), vec![a0]);
+        assert!(g.same_neighborhood(docs[0], docs[2]));
+        assert!(!g.same_neighborhood(docs[2], docs[3]));
+    }
+
+    #[test]
+    fn components_partition() {
+        // URI0's tree, URI1 (comments on URI0.1) and a0 (hasSubject into the
+        // tree) are one component; users are singletons.
+        let (g, users, docs, a0) = figure3();
+        let comps = g.components();
+        let c = comps.component_of(docs[0]);
+        for &n in &[docs[1], docs[2], docs[3], docs[4], a0] {
+            assert_eq!(comps.component_of(n), c);
+        }
+        assert_ne!(comps.component_of(users[0]), c);
+        assert_ne!(comps.component_of(users[0]), comps.component_of(users[1]));
+        assert_eq!(comps.members(c).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "tree registered twice")]
+    fn double_registration_panics() {
+        let mut forest = Forest::new();
+        let t = forest.add_document(DocBuilder::new("d"));
+        let mut g = GraphBuilder::new(forest);
+        g.register_tree(t);
+        g.register_tree(t);
+    }
+}

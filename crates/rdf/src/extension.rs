@@ -1,0 +1,163 @@
+//! Keyword extension `Ext(k)` (paper Definition 2.1).
+//!
+//! Given a saturated instance `I` and a keyword `k`:
+//!
+//! * `k ∈ Ext(k)`;
+//! * for any triple `b type k`, `b ≺sc k` or `b ≺sp k` in `I`,
+//!   `b ∈ Ext(k)`.
+//!
+//! Because the store is saturated, the one-step lookup below already sees
+//! the transitive closure (`M.S. ≺sc Masters ≺sc Degree` materializes
+//! `M.S. ≺sc Degree`), so `Ext` never generalizes a keyword — every member
+//! is an instance or specialization of `k`, as the paper requires.
+
+use crate::store::TripleStore;
+use crate::triple::Term;
+use crate::vocabulary as voc;
+use crate::UriId;
+use std::collections::HashMap;
+
+/// Compute `Ext(k)` for the URI `k`. The result starts with `k` itself and
+/// is deduplicated; order is deterministic (k first, then by id).
+pub fn extension(store: &TripleStore, k: UriId) -> Vec<UriId> {
+    let mut out = vec![k];
+    let mut seen: Vec<UriId> = Vec::new();
+    for p in [voc::RDF_TYPE, voc::RDFS_SUBCLASS_OF, voc::RDFS_SUBPROPERTY_OF] {
+        for (b, w) in store.subjects(p, Term::Uri(k)) {
+            if w == 1.0 && b != k {
+                seen.push(b);
+            }
+        }
+    }
+    seen.sort_unstable();
+    seen.dedup();
+    out.extend(seen);
+    out
+}
+
+/// A cache of keyword extensions, for query-time reuse (the paper reports
+/// that extensions grow workload queries by ~50%, so they are computed for
+/// every query keyword).
+#[derive(Debug, Default)]
+pub struct ExtensionIndex {
+    cache: HashMap<UriId, Vec<UriId>>,
+}
+
+impl ExtensionIndex {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `Ext(k)`, computed on first use.
+    pub fn get<'a>(&'a mut self, store: &TripleStore, k: UriId) -> &'a [UriId] {
+        self.cache.entry(k).or_insert_with(|| extension(store, k))
+    }
+
+    /// Number of cached extensions.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intern(st: &mut TripleStore, s: &str) -> UriId {
+        st.dictionary_mut().intern(s)
+    }
+
+    #[test]
+    fn extension_contains_self() {
+        let st = TripleStore::new();
+        let k = voc::S3_USER;
+        assert_eq!(extension(&st, k), vec![k]);
+    }
+
+    #[test]
+    fn paper_example_ms_degree() {
+        // "given the keyword degree, and assuming M.S. ≺sc degree holds in
+        // I, we have M.S. ∈ Ext(degree)" (§2.1).
+        let mut st = TripleStore::new();
+        let ms = intern(&mut st, "M.S.");
+        let degree = intern(&mut st, "degree");
+        st.insert(ms, voc::RDFS_SUBCLASS_OF, Term::Uri(degree), 1.0);
+        st.saturate();
+        let ext = extension(&st, degree);
+        assert!(ext.contains(&ms));
+        assert_eq!(ext[0], degree);
+    }
+
+    #[test]
+    fn extension_sees_transitive_specializations_after_saturation() {
+        let mut st = TripleStore::new();
+        let a = intern(&mut st, "EDBTDegree");
+        let b = intern(&mut st, "M.S.");
+        let c = intern(&mut st, "degree");
+        st.insert(a, voc::RDFS_SUBCLASS_OF, Term::Uri(b), 1.0);
+        st.insert(b, voc::RDFS_SUBCLASS_OF, Term::Uri(c), 1.0);
+        st.saturate();
+        let ext = extension(&st, c);
+        assert!(ext.contains(&a), "transitive subclass must be in Ext");
+        assert!(ext.contains(&b));
+    }
+
+    #[test]
+    fn instances_are_in_extension() {
+        let mut st = TripleStore::new();
+        let ualberta = intern(&mut st, "UAlberta");
+        let university = intern(&mut st, "University");
+        st.insert(ualberta, voc::RDF_TYPE, Term::Uri(university), 1.0);
+        st.saturate();
+        assert!(extension(&st, university).contains(&ualberta));
+    }
+
+    #[test]
+    fn subproperties_are_in_extension() {
+        let mut st = TripleStore::new();
+        let friend = intern(&mut st, "friend");
+        st.insert(friend, voc::RDFS_SUBPROPERTY_OF, Term::Uri(voc::S3_SOCIAL), 1.0);
+        st.saturate();
+        assert!(extension(&st, voc::S3_SOCIAL).contains(&friend));
+    }
+
+    #[test]
+    fn extension_never_generalizes() {
+        // `degree` must NOT appear in Ext(M.S.).
+        let mut st = TripleStore::new();
+        let ms = intern(&mut st, "M.S.");
+        let degree = intern(&mut st, "degree");
+        st.insert(ms, voc::RDFS_SUBCLASS_OF, Term::Uri(degree), 1.0);
+        st.saturate();
+        assert_eq!(extension(&st, ms), vec![ms]);
+    }
+
+    #[test]
+    fn uncertain_schema_does_not_extend() {
+        let mut st = TripleStore::new();
+        let ms = intern(&mut st, "M.S.");
+        let degree = intern(&mut st, "degree");
+        st.insert(ms, voc::RDFS_SUBCLASS_OF, Term::Uri(degree), 0.9);
+        st.saturate();
+        assert_eq!(extension(&st, degree), vec![degree]);
+    }
+
+    #[test]
+    fn index_caches() {
+        let mut st = TripleStore::new();
+        let ms = intern(&mut st, "M.S.");
+        let degree = intern(&mut st, "degree");
+        st.insert(ms, voc::RDFS_SUBCLASS_OF, Term::Uri(degree), 1.0);
+        st.saturate();
+        let mut idx = ExtensionIndex::new();
+        assert_eq!(idx.get(&st, degree).len(), 2);
+        assert_eq!(idx.get(&st, degree).len(), 2);
+        assert_eq!(idx.len(), 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! Basic graph pattern (BGP) matching over a [`crate::TripleStore`].
+//!
+//! The paper relies on this twice:
+//!
+//! * §2.2 "Extensibility": *"two people \[who\] have worked the same year for
+//!   a company of less than 10 employees … must have worked together. This
+//!   is easily achieved with a query that retrieves all such user pairs (in
+//!   SPARQL …), and builds a `u workedWith u'` triple for each pair"* —
+//!   application-defined rules derive new social edges from the RDF layer;
+//! * §6: Facebook GraphSearch "is a restricted form of SPARQL query one
+//!   could ask over an S3 instance".
+//!
+//! This module implements conjunctive triple patterns with variables —
+//! the SPARQL fragment those use cases need — evaluated by iterative
+//! binding extension with index-backed lookups, most-selective-first.
+
+use crate::dict::UriId;
+use crate::store::TripleStore;
+use crate::triple::Term;
+use std::collections::HashMap;
+
+/// A query variable (by position in the pattern's variable table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u16);
+
+/// Subject/property position: a constant URI or a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UriOrVar {
+    /// Fixed URI.
+    Uri(UriId),
+    /// Variable.
+    Var(Var),
+}
+
+/// Object position: a constant term or a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermOrVar {
+    /// Fixed term.
+    Term(Term),
+    /// Variable.
+    Var(Var),
+}
+
+/// One triple pattern `s p o` with optional variables.
+#[derive(Debug, Clone, Copy)]
+pub struct TriplePattern {
+    /// Subject.
+    pub s: UriOrVar,
+    /// Property (predicate).
+    pub p: UriOrVar,
+    /// Object.
+    pub o: TermOrVar,
+}
+
+/// A conjunctive pattern (BGP) plus its variable count.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    patterns: Vec<TriplePattern>,
+    num_vars: u16,
+    names: Vec<String>,
+}
+
+impl Pattern {
+    /// Empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a fresh variable with a debug name.
+    pub fn var(&mut self, name: &str) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        self.names.push(name.to_string());
+        v
+    }
+
+    /// Add a triple pattern.
+    pub fn triple(&mut self, s: UriOrVar, p: UriOrVar, o: TermOrVar) -> &mut Self {
+        self.patterns.push(TriplePattern { s, p, o });
+        self
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Variable name (for diagnostics).
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// Evaluate against a store: every total assignment of the declared
+    /// variables satisfying all patterns (on certain *and* weighted triples
+    /// alike — pattern matching is weight-agnostic; weights gate only
+    /// entailment).
+    pub fn solutions(&self, store: &TripleStore) -> Vec<Vec<Term>> {
+        let mut results = Vec::new();
+        let mut binding: Vec<Option<Term>> = vec![None; self.num_vars as usize];
+        // Order patterns most-selective-first: constants count double.
+        let mut order: Vec<usize> = (0..self.patterns.len()).collect();
+        let selectivity = |tp: &TriplePattern| -> i32 {
+            let mut s = 0;
+            if matches!(tp.s, UriOrVar::Uri(_)) {
+                s += 2;
+            }
+            if matches!(tp.p, UriOrVar::Uri(_)) {
+                s += 2;
+            }
+            if matches!(tp.o, TermOrVar::Term(_)) {
+                s += 2;
+            }
+            -s
+        };
+        order.sort_by_key(|&i| selectivity(&self.patterns[i]));
+        self.extend(store, &order, 0, &mut binding, &mut results);
+        results
+    }
+
+    fn extend(
+        &self,
+        store: &TripleStore,
+        order: &[usize],
+        depth: usize,
+        binding: &mut Vec<Option<Term>>,
+        results: &mut Vec<Vec<Term>>,
+    ) {
+        if depth == order.len() {
+            if binding.iter().all(Option::is_some) {
+                results.push(binding.iter().map(|b| b.expect("checked")).collect());
+            }
+            return;
+        }
+        let tp = &self.patterns[order[depth]];
+        let s_bound = self.resolve_uri(tp.s, binding);
+        let p_bound = self.resolve_uri(tp.p, binding);
+        let o_bound = self.resolve_term(tp.o, binding);
+
+        // Enumerate candidate triples through the cheapest available index.
+        let candidates: Vec<(UriId, UriId, Term)> = match (s_bound, p_bound, o_bound) {
+            (Some(s), Some(p), Some(o)) => {
+                if store.contains(s, p, o) {
+                    vec![(s, p, o)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), Some(p), None) => store.objects(s, p).map(|(o, _)| (s, p, o)).collect(),
+            (None, Some(p), Some(o)) => store.subjects(p, o).map(|(s, _)| (s, p, o)).collect(),
+            (None, Some(p), None) => store
+                .with_property(p)
+                .map(|t| (t.triple.s, t.triple.p, t.triple.o))
+                .collect(),
+            // Property unbound: full scan with post-filter.
+            _ => store
+                .iter()
+                .map(|t| (t.triple.s, t.triple.p, t.triple.o))
+                .filter(|&(s, _, o)| {
+                    s_bound.is_none_or(|sb| sb == s) && o_bound.is_none_or(|ob| ob == o)
+                })
+                .collect(),
+        };
+
+        for (s, p, o) in candidates {
+            let mut touched: Vec<Var> = Vec::new();
+            if self.bind_uri(tp.s, s, binding, &mut touched)
+                && self.bind_uri(tp.p, p, binding, &mut touched)
+                && self.bind_term(tp.o, o, binding, &mut touched)
+            {
+                self.extend(store, order, depth + 1, binding, results);
+            }
+            for v in touched {
+                binding[v.0 as usize] = None;
+            }
+        }
+    }
+
+    fn resolve_uri(&self, x: UriOrVar, binding: &[Option<Term>]) -> Option<UriId> {
+        match x {
+            UriOrVar::Uri(u) => Some(u),
+            UriOrVar::Var(v) => binding[v.0 as usize].and_then(Term::as_uri),
+        }
+    }
+
+    fn resolve_term(&self, x: TermOrVar, binding: &[Option<Term>]) -> Option<Term> {
+        match x {
+            TermOrVar::Term(t) => Some(t),
+            TermOrVar::Var(v) => binding[v.0 as usize],
+        }
+    }
+
+    fn bind_uri(
+        &self,
+        x: UriOrVar,
+        value: UriId,
+        binding: &mut [Option<Term>],
+        touched: &mut Vec<Var>,
+    ) -> bool {
+        match x {
+            UriOrVar::Uri(u) => u == value,
+            UriOrVar::Var(v) => match binding[v.0 as usize] {
+                Some(prev) => prev == Term::Uri(value),
+                None => {
+                    binding[v.0 as usize] = Some(Term::Uri(value));
+                    touched.push(v);
+                    true
+                }
+            },
+        }
+    }
+
+    fn bind_term(
+        &self,
+        x: TermOrVar,
+        value: Term,
+        binding: &mut [Option<Term>],
+        touched: &mut Vec<Var>,
+    ) -> bool {
+        match x {
+            TermOrVar::Term(t) => t == value,
+            TermOrVar::Var(v) => match binding[v.0 as usize] {
+                Some(prev) => prev == value,
+                None => {
+                    binding[v.0 as usize] = Some(value);
+                    touched.push(v);
+                    true
+                }
+            },
+        }
+    }
+}
+
+/// A derivation rule (§2.2 extensibility): when the pattern matches, emit a
+/// new triple built from the head template, e.g.
+/// `?a ex:workedAt ?c . ?b ex:workedAt ?c . ?c type ex:SmallCompany
+///  ⇒ ?a ex:workedWith ?b`.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Body pattern.
+    pub body: Pattern,
+    /// Head template: subject var, property URI, object var.
+    pub head: (Var, UriId, Var),
+}
+
+impl Rule {
+    /// Apply to a store; returns the number of *new* triples added (all
+    /// weight 1). Saturate afterwards if entailment should see them.
+    pub fn apply(&self, store: &mut TripleStore) -> usize {
+        let solutions = self.body.solutions(store);
+        let mut added = 0;
+        let (sv, p, ov) = self.head;
+        let mut emitted: HashMap<(Term, Term), ()> = HashMap::new();
+        for sol in solutions {
+            let s = sol[sv.0 as usize];
+            let o = sol[ov.0 as usize];
+            if s == o || emitted.contains_key(&(s, o)) {
+                continue;
+            }
+            emitted.insert((s, o), ());
+            if let Some(su) = s.as_uri() {
+                if store.insert(su, p, o, 1.0) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary as voc;
+
+    fn store_with_work_facts() -> (TripleStore, UriId, UriId) {
+        let mut st = TripleStore::new();
+        let worked_at = st.dictionary_mut().intern("ex:workedAt");
+        let small = st.dictionary_mut().intern("ex:SmallCompany");
+        for (person, company) in
+            [("ex:ana", "ex:acme"), ("ex:bob", "ex:acme"), ("ex:cyd", "ex:mega")]
+        {
+            let p = st.dictionary_mut().intern(person);
+            let c = st.dictionary_mut().intern(company);
+            st.insert(p, worked_at, Term::Uri(c), 1.0);
+        }
+        let acme = st.dictionary_mut().intern("ex:acme");
+        st.insert(acme, voc::RDF_TYPE, Term::Uri(small), 1.0);
+        (st, worked_at, small)
+    }
+
+    #[test]
+    fn single_pattern_enumeration() {
+        let (st, worked_at, _) = store_with_work_facts();
+        let mut pat = Pattern::new();
+        let who = pat.var("who");
+        let all = pat.var("where");
+        pat.triple(UriOrVar::Var(who), UriOrVar::Uri(worked_at), TermOrVar::Var(all));
+        assert_eq!(pat.solutions(&st).len(), 3);
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let (st, worked_at, small) = store_with_work_facts();
+        let mut pat = Pattern::new();
+        let a = pat.var("a");
+        let b = pat.var("b");
+        let c = pat.var("c");
+        pat.triple(UriOrVar::Var(a), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        pat.triple(UriOrVar::Var(b), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        pat.triple(
+            UriOrVar::Var(c),
+            UriOrVar::Uri(voc::RDF_TYPE),
+            TermOrVar::Term(Term::Uri(small)),
+        );
+        let sols = pat.solutions(&st);
+        // (ana,ana), (ana,bob), (bob,ana), (bob,bob) — cyd's company is big.
+        assert_eq!(sols.len(), 4);
+        let ana = st.dictionary().get("ex:ana").unwrap();
+        let cyd = st.dictionary().get("ex:cyd").unwrap();
+        assert!(sols.iter().any(|s| s[0] == Term::Uri(ana)));
+        assert!(!sols.iter().any(|s| s[0] == Term::Uri(cyd)));
+    }
+
+    #[test]
+    fn paper_worked_with_rule() {
+        // §2.2: derive workedWith ≺sp S3:social edges from RDF facts.
+        let (mut st, worked_at, small) = store_with_work_facts();
+        let worked_with = st.dictionary_mut().intern("ex:workedWith");
+        st.insert(worked_with, voc::RDFS_SUBPROPERTY_OF, Term::Uri(voc::S3_SOCIAL), 1.0);
+
+        let mut body = Pattern::new();
+        let a = body.var("a");
+        let b = body.var("b");
+        let c = body.var("c");
+        body.triple(UriOrVar::Var(a), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        body.triple(UriOrVar::Var(b), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        body.triple(
+            UriOrVar::Var(c),
+            UriOrVar::Uri(voc::RDF_TYPE),
+            TermOrVar::Term(Term::Uri(small)),
+        );
+        let rule = Rule { body, head: (a, worked_with, b) };
+        let added = rule.apply(&mut st);
+        assert_eq!(added, 2, "ana↔bob, both directions, self-pairs skipped");
+
+        // After saturation the derived edges are S3:social (≺sp lifting).
+        st.saturate();
+        let ana = st.dictionary().get("ex:ana").unwrap();
+        let bob = st.dictionary().get("ex:bob").unwrap();
+        assert!(st.contains(ana, voc::S3_SOCIAL, Term::Uri(bob)));
+        assert!(st.contains(bob, voc::S3_SOCIAL, Term::Uri(ana)));
+    }
+
+    #[test]
+    fn rule_application_is_idempotent() {
+        let (mut st, worked_at, small) = store_with_work_facts();
+        let ww = st.dictionary_mut().intern("ex:ww");
+        let mut body = Pattern::new();
+        let a = body.var("a");
+        let b = body.var("b");
+        let c = body.var("c");
+        body.triple(UriOrVar::Var(a), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        body.triple(UriOrVar::Var(b), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        body.triple(
+            UriOrVar::Var(c),
+            UriOrVar::Uri(voc::RDF_TYPE),
+            TermOrVar::Term(Term::Uri(small)),
+        );
+        let rule = Rule { body, head: (a, ww, b) };
+        assert_eq!(rule.apply(&mut st), 2);
+        assert_eq!(rule.apply(&mut st), 0);
+    }
+
+    #[test]
+    fn constant_only_pattern() {
+        let (st, worked_at, _) = store_with_work_facts();
+        let ana = st.dictionary().get("ex:ana").unwrap();
+        let acme = st.dictionary().get("ex:acme").unwrap();
+        let mut pat = Pattern::new();
+        pat.triple(
+            UriOrVar::Uri(ana),
+            UriOrVar::Uri(worked_at),
+            TermOrVar::Term(Term::Uri(acme)),
+        );
+        assert_eq!(pat.solutions(&st).len(), 1);
+        let mut bad = Pattern::new();
+        let mega = st.dictionary().get("ex:mega").unwrap();
+        bad.triple(
+            UriOrVar::Uri(ana),
+            UriOrVar::Uri(worked_at),
+            TermOrVar::Term(Term::Uri(mega)),
+        );
+        assert!(bad.solutions(&st).is_empty());
+    }
+
+    #[test]
+    fn unbound_property_scans() {
+        let (st, _, _) = store_with_work_facts();
+        let ana = st.dictionary().get("ex:ana").unwrap();
+        let mut pat = Pattern::new();
+        let p = pat.var("p");
+        let o = pat.var("o");
+        pat.triple(UriOrVar::Uri(ana), UriOrVar::Var(p), TermOrVar::Var(o));
+        assert_eq!(pat.solutions(&st).len(), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! RDF entailment / saturation (paper §2.1).
+//!
+//! The paper uses the four RDFS constraint kinds of Figure 2 and defines the
+//! saturation of a *weighted* graph as "the saturation derived only from its
+//! triples whose weight is 1": an entailment rule `a, b ⊢iRDF c` fires only
+//! when both premises have weight 1, and derives `c` with weight 1.
+//!
+//! The implemented immediate-entailment rules are the standard RDFS ones
+//! over the constraints the paper uses:
+//!
+//! | id | premises | conclusion |
+//! |----|----------|------------|
+//! | SC-T | `a ≺sc b`, `b ≺sc c` | `a ≺sc c` |
+//! | SP-T | `p ≺sp q`, `q ≺sp r` | `p ≺sp r` |
+//! | TYPE | `s type a`, `a ≺sc b` | `s type b` |
+//! | PROP | `s p o`, `p ≺sp q` | `s q o` |
+//! | DOM | `s p o`, `p ←↩d c` | `s type c` |
+//! | RNG | `s p o`, `p ↪→r c` | `o type c` (when `o` is a URI) |
+//!
+//! Saturation is computed by a semi-naive fixpoint (only newly derived
+//! triples are re-joined each round), which reaches the unique finite
+//! fixpoint the standard guarantees.
+
+use crate::store::TripleStore;
+use crate::triple::{Term, Triple};
+use crate::vocabulary as voc;
+use std::collections::HashSet;
+
+/// Saturate `store` in place; returns the number of derived triples.
+pub fn saturate(store: &mut TripleStore) -> usize {
+    // Work on snapshots of the rule-relevant certain triples; the instance
+    // triples (s p o) may be numerous, so joins are driven from the schema
+    // side wherever possible.
+    let mut derived = 0usize;
+
+    // `delta`: triples added in the previous round (initially: everything
+    // certain). Stored as plain Triples — all participating triples have
+    // weight 1 by construction.
+    let mut delta: Vec<Triple> =
+        store.iter().filter(|t| t.is_certain()).map(|t| t.triple).collect();
+    let mut seen: HashSet<Triple> = delta.iter().copied().collect();
+
+    while !delta.is_empty() {
+        let mut new_triples: Vec<Triple> = Vec::new();
+        {
+            let mut emit = |t: Triple, new_triples: &mut Vec<Triple>| {
+                // A derivation may upgrade a lower-weight stored triple to
+                // certainty, in which case it must (re-)join next round.
+                let already_certain = store.weight(t.s, t.p, t.o).is_some_and(|w| w == 1.0);
+                if !seen.contains(&t) && !already_certain {
+                    seen.insert(t);
+                    new_triples.push(t);
+                }
+            };
+            for t in &delta {
+                // Rules where `t` is the "left" premise.
+                match t.p {
+                    p if p == voc::RDFS_SUBCLASS_OF => {
+                        // SC-T forward: t = a ≺sc b, join b ≺sc c.
+                        if let Some(b) = t.o.as_uri() {
+                            for (c, w) in collect_objects(store, b, voc::RDFS_SUBCLASS_OF) {
+                                if w == 1.0 {
+                                    emit(
+                                        Triple::new(t.s, voc::RDFS_SUBCLASS_OF, c),
+                                        &mut new_triples,
+                                    );
+                                }
+                            }
+                            // SC-T backward: join x ≺sc a with t = a ≺sc b.
+                            for (x, w) in
+                                collect_subjects(store, voc::RDFS_SUBCLASS_OF, Term::Uri(t.s))
+                            {
+                                if w == 1.0 {
+                                    emit(
+                                        Triple::new(x, voc::RDFS_SUBCLASS_OF, t.o),
+                                        &mut new_triples,
+                                    );
+                                }
+                            }
+                            // TYPE backward: join s type a with t = a ≺sc b.
+                            for (s, w) in collect_subjects(store, voc::RDF_TYPE, Term::Uri(t.s)) {
+                                if w == 1.0 {
+                                    emit(Triple::new(s, voc::RDF_TYPE, t.o), &mut new_triples);
+                                }
+                            }
+                        }
+                    }
+                    p if p == voc::RDFS_SUBPROPERTY_OF => {
+                        if let Some(q) = t.o.as_uri() {
+                            // SP-T forward and backward.
+                            for (r, w) in collect_objects(store, q, voc::RDFS_SUBPROPERTY_OF) {
+                                if w == 1.0 {
+                                    emit(
+                                        Triple::new(t.s, voc::RDFS_SUBPROPERTY_OF, r),
+                                        &mut new_triples,
+                                    );
+                                }
+                            }
+                            for (x, w) in
+                                collect_subjects(store, voc::RDFS_SUBPROPERTY_OF, Term::Uri(t.s))
+                            {
+                                if w == 1.0 {
+                                    emit(
+                                        Triple::new(x, voc::RDFS_SUBPROPERTY_OF, t.o),
+                                        &mut new_triples,
+                                    );
+                                }
+                            }
+                            // PROP backward: all certain (s, t.s, o) get (s, q, o).
+                            for prem in collect_with_property(store, t.s) {
+                                emit(Triple::new(prem.s, q, prem.o), &mut new_triples);
+                            }
+                        }
+                    }
+                    p if p == voc::RDF_TYPE => {
+                        // TYPE forward: t = s type a, join a ≺sc b.
+                        if let Some(a) = t.o.as_uri() {
+                            for (b, w) in collect_objects(store, a, voc::RDFS_SUBCLASS_OF) {
+                                if w == 1.0 {
+                                    emit(Triple::new(t.s, voc::RDF_TYPE, b), &mut new_triples);
+                                }
+                            }
+                        }
+                    }
+                    p if p == voc::RDFS_DOMAIN => {
+                        // DOM backward: t = p ←↩d c; every certain (s, p, o)
+                        // yields s type c.
+                        if let Some(c) = t.o.as_uri() {
+                            for prem in collect_with_property(store, t.s) {
+                                emit(
+                                    Triple::new(prem.s, voc::RDF_TYPE, Term::Uri(c)),
+                                    &mut new_triples,
+                                );
+                            }
+                        }
+                    }
+                    p if p == voc::RDFS_RANGE => {
+                        if let Some(c) = t.o.as_uri() {
+                            for prem in collect_with_property(store, t.s) {
+                                if let Some(o) = prem.o.as_uri() {
+                                    emit(
+                                        Triple::new(o, voc::RDF_TYPE, Term::Uri(c)),
+                                        &mut new_triples,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                // Rules where `t = (s p o)` is the instance-side premise:
+                // PROP, DOM, RNG driven from the schema of t.p.
+                for (q, w) in collect_objects(store, t.p, voc::RDFS_SUBPROPERTY_OF) {
+                    if w == 1.0 {
+                        if let Some(q) = q.as_uri() {
+                            emit(Triple::new(t.s, q, t.o), &mut new_triples);
+                        }
+                    }
+                }
+                for (c, w) in collect_objects(store, t.p, voc::RDFS_DOMAIN) {
+                    if w == 1.0 {
+                        if let Some(c) = c.as_uri() {
+                            emit(Triple::new(t.s, voc::RDF_TYPE, Term::Uri(c)), &mut new_triples);
+                        }
+                    }
+                }
+                for (c, w) in collect_objects(store, t.p, voc::RDFS_RANGE) {
+                    if w == 1.0 {
+                        if let (Some(c), Some(o)) = (c.as_uri(), t.o.as_uri()) {
+                            emit(Triple::new(o, voc::RDF_TYPE, Term::Uri(c)), &mut new_triples);
+                        }
+                    }
+                }
+            }
+        }
+        for t in &new_triples {
+            store.insert(t.s, t.p, t.o, 1.0);
+            derived += 1;
+        }
+        delta = new_triples;
+    }
+    derived
+}
+
+/// Certain-object snapshot (avoids borrowing `store` across mutation).
+fn collect_objects(store: &TripleStore, s: crate::UriId, p: crate::UriId) -> Vec<(Term, f64)> {
+    store.objects(s, p).collect()
+}
+
+fn collect_subjects(store: &TripleStore, p: crate::UriId, o: Term) -> Vec<(crate::UriId, f64)> {
+    store.subjects(p, o).collect()
+}
+
+fn collect_with_property(store: &TripleStore, p: crate::UriId) -> Vec<Triple> {
+    store.with_property(p).filter(|t| t.is_certain()).map(|t| t.triple).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary as voc;
+    use crate::UriId;
+
+    fn intern(st: &mut TripleStore, s: &str) -> UriId {
+        st.dictionary_mut().intern(s)
+    }
+
+    #[test]
+    fn subclass_transitivity() {
+        let mut st = TripleStore::new();
+        let (a, b, c) = (intern(&mut st, "A"), intern(&mut st, "B"), intern(&mut st, "C"));
+        st.insert(a, voc::RDFS_SUBCLASS_OF, Term::Uri(b), 1.0);
+        st.insert(b, voc::RDFS_SUBCLASS_OF, Term::Uri(c), 1.0);
+        st.saturate();
+        assert!(st.contains(a, voc::RDFS_SUBCLASS_OF, Term::Uri(c)));
+    }
+
+    #[test]
+    fn type_propagates_up_subclass_chain() {
+        let mut st = TripleStore::new();
+        let names = ["x", "MS", "Degree", "Qualification"];
+        let v: Vec<UriId> = names.iter().map(|n| intern(&mut st, n)).collect();
+        st.insert(v[0], voc::RDF_TYPE, Term::Uri(v[1]), 1.0);
+        st.insert(v[1], voc::RDFS_SUBCLASS_OF, Term::Uri(v[2]), 1.0);
+        st.insert(v[2], voc::RDFS_SUBCLASS_OF, Term::Uri(v[3]), 1.0);
+        st.saturate();
+        assert!(st.contains(v[0], voc::RDF_TYPE, Term::Uri(v[2])));
+        assert!(st.contains(v[0], voc::RDF_TYPE, Term::Uri(v[3])));
+    }
+
+    #[test]
+    fn subproperty_lifts_assertions() {
+        // Paper §2.2 extensibility example: workedWith ≺sp S3:social.
+        let mut st = TripleStore::new();
+        let (u, v_) = (intern(&mut st, "u"), intern(&mut st, "v"));
+        let worked = intern(&mut st, "workedWith");
+        st.insert(worked, voc::RDFS_SUBPROPERTY_OF, Term::Uri(voc::S3_SOCIAL), 1.0);
+        st.insert(u, worked, Term::Uri(v_), 1.0);
+        st.saturate();
+        assert!(st.contains(u, voc::S3_SOCIAL, Term::Uri(v_)));
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        // Paper §2.1 example: hasFriend ←↩d Person, u1 hasFriend u0 ⊢
+        // u1 type Person; hasFriend ↪→r Person ⊢ u0 type Person.
+        let mut st = TripleStore::new();
+        let (u1, u0) = (intern(&mut st, "u1"), intern(&mut st, "u0"));
+        let has_friend = intern(&mut st, "hasFriend");
+        let person = intern(&mut st, "Person");
+        st.insert(has_friend, voc::RDFS_DOMAIN, Term::Uri(person), 1.0);
+        st.insert(has_friend, voc::RDFS_RANGE, Term::Uri(person), 1.0);
+        st.insert(u1, has_friend, Term::Uri(u0), 1.0);
+        st.saturate();
+        assert!(st.contains(u1, voc::RDF_TYPE, Term::Uri(person)));
+        assert!(st.contains(u0, voc::RDF_TYPE, Term::Uri(person)));
+    }
+
+    #[test]
+    fn weighted_triples_do_not_entail() {
+        // §2.1: rules apply only when both premises have weight 1.
+        let mut st = TripleStore::new();
+        let (a, b, c) = (intern(&mut st, "A"), intern(&mut st, "B"), intern(&mut st, "C"));
+        st.insert(a, voc::RDFS_SUBCLASS_OF, Term::Uri(b), 0.5);
+        st.insert(b, voc::RDFS_SUBCLASS_OF, Term::Uri(c), 1.0);
+        let added = st.saturate();
+        assert_eq!(added, 0);
+        assert!(!st.contains(a, voc::RDFS_SUBCLASS_OF, Term::Uri(c)));
+    }
+
+    #[test]
+    fn chained_rules_compose() {
+        // sp lifting then domain typing: p ≺sp q, q ←↩d C, s p o ⊢ s type C.
+        let mut st = TripleStore::new();
+        let (s, o, p, q, c) = (
+            intern(&mut st, "s"),
+            intern(&mut st, "o"),
+            intern(&mut st, "p"),
+            intern(&mut st, "q"),
+            intern(&mut st, "C"),
+        );
+        st.insert(p, voc::RDFS_SUBPROPERTY_OF, Term::Uri(q), 1.0);
+        st.insert(q, voc::RDFS_DOMAIN, Term::Uri(c), 1.0);
+        st.insert(s, p, Term::Uri(o), 1.0);
+        st.saturate();
+        assert!(st.contains(s, q, Term::Uri(o)));
+        assert!(st.contains(s, voc::RDF_TYPE, Term::Uri(c)));
+    }
+
+    #[test]
+    fn saturation_is_idempotent() {
+        let mut st = TripleStore::new();
+        for i in 0..10 {
+            let a = intern(&mut st, &format!("c{i}"));
+            let b = intern(&mut st, &format!("c{}", i + 1));
+            st.insert(a, voc::RDFS_SUBCLASS_OF, Term::Uri(b), 1.0);
+        }
+        let first = st.saturate();
+        assert!(first > 0);
+        let second = st.saturate();
+        assert_eq!(second, 0);
+    }
+
+    #[test]
+    fn range_rule_skips_literal_objects() {
+        let mut st = TripleStore::new();
+        let (s, p, c) = (intern(&mut st, "s"), intern(&mut st, "p"), intern(&mut st, "C"));
+        let lit = intern(&mut st, "\"literal\"");
+        st.insert(p, voc::RDFS_RANGE, Term::Uri(c), 1.0);
+        st.insert(s, p, Term::Literal(lit), 1.0);
+        st.saturate();
+        // No `lit type C` triple: literals cannot be typed.
+        assert!(!st.contains(lit, voc::RDF_TYPE, Term::Uri(c)));
+    }
+
+    #[test]
+    fn cyclic_subclass_terminates() {
+        let mut st = TripleStore::new();
+        let (a, b) = (intern(&mut st, "A"), intern(&mut st, "B"));
+        st.insert(a, voc::RDFS_SUBCLASS_OF, Term::Uri(b), 1.0);
+        st.insert(b, voc::RDFS_SUBCLASS_OF, Term::Uri(a), 1.0);
+        st.saturate(); // must not loop forever
+        assert!(st.contains(a, voc::RDFS_SUBCLASS_OF, Term::Uri(a)));
+    }
+}

@@ -1,0 +1,124 @@
+//! Built-in RDF/RDFS and S3 vocabulary (paper Figure 2 and Table 2).
+//!
+//! Every [`crate::Dictionary`] pre-interns these URIs at fixed positions, so
+//! the constants below are valid ids in any store. The S3-namespace classes
+//! and properties are the ones of Table 2, plus the paper's "inverse
+//! properties" (§2.4: `s p̄ o ∈ I iff o p s ∈ I`).
+
+use crate::dict::UriId;
+
+/// `rdf:type` — class membership (paper: `s type o`).
+pub const RDF_TYPE: UriId = UriId(0);
+/// `rdfs:subClassOf` — the paper's `≺sc`.
+pub const RDFS_SUBCLASS_OF: UriId = UriId(1);
+/// `rdfs:subPropertyOf` — the paper's `≺sp`.
+pub const RDFS_SUBPROPERTY_OF: UriId = UriId(2);
+/// `rdfs:domain` — the paper's `←↩d`.
+pub const RDFS_DOMAIN: UriId = UriId(3);
+/// `rdfs:range` — the paper's `↪→r`.
+pub const RDFS_RANGE: UriId = UriId(4);
+
+/// `S3:user` — class of social-network users (`Ω`).
+pub const S3_USER: UriId = UriId(5);
+/// `S3:doc` — class of documents/fragments (`D`).
+pub const S3_DOC: UriId = UriId(6);
+/// `S3:relatedTo` — class generalizing tags (`T`).
+pub const S3_RELATED_TO: UriId = UriId(7);
+
+/// `S3:social` — generalization of social relationships between users.
+pub const S3_SOCIAL: UriId = UriId(8);
+/// `S3:postedBy` — connects documents to their posting user.
+pub const S3_POSTED_BY: UriId = UriId(9);
+/// `S3:commentsOn` — connects a comment document to its subject.
+pub const S3_COMMENTS_ON: UriId = UriId(10);
+/// `S3:partOf` — connects a fragment to its parent node.
+pub const S3_PART_OF: UriId = UriId(11);
+/// `S3:contains` — connects a fragment to a keyword of its content.
+pub const S3_CONTAINS: UriId = UriId(12);
+/// `S3:nodeName` — the node name of a fragment root.
+pub const S3_NODE_NAME: UriId = UriId(13);
+/// `S3:hasSubject` — the subject (document or tag) of a tag.
+pub const S3_HAS_SUBJECT: UriId = UriId(14);
+/// `S3:hasKeyword` — the keyword of a tag (absent for endorsements).
+pub const S3_HAS_KEYWORD: UriId = UriId(15);
+/// `S3:hasAuthor` — the poster of a tag.
+pub const S3_HAS_AUTHOR: UriId = UriId(16);
+
+/// Inverse of `S3:postedBy` (paper §2.4, "Inverse properties").
+pub const S3_POSTED_BY_INV: UriId = UriId(17);
+/// Inverse of `S3:commentsOn`.
+pub const S3_COMMENTS_ON_INV: UriId = UriId(18);
+/// Inverse of `S3:hasSubject`.
+pub const S3_HAS_SUBJECT_INV: UriId = UriId(19);
+/// Inverse of `S3:hasAuthor`.
+pub const S3_HAS_AUTHOR_INV: UriId = UriId(20);
+
+/// `foaf:name` — used by the paper's semantic enrichment of tweet text
+/// (§5.1: words `w` with `u foaf:name w` in DBpedia are replaced by `u`).
+pub const FOAF_NAME: UriId = UriId(21);
+
+/// The built-in URIs, in id order. [`crate::Dictionary::new`] interns these
+/// first, which pins the constants above.
+pub const BUILTIN_URIS: &[&str] = &[
+    "rdf:type",
+    "rdfs:subClassOf",
+    "rdfs:subPropertyOf",
+    "rdfs:domain",
+    "rdfs:range",
+    "S3:user",
+    "S3:doc",
+    "S3:relatedTo",
+    "S3:social",
+    "S3:postedBy",
+    "S3:commentsOn",
+    "S3:partOf",
+    "S3:contains",
+    "S3:nodeName",
+    "S3:hasSubject",
+    "S3:hasKeyword",
+    "S3:hasAuthor",
+    "S3:postedBy⁻",
+    "S3:commentsOn⁻",
+    "S3:hasSubject⁻",
+    "S3:hasAuthor⁻",
+    "foaf:name",
+];
+
+/// Inverse property of `p`, when one is defined.
+pub fn inverse_of(p: UriId) -> Option<UriId> {
+    match p {
+        S3_POSTED_BY => Some(S3_POSTED_BY_INV),
+        S3_POSTED_BY_INV => Some(S3_POSTED_BY),
+        S3_COMMENTS_ON => Some(S3_COMMENTS_ON_INV),
+        S3_COMMENTS_ON_INV => Some(S3_COMMENTS_ON),
+        S3_HAS_SUBJECT => Some(S3_HAS_SUBJECT_INV),
+        S3_HAS_SUBJECT_INV => Some(S3_HAS_SUBJECT),
+        S3_HAS_AUTHOR => Some(S3_HAS_AUTHOR_INV),
+        S3_HAS_AUTHOR_INV => Some(S3_HAS_AUTHOR),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_list_positions() {
+        assert_eq!(BUILTIN_URIS[RDF_TYPE.index()], "rdf:type");
+        assert_eq!(BUILTIN_URIS[RDFS_RANGE.index()], "rdfs:range");
+        assert_eq!(BUILTIN_URIS[S3_HAS_AUTHOR.index()], "S3:hasAuthor");
+        assert_eq!(BUILTIN_URIS[FOAF_NAME.index()], "foaf:name");
+        assert_eq!(BUILTIN_URIS.len(), FOAF_NAME.index() + 1);
+    }
+
+    #[test]
+    fn inverses_are_involutive() {
+        for p in [S3_POSTED_BY, S3_COMMENTS_ON, S3_HAS_SUBJECT, S3_HAS_AUTHOR] {
+            let inv = inverse_of(p).unwrap();
+            assert_eq!(inverse_of(inv), Some(p));
+        }
+        assert_eq!(inverse_of(S3_PART_OF), None);
+        assert_eq!(inverse_of(RDF_TYPE), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for RDFS saturation: soundness, idempotence, monotonicity
+//! and extension coherence on random schemas.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_rdf::{vocabulary as voc, Term, TripleStore, UriId};
+
+/// Random store: a class DAG, property hierarchy, domains/ranges, instance
+/// assertions. Returns the store (unsaturated).
+fn random_store(seed: u64) -> TripleStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut st = TripleStore::new();
+    let classes: Vec<UriId> =
+        (0..rng.gen_range(2..8)).map(|i| st.dictionary_mut().intern(&format!("C{i}"))).collect();
+    let props: Vec<UriId> =
+        (0..rng.gen_range(1..5)).map(|i| st.dictionary_mut().intern(&format!("p{i}"))).collect();
+    let entities: Vec<UriId> =
+        (0..rng.gen_range(2..10)).map(|i| st.dictionary_mut().intern(&format!("e{i}"))).collect();
+    // Subclass edges to earlier classes only (acyclic by construction,
+    // though cycles are also legal — covered by a dedicated test).
+    for (i, &c) in classes.iter().enumerate().skip(1) {
+        if rng.gen_bool(0.7) {
+            let parent = classes[rng.gen_range(0..i)];
+            st.insert(c, voc::RDFS_SUBCLASS_OF, Term::Uri(parent), 1.0);
+        }
+    }
+    for (i, &p) in props.iter().enumerate().skip(1) {
+        if rng.gen_bool(0.5) {
+            let parent = props[rng.gen_range(0..i)];
+            st.insert(p, voc::RDFS_SUBPROPERTY_OF, Term::Uri(parent), 1.0);
+        }
+    }
+    for &p in &props {
+        if rng.gen_bool(0.4) {
+            st.insert(p, voc::RDFS_DOMAIN, Term::Uri(classes[rng.gen_range(0..classes.len())]), 1.0);
+        }
+        if rng.gen_bool(0.4) {
+            st.insert(p, voc::RDFS_RANGE, Term::Uri(classes[rng.gen_range(0..classes.len())]), 1.0);
+        }
+    }
+    for &e in &entities {
+        if rng.gen_bool(0.8) {
+            st.insert(e, voc::RDF_TYPE, Term::Uri(classes[rng.gen_range(0..classes.len())]), 1.0);
+        }
+        if rng.gen_bool(0.6) {
+            let p = props[rng.gen_range(0..props.len())];
+            let o = entities[rng.gen_range(0..entities.len())];
+            st.insert(e, p, Term::Uri(o), 1.0);
+        }
+    }
+    st
+}
+
+/// One immediate-entailment step applied manually: is `t` justified by some
+/// rule over `base`?
+fn justified(base: &TripleStore, t: &s3_rdf::Triple) -> bool {
+    let certain = |s: UriId, p: UriId, o: Term| base.weight(s, p, o) == Some(1.0);
+    // SC-T / TYPE via some intermediate b.
+    if t.p == voc::RDFS_SUBCLASS_OF || t.p == voc::RDF_TYPE {
+        let join_p = if t.p == voc::RDFS_SUBCLASS_OF { voc::RDFS_SUBCLASS_OF } else { voc::RDF_TYPE };
+        for (b, w) in base.objects(t.s, join_p) {
+            if w == 1.0 {
+                if let Some(b) = b.as_uri() {
+                    if certain(b, voc::RDFS_SUBCLASS_OF, t.o) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    // SP-T.
+    if t.p == voc::RDFS_SUBPROPERTY_OF {
+        for (b, w) in base.objects(t.s, voc::RDFS_SUBPROPERTY_OF) {
+            if w == 1.0 {
+                if let Some(b) = b.as_uri() {
+                    if certain(b, voc::RDFS_SUBPROPERTY_OF, t.o) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    // PROP: s p' o with p' ≺sp t.p.
+    for (p_sub, w) in base.subjects(voc::RDFS_SUBPROPERTY_OF, Term::Uri(t.p)) {
+        if w == 1.0 && certain(t.s, p_sub, t.o) {
+            return true;
+        }
+    }
+    // DOM/RNG: t = (x type C).
+    if t.p == voc::RDF_TYPE {
+        if let Some(c) = t.o.as_uri() {
+            for wt in base.iter().filter(|wt| wt.is_certain()) {
+                let tr = wt.triple;
+                if certain(tr.p, voc::RDFS_DOMAIN, Term::Uri(c)) && tr.s == t.s {
+                    return true;
+                }
+                if certain(tr.p, voc::RDFS_RANGE, Term::Uri(c)) && tr.o == Term::Uri(t.s) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    /// Saturation terminates and is idempotent.
+    #[test]
+    fn saturation_idempotent(seed in 0u64..3000) {
+        let mut st = random_store(seed);
+        st.saturate();
+        let after_first = st.len();
+        prop_assert_eq!(st.saturate(), 0);
+        prop_assert_eq!(st.len(), after_first);
+    }
+
+    /// Soundness: every derived triple is justified by an entailment rule
+    /// over the saturated store (a fixpoint check).
+    #[test]
+    fn saturation_sound(seed in 0u64..1500) {
+        let base = random_store(seed);
+        let mut st = base.clone();
+        st.saturate();
+        for wt in st.iter() {
+            let t = wt.triple;
+            if base.contains(t.s, t.p, t.o) {
+                continue; // originally asserted
+            }
+            prop_assert!(justified(&st, &t), "underived justification for {t:?}");
+        }
+    }
+
+    /// Monotonicity: adding triples never removes derived ones.
+    #[test]
+    fn saturation_monotone(seed in 0u64..1500) {
+        let mut small = random_store(seed);
+        small.saturate();
+        let mut big = random_store(seed);
+        // Extra assertion.
+        let extra_s = big.dictionary_mut().intern("extra:s");
+        let extra_c = big.dictionary_mut().intern("C0");
+        big.insert(extra_s, voc::RDF_TYPE, Term::Uri(extra_c), 1.0);
+        big.saturate();
+        for wt in small.iter().filter(|t| t.is_certain()) {
+            let t = wt.triple;
+            prop_assert!(
+                big.weight(t.s, t.p, t.o) == Some(1.0),
+                "monotonicity violated for {t:?}"
+            );
+        }
+    }
+
+    /// Ext(k) is exactly { k } ∪ subjects of type/≺sc/≺sp triples into k.
+    #[test]
+    fn extension_definition(seed in 0u64..1500) {
+        let mut st = random_store(seed);
+        st.saturate();
+        let uris: Vec<UriId> = st.dictionary().iter().map(|(id, _)| id).collect();
+        for &k in uris.iter().take(20) {
+            let ext = st.extension(k);
+            prop_assert_eq!(ext[0], k);
+            for &b in &ext[1..] {
+                let in_def = st.weight(b, voc::RDF_TYPE, Term::Uri(k)) == Some(1.0)
+                    || st.weight(b, voc::RDFS_SUBCLASS_OF, Term::Uri(k)) == Some(1.0)
+                    || st.weight(b, voc::RDFS_SUBPROPERTY_OF, Term::Uri(k)) == Some(1.0);
+                prop_assert!(in_def, "{b} not justified in Ext({k})");
+            }
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Stemming (paper §2, "Keywords": literals enter the keyword set `K` in
+//! stemmed form, e.g. "graduation" and "graduate" collapse together).
+//!
+//! English text uses the Porter stemming algorithm (M.F. Porter, *An
+//! algorithm for suffix stripping*, 1980), implemented here from the
+//! published description. Instance I2 (Vodkaster) is French; the paper only
+//! says its comments were "stemmed", so we provide a light French suffix
+//! stripper in the spirit of the Savoy light stemmer.
+
+/// Convenience stemmer object (language captured once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stemmer {
+    /// Porter algorithm.
+    English,
+    /// Light suffix stripping.
+    French,
+}
+
+impl Stemmer {
+    /// Stem one lowercase word.
+    pub fn stem(&self, word: &str) -> String {
+        match self {
+            Stemmer::English => stem_english(word),
+            Stemmer::French => stem_french(word),
+        }
+    }
+}
+
+/// Porter stemmer entry point. Expects a lowercase word; words shorter than
+/// 3 characters or containing non-ASCII-alphabetic characters are returned
+/// unchanged (mentions, hashtags and URIs never reach this function).
+pub fn stem_english(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step_1a(&mut w);
+    step_1b(&mut w);
+    step_1c(&mut w);
+    step_2(&mut w);
+    step_3(&mut w);
+    step_4(&mut w);
+    step_5a(&mut w);
+    step_5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Is `w[i]` a consonant in Porter's sense ('y' after a consonant counts as
+/// a vowel)?
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `w[..len]`: the number of VC alternations.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip the initial consonant run.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip a vowel run.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // A consonant run after vowels: one more VC.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+/// *v* — does the stem `w[..len]` contain a vowel?
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// *d — does the stem end in a double consonant?
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// *o — does `w[..len]` end in consonant-vowel-consonant where the final
+/// consonant is not w, x or y?
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], s: &str) -> bool {
+    w.len() >= s.len() && &w[w.len() - s.len()..] == s.as_bytes()
+}
+
+/// Replace the suffix `s` (which must be present) by `r`.
+fn set_suffix(w: &mut Vec<u8>, s: &str, r: &str) {
+    let stem_len = w.len() - s.len();
+    w.truncate(stem_len);
+    w.extend_from_slice(r.as_bytes());
+}
+
+/// If the word ends with `s` and the stem has measure > `min_m`, replace the
+/// suffix by `r` and return true.
+fn replace_if_m(w: &mut Vec<u8>, s: &str, r: &str, min_m: usize) -> bool {
+    if ends_with(w, s) {
+        let stem_len = w.len() - s.len();
+        if measure(w, stem_len) > min_m {
+            set_suffix(w, s, r);
+        }
+        // Porter: once a listed suffix matches, no other suffix of the same
+        // step is tried, even if the measure condition failed.
+        return true;
+    }
+    false
+}
+
+fn step_1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        set_suffix(w, "sses", "ss");
+    } else if ends_with(w, "ies") {
+        set_suffix(w, "ies", "i");
+    } else if ends_with(w, "ss") {
+        // unchanged
+    } else if ends_with(w, "s") {
+        set_suffix(w, "s", "");
+    }
+}
+
+fn step_1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        if measure(w, w.len() - 3) > 0 {
+            set_suffix(w, "eed", "ee");
+        }
+        return;
+    }
+    let stripped = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        set_suffix(w, "ed", "");
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        set_suffix(w, "ing", "");
+        true
+    } else {
+        false
+    };
+    if !stripped {
+        return;
+    }
+    if ends_with(w, "at") {
+        set_suffix(w, "at", "ate");
+    } else if ends_with(w, "bl") {
+        set_suffix(w, "bl", "ble");
+    } else if ends_with(w, "iz") {
+        set_suffix(w, "iz", "ize");
+    } else if ends_double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+        w.pop();
+    } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+        w.push(b'e');
+    }
+}
+
+fn step_1c(w: &mut Vec<u8>) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        set_suffix(w, "y", "i");
+    }
+}
+
+fn step_2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+        ("logi", "log"),
+    ];
+    for (s, r) in RULES {
+        if replace_if_m(w, s, r, 0) {
+            return;
+        }
+    }
+}
+
+fn step_3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (s, r) in RULES {
+        if replace_if_m(w, s, r, 0) {
+            return;
+        }
+    }
+}
+
+fn step_4(w: &mut Vec<u8>) {
+    const RULES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // Longest match first: "ement" before "ment" before "ent".
+    let mut ordered: Vec<&str> = RULES.to_vec();
+    ordered.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for s in ordered {
+        if ends_with(w, s) {
+            let stem_len = w.len() - s.len();
+            if measure(w, stem_len) > 1 {
+                // "ion" additionally requires the stem to end in s or t.
+                if s == "ion" && !(stem_len > 0 && matches!(w[stem_len - 1], b's' | b't')) {
+                    return;
+                }
+                set_suffix(w, s, "");
+            }
+            return;
+        }
+    }
+}
+
+fn step_5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.pop();
+        }
+    }
+}
+
+fn step_5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w) && w[w.len() - 1] == b'l' {
+        w.pop();
+    }
+}
+
+/// Light French stemmer: plural/feminine endings and the most common
+/// derivational suffixes, with a minimum stem length of 3 characters.
+pub fn stem_french(word: &str) -> String {
+    let mut w = word.to_string();
+    // Plural / feminine endings, applied repeatedly ("magnifiques" →
+    // "magnifique" → "magnifiqu" ...).
+    const ENDINGS: &[&str] = &[
+        "issement", "issements", "atrice", "ateur", "ation", "ations", "ement", "ements", "ité",
+        "ités", "ique", "iques", "isme", "ismes", "able", "ables", "iste", "istes", "euse",
+        "euses", "ance", "ances", "ence", "ences", "ment", "ments", "eur", "eurs", "ère", "ères",
+        "ais", "ait", "ant", "ants", "ante", "antes", "ons", "ent", "ez", "er", "es", "e", "s",
+        "x",
+    ];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for suffix in ENDINGS {
+            if w.ends_with(suffix) {
+                let stem_chars = w.chars().count() - suffix.chars().count();
+                if stem_chars >= 3 {
+                    let cut: usize = w
+                        .char_indices()
+                        .nth(stem_chars)
+                        .map(|(i, _)| i)
+                        .unwrap_or(w.len());
+                    w.truncate(cut);
+                    changed = true;
+                }
+                break;
+            }
+        }
+    }
+    // "aux" plural → "al" ("journaux" → "journal"-ish).
+    if w.ends_with("au") && w.chars().count() > 4 {
+        w.truncate(w.len() - 2);
+        w.push_str("al");
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's paper and the classic test vocabulary.
+    #[test]
+    fn porter_reference_pairs() {
+        let pairs = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in pairs {
+            assert_eq!(stem_english(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn stems_used_in_the_paper() {
+        // §2: stemming replaces "graduation" with (the stem shared with)
+        // "graduate" — both must collapse to the same keyword.
+        assert_eq!(stem_english("graduation"), stem_english("graduate"));
+        assert_eq!(stem_english("graduation"), "graduat");
+        assert_eq!(stem_english("university"), stem_english("universities"));
+        assert_eq!(stem_english("university"), "univers");
+        assert_eq!(stem_english("degree"), "degre");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem_english("ms"), "ms");
+        assert_eq!(stem_english("a"), "a");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(stem_english("café"), "café");
+    }
+
+    #[test]
+    fn measure_is_correct() {
+        // Porter's examples: m(TR)=0, m(TREE)=0, m(TROUBLE)=1 (without final
+        // e it is "troubl"), m(TROUBLES)=2.
+        assert_eq!(measure(b"tr", 2), 0);
+        assert_eq!(measure(b"tree", 4), 0);
+        assert_eq!(measure(b"trouble", 7), 1);
+        assert_eq!(measure(b"troubles", 8), 2);
+        assert_eq!(measure(b"oaten", 5), 2);
+        assert_eq!(measure(b"private", 7), 2);
+    }
+
+    #[test]
+    fn y_as_vowel_and_consonant() {
+        assert!(is_consonant(b"yes", 0)); // initial y
+        assert!(!is_consonant(b"by", 1)); // y after consonant = vowel
+        assert!(is_consonant(b"say", 2)); // y after vowel = consonant
+    }
+
+    #[test]
+    fn collapses_inflection_families() {
+        // The property the S3 pipeline relies on is that inflectional
+        // variants of a word map to the same keyword (Porter is NOT
+        // idempotent in general, and does not need to be: raw words are
+        // stemmed exactly once).
+        for family in [
+            &["connect", "connected", "connecting", "connection", "connections"][..],
+            &["review", "reviews", "reviewed", "reviewing"][..],
+            &["university", "universities"][..],
+            &["graduate", "graduation", "graduating"][..],
+        ] {
+            let stems: Vec<String> = family.iter().map(|w| stem_english(w)).collect();
+            assert!(stems.windows(2).all(|w| w[0] == w[1]), "{family:?} -> {stems:?}");
+        }
+    }
+
+    #[test]
+    fn french_plural_and_suffixes() {
+        assert_eq!(stem_french("films"), "film");
+        assert_eq!(stem_french("magnifiques"), stem_french("magnifique"));
+        assert!(stem_french("actrices").starts_with("actri"));
+        assert_eq!(stem_french("chanteur"), stem_french("chanteurs"));
+    }
+
+    #[test]
+    fn french_min_stem_length() {
+        // Never strip below 3 characters.
+        assert_eq!(stem_french("les"), "les");
+        assert_eq!(stem_french("une"), "une");
+    }
+}

@@ -1,0 +1,93 @@
+//! Stop-word lists (paper §2, "Keywords": stop words are removed before
+//! stemming). English covers I1/I3, French covers I2.
+
+use crate::Language;
+use std::collections::HashSet;
+
+/// English stop words (classic SMART-style short list).
+const ENGLISH: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "isn't", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those", "through",
+    "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "with", "won't", "would", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// French stop words.
+const FRENCH: &[&str] = &[
+    "au", "aux", "avec", "ce", "ces", "cet", "cette", "dans", "de", "des", "du", "elle", "elles",
+    "en", "et", "eux", "il", "ils", "je", "la", "le", "les", "leur", "leurs", "lui", "ma", "mais",
+    "me", "mes", "moi", "mon", "ne", "nos", "notre", "nous", "on", "ou", "où", "par", "pas",
+    "pour", "qu", "que", "qui", "sa", "se", "ses", "son", "sur", "ta", "te", "tes", "toi", "ton",
+    "tu", "un", "une", "vos", "votre", "vous", "y", "à", "été", "être", "est", "sont", "avait",
+    "avoir", "cela", "ça", "comme", "plus", "très", "tout", "tous", "toute", "toutes",
+];
+
+/// A stop-word set for one language.
+#[derive(Debug, Clone)]
+pub struct StopWords {
+    words: HashSet<&'static str>,
+}
+
+impl StopWords {
+    /// The built-in list for `language`.
+    pub fn for_language(language: Language) -> Self {
+        let list = match language {
+            Language::English => ENGLISH,
+            Language::French => FRENCH,
+        };
+        StopWords { words: list.iter().copied().collect() }
+    }
+
+    /// Is `word` (already lowercased) a stop word?
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Number of stop words in the list.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the list is empty (never true for built-in lists).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_basics() {
+        let sw = StopWords::for_language(Language::English);
+        for w in ["the", "a", "when", "i", "my", "in", "does"] {
+            assert!(sw.contains(w), "{w} should be a stop word");
+        }
+        assert!(!sw.contains("university"));
+        assert!(!sw.contains("degree"));
+    }
+
+    #[test]
+    fn french_basics() {
+        let sw = StopWords::for_language(Language::French);
+        for w in ["le", "la", "les", "un", "des", "très"] {
+            assert!(sw.contains(w), "{w} should be a stop word");
+        }
+        assert!(!sw.contains("film"));
+    }
+
+    #[test]
+    fn lists_have_no_duplicates() {
+        assert_eq!(ENGLISH.len(), StopWords::for_language(Language::English).len());
+        assert_eq!(FRENCH.len(), StopWords::for_language(Language::French).len());
+    }
+}

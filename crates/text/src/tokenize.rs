@@ -1,0 +1,190 @@
+//! Word-level tokenizer used by the analysis pipeline.
+//!
+//! The paper's corpora are social-media text (tweets, reviews, movie
+//! comments); the tokenizer therefore recognizes, besides plain words:
+//! `@mentions`, `#hashtags`, URLs and numbers (years like "2012" appear in
+//! the running example of Figure 1 and must survive tokenization).
+
+/// Kind of a produced token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word (possibly with internal apostrophes/periods, e.g. "M.S.").
+    Word,
+    /// `@user` mention.
+    Mention,
+    /// `#tag` hashtag.
+    Hashtag,
+    /// `http(s)://...` URL.
+    Url,
+    /// Digit-initial token, e.g. a year.
+    Number,
+}
+
+/// A token: a slice of the input plus its classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (trailing punctuation stripped).
+    pub text: String,
+    /// Classification of the token.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    fn new(text: impl Into<String>, kind: TokenKind) -> Self {
+        Token { text: text.into(), kind }
+    }
+}
+
+/// Is this character part of a word's interior?
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '\'' || c == '.' || c == '-' || c == '_'
+}
+
+/// Split a text into tokens.
+///
+/// The splitter is whitespace/punctuation driven; it keeps mentions,
+/// hashtags and URLs as single tokens, and strips leading/trailing
+/// punctuation from words ("M.S." keeps its internal periods but "sweet,"
+/// loses the comma).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // URL?
+        if c == 'h' && starts_with(&chars, i, "http") {
+            let start = i;
+            while i < n && !chars[i].is_whitespace() {
+                i += 1;
+            }
+            let url: String = chars[start..i].iter().collect();
+            if url.starts_with("http://") || url.starts_with("https://") {
+                tokens.push(Token::new(trim_punct(&url), TokenKind::Url));
+            } else {
+                // Not a URL after all: keep it as a plain word.
+                let trimmed = trim_punct(&url);
+                if !trimmed.is_empty() {
+                    tokens.push(Token::new(trimmed, TokenKind::Word));
+                }
+            }
+            continue;
+        }
+        // Mention / hashtag?
+        if (c == '@' || c == '#') && i + 1 < n && is_word_char(chars[i + 1]) {
+            let start = i;
+            i += 1;
+            while i < n && is_word_char(chars[i]) {
+                i += 1;
+            }
+            let raw: String = chars[start..i].iter().collect();
+            let kind = if c == '@' { TokenKind::Mention } else { TokenKind::Hashtag };
+            tokens.push(Token::new(trim_punct(&raw), kind));
+            continue;
+        }
+        // Word or number.
+        if is_word_char(c) {
+            let start = i;
+            while i < n && is_word_char(chars[i]) {
+                i += 1;
+            }
+            let raw: String = chars[start..i].iter().collect();
+            let trimmed = trim_punct(&raw);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let kind = if trimmed.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                TokenKind::Number
+            } else {
+                TokenKind::Word
+            };
+            tokens.push(Token::new(trimmed, kind));
+            continue;
+        }
+        // Punctuation, emoji, etc.: skipped.
+        i += 1;
+    }
+    tokens
+}
+
+/// Does `chars[i..]` start with the ASCII prefix `p`?
+fn starts_with(chars: &[char], i: usize, p: &str) -> bool {
+    let pc: Vec<char> = p.chars().collect();
+    chars.len() - i >= pc.len() && chars[i..i + pc.len()] == pc[..]
+}
+
+/// Strip leading/trailing punctuation that is not meaningful inside a token.
+fn trim_punct(s: &str) -> String {
+    s.trim_matches(|c: char| matches!(c, '\'' | '.' | '-' | '_' | ',' | ';' | ':' | '!' | '?'))
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(input: &str) -> Vec<String> {
+        tokenize(input).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_plain_words() {
+        assert_eq!(texts("a degree does give"), vec!["a", "degree", "does", "give"]);
+    }
+
+    #[test]
+    fn keeps_internal_periods() {
+        // The running example of Figure 1: "When I got my M.S. @UAlberta in 2012".
+        let toks = tokenize("When I got my M.S. @UAlberta in 2012");
+        assert!(toks.iter().any(|t| t.text == "M.S" && t.kind == TokenKind::Word));
+        assert!(toks.iter().any(|t| t.text == "@UAlberta" && t.kind == TokenKind::Mention));
+        assert!(toks.iter().any(|t| t.text == "2012" && t.kind == TokenKind::Number));
+    }
+
+    #[test]
+    fn hashtags_and_mentions() {
+        let toks = tokenize("#EDBT is great, says @icde!");
+        assert_eq!(toks[0], Token::new("#EDBT", TokenKind::Hashtag));
+        assert!(toks.iter().any(|t| t.text == "@icde" && t.kind == TokenKind::Mention));
+    }
+
+    #[test]
+    fn urls_are_single_tokens() {
+        let toks = tokenize("see https://hal.inria.fr/hal-01277939 now");
+        assert_eq!(toks[1].kind, TokenKind::Url);
+        assert_eq!(toks[1].text, "https://hal.inria.fr/hal-01277939");
+        assert_eq!(toks[2].text, "now");
+    }
+
+    #[test]
+    fn http_prefix_word_is_not_url() {
+        let toks = tokenize("httpexperiment runs");
+        assert_eq!(toks[0], Token::new("httpexperiment", TokenKind::Word));
+    }
+
+    #[test]
+    fn trailing_punctuation_is_stripped() {
+        assert_eq!(texts("sweet, really!"), vec!["sweet", "really"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(texts("").is_empty());
+        assert!(texts("... !!! ---").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(texts("café crème"), vec!["café", "crème"]);
+    }
+
+    #[test]
+    fn lone_at_sign_is_skipped() {
+        assert_eq!(texts("a @ b"), vec!["a", "b"]);
+    }
+}

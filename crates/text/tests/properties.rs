@@ -1,0 +1,57 @@
+//! Property tests for the text pipeline: total functions, stable outputs.
+
+use proptest::prelude::*;
+use s3_text::{stem_english, stem_french, tokenize, Analyzer, Language};
+
+proptest! {
+    /// The tokenizer never panics and never produces empty token texts.
+    #[test]
+    fn tokenizer_is_total(input in ".{0,300}") {
+        for token in tokenize(&input) {
+            prop_assert!(!token.text.is_empty());
+        }
+    }
+
+    /// Tokenizing is insensitive to surrounding whitespace.
+    #[test]
+    fn tokenizer_ignores_outer_whitespace(input in "[a-z #@]{0,60}") {
+        let padded = format!("  \t{input}\n ");
+        prop_assert_eq!(tokenize(&input), tokenize(&padded));
+    }
+
+    /// The Porter stemmer is total, never grows lowercase ASCII words, and
+    /// never returns an empty stem for a non-empty input.
+    #[test]
+    fn porter_is_total_and_shrinking(word in "[a-z]{1,20}") {
+        let stem = stem_english(&word);
+        prop_assert!(!stem.is_empty());
+        prop_assert!(stem.len() <= word.len() + 1, "{word} -> {stem}"); // 1b can add 'e'
+    }
+
+    /// The French stemmer preserves a ≥3-char stem for long words.
+    #[test]
+    fn french_keeps_minimum_stem(word in "[a-zéèà]{4,20}") {
+        let stem = stem_french(&word);
+        prop_assert!(stem.chars().count() >= 3, "{word} -> {stem}");
+    }
+
+    /// Analysis is deterministic and its interning stable: analyzing twice
+    /// yields the same keyword ids.
+    #[test]
+    fn analysis_is_deterministic(input in "[a-zA-Z #@.]{0,120}") {
+        let mut a = Analyzer::new(Language::English);
+        let first = a.analyze(&input);
+        let second = a.analyze(&input);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Every analyzed keyword resolves back through the vocabulary.
+    #[test]
+    fn keywords_resolve(input in "[a-zA-Z ]{0,100}") {
+        let mut a = Analyzer::new(Language::English);
+        for kw in a.analyze(&input) {
+            let text = a.vocabulary().text(kw).to_string();
+            prop_assert_eq!(a.vocabulary().get(&text), Some(kw));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Adapting an S3 instance to the UIT model (paper §5.1, "Systems").
+//!
+//! The paper flattens each of its instances for TopkS:
+//!
+//! * user links are kept with their weights;
+//! * "every tweet was merged with all its retweets and replies into a
+//!   single item" — in S3 terms, every **content component** (documents
+//!   linked by `commentsOn`/`hasSubject` chains) becomes one item, which
+//!   generalizes the same construction to I2 (movie = first comment + its
+//!   comments) and I3 (business = first review + later ones);
+//! * every keyword `k` in a document posted by `u` that belongs to item `i`
+//!   yields the triple `(u, i, k)`; tag keywords yield triples from the tag
+//!   author.
+
+use crate::model::{ItemId, UitInstance};
+use s3_core::{S3Instance, TagSubject, UserId};
+use s3_doc::DocNodeId;
+use s3_graph::{CompId, EdgeKind, NodeKind};
+use std::collections::HashMap;
+
+/// Result of the adaptation: the UIT instance plus the component → item
+/// mapping (used by the qualitative-comparison metrics to match S3k
+/// fragments with TopkS items).
+#[derive(Debug)]
+pub struct UitAdaptation {
+    /// The flattened instance.
+    pub uit: UitInstance,
+    /// Content component → item.
+    pub item_of_comp: HashMap<CompId, ItemId>,
+}
+
+impl UitAdaptation {
+    /// The item containing a given document node, if any.
+    pub fn item_of_doc(&self, inst: &S3Instance, d: DocNodeId) -> Option<ItemId> {
+        let node = inst.graph().node_of_frag(d)?;
+        let comp = inst.graph().components().component_of(node);
+        self.item_of_comp.get(&comp).copied()
+    }
+}
+
+/// Flatten an S3 instance into UIT.
+pub fn uit_from_s3(inst: &S3Instance) -> UitAdaptation {
+    let graph = inst.graph();
+    let forest = inst.forest();
+
+    // Items: one per component that contains at least one document node.
+    let mut item_of_comp: HashMap<CompId, ItemId> = HashMap::new();
+    for node in graph.nodes() {
+        if graph.kind(node).is_frag() {
+            let comp = graph.components().component_of(node);
+            let next = ItemId(item_of_comp.len() as u32);
+            item_of_comp.entry(comp).or_insert(next);
+        }
+    }
+
+    let mut uit = UitInstance::new(inst.num_users(), item_of_comp.len());
+
+    // User links with their weights.
+    for u in 0..inst.num_users() {
+        let user = UserId(u as u32);
+        let node = inst.user_node(user);
+        for (target, kind, w) in graph.out_edges(node) {
+            if kind == EdgeKind::Social {
+                if let NodeKind::User(v) = graph.kind(target) {
+                    uit.add_user_link(user, UserId(v), w);
+                }
+            }
+        }
+    }
+
+    // Content triples: keywords of a document, attributed to its poster.
+    for tree in forest.trees() {
+        let Some(poster) = inst.poster_of(tree) else { continue };
+        let root_node = graph.node_of_frag(forest.root(tree)).expect("registered");
+        let comp = graph.components().component_of(root_node);
+        let item = item_of_comp[&comp];
+        for idx in forest.tree_range(tree) {
+            for &kw in forest.content(DocNodeId(idx as u32)) {
+                uit.add_triple(poster, item, kw);
+            }
+        }
+    }
+
+    // Tag triples: tag keywords, attributed to the tag author. The tag's
+    // item is the component of its subject (tags sit in the same component
+    // as their subject via hasSubject edges).
+    for tag in inst.tags() {
+        let Some(kw) = tag.keyword else { continue };
+        let subject_node = match tag.subject {
+            TagSubject::Frag(f) => graph.node_of_frag(f).expect("registered"),
+            TagSubject::Tag(_) => tag.node,
+        };
+        let comp = graph.components().component_of(subject_node);
+        if let Some(&item) = item_of_comp.get(&comp) {
+            uit.add_triple(tag.author, item, kw);
+        }
+    }
+
+    UitAdaptation { uit, item_of_comp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_core::InstanceBuilder;
+    use s3_doc::DocBuilder;
+    use s3_text::Language;
+
+    #[test]
+    fn components_become_items_and_triples_flow() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        b.add_social_edge(u0, u1, 0.7);
+        let kws = b.analyze("university degree");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws.clone());
+        let t0 = b.add_document(doc, Some(u0));
+        // A reply by u1 (merged into the same item).
+        let kws2 = b.analyze("great university");
+        let mut reply = DocBuilder::new("reply");
+        reply.set_content(reply.root(), kws2);
+        let t1 = b.add_document(reply, Some(u1));
+        let target = b.doc_root(t0);
+        b.add_comment_edge(t1, target);
+        // An unrelated doc: its own item.
+        let kws3 = b.analyze("windows");
+        let mut other = DocBuilder::new("post");
+        other.set_content(other.root(), kws3);
+        b.add_document(other, Some(u1));
+        let inst = b.build();
+
+        let adapted = uit_from_s3(&inst);
+        assert_eq!(adapted.uit.num_items(), 2, "tweet+reply merge into one item");
+        assert_eq!(adapted.uit.num_users(), 2);
+        // Both posters tagged the merged item with "univers".
+        let univers = inst.vocabulary().get("univers").unwrap();
+        let item = adapted.item_of_doc(&inst, inst.forest().root(s3_doc::TreeId(0))).unwrap();
+        assert_eq!(adapted.uit.taggers(item, univers).len(), 2);
+        // The reply's root maps to the same item.
+        let reply_item =
+            adapted.item_of_doc(&inst, inst.forest().root(s3_doc::TreeId(1))).unwrap();
+        assert_eq!(item, reply_item);
+    }
+
+    #[test]
+    fn user_links_survive_with_weights() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        b.add_social_edge(u0, u1, 0.7);
+        let inst = b.build();
+        let adapted = uit_from_s3(&inst);
+        assert_eq!(adapted.uit.links(UserId(0)), &[(UserId(1), 0.7)]);
+        assert!(adapted.uit.links(UserId(1)).is_empty());
+    }
+}

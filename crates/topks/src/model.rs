@@ -1,0 +1,159 @@
+//! The UIT (user, item, tag) data model of the TopkS baseline.
+
+use s3_core::UserId;
+use s3_text::KeywordId;
+use std::collections::HashMap;
+
+/// Dense item id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A UIT instance: weighted user graph + tagging triples.
+#[derive(Debug, Default)]
+pub struct UitInstance {
+    num_users: usize,
+    num_items: usize,
+    /// Outgoing weighted user links (directed).
+    user_out: Vec<Vec<(UserId, f64)>>,
+    /// (item, tag) → distinct taggers.
+    taggers: HashMap<(ItemId, KeywordId), Vec<UserId>>,
+    /// (user) → (item, tag) pairs they produced (drives the Dijkstra
+    /// accumulation).
+    by_user: Vec<Vec<(ItemId, KeywordId)>>,
+    /// tag → items carrying it, with raw tagger counts.
+    inverted: HashMap<KeywordId, Vec<(ItemId, u32)>>,
+    /// tag → max tagger count over items (for normalization).
+    max_count: HashMap<KeywordId, u32>,
+}
+
+impl UitInstance {
+    /// Create an instance with `num_users` users and `num_items` items.
+    pub fn new(num_users: usize, num_items: usize) -> Self {
+        UitInstance {
+            num_users,
+            num_items,
+            user_out: vec![Vec::new(); num_users],
+            by_user: vec![Vec::new(); num_users],
+            ..Default::default()
+        }
+    }
+
+    /// Add a directed weighted user link.
+    pub fn add_user_link(&mut self, from: UserId, to: UserId, weight: f64) {
+        debug_assert!(weight > 0.0 && weight <= 1.0);
+        self.user_out[from.index()].push((to, weight));
+    }
+
+    /// Record a `(user, item, tag)` triple. Duplicate taggers for the same
+    /// `(item, tag)` are kept once.
+    pub fn add_triple(&mut self, user: UserId, item: ItemId, tag: KeywordId) {
+        let taggers = self.taggers.entry((item, tag)).or_default();
+        if taggers.contains(&user) {
+            return;
+        }
+        taggers.push(user);
+        self.by_user[user.index()].push((item, tag));
+        let count = taggers.len() as u32;
+        let inv = self.inverted.entry(tag).or_default();
+        match inv.iter_mut().find(|(i, _)| *i == item) {
+            Some(e) => e.1 = count,
+            None => inv.push((item, count)),
+        }
+        let m = self.max_count.entry(tag).or_insert(0);
+        if count > *m {
+            *m = count;
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Outgoing links of a user.
+    pub fn links(&self, u: UserId) -> &[(UserId, f64)] {
+        &self.user_out[u.index()]
+    }
+
+    /// `(item, tag)` pairs produced by a user.
+    pub fn user_triples(&self, u: UserId) -> &[(ItemId, KeywordId)] {
+        &self.by_user[u.index()]
+    }
+
+    /// Distinct taggers of `(item, tag)`.
+    pub fn taggers(&self, item: ItemId, tag: KeywordId) -> &[UserId] {
+        self.taggers.get(&(item, tag)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Items carrying a tag, with tagger counts.
+    pub fn items_with_tag(&self, tag: KeywordId) -> &[(ItemId, u32)] {
+        self.inverted.get(&tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Content score of `(item, tag)`: tagger count normalized by the
+    /// maximum count for that tag (a tf-style popularity score in [0, 1]).
+    pub fn content_score(&self, item: ItemId, tag: KeywordId) -> f64 {
+        let count = self.taggers(item, tag).len() as f64;
+        let max = self.max_count.get(&tag).copied().unwrap_or(0) as f64;
+        if max == 0.0 {
+            0.0
+        } else {
+            count / max
+        }
+    }
+
+    /// Total number of `(user, item, tag)` triples.
+    pub fn num_triples(&self) -> usize {
+        self.taggers.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triples_dedupe_per_tagger() {
+        let mut uit = UitInstance::new(2, 1);
+        let (u0, i, t) = (UserId(0), ItemId(0), KeywordId(7));
+        uit.add_triple(u0, i, t);
+        uit.add_triple(u0, i, t);
+        uit.add_triple(UserId(1), i, t);
+        assert_eq!(uit.taggers(i, t).len(), 2);
+        assert_eq!(uit.num_triples(), 2);
+        assert_eq!(uit.items_with_tag(t), &[(i, 2)]);
+    }
+
+    #[test]
+    fn content_score_normalizes_by_max() {
+        let mut uit = UitInstance::new(3, 2);
+        let t = KeywordId(1);
+        uit.add_triple(UserId(0), ItemId(0), t);
+        uit.add_triple(UserId(1), ItemId(0), t);
+        uit.add_triple(UserId(2), ItemId(1), t);
+        assert!((uit.content_score(ItemId(0), t) - 1.0).abs() < 1e-12);
+        assert!((uit.content_score(ItemId(1), t) - 0.5).abs() < 1e-12);
+        assert_eq!(uit.content_score(ItemId(1), KeywordId(9)), 0.0);
+    }
+
+    #[test]
+    fn links_are_directed() {
+        let mut uit = UitInstance::new(2, 0);
+        uit.add_user_link(UserId(0), UserId(1), 0.4);
+        assert_eq!(uit.links(UserId(0)).len(), 1);
+        assert!(uit.links(UserId(1)).is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! The TopkS search: incremental best-path Dijkstra over the user graph
+//! plus NRA-style bounds over candidate items.
+//!
+//! Score of item `i` for seeker `u` and query `Q`:
+//!
+//! ```text
+//! score(i) = Σ_{t ∈ Q}  α · Σ_{v ∈ taggers(i,t)} σ(u, v)  +  (1−α) · content(i, t)
+//! ```
+//!
+//! with `σ(u, v)` the **best-path** proximity (max product of link weights
+//! along one path — TopkS's shortest-path model, in contrast to S3's
+//! all-paths `prox`). Users are popped from a max-heap in decreasing σ;
+//! unseen taggers of an item are bounded by the σ of the next user to pop,
+//! giving sound upper bounds and early termination à la NRA/Fagin.
+
+use crate::model::{ItemId, UitInstance};
+use s3_core::UserId;
+use s3_text::KeywordId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// TopkS knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TopkSConfig {
+    /// Blend between social (α) and content (1−α) parts.
+    pub alpha: f64,
+    /// Tie/convergence slack.
+    pub epsilon: f64,
+}
+
+impl Default for TopkSConfig {
+    fn default() -> Self {
+        TopkSConfig { alpha: 0.5, epsilon: 1e-9 }
+    }
+}
+
+/// A result item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopkSHit {
+    /// The item.
+    pub item: ItemId,
+    /// Certified lower bound (equals the score at termination).
+    pub lower: f64,
+    /// Certified upper bound.
+    pub upper: f64,
+}
+
+/// Diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopkSStats {
+    /// Users popped from the proximity heap.
+    pub users_popped: usize,
+    /// Candidate items considered.
+    pub candidates: usize,
+    /// Wall-clock microseconds.
+    pub micros: u128,
+}
+
+/// Search outcome.
+#[derive(Debug, Clone)]
+pub struct TopkSResult {
+    /// Top-k items, best first.
+    pub hits: Vec<TopkSHit>,
+    /// Diagnostics.
+    pub stats: TopkSStats,
+}
+
+/// Max-heap entry for the user Dijkstra.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    sigma: f64,
+    user: UserId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sigma
+            .partial_cmp(&other.sigma)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.user.0.cmp(&self.user.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct ItemState {
+    /// α·Σ σ over *seen* taggers + (1−α)·content — the certain part.
+    lower: f64,
+    /// Unseen taggers per query tag (for the upper bound).
+    unseen: Vec<u32>,
+}
+
+/// The TopkS engine.
+pub struct TopkSEngine<'a> {
+    uit: &'a UitInstance,
+    config: TopkSConfig,
+}
+
+impl<'a> TopkSEngine<'a> {
+    /// Bind an engine to an instance.
+    pub fn new(uit: &'a UitInstance, config: TopkSConfig) -> Self {
+        TopkSEngine { uit, config }
+    }
+
+    /// Answer `(seeker, tags, k)`.
+    pub fn run(&self, seeker: UserId, tags: &[KeywordId], k: usize) -> TopkSResult {
+        let started = Instant::now();
+        let uit = self.uit;
+        let alpha = self.config.alpha;
+        let eps = self.config.epsilon;
+
+        let mut query: Vec<KeywordId> = tags.to_vec();
+        query.sort_unstable();
+        query.dedup();
+
+        // Candidates: every item carrying at least one query tag. The
+        // content part is fully known upfront; the social part accrues.
+        let mut items: HashMap<ItemId, ItemState> = HashMap::new();
+        for (qi, &t) in query.iter().enumerate() {
+            for &(item, count) in uit.items_with_tag(t) {
+                let st = items.entry(item).or_insert_with(|| ItemState {
+                    lower: 0.0,
+                    unseen: vec![0; query.len()],
+                });
+                st.lower += (1.0 - alpha) * uit.content_score(item, t);
+                st.unseen[qi] = count;
+            }
+        }
+        let stats_candidates = items.len();
+
+        // Best-path Dijkstra (max-product) over the user graph.
+        let mut best: Vec<f64> = vec![0.0; uit.num_users()];
+        let mut settled: Vec<bool> = vec![false; uit.num_users()];
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        best[seeker.index()] = 1.0;
+        heap.push(HeapEntry { sigma: 1.0, user: seeker });
+
+        let mut users_popped = 0usize;
+        // Per (item, tag-position): which taggers are already counted is
+        // implicit — a user is processed exactly once when settled.
+        let tag_pos: HashMap<KeywordId, usize> =
+            query.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+
+        let mut sigma_next = 1.0f64;
+        loop {
+            // Termination test: greedy top-k by upper bound.
+            let stop = {
+                let mut entries: Vec<(&ItemId, f64, f64)> = items
+                    .iter()
+                    .map(|(i, st)| {
+                        let upper: f64 = st.lower
+                            + alpha
+                                * st.unseen
+                                    .iter()
+                                    .map(|&c| c as f64 * sigma_next)
+                                    .sum::<f64>();
+                        (i, st.lower, upper)
+                    })
+                    .collect();
+                entries.sort_by(|a, b| {
+                    b.2.partial_cmp(&a.2).unwrap_or(Ordering::Equal).then(a.0.cmp(b.0))
+                });
+                if entries.len() <= k {
+                    // All candidates will be returned; exact ordering needs
+                    // their own bounds to converge.
+                    entries.iter().all(|(_, lo, up)| up - lo <= eps)
+                } else {
+                    // Returned scores are exact: the top-k bounds must have
+                    // converged, and nothing below may overtake them.
+                    let kth_lower = entries[..k]
+                        .iter()
+                        .map(|(_, lo, _)| *lo)
+                        .fold(f64::INFINITY, f64::min);
+                    entries[..k].iter().all(|(_, lo, up)| up - lo <= eps)
+                        && entries[k..].iter().all(|(_, _, up)| *up <= kth_lower + eps)
+                }
+            };
+            if stop || heap.is_empty() {
+                break;
+            }
+
+            // Pop the next closest user.
+            let Some(HeapEntry { sigma, user }) = heap.pop() else { break };
+            if settled[user.index()] {
+                continue;
+            }
+            settled[user.index()] = true;
+            users_popped += 1;
+            sigma_next = sigma; // future pops have σ ≤ this
+
+            // Account this user's triples.
+            for &(item, tag) in uit.user_triples(user) {
+                if let Some(&qi) = tag_pos.get(&tag) {
+                    if let Some(st) = items.get_mut(&item) {
+                        st.lower += alpha * sigma;
+                        st.unseen[qi] = st.unseen[qi].saturating_sub(1);
+                    }
+                }
+            }
+
+            // Relax links.
+            for &(v, w) in uit.links(user) {
+                let cand = sigma * w;
+                if cand > best[v.index()] {
+                    best[v.index()] = cand;
+                    heap.push(HeapEntry { sigma: cand, user: v });
+                }
+            }
+            if heap.is_empty() {
+                sigma_next = 0.0;
+            }
+        }
+        if heap.is_empty() {
+            sigma_next = 0.0;
+        }
+
+        // Final ranking by upper (== lower + residual, typically converged).
+        let mut ranked: Vec<TopkSHit> = items
+            .into_iter()
+            .map(|(item, st)| {
+                let upper: f64 = st.lower
+                    + alpha * st.unseen.iter().map(|&c| c as f64 * sigma_next).sum::<f64>();
+                TopkSHit { item, lower: st.lower, upper }
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.upper.partial_cmp(&a.upper).unwrap_or(Ordering::Equal).then(a.item.cmp(&b.item))
+        });
+        ranked.truncate(k);
+        ranked.retain(|h| h.upper > 0.0);
+
+        TopkSResult {
+            hits: ranked,
+            stats: TopkSStats {
+                users_popped,
+                candidates: stats_candidates,
+                micros: started.elapsed().as_micros(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// u0 → u1 (0.8) → u2 (0.5); u1 tags item0, u2 tags item1.
+    fn small() -> UitInstance {
+        let mut uit = UitInstance::new(3, 2);
+        uit.add_user_link(UserId(0), UserId(1), 0.8);
+        uit.add_user_link(UserId(1), UserId(2), 0.5);
+        let t = KeywordId(0);
+        uit.add_triple(UserId(1), ItemId(0), t);
+        uit.add_triple(UserId(2), ItemId(1), t);
+        uit
+    }
+
+    #[test]
+    fn social_part_prefers_closer_tagger() {
+        let uit = small();
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha: 1.0, epsilon: 1e-12 });
+        let res = engine.run(UserId(0), &[KeywordId(0)], 2);
+        assert_eq!(res.hits.len(), 2);
+        assert_eq!(res.hits[0].item, ItemId(0), "tagged by the closer user");
+        assert!((res.hits[0].lower - 0.8).abs() < 1e-9);
+        assert!((res.hits[1].lower - 0.4).abs() < 1e-9); // 0.8·0.5
+    }
+
+    #[test]
+    fn alpha_zero_is_pure_content() {
+        let mut uit = small();
+        // Make item1 more popular: two taggers.
+        uit.add_triple(UserId(0), ItemId(1), KeywordId(0));
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha: 0.0, epsilon: 1e-12 });
+        let res = engine.run(UserId(0), &[KeywordId(0)], 2);
+        assert_eq!(res.hits[0].item, ItemId(1));
+        assert!((res.hits[0].lower - 1.0).abs() < 1e-9);
+        assert!((res.hits[1].lower - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_is_best_single_path() {
+        // Two paths to u3: 0.9·0.9 = 0.81 and 0.5; best path wins, they do
+        // NOT add up (contrast with S3's all-paths prox).
+        let mut uit = UitInstance::new(4, 1);
+        uit.add_user_link(UserId(0), UserId(1), 0.9);
+        uit.add_user_link(UserId(1), UserId(3), 0.9);
+        uit.add_user_link(UserId(0), UserId(3), 0.5);
+        uit.add_triple(UserId(3), ItemId(0), KeywordId(0));
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha: 1.0, epsilon: 1e-12 });
+        let res = engine.run(UserId(0), &[KeywordId(0)], 1);
+        assert!((res.hits[0].lower - 0.81).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_tag_scores_add() {
+        let mut uit = UitInstance::new(2, 1);
+        uit.add_user_link(UserId(0), UserId(1), 1.0);
+        uit.add_triple(UserId(1), ItemId(0), KeywordId(0));
+        uit.add_triple(UserId(1), ItemId(0), KeywordId(1));
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha: 0.5, epsilon: 1e-12 });
+        let res = engine.run(UserId(0), &[KeywordId(0), KeywordId(1)], 1);
+        // Per tag: 0.5·1.0 (social) + 0.5·1.0 (content) = 1.0; two tags → 2.
+        assert!((res.hits[0].lower - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_matching_tag_is_empty() {
+        let uit = small();
+        let engine = TopkSEngine::new(&uit, TopkSConfig::default());
+        let res = engine.run(UserId(0), &[KeywordId(42)], 3);
+        assert!(res.hits.is_empty());
+    }
+
+    #[test]
+    fn unreachable_taggers_still_score_by_content() {
+        let mut uit = UitInstance::new(3, 1);
+        // No links at all: σ = 0 everywhere except the seeker.
+        uit.add_triple(UserId(1), ItemId(0), KeywordId(0));
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha: 0.5, epsilon: 1e-12 });
+        let res = engine.run(UserId(0), &[KeywordId(0)], 1);
+        assert_eq!(res.hits.len(), 1);
+        assert!((res.hits[0].lower - 0.5).abs() < 1e-9); // content part only
+    }
+
+    #[test]
+    fn seeker_own_tags_count_with_sigma_one() {
+        let mut uit = UitInstance::new(2, 1);
+        uit.add_triple(UserId(0), ItemId(0), KeywordId(0));
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha: 1.0, epsilon: 1e-12 });
+        let res = engine.run(UserId(0), &[KeywordId(0)], 1);
+        assert!((res.hits[0].lower - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the TopkS baseline: the incremental NRA search must
+//! agree with an exhaustive scoring pass.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3_core::UserId;
+use s3_text::KeywordId;
+use s3_topks::{ItemId, TopkSConfig, TopkSEngine, UitInstance};
+
+/// Random UIT instance.
+fn random_uit(seed: u64) -> (UitInstance, usize, Vec<KeywordId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = rng.gen_range(2..8usize);
+    let items = rng.gen_range(1..8usize);
+    let tags: Vec<KeywordId> = (0..rng.gen_range(1..5u32)).map(KeywordId).collect();
+    let mut uit = UitInstance::new(users, items);
+    for _ in 0..rng.gen_range(0..users * 3) {
+        let a = rng.gen_range(0..users);
+        let b = rng.gen_range(0..users);
+        if a != b {
+            uit.add_user_link(UserId(a as u32), UserId(b as u32), rng.gen_range(0.1..=1.0));
+        }
+    }
+    for _ in 0..rng.gen_range(1..users * items + 1) {
+        uit.add_triple(
+            UserId(rng.gen_range(0..users) as u32),
+            ItemId(rng.gen_range(0..items) as u32),
+            tags[rng.gen_range(0..tags.len())],
+        );
+    }
+    (uit, users, tags)
+}
+
+/// Exhaustive σ (best-path, max product) by Bellman-Ford-style relaxation.
+fn exact_sigma(uit: &UitInstance, seeker: UserId) -> Vec<f64> {
+    let n = uit.num_users();
+    let mut sigma = vec![0.0; n];
+    sigma[seeker.index()] = 1.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            if sigma[u] == 0.0 {
+                continue;
+            }
+            for &(v, w) in uit.links(UserId(u as u32)) {
+                let cand = sigma[u] * w;
+                if cand > sigma[v.index()] + 1e-15 {
+                    sigma[v.index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sigma
+}
+
+/// Exhaustive item scores.
+fn exact_scores(
+    uit: &UitInstance,
+    seeker: UserId,
+    query: &[KeywordId],
+    alpha: f64,
+) -> Vec<(ItemId, f64)> {
+    let sigma = exact_sigma(uit, seeker);
+    let mut out = Vec::new();
+    for i in 0..uit.num_items() {
+        let item = ItemId(i as u32);
+        let mut score = 0.0;
+        let mut any = false;
+        for &t in query {
+            let taggers = uit.taggers(item, t);
+            if !taggers.is_empty() {
+                any = true;
+            }
+            score += alpha * taggers.iter().map(|u| sigma[u.index()]).sum::<f64>()
+                + (1.0 - alpha) * uit.content_score(item, t);
+        }
+        if any {
+            out.push((item, score));
+        }
+    }
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The NRA search returns the same top-k scores as exhaustive scoring.
+    #[test]
+    fn topks_matches_exhaustive(seed in 0u64..5000, alpha in 0.0f64..=1.0, k in 1usize..5) {
+        let (uit, users, tags) = random_uit(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x70);
+        let seeker = UserId(rng.gen_range(0..users) as u32);
+        let query: Vec<KeywordId> =
+            (0..rng.gen_range(1..=tags.len())).map(|i| tags[i]).collect();
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha, epsilon: 1e-12 });
+        let res = engine.run(seeker, &query, k);
+        let exact = exact_scores(&uit, seeker, &query, alpha);
+        let expected: Vec<(ItemId, f64)> =
+            exact.into_iter().filter(|(_, s)| *s > 0.0).take(k).collect();
+        prop_assert_eq!(res.hits.len(), expected.len(), "seed {}", seed);
+        for (h, (_, s)) in res.hits.iter().zip(&expected) {
+            // Scores must match positionally (set may permute under ties).
+            prop_assert!(
+                (h.lower - s).abs() <= 1e-9 + 1e-9 * s,
+                "seed {seed}: engine {} vs exact {}",
+                h.lower,
+                s
+            );
+        }
+    }
+
+    /// Bounds bracket: lower ≤ upper, and at termination they coincide
+    /// within epsilon for returned hits.
+    #[test]
+    fn topks_bounds_converge(seed in 0u64..2000) {
+        let (uit, users, tags) = random_uit(seed);
+        let engine = TopkSEngine::new(&uit, TopkSConfig { alpha: 0.5, epsilon: 1e-12 });
+        let res = engine.run(UserId((seed as usize % users) as u32), &tags, 3);
+        for h in &res.hits {
+            prop_assert!(h.lower <= h.upper + 1e-12);
+            prop_assert!(h.upper - h.lower <= 1e-6, "bounds did not converge: {h:?}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! A Vodkaster-style scenario (the paper's I2): French movie comments,
+//! sentence-level fragments, follower edges — and how structure decides
+//! which *fragment* is returned rather than a whole document.
+//!
+//! ```sh
+//! cargo run --example movie_club
+//! ```
+
+use s3::core::{InstanceBuilder, Query, SearchConfig};
+use s3::doc::DocBuilder;
+use s3::text::Language;
+
+fn main() {
+    let mut b = InstanceBuilder::new(Language::French);
+
+    // Three cinephiles; the seeker follows the critic.
+    let seeker = b.add_user();
+    let critic = b.add_user();
+    let troll = b.add_user();
+    b.add_social_edge(seeker, critic, 1.0);
+
+    // The first comment on the movie is the document; each sentence is a
+    // fragment (§5.1's I2 construction).
+    let mut first = DocBuilder::new("comment");
+    for sentence in [
+        "un film magnifique et poignant",
+        "la photographie est sublime",
+        "le scénario traîne un peu au milieu",
+    ] {
+        let kws = b.analyze(sentence);
+        let s = first.child(first.root(), "sentence");
+        first.set_content(s, kws);
+    }
+    let t_first = b.add_document(first, Some(critic));
+    let first_root = b.doc_root(t_first);
+
+    // Later comments comment on the first.
+    for (author, text) in [
+        (troll, "film surcoté, photographie banale"),
+        (critic, "je confirme un chef d'oeuvre magnifique"),
+    ] {
+        let kws = b.analyze(text);
+        let mut c = DocBuilder::new("comment");
+        c.set_content(c.root(), kws);
+        let t = b.add_document(c, Some(author));
+        b.add_comment_edge(t, first_root);
+    }
+
+    let instance = b.build();
+
+    // Search "magnifique" as the seeker ("magnifique" stems like
+    // "magnifiques" would — the French light stemmer folds them).
+    let kws = instance.query_keywords("magnifique");
+    assert!(!kws.is_empty(), "query keyword must exist in the corpus");
+    let res = instance.search(&Query::new(seeker, kws, 3), &SearchConfig::default());
+
+    println!("results for « magnifique » (seeker follows the critic):");
+    for (rank, h) in res.hits.iter().enumerate() {
+        let tree = instance.forest().tree_of(h.doc);
+        let name = instance.forest().name(h.doc);
+        println!(
+            "  #{} {} node <{}> of tree {:?}, score ∈ [{:.5}, {:.5}]",
+            rank + 1,
+            h.doc,
+            name,
+            tree,
+            h.lower,
+            h.upper
+        );
+    }
+    assert!(!res.hits.is_empty());
+
+    // Structure at work: the best hit is a *fragment* (a sentence or a
+    // comment), never padded out to an unrelated whole when a tighter
+    // subtree scores better; and no hit is an ancestor of another.
+    for (i, a) in res.hits.iter().enumerate() {
+        for b in &res.hits[i + 1..] {
+            assert!(!instance.forest().is_vertical_neighbor(a.doc, b.doc));
+        }
+    }
+    println!("⇒ fragments returned at the right granularity (Definition 3.2).");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a tiny S3 instance and run a social+semantic search.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use s3::core::{InstanceBuilder, Query, SearchConfig};
+use s3::doc::DocBuilder;
+use s3::text::Language;
+
+fn main() {
+    // 1. Users and a weighted social edge (§2.2).
+    let mut b = InstanceBuilder::new(Language::English);
+    let alice = b.add_user();
+    let bob = b.add_user();
+    let carol = b.add_user();
+    b.add_social_edge(alice, bob, 0.9); // alice is close to bob
+    b.add_social_edge(alice, carol, 0.2); // …and barely knows carol
+
+    // 2. Two documents with the same topic, by different posters (§2.3).
+    for (poster, text) in [
+        (bob, "a university degree opens many doors"),
+        (carol, "universities and degrees are overrated"),
+    ] {
+        let kws = b.analyze(text);
+        let mut doc = DocBuilder::new("post");
+        let node = doc.child(doc.root(), "text");
+        doc.set_content(node, kws);
+        b.add_document(doc, Some(poster));
+    }
+
+    // 3. Freeze: saturates RDF, builds the network graph, normalization
+    //    weights, content components and the con(d,k) index.
+    let instance = b.build();
+
+    // 4. Search as alice: both posts match "degree", but bob's is socially
+    //    closer, so it ranks first.
+    let keywords = instance.query_keywords("degree");
+    let result = instance.search(&Query::new(alice, keywords, 5), &SearchConfig::default());
+
+    println!("top-{} results for alice searching \"degree\":", result.hits.len());
+    for (rank, hit) in result.hits.iter().enumerate() {
+        let tree = instance.forest().tree_of(hit.doc);
+        let poster = instance.poster_of(tree).expect("posted");
+        println!(
+            "  #{} fragment {} (tree {:?}, posted by {poster}) score ∈ [{:.5}, {:.5}]",
+            rank + 1,
+            hit.doc,
+            tree,
+            hit.lower,
+            hit.upper
+        );
+    }
+    println!(
+        "search stats: {} iterations, {} candidates, stop = {:?}",
+        result.stats.iterations, result.stats.candidates, result.stats.stop
+    );
+    assert!(!result.hits.is_empty());
+}

@@ -1,0 +1,86 @@
+//! §2.2 "Extensibility", end to end: social links *derived from the RDF
+//! layer* by a rule.
+//!
+//! The paper: "if two people have worked the same year for a company of
+//! less than 10 employees … they must have worked together, which could be
+//! a social relationship. This is easily achieved with a query that
+//! retrieves all such user pairs (in SPARQL …), and builds a
+//! `u workedWith u'` triple for each such pair. Then it suffices to add
+//! these triples to the instance, together with
+//! `workedWith ≺sp S3:social`."
+//!
+//! ```sh
+//! cargo run --example work_colleagues
+//! ```
+
+use s3::core::{InstanceBuilder, Query, SearchConfig};
+use s3::doc::DocBuilder;
+use s3::rdf::{vocabulary as voc, Pattern, Rule, Term, TermOrVar, UriOrVar};
+use s3::text::Language;
+
+fn main() {
+    let mut b = InstanceBuilder::new(Language::English);
+
+    // Users carry URIs so the RDF layer can talk about them.
+    let ana = b.add_user_with_uri("ex:ana");
+    let bob = b.add_user_with_uri("ex:bob");
+    let cyd = b.add_user_with_uri("ex:cyd");
+
+    // RDF facts: who worked where; which companies are small.
+    {
+        let rdf = b.rdf_mut();
+        let worked_at = rdf.dictionary_mut().intern("ex:workedAt");
+        let small = rdf.dictionary_mut().intern("ex:SmallCompany");
+        for (person, company) in
+            [("ex:ana", "ex:acme"), ("ex:bob", "ex:acme"), ("ex:cyd", "ex:megacorp")]
+        {
+            let p = rdf.dictionary_mut().intern(person);
+            let c = rdf.dictionary_mut().intern(company);
+            rdf.insert(p, worked_at, Term::Uri(c), 1.0);
+        }
+        let acme = rdf.dictionary_mut().intern("ex:acme");
+        rdf.insert(acme, voc::RDF_TYPE, Term::Uri(small), 1.0);
+
+        // The derivation rule + the sub-property declaration.
+        let worked_with = rdf.dictionary_mut().intern("ex:workedWith");
+        rdf.insert(worked_with, voc::RDFS_SUBPROPERTY_OF, Term::Uri(voc::S3_SOCIAL), 1.0);
+        let mut body = Pattern::new();
+        let a = body.var("a");
+        let b_ = body.var("b");
+        let c = body.var("c");
+        body.triple(UriOrVar::Var(a), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        body.triple(UriOrVar::Var(b_), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
+        body.triple(UriOrVar::Var(c), UriOrVar::Uri(voc::RDF_TYPE), TermOrVar::Term(Term::Uri(small)));
+        let rule = Rule { body, head: (a, worked_with, b_) };
+        let derived = rule.apply(rdf);
+        println!("rule derived {derived} workedWith triple(s)");
+    }
+
+    // Bob posts about the topic ana will search for. No explicit social
+    // edge between ana and bob was ever added!
+    let kws = b.analyze("our startup ships database engines");
+    let mut doc = DocBuilder::new("post");
+    doc.set_content(doc.root(), kws);
+    b.add_document(doc, Some(bob));
+
+    // Cyd (no derived link to ana) posts the same content.
+    let kws2 = b.analyze("big company also ships database engines");
+    let mut doc2 = DocBuilder::new("post");
+    doc2.set_content(doc2.root(), kws2);
+    b.add_document(doc2, Some(cyd));
+
+    let instance = b.build();
+
+    let keywords = instance.query_keywords("database");
+    let res = instance.search(&Query::new(ana, keywords, 2), &SearchConfig::default());
+    println!("\nana searches \"database\":");
+    for (rank, h) in res.hits.iter().enumerate() {
+        let poster = instance.poster_of(instance.forest().tree_of(h.doc)).expect("posted");
+        println!("  #{} {} by {poster}: score ∈ [{:.5}, {:.5}]", rank + 1, h.doc, h.lower, h.upper);
+    }
+    let first_poster = instance.poster_of(instance.forest().tree_of(res.hits[0].doc)).unwrap();
+    assert_eq!(first_poster, bob, "the RDF-derived colleague edge must rank bob first");
+    assert_ne!(first_poster, cyd);
+    println!("⇒ bob outranks cyd purely through the rule-derived workedWith ≺sp S3:social edge.");
+    let _ = ana;
+}

@@ -1,0 +1,30 @@
+//! Facade crate for the S3 reproduction (Bonaque, Cautis, Goasdoué,
+//! Manolescu — *Social, Structured and Semantic Search*, EDBT 2016).
+//!
+//! This crate re-exports the public surface of every workspace crate so
+//! applications can depend on a single `s3` crate:
+//!
+//! * [`text`] — tokenization, stemming, keyword interning;
+//! * [`rdf`] — weighted RDF store, RDFS saturation, keyword extension;
+//! * [`doc`] — structured documents, fragments, Dewey positions;
+//! * [`graph`] — the social/content entity graph and proximity propagation;
+//! * [`core`] — the S3 instance, `con(d,k)` connections, scores and the
+//!   S3k top-k search algorithm;
+//! * [`topks`] — the TopkS baseline the paper compares against;
+//! * [`datasets`] — synthetic Twitter/Vodkaster/Yelp generators and query
+//!   workloads.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+
+#![warn(missing_docs)]
+pub use s3_core as core;
+pub use s3_datasets as datasets;
+pub use s3_doc as doc;
+pub use s3_graph as graph;
+pub use s3_rdf as rdf;
+pub use s3_text as text;
+pub use s3_topks as topks;
+
+/// Crate version of the facade.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

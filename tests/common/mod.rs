@@ -1,0 +1,121 @@
+//! Shared helpers for the workspace integration tests: seeded random S3
+//! instances exercising every data-model feature (multi-node documents,
+//! keyword tags, endorsements, higher-level tags, comment chains, an RDF
+//! class hierarchy).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3::core::{InstanceBuilder, S3Instance, TagSubject, UserId};
+use s3::doc::DocBuilder;
+use s3::rdf::{vocabulary as voc, Term};
+use s3::text::{KeywordId, Language};
+
+/// Tunable size of a random instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSize {
+    pub users: usize,
+    pub docs: usize,
+    pub vocab: usize,
+}
+
+impl Default for RandomSize {
+    fn default() -> Self {
+        RandomSize { users: 6, docs: 8, vocab: 8 }
+    }
+}
+
+/// Build a random but fully-featured instance from a seed. Returns the
+/// instance plus its content keyword pool.
+pub fn random_instance(seed: u64, size: RandomSize) -> (S3Instance, Vec<KeywordId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(Language::English);
+
+    // A small ontology: kw classes c0..c2 with specializations s0..s2.
+    let mut pool: Vec<KeywordId> = Vec::new();
+    let mut class_kws = Vec::new();
+    for i in 0..3 {
+        let class = b.intern_entity_keyword(&format!("ex:c{i}"));
+        let spec = b.intern_entity_keyword(&format!("ex:s{i}"));
+        let (cu, su) = {
+            let d = b.rdf_mut().dictionary_mut();
+            (d.intern(&format!("ex:c{i}")), d.intern(&format!("ex:s{i}")))
+        };
+        b.rdf_mut().insert(su, voc::RDFS_SUBCLASS_OF, Term::Uri(cu), 1.0);
+        class_kws.push(class);
+        pool.push(spec);
+    }
+    for i in 0..size.vocab {
+        pool.push(b.analyzer_mut().vocabulary_mut().intern(&format!("w{i}")));
+    }
+
+    let users: Vec<UserId> = (0..size.users).map(|_| b.add_user()).collect();
+    for _ in 0..size.users * 2 {
+        let x = rng.gen_range(0..users.len());
+        let y = rng.gen_range(0..users.len());
+        if x != y {
+            b.add_social_edge(users[x], users[y], rng.gen_range(0.1..=1.0));
+        }
+    }
+
+    let mut roots = Vec::new();
+    for d in 0..size.docs {
+        let mut doc = DocBuilder::new("doc");
+        let n_children = rng.gen_range(0..3usize);
+        let mut targets = vec![doc.root()];
+        for _ in 0..n_children {
+            let parent = targets[rng.gen_range(0..targets.len())];
+            targets.push(doc.child(parent, "sec"));
+        }
+        for &node in &targets {
+            let n_kw = rng.gen_range(0..4usize);
+            let kws: Vec<KeywordId> =
+                (0..n_kw).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            for &k in &kws {
+                b.analyzer_mut().vocabulary_mut().add_occurrences(k, 1);
+            }
+            doc.add_content(node, kws);
+        }
+        let poster = if rng.gen_bool(0.9) {
+            Some(users[rng.gen_range(0..users.len())])
+        } else {
+            None
+        };
+        let tree = b.add_document(doc, poster);
+        let root = b.doc_root(tree);
+        // Comment on an earlier doc?
+        if d > 0 && rng.gen_bool(0.4) {
+            let target = roots[rng.gen_range(0..roots.len())];
+            b.add_comment_edge(tree, target);
+        }
+        roots.push(root);
+    }
+
+    // Tags: keyword tags, endorsements, and one higher-level tag.
+    let mut tag_ids = Vec::new();
+    for _ in 0..size.docs {
+        if rng.gen_bool(0.6) && !roots.is_empty() {
+            let subject = TagSubject::Frag(roots[rng.gen_range(0..roots.len())]);
+            let author = users[rng.gen_range(0..users.len())];
+            let keyword = if rng.gen_bool(0.7) {
+                let k = pool[rng.gen_range(0..pool.len())];
+                b.analyzer_mut().vocabulary_mut().add_occurrences(k, 1);
+                Some(k)
+            } else {
+                None
+            };
+            tag_ids.push(b.add_tag(subject, author, keyword));
+        }
+    }
+    if let Some(&base) = tag_ids.first() {
+        if rng.gen_bool(0.5) {
+            let author = users[rng.gen_range(0..users.len())];
+            let k = pool[rng.gen_range(0..pool.len())];
+            b.analyzer_mut().vocabulary_mut().add_occurrences(k, 1);
+            b.add_tag(TagSubject::Tag(base), author, Some(k));
+        }
+    }
+
+    let mut queryable = class_kws;
+    queryable.extend(pool);
+    (b.build(), queryable)
+}

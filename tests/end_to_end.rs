@@ -1,0 +1,176 @@
+//! End-to-end pipelines: dataset generation → workloads → S3k and TopkS →
+//! comparison, mirroring exactly what the benchmark harness does.
+
+mod common;
+
+use s3::core::{Query, S3kEngine, SearchConfig, StopReason, UserId};
+use s3::datasets::{twitter, vodkaster, workload, yelp, OntologyConfig, Scale};
+use s3::topks::{uit_from_s3, TopkSConfig, TopkSEngine};
+
+fn tiny_twitter() -> twitter::TwitterDataset {
+    let mut c = twitter::TwitterConfig::scaled(Scale::Tiny);
+    c.users = 80;
+    c.tweets = 400;
+    c.ontology = OntologyConfig { classes: 15, entities: 60, properties: 4, seed: 9 };
+    twitter::generate(&c)
+}
+
+#[test]
+fn twitter_pipeline_converges() {
+    let ds = tiny_twitter();
+    let inst = &ds.instance;
+    let engine = S3kEngine::new(inst, SearchConfig::default());
+    let ws = workload::paper_workloads(inst, 6);
+    let mut converged = 0;
+    let mut answered = 0;
+    for w in &ws {
+        for q in &w.queries {
+            let res = engine.run(&q.query);
+            if matches!(res.stats.stop, StopReason::Converged | StopReason::NoMatch) {
+                converged += 1;
+            }
+            if !res.hits.is_empty() {
+                answered += 1;
+            }
+        }
+    }
+    assert_eq!(converged, ws.len() * 6, "every query must converge");
+    assert!(answered > 0, "some queries must have answers");
+}
+
+#[test]
+fn vodkaster_pipeline() {
+    let mut c = vodkaster::VodkasterConfig::scaled(Scale::Tiny);
+    c.users = 25;
+    c.movies = 30;
+    let ds = vodkaster::generate(&c);
+    let inst = &ds.instance;
+    let engine = S3kEngine::new(inst, SearchConfig::default());
+    let w = workload::generate(
+        inst,
+        workload::WorkloadConfig {
+            frequency: s3::text::FrequencyClass::Common,
+            keywords_per_query: 1,
+            k: 5,
+            queries: 10,
+            seed: 4,
+        },
+    );
+    let mut answered = 0;
+    for q in &w.queries {
+        let res = engine.run(&q.query);
+        assert!(matches!(res.stats.stop, StopReason::Converged | StopReason::NoMatch));
+        answered += usize::from(!res.hits.is_empty());
+    }
+    assert!(answered > 0);
+}
+
+#[test]
+fn yelp_pipeline_with_semantics() {
+    let mut c = yelp::YelpConfig::scaled(Scale::Tiny);
+    c.users = 40;
+    c.businesses = 12;
+    c.ontology = OntologyConfig { classes: 10, entities: 40, properties: 3, seed: 2 };
+    let ds = yelp::generate(&c);
+    let inst = &ds.instance;
+    // Query a class keyword that has specializations in the corpus: the
+    // answers must include docs reachable only through Ext.
+    let class_kw = ds
+        .ontology
+        .class_keywords
+        .iter()
+        .copied()
+        .find(|&k| inst.expand_keyword(k).len() > 1)
+        .expect("some class has corpus specializations");
+    let engine = S3kEngine::new(inst, SearchConfig::default());
+    let res = engine.run(&Query::new(UserId(0), vec![class_kw], 5));
+    let no_ext = S3kEngine::new(
+        inst,
+        SearchConfig { semantic_expansion: false, ..SearchConfig::default() },
+    )
+    .run(&Query::new(UserId(0), vec![class_kw], 5));
+    assert!(
+        res.stats.candidates >= no_ext.stats.candidates,
+        "expansion can only widen the candidate set"
+    );
+}
+
+#[test]
+fn topks_comparison_pipeline() {
+    let ds = tiny_twitter();
+    let inst = &ds.instance;
+    let adaptation = uit_from_s3(inst);
+    assert!(adaptation.uit.num_items() > 0);
+    assert_eq!(adaptation.uit.num_users(), inst.num_users());
+
+    let topks = TopkSEngine::new(&adaptation.uit, TopkSConfig::default());
+    let w = workload::generate(
+        inst,
+        workload::WorkloadConfig {
+            frequency: s3::text::FrequencyClass::Common,
+            keywords_per_query: 1,
+            k: 10,
+            queries: 12,
+            seed: 8,
+        },
+    );
+    let mut topks_answered = 0;
+    for q in &w.queries {
+        let res = topks.run(q.query.seeker, &q.query.keywords, q.query.k);
+        topks_answered += usize::from(!res.hits.is_empty());
+        for h in &res.hits {
+            assert!(h.lower <= h.upper + 1e-9);
+        }
+    }
+    assert!(topks_answered > 0);
+}
+
+#[test]
+fn random_instances_build_and_stat() {
+    for seed in 0..20 {
+        let (inst, _) = common::random_instance(seed, common::RandomSize::default());
+        let stats = inst.stats();
+        assert_eq!(stats.users, inst.num_users());
+        assert_eq!(stats.documents, inst.num_documents());
+        assert!(stats.nodes >= stats.users + stats.documents);
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The `s3` facade exposes every layer.
+    assert!(!s3::VERSION.is_empty());
+    let _ = s3::text::Language::English;
+    let _ = s3::rdf::vocabulary::S3_SOCIAL;
+    let _ = s3::graph::EdgeKind::Social;
+    let _ = s3::core::S3kScore::default();
+}
+
+#[test]
+fn seekers_see_their_own_neighborhood_first() {
+    // A doc posted by the seeker outranks the same content posted by a
+    // stranger with no social path.
+    let ds = tiny_twitter();
+    let inst = &ds.instance;
+    // Find a user who posted at least one document.
+    let (tree, poster) = inst
+        .forest()
+        .trees()
+        .find_map(|t| inst.poster_of(t).map(|u| (t, u)))
+        .expect("some doc has a poster");
+    let root = inst.forest().root(tree);
+    // Query one of the doc's own keywords.
+    let kw = inst
+        .forest()
+        .fragments(root)
+        .flat_map(|f| inst.forest().content(f))
+        .next()
+        .copied();
+    let Some(kw) = kw else { return };
+    let res = inst.search(&Query::new(poster, vec![kw], 10), &SearchConfig::default());
+    assert!(
+        res.hits.iter().any(|h| inst.forest().tree_of(h.doc) == tree
+            || h.lower > 0.0),
+        "the poster's own document (or something better) must surface"
+    );
+}

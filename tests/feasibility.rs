@@ -1,0 +1,174 @@
+//! The §3.3 score-feasibility properties, checked end-to-end on random
+//! instances (Theorem 3.1 asserts the concrete score has them; these tests
+//! verify our implementation does).
+
+mod common;
+
+use common::{random_instance, RandomSize};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3::core::oracle::{converged_proximity, score_all};
+use s3::core::S3kScore;
+use s3::graph::{naive::naive_prox, NodeId, Propagation};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Property 1 (relationship with path proximity): prox≤n is computed
+    /// incrementally (Uprox exists) and only grows with more paths.
+    #[test]
+    fn prox_monotone_in_n(seed in 0u64..2000, gamma in 1.2f64..3.0) {
+        let (inst, _) = random_instance(seed, RandomSize::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeker = s3::core::UserId(rng.gen_range(0..inst.num_users()) as u32);
+        let mut prop_engine = Propagation::new(inst.graph(), gamma, inst.user_node(seeker));
+        let n = inst.graph().num_nodes();
+        let mut prev: Vec<f64> = (0..n).map(|i| prop_engine.prox_leq(NodeId(i as u32))).collect();
+        for _ in 0..8 {
+            prop_engine.step();
+            #[allow(clippy::needless_range_loop)] // i addresses both prev and the engine
+            for i in 0..n {
+                let cur = prop_engine.prox_leq(NodeId(i as u32));
+                prop_assert!(cur + 1e-12 >= prev[i], "prox decreased at node {i}");
+                prop_assert!(cur <= 1.0 + 1e-9, "prox exceeded 1 at node {i}");
+                prev[i] = cur;
+            }
+        }
+    }
+
+    /// Property 2 (long-path attenuation): B>n bounds the remaining
+    /// proximity for every node, and tends to 0.
+    #[test]
+    fn attenuation_bound_is_sound(seed in 0u64..1000, gamma in 1.3f64..2.5) {
+        let (inst, _) = random_instance(seed, RandomSize::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeker = s3::core::UserId(rng.gen_range(0..inst.num_users()) as u32);
+        let seeker_node = inst.user_node(seeker);
+
+        let mut early = Propagation::new(inst.graph(), gamma, seeker_node);
+        for _ in 0..3 { early.step(); }
+        let bound = early.bound_beyond();
+
+        let mut late = Propagation::new(inst.graph(), gamma, seeker_node);
+        for _ in 0..12 { late.step(); }
+        prop_assert!(late.bound_beyond() <= bound + 1e-12, "B>n must shrink");
+
+        for i in 0..inst.graph().num_nodes() {
+            let node = NodeId(i as u32);
+            prop_assert!(
+                early.prox_leq(node) + bound + 1e-9 >= late.prox_leq(node),
+                "B>n violated at node {i}: early {} + {} < late {}",
+                early.prox_leq(node), bound, late.prox_leq(node)
+            );
+        }
+    }
+
+    /// Property 3 (score soundness): the document score is monotone in the
+    /// proximity function.
+    #[test]
+    fn score_monotone_in_proximity(seed in 0u64..1000, scale in 0.1f64..0.9) {
+        let (inst, pool) = random_instance(seed, RandomSize::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kw = pool[rng.gen_range(0..pool.len())];
+        let score = S3kScore::default();
+        let seeker = s3::core::UserId(rng.gen_range(0..inst.num_users()) as u32);
+        let prox = converged_proximity(&inst, seeker, &score, 1e-10);
+        let full = score_all(&inst, &[kw], &score, |n| prox[n.index()]);
+        let scaled = score_all(&inst, &[kw], &score, |n| prox[n.index()] * scale);
+        for (f, s) in full.iter().zip(&scaled) {
+            prop_assert_eq!(f.doc, s.doc);
+            prop_assert!(s.score <= f.score + 1e-12, "scaling prox down must not raise scores");
+        }
+    }
+
+    /// The engine proximity equals literal path enumeration (Definition 3.3
+    /// + §3.4) at the instance level, including tags and comments.
+    #[test]
+    fn instance_prox_matches_naive_paths(seed in 0u64..400) {
+        let (inst, _) = random_instance(seed, RandomSize { users: 4, docs: 4, vocab: 4 });
+        let gamma = 1.5;
+        let seeker_node = inst.user_node(s3::core::UserId(0));
+        let depth = 3;
+        let mut engine = Propagation::new(inst.graph(), gamma, seeker_node);
+        for _ in 0..depth { engine.step(); }
+        for i in 0..inst.graph().num_nodes() {
+            let node = NodeId(i as u32);
+            let expected = naive_prox(inst.graph(), gamma, seeker_node, node, depth);
+            prop_assert!(
+                (engine.prox_leq(node) - expected).abs() < 1e-9,
+                "node {i}: engine {} vs naive {}",
+                engine.prox_leq(node),
+                expected
+            );
+        }
+    }
+
+    /// Property 4 (score convergence / threshold soundness): a document
+    /// whose component is undiscovered after n steps has final score below
+    /// the engine's threshold bound at step n.
+    #[test]
+    fn threshold_bounds_undiscovered_scores(seed in 0u64..600) {
+        let (inst, pool) = random_instance(seed, RandomSize::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x711);
+        let kw = pool[rng.gen_range(0..pool.len())];
+        let score = S3kScore::default();
+        let seeker = s3::core::UserId(rng.gen_range(0..inst.num_users()) as u32);
+        let seeker_node = inst.user_node(seeker);
+
+        let n_steps = 2;
+        let mut engine = Propagation::new(inst.graph(), gamma_of(&score), seeker_node);
+        let mut visited: Vec<bool> = vec![false; inst.graph().num_nodes()];
+        visited[seeker_node.index()] = true;
+        for _ in 0..n_steps {
+            for v in engine.step() {
+                visited[v.index()] = true;
+            }
+        }
+        let bound = engine.bound_beyond();
+        // Smax for this keyword's extension.
+        let smax_table = inst.connections().smax_table(score.eta);
+        let smax_ext: f64 = inst
+            .expand_keyword(kw)
+            .iter()
+            .map(|k| smax_table.get(k).copied().unwrap_or(0.0))
+            .sum();
+        let threshold = smax_ext * bound;
+
+        // Final scores.
+        let prox = converged_proximity(&inst, seeker, &score, 1e-12);
+        let scored = score_all(&inst, &[kw], &score, |n| prox[n.index()]);
+        for h in &scored {
+            // Is any node of this doc's component (or a source user)
+            // visited? If not — undiscovered at step n.
+            let node = inst.graph().node_of_frag(h.doc).unwrap();
+            let comp = inst.graph().components().component_of(node);
+            let discovered = inst
+                .graph()
+                .components()
+                .members(comp)
+                .iter()
+                .any(|m| visited[m.index()])
+                || inst.connections().keywords_of(h.doc).count() == 0;
+            // Source users: tag authors inside the component.
+            let src_visited = inst
+                .expand_keyword(kw)
+                .iter()
+                .flat_map(|&k| inst.connections().connections(h.doc, k))
+                .any(|c| visited[c.src.index()]);
+            if !discovered && !src_visited {
+                prop_assert!(
+                    h.score <= threshold + 1e-9,
+                    "undiscovered doc {:?} has score {} > threshold {}",
+                    h.doc,
+                    h.score,
+                    threshold
+                );
+            }
+        }
+    }
+}
+
+fn gamma_of(s: &S3kScore) -> f64 {
+    s.gamma
+}

@@ -1,0 +1,167 @@
+//! The generic-score machinery (§3.3): the engine must accept any feasible
+//! score model and stay correct. Tested with the two alternative models —
+//! connection-type weighting and disjunctive (OR) aggregation.
+
+mod common;
+
+use common::{random_instance, RandomSize};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use s3::core::{
+    AnyKeywordScore, Query, S3kEngine, ScoreModel, SearchConfig, StopReason, TypeWeightedScore,
+    UserId,
+};
+
+/// Exhaustive reference for an arbitrary linear-per-keyword model: converge
+/// proximity, score every doc, greedy-select.
+fn generic_oracle<S: ScoreModel>(
+    inst: &s3::core::S3Instance,
+    query: &Query,
+    model: &S,
+) -> Vec<(s3::doc::DocNodeId, f64)> {
+    use s3::graph::{NodeId, Propagation};
+    let mut prop = Propagation::new(inst.graph(), model.gamma(), inst.user_node(query.seeker));
+    let mut guard = 0;
+    while prop.bound_beyond() > 1e-13 && guard < 50_000 {
+        prop.step();
+        guard += 1;
+    }
+    let mut kws = query.keywords.clone();
+    kws.sort_unstable();
+    kws.dedup();
+    let exts: Vec<_> = kws.iter().map(|&k| inst.expand_keyword(k)).collect();
+    let forest = inst.forest();
+    let index = inst.connections();
+    let mut scored: Vec<(s3::doc::DocNodeId, f64)> = Vec::new();
+    for idx in 0..forest.num_nodes() {
+        let d = s3::doc::DocNodeId(idx as u32);
+        let mut parts = Vec::with_capacity(exts.len());
+        let mut matched = 0usize;
+        let mut missing = false;
+        for ext in &exts {
+            let mut seen = std::collections::HashSet::new();
+            let mut part = 0.0f64;
+            let mut any = false;
+            for &k in ext.iter() {
+                for c in index.connections(d, k) {
+                    if seen.insert((c.ctype, c.frag, c.src)) {
+                        part += model.structural_weight(c.ctype, c.depth)
+                            * prop.prox_leq(c.src);
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                matched += 1;
+            } else {
+                missing = true;
+            }
+            parts.push(part);
+        }
+        let qualifies =
+            if model.requires_all_keywords() { !missing } else { matched > 0 };
+        if qualifies {
+            scored.push((d, model.combine_keywords(&parts)));
+        }
+        let _ = NodeId(0);
+    }
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    let mut out: Vec<(s3::doc::DocNodeId, f64)> = Vec::new();
+    for (d, s) in scored {
+        if out.len() == query.k || s <= 0.0 {
+            break;
+        }
+        if out.iter().all(|(p, _)| !forest.is_vertical_neighbor(*p, d)) {
+            out.push((d, s));
+        }
+    }
+    out
+}
+
+fn check_model<S: ScoreModel + Clone>(seed: u64, model: S) -> Result<(), TestCaseError> {
+    let (inst, pool) = random_instance(seed, RandomSize::default());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+    let seeker = UserId(rng.gen_range(0..inst.num_users()) as u32);
+    let k1 = pool[rng.gen_range(0..pool.len())];
+    let k2 = pool[rng.gen_range(0..pool.len())];
+    let query = Query::new(seeker, vec![k1, k2], 3);
+
+    let engine = S3kEngine::with_model(&inst, SearchConfig::default(), model.clone());
+    let res = engine.run(&query);
+    prop_assert!(
+        matches!(res.stats.stop, StopReason::Converged | StopReason::NoMatch),
+        "seed {seed}: {:?}",
+        res.stats
+    );
+    let oracle = generic_oracle(&inst, &query, &model);
+    prop_assert_eq!(
+        res.hits.len(),
+        oracle.len(),
+        "seed {}: engine {:?} vs oracle {:?}",
+        seed,
+        &res.hits,
+        &oracle
+    );
+    let oracle_scores: std::collections::HashMap<_, _> = oracle.iter().copied().collect();
+    for h in &res.hits {
+        if let Some(&s) = oracle_scores.get(&h.doc) {
+            prop_assert!(
+                h.lower - 1e-9 <= s && s <= h.upper + 1e-9,
+                "seed {seed}: score {s} outside [{}, {}]",
+                h.lower,
+                h.upper
+            );
+        } else {
+            // Tie substitution: some oracle-only doc must land in the
+            // engine doc's interval.
+            prop_assert!(
+                oracle
+                    .iter()
+                    .any(|(_, s)| h.lower - 1e-9 <= *s && *s <= h.upper + 1e-9),
+                "seed {seed}: engine-only hit {:?} has no tie partner",
+                h
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Type-weighted conjunctive score: engine == exhaustive reference.
+    #[test]
+    fn type_weighted_score_is_correct(seed in 0u64..4000) {
+        check_model(seed, TypeWeightedScore::default())?;
+    }
+
+    /// Disjunctive (OR) score: engine == exhaustive reference.
+    #[test]
+    fn any_keyword_score_is_correct(seed in 0u64..4000) {
+        check_model(seed, AnyKeywordScore::default())?;
+    }
+
+    /// OR semantics strictly widens the candidate set vs AND.
+    #[test]
+    fn or_candidates_superset_of_and(seed in 0u64..1000) {
+        let (inst, pool) = random_instance(seed, RandomSize::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeker = UserId(rng.gen_range(0..inst.num_users()) as u32);
+        let k1 = pool[rng.gen_range(0..pool.len())];
+        let k2 = pool[rng.gen_range(0..pool.len())];
+        let query = Query::new(seeker, vec![k1, k2], 3);
+        let and_engine = S3kEngine::new(&inst, SearchConfig::default());
+        let or_engine =
+            S3kEngine::with_model(&inst, SearchConfig::default(), AnyKeywordScore::default());
+        let and_res = and_engine.run(&query);
+        let or_res = or_engine.run(&query);
+        let or_set: std::collections::HashSet<_> =
+            or_res.candidate_docs.iter().copied().collect();
+        for d in &and_res.candidate_docs {
+            prop_assert!(or_set.contains(d), "seed {seed}: AND candidate {d:?} missing from OR");
+        }
+    }
+}
