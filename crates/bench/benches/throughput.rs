@@ -1,0 +1,2 @@
+//! Placeholder; replaced by the serving-throughput workload bench.
+fn main() {}

@@ -3,13 +3,12 @@
 
 use crate::connections::{ConnectionIndex, TagInput};
 use crate::ids::{TagId, TagSubject, UserId};
-use parking_lot::Mutex;
 use s3_doc::{DocBuilder, DocNodeId, Forest, TreeId};
 use s3_graph::{CompId, EdgeKind, GraphBuilder, NodeId, SocialGraph};
 use s3_rdf::{TripleStore, UriId};
 use s3_text::{Analyzer, KeywordId, Language, Vocabulary};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Construction-time record of a tag.
 #[derive(Debug, Clone, Copy)]
@@ -403,7 +402,7 @@ impl S3Instance {
     /// plus every specialization/instance from the saturated RDF graph that
     /// also exists as a corpus keyword. Cached.
     pub fn expand_keyword(&self, k: KeywordId) -> Arc<Vec<KeywordId>> {
-        if let Some(hit) = self.ext_cache.lock().get(&k) {
+        if let Some(hit) = self.ext_cache.lock().expect("ext cache poisoned").get(&k) {
             return Arc::clone(hit);
         }
         let mut out = vec![k];
@@ -420,7 +419,7 @@ impl S3Instance {
             }
         }
         let arc = Arc::new(out);
-        self.ext_cache.lock().insert(k, Arc::clone(&arc));
+        self.ext_cache.lock().expect("ext cache poisoned").insert(k, Arc::clone(&arc));
         arc
     }
 

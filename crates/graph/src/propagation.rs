@@ -262,10 +262,11 @@ impl<'g> Propagation<'g> {
 
         let chunk = units.len().div_ceil(threads);
         let mut results: Vec<Vec<(u32, f64)>> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for part in units.chunks(chunk) {
-                handles.push(scope.spawn(move |_| {
+                let emit_unit = &emit_unit;
+                handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     for u in part {
                         emit_unit(u, &mut out);
@@ -276,8 +277,7 @@ impl<'g> Propagation<'g> {
             for h in handles {
                 results.push(h.join().expect("emission worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         results
     }
 

@@ -1,0 +1,205 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically samples a value from a [`TestRng`].
+//! Implemented for the numeric range types and for `&str` regex-lite
+//! patterns (`.{0,300}`, `[a-zA-Z #@.]{0,120}`, …) — the only strategy
+//! shapes this workspace's tests use.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-case random source.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded source for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    fn gen_range_usize(&mut self, lo: usize, hi_incl: usize) -> usize {
+        self.0.gen_range(lo..=hi_incl)
+    }
+}
+
+/// A source of test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// One parsed regex-lite atom: a set of candidate characters plus a
+/// repetition range.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the subset of regex syntax the tests use: a sequence of
+/// `<class>{m,n}` atoms where `<class>` is `.`, a literal character, or a
+/// bracket class of literals and `a-z` ranges. `{m}` and a missing
+/// repetition (exactly once) are also accepted.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '.' => {
+                i += 1;
+                // "Any char": printable ASCII plus a few multibyte probes.
+                let mut all: Vec<char> = (' '..='~').collect();
+                all.extend(['é', 'è', 'à', 'ß', '中', '🦀', '\t']);
+                all
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed character class")
+                    + i;
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j], body[j + 2]);
+                        assert!(lo <= hi, "bad class range {lo}-{hi}");
+                        set.extend(lo..=hi);
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed repetition")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition"),
+                    n.trim().parse().expect("bad repetition"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = rng.gen_range_usize(atom.min, atom.max);
+            for _ in 0..n {
+                let pick = rng.gen_range_usize(0, atom.choices.len() - 1);
+                out.push(atom.choices[pick]);
+            }
+        }
+        out
+    }
+}
+
+/// `Just`-style constant strategy, for completeness.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (1.2f64..3.0).sample(&mut rng);
+            assert!((1.2..3.0).contains(&f));
+            let g = (0.0f64..=1.0).sample(&mut rng);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-z #@]{0,60}".sample(&mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || " #@".contains(c)));
+            let w = "[a-zéèà]{4,20}".sample(&mut rng);
+            let n = w.chars().count();
+            assert!((4..=20).contains(&n), "{w}");
+        }
+    }
+
+    #[test]
+    fn dot_pattern_is_total() {
+        let mut rng = TestRng::new(3);
+        let s = ".{0,300}".sample(&mut rng);
+        assert!(s.chars().count() <= 300);
+    }
+}

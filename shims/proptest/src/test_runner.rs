@@ -1,0 +1,54 @@
+//! Test-runner types: configuration and case-level errors.
+
+/// Number of cases and knobs mirroring proptest's config struct. Extra
+/// fields exist only for `..ProptestConfig::default()` compatibility.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; local rejects are counted instead.
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, max_local_rejects: 1024 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case is invalid for the property (`prop_assume!`); not a failure.
+    Reject(String),
+    /// The property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (discarded) case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias used by helper functions in the tests.
+pub type TestCaseResult = Result<(), TestCaseError>;

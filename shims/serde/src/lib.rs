@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros and declares the two marker traits so
+//! `use serde::{Deserialize, Serialize}` resolves in both the type and the
+//! macro namespace. No actual serialization machinery is provided (nothing
+//! in the workspace serializes at runtime); swap this shim for the real
+//! crate by deleting `shims/` and pointing the workspace at crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so the
+//! structures stay serialization-ready, but nothing in the build actually
+//! serializes through serde. The container has no network access to the
+//! crates.io registry, so this proc-macro crate accepts the same derive
+//! syntax (including `#[serde(...)]` field attributes) and expands to an
+//! empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and emit nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and emit nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
