@@ -293,6 +293,7 @@ impl InstanceBuilder {
             kw_to_uri,
             uri_to_kw,
             ext_cache: Mutex::new(HashMap::new()),
+            smax_cache: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -330,6 +331,7 @@ pub struct S3Instance {
     kw_to_uri: HashMap<KeywordId, UriId>,
     uri_to_kw: HashMap<UriId, KeywordId>,
     ext_cache: Mutex<HashMap<KeywordId, Arc<Vec<KeywordId>>>>,
+    smax_cache: Mutex<HashMap<(u64, u64), Arc<HashMap<KeywordId, f64>>>>,
 }
 
 impl S3Instance {
@@ -421,6 +423,26 @@ impl S3Instance {
         let arc = Arc::new(out);
         self.ext_cache.lock().expect("ext cache poisoned").insert(k, Arc::clone(&arc));
         arc
+    }
+
+    /// The `Smax` table for a concrete S3k score, cached per `(γ, η)`.
+    /// `S3Instance::search` builds a fresh engine per call; without this
+    /// cache, every such call re-ran the full `Smax` aggregation over the
+    /// connection index.
+    pub fn smax_for(&self, score: &crate::score::S3kScore) -> Arc<HashMap<KeywordId, f64>> {
+        use crate::score::ScoreModel;
+        let key = (score.gamma.to_bits(), score.eta.to_bits());
+        if let Some(hit) = self.smax_cache.lock().expect("smax cache poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        let table = Arc::new(
+            self.conn_index.smax_table_with(|t, d| score.structural_weight(t, d)),
+        );
+        self.smax_cache
+            .lock()
+            .expect("smax cache poisoned")
+            .insert(key, Arc::clone(&table));
+        table
     }
 
     /// The corpus language.

@@ -57,4 +57,7 @@ pub use connections::{ConnType, Connection, ConnectionIndex};
 pub use ids::{TagId, TagSubject, UserId};
 pub use instance::{InstanceBuilder, InstanceStats, S3Instance};
 pub use score::{AnyKeywordScore, S3kScore, ScoreModel, TypeWeightedScore};
-pub use search::{Hit, Query, S3kEngine, SearchConfig, SearchStats, StopReason, TopKResult};
+pub use search::{
+    Hit, Query, S3kEngine, S3kSession, SearchConfig, SearchScratch, SearchStats, StopReason,
+    TopKResult,
+};

@@ -1,0 +1,133 @@
+//! Stage 2 — discovery and candidate maintenance (Algorithm
+//! `GetDocuments`, component form).
+//!
+//! Every node that received border mass for the first time may reveal new
+//! candidate documents: fragments and tags open their content component;
+//! users open the components of the tags they authored. A component is
+//! processed at most once per query — keyword pruning (§5.2) first, then
+//! the per-document `con(d, k)` check admits candidates into the pool.
+
+use super::scratch::SearchScratch;
+use super::{S3kEngine, SearchStats};
+use crate::score::ScoreModel;
+use s3_graph::{CompId, EdgeKind, NodeKind};
+
+/// Process `scratch.newly` (the seed node at step 0, the freshly-reached
+/// nodes afterwards), discovering components and admitting candidates.
+pub(crate) fn discover_newly<S: ScoreModel>(
+    engine: &S3kEngine<'_, S>,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+) {
+    let graph = engine.instance.graph();
+    // `newly` is only refilled by the explore stage, after discovery is
+    // done with it; taking it out lets the component pass borrow `scratch`
+    // mutably.
+    let newly = std::mem::take(&mut scratch.newly);
+    for &v in &newly {
+        match graph.kind(v) {
+            NodeKind::Frag(_) | NodeKind::Tag(_) => {
+                discover_component(
+                    engine,
+                    graph.components().component_of(v),
+                    scratch,
+                    stats,
+                );
+            }
+            NodeKind::User(_) => {
+                // Tags authored by this user may source connections in
+                // otherwise-unreached components.
+                for (t, kind, _) in graph.out_edges(v) {
+                    if kind == EdgeKind::HasAuthorInv {
+                        discover_component(
+                            engine,
+                            graph.components().component_of(t),
+                            scratch,
+                            stats,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    scratch.newly = newly;
+}
+
+/// Process one content component: keyword pruning (§5.2), then the
+/// per-document `con` check.
+fn discover_component<S: ScoreModel>(
+    engine: &S3kEngine<'_, S>,
+    comp: CompId,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+) {
+    if scratch.processed[comp.index()] {
+        return;
+    }
+    scratch.processed[comp.index()] = true;
+    scratch.touched.push(comp.index());
+    stats.components += 1;
+
+    let inst = engine.instance;
+    if engine.config.component_pruning {
+        let comp_kws = inst.component_keywords(comp);
+        let hit = |ext: &[s3_text::KeywordId]| ext.iter().any(|k| comp_kws.contains(k));
+        let matches = if engine.model.requires_all_keywords() {
+            scratch.exts.iter().all(|e| hit(e))
+        } else {
+            scratch.exts.iter().any(|e| hit(e))
+        };
+        if !matches {
+            stats.pruned_components += 1;
+            return;
+        }
+    }
+
+    let graph = inst.graph();
+    let index = inst.connections();
+    let conjunctive = engine.model.requires_all_keywords();
+    let n_keywords = scratch.exts.len();
+    for &node in graph.components().members(comp) {
+        let Some(d) = graph.frag_of_node(node) else { continue };
+        if scratch.candidate_of.contains_key(&d) {
+            continue;
+        }
+        // con(d, k) = ∪_{k' ∈ Ext(k)} conDirect(d, k'), deduplicated on
+        // (type, fragment, source) — con is a set.
+        let slot = scratch.candidates.stage(n_keywords);
+        let mut matched = 0usize;
+        let mut missing = false;
+        for (ki, ext) in scratch.exts.iter().enumerate() {
+            scratch.seen.clear();
+            scratch.agg.clear();
+            for &k in ext.iter() {
+                for c in index.connections(d, k) {
+                    if scratch.seen.insert((c.ctype, c.frag, c.src)) {
+                        *scratch.agg.entry(c.src).or_insert(0.0) +=
+                            engine.model.structural_weight(c.ctype, c.depth);
+                    }
+                }
+            }
+            if scratch.agg.is_empty() {
+                missing = true;
+                if conjunctive {
+                    break;
+                }
+            } else {
+                matched += 1;
+            }
+            let list = &mut slot.kw_sources[ki];
+            list.extend(scratch.agg.drain());
+            list.sort_unstable_by_key(|(n, _)| *n);
+        }
+        let qualifies = if conjunctive { !missing } else { matched > 0 };
+        if !qualifies {
+            stats.rejected += 1;
+            continue;
+        }
+        slot.doc = d;
+        let idx = scratch.candidates.commit();
+        scratch.candidate_of.insert(d, idx);
+        stats.candidates += 1;
+    }
+}

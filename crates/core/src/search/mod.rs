@@ -1,4 +1,4 @@
-//! The S3k query-answering algorithm (paper §4).
+//! The S3k query-answering algorithm (paper §4), as composable stages.
 //!
 //! The instance is explored from the seeker outwards, one social-path hop
 //! per iteration (Algorithm 3 / `ExploreStep`, implemented by
@@ -26,14 +26,38 @@
 //! the threshold cannot beat the selection either. Any-time termination
 //! (time budget / iteration cap) returns the current best-effort selection,
 //! as in §4.1 "Any-time termination".
+//!
+//! # Stages
+//!
+//! One query is a loop over four stages, each in its own module and each
+//! operating on a caller-provided [`SearchScratch`]:
+//!
+//! 1. [`expand`] — keyword dedup + `Ext` expansion + answerability
+//!    (runs once, before the loop);
+//! 2. [`discover`] — component discovery and candidate maintenance;
+//! 3. [`bounds`] — score-interval refresh and the undiscovered threshold;
+//! 4. [`stop`] — greedy selection and the certified stop test.
+//!
+//! The scratch (and the [`s3_graph::Propagation`], via
+//! [`s3_graph::Propagation::reset`]) is reused across queries: repeat
+//! queries on a warm [`S3kSession`] allocate nothing in the steady state.
+//! [`S3kEngine::run`] remains the one-shot convenience path.
+
+mod bounds;
+mod discover;
+mod expand;
+mod scratch;
+mod stop;
+
+pub use scratch::SearchScratch;
 
 use crate::ids::UserId;
 use crate::instance::S3Instance;
 use crate::score::{S3kScore, ScoreModel};
 use s3_doc::DocNodeId;
-use s3_graph::{CompId, EdgeKind, NodeId, NodeKind, Propagation};
+use s3_graph::Propagation;
 use s3_text::KeywordId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -147,35 +171,32 @@ pub struct SearchStats {
     pub stop: StopReason,
 }
 
-
-#[derive(Debug)]
-struct Candidate {
-    doc: DocNodeId,
-    /// Per query keyword: deduplicated `(source, structural coefficient)`
-    /// pairs aggregated over `Ext(k)` (DESIGN.md §3.3).
-    kw_sources: Vec<Vec<(NodeId, f64)>>,
-    lower: f64,
-    upper: f64,
-}
-
 /// Reusable S3k engine: holds the per-(instance, score) precomputations
 /// (the `Smax` table). Build once, run many queries.
 ///
 /// The engine is generic over the score model (the paper's §3.3 "generic
 /// score"): [`S3kEngine::new`] uses the concrete S3k score from the
-/// configuration, [`S3kEngine::with_model`] accepts any [`ScoreModel`].
+/// configuration (and shares the instance-cached `Smax` table),
+/// [`S3kEngine::with_model`] accepts any [`ScoreModel`].
+///
+/// For repeat queries, open an [`S3kSession`]: it reuses one
+/// [`SearchScratch`] and one [`Propagation`] across queries, eliminating
+/// per-query allocation.
 pub struct S3kEngine<'i, S: ScoreModel = S3kScore> {
-    instance: &'i S3Instance,
-    config: SearchConfig,
-    model: S,
-    smax: HashMap<KeywordId, f64>,
+    pub(crate) instance: &'i S3Instance,
+    pub(crate) config: SearchConfig,
+    pub(crate) model: S,
+    pub(crate) smax: Arc<HashMap<KeywordId, f64>>,
 }
 
 impl<'i> S3kEngine<'i> {
-    /// Precompute the `Smax` table for this score's structural damping.
+    /// Build an engine around the configured concrete S3k score. The
+    /// `Smax` table is served from the instance's cache, so constructing
+    /// engines per query (as `S3Instance::search` does) stays cheap.
     pub fn new(instance: &'i S3Instance, config: SearchConfig) -> Self {
         let model = config.score;
-        S3kEngine::with_model(instance, config, model)
+        let smax = instance.smax_for(&model);
+        S3kEngine { instance, config, model, smax }
     }
 }
 
@@ -183,8 +204,9 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
     /// Build an engine around an arbitrary feasible score model; the
     /// `config.score` field is ignored in favor of `model`.
     pub fn with_model(instance: &'i S3Instance, config: SearchConfig, model: S) -> Self {
-        let smax =
-            instance.connections().smax_table_with(|t, d| model.structural_weight(t, d));
+        let smax = Arc::new(
+            instance.connections().smax_table_with(|t, d| model.structural_weight(t, d)),
+        );
         S3kEngine { instance, config, model, smax }
     }
 
@@ -198,40 +220,42 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
         &self.config
     }
 
-    /// Answer one query.
+    /// The instance this engine queries.
+    pub fn instance(&self) -> &'i S3Instance {
+        self.instance
+    }
+
+    /// Open a session for repeat queries: scratch and propagation buffers
+    /// persist (cleared, not reallocated) across [`S3kSession::run`] calls.
+    pub fn session(&self) -> S3kSession<'_, 'i, S> {
+        S3kSession { engine: self, scratch: SearchScratch::new(), prop: None }
+    }
+
+    /// Answer one query with throwaway buffers.
     pub fn run(&self, query: &Query) -> TopKResult {
+        let mut scratch = SearchScratch::new();
+        let mut prop = None;
+        self.run_with(query, &mut scratch, &mut prop)
+    }
+
+    /// Answer one query using caller-owned buffers. `scratch` is cleared
+    /// and refilled; `prop` is reset (or lazily created on first use /
+    /// damping change). This is the allocation-free steady-state path the
+    /// serving layer drives; results are identical to [`S3kEngine::run`].
+    pub fn run_with(
+        &self,
+        query: &Query,
+        scratch: &mut SearchScratch,
+        prop: &mut Option<Propagation<'i>>,
+    ) -> TopKResult {
         let started = Instant::now();
         let inst = self.instance;
         let graph = inst.graph();
-
-        // Deduplicate φ and expand each keyword (Definition 2.1).
-        let mut keywords: Vec<KeywordId> = query.keywords.clone();
-        keywords.sort_unstable();
-        keywords.dedup();
-        let exts: Vec<Arc<Vec<KeywordId>>> = keywords
-            .iter()
-            .map(|&k| {
-                if self.config.semantic_expansion {
-                    inst.expand_keyword(k)
-                } else {
-                    Arc::new(vec![k])
-                }
-            })
-            .collect();
-
+        scratch.begin(graph.components().len());
         let mut stats = SearchStats::default();
 
-        // SmaxExt(k) = Σ_{k' ∈ Ext(k)} Smax(k'): threshold coefficients.
-        let smax_ext: Vec<f64> = exts
-            .iter()
-            .map(|ext| ext.iter().map(|k| self.smax.get(k).copied().unwrap_or(0.0)).sum())
-            .collect();
-        let unanswerable = if self.model.requires_all_keywords() {
-            smax_ext.iter().any(|&s| s <= 0.0)
-        } else {
-            smax_ext.iter().all(|&s| s <= 0.0)
-        };
-        if keywords.is_empty() || unanswerable {
+        // ---- Stage 1: keyword expansion (Definition 2.1). ----
+        if !expand::expand_query(self, query, scratch) {
             // Some keyword (or its whole extension) never occurs: the score
             // of every document is 0 and the (positive-score) answer is
             // empty — exact.
@@ -240,296 +264,94 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
         }
 
         let seeker = inst.user_node(query.seeker);
-        let mut prop = Propagation::new(graph, self.model.gamma(), seeker);
+        let gamma = self.model.gamma();
+        let prop = match prop {
+            Some(p) if p.gamma() == gamma => {
+                p.reset(seeker);
+                p
+            }
+            slot => slot.insert(Propagation::new(graph, gamma, seeker)),
+        };
 
-        let mut candidates: Vec<Candidate> = Vec::new();
-        let mut candidate_of: HashMap<DocNodeId, usize> = HashMap::new();
-        let mut processed: Vec<bool> = vec![false; graph.components().len()];
         let mut frontier_closed = false;
-
         // Discovery from the seed (the seeker may source tags/documents).
-        let mut newly: Vec<NodeId> = vec![seeker];
+        scratch.newly.push(seeker);
 
         loop {
-            // ---- Discovery (Algorithm GetDocuments, component form). ----
-            for &v in &newly {
-                match graph.kind(v) {
-                    NodeKind::Frag(_) | NodeKind::Tag(_) => {
-                        self.discover(
-                            graph.components().component_of(v),
-                            &exts,
-                            &mut candidates,
-                            &mut candidate_of,
-                            &mut processed,
-                            &mut stats,
-                        );
-                    }
-                    NodeKind::User(_) => {
-                        // Tags authored by this user may source connections
-                        // in otherwise-unreached components.
-                        for (t, kind, _) in graph.out_edges(v) {
-                            if kind == EdgeKind::HasAuthorInv {
-                                self.discover(
-                                    graph.components().component_of(t),
-                                    &exts,
-                                    &mut candidates,
-                                    &mut candidate_of,
-                                    &mut processed,
-                                    &mut stats,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
+            // ---- Stage 2: discovery (Algorithm GetDocuments). ----
+            discover::discover_newly(self, scratch, &mut stats);
 
-            // ---- Bounds (Algorithm ComputeCandidatesBounds). ----
-            let bound = prop.bound_beyond();
-            let mut lo_parts: Vec<f64> = Vec::with_capacity(exts.len());
-            let mut hi_parts: Vec<f64> = Vec::with_capacity(exts.len());
-            for c in candidates.iter_mut() {
-                lo_parts.clear();
-                hi_parts.clear();
-                for srcs in &c.kw_sources {
-                    let mut lo = 0.0f64;
-                    let mut hi = 0.0f64;
-                    for &(src, coef) in srcs {
-                        let p = prop.prox_leq(src);
-                        lo += coef * p;
-                        hi += coef * (p + bound).min(1.0);
-                    }
-                    lo_parts.push(lo);
-                    hi_parts.push(hi);
-                }
-                c.lower = self.model.combine_keywords(&lo_parts);
-                c.upper = self.model.combine_keywords(&hi_parts);
-            }
-            let threshold = if frontier_closed {
-                0.0
-            } else {
-                let parts: Vec<f64> =
-                    smax_ext.iter().map(|&s| s * bound.min(1.0)).collect();
-                self.model.combine_keywords(&parts)
-            };
+            // ---- Stage 3: bounds (Algorithm ComputeCandidatesBounds). ----
+            let threshold = bounds::update_bounds(self, scratch, prop, frontier_closed);
 
-            // ---- Selection + stop test (Algorithm StopCondition). ----
-            let selection = self.select(&candidates, query.k);
-            if self.stop_condition(&candidates, &selection, query.k, threshold, frontier_closed)
-            {
+            // ---- Stage 4: selection + stop test (Algorithm StopCondition). ----
+            stop::select(self, scratch, query.k);
+            if stop::stop_condition(self, scratch, query.k, threshold, frontier_closed) {
                 stats.stop = StopReason::Converged;
                 stats.iterations = prop.iteration();
-                return self.finish(candidates, selection, stats);
+                return stop::finish(scratch, stats);
             }
             if prop.iteration() >= self.config.max_iterations {
                 stats.stop = StopReason::MaxIterations;
                 stats.iterations = prop.iteration();
-                return self.finish(candidates, selection, stats);
+                return stop::finish(scratch, stats);
             }
             if let Some(budget) = self.config.time_budget {
                 if started.elapsed() >= budget {
                     stats.stop = StopReason::TimeBudget;
                     stats.iterations = prop.iteration();
-                    return self.finish(candidates, selection, stats);
+                    return stop::finish(scratch, stats);
                 }
             }
 
             // ---- Explore one more hop (Algorithm ExploreStep). ----
-            newly = if self.config.threads > 1 {
-                prop.step_parallel(self.config.threads)
-            } else {
-                prop.step()
-            };
-            if newly.is_empty() {
+            prop.step_into(self.config.threads, false, &mut scratch.newly);
+            if scratch.newly.is_empty() {
                 frontier_closed = true;
             }
         }
     }
+}
 
-    /// Process one content component: keyword pruning (§5.2), then the
-    /// per-document `con` check.
-    fn discover(
-        &self,
-        comp: CompId,
-        exts: &[Arc<Vec<KeywordId>>],
-        candidates: &mut Vec<Candidate>,
-        candidate_of: &mut HashMap<DocNodeId, usize>,
-        processed: &mut [bool],
-        stats: &mut SearchStats,
-    ) {
-        if processed[comp.index()] {
-            return;
-        }
-        processed[comp.index()] = true;
-        stats.components += 1;
+/// A warm query session over one engine: buffers persist across queries.
+///
+/// ```
+/// use s3_core::{InstanceBuilder, Query, S3kEngine, SearchConfig};
+/// use s3_doc::DocBuilder;
+/// use s3_text::Language;
+///
+/// let mut b = InstanceBuilder::new(Language::English);
+/// let u = b.add_user();
+/// let kws = b.analyze("a degree");
+/// let mut doc = DocBuilder::new("post");
+/// doc.set_content(doc.root(), kws);
+/// b.add_document(doc, Some(u));
+/// let instance = b.build();
+///
+/// let engine = S3kEngine::new(&instance, SearchConfig::default());
+/// let mut session = engine.session();
+/// for keyword in instance.query_keywords("degree") {
+///     let result = session.run(&Query::new(u, vec![keyword], 3));
+///     assert_eq!(result.hits.len(), 1);
+/// }
+/// ```
+pub struct S3kSession<'e, 'i, S: ScoreModel = S3kScore> {
+    engine: &'e S3kEngine<'i, S>,
+    scratch: SearchScratch,
+    prop: Option<Propagation<'i>>,
+}
 
-        let inst = self.instance;
-        if self.config.component_pruning {
-            let comp_kws = inst.component_keywords(comp);
-            let hit = |ext: &Arc<Vec<KeywordId>>| ext.iter().any(|k| comp_kws.contains(k));
-            let matches = if self.model.requires_all_keywords() {
-                exts.iter().all(hit)
-            } else {
-                exts.iter().any(hit)
-            };
-            if !matches {
-                stats.pruned_components += 1;
-                return;
-            }
-        }
-
-        let graph = inst.graph();
-        let index = inst.connections();
-        let conjunctive = self.model.requires_all_keywords();
-        for &node in graph.components().members(comp) {
-            let Some(d) = graph.frag_of_node(node) else { continue };
-            if candidate_of.contains_key(&d) {
-                continue;
-            }
-            // con(d, k) = ∪_{k' ∈ Ext(k)} conDirect(d, k'), deduplicated on
-            // (type, fragment, source) — con is a set.
-            let mut kw_sources: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(exts.len());
-            let mut matched = 0usize;
-            let mut missing = false;
-            for ext in exts {
-                let mut seen: HashSet<(crate::connections::ConnType, DocNodeId, NodeId)> =
-                    HashSet::new();
-                let mut agg: HashMap<NodeId, f64> = HashMap::new();
-                for &k in ext.iter() {
-                    for c in index.connections(d, k) {
-                        if seen.insert((c.ctype, c.frag, c.src)) {
-                            *agg.entry(c.src).or_insert(0.0) +=
-                                self.model.structural_weight(c.ctype, c.depth);
-                        }
-                    }
-                }
-                if agg.is_empty() {
-                    missing = true;
-                    if conjunctive {
-                        break;
-                    }
-                } else {
-                    matched += 1;
-                }
-                let mut v: Vec<(NodeId, f64)> = agg.into_iter().collect();
-                v.sort_unstable_by_key(|(n, _)| *n);
-                kw_sources.push(v);
-            }
-            let qualifies = if conjunctive { !missing } else { matched > 0 };
-            if !qualifies {
-                stats.rejected += 1;
-                continue;
-            }
-            // Disjunctive models may have skipped pushing nothing; pad the
-            // keyword slots so bounds line up positionally.
-            while kw_sources.len() < exts.len() {
-                kw_sources.push(Vec::new());
-            }
-            candidate_of.insert(d, candidates.len());
-            candidates.push(Candidate { doc: d, kw_sources, lower: 0.0, upper: f64::MAX });
-            stats.candidates += 1;
-        }
+impl<'e, 'i, S: ScoreModel> S3kSession<'e, 'i, S> {
+    /// Answer one query, reusing the session's buffers. Results are
+    /// identical to a cold [`S3kEngine::run`] — the scratch carries no
+    /// state between queries (property-tested in `crates/engine`).
+    pub fn run(&mut self, query: &Query) -> TopKResult {
+        self.engine.run_with(query, &mut self.scratch, &mut self.prop)
     }
 
-    /// Greedy top-k selection by upper bound, skipping vertical neighbors
-    /// of already-selected documents (Definition 3.2's constraint).
-    fn select(&self, candidates: &[Candidate], k: usize) -> Vec<usize> {
-        let forest = self.instance.forest();
-        let mut order: Vec<usize> = (0..candidates.len()).collect();
-        order.sort_unstable_by(|&a, &b| {
-            candidates[b]
-                .upper
-                .partial_cmp(&candidates[a].upper)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(candidates[a].doc.cmp(&candidates[b].doc))
-        });
-        let mut selection: Vec<usize> = Vec::with_capacity(k);
-        for i in order {
-            if selection.len() == k {
-                break;
-            }
-            let d = candidates[i].doc;
-            if candidates[i].upper <= 0.0 {
-                break;
-            }
-            let conflict = selection
-                .iter()
-                .any(|&s| forest.is_vertical_neighbor(candidates[s].doc, d));
-            if !conflict {
-                selection.push(i);
-            }
-        }
-        selection
-    }
-
-    /// Is the current selection provably a top-k answer?
-    fn stop_condition(
-        &self,
-        candidates: &[Candidate],
-        selection: &[usize],
-        k: usize,
-        threshold: f64,
-        frontier_closed: bool,
-    ) -> bool {
-        let eps = self.config.epsilon;
-        let forest = self.instance.forest();
-        let in_selection: HashSet<usize> = selection.iter().copied().collect();
-        let min_lower = selection
-            .iter()
-            .map(|&i| candidates[i].lower)
-            .fold(f64::INFINITY, f64::min);
-
-        if selection.len() == k {
-            // Undiscovered documents must not be able to enter.
-            if threshold > min_lower + eps {
-                return false;
-            }
-        } else {
-            // Fewer than k positive-score documents may exist; that is only
-            // certain once the frontier stopped growing (no undiscovered
-            // document can have positive score) — see module docs.
-            if !frontier_closed {
-                return false;
-            }
-        }
-        // Every unselected candidate must be provably excluded: either it
-        // cannot beat the selection's weakest member, or a selected
-        // vertical neighbor provably dominates it.
-        for (i, c) in candidates.iter().enumerate() {
-            if in_selection.contains(&i) || c.upper <= 0.0 {
-                continue;
-            }
-            let beaten_globally = selection.len() == k && c.upper <= min_lower + eps;
-            if beaten_globally {
-                continue;
-            }
-            let dominated = selection.iter().any(|&s| {
-                forest.is_vertical_neighbor(candidates[s].doc, c.doc)
-                    && candidates[s].lower + eps >= c.upper
-            });
-            if !dominated {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Materialize the result.
-    fn finish(
-        &self,
-        candidates: Vec<Candidate>,
-        selection: Vec<usize>,
-        stats: SearchStats,
-    ) -> TopKResult {
-        let hits = selection
-            .into_iter()
-            .map(|i| Hit {
-                doc: candidates[i].doc,
-                lower: candidates[i].lower,
-                upper: candidates[i].upper,
-            })
-            .collect();
-        let candidate_docs = candidates.iter().map(|c| c.doc).collect();
-        TopKResult { hits, candidate_docs, stats }
+    /// The engine this session queries.
+    pub fn engine(&self) -> &'e S3kEngine<'i, S> {
+        self.engine
     }
 }
 
@@ -691,5 +513,35 @@ mod tests {
         let res = inst.search(&Query::new(seeker, vec![univers], 1), &SearchConfig::default());
         assert_eq!(res.hits.len(), 1);
         assert!(res.hits[0].lower > 0.0, "the endorsement links the seeker to the doc");
+    }
+
+    #[test]
+    fn session_reuse_matches_cold_runs() {
+        let (inst, u1, degree, _) = motivating();
+        let engine = S3kEngine::new(&inst, SearchConfig::default());
+        let mut session = engine.session();
+        // Interleave queries with different keyword counts and k to stress
+        // scratch rewinding; every warm answer must equal the cold one.
+        let ghost = KeywordId(9999);
+        let queries = [
+            Query::new(u1, vec![degree], 3),
+            Query::new(u1, vec![ghost], 2),
+            Query::new(u1, vec![degree, degree], 1),
+            Query::new(u1, vec![degree], 2),
+        ];
+        for q in &queries {
+            let warm = session.run(q);
+            let cold = engine.run(q);
+            assert_eq!(warm.stats.stop, cold.stats.stop);
+            assert_eq!(warm.candidate_docs, cold.candidate_docs);
+            assert_eq!(
+                warm.hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                cold.hits.iter().map(|h| h.doc).collect::<Vec<_>>()
+            );
+            for (w, c) in warm.hits.iter().zip(cold.hits.iter()) {
+                assert_eq!(w.lower, c.lower);
+                assert_eq!(w.upper, c.upper);
+            }
+        }
     }
 }

@@ -1,0 +1,163 @@
+//! Reusable per-session search state.
+//!
+//! A cold S3k query allocates a dozen maps and vectors; on a serving path
+//! answering thousands of queries over one instance, that churn dominates.
+//! [`SearchScratch`] owns every query-local buffer the staged search needs
+//! and is *cleared, not reallocated* between queries: a session's second
+//! and later queries perform no steady-state allocation in the search
+//! driver itself (candidate source lists, aggregation maps, selection
+//! buffers are all reused at their high-water capacity).
+
+use crate::connections::ConnType;
+use s3_doc::DocNodeId;
+use s3_graph::NodeId;
+use s3_text::KeywordId;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A candidate document's per-keyword deduplicated `(source, structural
+/// coefficient)` pairs plus its certified score interval.
+#[derive(Debug)]
+pub(crate) struct Candidate {
+    pub doc: DocNodeId,
+    /// Per query keyword: deduplicated `(source, structural coefficient)`
+    /// pairs aggregated over `Ext(k)` (DESIGN.md §3.3).
+    pub kw_sources: Vec<Vec<(NodeId, f64)>>,
+    pub lower: f64,
+    pub upper: f64,
+}
+
+/// A pool of [`Candidate`] slots reused across queries: `clear` rewinds the
+/// logical length but keeps every slot's inner buffers at capacity.
+#[derive(Debug, Default)]
+pub(crate) struct CandidatePool {
+    slots: Vec<Candidate>,
+    len: usize,
+}
+
+impl CandidatePool {
+    /// Forget all candidates, keeping slot capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The committed candidates.
+    pub fn as_slice(&self) -> &[Candidate] {
+        &self.slots[..self.len]
+    }
+
+    /// The committed candidates, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [Candidate] {
+        &mut self.slots[..self.len]
+    }
+
+    /// Borrow the next free slot with `kw_sources` reset to `n_keywords`
+    /// empty lists (inner capacity preserved). The slot only becomes a
+    /// candidate once [`CandidatePool::commit`] is called; staging the same
+    /// slot again discards the previous staging.
+    pub fn stage(&mut self, n_keywords: usize) -> &mut Candidate {
+        if self.len == self.slots.len() {
+            self.slots.push(Candidate {
+                doc: DocNodeId(0),
+                kw_sources: Vec::new(),
+                lower: 0.0,
+                upper: f64::MAX,
+            });
+        }
+        let slot = &mut self.slots[self.len];
+        for list in slot.kw_sources.iter_mut() {
+            list.clear();
+        }
+        if slot.kw_sources.len() > n_keywords {
+            slot.kw_sources.truncate(n_keywords);
+        } else {
+            let missing = n_keywords - slot.kw_sources.len();
+            slot.kw_sources.extend((0..missing).map(|_| Vec::new()));
+        }
+        slot.lower = 0.0;
+        slot.upper = f64::MAX;
+        slot
+    }
+
+    /// Turn the staged slot into a committed candidate; returns its index.
+    pub fn commit(&mut self) -> usize {
+        self.len += 1;
+        self.len - 1
+    }
+}
+
+/// Every query-local buffer of the staged S3k search, reusable across
+/// queries. Obtain one through `S3kEngine::session` (or construct directly
+/// for a custom driver) and pass it to `S3kEngine::run_with`.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Deduplicated query keywords.
+    pub(crate) keywords: Vec<KeywordId>,
+    /// `Ext(k)` per deduplicated keyword.
+    pub(crate) exts: Vec<Arc<Vec<KeywordId>>>,
+    /// `SmaxExt(k)` per deduplicated keyword.
+    pub(crate) smax_ext: Vec<f64>,
+    /// Candidate documents.
+    pub(crate) candidates: CandidatePool,
+    /// Candidate index by document.
+    pub(crate) candidate_of: HashMap<DocNodeId, usize>,
+    /// Per-component processed flag (cleared through `touched`).
+    pub(crate) processed: Vec<bool>,
+    /// Components whose `processed` flag was set this query.
+    pub(crate) touched: Vec<usize>,
+    /// Nodes newly reached by the last explore step (also the discovery
+    /// seed list at step 0).
+    pub(crate) newly: Vec<NodeId>,
+    /// Per-keyword lower score parts (bounds stage).
+    pub(crate) lo_parts: Vec<f64>,
+    /// Per-keyword upper score parts (bounds stage).
+    pub(crate) hi_parts: Vec<f64>,
+    /// Per-keyword threshold parts (bounds stage).
+    pub(crate) threshold_parts: Vec<f64>,
+    /// Connection dedup set (discovery stage).
+    pub(crate) seen: HashSet<(ConnType, DocNodeId, NodeId)>,
+    /// Per-source coefficient aggregation (discovery stage).
+    pub(crate) agg: HashMap<NodeId, f64>,
+    /// Candidate indices ordered by upper bound (selection stage).
+    pub(crate) order: Vec<usize>,
+    /// The current greedy selection (selection stage).
+    pub(crate) selection: Vec<usize>,
+    /// Selection membership (stop stage).
+    pub(crate) in_selection: HashSet<usize>,
+}
+
+impl SearchScratch {
+    /// Fresh, empty scratch. Buffers grow to their high-water mark on
+    /// first use and are retained afterwards.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Rewind everything for a new query against an instance with
+    /// `num_components` content components. Keeps capacity; the only
+    /// possible allocation is growing `processed` the first time a larger
+    /// instance is seen.
+    pub(crate) fn begin(&mut self, num_components: usize) {
+        self.keywords.clear();
+        self.exts.clear();
+        self.smax_ext.clear();
+        self.candidates.clear();
+        self.candidate_of.clear();
+        for &comp in &self.touched {
+            self.processed[comp] = false;
+        }
+        self.touched.clear();
+        if self.processed.len() < num_components {
+            self.processed.resize(num_components, false);
+        }
+        self.newly.clear();
+        self.lo_parts.clear();
+        self.hi_parts.clear();
+        self.threshold_parts.clear();
+        self.seen.clear();
+        self.agg.clear();
+        self.order.clear();
+        self.selection.clear();
+        self.in_selection.clear();
+    }
+}

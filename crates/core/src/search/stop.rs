@@ -1,0 +1,118 @@
+//! Stage 4 — selection and the stop test (Algorithm `StopCondition`).
+//!
+//! The greedy selection picks candidates by upper bound while respecting
+//! Definition 3.2's vertical-neighbor constraint; the stop test certifies
+//! that no unselected or undiscovered document can displace the selection
+//! (Theorem 4.1), at which point the answer is final.
+
+use super::scratch::SearchScratch;
+use super::{Hit, S3kEngine, SearchStats, TopKResult};
+use crate::score::ScoreModel;
+
+/// Greedy top-k selection by upper bound, skipping vertical neighbors of
+/// already-selected documents (Definition 3.2's constraint). Fills
+/// `scratch.selection`.
+pub(crate) fn select<S: ScoreModel>(
+    engine: &S3kEngine<'_, S>,
+    scratch: &mut SearchScratch,
+    k: usize,
+) {
+    let forest = engine.instance.forest();
+    let candidates = scratch.candidates.as_slice();
+    scratch.order.clear();
+    scratch.order.extend(0..candidates.len());
+    scratch.order.sort_unstable_by(|&a, &b| {
+        candidates[b]
+            .upper
+            .partial_cmp(&candidates[a].upper)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(candidates[a].doc.cmp(&candidates[b].doc))
+    });
+    scratch.selection.clear();
+    for &i in &scratch.order {
+        if scratch.selection.len() == k {
+            break;
+        }
+        let d = candidates[i].doc;
+        if candidates[i].upper <= 0.0 {
+            break;
+        }
+        let conflict = scratch
+            .selection
+            .iter()
+            .any(|&s| forest.is_vertical_neighbor(candidates[s].doc, d));
+        if !conflict {
+            scratch.selection.push(i);
+        }
+    }
+}
+
+/// Is the current selection provably a top-k answer?
+pub(crate) fn stop_condition<S: ScoreModel>(
+    engine: &S3kEngine<'_, S>,
+    scratch: &mut SearchScratch,
+    k: usize,
+    threshold: f64,
+    frontier_closed: bool,
+) -> bool {
+    let eps = engine.config.epsilon;
+    let forest = engine.instance.forest();
+    let candidates = scratch.candidates.as_slice();
+    let selection = &scratch.selection;
+    scratch.in_selection.clear();
+    scratch.in_selection.extend(selection.iter().copied());
+    let min_lower = selection
+        .iter()
+        .map(|&i| candidates[i].lower)
+        .fold(f64::INFINITY, f64::min);
+
+    if selection.len() == k {
+        // Undiscovered documents must not be able to enter.
+        if threshold > min_lower + eps {
+            return false;
+        }
+    } else {
+        // Fewer than k positive-score documents may exist; that is only
+        // certain once the frontier stopped growing (no undiscovered
+        // document can have positive score) — see module docs.
+        if !frontier_closed {
+            return false;
+        }
+    }
+    // Every unselected candidate must be provably excluded: either it
+    // cannot beat the selection's weakest member, or a selected vertical
+    // neighbor provably dominates it.
+    for (i, c) in candidates.iter().enumerate() {
+        if scratch.in_selection.contains(&i) || c.upper <= 0.0 {
+            continue;
+        }
+        let beaten_globally = selection.len() == k && c.upper <= min_lower + eps;
+        if beaten_globally {
+            continue;
+        }
+        let dominated = selection.iter().any(|&s| {
+            forest.is_vertical_neighbor(candidates[s].doc, c.doc)
+                && candidates[s].lower + eps >= c.upper
+        });
+        if !dominated {
+            return false;
+        }
+    }
+    true
+}
+
+/// Materialize the result from the scratch's selection and candidates.
+pub(crate) fn finish(scratch: &SearchScratch, stats: SearchStats) -> TopKResult {
+    let candidates = scratch.candidates.as_slice();
+    let hits = scratch
+        .selection
+        .iter()
+        .map(|&i| Hit {
+            doc: candidates[i].doc,
+            lower: candidates[i].lower,
+            upper: candidates[i].upper,
+        })
+        .collect();
+    let candidate_docs = candidates.iter().map(|c| c.doc).collect();
+    TopKResult { hits, candidate_docs, stats }
+}

@@ -36,6 +36,16 @@
 //! so the border mass `M_j = Σ_v x_j(v)` never increases, giving
 //! `prox − prox≤n ≤ M_n / γ^{n+1}` ([`Propagation::bound_beyond`]) — the
 //! paper's `B>n_prox`, which tends to 0 and drives S3k's stop condition.
+//!
+//! # Reuse across queries
+//!
+//! A `Propagation` owns O(|graph|) buffers. Building them per query is the
+//! dominant allocation cost of a search, so the serving layer reuses one
+//! `Propagation` per worker: [`Propagation::reset`] rewinds to a fresh
+//! seeker without reallocating, and [`Propagation::step_into`] appends the
+//! newly-reached nodes to a caller-owned buffer. The sequential explore
+//! path performs no steady-state allocation; the parallel path allocates
+//! only per-worker result buffers (amortized by the spawn cutoff).
 
 use crate::graph::SocialGraph;
 use crate::node::{NodeId, NodeKind};
@@ -63,6 +73,31 @@ pub struct Propagation<'g> {
     visited: Vec<bool>,
     /// Scratch: next border mass.
     x_next: Vec<f64>,
+    /// Scratch: sequential-path `(target, Δmass)` contributions.
+    emit_buf: Vec<(u32, f64)>,
+    /// Scratch: frontier being assembled for the next step.
+    frontier_next: Vec<u32>,
+    /// Scratch: active trees of the current frontier, deduplicated.
+    unit_trees: Vec<TreeId>,
+    /// Scratch: active user/tag nodes of the current frontier.
+    unit_singles: Vec<u32>,
+    /// Scratch: per-tree prefix/suffix passes.
+    tree_scratch: TreeScratch,
+}
+
+/// Reusable per-tree buffers for the ancestor/subtree aggregation passes.
+#[derive(Debug, Default)]
+struct TreeScratch {
+    rho: Vec<f64>,
+    anc: Vec<f64>,
+    sub: Vec<f64>,
+    trees: Vec<TreeId>,
+}
+
+/// One emission work item: a whole active tree, or a single user/tag node.
+enum Unit {
+    Tree(TreeId),
+    Single(u32),
 }
 
 impl<'g> Propagation<'g> {
@@ -77,19 +112,46 @@ impl<'g> Propagation<'g> {
             c_gamma,
             step: 0,
             x: vec![0.0; n],
-            frontier: vec![seeker.0],
+            frontier: Vec::new(),
             acc: vec![0.0; n],
             acc_nb: vec![0.0; n],
             border_mass: 1.0,
             visited: vec![false; n],
             x_next: vec![0.0; n],
+            emit_buf: Vec::new(),
+            frontier_next: Vec::new(),
+            unit_trees: Vec::new(),
+            unit_singles: Vec::new(),
+            tree_scratch: TreeScratch::default(),
         };
-        engine.x[seeker.index()] = 1.0;
-        engine.visited[seeker.index()] = true;
-        // The empty path (length 0, prox→ = 1).
-        engine.acc[seeker.index()] = c_gamma;
-        engine.refresh_acc_nb(&[seeker.0]);
+        engine.seed(seeker);
         engine
+    }
+
+    /// Rewind to step 0 from a (possibly different) seeker, reusing every
+    /// buffer: no allocation happens, regardless of the previous search's
+    /// extent. Equivalent to `Propagation::new(graph, gamma, seeker)`.
+    pub fn reset(&mut self, seeker: NodeId) {
+        self.step = 0;
+        self.border_mass = 1.0;
+        self.x.fill(0.0);
+        self.x_next.fill(0.0);
+        self.acc.fill(0.0);
+        self.acc_nb.fill(0.0);
+        self.visited.fill(false);
+        self.frontier.clear();
+        self.seed(seeker);
+    }
+
+    /// Install the seeker's initial mass (the empty path, prox→ = 1).
+    fn seed(&mut self, seeker: NodeId) {
+        self.x[seeker.index()] = 1.0;
+        self.visited[seeker.index()] = true;
+        self.acc[seeker.index()] = self.c_gamma;
+        self.frontier.push(seeker.0);
+        let frontier = std::mem::take(&mut self.frontier);
+        self.refresh_acc_nb(&frontier);
+        self.frontier = frontier;
     }
 
     /// The damping factor γ.
@@ -132,8 +194,9 @@ impl<'g> Propagation<'g> {
     /// form). Returns the nodes that received border mass for the first
     /// time.
     pub fn step(&mut self) -> Vec<NodeId> {
-        let contributions = self.emit_all(1, false);
-        self.apply(contributions)
+        let mut newly = Vec::new();
+        self.step_into(1, false, &mut newly);
+        newly
     }
 
     /// Parallel variant: the emission work is split over `threads` workers
@@ -146,15 +209,51 @@ impl<'g> Propagation<'g> {
     /// [`Self::PARALLEL_CUTOFF`] emission units (see EXPERIMENTS.md for the
     /// measured crossover).
     pub fn step_parallel(&mut self, threads: usize) -> Vec<NodeId> {
-        let contributions = self.emit_all(threads.max(1), false);
-        self.apply(contributions)
+        let mut newly = Vec::new();
+        self.step_into(threads.max(1), false, &mut newly);
+        newly
     }
 
     /// Like [`Self::step_parallel`] but fans out regardless of the cutoff.
     /// For tests and benchmarks of the parallel path itself.
     pub fn step_parallel_forced(&mut self, threads: usize) -> Vec<NodeId> {
-        let contributions = self.emit_all(threads.max(1), true);
-        self.apply(contributions)
+        let mut newly = Vec::new();
+        self.step_into(threads.max(1), true, &mut newly);
+        newly
+    }
+
+    /// Allocation-free step: `newly` is cleared, then filled with the nodes
+    /// that received border mass for the first time (in ascending id
+    /// order). `threads = 1` is fully sequential; `force_parallel` skips
+    /// the [`Self::PARALLEL_CUTOFF`] heuristic.
+    pub fn step_into(&mut self, threads: usize, force_parallel: bool, newly: &mut Vec<NodeId>) {
+        newly.clear();
+        self.collect_units();
+        let units = self.unit_trees.len() + self.unit_singles.len();
+        let fan_out =
+            threads > 1 && units >= 2 && (force_parallel || units >= Self::PARALLEL_CUTOFF);
+        if fan_out {
+            let results = self.emit_parallel(threads);
+            for batch in &results {
+                self.merge(batch);
+            }
+        } else {
+            // Move the scratch out so `emit_unit` can borrow `self`
+            // immutably while writing into it; hand it back afterwards.
+            let mut buf = std::mem::take(&mut self.emit_buf);
+            let mut scratch = std::mem::take(&mut self.tree_scratch);
+            buf.clear();
+            for i in 0..self.unit_trees.len() {
+                self.emit_unit(Unit::Tree(self.unit_trees[i]), &mut scratch, &mut buf);
+            }
+            for i in 0..self.unit_singles.len() {
+                self.emit_unit(Unit::Single(self.unit_singles[i]), &mut scratch, &mut buf);
+            }
+            self.merge(&buf);
+            self.emit_buf = buf;
+            self.tree_scratch = scratch;
+        }
+        self.advance(newly);
     }
 
     /// Minimum number of emission units (active trees + active users/tags)
@@ -164,32 +263,23 @@ impl<'g> Propagation<'g> {
     /// units (the paper's million-node instances; see EXPERIMENTS.md).
     pub const PARALLEL_CUTOFF: usize = 32_768;
 
-    /// Compute all `(target, Δmass)` contributions of this step, using
-    /// `threads` workers.
-    fn emit_all(&self, threads: usize, force_parallel: bool) -> Vec<Vec<(u32, f64)>> {
-        // Emission units: active trees (dedup'd) + active users/tags.
-        let mut tree_seen: Vec<TreeId> = Vec::new();
-        let mut singles: Vec<u32> = Vec::new();
+    /// Fill `unit_trees`/`unit_singles` with this step's emission units.
+    fn collect_units(&mut self) {
+        self.unit_trees.clear();
+        self.unit_singles.clear();
         for &v in &self.frontier {
             match self.graph.kind(NodeId(v)) {
-                NodeKind::User(_) | NodeKind::Tag(_) => singles.push(v),
-                NodeKind::Frag(f) => tree_seen.push(self.graph.forest().tree_of(f)),
+                NodeKind::User(_) | NodeKind::Tag(_) => self.unit_singles.push(v),
+                NodeKind::Frag(f) => self.unit_trees.push(self.graph.forest().tree_of(f)),
             }
         }
-        tree_seen.sort_unstable();
-        tree_seen.dedup();
+        self.unit_trees.sort_unstable();
+        self.unit_trees.dedup();
+    }
 
-        enum Unit {
-            Tree(TreeId),
-            Single(u32),
-        }
-        let units: Vec<Unit> = tree_seen
-            .into_iter()
-            .map(Unit::Tree)
-            .chain(singles.into_iter().map(Unit::Single))
-            .collect();
-
-        let emit_unit = |unit: &Unit, out: &mut Vec<(u32, f64)>| match *unit {
+    /// Emit one unit's `(target, Δmass)` contributions into `out`.
+    fn emit_unit(&self, unit: Unit, scratch: &mut TreeScratch, out: &mut Vec<(u32, f64)>) {
+        match unit {
             Unit::Single(v) => {
                 let node = NodeId(v);
                 let w = self.graph.neighborhood_weight(node);
@@ -209,7 +299,9 @@ impl<'g> Propagation<'g> {
                 let base = range.start;
                 let first_doc = doc_range.start;
                 // ρ per tree node.
-                let mut rho = vec![0.0f64; len];
+                let rho = &mut scratch.rho;
+                rho.clear();
+                rho.resize(len, 0.0);
                 for (i, r) in rho.iter_mut().enumerate() {
                     let node = base + i;
                     let w = self.graph.neighborhood_weight(NodeId(node as u32));
@@ -219,8 +311,12 @@ impl<'g> Propagation<'g> {
                 }
                 // emit(m) = Σ_{n : m ∈ neigh(n)} ρ(n)
                 //         = (strict-ancestor ρ sum) + (subtree ρ sum incl self).
-                let mut anc = vec![0.0f64; len];
-                let mut sub = rho.clone();
+                let anc = &mut scratch.anc;
+                anc.clear();
+                anc.resize(len, 0.0);
+                let sub = &mut scratch.sub;
+                sub.clear();
+                sub.extend_from_slice(rho);
                 #[allow(clippy::needless_range_loop)] // i indexes three arrays
                 for i in 0..len {
                     let doc = s3_doc::DocNodeId((first_doc + i) as u32);
@@ -247,29 +343,34 @@ impl<'g> Propagation<'g> {
                     }
                 }
             }
-        };
-
-        let fan_out = threads > 1
-            && units.len() >= 2
-            && (force_parallel || units.len() >= Self::PARALLEL_CUTOFF);
-        if !fan_out {
-            let mut out = Vec::new();
-            for u in &units {
-                emit_unit(u, &mut out);
-            }
-            return vec![out];
         }
+    }
 
+    /// Fan the emission units out over `threads` scoped workers; each
+    /// returns its own contribution buffer.
+    fn emit_parallel(&self, threads: usize) -> Vec<Vec<(u32, f64)>> {
+        let units: Vec<Unit> = self
+            .unit_trees
+            .iter()
+            .copied()
+            .map(Unit::Tree)
+            .chain(self.unit_singles.iter().copied().map(Unit::Single))
+            .collect();
         let chunk = units.len().div_ceil(threads);
         let mut results: Vec<Vec<(u32, f64)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for part in units.chunks(chunk) {
-                let emit_unit = &emit_unit;
+                let this = &*self;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
+                    let mut scratch = TreeScratch::default();
                     for u in part {
-                        emit_unit(u, &mut out);
+                        let unit = match *u {
+                            Unit::Tree(t) => Unit::Tree(t),
+                            Unit::Single(v) => Unit::Single(v),
+                        };
+                        this.emit_unit(unit, &mut scratch, &mut out);
                     }
                     out
                 }));
@@ -281,33 +382,36 @@ impl<'g> Propagation<'g> {
         results
     }
 
-    /// Merge contributions, advance the iteration counter, update `acc`,
-    /// `acc_nb` and the visited set.
-    fn apply(&mut self, contributions: Vec<Vec<(u32, f64)>>) -> Vec<NodeId> {
-        let mut new_frontier: Vec<u32> = Vec::new();
-        for batch in contributions {
-            for (target, dm) in batch {
-                if self.x_next[target as usize] == 0.0 && dm > 0.0 {
-                    new_frontier.push(target);
-                }
-                self.x_next[target as usize] += dm;
+    /// Add one contribution batch to `x_next`, tracking which targets went
+    /// from zero to positive mass.
+    fn merge(&mut self, batch: &[(u32, f64)]) {
+        for &(target, dm) in batch {
+            if self.x_next[target as usize] == 0.0 && dm > 0.0 {
+                self.frontier_next.push(target);
             }
+            self.x_next[target as usize] += dm;
         }
-        new_frontier.sort_unstable();
-        new_frontier.dedup();
+    }
+
+    /// Swap in the merged border, advance the iteration counter, update
+    /// `acc`, `acc_nb` and the visited set; push first-time nodes to
+    /// `newly`.
+    fn advance(&mut self, newly: &mut Vec<NodeId>) {
+        self.frontier_next.sort_unstable();
+        self.frontier_next.dedup();
 
         // Swap in the new border; clear the old one.
         for &v in &self.frontier {
             self.x[v as usize] = 0.0;
         }
         std::mem::swap(&mut self.x, &mut self.x_next);
-        self.frontier = new_frontier;
+        std::mem::swap(&mut self.frontier, &mut self.frontier_next);
+        self.frontier_next.clear();
         self.step += 1;
 
         // Accumulate Cγ·x_n(v)/γ^n and refresh neighborhood sums.
         let factor = self.c_gamma / self.gamma.powi(self.step as i32);
         self.border_mass = 0.0;
-        let mut newly = Vec::new();
         let frontier = std::mem::take(&mut self.frontier);
         for &v in &frontier {
             let m = self.x[v as usize];
@@ -320,14 +424,15 @@ impl<'g> Propagation<'g> {
         }
         self.refresh_acc_nb(&frontier);
         self.frontier = frontier;
-        newly
     }
 
     /// Recompute `acc_nb` for every node whose neighborhood contains a node
     /// of `touched`: users/tags affect only themselves, fragments affect
     /// their whole tree.
     fn refresh_acc_nb(&mut self, touched: &[u32]) {
-        let mut trees: Vec<TreeId> = Vec::new();
+        let mut scratch = std::mem::take(&mut self.tree_scratch);
+        let trees = &mut scratch.trees;
+        trees.clear();
         for &v in touched {
             match self.graph.kind(NodeId(v)) {
                 NodeKind::User(_) | NodeKind::Tag(_) => {
@@ -338,14 +443,18 @@ impl<'g> Propagation<'g> {
         }
         trees.sort_unstable();
         trees.dedup();
-        for tree in trees {
+        for &tree in trees.iter() {
             let range = self.graph.tree_node_range(tree).expect("registered");
             let forest = self.graph.forest();
             let first_doc = forest.tree_range(tree).start;
             let base = range.start;
             let len = range.len();
-            let mut anc = vec![0.0f64; len];
-            let mut sub: Vec<f64> = (0..len).map(|i| self.acc[base + i]).collect();
+            let anc = &mut scratch.anc;
+            anc.clear();
+            anc.resize(len, 0.0);
+            let sub = &mut scratch.sub;
+            sub.clear();
+            sub.extend((0..len).map(|i| self.acc[base + i]));
             for i in 0..len {
                 let doc = s3_doc::DocNodeId((first_doc + i) as u32);
                 if let Some(p) = forest.parent(doc) {
@@ -364,6 +473,7 @@ impl<'g> Propagation<'g> {
                 self.acc_nb[base + i] = anc[i] + sub[i];
             }
         }
+        self.tree_scratch = scratch;
     }
 }
 
@@ -475,6 +585,45 @@ mod tests {
             }
             assert!((seq.border_mass() - par.border_mass()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn reset_matches_fresh_propagation() {
+        let (g, u0, u1, d) = small();
+        // Drive one propagation far from u0, then reset it to u1.
+        let mut reused = Propagation::new(&g, 1.5, u0);
+        for _ in 0..8 {
+            reused.step();
+        }
+        reused.reset(u1);
+        let mut fresh = Propagation::new(&g, 1.5, u1);
+        for node in [u0, u1, d] {
+            assert_eq!(reused.prox_leq(node), fresh.prox_leq(node));
+            assert_eq!(reused.visited(node), fresh.visited(node));
+        }
+        for _ in 0..6 {
+            let a = reused.step();
+            let b = fresh.step();
+            assert_eq!(a, b);
+            for node in [u0, u1, d] {
+                assert_eq!(reused.prox_leq(node), fresh.prox_leq(node));
+            }
+            assert_eq!(reused.border_mass(), fresh.border_mass());
+            assert_eq!(reused.bound_beyond(), fresh.bound_beyond());
+        }
+    }
+
+    #[test]
+    fn step_into_reuses_caller_buffer() {
+        let (g, u0, u1, d) = small();
+        let mut p = Propagation::new(&g, 2.0, u0);
+        let mut newly = Vec::new();
+        p.step_into(1, false, &mut newly);
+        assert_eq!(newly, vec![u1, d]);
+        let cap = newly.capacity();
+        p.step_into(1, false, &mut newly);
+        assert!(newly.is_empty());
+        assert_eq!(newly.capacity(), cap, "buffer must be reused, not reallocated");
     }
 
     #[test]
