@@ -1,2 +1,77 @@
-//! Placeholder; replaced by the serving-throughput workload bench.
-fn main() {}
+//! Serving-throughput workload bench: queries/sec through the `S3Engine`
+//! serving layer at 1/2/4/8 worker threads, cold cache vs warm cache.
+//!
+//! Run with `cargo bench --bench throughput` (the bench carries its own
+//! `main`). Each thread count gets a fresh engine: the cold pass computes
+//! every distinct query; the warm pass replays the same batch against the
+//! populated LRU cache. The paper's algorithm is single-query (§4); this
+//! measures the serving substrate the reproduction grew around it.
+
+use s3_bench::Table;
+use s3_core::Query;
+use s3_datasets::{twitter, workload, Scale};
+use s3_engine::{EngineConfig, S3Engine};
+use s3_text::FrequencyClass;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let dataset = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Tiny));
+    let instance = Arc::new(dataset.instance);
+
+    // A mixed workload: rare and common keywords, 1 and 2 keywords per
+    // query, k = 10 (the paper's middle result size).
+    let mut queries: Vec<Query> = Vec::new();
+    for (frequency, keywords_per_query, seed) in [
+        (FrequencyClass::Common, 1, 11),
+        (FrequencyClass::Rare, 1, 13),
+        (FrequencyClass::Common, 2, 17),
+        (FrequencyClass::Rare, 2, 19),
+    ] {
+        let w = workload::generate(
+            &instance,
+            workload::WorkloadConfig { frequency, keywords_per_query, k: 10, queries: 60, seed },
+        );
+        queries.extend(w.queries.into_iter().map(|q| q.query));
+    }
+    println!(
+        "serving throughput: {} queries over {} users / {} docs\n",
+        queries.len(),
+        instance.num_users(),
+        instance.num_documents()
+    );
+
+    let mut table =
+        Table::new(&["threads", "cold q/s", "warm q/s", "speedup", "hits", "misses"]);
+    for threads in [1usize, 2, 4, 8] {
+        let engine = S3Engine::new(
+            Arc::clone(&instance),
+            EngineConfig { threads, cache_capacity: 8192, ..EngineConfig::default() },
+        );
+
+        let t0 = Instant::now();
+        let cold_results = engine.run_batch(&queries);
+        let cold = t0.elapsed();
+
+        let t1 = Instant::now();
+        let warm_results = engine.run_batch(&queries);
+        let warm = t1.elapsed();
+
+        assert_eq!(cold_results.len(), warm_results.len());
+        for (c, w) in cold_results.iter().zip(warm_results.iter()) {
+            assert_eq!(c.hits, w.hits, "warm answers must equal cold answers");
+        }
+
+        let qps = |elapsed: std::time::Duration| queries.len() as f64 / elapsed.as_secs_f64();
+        let stats = engine.cache_stats();
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.0}", qps(cold)),
+            format!("{:.0}", qps(warm)),
+            format!("{:.1}x", cold.as_secs_f64() / warm.as_secs_f64()),
+            stats.hits.to_string(),
+            stats.misses.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

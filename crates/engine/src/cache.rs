@@ -1,0 +1,209 @@
+//! A slab-backed LRU map for query results.
+//!
+//! Entries live in a slab (`Vec`) threaded by an intrusive doubly-linked
+//! recency list, with a `HashMap` index by key: `get` and `insert` are
+//! O(1), eviction pops the list tail, and freed slots are recycled so a
+//! warm cache performs no steady-state allocation. Not thread-safe by
+//! itself — the engine wraps it in a `Mutex`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used map.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LRU capacity must be at least 1");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &idx = self.map.get(key)?;
+        self.move_to_front(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Insert (or overwrite) `key`; returns the evicted least-recently-used
+    /// `(key, value)` pair when the cache was full. A full cache recycles
+    /// its tail slot in place, so the slab never grows past `capacity`.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.move_to_front(idx);
+            return None;
+        }
+        if self.map.len() == self.capacity {
+            let tail = self.tail;
+            self.unlink(tail);
+            let entry = &mut self.slab[tail];
+            let old_key = std::mem::replace(&mut entry.key, key.clone());
+            let old_value = std::mem::replace(&mut entry.value, value);
+            self.map.remove(&old_key);
+            self.map.insert(key, tail);
+            self.push_front(tail);
+            Some((old_key, old_value))
+        } else {
+            self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+            let idx = self.slab.len() - 1;
+            self.map.insert(key, idx);
+            self.push_front(idx);
+            None
+        }
+    }
+
+    /// Drop every entry (keeps allocations).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        assert!(lru.insert("a", 1).is_none());
+        assert!(lru.insert("b", 2).is_none());
+        assert_eq!(lru.get(&"a"), Some(&1)); // refresh a; b is now LRU
+        let evicted = lru.insert("c", 3).expect("must evict");
+        assert_eq!(evicted, ("b", 2));
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_refreshes_without_evicting() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert!(lru.insert("a", 10).is_none());
+        assert_eq!(lru.get(&"a"), Some(&10));
+        // "b" must have been the eviction victim candidate after the
+        // overwrite refreshed "a".
+        let evicted = lru.insert("c", 3).expect("full");
+        assert_eq!(evicted.0, "b");
+    }
+
+    #[test]
+    fn capacity_one_cycles() {
+        let mut lru = LruCache::new(1);
+        for i in 0..10 {
+            lru.insert(i, i * 2);
+            assert_eq!(lru.len(), 1);
+            assert_eq!(lru.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(lru.get(&3), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruCache::new(4);
+        for i in 0..4 {
+            lru.insert(i, i);
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+        lru.insert(9, 9);
+        assert_eq!(lru.get(&9), Some(&9));
+    }
+
+    #[test]
+    fn slot_recycling_bounds_slab_growth() {
+        let mut lru = LruCache::new(3);
+        for i in 0..100 {
+            lru.insert(i, i);
+        }
+        assert_eq!(lru.len(), 3);
+        assert!(lru.slab.len() <= 3, "slab must not grow past capacity");
+        for i in 97..100 {
+            assert_eq!(lru.get(&i), Some(&i));
+        }
+    }
+}

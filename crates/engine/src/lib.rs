@@ -1,1 +1,424 @@
-//! Placeholder; replaced by the serving layer implementation.
+//! The S3 serving layer: concurrent batched query execution over a shared
+//! instance, with per-worker scratch reuse and an LRU result cache.
+//!
+//! The core crate answers one query at a time against a borrowed
+//! [`S3Instance`]. This crate turns that algorithm into a substrate a
+//! server can drive:
+//!
+//! * [`S3Engine`] owns an `Arc<S3Instance>` and is `Send + Sync`: any
+//!   number of threads may call [`S3Engine::query`] /
+//!   [`S3Engine::run_batch`] concurrently;
+//! * batches fan out over a pool of scoped workers, each holding one
+//!   [`SearchScratch`] checked out of the engine's pool — warm workers
+//!   answer queries without steady-state allocation (the scratch pool
+//!   persists across batches);
+//! * results are cached in an [`cache::LruCache`] keyed by
+//!   `(seeker, normalized keywords, k, config epoch)` with hit/miss/
+//!   eviction counters. Changing the search configuration bumps the epoch,
+//!   so entries computed under a stale configuration can never be served —
+//!   even when an in-flight batch inserts them after the change;
+//! * answers are returned as `Arc<TopKResult>`: cache hits are zero-copy.
+//!
+//! Batched, cached and warm-scratch execution is result-identical to a
+//! cold `S3kEngine::run` — property-tested in `tests/parity.rs`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+
+use cache::LruCache;
+use s3_core::{Query, S3Instance, S3kEngine, SearchConfig, SearchScratch, TopKResult, UserId};
+use s3_text::KeywordId;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The search configuration every query runs under.
+    pub search: SearchConfig,
+    /// Worker threads for batched execution (1 = run the batch inline).
+    pub threads: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            search: SearchConfig::default(),
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Cache key: seeker, normalized (sorted, deduplicated) keywords, k, and
+/// the config epoch under which the result was computed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    seeker: UserId,
+    keywords: Vec<KeywordId>,
+    k: usize,
+    epoch: u64,
+}
+
+impl CacheKey {
+    fn new(query: &Query, epoch: u64) -> Self {
+        let mut keywords = query.keywords.clone();
+        keywords.sort_unstable();
+        keywords.dedup();
+        CacheKey { seeker: query.seeker, keywords, k: query.k, epoch }
+    }
+}
+
+/// Cache effectiveness counters (monotonic since engine construction,
+/// except `entries` which is the current fill).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the search.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Current number of cached results.
+    pub entries: usize,
+}
+
+/// The serving engine: a shared, thread-safe façade over one instance.
+///
+/// ```
+/// use s3_core::{InstanceBuilder, Query};
+/// use s3_doc::DocBuilder;
+/// use s3_engine::{EngineConfig, S3Engine};
+/// use s3_text::Language;
+/// use std::sync::Arc;
+///
+/// let mut b = InstanceBuilder::new(Language::English);
+/// let u = b.add_user();
+/// let kws = b.analyze("a degree");
+/// let mut doc = DocBuilder::new("post");
+/// doc.set_content(doc.root(), kws);
+/// b.add_document(doc, Some(u));
+/// let engine = S3Engine::new(Arc::new(b.build()), EngineConfig::default());
+///
+/// let keywords = engine.instance().query_keywords("degree");
+/// let batch: Vec<Query> = (0..8).map(|_| Query::new(u, keywords.clone(), 3)).collect();
+/// let results = engine.run_batch(&batch);
+/// assert!(results.iter().all(|r| r.hits.len() == 1));
+/// let again = engine.run_batch(&batch);
+/// assert_eq!(engine.cache_stats().hits, 8, "the warm batch is served from cache");
+/// assert_eq!(again[0].hits, results[0].hits);
+/// ```
+pub struct S3Engine {
+    instance: Arc<S3Instance>,
+    /// Search config + epoch, snapshotted per batch. The epoch increments
+    /// on every config change and is part of the cache key.
+    config: RwLock<(SearchConfig, u64)>,
+    threads: usize,
+    cache: Option<Mutex<LruCache<CacheKey, Arc<TopKResult>>>>,
+    scratch_pool: Mutex<Vec<SearchScratch>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl S3Engine {
+    /// Build a serving engine over a shared instance.
+    pub fn new(instance: Arc<S3Instance>, config: EngineConfig) -> Self {
+        let EngineConfig { search, threads, cache_capacity } = config;
+        S3Engine {
+            instance,
+            config: RwLock::new((search, 0)),
+            threads: threads.max(1),
+            cache: (cache_capacity > 0).then(|| Mutex::new(LruCache::new(cache_capacity))),
+            scratch_pool: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared instance.
+    pub fn instance(&self) -> &Arc<S3Instance> {
+        &self.instance
+    }
+
+    /// The current search configuration.
+    pub fn search_config(&self) -> SearchConfig {
+        self.config.read().expect("config poisoned").0.clone()
+    }
+
+    /// The current configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.config.read().expect("config poisoned").1
+    }
+
+    /// Replace the search configuration, bumping the epoch: results cached
+    /// under the previous configuration can no longer be served (in-flight
+    /// batches may still insert stale-epoch entries; their keys never match
+    /// a post-change lookup, and LRU pressure retires them).
+    pub fn set_search_config(&self, search: SearchConfig) {
+        let mut guard = self.config.write().expect("config poisoned");
+        guard.0 = search;
+        guard.1 += 1;
+    }
+
+    /// Cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .cache
+                .as_ref()
+                .map_or(0, |c| c.lock().expect("cache poisoned").len()),
+        }
+    }
+
+    /// Answer one query (through the cache).
+    pub fn query(&self, query: &Query) -> Arc<TopKResult> {
+        self.run_batch_on(std::slice::from_ref(query), 1).pop().expect("one result")
+    }
+
+    /// Answer a batch concurrently on the configured worker count.
+    /// Results are positionally aligned with `queries` and identical to
+    /// running each query alone.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Arc<TopKResult>> {
+        self.run_batch_on(queries, self.threads)
+    }
+
+    /// Answer a batch on an explicit worker count (1 = inline). Worker
+    /// scratches come from the engine's pool and return to it afterwards,
+    /// so steady-state batches do not re-grow search buffers.
+    pub fn run_batch_on(&self, queries: &[Query], threads: usize) -> Vec<Arc<TopKResult>> {
+        let (search_config, epoch) = {
+            let guard = self.config.read().expect("config poisoned");
+            (guard.0.clone(), guard.1)
+        };
+
+        let mut results: Vec<Option<Arc<TopKResult>>> = vec![None; queries.len()];
+        // Serve cache hits first; a batch with internal duplicates computes
+        // each distinct miss once (the first occurrence) and the duplicates
+        // resolve against the cache afterwards.
+        let mut misses: Vec<usize> = Vec::new();
+        let mut batch_seen: Vec<CacheKey> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let key = CacheKey::new(q, epoch);
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.lock().expect("cache poisoned").get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    results[i] = Some(Arc::clone(hit));
+                    continue;
+                }
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if !batch_seen.contains(&key) {
+                batch_seen.push(key);
+                misses.push(i);
+            }
+        }
+
+        if !misses.is_empty() {
+            let computed = self.execute(queries, &misses, &search_config, threads);
+            for (i, result) in computed {
+                let result = Arc::new(result);
+                if let Some(cache) = &self.cache {
+                    let key = CacheKey::new(&queries[i], epoch);
+                    if cache
+                        .lock()
+                        .expect("cache poisoned")
+                        .insert(key, Arc::clone(&result))
+                        .is_some()
+                    {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                results[i] = Some(result);
+            }
+        }
+
+        // Duplicates of in-batch misses (and the cache-disabled path)
+        // resolve against the freshly-computed occurrences.
+        for i in 0..queries.len() {
+            if results[i].is_some() {
+                continue;
+            }
+            let key = CacheKey::new(&queries[i], epoch);
+            let donor = (0..queries.len())
+                .find(|&j| results[j].is_some() && CacheKey::new(&queries[j], epoch) == key)
+                .expect("every distinct key was computed");
+            results[i] = results[donor].clone();
+        }
+        results.into_iter().map(|r| r.expect("filled")).collect()
+    }
+
+    /// Run the missed queries, fanning out over scoped workers. Returns
+    /// `(batch index, result)` pairs.
+    fn execute(
+        &self,
+        queries: &[Query],
+        misses: &[usize],
+        search_config: &SearchConfig,
+        threads: usize,
+    ) -> Vec<(usize, TopKResult)> {
+        let workers = threads.max(1).min(misses.len());
+        if workers <= 1 {
+            let mut scratch = self.check_out_scratch();
+            let engine = S3kEngine::new(&self.instance, search_config.clone());
+            let mut prop = None;
+            let out = misses
+                .iter()
+                .map(|&i| (i, engine.run_with(&queries[i], &mut scratch, &mut prop)))
+                .collect();
+            self.check_in_scratch(scratch);
+            return out;
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut chunks: Vec<Vec<(usize, TopKResult)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let mut scratch = self.check_out_scratch();
+                handles.push(scope.spawn(move || {
+                    // One S3k engine + propagation per worker: the Smax
+                    // table is shared through the instance cache, and the
+                    // propagation is reset (not rebuilt) between queries.
+                    let engine = S3kEngine::new(&self.instance, search_config.clone());
+                    let mut prop = None;
+                    let mut out = Vec::new();
+                    loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = misses.get(slot) else { break };
+                        out.push((i, engine.run_with(&queries[i], &mut scratch, &mut prop)));
+                    }
+                    (scratch, out)
+                }));
+            }
+            for h in handles {
+                let (scratch, out) = h.join().expect("batch worker panicked");
+                self.check_in_scratch(scratch);
+                chunks.push(out);
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    fn check_out_scratch(&self) -> SearchScratch {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn check_in_scratch(&self, scratch: SearchScratch) {
+        self.scratch_pool.lock().expect("scratch pool poisoned").push(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_core::InstanceBuilder;
+    use s3_doc::DocBuilder;
+    use s3_text::Language;
+
+    fn tiny_engine(cache_capacity: usize) -> (S3Engine, UserId, Vec<KeywordId>) {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let u1 = b.add_user();
+        b.add_social_edge(u1, u0, 1.0);
+        let kws = b.analyze("universities give degrees");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws);
+        b.add_document(doc, Some(u0));
+        let inst = Arc::new(b.build());
+        let keywords = inst.query_keywords("degree");
+        let engine = S3Engine::new(
+            inst,
+            EngineConfig { cache_capacity, threads: 2, ..EngineConfig::default() },
+        );
+        (engine, u1, keywords)
+    }
+
+    #[test]
+    fn repeat_query_hits_cache() {
+        let (engine, seeker, kws) = tiny_engine(16);
+        let q = Query::new(seeker, kws, 3);
+        let first = engine.query(&q);
+        let second = engine.query(&q);
+        assert!(Arc::ptr_eq(&first, &second), "second answer must be the cached Arc");
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn keyword_order_and_duplicates_share_an_entry() {
+        let (engine, seeker, kws) = tiny_engine(16);
+        let more = engine.instance().query_keywords("universities");
+        let a = vec![kws[0], more[0]];
+        let b = vec![more[0], kws[0], kws[0]];
+        let first = engine.query(&Query::new(seeker, a, 3));
+        let second = engine.query(&Query::new(seeker, b, 3));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn config_change_invalidates_served_results() {
+        let (engine, seeker, kws) = tiny_engine(16);
+        let q = Query::new(seeker, kws, 3);
+        engine.query(&q);
+        let epoch_before = engine.config_epoch();
+        engine.set_search_config(SearchConfig {
+            score: s3_core::S3kScore::new(2.0, 0.5),
+            ..SearchConfig::default()
+        });
+        assert_eq!(engine.config_epoch(), epoch_before + 1);
+        engine.query(&q);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0, "post-change lookup must miss");
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn cache_disabled_still_answers() {
+        let (engine, seeker, kws) = tiny_engine(0);
+        let q = Query::new(seeker, kws, 3);
+        let a = engine.query(&q);
+        let b = engine.query(&q);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(engine.cache_stats(), CacheStats { misses: 2, ..CacheStats::default() });
+    }
+
+    #[test]
+    fn batch_with_duplicates_aligns_positionally() {
+        let (engine, seeker, kws) = tiny_engine(16);
+        let q = Query::new(seeker, kws.clone(), 3);
+        let empty = Query::new(seeker, vec![KeywordId(9999)], 3);
+        let batch = vec![q.clone(), empty.clone(), q.clone(), q, empty];
+        let results = engine.run_batch(&batch);
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].hits, results[2].hits);
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+        assert!(results[1].hits.is_empty() && results[4].hits.is_empty());
+        assert!(!results[0].hits.is_empty());
+    }
+
+    #[test]
+    fn eviction_counter_tracks_capacity_pressure() {
+        let (engine, seeker, _) = tiny_engine(2);
+        for k in 1..=5 {
+            let kws = engine.instance().query_keywords("degree");
+            engine.query(&Query::new(seeker, kws, k));
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Serving a query workload through the `s3::engine` layer.
+//!
+//! Builds a synthetic Twitter-shaped instance, wraps it in an [`S3Engine`]
+//! and drives it the way a server would: concurrent batches over a shared
+//! engine, a result cache absorbing repeat queries, and a configuration
+//! change invalidating served results.
+//!
+//! ```text
+//! cargo run --release --example serve_workload
+//! ```
+
+use s3::core::{Query, SearchConfig};
+use s3::datasets::{twitter, workload, Scale};
+use s3::engine::{EngineConfig, S3Engine};
+use s3::text::FrequencyClass;
+use std::sync::Arc;
+
+fn main() {
+    let dataset = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Tiny));
+    let instance = Arc::new(dataset.instance);
+    println!(
+        "instance: {} users, {} documents, {} tags",
+        instance.num_users(),
+        instance.num_documents(),
+        instance.num_tags()
+    );
+
+    let engine = S3Engine::new(
+        Arc::clone(&instance),
+        EngineConfig { threads: 4, cache_capacity: 1024, ..EngineConfig::default() },
+    );
+
+    // A server sees overlapping traffic: generate a workload and replay it
+    // with duplicates, as separate concurrent batches.
+    let w = workload::generate(
+        &instance,
+        workload::WorkloadConfig {
+            frequency: FrequencyClass::Common,
+            keywords_per_query: 1,
+            k: 5,
+            queries: 40,
+            seed: 42,
+        },
+    );
+    let queries: Vec<Query> = w.queries.into_iter().map(|q| q.query).collect();
+
+    let first = engine.run_batch(&queries);
+    let answered = first.iter().filter(|r| !r.hits.is_empty()).count();
+    println!("batch 1: {} queries, {} with non-empty answers", first.len(), answered);
+
+    // The same batch again: served from cache, identical answers.
+    let second = engine.run_batch(&queries);
+    assert!(first
+        .iter()
+        .zip(second.iter())
+        .all(|(a, b)| a.hits == b.hits && a.stats.stop == b.stats.stop));
+    let stats = engine.cache_stats();
+    println!(
+        "batch 2: cache {} hits / {} misses ({} entries, {} evictions)",
+        stats.hits, stats.misses, stats.entries, stats.evictions
+    );
+
+    // Several client threads sharing one engine.
+    let shared = Arc::new(engine);
+    std::thread::scope(|scope| {
+        for t in 0..3 {
+            let engine = Arc::clone(&shared);
+            let queries = &queries;
+            scope.spawn(move || {
+                let chunk = &queries[t * 10..(t + 1) * 10];
+                let results = engine.run_batch(chunk);
+                assert_eq!(results.len(), chunk.len());
+            });
+        }
+    });
+    println!("3 client threads served; cache hits now {}", shared.cache_stats().hits);
+
+    // Retuning the score bumps the config epoch: nothing stale is served.
+    shared.set_search_config(SearchConfig {
+        score: s3::core::S3kScore::new(2.0, 0.5),
+        ..SearchConfig::default()
+    });
+    let retuned = shared.run_batch(&queries[..10]);
+    println!(
+        "after config change (epoch {}): {} answers recomputed",
+        shared.config_epoch(),
+        retuned.len()
+    );
+}

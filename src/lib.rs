@@ -10,17 +10,21 @@
 //! * [`graph`] — the social/content entity graph and proximity propagation;
 //! * [`core`] — the S3 instance, `con(d,k)` connections, scores and the
 //!   S3k top-k search algorithm;
+//! * [`engine`] — the serving layer: batched concurrent queries over a
+//!   shared instance, per-worker scratch reuse and an LRU result cache;
 //! * [`topks`] — the TopkS baseline the paper compares against;
 //! * [`datasets`] — synthetic Twitter/Vodkaster/Yelp generators and query
 //!   workloads.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/serve_workload.rs` for the serving layer.
 
 
 #![warn(missing_docs)]
 pub use s3_core as core;
 pub use s3_datasets as datasets;
 pub use s3_doc as doc;
+pub use s3_engine as engine;
 pub use s3_graph as graph;
 pub use s3_rdf as rdf;
 pub use s3_text as text;
