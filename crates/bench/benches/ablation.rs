@@ -4,16 +4,14 @@
 //! measured through the `naive` oracle's per-neighbor loop on one step).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use s3_core::{S3kEngine, SearchConfig, S3kScore};
+use s3_core::{S3kEngine, S3kScore, SearchConfig};
 use s3_datasets::{twitter, workload, Scale};
 
 fn small_instance() -> s3_datasets::twitter::TwitterDataset {
     twitter::generate(&twitter::TwitterConfig::scaled(Scale::Small))
 }
 
-fn queries(
-    inst: &s3_core::S3Instance,
-) -> Vec<s3_core::Query> {
+fn queries(inst: &s3_core::S3Instance) -> Vec<s3_core::Query> {
     workload::generate(
         inst,
         workload::WorkloadConfig {
@@ -58,8 +56,7 @@ fn bench_parallel_explore(c: &mut Criterion) {
     let qs = queries(inst);
     let mut group = c.benchmark_group("explore_threads");
     for threads in [1usize, 2, 4, 8] {
-        let engine =
-            S3kEngine::new(inst, SearchConfig { threads, ..SearchConfig::default() });
+        let engine = S3kEngine::new(inst, SearchConfig { threads, ..SearchConfig::default() });
         let mut i = 0usize;
         group.bench_function(format!("{threads}"), |b| {
             b.iter(|| {

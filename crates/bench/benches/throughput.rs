@@ -41,8 +41,7 @@ fn main() {
         instance.num_documents()
     );
 
-    let mut table =
-        Table::new(&["threads", "cold q/s", "warm q/s", "speedup", "hits", "misses"]);
+    let mut table = Table::new(&["threads", "cold q/s", "warm q/s", "speedup", "hits", "misses"]);
     for threads in [1usize, 2, 4, 8] {
         let engine = S3Engine::new(
             Arc::clone(&instance),

@@ -56,13 +56,10 @@ fn main() {
             }
             "--queries" => {
                 i += 1;
-                queries = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--queries needs a number");
-                        std::process::exit(2);
-                    });
+                queries = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--queries needs a number");
+                    std::process::exit(2);
+                });
             }
             c => command = c.to_string(),
         }
@@ -143,11 +140,19 @@ fn fig4(opt: Options) {
     t2.row(vec!["tweets".into(), i1.meta.tweets.to_string()]);
     t2.row(vec![
         "retweets".into(),
-        format!("{} ({:.0}%)", i1.meta.retweets, 100.0 * i1.meta.retweets as f64 / i1.meta.tweets as f64),
+        format!(
+            "{} ({:.0}%)",
+            i1.meta.retweets,
+            100.0 * i1.meta.retweets as f64 / i1.meta.tweets as f64
+        ),
     ]);
     t2.row(vec![
         "replies".into(),
-        format!("{} ({:.1}% of tweets)", i1.meta.replies, 100.0 * i1.meta.replies as f64 / i1.meta.tweets.max(1) as f64),
+        format!(
+            "{} ({:.1}% of tweets)",
+            i1.meta.replies,
+            100.0 * i1.meta.replies as f64 / i1.meta.tweets.max(1) as f64
+        ),
     ]);
     println!("{}", t2.render());
 
@@ -175,10 +180,8 @@ fn runtime_figure(name: &str, instance: &S3Instance, opt: Options) {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
 
-    let engines: Vec<S3kEngine<'_>> = gammas
-        .iter()
-        .map(|&g| S3kEngine::new(instance, s3_bench::runner::s3k_config(g)))
-        .collect();
+    let engines: Vec<S3kEngine<'_>> =
+        gammas.iter().map(|&g| S3kEngine::new(instance, s3_bench::runner::s3k_config(g))).collect();
 
     for w in &workloads {
         let mut cells = vec![w.label.clone()];
@@ -346,10 +349,12 @@ fn parallel(opt: Options) {
         t2.row(vec![threads.to_string(), ms(t0.elapsed())]);
     }
     println!("{}", t2.render());
-    println!("(paper: ~2x with 8 threads on their 4-core, million-node instances. A step
+    println!(
+        "(paper: ~2x with 8 threads on their 4-core, million-node instances. A step
  at this scale carries ~6k emission units of ~100ns each, so forced fan-out
  pays more in thread spawns than it saves; the engine auto-falls back below
- Propagation::PARALLEL_CUTOFF units — see EXPERIMENTS.md)\n");
+ Propagation::PARALLEL_CUTOFF units — see EXPERIMENTS.md)\n"
+    );
 }
 
 // -------------------------------------------------------------- anytime --
@@ -387,18 +392,13 @@ fn anytime(opt: Options) {
             if exact.is_empty() {
                 continue;
             }
-            let got: std::collections::HashSet<_> =
-                res.hits.iter().map(|h| h.doc).collect();
-            recall_sum += exact.iter().filter(|d| got.contains(d)).count() as f64
-                / exact.len() as f64;
+            let got: std::collections::HashSet<_> = res.hits.iter().map(|h| h.doc).collect();
+            recall_sum +=
+                exact.iter().filter(|d| got.contains(d)).count() as f64 / exact.len() as f64;
             counted += 1;
         }
         let recall = if counted == 0 { 1.0 } else { recall_sum / counted as f64 };
-        t.row(vec![
-            cap.to_string(),
-            ms(times.summary().median),
-            format!("{:.1}%", recall * 100.0),
-        ]);
+        t.row(vec![cap.to_string(), ms(times.summary().median), format!("{:.1}%", recall * 100.0)]);
     }
     println!("{}", t.render());
     println!("(any-time mode trades exploration for latency; recall climbs to 100% well\n before the threshold-based stop condition triggers)\n");

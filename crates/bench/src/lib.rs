@@ -5,7 +5,6 @@
 //! every figure and table of the paper's evaluation section; the Criterion
 //! benches under `benches/` use the same pieces for micro-measurements.
 
-
 #![warn(missing_docs)]
 pub mod metrics;
 pub mod runner;

@@ -108,16 +108,10 @@ pub fn spearman_foot_rule(tau1: &[ItemId], tau2: &[ItemId]) -> f64 {
 /// content (subtree) contains an exact query keyword. Candidates that S3k
 /// surfaces through comment/tag links, document structure or keyword
 /// extension are exactly the ones TopkS misses (§5.4).
-fn topks_reachable_doc(
-    instance: &S3Instance,
-    d: s3_doc::DocNodeId,
-    query: &Query,
-) -> bool {
+fn topks_reachable_doc(instance: &S3Instance, d: s3_doc::DocNodeId, query: &Query) -> bool {
     let forest = instance.forest();
     let kws: HashSet<_> = query.keywords.iter().copied().collect();
-    forest
-        .fragments(d)
-        .any(|f| forest.content(f).iter().any(|k| kws.contains(k)))
+    forest.fragments(d).any(|f| forest.content(f).iter().any(|k| kws.contains(k)))
 }
 
 /// Compare the two systems over one workload, accumulating the Figure 8
@@ -162,16 +156,12 @@ pub fn compare_runs(
             acc.push(1, without as f64 / with as f64);
         }
 
-        let s3k_items: Vec<ItemId> = s3k
-            .hits
-            .iter()
-            .filter_map(|h| adaptation.item_of_doc(instance, h.doc))
-            .collect();
+        let s3k_items: Vec<ItemId> =
+            s3k.hits.iter().filter_map(|h| adaptation.item_of_doc(instance, h.doc)).collect();
 
         // Ranked item lists (dedup keeps first occurrence).
         let mut seen = HashSet::new();
-        let tau1: Vec<ItemId> =
-            s3k_items.iter().copied().filter(|i| seen.insert(*i)).collect();
+        let tau1: Vec<ItemId> = s3k_items.iter().copied().filter(|i| seen.insert(*i)).collect();
         let tau2: Vec<ItemId> = topks.hits.iter().map(|h| h.item).collect();
         if !tau1.is_empty() || !tau2.is_empty() {
             acc.push(2, spearman_foot_rule(&tau1, &tau2));
@@ -204,8 +194,7 @@ pub fn run_and_compare(
         .iter()
         .map(|q| topks_engine.run(q.query.seeker, &q.query.keywords, q.query.k))
         .collect();
-    compare_runs(instance, adaptation, workload, &s3k_results, &topks_results, s3k_config)
-        .finish()
+    compare_runs(instance, adaptation, workload, &s3k_results, &topks_results, s3k_config).finish()
 }
 
 #[cfg(test)]

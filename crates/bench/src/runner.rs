@@ -97,10 +97,7 @@ pub fn run_topks_workload(
 
 /// A [`SearchConfig`] preset matching the paper's S3k runs for a given γ.
 pub fn s3k_config(gamma: f64) -> SearchConfig {
-    SearchConfig {
-        score: s3_core::S3kScore::new(gamma, 0.5),
-        ..SearchConfig::default()
-    }
+    SearchConfig { score: s3_core::S3kScore::new(gamma, 0.5), ..SearchConfig::default() }
 }
 
 #[cfg(test)]

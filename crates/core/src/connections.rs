@@ -236,10 +236,7 @@ impl ConnectionIndex {
                     // Rule E': endorsements on the tag inherit.
                     if let Some(endorsers) = endorsements_on_tag.get(&a) {
                         for &b in endorsers {
-                            let inherited = TagConn {
-                                src: tags[b.index()].author_node,
-                                ..tconn
-                            };
+                            let inherited = TagConn { src: tags[b.index()].author_node, ..tconn };
                             if tag_sets[b.index()].insert(inherited) {
                                 queue.push_back((Item::Tag(b), dconn, Some(inherited)));
                             }
@@ -338,10 +335,7 @@ impl ConnectionIndex {
 
     /// Generic form of [`Self::smax_table`] for arbitrary structural-weight
     /// functions (generic score models).
-    pub fn smax_table_with(
-        &self,
-        weight: impl Fn(ConnType, u8) -> f64,
-    ) -> HashMap<KeywordId, f64> {
+    pub fn smax_table_with(&self, weight: impl Fn(ConnType, u8) -> f64) -> HashMap<KeywordId, f64> {
         let mut out: HashMap<KeywordId, f64> = HashMap::new();
         for map in &self.per_doc {
             for (&kw, conns) in map {
@@ -416,8 +410,7 @@ mod tests {
             TagInput { subject: TagSubject::Frag(d0), author_node: u5_node, keyword: None },
         ];
         let comments = vec![(d2, d0_3_2)];
-        let index =
-            ConnectionIndex::build(&forest, &tags, &comments, |d| NodeId(d.0));
+        let index = ConnectionIndex::build(&forest, &tags, &comments, |d| NodeId(d.0));
         Fig1 { forest, d0, d0_3_2, d0_5_1, d2, d2_7_5, index, university, u4_node, u5_node }
     }
 
@@ -464,9 +457,9 @@ mod tests {
         // — the paper's exact example.
         let f = fig1();
         let conns = f.index.connections(f.d0, f.university);
-        assert!(conns.iter().any(|c| c.ctype == ConnType::RelatedTo
-            && c.frag == f.d0_5_1
-            && c.src == f.u5_node));
+        assert!(conns
+            .iter()
+            .any(|c| c.ctype == ConnType::RelatedTo && c.frag == f.d0_5_1 && c.src == f.u5_node));
     }
 
     #[test]
@@ -541,12 +534,8 @@ mod tests {
         // The max over all docs must dominate every per-doc sum.
         for idx in 0..f.forest.num_nodes() {
             let d = DocNodeId(idx as u32);
-            let sum: f64 = f
-                .index
-                .connections(d, f.university)
-                .iter()
-                .map(|c| eta.powi(c.depth as i32))
-                .sum();
+            let sum: f64 =
+                f.index.connections(d, f.university).iter().map(|c| eta.powi(c.depth as i32)).sum();
             assert!(s + 1e-12 >= sum, "smax violated at {d}");
         }
         assert!(s > 0.0);
@@ -563,11 +552,7 @@ mod tests {
         let tags = vec![
             TagInput { subject: TagSubject::Frag(d), author_node: NodeId(600), keyword: None },
             TagInput { subject: TagSubject::Frag(d), author_node: NodeId(601), keyword: None },
-            TagInput {
-                subject: TagSubject::Frag(d),
-                author_node: NodeId(602),
-                keyword: Some(kw),
-            },
+            TagInput { subject: TagSubject::Frag(d), author_node: NodeId(602), keyword: Some(kw) },
         ];
         let index = ConnectionIndex::build(&forest, &tags, &[], |x| NodeId(x.0));
         let conns = index.connections(d, kw);

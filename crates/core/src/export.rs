@@ -55,12 +55,7 @@ pub fn export_rdf(instance: &S3Instance) -> TripleStore {
         for (target, kind, w) in graph.out_edges(node) {
             if kind == EdgeKind::Social {
                 if let s3_graph::NodeKind::User(v) = graph.kind(target) {
-                    out.insert(
-                        user_ids[u],
-                        voc::S3_SOCIAL,
-                        Term::Uri(user_ids[v as usize]),
-                        w,
-                    );
+                    out.insert(user_ids[u], voc::S3_SOCIAL, Term::Uri(user_ids[v as usize]), w);
                 }
             }
         }
@@ -81,9 +76,7 @@ pub fn export_rdf(instance: &S3Instance) -> TripleStore {
         let name = out.dictionary_mut().intern(forest.name(d));
         out.insert(node_ids[idx], voc::S3_NODE_NAME, Term::Literal(name), 1.0);
         for &kw in forest.content(d) {
-            let lit = out
-                .dictionary_mut()
-                .intern(instance.vocabulary().text(kw));
+            let lit = out.dictionary_mut().intern(instance.vocabulary().text(kw));
             out.insert(node_ids[idx], voc::S3_CONTAINS, Term::Literal(lit), 1.0);
         }
     }
@@ -104,9 +97,8 @@ pub fn export_rdf(instance: &S3Instance) -> TripleStore {
     }
 
     // Tags: a type S3:relatedTo; hasSubject/hasKeyword/hasAuthor (§2.4).
-    let tag_ids: Vec<UriId> = (0..instance.num_tags())
-        .map(|i| out.dictionary_mut().intern(&tag_uri(i)))
-        .collect();
+    let tag_ids: Vec<UriId> =
+        (0..instance.num_tags()).map(|i| out.dictionary_mut().intern(&tag_uri(i))).collect();
     for (i, tag) in instance.tags().iter().enumerate() {
         let a = tag_ids[i];
         out.insert(a, voc::RDF_TYPE, Term::Uri(voc::S3_RELATED_TO), 1.0);

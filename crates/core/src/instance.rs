@@ -302,6 +302,9 @@ fn voc_user() -> UriId {
     s3_rdf::vocabulary::S3_USER
 }
 
+/// Cached `Smax` tables keyed by the score's `(γ, η)` bit patterns.
+type SmaxCache = Mutex<HashMap<(u64, u64), Arc<HashMap<KeywordId, f64>>>>;
+
 /// A frozen tag.
 #[derive(Debug, Clone, Copy)]
 pub struct TagRecord {
@@ -331,7 +334,7 @@ pub struct S3Instance {
     kw_to_uri: HashMap<KeywordId, UriId>,
     uri_to_kw: HashMap<UriId, KeywordId>,
     ext_cache: Mutex<HashMap<KeywordId, Arc<Vec<KeywordId>>>>,
-    smax_cache: Mutex<HashMap<(u64, u64), Arc<HashMap<KeywordId, f64>>>>,
+    smax_cache: SmaxCache,
 }
 
 impl S3Instance {
@@ -435,13 +438,8 @@ impl S3Instance {
         if let Some(hit) = self.smax_cache.lock().expect("smax cache poisoned").get(&key) {
             return Arc::clone(hit);
         }
-        let table = Arc::new(
-            self.conn_index.smax_table_with(|t, d| score.structural_weight(t, d)),
-        );
-        self.smax_cache
-            .lock()
-            .expect("smax cache poisoned")
-            .insert(key, Arc::clone(&table));
+        let table = Arc::new(self.conn_index.smax_table_with(|t, d| score.structural_weight(t, d)));
+        self.smax_cache.lock().expect("smax cache poisoned").insert(key, Arc::clone(&table));
         table
     }
 
@@ -484,12 +482,7 @@ impl S3Instance {
                 .graph
                 .nodes()
                 .filter(|n| self.graph.kind(*n).is_user())
-                .map(|n| {
-                    self.graph
-                        .out_edges(n)
-                        .filter(|(_, k, _)| *k == EdgeKind::Social)
-                        .count()
-                })
+                .map(|n| self.graph.out_edges(n).filter(|(_, k, _)| *k == EdgeKind::Social).count())
                 .sum(),
             documents: forest.num_trees(),
             fragments_non_root: forest.num_nodes() - forest.num_trees(),

@@ -43,7 +43,6 @@
 //! assert_eq!(results.hits.len(), 1);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod connections;
 pub mod export;

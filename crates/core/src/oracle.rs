@@ -175,9 +175,7 @@ mod tests {
         let univers = inst.vocabulary().get("univers").unwrap();
         let door = inst.vocabulary().get("door").unwrap();
         let prox = converged_proximity(&inst, seeker, &S3kScore::default(), 1e-12);
-        let scored = score_all(&inst, &[univers, door], &S3kScore::default(), |n| {
-            prox[n.index()]
-        });
+        let scored = score_all(&inst, &[univers, door], &S3kScore::default(), |n| prox[n.index()]);
         // Only doc 0 ("university degrees open doors") has both.
         assert!(!scored.is_empty());
         for h in &scored {

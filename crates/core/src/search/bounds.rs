@@ -44,9 +44,7 @@ pub(crate) fn update_bounds<S: ScoreModel>(
         0.0
     } else {
         scratch.threshold_parts.clear();
-        scratch
-            .threshold_parts
-            .extend(scratch.smax_ext.iter().map(|&s| s * bound.min(1.0)));
+        scratch.threshold_parts.extend(scratch.smax_ext.iter().map(|&s| s * bound.min(1.0)));
         engine.model.combine_keywords(&scratch.threshold_parts)
     }
 }

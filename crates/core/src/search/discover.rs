@@ -27,12 +27,7 @@ pub(crate) fn discover_newly<S: ScoreModel>(
     for &v in &newly {
         match graph.kind(v) {
             NodeKind::Frag(_) | NodeKind::Tag(_) => {
-                discover_component(
-                    engine,
-                    graph.components().component_of(v),
-                    scratch,
-                    stats,
-                );
+                discover_component(engine, graph.components().component_of(v), scratch, stats);
             }
             NodeKind::User(_) => {
                 // Tags authored by this user may source connections in

@@ -31,8 +31,7 @@ pub(crate) fn expand_query<S: ScoreModel>(
             Arc::new(vec![k])
         };
         // SmaxExt(k) = Σ_{k' ∈ Ext(k)} Smax(k').
-        let smax_ext: f64 =
-            ext.iter().map(|k| engine.smax.get(k).copied().unwrap_or(0.0)).sum();
+        let smax_ext: f64 = ext.iter().map(|k| engine.smax.get(k).copied().unwrap_or(0.0)).sum();
         scratch.exts.push(ext);
         scratch.smax_ext.push(smax_ext);
     }

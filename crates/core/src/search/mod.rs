@@ -116,8 +116,7 @@ impl Default for SearchConfig {
 }
 
 /// Why the search stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StopReason {
     /// The stop condition held: the returned answer is provably a top-k
     /// answer (Theorem 4.1).
@@ -204,9 +203,8 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
     /// Build an engine around an arbitrary feasible score model; the
     /// `config.score` field is ignored in favor of `model`.
     pub fn with_model(instance: &'i S3Instance, config: SearchConfig, model: S) -> Self {
-        let smax = Arc::new(
-            instance.connections().smax_table_with(|t, d| model.structural_weight(t, d)),
-        );
+        let smax =
+            Arc::new(instance.connections().smax_table_with(|t, d| model.structural_weight(t, d)));
         S3kEngine { instance, config, model, smax }
     }
 
@@ -265,8 +263,11 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
 
         let seeker = inst.user_node(query.seeker);
         let gamma = self.model.gamma();
+        // Reuse only a propagation built over *this* graph with this γ; a
+        // caller juggling several engines could otherwise hand us buffers
+        // sized for a different instance.
         let prop = match prop {
-            Some(p) if p.gamma() == gamma => {
+            Some(p) if p.gamma() == gamma && std::ptr::eq(p.graph(), graph) => {
                 p.reset(seeker);
                 p
             }
@@ -415,8 +416,9 @@ mod tests {
         assert_eq!(res.stats.stop, StopReason::Converged);
         assert!(!res.hits.is_empty(), "semantics must surface the M.S. snippet");
         assert!(
-            res.hits.iter().any(|h| h.doc == d1_text
-                || inst.forest().is_vertical_neighbor(h.doc, d1_text)),
+            res.hits
+                .iter()
+                .any(|h| h.doc == d1_text || inst.forest().is_vertical_neighbor(h.doc, d1_text)),
             "expected the d1 snippet among {:?}",
             res.hits
         );
@@ -457,10 +459,8 @@ mod tests {
     #[test]
     fn anytime_time_budget_returns_best_effort() {
         let (inst, u1, degree, _) = motivating();
-        let cfg = SearchConfig {
-            time_budget: Some(Duration::from_nanos(1)),
-            ..SearchConfig::default()
-        };
+        let cfg =
+            SearchConfig { time_budget: Some(Duration::from_nanos(1)), ..SearchConfig::default() };
         let res = inst.search(&Query::new(u1, vec![degree], 3), &cfg);
         // Either it converged instantly or it reports the budget.
         assert!(matches!(res.stats.stop, StopReason::TimeBudget | StopReason::Converged));
@@ -513,6 +513,35 @@ mod tests {
         let res = inst.search(&Query::new(seeker, vec![univers], 1), &SearchConfig::default());
         assert_eq!(res.hits.len(), 1);
         assert!(res.hits[0].lower > 0.0, "the endorsement links the seeker to the doc");
+    }
+
+    #[test]
+    fn shared_prop_slot_across_instances_is_rebuilt() {
+        // A caller juggling two engines may pass the same scratch/prop
+        // buffers to both; the propagation must be rebuilt when the graph
+        // differs (same γ), not reused with wrong-sized buffers.
+        let (inst_a, u1, degree, _) = motivating();
+        let mut b = InstanceBuilder::new(Language::English);
+        let v0 = b.add_user();
+        let kws = b.analyze("a degree matters");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws);
+        b.add_document(doc, Some(v0));
+        let inst_b = b.build();
+        let degree_b = inst_b.vocabulary().get("degre").unwrap();
+
+        let engine_a = S3kEngine::new(&inst_a, SearchConfig::default());
+        let engine_b = S3kEngine::new(&inst_b, SearchConfig::default());
+        let mut scratch = SearchScratch::new();
+        let mut prop = None;
+        let qa = Query::new(u1, vec![degree], 3);
+        let qb = Query::new(v0, vec![degree_b], 3);
+        let warm_a = engine_a.run_with(&qa, &mut scratch, &mut prop);
+        let warm_b = engine_b.run_with(&qb, &mut scratch, &mut prop);
+        let warm_a2 = engine_a.run_with(&qa, &mut scratch, &mut prop);
+        assert_eq!(warm_a.hits, engine_a.run(&qa).hits);
+        assert_eq!(warm_b.hits, engine_b.run(&qb).hits);
+        assert_eq!(warm_a2.hits, warm_a.hits);
     }
 
     #[test]

@@ -37,10 +37,8 @@ pub(crate) fn select<S: ScoreModel>(
         if candidates[i].upper <= 0.0 {
             break;
         }
-        let conflict = scratch
-            .selection
-            .iter()
-            .any(|&s| forest.is_vertical_neighbor(candidates[s].doc, d));
+        let conflict =
+            scratch.selection.iter().any(|&s| forest.is_vertical_neighbor(candidates[s].doc, d));
         if !conflict {
             scratch.selection.push(i);
         }
@@ -61,10 +59,7 @@ pub(crate) fn stop_condition<S: ScoreModel>(
     let selection = &scratch.selection;
     scratch.in_selection.clear();
     scratch.in_selection.extend(selection.iter().copied());
-    let min_lower = selection
-        .iter()
-        .map(|&i| candidates[i].lower)
-        .fold(f64::INFINITY, f64::min);
+    let min_lower = selection.iter().map(|&i| candidates[i].lower).fold(f64::INFINITY, f64::min);
 
     if selection.len() == k {
         // Undiscovered documents must not be able to enter.

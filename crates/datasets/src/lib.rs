@@ -27,7 +27,6 @@
 //!
 //! Everything is deterministic given a seed.
 
-
 #![warn(missing_docs)]
 pub mod ontology;
 pub mod text;

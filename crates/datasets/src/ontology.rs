@@ -99,7 +99,8 @@ impl Ontology {
             };
             builder.rdf_mut().insert(s, voc::RDF_TYPE, Term::Uri(c), 1.0);
             // foaf:name for the record (exercises the enrichment path).
-            let name = Term::Literal(builder.rdf_mut().dictionary_mut().intern(&format!("\"e{j}\"")));
+            let name =
+                Term::Literal(builder.rdf_mut().dictionary_mut().intern(&format!("\"e{j}\"")));
             builder.rdf_mut().insert(s, voc::FOAF_NAME, name, 1.0);
             entity_keywords.push(kw);
             entity_class.push(class);
@@ -158,11 +159,7 @@ mod tests {
         let inst = b.build();
         // After saturation, Ext of a root class reaches entities typed by
         // its descendants.
-        let root = ont
-            .class_parent
-            .iter()
-            .position(|p| p.is_none())
-            .expect("at least one root");
+        let root = ont.class_parent.iter().position(|p| p.is_none()).expect("at least one root");
         let under = ont.entities_under(root);
         let ext = inst.expand_keyword(ont.class_keywords[root]);
         for &e in &under {

@@ -132,8 +132,7 @@ mod tests {
         let mut gen = TextGen::new("word", 100, 10);
         let mut rng = StdRng::seed_from_u64(5);
         let content = gen.content(&mut b, &mut rng, 200, None, 0.0, Some(&ont), 0.5);
-        let entity_hits =
-            content.iter().filter(|k| ont.entity_keywords.contains(k)).count();
+        let entity_hits = content.iter().filter(|k| ont.entity_keywords.contains(k)).count();
         assert!(entity_hits > 40, "≈50% entity rate, got {entity_hits}/200");
     }
 
@@ -143,8 +142,7 @@ mod tests {
         let mut gen = TextGen::new("word", 1000, 0);
         let mut rng = StdRng::seed_from_u64(9);
         let topic = vec![990, 991, 992]; // rare ranks: only topic bias reaches them
-        let content =
-            gen.content(&mut b, &mut rng, 300, Some(&topic), 0.5, None, 0.0);
+        let content = gen.content(&mut b, &mut rng, 300, Some(&topic), 0.5, None, 0.0);
         let inst_vocab = b.analyzer_mut().vocabulary_mut();
         let topical = content
             .iter()

@@ -83,7 +83,12 @@ impl TwitterConfig {
             topic_prob: 0.35,
             similarity_threshold: 0.1,
             avg_degree: 12,
-            ontology: OntologyConfig { classes: 260, entities: 420, properties: 12, seed: 0xD8BED1A },
+            ontology: OntologyConfig {
+                classes: 260,
+                entities: 420,
+                properties: 12,
+                seed: 0xD8BED1A,
+            },
             seed: 0x7717E2,
         }
     }
@@ -237,9 +242,7 @@ pub fn generate(config: &TwitterConfig) -> TwitterDataset {
             continue;
         }
         // Original tweet: text/date/geo document.
-        let topic = community_of[author_idx]
-            .first()
-            .map(|&c| topics[c].as_slice());
+        let topic = community_of[author_idx].first().map(|&c| topics[c].as_slice());
         let len = rng.gen_range(config.tweet_len.0..=config.tweet_len.1);
         let text_kws = textgen.content(
             &mut b,
@@ -279,8 +282,7 @@ pub fn generate(config: &TwitterConfig) -> TwitterDataset {
         // Reply? `reply_ratio` is a fraction of ALL tweets (paper: 6.9%),
         // but only non-retweets (1 − retweet_ratio of tweets) can carry
         // the comment edge, hence the rescaled per-document probability.
-        let reply_prob =
-            (config.reply_ratio / (1.0 - config.retweet_ratio).max(1e-9)).min(1.0);
+        let reply_prob = (config.reply_ratio / (1.0 - config.retweet_ratio).max(1e-9)).min(1.0);
         if !originals.is_empty() && rng.gen_bool(reply_prob) {
             let oi = pick_original(&mut rng, &originals);
             let (target, _) = originals[oi];
@@ -357,11 +359,8 @@ mod tests {
     fn entity_mentions_create_semantic_bridge() {
         let ds = generate(&tiny_config());
         // Some class keyword must have a non-trivial extension.
-        let grew = ds
-            .ontology
-            .class_keywords
-            .iter()
-            .any(|&c| ds.instance.expand_keyword(c).len() > 1);
+        let grew =
+            ds.ontology.class_keywords.iter().any(|&c| ds.instance.expand_keyword(c).len() > 1);
         assert!(grew, "ontology must produce non-trivial extensions");
     }
 }

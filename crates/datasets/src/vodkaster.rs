@@ -122,11 +122,9 @@ pub fn generate(config: &VodkasterConfig) -> VodkasterDataset {
     // Movies: first comment = document; later comments comment on it.
     // Per-movie topic pocket so comments on one movie share vocabulary.
     for m in 0..config.movies {
-        let n_comments = 1 + (rng.gen_range(0.0..1.0f64).powf(2.0)
-            * 2.0
-            * (config.mean_comments - 1.0)) as usize;
-        let topic: Vec<usize> =
-            (0..8).map(|i| (m * 8 + i) % config.vocab_size).collect();
+        let n_comments = 1
+            + (rng.gen_range(0.0..1.0f64).powf(2.0) * 2.0 * (config.mean_comments - 1.0)) as usize;
+        let topic: Vec<usize> = (0..8).map(|i| (m * 8 + i) % config.vocab_size).collect();
         let mut first_root = None;
         for _ in 0..n_comments {
             let author = users[rng.gen_range(0..config.users)];
@@ -134,8 +132,7 @@ pub fn generate(config: &VodkasterConfig) -> VodkasterDataset {
             let n_sentences = rng.gen_range(config.sentences.0..=config.sentences.1);
             for _ in 0..n_sentences {
                 let len = rng.gen_range(config.sentence_len.0..=config.sentence_len.1);
-                let kws =
-                    textgen.content(&mut b, &mut rng, len, Some(&topic), 0.45, None, 0.0);
+                let kws = textgen.content(&mut b, &mut rng, len, Some(&topic), 0.45, None, 0.0);
                 let s = doc.child(doc.root(), "sentence");
                 doc.set_content(s, kws);
             }

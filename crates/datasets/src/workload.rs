@@ -60,11 +60,7 @@ impl Workload {
 pub fn generate(instance: &S3Instance, config: WorkloadConfig) -> Workload {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let pool: Vec<KeywordId> = instance.vocabulary().keywords_in_class(config.frequency);
-    assert!(
-        !pool.is_empty(),
-        "no keywords in class {:?}; corpus too small",
-        config.frequency
-    );
+    assert!(!pool.is_empty(), "no keywords in class {:?}; corpus too small", config.frequency);
     let pool_set: std::collections::HashSet<KeywordId> = pool.iter().copied().collect();
     let num_comps = instance.graph().components().len();
     let mut queries = Vec::with_capacity(config.queries);
@@ -229,12 +225,7 @@ mod tests {
                 .collect();
             v.iter().sum::<u64>() as f64 / v.len() as f64
         };
-        assert!(
-            avg(&common) > 3.0 * avg(&rare),
-            "common {} vs rare {}",
-            avg(&common),
-            avg(&rare)
-        );
+        assert!(avg(&common) > 3.0 * avg(&rare), "common {} vs rare {}", avg(&common), avg(&rare));
     }
 
     #[test]

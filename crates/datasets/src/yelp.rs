@@ -129,11 +129,9 @@ pub fn generate(config: &YelpConfig) -> YelpDataset {
 
     // Businesses and reviews.
     for biz in 0..config.businesses {
-        let n_reviews = 1 + (rng.gen_range(0.0..1.0f64).powf(2.0)
-            * 2.0
-            * (config.mean_reviews - 1.0)) as usize;
-        let topic: Vec<usize> =
-            (0..10).map(|i| (biz * 10 + i) % config.vocab_size).collect();
+        let n_reviews =
+            1 + (rng.gen_range(0.0..1.0f64).powf(2.0) * 2.0 * (config.mean_reviews - 1.0)) as usize;
+        let topic: Vec<usize> = (0..10).map(|i| (biz * 10 + i) % config.vocab_size).collect();
         let mut first_root = None;
         for _ in 0..n_reviews {
             let author = users[rng.gen_range(0..config.users)];
@@ -206,11 +204,8 @@ mod tests {
     #[test]
     fn semantic_enrichment_present() {
         let ds = generate(&tiny());
-        let grew = ds
-            .ontology
-            .class_keywords
-            .iter()
-            .any(|&c| ds.instance.expand_keyword(c).len() > 1);
+        let grew =
+            ds.ontology.class_keywords.iter().any(|&c| ds.instance.expand_keyword(c).len() > 1);
         assert!(grew);
     }
 

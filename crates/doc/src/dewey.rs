@@ -139,11 +139,13 @@ mod tests {
 
     #[test]
     fn document_order() {
-        let mut labels = [Dewey::from_path(vec![2]),
+        let mut labels = [
+            Dewey::from_path(vec![2]),
             Dewey::from_path(vec![1, 2]),
             Dewey::root(),
             Dewey::from_path(vec![1]),
-            Dewey::from_path(vec![1, 1])];
+            Dewey::from_path(vec![1, 1]),
+        ];
         labels.sort();
         let rendered: Vec<String> = labels.iter().map(|d| d.to_string()).collect();
         assert_eq!(rendered, vec!["ε", "1", "1.1", "1.2", "2"]);

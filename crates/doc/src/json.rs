@@ -278,9 +278,8 @@ mod tests {
     #[test]
     fn tweet_shaped_object() {
         // The paper's I1 documents: text/date/geo — exactly a JSON object.
-        let (forest, tree, _) = parse(
-            r#"{"text": "universities matter", "date": "2014-05-02", "geo": "Bordeaux"}"#,
-        );
+        let (forest, tree, _) =
+            parse(r#"{"text": "universities matter", "date": "2014-05-02", "geo": "Bordeaux"}"#);
         let root = forest.root(tree);
         let kids = forest.children(root);
         assert_eq!(kids.len(), 3);

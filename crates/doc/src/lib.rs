@@ -43,7 +43,6 @@
 //! assert!(!forest.is_vertical_neighbor(para, other));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod builder;
 pub mod dewey;

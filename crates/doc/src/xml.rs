@@ -266,9 +266,8 @@ mod tests {
 
     #[test]
     fn parses_nested_structure() {
-        let (forest, tree, _) = parse(
-            "<article><section><p>universities and degrees</p></section><aside/></article>",
-        );
+        let (forest, tree, _) =
+            parse("<article><section><p>universities and degrees</p></section><aside/></article>");
         let root = forest.root(tree);
         assert_eq!(forest.name(root), "article");
         let kids = forest.children(root);
@@ -282,7 +281,8 @@ mod tests {
 
     #[test]
     fn attributes_become_nodes() {
-        let (forest, tree, analyzer) = parse(r#"<tweet lang="english"><text>hello world</text></tweet>"#);
+        let (forest, tree, analyzer) =
+            parse(r#"<tweet lang="english"><text>hello world</text></tweet>"#);
         let root = forest.root(tree);
         let kids = forest.children(root);
         assert_eq!(forest.name(kids[0]), "@lang");

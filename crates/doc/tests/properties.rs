@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use s3_doc::{DocBuilder, Dewey, Forest};
+use s3_doc::{Dewey, DocBuilder, Forest};
 
 /// Build a random tree of up to `max_nodes` nodes from a seed.
 fn random_tree(seed: u64, max_nodes: usize) -> (Forest, s3_doc::TreeId) {

@@ -29,6 +29,7 @@ pub mod cache;
 use cache::LruCache;
 use s3_core::{Query, S3Instance, S3kEngine, SearchConfig, SearchScratch, TopKResult, UserId};
 use s3_text::KeywordId;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -78,7 +79,9 @@ impl CacheKey {
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that ran the search.
+    /// Lookups not served from the cache. In-batch duplicates of one
+    /// uncached query each count as a miss even though only the first
+    /// occurrence runs a search.
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
@@ -171,10 +174,7 @@ impl S3Engine {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self
-                .cache
-                .as_ref()
-                .map_or(0, |c| c.lock().expect("cache poisoned").len()),
+            entries: self.cache.as_ref().map_or(0, |c| c.lock().expect("cache poisoned").len()),
         }
     }
 
@@ -201,10 +201,10 @@ impl S3Engine {
 
         let mut results: Vec<Option<Arc<TopKResult>>> = vec![None; queries.len()];
         // Serve cache hits first; a batch with internal duplicates computes
-        // each distinct miss once (the first occurrence) and the duplicates
-        // resolve against the cache afterwards.
+        // each distinct key once (at its first occurrence) and the
+        // duplicates resolve against that occurrence afterwards.
         let mut misses: Vec<usize> = Vec::new();
-        let mut batch_seen: Vec<CacheKey> = Vec::new();
+        let mut first_of: HashMap<CacheKey, usize> = HashMap::new();
         for (i, q) in queries.iter().enumerate() {
             let key = CacheKey::new(q, epoch);
             if let Some(cache) = &self.cache {
@@ -215,8 +215,8 @@ impl S3Engine {
                 }
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
-            if !batch_seen.contains(&key) {
-                batch_seen.push(key);
+            if let std::collections::hash_map::Entry::Vacant(slot) = first_of.entry(key) {
+                slot.insert(i);
                 misses.push(i);
             }
         }
@@ -241,15 +241,12 @@ impl S3Engine {
         }
 
         // Duplicates of in-batch misses (and the cache-disabled path)
-        // resolve against the freshly-computed occurrences.
+        // resolve against the freshly-computed first occurrence.
         for i in 0..queries.len() {
             if results[i].is_some() {
                 continue;
             }
-            let key = CacheKey::new(&queries[i], epoch);
-            let donor = (0..queries.len())
-                .find(|&j| results[j].is_some() && CacheKey::new(&queries[j], epoch) == key)
-                .expect("every distinct key was computed");
+            let donor = first_of[&CacheKey::new(&queries[i], epoch)];
             results[i] = results[donor].clone();
         }
         results.into_iter().map(|r| r.expect("filled")).collect()
@@ -309,11 +306,7 @@ impl S3Engine {
     }
 
     fn check_out_scratch(&self) -> SearchScratch {
-        self.scratch_pool
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_default()
+        self.scratch_pool.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
     }
 
     fn check_in_scratch(&self, scratch: SearchScratch) {

@@ -57,9 +57,8 @@ fn random_instance(seed: u64) -> (S3Instance, Vec<KeywordId>) {
             targets.push(doc.child(parent, "sec"));
         }
         for &node in &targets {
-            let kws: Vec<KeywordId> = (0..rng.gen_range(0..4usize))
-                .map(|_| pool[rng.gen_range(0..pool.len())])
-                .collect();
+            let kws: Vec<KeywordId> =
+                (0..rng.gen_range(0..4usize)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
             for &k in &kws {
                 b.analyzer_mut().vocabulary_mut().add_occurrences(k, 1);
             }
@@ -96,12 +95,7 @@ fn random_instance(seed: u64) -> (S3Instance, Vec<KeywordId>) {
 }
 
 /// Random query workload over the instance's keyword pool.
-fn random_queries(
-    rng: &mut StdRng,
-    num_users: usize,
-    pool: &[KeywordId],
-    n: usize,
-) -> Vec<Query> {
+fn random_queries(rng: &mut StdRng, num_users: usize, pool: &[KeywordId], n: usize) -> Vec<Query> {
     (0..n)
         .map(|_| {
             let seeker = UserId(rng.gen_range(0..num_users) as u32);

@@ -35,15 +35,22 @@ fn warm_cache_beats_cold_execution() {
     let cold = engine.run_batch(&queries);
     let cold_elapsed = t0.elapsed();
 
-    let t1 = Instant::now();
-    let warm = engine.run_batch(&queries);
-    let warm_elapsed = t1.elapsed();
+    // Best-of-three warm passes: the warm path is ~80 LRU lookups
+    // (microseconds), so a single scheduler stall on a loaded CI runner
+    // could otherwise outweigh the whole measurement.
+    let mut warm_elapsed = std::time::Duration::MAX;
+    let mut warm = Vec::new();
+    for _ in 0..3 {
+        let t1 = Instant::now();
+        warm = engine.run_batch(&queries);
+        warm_elapsed = warm_elapsed.min(t1.elapsed());
+    }
 
     for (c, w) in cold.iter().zip(warm.iter()) {
         assert_eq!(c.hits, w.hits);
     }
     assert!(engine.cache_stats().hits >= queries.len() as u64);
-    // Pure cache lookups vs full searches: the margin is orders of
+    // Pure cache lookups vs full searches: the real margin is orders of
     // magnitude; requiring 2x keeps the test robust on loaded machines.
     assert!(
         warm_elapsed.as_secs_f64() * 2.0 < cold_elapsed.as_secs_f64(),

@@ -65,11 +65,7 @@ impl GraphBuilder {
     /// Register every node of a document tree as a fragment node; returns
     /// the node id of the tree root. Ids are contiguous in pre-order.
     pub fn register_tree(&mut self, tree: TreeId) -> NodeId {
-        assert_eq!(
-            self.tree_root_node[tree.index()],
-            UNREGISTERED,
-            "tree registered twice"
-        );
+        assert_eq!(self.tree_root_node[tree.index()], UNREGISTERED, "tree registered twice");
         let base = self.kinds.len() as u32;
         self.tree_root_node[tree.index()] = base;
         for doc_idx in self.forest.tree_range(tree) {
@@ -173,13 +169,12 @@ impl GraphBuilder {
         let components = Components::build(
             n,
             &self.kinds,
-            self.forest
-                .trees()
-                .filter(|t| self.tree_root_node[t.index()] != UNREGISTERED)
-                .map(|t| {
+            self.forest.trees().filter(|t| self.tree_root_node[t.index()] != UNREGISTERED).map(
+                |t| {
                     let base = self.tree_root_node[t.index()] as usize;
                     base..base + self.forest.tree_len(t)
-                }),
+                },
+            ),
             self.edges
                 .iter()
                 .filter(|(_, _, k, _)| k.is_content_closure())
@@ -281,8 +276,7 @@ impl SocialGraph {
 
     /// Outgoing network edges of a node: `(target, kind, weight)`.
     pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind, f64)> + '_ {
-        let (s, e) =
-            (self.offsets[node.index()] as usize, self.offsets[node.index() + 1] as usize);
+        let (s, e) = (self.offsets[node.index()] as usize, self.offsets[node.index() + 1] as usize);
         (s..e).map(move |i| (self.targets[i], self.ekinds[i], self.weights[i]))
     }
 
@@ -408,10 +402,10 @@ mod tests {
     fn inverse_edges_are_materialized() {
         let (g, users, docs, _) = figure3();
         let from_u0: Vec<_> = g.out_edges(users[0]).collect();
+        assert!(from_u0.iter().any(|&(t, k, _)| t == docs[0] && k == EdgeKind::PostedByInv));
         assert!(from_u0
             .iter()
-            .any(|&(t, k, _)| t == docs[0] && k == EdgeKind::PostedByInv));
-        assert!(from_u0.iter().any(|&(t, k, w)| t == users[3] && k == EdgeKind::Social && w == 0.3));
+            .any(|&(t, k, w)| t == users[3] && k == EdgeKind::Social && w == 0.3));
         assert_eq!(g.out_degree(users[0]), 2);
     }
 

@@ -25,7 +25,6 @@
 //! * an optional **parallel explore step** (§5.2 reports ~2× with 8
 //!   threads).
 
-
 #![warn(missing_docs)]
 pub mod component;
 pub mod edge;

@@ -12,7 +12,13 @@ use crate::graph::SocialGraph;
 use crate::node::NodeId;
 
 /// `prox≤max_len(from, to)` by explicit path enumeration.
-pub fn naive_prox(graph: &SocialGraph, gamma: f64, from: NodeId, to: NodeId, max_len: usize) -> f64 {
+pub fn naive_prox(
+    graph: &SocialGraph,
+    gamma: f64,
+    from: NodeId,
+    to: NodeId,
+    max_len: usize,
+) -> f64 {
     let c_gamma = (gamma - 1.0) / gamma;
     let mut total = 0.0;
     // Empty path: from ⇝ to when they share a vertical neighborhood.
@@ -47,9 +53,9 @@ mod tests {
     use crate::edge::EdgeKind;
     use crate::graph::GraphBuilder;
     use crate::propagation::Propagation;
-    use s3_doc::{DocBuilder, Forest};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use s3_doc::{DocBuilder, Forest};
 
     /// Random small instance: a few users, trees and tags with random edges.
     fn random_instance(seed: u64) -> (SocialGraph, Vec<NodeId>) {

@@ -95,6 +95,7 @@ struct TreeScratch {
 }
 
 /// One emission work item: a whole active tree, or a single user/tag node.
+#[derive(Clone, Copy)]
 enum Unit {
     Tree(TreeId),
     Single(u32),
@@ -157,6 +158,11 @@ impl<'g> Propagation<'g> {
     /// The damping factor γ.
     pub fn gamma(&self) -> f64 {
         self.gamma
+    }
+
+    /// The graph this propagation's buffers are sized for.
+    pub fn graph(&self) -> &'g SocialGraph {
+        self.graph
     }
 
     /// Number of steps performed.
@@ -365,12 +371,8 @@ impl<'g> Propagation<'g> {
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut scratch = TreeScratch::default();
-                    for u in part {
-                        let unit = match *u {
-                            Unit::Tree(t) => Unit::Tree(t),
-                            Unit::Single(v) => Unit::Single(v),
-                        };
-                        this.emit_unit(unit, &mut scratch, &mut out);
+                    for &u in part {
+                        this.emit_unit(u, &mut scratch, &mut out);
                     }
                     out
                 }));

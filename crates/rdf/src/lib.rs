@@ -39,7 +39,6 @@
 //! assert!(store.extension(degree).contains(&ms));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod dict;
 pub mod extension;

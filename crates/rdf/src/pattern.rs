@@ -147,10 +147,9 @@ impl Pattern {
             }
             (Some(s), Some(p), None) => store.objects(s, p).map(|(o, _)| (s, p, o)).collect(),
             (None, Some(p), Some(o)) => store.subjects(p, o).map(|(s, _)| (s, p, o)).collect(),
-            (None, Some(p), None) => store
-                .with_property(p)
-                .map(|t| (t.triple.s, t.triple.p, t.triple.o))
-                .collect(),
+            (None, Some(p), None) => {
+                store.with_property(p).map(|t| (t.triple.s, t.triple.p, t.triple.o)).collect()
+            }
             // Property unbound: full scan with post-filter.
             _ => store
                 .iter()
@@ -377,19 +376,11 @@ mod tests {
         let ana = st.dictionary().get("ex:ana").unwrap();
         let acme = st.dictionary().get("ex:acme").unwrap();
         let mut pat = Pattern::new();
-        pat.triple(
-            UriOrVar::Uri(ana),
-            UriOrVar::Uri(worked_at),
-            TermOrVar::Term(Term::Uri(acme)),
-        );
+        pat.triple(UriOrVar::Uri(ana), UriOrVar::Uri(worked_at), TermOrVar::Term(Term::Uri(acme)));
         assert_eq!(pat.solutions(&st).len(), 1);
         let mut bad = Pattern::new();
         let mega = st.dictionary().get("ex:mega").unwrap();
-        bad.triple(
-            UriOrVar::Uri(ana),
-            UriOrVar::Uri(worked_at),
-            TermOrVar::Term(Term::Uri(mega)),
-        );
+        bad.triple(UriOrVar::Uri(ana), UriOrVar::Uri(worked_at), TermOrVar::Term(Term::Uri(mega)));
         assert!(bad.solutions(&st).is_empty());
     }
 

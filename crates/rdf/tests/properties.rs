@@ -33,7 +33,12 @@ fn random_store(seed: u64) -> TripleStore {
     }
     for &p in &props {
         if rng.gen_bool(0.4) {
-            st.insert(p, voc::RDFS_DOMAIN, Term::Uri(classes[rng.gen_range(0..classes.len())]), 1.0);
+            st.insert(
+                p,
+                voc::RDFS_DOMAIN,
+                Term::Uri(classes[rng.gen_range(0..classes.len())]),
+                1.0,
+            );
         }
         if rng.gen_bool(0.4) {
             st.insert(p, voc::RDFS_RANGE, Term::Uri(classes[rng.gen_range(0..classes.len())]), 1.0);
@@ -58,7 +63,8 @@ fn justified(base: &TripleStore, t: &s3_rdf::Triple) -> bool {
     let certain = |s: UriId, p: UriId, o: Term| base.weight(s, p, o) == Some(1.0);
     // SC-T / TYPE via some intermediate b.
     if t.p == voc::RDFS_SUBCLASS_OF || t.p == voc::RDF_TYPE {
-        let join_p = if t.p == voc::RDFS_SUBCLASS_OF { voc::RDFS_SUBCLASS_OF } else { voc::RDF_TYPE };
+        let join_p =
+            if t.p == voc::RDFS_SUBCLASS_OF { voc::RDFS_SUBCLASS_OF } else { voc::RDF_TYPE };
         for (b, w) in base.objects(t.s, join_p) {
             if w == 1.0 {
                 if let Some(b) = b.as_uri() {

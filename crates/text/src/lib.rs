@@ -31,7 +31,6 @@
 //! assert!(!words.contains(&"when"));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod stem;
 pub mod stopwords;

@@ -272,10 +272,49 @@ pub fn stem_french(word: &str) -> String {
     // Plural / feminine endings, applied repeatedly ("magnifiques" →
     // "magnifique" → "magnifiqu" ...).
     const ENDINGS: &[&str] = &[
-        "issement", "issements", "atrice", "ateur", "ation", "ations", "ement", "ements", "ité",
-        "ités", "ique", "iques", "isme", "ismes", "able", "ables", "iste", "istes", "euse",
-        "euses", "ance", "ances", "ence", "ences", "ment", "ments", "eur", "eurs", "ère", "ères",
-        "ais", "ait", "ant", "ants", "ante", "antes", "ons", "ent", "ez", "er", "es", "e", "s",
+        "issement",
+        "issements",
+        "atrice",
+        "ateur",
+        "ation",
+        "ations",
+        "ement",
+        "ements",
+        "ité",
+        "ités",
+        "ique",
+        "iques",
+        "isme",
+        "ismes",
+        "able",
+        "ables",
+        "iste",
+        "istes",
+        "euse",
+        "euses",
+        "ance",
+        "ances",
+        "ence",
+        "ences",
+        "ment",
+        "ments",
+        "eur",
+        "eurs",
+        "ère",
+        "ères",
+        "ais",
+        "ait",
+        "ant",
+        "ants",
+        "ante",
+        "antes",
+        "ons",
+        "ent",
+        "ez",
+        "er",
+        "es",
+        "e",
+        "s",
         "x",
     ];
     let mut changed = true;
@@ -285,11 +324,8 @@ pub fn stem_french(word: &str) -> String {
             if w.ends_with(suffix) {
                 let stem_chars = w.chars().count() - suffix.chars().count();
                 if stem_chars >= 3 {
-                    let cut: usize = w
-                        .char_indices()
-                        .nth(stem_chars)
-                        .map(|(i, _)| i)
-                        .unwrap_or(w.len());
+                    let cut: usize =
+                        w.char_indices().nth(stem_chars).map(|(i, _)| i).unwrap_or(w.len());
                     w.truncate(cut);
                     changed = true;
                 }

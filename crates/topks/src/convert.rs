@@ -138,8 +138,7 @@ mod tests {
         let item = adapted.item_of_doc(&inst, inst.forest().root(s3_doc::TreeId(0))).unwrap();
         assert_eq!(adapted.uit.taggers(item, univers).len(), 2);
         // The reply's root maps to the same item.
-        let reply_item =
-            adapted.item_of_doc(&inst, inst.forest().root(s3_doc::TreeId(1))).unwrap();
+        let reply_item = adapted.item_of_doc(&inst, inst.forest().root(s3_doc::TreeId(1))).unwrap();
         assert_eq!(item, reply_item);
     }
 

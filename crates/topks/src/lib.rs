@@ -21,7 +21,6 @@
 //! (tweets merged with their retweets/replies into one item, etc.), so the
 //! benchmark harness can run both systems on the same data.
 
-
 #![warn(missing_docs)]
 pub mod convert;
 pub mod model;

@@ -126,10 +126,9 @@ impl<'a> TopkSEngine<'a> {
         let mut items: HashMap<ItemId, ItemState> = HashMap::new();
         for (qi, &t) in query.iter().enumerate() {
             for &(item, count) in uit.items_with_tag(t) {
-                let st = items.entry(item).or_insert_with(|| ItemState {
-                    lower: 0.0,
-                    unseen: vec![0; query.len()],
-                });
+                let st = items
+                    .entry(item)
+                    .or_insert_with(|| ItemState { lower: 0.0, unseen: vec![0; query.len()] });
                 st.lower += (1.0 - alpha) * uit.content_score(item, t);
                 st.unseen[qi] = count;
             }
@@ -157,11 +156,7 @@ impl<'a> TopkSEngine<'a> {
                     .iter()
                     .map(|(i, st)| {
                         let upper: f64 = st.lower
-                            + alpha
-                                * st.unseen
-                                    .iter()
-                                    .map(|&c| c as f64 * sigma_next)
-                                    .sum::<f64>();
+                            + alpha * st.unseen.iter().map(|&c| c as f64 * sigma_next).sum::<f64>();
                         (i, st.lower, upper)
                     })
                     .collect();
@@ -175,10 +170,8 @@ impl<'a> TopkSEngine<'a> {
                 } else {
                     // Returned scores are exact: the top-k bounds must have
                     // converged, and nothing below may overtake them.
-                    let kth_lower = entries[..k]
-                        .iter()
-                        .map(|(_, lo, _)| *lo)
-                        .fold(f64::INFINITY, f64::min);
+                    let kth_lower =
+                        entries[..k].iter().map(|(_, lo, _)| *lo).fold(f64::INFINITY, f64::min);
                     entries[..k].iter().all(|(_, lo, up)| up - lo <= eps)
                         && entries[k..].iter().all(|(_, _, up)| *up <= kth_lower + eps)
                 }

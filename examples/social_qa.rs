@@ -87,10 +87,8 @@ fn main() {
     // ---- u1 searches "graduate". ----
     let query = Query::new(u1, vec![graduate_kw], 3);
     let with = instance.search(&query, &SearchConfig::default());
-    let without = instance.search(
-        &query,
-        &SearchConfig { semantic_expansion: false, ..SearchConfig::default() },
-    );
+    let without = instance
+        .search(&query, &SearchConfig { semantic_expansion: false, ..SearchConfig::default() });
 
     println!("Ext(graduate) = {:?}", instance.expand_keyword(graduate_kw));
     println!("\nWITH semantics: {} hit(s)", with.hits.len());
@@ -100,8 +98,9 @@ fn main() {
     println!("WITHOUT semantics: {} hit(s)", without.hits.len());
 
     assert!(
-        with.hits.iter().any(|h| h.doc == d1_text
-            || instance.forest().is_vertical_neighbor(h.doc, d1_text)),
+        with.hits
+            .iter()
+            .any(|h| h.doc == d1_text || instance.forest().is_vertical_neighbor(h.doc, d1_text)),
         "the M.S. snippet must be reachable through Ext(graduate)"
     );
     assert!(without.hits.is_empty(), "without the ontology nothing matches 'graduate'");

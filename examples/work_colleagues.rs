@@ -50,7 +50,11 @@ fn main() {
         let c = body.var("c");
         body.triple(UriOrVar::Var(a), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
         body.triple(UriOrVar::Var(b_), UriOrVar::Uri(worked_at), TermOrVar::Var(c));
-        body.triple(UriOrVar::Var(c), UriOrVar::Uri(voc::RDF_TYPE), TermOrVar::Term(Term::Uri(small)));
+        body.triple(
+            UriOrVar::Var(c),
+            UriOrVar::Uri(voc::RDF_TYPE),
+            TermOrVar::Term(Term::Uri(small)),
+        );
         let rule = Rule { body, head: (a, worked_with, b_) };
         let derived = rule.apply(rdf);
         println!("rule derived {derived} workedWith triple(s)");

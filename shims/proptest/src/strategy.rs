@@ -78,11 +78,9 @@ fn parse_pattern(pattern: &str) -> Vec<Atom> {
                 all
             }
             '[' => {
-                let close = chars[i..]
-                    .iter()
-                    .position(|&c| c == ']')
-                    .expect("unclosed character class")
-                    + i;
+                let close =
+                    chars[i..].iter().position(|&c| c == ']').expect("unclosed character class")
+                        + i;
                 let body = &chars[i + 1..close];
                 i = close + 1;
                 let mut set = Vec::new();
@@ -112,11 +110,7 @@ fn parse_pattern(pattern: &str) -> Vec<Atom> {
             }
         };
         let (min, max) = if i < chars.len() && chars[i] == '{' {
-            let close = chars[i..]
-                .iter()
-                .position(|&c| c == '}')
-                .expect("unclosed repetition")
-                + i;
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed repetition") + i;
             let body: String = chars[i + 1..close].iter().collect();
             i = close + 1;
             match body.split_once(',') {

@@ -19,7 +19,6 @@
 //! See `examples/quickstart.rs` for an end-to-end tour and
 //! `examples/serve_workload.rs` for the serving layer.
 
-
 #![warn(missing_docs)]
 pub use s3_core as core;
 pub use s3_datasets as datasets;

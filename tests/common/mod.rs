@@ -75,11 +75,8 @@ pub fn random_instance(seed: u64, size: RandomSize) -> (S3Instance, Vec<KeywordI
             }
             doc.add_content(node, kws);
         }
-        let poster = if rng.gen_bool(0.9) {
-            Some(users[rng.gen_range(0..users.len())])
-        } else {
-            None
-        };
+        let poster =
+            if rng.gen_bool(0.9) { Some(users[rng.gen_range(0..users.len())]) } else { None };
         let tree = b.add_document(doc, poster);
         let root = b.doc_root(tree);
         // Comment on an earlier doc?

@@ -20,10 +20,8 @@ fn assert_matches_oracle(seed: u64, gamma: f64, k: usize) -> Result<(), TestCase
     let kw = pool[rng.gen_range(0..pool.len())];
     let query = Query::new(seeker, vec![kw], k);
 
-    let cfg = SearchConfig {
-        score: s3::core::S3kScore::new(gamma, 0.5),
-        ..SearchConfig::default()
-    };
+    let cfg =
+        SearchConfig { score: s3::core::S3kScore::new(gamma, 0.5), ..SearchConfig::default() };
     let res = inst.search(&query, &cfg);
     prop_assert!(
         matches!(res.stats.stop, StopReason::Converged | StopReason::NoMatch),
@@ -73,14 +71,11 @@ fn compare_answer_sets(
     // and vice versa (within the certified uncertainty).
     let engine_only: Vec<_> =
         res.hits.iter().filter(|h| !oracle_score.contains_key(&h.doc)).collect();
-    let oracle_only: Vec<_> =
-        oracle.iter().filter(|o| !engine_docs.contains(&o.doc)).collect();
+    let oracle_only: Vec<_> = oracle.iter().filter(|o| !engine_docs.contains(&o.doc)).collect();
     prop_assert_eq!(engine_only.len(), oracle_only.len(), "seed {}", seed);
     for h in &engine_only {
         prop_assert!(
-            oracle_only
-                .iter()
-                .any(|o| h.lower - 1e-9 <= o.score && o.score <= h.upper + 1e-9),
+            oracle_only.iter().any(|o| h.lower - 1e-9 <= o.score && o.score <= h.upper + 1e-9),
             "seed {seed}: engine-only doc {:?} [{}, {}] not a tie with any oracle-only doc {:?}",
             h.doc,
             h.lower,

@@ -84,11 +84,9 @@ fn yelp_pipeline_with_semantics() {
         .expect("some class has corpus specializations");
     let engine = S3kEngine::new(inst, SearchConfig::default());
     let res = engine.run(&Query::new(UserId(0), vec![class_kw], 5));
-    let no_ext = S3kEngine::new(
-        inst,
-        SearchConfig { semantic_expansion: false, ..SearchConfig::default() },
-    )
-    .run(&Query::new(UserId(0), vec![class_kw], 5));
+    let no_ext =
+        S3kEngine::new(inst, SearchConfig { semantic_expansion: false, ..SearchConfig::default() })
+            .run(&Query::new(UserId(0), vec![class_kw], 5));
     assert!(
         res.stats.candidates >= no_ext.stats.candidates,
         "expansion can only widen the candidate set"
@@ -160,17 +158,11 @@ fn seekers_see_their_own_neighborhood_first() {
         .expect("some doc has a poster");
     let root = inst.forest().root(tree);
     // Query one of the doc's own keywords.
-    let kw = inst
-        .forest()
-        .fragments(root)
-        .flat_map(|f| inst.forest().content(f))
-        .next()
-        .copied();
+    let kw = inst.forest().fragments(root).flat_map(|f| inst.forest().content(f)).next().copied();
     let Some(kw) = kw else { return };
     let res = inst.search(&Query::new(poster, vec![kw], 10), &SearchConfig::default());
     assert!(
-        res.hits.iter().any(|h| inst.forest().tree_of(h.doc) == tree
-            || h.lower > 0.0),
+        res.hits.iter().any(|h| inst.forest().tree_of(h.doc) == tree || h.lower > 0.0),
         "the poster's own document (or something better) must surface"
     );
 }

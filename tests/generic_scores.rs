@@ -46,8 +46,7 @@ fn generic_oracle<S: ScoreModel>(
             for &k in ext.iter() {
                 for c in index.connections(d, k) {
                     if seen.insert((c.ctype, c.frag, c.src)) {
-                        part += model.structural_weight(c.ctype, c.depth)
-                            * prop.prox_leq(c.src);
+                        part += model.structural_weight(c.ctype, c.depth) * prop.prox_leq(c.src);
                         any = true;
                     }
                 }
@@ -59,8 +58,7 @@ fn generic_oracle<S: ScoreModel>(
             }
             parts.push(part);
         }
-        let qualifies =
-            if model.requires_all_keywords() { !missing } else { matched > 0 };
+        let qualifies = if model.requires_all_keywords() { !missing } else { matched > 0 };
         if qualifies {
             scored.push((d, model.combine_keywords(&parts)));
         }
@@ -118,9 +116,7 @@ fn check_model<S: ScoreModel + Clone>(seed: u64, model: S) -> Result<(), TestCas
             // Tie substitution: some oracle-only doc must land in the
             // engine doc's interval.
             prop_assert!(
-                oracle
-                    .iter()
-                    .any(|(_, s)| h.lower - 1e-9 <= *s && *s <= h.upper + 1e-9),
+                oracle.iter().any(|(_, s)| h.lower - 1e-9 <= *s && *s <= h.upper + 1e-9),
                 "seed {seed}: engine-only hit {:?} has no tie partner",
                 h
             );
