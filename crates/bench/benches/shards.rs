@@ -1,0 +1,90 @@
+//! Sharded-serving bench: queries/sec through `ShardedEngine` at 1/2/4/8
+//! shards, cold cache (full scatter-gather) vs warm cache (one front-cache
+//! lookup regardless of shard count), against an unsharded `S3Engine`
+//! baseline whose answers every sharded run must reproduce exactly.
+//!
+//! Run with `cargo bench --bench shards`. On a single-CPU container the
+//! cold columns mostly show the scatter's bookkeeping overhead; the
+//! interesting signals are warm/cold ratio (cache in front of the
+//! scatter) and the per-shard document balance.
+
+use s3_bench::Table;
+use s3_core::Query;
+use s3_datasets::{twitter, workload, Scale};
+use s3_engine::{EngineConfig, S3Engine, ShardedEngine};
+use s3_text::FrequencyClass;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let dataset = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Tiny));
+    let instance = Arc::new(dataset.instance);
+
+    let mut queries: Vec<Query> = Vec::new();
+    for (frequency, keywords_per_query, seed) in [
+        (FrequencyClass::Common, 1, 11),
+        (FrequencyClass::Rare, 1, 13),
+        (FrequencyClass::Common, 2, 17),
+        (FrequencyClass::Rare, 2, 19),
+    ] {
+        let w = workload::generate(
+            &instance,
+            workload::WorkloadConfig { frequency, keywords_per_query, k: 10, queries: 40, seed },
+        );
+        queries.extend(w.queries.into_iter().map(|q| q.query));
+    }
+    println!(
+        "sharded serving: {} queries over {} users / {} docs / {} components\n",
+        queries.len(),
+        instance.num_users(),
+        instance.num_documents(),
+        instance.graph().components().len()
+    );
+
+    let baseline = S3Engine::new(
+        Arc::clone(&instance),
+        EngineConfig { threads: 4, cache_capacity: 8192, ..EngineConfig::default() },
+    );
+    let expected = baseline.run_batch(&queries);
+
+    let mut table =
+        Table::new(&["shards", "doc balance", "cold q/s", "warm q/s", "speedup", "hits"]);
+    for shards in [1usize, 2, 4, 8] {
+        let engine = ShardedEngine::new(
+            Arc::clone(&instance),
+            EngineConfig { threads: 4, cache_capacity: 8192, ..EngineConfig::default() },
+            shards,
+        );
+        let p = engine.partition();
+        let balance = {
+            let counts: Vec<usize> = (0..shards).map(|s| p.doc_count(s)).collect();
+            let min = counts.iter().min().copied().unwrap_or(0);
+            let max = counts.iter().max().copied().unwrap_or(0);
+            format!("{min}..{max}")
+        };
+
+        let t0 = Instant::now();
+        let cold_results = engine.run_batch(&queries);
+        let cold = t0.elapsed();
+
+        let t1 = Instant::now();
+        let warm_results = engine.run_batch(&queries);
+        let warm = t1.elapsed();
+
+        for ((c, w), e) in cold_results.iter().zip(warm_results.iter()).zip(expected.iter()) {
+            assert_eq!(c.hits, e.hits, "sharded answers must equal the unsharded baseline");
+            assert_eq!(w.hits, e.hits, "warm answers must equal cold answers");
+        }
+
+        let qps = |elapsed: std::time::Duration| queries.len() as f64 / elapsed.as_secs_f64();
+        table.row(vec![
+            shards.to_string(),
+            balance,
+            format!("{:.0}", qps(cold)),
+            format!("{:.0}", qps(warm)),
+            format!("{:.1}x", cold.as_secs_f64() / warm.as_secs_f64()),
+            engine.cache_stats().hits.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -10,7 +10,26 @@
 use super::scratch::SearchScratch;
 use super::{S3kEngine, SearchStats};
 use crate::score::ScoreModel;
-use s3_graph::{CompId, EdgeKind, NodeKind};
+use s3_graph::{CompId, EdgeKind, NodeId, NodeKind, SocialGraph};
+
+/// Invoke `sink` for every content component a freshly-reached node
+/// opens: its own component for fragments and tags; for users, the
+/// components of the tags they authored (which may source connections in
+/// otherwise-unreached components). The one copy of the discovery-trigger
+/// rules, shared by the sequential pass below and the partitioned
+/// scatter's dispatch-to-owner pass.
+pub(crate) fn triggered_components(graph: &SocialGraph, v: NodeId, sink: &mut impl FnMut(CompId)) {
+    match graph.kind(v) {
+        NodeKind::Frag(_) | NodeKind::Tag(_) => sink(graph.components().component_of(v)),
+        NodeKind::User(_) => {
+            for (t, kind, _) in graph.out_edges(v) {
+                if kind == EdgeKind::HasAuthorInv {
+                    sink(graph.components().component_of(t));
+                }
+            }
+        }
+    }
+}
 
 /// Process `scratch.newly` (the seed node at step 0, the freshly-reached
 /// nodes afterwards), discovering components and admitting candidates.
@@ -25,32 +44,17 @@ pub(crate) fn discover_newly<S: ScoreModel>(
     // mutably.
     let newly = std::mem::take(&mut scratch.newly);
     for &v in &newly {
-        match graph.kind(v) {
-            NodeKind::Frag(_) | NodeKind::Tag(_) => {
-                discover_component(engine, graph.components().component_of(v), scratch, stats);
-            }
-            NodeKind::User(_) => {
-                // Tags authored by this user may source connections in
-                // otherwise-unreached components.
-                for (t, kind, _) in graph.out_edges(v) {
-                    if kind == EdgeKind::HasAuthorInv {
-                        discover_component(
-                            engine,
-                            graph.components().component_of(t),
-                            scratch,
-                            stats,
-                        );
-                    }
-                }
-            }
-        }
+        triggered_components(graph, v, &mut |comp| {
+            discover_component(engine, comp, scratch, stats);
+        });
     }
     scratch.newly = newly;
 }
 
-/// Process one content component: keyword pruning (§5.2), then the
-/// per-document `con` check.
-fn discover_component<S: ScoreModel>(
+/// Process one content component: component-filter check (sharding),
+/// keyword pruning (§5.2), then the per-document `con` check. Also the
+/// dispatch target of the partitioned scatter driver.
+pub(crate) fn discover_component<S: ScoreModel>(
     engine: &S3kEngine<'_, S>,
     comp: CompId,
     scratch: &mut SearchScratch,
@@ -61,6 +65,13 @@ fn discover_component<S: ScoreModel>(
     }
     scratch.processed[comp.index()] = true;
     scratch.touched.push(comp.index());
+    if let Some(filter) = &engine.config.component_filter {
+        if !filter.allows(comp) {
+            // Outside this shard's universe: skipped before any
+            // per-document work and not counted in the diagnostics.
+            return;
+        }
+    }
     stats.components += 1;
 
     let inst = engine.instance;

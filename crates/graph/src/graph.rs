@@ -5,7 +5,7 @@
 //! a CSR adjacency over network edges, the vertical-neighborhood weights
 //! `W(neigh(n))` of §2.5, and the content components of §5.2.
 
-use crate::component::Components;
+use crate::component::{CompId, Components};
 use crate::edge::EdgeKind;
 use crate::node::{NodeId, NodeKind};
 use s3_doc::{DocNodeId, Forest, TreeId};
@@ -333,6 +333,35 @@ impl SocialGraph {
         &self.components
     }
 
+    /// The documents (trees, identified by their root fragment's tree) whose
+    /// nodes lie in `comp`. A registered tree is always wholly contained in
+    /// one component, so each tree is yielded exactly once, in id order.
+    pub fn component_documents(&self, comp: CompId) -> impl Iterator<Item = TreeId> + '_ {
+        self.components
+            .members(comp)
+            .iter()
+            .filter_map(move |&n| self.frag_of_node(n))
+            .filter(|&f| self.forest.parent(f).is_none())
+            .map(|f| self.forest.tree_of(f))
+    }
+
+    /// Number of documents (trees) in a component.
+    pub fn component_doc_count(&self, comp: CompId) -> usize {
+        self.component_documents(comp).count()
+    }
+
+    /// The user nodes in `comp`. Social and authorship edges are not content
+    /// edges, so under the §5.2 partition every user is a singleton
+    /// component — this yields at most one node, but routers should not
+    /// assume that.
+    pub fn component_users(&self, comp: CompId) -> impl Iterator<Item = NodeId> + '_ {
+        self.components
+            .members(comp)
+            .iter()
+            .copied()
+            .filter(move |&n| self.kinds[n.index()].is_user())
+    }
+
     /// All nodes of a given kind predicate (testing convenience).
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.kinds.len() as u32).map(NodeId)
@@ -454,6 +483,25 @@ mod tests {
         assert_ne!(comps.component_of(users[0]), c);
         assert_ne!(comps.component_of(users[0]), comps.component_of(users[1]));
         assert_eq!(comps.members(c).len(), 6);
+    }
+
+    #[test]
+    fn component_membership_queries() {
+        let (g, users, docs, _) = figure3();
+        let comps = g.components();
+        // The content component: both trees, zero users.
+        let c = comps.component_of(docs[0]);
+        let trees: Vec<TreeId> = g.component_documents(c).collect();
+        assert_eq!(trees, vec![TreeId(0), TreeId(1)]);
+        assert_eq!(g.component_doc_count(c), 2);
+        assert_eq!(g.component_users(c).count(), 0);
+        // A user singleton: one user, zero documents.
+        let cu = comps.component_of(users[0]);
+        assert_eq!(g.component_doc_count(cu), 0);
+        assert_eq!(g.component_users(cu).collect::<Vec<_>>(), vec![users[0]]);
+        // Every document lives in exactly one component.
+        let total: usize = comps.iter().map(|comp| g.component_doc_count(comp)).sum();
+        assert_eq!(total, g.forest().num_trees());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Scaling the serving layer out across shards.
+//!
+//! Builds a synthetic Twitter-shaped instance, partitions its content
+//! components across four shards and serves a workload through
+//! [`s3::engine::ShardedEngine`]: per-shard document counts, routed
+//! scatter-gather with a merged top-k, the front cache absorbing repeats,
+//! and a parity check against an unsharded engine.
+//!
+//! ```text
+//! cargo run --release --example shard_scaleout
+//! ```
+
+use s3::core::Query;
+use s3::datasets::{twitter, workload, Scale};
+use s3::engine::{EngineConfig, S3Engine, ShardedEngine};
+use s3::text::FrequencyClass;
+use std::sync::Arc;
+
+fn main() {
+    let dataset = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Tiny));
+    let instance = Arc::new(dataset.instance);
+    println!(
+        "instance: {} users, {} documents, {} content components",
+        instance.num_users(),
+        instance.num_documents(),
+        instance.graph().components().len()
+    );
+
+    // Partition the components across 4 shards, balanced by documents.
+    let engine = ShardedEngine::new(
+        Arc::clone(&instance),
+        EngineConfig { threads: 4, cache_capacity: 1024, ..EngineConfig::default() },
+        4,
+    );
+    let partition = engine.partition();
+    for s in 0..engine.num_shards() {
+        println!(
+            "  shard {s}: {:4} documents across {:4} components",
+            partition.doc_count(s),
+            partition.component_count(s)
+        );
+    }
+
+    // Serve a workload through the sharded engine.
+    let w = workload::generate(
+        &instance,
+        workload::WorkloadConfig {
+            frequency: FrequencyClass::Common,
+            keywords_per_query: 1,
+            k: 5,
+            queries: 40,
+            seed: 42,
+        },
+    );
+    let queries: Vec<Query> = w.queries.into_iter().map(|q| q.query).collect();
+    let results = engine.run_batch(&queries);
+    let answered = results.iter().filter(|r| !r.hits.is_empty()).count();
+    println!("batch: {} queries scattered, {} with non-empty answers", results.len(), answered);
+
+    // One query in detail: routing and the merged top-k.
+    let (qi, best) =
+        results.iter().enumerate().max_by_key(|(_, r)| r.hits.len()).expect("non-empty batch");
+    let config = engine.search_config();
+    let routed = engine.router().route(&instance, &queries[qi], &config);
+    println!(
+        "query {:?} by u{} → scattered to shards {:?}, merged top-{}:",
+        queries[qi].keywords,
+        queries[qi].seeker.index(),
+        routed,
+        best.hits.len()
+    );
+    for hit in &best.hits {
+        let node = instance.graph().node_of_frag(hit.doc).expect("registered");
+        let comp = instance.graph().components().component_of(node);
+        println!(
+            "  doc {:?} from shard {} score ∈ [{:.5}, {:.5}]",
+            hit.doc,
+            engine.router().shard_of_component(comp),
+            hit.lower,
+            hit.upper
+        );
+    }
+
+    // Repeats are served by the front cache: one lookup, no scatter.
+    let again = engine.run_batch(&queries);
+    assert!(results.iter().zip(again.iter()).all(|(a, b)| a.hits == b.hits));
+    let stats = engine.cache_stats();
+    println!(
+        "replay: cache {} hits / {} misses (hit rate {:.0}%)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+
+    // The defining invariant, spot-checked: byte-identical to one engine.
+    let unsharded = S3Engine::new(Arc::clone(&instance), EngineConfig::default());
+    let direct = unsharded.run_batch(&queries);
+    assert!(results.iter().zip(direct.iter()).all(|(s, d)| {
+        s.hits.len() == d.hits.len()
+            && s.hits
+                .iter()
+                .zip(d.hits.iter())
+                .all(|(x, y)| x.doc == y.doc && x.lower == y.lower && x.upper == y.upper)
+    }));
+    println!("parity: sharded answers are byte-identical to the unsharded engine");
+}

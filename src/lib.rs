@@ -11,13 +11,15 @@
 //! * [`core`] — the S3 instance, `con(d,k)` connections, scores and the
 //!   S3k top-k search algorithm;
 //! * [`engine`] — the serving layer: batched concurrent queries over a
-//!   shared instance, per-worker scratch reuse and an LRU result cache;
+//!   shared instance, per-worker scratch reuse, an LRU result cache, and
+//!   [`engine::ShardedEngine`] scatter-gathering over component shards;
 //! * [`topks`] — the TopkS baseline the paper compares against;
 //! * [`datasets`] — synthetic Twitter/Vodkaster/Yelp generators and query
 //!   workloads.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour and
-//! `examples/serve_workload.rs` for the serving layer.
+//! See `examples/quickstart.rs` for an end-to-end tour,
+//! `examples/serve_workload.rs` for the serving layer and
+//! `examples/shard_scaleout.rs` for sharded scale-out.
 
 #![warn(missing_docs)]
 pub use s3_core as core;
