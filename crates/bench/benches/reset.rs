@@ -1,0 +1,76 @@
+//! Propagation-lifecycle bench: sparse reset cost vs graph size and
+//! search extent.
+//!
+//! Run with `cargo bench --bench reset` (the bench carries its own
+//! `main`). `Propagation::reset` clears only the journaled (touched)
+//! entries, so its cost must track the number of nodes a search actually
+//! reached — the sweep below grows the graph at fixed step counts (reset
+//! time should stay put) and grows the step count at fixed graph size
+//! (reset time should track the touched count). The fresh-build column
+//! (`Propagation::new`, which allocates and zero-fills five O(|graph|)
+//! buffers) is the dense baseline the sparse reset replaces.
+
+use s3_bench::Table;
+use s3_core::UserId;
+use s3_datasets::{twitter, Scale};
+use s3_graph::Propagation;
+use std::time::{Duration, Instant};
+
+fn main() {
+    println!("propagation reset: sparse O(touched) vs dense O(|graph|)\n");
+    let mut table = Table::new(&[
+        "graph",
+        "nodes",
+        "steps",
+        "touched",
+        "sparse reset",
+        "fresh build",
+        "speedup",
+    ]);
+    for mult in [1usize, 2, 4] {
+        let mut cfg = twitter::TwitterConfig::scaled(Scale::Tiny);
+        cfg.users *= mult;
+        cfg.tweets *= mult;
+        let ds = twitter::generate(&cfg);
+        let inst = ds.instance;
+        let graph = inst.graph();
+        let seeker = inst.user_node(UserId(0));
+        let nodes = graph.num_nodes();
+        for steps in [0u32, 1, 2, 4, 8] {
+            let reps = 40usize;
+            let mut p = Propagation::new(graph, 1.5, seeker);
+            let mut touched = 0usize;
+            let mut sparse = Duration::ZERO;
+            for _ in 0..reps {
+                for _ in 0..steps {
+                    p.step();
+                }
+                touched = p.touched_count();
+                let t = Instant::now();
+                p.reset(seeker);
+                sparse += t.elapsed();
+            }
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(Propagation::new(graph, 1.5, seeker));
+            }
+            let fresh = t.elapsed();
+            let per = |total: Duration| total.as_secs_f64() * 1e6 / reps as f64;
+            table.row(vec![
+                format!("tiny×{mult}"),
+                nodes.to_string(),
+                steps.to_string(),
+                touched.to_string(),
+                format!("{:.2}µs", per(sparse)),
+                format!("{:.2}µs", per(fresh)),
+                format!("{:.1}x", fresh.as_secs_f64() / sparse.as_secs_f64().max(1e-12)),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!(
+        "\nsparse reset time tracks the touched count (search extent); the fresh\n\
+         build tracks graph size — the gap is what every small query on a large\n\
+         instance saves per reset."
+    );
+}

@@ -54,15 +54,17 @@ pub mod score;
 pub mod search;
 
 pub use connections::{ConnType, Connection, ConnectionIndex};
-// The component id is part of this crate's public API (component keyword
-// sets, partitioning); re-exported so layers above `core` need not reach
-// into `s3-graph`.
+// The component id and the propagation lifecycle types are part of this
+// crate's public API (component keyword sets, partitioning, the serving
+// layer's seeker-keyed warm propagation pool); re-exported so layers
+// above `core` need not reach into `s3-graph`.
 pub use ids::{TagId, TagSubject, UserId};
 pub use instance::{InstanceBuilder, InstanceStats, S3Instance};
 pub use partition::{ComponentFilter, ComponentPartition};
 pub use s3_graph::CompId;
+pub use s3_graph::{Propagation, PropagationState};
 pub use score::{AnyKeywordScore, S3kScore, ScoreModel, TypeWeightedScore};
 pub use search::{
-    merge_hits, Hit, Query, S3kEngine, S3kSession, SearchConfig, SearchScratch, SearchStats,
-    StopReason, TopKResult,
+    merge_hits, Hit, Query, ResumeOutcome, S3kEngine, S3kSession, SearchConfig, SearchScratch,
+    SearchStats, StopReason, TopKResult,
 };

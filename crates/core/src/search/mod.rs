@@ -41,7 +41,11 @@
 //! The scratch (and the [`s3_graph::Propagation`], via
 //! [`s3_graph::Propagation::reset`]) is reused across queries: repeat
 //! queries on a warm [`S3kSession`] allocate nothing in the steady state.
-//! [`S3kEngine::run`] remains the one-shot convenience path.
+//! When consecutive queries share a seeker, the propagation is *resumed*
+//! rather than reset (it is query-independent and monotone in the step
+//! count); see [`SearchConfig::resume`] and [`ResumeOutcome`] — resumed
+//! answers are byte-identical to cold ones. [`S3kEngine::run`] remains
+//! the one-shot convenience path.
 
 mod bounds;
 mod discover;
@@ -58,11 +62,33 @@ use crate::ids::UserId;
 use crate::instance::S3Instance;
 use crate::score::{S3kScore, ScoreModel};
 use s3_doc::DocNodeId;
-use s3_graph::Propagation;
+use s3_graph::{NodeId, Propagation};
 use s3_text::KeywordId;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Query-local state a search driver exposes to the shared propagation
+/// lifecycle ([`S3kEngine::drive_lifecycle`]): where discovery seeds go,
+/// and how to rewind for the cold fallback replay. Implemented by the
+/// unsharded [`SearchScratch`] and the partitioned scatter's context.
+pub(crate) trait LifecycleScratch {
+    /// The discovery seed list the next drive will consume.
+    fn newly_mut(&mut self) -> &mut Vec<NodeId>;
+    /// Rewind every search-loop buffer (candidates, discovery,
+    /// selection) while keeping the query expansion.
+    fn rewind(&mut self);
+}
+
+impl LifecycleScratch for SearchScratch {
+    fn newly_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.newly
+    }
+
+    fn rewind(&mut self) {
+        self.rewind_search();
+    }
+}
 
 /// A keyword query `(u, φ)` with a result size `k` (Definition 3.1).
 #[derive(Debug, Clone)]
@@ -102,6 +128,14 @@ pub struct SearchConfig {
     /// Slack used to break ties between converging bounds (the paper's
     /// finite-precision de-facto tie-breaking).
     pub epsilon: f64,
+    /// Continue a warm same-seeker propagation instead of resetting it
+    /// (the propagation is query-independent, so a later query from the
+    /// same seeker can start from the steps already taken). Results stay
+    /// byte-identical to cold runs — a resume whose very first stop
+    /// evaluation would return is replayed cold, since a cold run might
+    /// have stopped at an earlier step with different certified bounds.
+    /// Disable only to measure the cold path.
+    pub resume: bool,
     /// Restrict candidate admission to the components this filter admits
     /// (`None` = the whole instance). Scoring is unchanged — proximity
     /// still propagates over the full graph — so a filtered search returns
@@ -120,9 +154,26 @@ impl Default for SearchConfig {
             component_pruning: true,
             semantic_expansion: true,
             epsilon: 1e-9,
+            resume: true,
             component_filter: None,
         }
     }
+}
+
+/// How the propagation lifecycle served a query (diagnostics only; every
+/// outcome returns byte-identical results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeOutcome {
+    /// The search started from a fresh or reset propagation (step 0).
+    #[default]
+    Cold,
+    /// A warm same-seeker propagation was continued from a non-zero step,
+    /// skipping the explore work already done.
+    Resumed,
+    /// A resume attempt was discarded at its first stop evaluation (a
+    /// cold run might have stopped at an earlier step with different
+    /// certified bounds) and the query was replayed cold.
+    Fallback,
 }
 
 /// Why the search stopped.
@@ -178,6 +229,8 @@ pub struct SearchStats {
     pub pruned_components: usize,
     /// Why the search ended.
     pub stop: StopReason,
+    /// How the propagation lifecycle served this query.
+    pub resume: ResumeOutcome,
 }
 
 /// Reusable S3k engine: holds the per-(instance, score) precomputations
@@ -247,8 +300,10 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
     }
 
     /// Answer one query using caller-owned buffers. `scratch` is cleared
-    /// and refilled; `prop` is reset (or lazily created on first use /
-    /// damping change). This is the allocation-free steady-state path the
+    /// and refilled; `prop` is lazily created on first use (or graph /
+    /// damping change), *resumed* when it is already warm for this
+    /// query's seeker (unless [`SearchConfig::resume`] is off), and reset
+    /// otherwise. This is the allocation-free steady-state path the
     /// serving layer drives; results are identical to [`S3kEngine::run`].
     pub fn run_with(
         &self,
@@ -260,14 +315,13 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
         let inst = self.instance;
         let graph = inst.graph();
         scratch.begin(graph.components().len());
-        let mut stats = SearchStats::default();
 
         // ---- Stage 1: keyword expansion (Definition 2.1). ----
         if !expand::expand_query(self, query, scratch) {
             // Some keyword (or its whole extension) never occurs: the score
             // of every document is 0 and the (positive-score) answer is
             // empty — exact.
-            stats.stop = StopReason::NoMatch;
+            let stats = SearchStats { stop: StopReason::NoMatch, ..SearchStats::default() };
             return TopKResult { hits: Vec::new(), candidate_docs: Vec::new(), stats };
         }
 
@@ -277,17 +331,77 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
         // caller juggling several engines could otherwise hand us buffers
         // sized for a different instance.
         let prop = match prop {
-            Some(p) if p.gamma() == gamma && std::ptr::eq(p.graph(), graph) => {
-                p.reset(seeker);
-                p
-            }
+            Some(p) if p.gamma() == gamma && std::ptr::eq(p.graph(), graph) => p,
             slot => slot.insert(Propagation::new(graph, gamma, seeker)),
         };
 
-        let mut frontier_closed = false;
-        // Discovery from the seed (the seeker may source tags/documents).
-        scratch.newly.push(seeker);
+        self.drive_lifecycle(seeker, prop, scratch, |scratch, prop, outcome| {
+            self.drive(query, scratch, prop, started, outcome)
+        })
+    }
 
+    /// The one copy of the resume protocol (ARCHITECTURE.md "Propagation
+    /// lifecycle"), shared by the unsharded and partitioned drivers:
+    ///
+    /// * a warm same-seeker propagation is *resumed* — discovery replays
+    ///   the visited journal (the exact node sequence a cold run would
+    ///   have fed it step by step, so candidate pools and admission order
+    ///   match) and the loop continues from the current step;
+    /// * `drive` must treat `ResumeOutcome::Resumed` as a probe and
+    ///   return `None` if its **first** stop evaluation would return —
+    ///   that is the one point where a cold run might already have
+    ///   stopped at an earlier step with different certified bounds. The
+    ///   protocol then rewinds (keeping the query expansion), resets the
+    ///   propagation and replays cold for byte-identity;
+    /// * anything else starts cold from the seeker seed.
+    fn drive_lifecycle<C: LifecycleScratch>(
+        &self,
+        seeker: NodeId,
+        prop: &mut Propagation<'i>,
+        ctx: &mut C,
+        mut drive: impl FnMut(&mut C, &mut Propagation<'i>, ResumeOutcome) -> Option<TopKResult>,
+    ) -> TopKResult {
+        let outcome = if self.config.resume && prop.seeker() == seeker && prop.iteration() > 0 {
+            ctx.newly_mut().extend(prop.visited_journal());
+            if let Some(result) = drive(ctx, prop, ResumeOutcome::Resumed) {
+                return result;
+            }
+            ctx.rewind();
+            prop.reset(seeker);
+            ResumeOutcome::Fallback
+        } else {
+            if prop.seeker() != seeker || prop.iteration() > 0 {
+                prop.reset(seeker);
+            }
+            ResumeOutcome::Cold
+        };
+        // Discovery from the seed (the seeker may source tags/documents).
+        ctx.newly_mut().push(seeker);
+        drive(ctx, prop, outcome).expect("a cold drive always returns")
+    }
+
+    /// The staged search loop over a prepared scratch and propagation
+    /// (`scratch.newly` holds the discovery seeds).
+    ///
+    /// `ResumeOutcome::Resumed` makes the first stop evaluation a probe:
+    /// if the loop would return at it — converged, iteration cap or time
+    /// budget — `None` is returned and the caller must replay the query
+    /// cold. Once the first evaluation fails, every later iteration is
+    /// byte-identical to the cold run that would have reached it: the
+    /// propagation state is a pure function of (seeker, γ, step), and the
+    /// stop test tightens monotonically, so a cold run could not have
+    /// stopped before the step the resume started from.
+    fn drive(
+        &self,
+        query: &Query,
+        scratch: &mut SearchScratch,
+        prop: &mut Propagation<'i>,
+        started: Instant,
+        outcome: ResumeOutcome,
+    ) -> Option<TopKResult> {
+        let probe = outcome == ResumeOutcome::Resumed;
+        let mut stats = SearchStats { resume: outcome, ..SearchStats::default() };
+        let mut first = true;
         loop {
             // ---- Stage 2: discovery (Algorithm GetDocuments). ----
             discover::discover_newly(self, scratch, &mut stats);
@@ -301,35 +415,39 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
                     smax_ext,
                     threshold_parts,
                     prop,
-                    frontier_closed,
+                    prop.frontier_closed(),
                 )
             };
 
             // ---- Stage 4: selection + stop test (Algorithm StopCondition). ----
             stop::select(self, scratch, query.k);
-            if stop::stop_condition(self, scratch, query.k, threshold, frontier_closed) {
-                stats.stop = StopReason::Converged;
-                stats.iterations = prop.iteration();
-                return stop::finish(scratch, stats);
-            }
-            if prop.iteration() >= self.config.max_iterations {
-                stats.stop = StopReason::MaxIterations;
-                stats.iterations = prop.iteration();
-                return stop::finish(scratch, stats);
-            }
-            if let Some(budget) = self.config.time_budget {
-                if started.elapsed() >= budget {
-                    stats.stop = StopReason::TimeBudget;
-                    stats.iterations = prop.iteration();
-                    return stop::finish(scratch, stats);
+            let reason = if stop::stop_condition(
+                self,
+                scratch,
+                query.k,
+                threshold,
+                prop.frontier_closed(),
+            ) {
+                Some(StopReason::Converged)
+            } else if prop.iteration() >= self.config.max_iterations {
+                Some(StopReason::MaxIterations)
+            } else if self.config.time_budget.is_some_and(|budget| started.elapsed() >= budget) {
+                Some(StopReason::TimeBudget)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                if probe && first {
+                    return None;
                 }
+                stats.stop = reason;
+                stats.iterations = prop.iteration();
+                return Some(stop::finish(scratch, stats));
             }
+            first = false;
 
             // ---- Explore one more hop (Algorithm ExploreStep). ----
             prop.step_into(self.config.threads, false, &mut scratch.newly);
-            if scratch.newly.is_empty() {
-                frontier_closed = true;
-            }
         }
     }
 }
@@ -365,7 +483,8 @@ pub struct S3kSession<'e, 'i, S: ScoreModel = S3kScore> {
 impl<'e, 'i, S: ScoreModel> S3kSession<'e, 'i, S> {
     /// Answer one query, reusing the session's buffers. Results are
     /// identical to a cold [`S3kEngine::run`] — the scratch carries no
-    /// state between queries (property-tested in `crates/engine`).
+    /// state between queries, and a same-seeker propagation resume is
+    /// exact (property-tested in `crates/engine`).
     pub fn run(&mut self, query: &Query) -> TopKResult {
         self.engine.run_with(query, &mut self.scratch, &mut self.prop)
     }
@@ -562,6 +681,58 @@ mod tests {
         assert_eq!(warm_a.hits, engine_a.run(&qa).hits);
         assert_eq!(warm_b.hits, engine_b.run(&qb).hits);
         assert_eq!(warm_a2.hits, warm_a.hits);
+    }
+
+    #[test]
+    fn same_seeker_queries_resume_and_stay_exact() {
+        let (inst, u1, degree, _) = motivating();
+        let engine = S3kEngine::new(&inst, SearchConfig::default());
+        let mut session = engine.session();
+        let queries = [
+            Query::new(u1, vec![degree], 3),
+            Query::new(u1, vec![degree], 1),
+            Query::new(u1, vec![degree], 2),
+        ];
+        let mut outcomes = Vec::new();
+        for q in &queries {
+            let warm = session.run(q);
+            let cold = engine.run(q);
+            assert_eq!(warm.hits, cold.hits);
+            assert_eq!(warm.candidate_docs, cold.candidate_docs);
+            assert_eq!(warm.stats.stop, cold.stats.stop);
+            assert_eq!(warm.stats.iterations, cold.stats.iterations);
+            outcomes.push(warm.stats.resume);
+        }
+        assert_eq!(outcomes[0], ResumeOutcome::Cold, "first query starts cold");
+        assert!(
+            outcomes[1..].iter().all(|&o| o != ResumeOutcome::Cold),
+            "later same-seeker queries must reuse the warm propagation: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn seeker_switch_resets_instead_of_resuming() {
+        let (inst, u1, degree, _) = motivating();
+        let engine = S3kEngine::new(&inst, SearchConfig::default());
+        let mut session = engine.session();
+        session.run(&Query::new(u1, vec![degree], 3));
+        let other = UserId(0);
+        let warm = session.run(&Query::new(other, vec![degree], 3));
+        assert_eq!(warm.stats.resume, ResumeOutcome::Cold);
+        assert_eq!(warm.hits, engine.run(&Query::new(other, vec![degree], 3)).hits);
+    }
+
+    #[test]
+    fn resume_disabled_always_runs_cold() {
+        let (inst, u1, degree, _) = motivating();
+        let cfg = SearchConfig { resume: false, ..SearchConfig::default() };
+        let engine = S3kEngine::new(&inst, cfg);
+        let mut session = engine.session();
+        for k in [3usize, 2, 1] {
+            let warm = session.run(&Query::new(u1, vec![degree], k));
+            assert_eq!(warm.stats.resume, ResumeOutcome::Cold);
+            assert_eq!(warm.hits, engine.run(&Query::new(u1, vec![degree], k)).hits);
+        }
     }
 
     #[test]

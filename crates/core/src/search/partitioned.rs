@@ -35,44 +35,81 @@
 
 use super::scratch::SearchScratch;
 use super::{bounds, discover, expand, merge, stop};
-use super::{Hit, Query, S3kEngine, SearchStats, StopReason, TopKResult};
+use super::{
+    Hit, LifecycleScratch, Query, ResumeOutcome, S3kEngine, SearchStats, StopReason, TopKResult,
+};
 use crate::partition::ComponentPartition;
 use crate::score::ScoreModel;
 use s3_doc::DocNodeId;
 use s3_graph::{NodeId, Propagation};
 use std::time::Instant;
 
+/// The partitioned scatter's query-local state, seen through the shared
+/// propagation lifecycle: seeds go to the carrier's frontier list, and a
+/// fallback rewind must clear the carrier *and* every active shard's
+/// scratch (their cloned expansions survive).
+struct ScatterCtx<'a> {
+    carrier: &'a mut SearchScratch,
+    scratches: &'a mut [Option<SearchScratch>],
+    active: &'a [usize],
+}
+
+impl LifecycleScratch for ScatterCtx<'_> {
+    fn newly_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.carrier.newly
+    }
+
+    fn rewind(&mut self) {
+        self.carrier.rewind_search();
+        for &s in self.active {
+            self.scratches[s].as_mut().expect("active shard scratch").rewind_search();
+        }
+    }
+}
+
 impl<'i, S: ScoreModel> S3kEngine<'i, S> {
     /// One-shot [`Self::run_partitioned_with`] over every shard, with
     /// throwaway buffers.
     pub fn run_partitioned(&self, query: &Query, partition: &ComponentPartition) -> TopKResult {
         let active: Vec<usize> = (0..partition.num_shards()).collect();
-        let mut scratches: Vec<SearchScratch> =
-            (0..partition.num_shards()).map(|_| SearchScratch::new()).collect();
+        let mut carrier = SearchScratch::new();
+        let mut scratches: Vec<Option<SearchScratch>> =
+            (0..partition.num_shards()).map(|_| Some(SearchScratch::new())).collect();
         let mut prop = None;
-        self.run_partitioned_with(query, partition, &active, &mut scratches, &mut prop)
+        self.run_partitioned_with(
+            query,
+            partition,
+            &active,
+            &mut carrier,
+            &mut scratches,
+            &mut prop,
+        )
     }
 
     /// Answer one query by iteration-synchronous scatter-gather over the
     /// partition's shards (see the module docs).
     ///
-    /// `scratches` holds one scratch per shard (`partition.num_shards()`
-    /// of them — the serving layer checks them out of the per-shard
-    /// pools); only the scratches of `active` shards are used, except
-    /// `scratches[0]`, which always carries the query expansion. `active`
-    /// must be sorted and deduplicated; dropping a shard is exact as long
-    /// as none of its components can match the query (the router's
-    /// contract). Results are byte-identical to [`S3kEngine::run`] on
-    /// hits, candidate list and stop reason; the per-component work
-    /// counters (`SearchStats::components`, `pruned_components`,
-    /// `rejected`) only reflect components of active shards, so they fall
-    /// short of the unsharded run's whenever shards are dropped.
+    /// `carrier` holds the query-global state (expansion, frontier,
+    /// threshold and gather buffers); `scratches` has one slot per shard,
+    /// and only the `active` shards' slots must be checked out (`Some`) —
+    /// the serving layer borrows them lazily from the pools of the shards
+    /// a query actually routes to, so warm memory scales with scatter
+    /// width rather than workers × shards. `active` must be sorted and
+    /// deduplicated; dropping a shard is exact as long as none of its
+    /// components can match the query (the router's contract). A warm
+    /// same-seeker propagation is resumed exactly like the unsharded
+    /// path. Results are byte-identical to [`S3kEngine::run`] on hits,
+    /// candidate list and stop reason; the per-component work counters
+    /// (`SearchStats::components`, `pruned_components`, `rejected`) only
+    /// reflect components of active shards, so they fall short of the
+    /// unsharded run's whenever shards are dropped.
     pub fn run_partitioned_with(
         &self,
         query: &Query,
         partition: &ComponentPartition,
         active: &[usize],
-        scratches: &mut [SearchScratch],
+        carrier: &mut SearchScratch,
+        scratches: &mut [Option<SearchScratch>],
         prop: &mut Option<Propagation<'i>>,
     ) -> TopKResult {
         let inst = self.instance;
@@ -83,65 +120,82 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
             num_components,
             "partition built for a different instance"
         );
-        assert_eq!(scratches.len(), partition.num_shards(), "one scratch per shard");
+        assert_eq!(scratches.len(), partition.num_shards(), "one slot per shard");
         debug_assert!(
             active.windows(2).all(|w| w[0] < w[1]) && active.iter().all(|&s| s < scratches.len()),
             "active shard list must be sorted, deduplicated and in range"
         );
         let started = Instant::now();
-        let mut stats = SearchStats::default();
 
         // ---- Stage 1 once: expansion is instance-global, identical in
-        // every shard. scratches[0] is the carrier even when shard 0 is
-        // not active.
-        scratches[0].begin(num_components);
-        if !expand::expand_query(self, query, &mut scratches[0]) {
-            stats.stop = StopReason::NoMatch;
+        // every shard. The carrier holds it; active shards get a copy.
+        carrier.begin(num_components);
+        if !expand::expand_query(self, query, carrier) {
+            let stats = SearchStats { stop: StopReason::NoMatch, ..SearchStats::default() };
             return TopKResult { hits: Vec::new(), candidate_docs: Vec::new(), stats };
         }
-        let (first, rest) = scratches.split_at_mut(1);
         for &s in active {
-            if s == 0 {
-                continue;
-            }
-            let sc = &mut rest[s - 1];
+            let sc = scratches[s].as_mut().expect("active shard scratch checked out");
             sc.begin(num_components);
-            sc.keywords.clone_from(&first[0].keywords);
-            sc.exts.clone_from(&first[0].exts);
-            sc.smax_ext.clone_from(&first[0].smax_ext);
+            sc.keywords.clone_from(&carrier.keywords);
+            sc.exts.clone_from(&carrier.exts);
+            sc.smax_ext.clone_from(&carrier.smax_ext);
         }
 
         let seeker = inst.user_node(query.seeker);
         let gamma = self.model.gamma();
         let prop = match prop {
-            Some(p) if p.gamma() == gamma && std::ptr::eq(p.graph(), graph) => {
-                p.reset(seeker);
-                p
-            }
+            Some(p) if p.gamma() == gamma && std::ptr::eq(p.graph(), graph) => p,
             slot => slot.insert(Propagation::new(graph, gamma, seeker)),
         };
 
-        let mut frontier_closed = false;
-        // The frontier, threshold and gather buffers are borrowed from the
-        // carrier scratch (begin() cleared them) so warm serving paths do
-        // not re-grow them per query, and restored before returning. The
-        // admission-order log is the one fresh allocation: it becomes the
-        // result's candidate list.
-        let mut newly: Vec<NodeId> = std::mem::take(&mut scratches[0].newly);
-        newly.push(seeker);
-        let mut threshold_parts = std::mem::take(&mut scratches[0].threshold_parts);
-        let mut merged = std::mem::take(&mut scratches[0].gather);
-        let mut order_log: Vec<DocNodeId> = Vec::new();
+        let mut ctx = ScatterCtx { carrier, scratches, active };
+        self.drive_lifecycle(seeker, prop, &mut ctx, |ctx, prop, outcome| {
+            self.scatter_drive(
+                query,
+                partition,
+                ctx.active,
+                ctx.carrier,
+                ctx.scratches,
+                prop,
+                started,
+                outcome,
+            )
+        })
+    }
 
-        let result = loop {
+    /// The iteration-synchronous scatter loop over prepared scratches
+    /// (`carrier.newly` holds the discovery seeds). Probe semantics match
+    /// [`S3kEngine::drive`]: with `ResumeOutcome::Resumed`, a first stop
+    /// evaluation that would return yields `None` and the caller replays
+    /// the query cold. The admission-order log is the one fresh
+    /// allocation: it becomes the result's candidate list.
+    #[allow(clippy::too_many_arguments)] // internal: mirrors the public driver's parameter set
+    fn scatter_drive(
+        &self,
+        query: &Query,
+        partition: &ComponentPartition,
+        active: &[usize],
+        carrier: &mut SearchScratch,
+        scratches: &mut [Option<SearchScratch>],
+        prop: &mut Propagation<'i>,
+        started: Instant,
+        outcome: ResumeOutcome,
+    ) -> Option<TopKResult> {
+        let probe = outcome == ResumeOutcome::Resumed;
+        let graph = self.instance.graph();
+        let mut stats = SearchStats { resume: outcome, ..SearchStats::default() };
+        let mut order_log: Vec<DocNodeId> = Vec::new();
+        let mut first = true;
+        loop {
             // ---- Stage 2: discovery, dispatched to the owning shard. ----
-            for &v in &newly {
+            for &v in &carrier.newly {
                 discover::triggered_components(graph, v, &mut |comp| {
                     let shard = partition.shard_of(comp);
                     if !active.contains(&shard) {
                         return;
                     }
-                    let sc = &mut scratches[shard];
+                    let sc = scratches[shard].as_mut().expect("active shard scratch");
                     let before = sc.candidates.as_slice().len();
                     discover::discover_component(self, comp, sc, &mut stats);
                     order_log.extend(sc.candidates.as_slice()[before..].iter().map(|c| c.doc));
@@ -150,39 +204,43 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
 
             // ---- Stage 3: bounds per shard, threshold once. ----
             for &s in active {
-                bounds::update_candidate_bounds(self, &mut scratches[s], prop);
+                bounds::update_candidate_bounds(self, scratches[s].as_mut().expect("active"), prop);
             }
-            let threshold = bounds::undiscovered_threshold(
-                &self.model,
-                &scratches[0].smax_ext,
-                &mut threshold_parts,
-                prop,
-                frontier_closed,
-            );
+            let threshold = {
+                let SearchScratch { smax_ext, threshold_parts, .. } = &mut *carrier;
+                bounds::undiscovered_threshold(
+                    &self.model,
+                    smax_ext,
+                    threshold_parts,
+                    prop,
+                    prop.frontier_closed(),
+                )
+            };
 
             // ---- Stage 4: per-shard selection, global gather + stop. ----
             for &s in active {
-                stop::select(self, &mut scratches[s], query.k);
+                stop::select(self, scratches[s].as_mut().expect("active"), query.k);
             }
-            merged.clear();
+            carrier.gather.clear();
             for &s in active {
-                merged.extend(scratches[s].selection.iter().map(|&i| (s, i)));
+                let sel = &scratches[s].as_ref().expect("active").selection;
+                carrier.gather.extend(sel.iter().map(|&i| (s, i)));
             }
-            merged.sort_unstable_by(|&(sa, ia), &(sb, ib)| {
-                let a = &scratches[sa].candidates.as_slice()[ia];
-                let b = &scratches[sb].candidates.as_slice()[ib];
+            carrier.gather.sort_unstable_by(|&(sa, ia), &(sb, ib)| {
+                let a = &scratches[sa].as_ref().expect("active").candidates.as_slice()[ia];
+                let b = &scratches[sb].as_ref().expect("active").candidates.as_slice()[ib];
                 merge::rank(a.upper, a.doc, b.upper, b.doc)
             });
-            merged.truncate(query.k);
+            carrier.gather.truncate(query.k);
 
             let stop_reason = if partition_stop(
                 self,
                 scratches,
                 active,
-                &merged,
+                &carrier.gather,
                 query.k,
                 threshold,
-                frontier_closed,
+                prop.frontier_closed(),
             ) {
                 Some(StopReason::Converged)
             } else if prop.iteration() >= self.config.max_iterations {
@@ -193,21 +251,18 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
                 None
             };
             if let Some(stop) = stop_reason {
+                if probe && first {
+                    return None;
+                }
                 stats.stop = stop;
                 stats.iterations = prop.iteration();
-                break gather(scratches, &merged, order_log, stats);
+                return Some(gather(scratches, &carrier.gather, order_log, stats));
             }
+            first = false;
 
             // ---- Explore one more hop (shared across shards). ----
-            prop.step_into(self.config.threads, false, &mut newly);
-            if newly.is_empty() {
-                frontier_closed = true;
-            }
-        };
-        scratches[0].newly = newly;
-        scratches[0].threshold_parts = threshold_parts;
-        scratches[0].gather = merged;
-        result
+            prop.step_into(self.config.threads, false, &mut carrier.newly);
+        }
     }
 }
 
@@ -218,7 +273,7 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
 /// union of the pools (vertical-neighbor domination cannot cross shards).
 fn partition_stop<S: ScoreModel>(
     engine: &S3kEngine<'_, S>,
-    scratches: &[SearchScratch],
+    scratches: &[Option<SearchScratch>],
     active: &[usize],
     merged: &[(usize, usize)],
     k: usize,
@@ -229,7 +284,7 @@ fn partition_stop<S: ScoreModel>(
     let forest = engine.instance.forest();
     let min_lower = merged
         .iter()
-        .map(|&(s, i)| scratches[s].candidates.as_slice()[i].lower)
+        .map(|&(s, i)| scratches[s].as_ref().expect("active").candidates.as_slice()[i].lower)
         .fold(f64::INFINITY, f64::min);
 
     if merged.len() == k {
@@ -240,7 +295,7 @@ fn partition_stop<S: ScoreModel>(
         return false;
     }
     for &s in active {
-        let candidates = scratches[s].candidates.as_slice();
+        let candidates = scratches[s].as_ref().expect("active").candidates.as_slice();
         for (i, c) in candidates.iter().enumerate() {
             if c.upper <= 0.0 || merged.contains(&(s, i)) {
                 continue;
@@ -265,7 +320,7 @@ fn partition_stop<S: ScoreModel>(
 /// Materialize the merged result from the global selection and the
 /// admission-order log.
 fn gather(
-    scratches: &[SearchScratch],
+    scratches: &[Option<SearchScratch>],
     merged: &[(usize, usize)],
     order_log: Vec<DocNodeId>,
     stats: SearchStats,
@@ -273,7 +328,7 @@ fn gather(
     let hits = merged
         .iter()
         .map(|&(s, i)| {
-            let c = &scratches[s].candidates.as_slice()[i];
+            let c = &scratches[s].as_ref().expect("active").candidates.as_slice()[i];
             Hit { doc: c.doc, lower: c.lower, upper: c.upper }
         })
         .collect();
@@ -402,12 +457,20 @@ mod tests {
         let (inst, users, pool) = instance();
         let engine = S3kEngine::new(&inst, SearchConfig::default());
         let partition = ComponentPartition::balanced(&inst, 3);
-        let mut scratches: Vec<SearchScratch> = (0..3).map(|_| SearchScratch::new()).collect();
+        let mut carrier = SearchScratch::new();
+        let mut scratches: Vec<Option<SearchScratch>> =
+            (0..3).map(|_| Some(SearchScratch::new())).collect();
         let mut prop = None;
         let active = vec![0usize, 1, 2];
         for q in queries(&users, &pool) {
-            let warm =
-                engine.run_partitioned_with(&q, &partition, &active, &mut scratches, &mut prop);
+            let warm = engine.run_partitioned_with(
+                &q,
+                &partition,
+                &active,
+                &mut carrier,
+                &mut scratches,
+                &mut prop,
+            );
             assert_same(&warm, &engine.run(&q));
         }
     }
@@ -432,10 +495,19 @@ mod tests {
                     })
                 })
                 .collect();
-            let mut scratches: Vec<SearchScratch> = (0..2).map(|_| SearchScratch::new()).collect();
+            // Lazy checkout contract: only relevant shards get a scratch.
+            let mut carrier = SearchScratch::new();
+            let mut scratches: Vec<Option<SearchScratch>> =
+                (0..2).map(|s| relevant.contains(&s).then(SearchScratch::new)).collect();
             let mut prop = None;
-            let merged =
-                engine.run_partitioned_with(&q, &partition, &relevant, &mut scratches, &mut prop);
+            let merged = engine.run_partitioned_with(
+                &q,
+                &partition,
+                &relevant,
+                &mut carrier,
+                &mut scratches,
+                &mut prop,
+            );
             assert_same(&merged, &engine.run(&q));
         }
     }

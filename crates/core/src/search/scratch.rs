@@ -144,15 +144,22 @@ impl SearchScratch {
         self.keywords.clear();
         self.exts.clear();
         self.smax_ext.clear();
+        if self.processed.len() < num_components {
+            self.processed.resize(num_components, false);
+        }
+        self.rewind_search();
+    }
+
+    /// Rewind the search-loop state (candidates, discovery, selection)
+    /// while keeping the query expansion (`keywords`/`exts`/`smax_ext`):
+    /// what a resume fallback needs before replaying the same query cold.
+    pub(crate) fn rewind_search(&mut self) {
         self.candidates.clear();
         self.candidate_of.clear();
         for &comp in &self.touched {
             self.processed[comp] = false;
         }
         self.touched.clear();
-        if self.processed.len() < num_components {
-            self.processed.resize(num_components, false);
-        }
         self.newly.clear();
         self.lo_parts.clear();
         self.hi_parts.clear();

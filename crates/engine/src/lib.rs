@@ -17,6 +17,11 @@
 //!   eviction counters. Changing the search configuration bumps the epoch,
 //!   so entries computed under a stale configuration can never be served —
 //!   even when an in-flight batch inserts them after the change;
+//! * a seeker-keyed warm propagation pool ([`ResumeStats`], epoch-stamped
+//!   like the cache) routes each query to a propagation already advanced
+//!   for its seeker, which the search *resumes* instead of resetting —
+//!   repeat-seeker traffic skips the explore steps already taken, with
+//!   byte-identical results;
 //! * answers are returned as `Arc<TopKResult>`: cache hits are zero-copy.
 //!
 //! Batched, cached and warm-scratch execution is result-identical to a
@@ -32,13 +37,19 @@
 mod batch;
 pub mod cache;
 pub mod shard;
+mod warm;
 
 pub use shard::{ShardRouter, ShardedEngine};
+pub use warm::ResumeStats;
 
 use batch::{EpochConfig, ResultCache};
-use s3_core::{Query, S3Instance, S3kEngine, SearchConfig, SearchScratch, TopKResult};
+use s3_core::{
+    Propagation, Query, S3Instance, S3kEngine, ScoreModel, SearchConfig, SearchScratch, TopKResult,
+    UserId,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use warm::PropPool;
 
 /// Hard ceiling on batch worker threads: absurd `EngineConfig::threads`
 /// requests clamp here (see [`EngineConfig::validated`]).
@@ -56,6 +67,13 @@ pub struct EngineConfig {
     /// Result-cache capacity in entries; 0 disables caching cleanly
     /// (every query computes, counters still track the misses).
     pub cache_capacity: usize,
+    /// Capacity of the seeker-keyed warm propagation map: how many
+    /// seekers' propagations stay parked between queries for same-seeker
+    /// resume ([`ResumeStats`]). Each warm entry holds O(|graph|) buffers,
+    /// so this stays deliberately small; 0 disables seeker affinity
+    /// (workers still resume across *consecutive* same-seeker queries
+    /// they claim, unless `search.resume` is off).
+    pub warm_seekers: usize,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +82,7 @@ impl Default for EngineConfig {
             search: SearchConfig::default(),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_capacity: 4096,
+            warm_seekers: 16,
         }
     }
 }
@@ -139,19 +158,22 @@ pub struct S3Engine {
     threads: usize,
     cache: ResultCache,
     scratch_pool: Mutex<Vec<SearchScratch>>,
+    /// Seeker-keyed warm propagations for same-seeker resume.
+    props: PropPool,
 }
 
 impl S3Engine {
     /// Build a serving engine over a shared instance. The configuration
     /// is [`EngineConfig::validated`] first.
     pub fn new(instance: Arc<S3Instance>, config: EngineConfig) -> Self {
-        let EngineConfig { search, threads, cache_capacity } = config.validated();
+        let EngineConfig { search, threads, cache_capacity, warm_seekers } = config.validated();
         S3Engine {
             instance,
             config: EpochConfig::new(search),
             threads,
             cache: ResultCache::new(cache_capacity),
             scratch_pool: Mutex::new(Vec::new()),
+            props: PropPool::new(warm_seekers),
         }
     }
 
@@ -183,6 +205,12 @@ impl S3Engine {
         self.cache.stats()
     }
 
+    /// Propagation-reuse counters (seeker-affinity hits, resumed and
+    /// fallback searches).
+    pub fn resume_stats(&self) -> ResumeStats {
+        self.props.stats()
+    }
+
     /// Answer one query (through the cache).
     pub fn query(&self, query: &Query) -> Arc<TopKResult> {
         self.run_batch_on(std::slice::from_ref(query), 1).pop().expect("one result")
@@ -201,7 +229,7 @@ impl S3Engine {
     pub fn run_batch_on(&self, queries: &[Query], threads: usize) -> Vec<Arc<TopKResult>> {
         let (search_config, epoch) = self.config.snapshot();
         self.cache.run_cached(queries, epoch, |misses| {
-            self.execute(queries, misses, &search_config, threads)
+            self.execute(queries, misses, &search_config, epoch, threads)
         })
     }
 
@@ -212,23 +240,44 @@ impl S3Engine {
         queries: &[Query],
         misses: &[usize],
         search_config: &SearchConfig,
+        epoch: u64,
         threads: usize,
     ) -> Vec<(usize, TopKResult)> {
         let workers = threads.max(1).min(misses.len());
         let cursor = AtomicUsize::new(0);
+        let gamma = search_config.score.gamma();
         batch::fan_out(workers, || {
-            // One S3k engine + propagation per worker: the Smax table is
-            // shared through the instance cache, and the propagation is
-            // reset (not rebuilt) between queries. The scratch comes from
-            // the engine's pool and returns to it afterwards.
+            // One S3k engine per worker: the Smax table is shared through
+            // the instance cache. The scratch comes from the engine's pool
+            // and returns to it afterwards. The propagation is routed by
+            // seeker: each query binds the warm state parked for its
+            // seeker (resumed by the search when possible), and the
+            // previous seeker's state is parked back.
             let engine = S3kEngine::new(&self.instance, search_config.clone());
+            let graph = self.instance.graph();
             let mut scratch = self.check_out_scratch();
-            let mut prop = None;
+            let mut prop: Option<Propagation<'_>> = None;
+            let mut prop_key = UserId(0);
             let mut out = Vec::new();
             loop {
                 let slot = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = misses.get(slot) else { break };
-                out.push((i, engine.run_with(&queries[i], &mut scratch, &mut prop)));
+                let query = &queries[i];
+                if prop.is_none() || prop_key != query.seeker {
+                    if let Some(p) = prop.take() {
+                        self.props.check_in(prop_key, epoch, p.detach());
+                    }
+                    let state = self.props.check_out(query.seeker, epoch);
+                    let seeker = self.instance.user_node(query.seeker);
+                    prop = Some(Propagation::attach(graph, gamma, seeker, state));
+                    prop_key = query.seeker;
+                }
+                let result = engine.run_with(query, &mut scratch, &mut prop);
+                self.props.note(result.stats.resume);
+                out.push((i, result));
+            }
+            if let Some(p) = prop.take() {
+                self.props.check_in(prop_key, epoch, p.detach());
             }
             self.check_in_scratch(scratch);
             out

@@ -24,15 +24,16 @@
 //! (property-tested in `tests/sharding.rs`).
 
 use crate::batch::{self, EpochConfig, ResultCache};
-use crate::{CacheStats, EngineConfig, S3Engine};
+use crate::warm::PropPool;
+use crate::{CacheStats, EngineConfig, ResumeStats, S3Engine};
 use s3_core::{
-    CompId, ComponentFilter, ComponentPartition, Query, S3Instance, S3kEngine, ScoreModel,
-    SearchConfig, TopKResult, UserId,
+    CompId, ComponentFilter, ComponentPartition, Propagation, Query, S3Instance, S3kEngine,
+    ScoreModel, SearchConfig, SearchScratch, TopKResult, UserId,
 };
 use s3_text::KeywordId;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Maps seekers, components and query keywords to shards.
 ///
@@ -155,6 +156,14 @@ pub struct ShardedEngine {
     config: EpochConfig,
     threads: usize,
     cache: ResultCache,
+    /// Pool of carrier scratches (the scatter driver's query-global
+    /// state; per-shard scratches live in each shard's own pool and are
+    /// checked out lazily, per query, for the routed shards only).
+    carriers: Mutex<Vec<SearchScratch>>,
+    /// Seeker-keyed warm propagations — one per query, shared by every
+    /// shard of its scatter, so affinity lives at the front, not per
+    /// shard.
+    props: PropPool,
 }
 
 impl ShardedEngine {
@@ -164,7 +173,7 @@ impl ShardedEngine {
     /// `component_filter` it carries is ignored (the engine installs its
     /// own per-shard filters).
     pub fn new(instance: Arc<S3Instance>, config: EngineConfig, num_shards: usize) -> Self {
-        let EngineConfig { mut search, threads, cache_capacity } = config.validated();
+        let EngineConfig { mut search, threads, cache_capacity, warm_seekers } = config.validated();
         search.component_filter = None;
         let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
         let router = ShardRouter::new(&instance, Arc::clone(&partition));
@@ -176,10 +185,12 @@ impl ShardedEngine {
                     EngineConfig {
                         search: SearchConfig { component_filter: Some(filter), ..search.clone() },
                         // The scatter is driven per query by the batch
-                        // workers; shard-local batching and caching stay
-                        // off (the front cache already covers).
+                        // workers; shard-local batching, caching and
+                        // seeker affinity stay off (the front engine
+                        // already covers all three).
                         threads: 1,
                         cache_capacity: 0,
+                        warm_seekers: 0,
                     },
                 )
             })
@@ -191,6 +202,8 @@ impl ShardedEngine {
             config: EpochConfig::new(search),
             threads,
             cache: ResultCache::new(cache_capacity),
+            carriers: Mutex::new(Vec::new()),
+            props: PropPool::new(warm_seekers),
         }
     }
 
@@ -258,6 +271,13 @@ impl ShardedEngine {
         self.cache.stats()
     }
 
+    /// Propagation-reuse counters (seeker-affinity hits, resumed and
+    /// fallback scatters). The propagation is shared by every shard of a
+    /// query's scatter, so one resume saves the explore work fleet-wide.
+    pub fn resume_stats(&self) -> ResumeStats {
+        self.props.stats()
+    }
+
     /// Answer one query (through the front cache, then the scatter).
     pub fn query(&self, query: &Query) -> Arc<TopKResult> {
         self.run_batch_on(std::slice::from_ref(query), 1).pop().expect("one result")
@@ -274,7 +294,7 @@ impl ShardedEngine {
     pub fn run_batch_on(&self, queries: &[Query], threads: usize) -> Vec<Arc<TopKResult>> {
         let (search_config, epoch) = self.config.snapshot();
         self.cache.run_cached(queries, epoch, |misses| {
-            self.scatter(queries, misses, &search_config, threads)
+            self.scatter(queries, misses, &search_config, epoch, threads)
         })
     }
 
@@ -286,17 +306,26 @@ impl ShardedEngine {
         queries: &[Query],
         misses: &[usize],
         search_config: &SearchConfig,
+        epoch: u64,
         threads: usize,
     ) -> Vec<(usize, TopKResult)> {
         let workers = threads.max(1).min(misses.len());
         let cursor = AtomicUsize::new(0);
+        let gamma = search_config.score.gamma();
         batch::fan_out(workers, || {
-            // One worker: borrow a scratch from every shard's pool, answer
-            // cursor-claimed queries via the iteration-synchronous
-            // partitioned search, return the scratches.
+            // One worker: per claimed query, check a scratch out of the
+            // pools of exactly the shards the query routes to (warm
+            // memory in use scales with scatter width, not workers ×
+            // shards), bind the propagation parked for the query's
+            // seeker, run the iteration-synchronous partitioned search,
+            // and return the shard scratches immediately.
             let engine = S3kEngine::new(&self.instance, search_config.clone());
-            let mut scratches: Vec<_> = self.shards.iter().map(|s| s.check_out_scratch()).collect();
-            let mut prop = None;
+            let graph = self.instance.graph();
+            let mut carrier = self.check_out_carrier();
+            let mut scratches: Vec<Option<SearchScratch>> =
+                self.shards.iter().map(|_| None).collect();
+            let mut prop: Option<Propagation<'_>> = None;
+            let mut prop_key = UserId(0);
             let mut active: Vec<usize> = Vec::new();
             let mut out = Vec::new();
             loop {
@@ -304,22 +333,46 @@ impl ShardedEngine {
                 let Some(&i) = misses.get(slot) else { break };
                 let q = &queries[i];
                 self.router.route_into(&self.instance, q, search_config, &mut active);
-                out.push((
-                    i,
-                    engine.run_partitioned_with(
-                        q,
-                        self.router.partition(),
-                        &active,
-                        &mut scratches,
-                        &mut prop,
-                    ),
-                ));
+                for &s in &active {
+                    scratches[s] = Some(self.shards[s].check_out_scratch());
+                }
+                if prop.is_none() || prop_key != q.seeker {
+                    if let Some(p) = prop.take() {
+                        self.props.check_in(prop_key, epoch, p.detach());
+                    }
+                    let state = self.props.check_out(q.seeker, epoch);
+                    let seeker = self.instance.user_node(q.seeker);
+                    prop = Some(Propagation::attach(graph, gamma, seeker, state));
+                    prop_key = q.seeker;
+                }
+                let result = engine.run_partitioned_with(
+                    q,
+                    self.router.partition(),
+                    &active,
+                    &mut carrier,
+                    &mut scratches,
+                    &mut prop,
+                );
+                for &s in &active {
+                    self.shards[s].check_in_scratch(scratches[s].take().expect("checked out"));
+                }
+                self.props.note(result.stats.resume);
+                out.push((i, result));
             }
-            for (shard, scratch) in self.shards.iter().zip(scratches) {
-                shard.check_in_scratch(scratch);
+            if let Some(p) = prop.take() {
+                self.props.check_in(prop_key, epoch, p.detach());
             }
+            self.check_in_carrier(carrier);
             out
         })
+    }
+
+    fn check_out_carrier(&self) -> SearchScratch {
+        self.carriers.lock().expect("carrier pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn check_in_carrier(&self, carrier: SearchScratch) {
+        self.carriers.lock().expect("carrier pool poisoned").push(carrier);
     }
 }
 

@@ -37,4 +37,4 @@ pub use component::{CompId, Components};
 pub use edge::EdgeKind;
 pub use graph::{GraphBuilder, SocialGraph};
 pub use node::{NodeId, NodeKind};
-pub use propagation::Propagation;
+pub use propagation::{Propagation, PropagationState};

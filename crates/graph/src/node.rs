@@ -7,7 +7,9 @@ use std::fmt;
 /// Dense id of a graph node. Fragment nodes of one document tree occupy a
 /// contiguous id range in pre-order (mirroring `s3_doc::Forest`), which the
 /// propagation engine exploits for vertical-neighborhood sums.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -46,19 +46,61 @@
 //! newly-reached nodes to a caller-owned buffer. The sequential explore
 //! path performs no steady-state allocation; the parallel path allocates
 //! only per-worker result buffers (amortized by the spawn cutoff).
+//!
+//! Two lifecycle refinements keep the per-query fixed cost proportional to
+//! the search extent rather than the graph:
+//!
+//! * **Sparse reset** — every write to the `x`/`acc`/`acc_nb`/`visited`
+//!   buffers is journaled (visited nodes in first-visit order, plus the
+//!   trees whose `acc_nb` ranges were refreshed), so [`Propagation::reset`]
+//!   clears only the entries a search actually touched: O(touched), not
+//!   O(|graph|).
+//! * **Resume** — the propagation depends only on (graph, γ, seeker), never
+//!   on the query, and `prox≤n` is monotone in `n`. A propagation left at
+//!   step `n` can therefore serve a later query from the same seeker by
+//!   *continuing* instead of resetting; [`Propagation::visited_journal`]
+//!   replays the discovery seeds (the concatenation of every step's
+//!   newly-visited list) and [`Propagation::frontier_closed`] restores the
+//!   driver's frontier flag. [`Propagation::detach`] /
+//!   [`Propagation::attach`] move the buffers through a graph-independent
+//!   [`PropagationState`] so a serving layer can pool warm propagations
+//!   keyed by seeker.
 
 use crate::graph::SocialGraph;
 use crate::node::{NodeId, NodeKind};
 use s3_doc::TreeId;
 
-/// Incremental all-paths proximity evaluation from one seeker.
+/// Incremental all-paths proximity evaluation from one seeker: a graph
+/// borrow over a [`PropagationState`] (the buffers detach for pooling via
+/// [`Propagation::detach`] / [`Propagation::attach`]).
 #[derive(Debug)]
 pub struct Propagation<'g> {
     graph: &'g SocialGraph,
+    s: PropagationState,
+}
+
+/// The graph-independent buffers of a [`Propagation`], detached so a
+/// serving layer can pool warm propagations without borrowing the graph.
+///
+/// A default state is empty; [`Propagation::attach`] sizes it for the
+/// graph on first use. A detached state remembers which graph and γ it
+/// was built for, so `attach` can tell a warm same-graph state (buffers
+/// and step preserved — the resume path) from a stale one (buffers
+/// recycled, propagation reseeded).
+#[derive(Debug, Default)]
+pub struct PropagationState {
+    /// Identity of the graph the buffers are sized and filled for (the
+    /// graph's address; 0 = never attached / invalidated).
+    graph_tag: usize,
     gamma: f64,
     c_gamma: f64,
+    /// `γ^n`, maintained by one multiply per step (no `powi` on the
+    /// per-candidate bound path).
+    gamma_pow: f64,
     /// Number of explore steps done so far (`n`).
     step: u32,
+    /// The node the propagation was seeded from.
+    seeker: NodeId,
     /// Border mass `x_n(v)` per node.
     x: Vec<f64>,
     /// Nodes with `x > 0`.
@@ -71,6 +113,19 @@ pub struct Propagation<'g> {
     /// `M_n`: total border mass.
     border_mass: f64,
     visited: Vec<bool>,
+    /// Did some step produce no newly-visited node? Absorbing: the visited
+    /// set can never grow again afterwards.
+    frontier_closed: bool,
+    /// Journal of visited nodes in first-visit order: the seeker, then
+    /// every step's newly-visited list. Exactly the nodes with `x`, `acc`
+    /// or `visited` writes — what [`Propagation::reset`] must clear, and
+    /// what a resumed search replays through discovery.
+    touched: Vec<u32>,
+    /// Journal of trees whose `acc_nb` range was refreshed, deduplicated
+    /// via `tree_touched`.
+    touched_trees: Vec<TreeId>,
+    /// Per-tree membership flag for `touched_trees`.
+    tree_touched: Vec<bool>,
     /// Scratch: next border mass.
     x_next: Vec<f64>,
     /// Scratch: sequential-path `(target, Δmass)` contributions.
@@ -83,6 +138,51 @@ pub struct Propagation<'g> {
     unit_singles: Vec<u32>,
     /// Scratch: per-tree prefix/suffix passes.
     tree_scratch: TreeScratch,
+}
+
+impl PropagationState {
+    /// An empty state: the first [`Propagation::attach`] allocates.
+    pub fn new() -> Self {
+        PropagationState::default()
+    }
+
+    /// Number of explore steps the detached propagation had performed.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// The seeker the detached propagation is warm for (meaningful only
+    /// after at least one attach).
+    pub fn seeker(&self) -> NodeId {
+        self.seeker
+    }
+
+    /// Does this state hold a warm propagation for `graph` at damping
+    /// `gamma` (i.e. would [`Propagation::attach`] preserve it)?
+    pub fn warm_for(&self, graph: &SocialGraph, gamma: f64) -> bool {
+        self.graph_tag == graph_tag(graph)
+            && self.gamma == gamma
+            && self.x.len() == graph.num_nodes()
+            && self.tree_touched.len() == graph.forest().num_trees()
+    }
+
+    /// Forget what this state was warm for: the next
+    /// [`Propagation::attach`] rebuilds it from scratch (reusing only the
+    /// allocations). The serving layer calls this whenever a state loses
+    /// its seeker binding or epoch stamp, so a later attach can never
+    /// silently resume work done under an invalidated configuration.
+    pub fn invalidate(&mut self) {
+        self.graph_tag = 0;
+    }
+}
+
+/// The identity tag stored in a detached state: the graph's address.
+/// Address reuse after a graph is dropped could collide, but a state is
+/// only ever re-attached by the owner that detached it (the serving
+/// layer's pool, keyed per engine), matching the `std::ptr::eq` contract
+/// the search driver already applies to reused propagations.
+fn graph_tag(graph: &SocialGraph) -> usize {
+    std::ptr::from_ref(graph) as usize
 }
 
 /// Reusable per-tree buffers for the ancestor/subtree aggregation passes.
@@ -104,60 +204,114 @@ enum Unit {
 impl<'g> Propagation<'g> {
     /// Start a propagation from `seeker` with damping `gamma > 1`.
     pub fn new(graph: &'g SocialGraph, gamma: f64, seeker: NodeId) -> Self {
+        Propagation::attach(graph, gamma, seeker, PropagationState::new())
+    }
+
+    /// Bind a detached [`PropagationState`] back to a graph. A state warm
+    /// for `(graph, gamma)` keeps its buffers and step count: if its
+    /// seeker equals `seeker` the propagation is ready to *resume*;
+    /// otherwise it is [`Self::reset`] (sparse, O(touched)). Any other
+    /// state — fresh, or from a different graph or damping — has its
+    /// buffers recycled and the propagation is seeded from scratch.
+    pub fn attach(
+        graph: &'g SocialGraph,
+        gamma: f64,
+        seeker: NodeId,
+        state: PropagationState,
+    ) -> Self {
         assert!(gamma > 1.0, "the proximity series requires γ > 1");
-        let n = graph.num_nodes();
-        let c_gamma = (gamma - 1.0) / gamma;
-        let mut engine = Propagation {
-            graph,
-            gamma,
-            c_gamma,
-            step: 0,
-            x: vec![0.0; n],
-            frontier: Vec::new(),
-            acc: vec![0.0; n],
-            acc_nb: vec![0.0; n],
-            border_mass: 1.0,
-            visited: vec![false; n],
-            x_next: vec![0.0; n],
-            emit_buf: Vec::new(),
-            frontier_next: Vec::new(),
-            unit_trees: Vec::new(),
-            unit_singles: Vec::new(),
-            tree_scratch: TreeScratch::default(),
-        };
-        engine.seed(seeker);
+        let warm = state.warm_for(graph, gamma);
+        let mut engine = Propagation { graph, s: state };
+        if warm {
+            if engine.s.seeker != seeker {
+                engine.reset(seeker);
+            }
+        } else {
+            // Stale or fresh state: size every per-node buffer for this
+            // graph (reusing capacity where the vectors are large enough)
+            // and start cold.
+            engine.s.gamma = gamma;
+            engine.s.c_gamma = (gamma - 1.0) / gamma;
+            let n = graph.num_nodes();
+            let s = &mut engine.s;
+            for buf in [&mut s.x, &mut s.x_next, &mut s.acc, &mut s.acc_nb] {
+                buf.clear();
+                buf.resize(n, 0.0);
+            }
+            s.visited.clear();
+            s.visited.resize(n, false);
+            s.tree_touched.clear();
+            s.tree_touched.resize(graph.forest().num_trees(), false);
+            s.frontier.clear();
+            s.frontier_next.clear();
+            s.touched.clear();
+            s.touched_trees.clear();
+            engine.rewind(seeker);
+        }
         engine
     }
 
-    /// Rewind to step 0 from a (possibly different) seeker, reusing every
-    /// buffer: no allocation happens, regardless of the previous search's
+    /// Detach the buffers for pooling; [`Self::attach`] restores them.
+    pub fn detach(self) -> PropagationState {
+        let mut state = self.s;
+        state.graph_tag = graph_tag(self.graph);
+        state
+    }
+
+    /// Rewind to step 0 from a (possibly different) seeker, clearing only
+    /// the journaled entries: O(touched nodes + touched tree sizes), not
+    /// O(|graph|), and no allocation regardless of the previous search's
     /// extent. Equivalent to `Propagation::new(graph, gamma, seeker)`.
     pub fn reset(&mut self, seeker: NodeId) {
-        self.step = 0;
-        self.border_mass = 1.0;
-        self.x.fill(0.0);
-        self.x_next.fill(0.0);
-        self.acc.fill(0.0);
-        self.acc_nb.fill(0.0);
-        self.visited.fill(false);
-        self.frontier.clear();
+        // `x_next` is all-zero between steps (`advance` zeroes the old
+        // border before swapping), so only the journaled buffers hold
+        // residue: x/acc/visited at visited nodes, acc_nb at visited
+        // users/tags and over every refreshed tree's full node range.
+        for &v in &self.s.touched {
+            let v = v as usize;
+            self.s.x[v] = 0.0;
+            self.s.acc[v] = 0.0;
+            self.s.acc_nb[v] = 0.0;
+            self.s.visited[v] = false;
+        }
+        self.s.touched.clear();
+        for &tree in &self.s.touched_trees {
+            let range = self.graph.tree_node_range(tree).expect("journaled tree registered");
+            self.s.acc_nb[range].fill(0.0);
+            self.s.tree_touched[tree.index()] = false;
+        }
+        self.s.touched_trees.clear();
+        self.s.frontier.clear();
+        self.rewind(seeker);
+    }
+
+    /// Reinstall the step-0 invariants and seed `seeker` (shared by
+    /// [`Self::reset`] and the cold [`Self::attach`] path; callers have
+    /// already cleared the per-node buffers and journals).
+    fn rewind(&mut self, seeker: NodeId) {
+        self.s.step = 0;
+        self.s.gamma_pow = 1.0;
+        self.s.border_mass = 1.0;
+        self.s.frontier_closed = false;
+        self.s.seeker = seeker;
         self.seed(seeker);
     }
 
     /// Install the seeker's initial mass (the empty path, prox→ = 1).
     fn seed(&mut self, seeker: NodeId) {
-        self.x[seeker.index()] = 1.0;
-        self.visited[seeker.index()] = true;
-        self.acc[seeker.index()] = self.c_gamma;
-        self.frontier.push(seeker.0);
-        let frontier = std::mem::take(&mut self.frontier);
+        self.s.x[seeker.index()] = 1.0;
+        self.s.visited[seeker.index()] = true;
+        self.s.acc[seeker.index()] = self.s.c_gamma;
+        self.s.frontier.push(seeker.0);
+        self.s.touched.push(seeker.0);
+        let frontier = std::mem::take(&mut self.s.frontier);
         self.refresh_acc_nb(&frontier);
-        self.frontier = frontier;
+        self.s.frontier = frontier;
     }
 
     /// The damping factor γ.
     pub fn gamma(&self) -> f64 {
-        self.gamma
+        self.s.gamma
     }
 
     /// The graph this propagation's buffers are sized for.
@@ -167,28 +321,57 @@ impl<'g> Propagation<'g> {
 
     /// Number of steps performed.
     pub fn iteration(&self) -> u32 {
-        self.step
+        self.s.step
+    }
+
+    /// The node this propagation was seeded from.
+    pub fn seeker(&self) -> NodeId {
+        self.s.seeker
     }
 
     /// `M_n`, the current total border mass.
     pub fn border_mass(&self) -> f64 {
-        self.border_mass
+        self.s.border_mass
     }
 
     /// Has this node ever carried border mass?
     pub fn visited(&self, node: NodeId) -> bool {
-        self.visited[node.index()]
+        self.s.visited[node.index()]
+    }
+
+    /// Every visited node in first-visit order: the seeker, then each
+    /// step's newly-visited list in turn — exactly the sequence a search
+    /// driver fed to discovery while this propagation advanced, which is
+    /// what lets a resumed same-seeker search replay discovery in the
+    /// original admission order.
+    pub fn visited_journal(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.s.touched.iter().map(|&v| NodeId(v))
+    }
+
+    /// Number of nodes the propagation has written to (the cost driver of
+    /// [`Self::reset`]).
+    pub fn touched_count(&self) -> usize {
+        self.s.touched.len()
+    }
+
+    /// Has some step produced no newly-visited node? Once true the
+    /// visited set can never grow again (closure is absorbing), so the
+    /// search's undiscovered-document threshold collapses to 0.
+    pub fn frontier_closed(&self) -> bool {
+        self.s.frontier_closed
     }
 
     /// `prox≤n(seeker, node)`: proximity over the paths explored so far.
     pub fn prox_leq(&self, node: NodeId) -> f64 {
-        self.acc_nb[node.index()]
+        self.s.acc_nb[node.index()]
     }
 
     /// `B>n`: a bound on `prox − prox≤n` valid for **every** node
-    /// simultaneously (DESIGN.md §3.2): `M_n / γ^{n+1}`.
+    /// simultaneously (DESIGN.md §3.2): `M_n / γ^{n+1}`. `γ^n` is carried
+    /// incrementally (one multiply per [`Self::step_into`]), so evaluating
+    /// the bound per candidate costs one divide, not a `powi`.
     pub fn bound_beyond(&self) -> f64 {
-        self.border_mass / self.gamma.powi(self.step as i32 + 1)
+        self.s.border_mass / (self.s.gamma_pow * self.s.gamma)
     }
 
     /// An upper bound on the full proximity to `node`.
@@ -235,7 +418,7 @@ impl<'g> Propagation<'g> {
     pub fn step_into(&mut self, threads: usize, force_parallel: bool, newly: &mut Vec<NodeId>) {
         newly.clear();
         self.collect_units();
-        let units = self.unit_trees.len() + self.unit_singles.len();
+        let units = self.s.unit_trees.len() + self.s.unit_singles.len();
         let fan_out =
             threads > 1 && units >= 2 && (force_parallel || units >= Self::PARALLEL_CUTOFF);
         if fan_out {
@@ -246,18 +429,18 @@ impl<'g> Propagation<'g> {
         } else {
             // Move the scratch out so `emit_unit` can borrow `self`
             // immutably while writing into it; hand it back afterwards.
-            let mut buf = std::mem::take(&mut self.emit_buf);
-            let mut scratch = std::mem::take(&mut self.tree_scratch);
+            let mut buf = std::mem::take(&mut self.s.emit_buf);
+            let mut scratch = std::mem::take(&mut self.s.tree_scratch);
             buf.clear();
-            for i in 0..self.unit_trees.len() {
-                self.emit_unit(Unit::Tree(self.unit_trees[i]), &mut scratch, &mut buf);
+            for i in 0..self.s.unit_trees.len() {
+                self.emit_unit(Unit::Tree(self.s.unit_trees[i]), &mut scratch, &mut buf);
             }
-            for i in 0..self.unit_singles.len() {
-                self.emit_unit(Unit::Single(self.unit_singles[i]), &mut scratch, &mut buf);
+            for i in 0..self.s.unit_singles.len() {
+                self.emit_unit(Unit::Single(self.s.unit_singles[i]), &mut scratch, &mut buf);
             }
             self.merge(&buf);
-            self.emit_buf = buf;
-            self.tree_scratch = scratch;
+            self.s.emit_buf = buf;
+            self.s.tree_scratch = scratch;
         }
         self.advance(newly);
     }
@@ -271,16 +454,16 @@ impl<'g> Propagation<'g> {
 
     /// Fill `unit_trees`/`unit_singles` with this step's emission units.
     fn collect_units(&mut self) {
-        self.unit_trees.clear();
-        self.unit_singles.clear();
-        for &v in &self.frontier {
+        self.s.unit_trees.clear();
+        self.s.unit_singles.clear();
+        for &v in &self.s.frontier {
             match self.graph.kind(NodeId(v)) {
-                NodeKind::User(_) | NodeKind::Tag(_) => self.unit_singles.push(v),
-                NodeKind::Frag(f) => self.unit_trees.push(self.graph.forest().tree_of(f)),
+                NodeKind::User(_) | NodeKind::Tag(_) => self.s.unit_singles.push(v),
+                NodeKind::Frag(f) => self.s.unit_trees.push(self.graph.forest().tree_of(f)),
             }
         }
-        self.unit_trees.sort_unstable();
-        self.unit_trees.dedup();
+        self.s.unit_trees.sort_unstable();
+        self.s.unit_trees.dedup();
     }
 
     /// Emit one unit's `(target, Δmass)` contributions into `out`.
@@ -292,7 +475,7 @@ impl<'g> Propagation<'g> {
                 if w <= 0.0 {
                     return;
                 }
-                let rho = self.x[v as usize] / w;
+                let rho = self.s.x[v as usize] / w;
                 for (target, _, ew) in self.graph.out_edges(node) {
                     out.push((target.0, rho * ew));
                 }
@@ -312,7 +495,7 @@ impl<'g> Propagation<'g> {
                     let node = base + i;
                     let w = self.graph.neighborhood_weight(NodeId(node as u32));
                     if w > 0.0 {
-                        *r = self.x[node] / w;
+                        *r = self.s.x[node] / w;
                     }
                 }
                 // emit(m) = Σ_{n : m ∈ neigh(n)} ρ(n)
@@ -356,11 +539,12 @@ impl<'g> Propagation<'g> {
     /// returns its own contribution buffer.
     fn emit_parallel(&self, threads: usize) -> Vec<Vec<(u32, f64)>> {
         let units: Vec<Unit> = self
+            .s
             .unit_trees
             .iter()
             .copied()
             .map(Unit::Tree)
-            .chain(self.unit_singles.iter().copied().map(Unit::Single))
+            .chain(self.s.unit_singles.iter().copied().map(Unit::Single))
             .collect();
         let chunk = units.len().div_ceil(threads);
         let mut results: Vec<Vec<(u32, f64)>> = Vec::with_capacity(threads);
@@ -388,10 +572,10 @@ impl<'g> Propagation<'g> {
     /// from zero to positive mass.
     fn merge(&mut self, batch: &[(u32, f64)]) {
         for &(target, dm) in batch {
-            if self.x_next[target as usize] == 0.0 && dm > 0.0 {
-                self.frontier_next.push(target);
+            if self.s.x_next[target as usize] == 0.0 && dm > 0.0 {
+                self.s.frontier_next.push(target);
             }
-            self.x_next[target as usize] += dm;
+            self.s.x_next[target as usize] += dm;
         }
     }
 
@@ -399,46 +583,49 @@ impl<'g> Propagation<'g> {
     /// `acc`, `acc_nb` and the visited set; push first-time nodes to
     /// `newly`.
     fn advance(&mut self, newly: &mut Vec<NodeId>) {
-        self.frontier_next.sort_unstable();
-        self.frontier_next.dedup();
+        self.s.frontier_next.sort_unstable();
+        self.s.frontier_next.dedup();
 
         // Swap in the new border; clear the old one.
-        for &v in &self.frontier {
-            self.x[v as usize] = 0.0;
+        for &v in &self.s.frontier {
+            self.s.x[v as usize] = 0.0;
         }
-        std::mem::swap(&mut self.x, &mut self.x_next);
-        std::mem::swap(&mut self.frontier, &mut self.frontier_next);
-        self.frontier_next.clear();
-        self.step += 1;
+        std::mem::swap(&mut self.s.x, &mut self.s.x_next);
+        std::mem::swap(&mut self.s.frontier, &mut self.s.frontier_next);
+        self.s.frontier_next.clear();
+        self.s.step += 1;
+        self.s.gamma_pow *= self.s.gamma;
 
         // Accumulate Cγ·x_n(v)/γ^n and refresh neighborhood sums.
-        let factor = self.c_gamma / self.gamma.powi(self.step as i32);
-        self.border_mass = 0.0;
-        let frontier = std::mem::take(&mut self.frontier);
+        let factor = self.s.c_gamma / self.s.gamma_pow;
+        self.s.border_mass = 0.0;
+        let frontier = std::mem::take(&mut self.s.frontier);
         for &v in &frontier {
-            let m = self.x[v as usize];
-            self.border_mass += m;
-            self.acc[v as usize] += m * factor;
-            if !self.visited[v as usize] {
-                self.visited[v as usize] = true;
+            let m = self.s.x[v as usize];
+            self.s.border_mass += m;
+            self.s.acc[v as usize] += m * factor;
+            if !self.s.visited[v as usize] {
+                self.s.visited[v as usize] = true;
+                self.s.touched.push(v);
                 newly.push(NodeId(v));
             }
         }
+        self.s.frontier_closed |= newly.is_empty();
         self.refresh_acc_nb(&frontier);
-        self.frontier = frontier;
+        self.s.frontier = frontier;
     }
 
     /// Recompute `acc_nb` for every node whose neighborhood contains a node
     /// of `touched`: users/tags affect only themselves, fragments affect
     /// their whole tree.
     fn refresh_acc_nb(&mut self, touched: &[u32]) {
-        let mut scratch = std::mem::take(&mut self.tree_scratch);
+        let mut scratch = std::mem::take(&mut self.s.tree_scratch);
         let trees = &mut scratch.trees;
         trees.clear();
         for &v in touched {
             match self.graph.kind(NodeId(v)) {
                 NodeKind::User(_) | NodeKind::Tag(_) => {
-                    self.acc_nb[v as usize] = self.acc[v as usize];
+                    self.s.acc_nb[v as usize] = self.s.acc[v as usize];
                 }
                 NodeKind::Frag(f) => trees.push(self.graph.forest().tree_of(f)),
             }
@@ -446,6 +633,10 @@ impl<'g> Propagation<'g> {
         trees.sort_unstable();
         trees.dedup();
         for &tree in trees.iter() {
+            if !self.s.tree_touched[tree.index()] {
+                self.s.tree_touched[tree.index()] = true;
+                self.s.touched_trees.push(tree);
+            }
             let range = self.graph.tree_node_range(tree).expect("registered");
             let forest = self.graph.forest();
             let first_doc = forest.tree_range(tree).start;
@@ -456,12 +647,12 @@ impl<'g> Propagation<'g> {
             anc.resize(len, 0.0);
             let sub = &mut scratch.sub;
             sub.clear();
-            sub.extend((0..len).map(|i| self.acc[base + i]));
+            sub.extend((0..len).map(|i| self.s.acc[base + i]));
             for i in 0..len {
                 let doc = s3_doc::DocNodeId((first_doc + i) as u32);
                 if let Some(p) = forest.parent(doc) {
                     let pi = p.index() - first_doc;
-                    anc[i] = anc[pi] + self.acc[base + pi];
+                    anc[i] = anc[pi] + self.s.acc[base + pi];
                 }
             }
             for i in (0..len).rev() {
@@ -472,10 +663,10 @@ impl<'g> Propagation<'g> {
                 }
             }
             for i in 0..len {
-                self.acc_nb[base + i] = anc[i] + sub[i];
+                self.s.acc_nb[base + i] = anc[i] + sub[i];
             }
         }
-        self.tree_scratch = scratch;
+        self.s.tree_scratch = scratch;
     }
 }
 
@@ -612,6 +803,114 @@ mod tests {
             }
             assert_eq!(reused.border_mass(), fresh.border_mass());
             assert_eq!(reused.bound_beyond(), fresh.bound_beyond());
+        }
+    }
+
+    #[test]
+    fn journal_is_first_visit_order() {
+        let (g, u0, u1, d) = small();
+        let mut p = Propagation::new(&g, 2.0, u0);
+        assert_eq!(p.visited_journal().collect::<Vec<_>>(), vec![u0]);
+        let newly = p.step();
+        assert_eq!(
+            p.visited_journal().collect::<Vec<_>>(),
+            std::iter::once(u0).chain(newly).collect::<Vec<_>>()
+        );
+        let before = p.touched_count();
+        p.step(); // no new nodes
+        assert_eq!(p.touched_count(), before);
+        assert_eq!(p.visited_journal().len(), 3);
+        assert!([u0, u1, d].iter().all(|&n| p.visited(n)));
+    }
+
+    #[test]
+    fn frontier_closure_is_absorbing() {
+        let (g, u0, _, _) = small();
+        let mut p = Propagation::new(&g, 1.5, u0);
+        assert!(!p.frontier_closed());
+        let mut closed_at = None;
+        for i in 0..10 {
+            let newly = p.step();
+            if p.frontier_closed() {
+                closed_at.get_or_insert(i);
+                assert!(newly.is_empty() || closed_at != Some(i));
+            } else {
+                assert!(closed_at.is_none(), "closure must be absorbing");
+            }
+        }
+        assert!(closed_at.is_some(), "a 3-node graph closes within 10 steps");
+        p.reset(u0);
+        assert!(!p.frontier_closed(), "reset reopens the frontier");
+    }
+
+    #[test]
+    fn incremental_gamma_power_matches_powi() {
+        let (g, u0, _, _) = small();
+        for gamma in [1.1, 1.5, 2.0, 3.7] {
+            let mut p = Propagation::new(&g, gamma, u0);
+            for _ in 0..40 {
+                p.step();
+                let n = p.iteration() as i32;
+                let direct = p.border_mass() / gamma.powi(n + 1);
+                let rel = if direct == 0.0 {
+                    p.bound_beyond().abs()
+                } else {
+                    ((p.bound_beyond() - direct) / direct).abs()
+                };
+                assert!(rel < 1e-12, "γ={gamma} n={n}: {} vs {direct}", p.bound_beyond());
+            }
+        }
+    }
+
+    #[test]
+    fn detach_attach_preserves_a_warm_same_seeker_propagation() {
+        let (g, u0, u1, d) = small();
+        let mut warm = Propagation::new(&g, 1.5, u0);
+        let mut cold = Propagation::new(&g, 1.5, u0);
+        for _ in 0..3 {
+            warm.step();
+            cold.step();
+        }
+        let state = warm.detach();
+        assert_eq!(state.step(), 3);
+        assert_eq!(state.seeker(), u0);
+        assert!(state.warm_for(&g, 1.5));
+        assert!(!state.warm_for(&g, 2.0), "γ mismatch must not resume");
+        let mut warm = Propagation::attach(&g, 1.5, u0, state);
+        assert_eq!(warm.iteration(), 3, "same seeker: state preserved");
+        for _ in 0..4 {
+            let a = warm.step();
+            let b = cold.step();
+            assert_eq!(a, b);
+        }
+        for node in [u0, u1, d] {
+            assert_eq!(warm.prox_leq(node), cold.prox_leq(node));
+        }
+        assert_eq!(warm.bound_beyond(), cold.bound_beyond());
+    }
+
+    #[test]
+    fn attach_with_other_seeker_or_gamma_starts_cold() {
+        let (g, u0, u1, d) = small();
+        let mut p = Propagation::new(&g, 1.5, u0);
+        for _ in 0..5 {
+            p.step();
+        }
+        // Same γ, different seeker: sparse reset inside attach.
+        let p = Propagation::attach(&g, 1.5, u1, p.detach());
+        let fresh = Propagation::new(&g, 1.5, u1);
+        assert_eq!(p.iteration(), 0);
+        for node in [u0, u1, d] {
+            assert_eq!(p.prox_leq(node), fresh.prox_leq(node));
+            assert_eq!(p.visited(node), fresh.visited(node));
+        }
+        // Different γ: buffers recycled, reseeded.
+        let p = Propagation::attach(&g, 2.0, u0, p.detach());
+        let fresh = Propagation::new(&g, 2.0, u0);
+        assert_eq!(p.iteration(), 0);
+        assert_eq!(p.bound_beyond(), fresh.bound_beyond());
+        for node in [u0, u1, d] {
+            assert_eq!(p.prox_leq(node), fresh.prox_leq(node));
         }
     }
 
