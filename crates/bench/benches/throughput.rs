@@ -25,9 +25,27 @@ use s3_text::{FrequencyClass, KeywordId};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// `BENCH_SMOKE=1` (or `--smoke`) shrinks the run to one fast iteration —
+/// CI's smoke tier executes the bench this way so runtime panics are
+/// caught without paying for a measurement-grade sweep.
+fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
 fn main() {
-    let dataset = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Tiny));
+    let smoke = smoke_mode();
+    let mut config = twitter::TwitterConfig::scaled(Scale::Tiny);
+    if smoke {
+        config.users = 50;
+        config.tweets = 300;
+        println!("[smoke mode: tiny corpus, single thread count, short streams]\n");
+    }
+    let dataset = twitter::generate(&config);
     let instance = Arc::new(dataset.instance);
+    let queries_per_workload = if smoke { 10 } else { 60 };
+    let thread_counts: &[usize] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    let stream_len = if smoke { 50 } else { 400 };
 
     // A mixed workload: rare and common keywords, 1 and 2 keywords per
     // query, k = 10 (the paper's middle result size).
@@ -40,7 +58,13 @@ fn main() {
     ] {
         let w = workload::generate(
             &instance,
-            workload::WorkloadConfig { frequency, keywords_per_query, k: 10, queries: 60, seed },
+            workload::WorkloadConfig {
+                frequency,
+                keywords_per_query,
+                k: 10,
+                queries: queries_per_workload,
+                seed,
+            },
         );
         queries.extend(w.queries.into_iter().map(|q| q.query));
     }
@@ -52,7 +76,7 @@ fn main() {
     );
 
     let mut table = Table::new(&["threads", "cold q/s", "warm q/s", "speedup", "hits", "misses"]);
-    for threads in [1usize, 2, 4, 8] {
+    for &threads in thread_counts {
         let engine = S3Engine::new(
             Arc::clone(&instance),
             EngineConfig { threads, cache_capacity: 8192, ..EngineConfig::default() },
@@ -93,7 +117,7 @@ fn main() {
     };
     let zipf = Zipf::new(instance.num_users(), 1.1);
     let mut rng = StdRng::seed_from_u64(42);
-    let stream: Vec<Query> = (0..400)
+    let stream: Vec<Query> = (0..stream_len)
         .map(|i| {
             let seeker = UserId(zipf.sample(&mut rng) as u32);
             Query::new(seeker, vec![kw_pool[i % kw_pool.len()]], 5 + (i % 3))

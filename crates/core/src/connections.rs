@@ -115,14 +115,63 @@ impl ConnectionIndex {
         comments: &[(DocNodeId, DocNodeId)],
         doc_src_node: impl Fn(DocNodeId) -> NodeId,
     ) -> Self {
+        Self::build_filtered(forest, tags, comments, doc_src_node, |_| true, |_| true, None)
+    }
+
+    /// Rebuild the index with the fixpoint restricted to a *component-closed*
+    /// scope: only in-scope documents are seeded and only in-scope tags and
+    /// comments participate, while every out-of-scope document keeps its
+    /// previous entry (cloned from `prev`). Connections never cross content
+    /// components (tags, comments and containment all stay inside one), so
+    /// when the scope is a union of components this equals a full rebuild —
+    /// at the cost of the touched components only. This is live ingestion's
+    /// `con` extension path.
+    ///
+    /// `doc_in_scope` must be component-closed (ancestors/descendants of an
+    /// in-scope fragment are in scope) and `tag_in_scope(i)` must hold
+    /// exactly for tags whose subject lies in scope; `prev` must cover every
+    /// out-of-scope document.
+    pub(crate) fn rebuilt_scoped(
+        prev: &ConnectionIndex,
+        forest: &Forest,
+        tags: &[TagInput],
+        comments: &[(DocNodeId, DocNodeId)],
+        doc_src_node: impl Fn(DocNodeId) -> NodeId,
+        doc_in_scope: impl Fn(DocNodeId) -> bool,
+        tag_in_scope: impl Fn(TagId) -> bool,
+    ) -> Self {
+        Self::build_filtered(
+            forest,
+            tags,
+            comments,
+            doc_src_node,
+            doc_in_scope,
+            tag_in_scope,
+            Some(prev),
+        )
+    }
+
+    fn build_filtered(
+        forest: &Forest,
+        tags: &[TagInput],
+        comments: &[(DocNodeId, DocNodeId)],
+        doc_src_node: impl Fn(DocNodeId) -> NodeId,
+        doc_in_scope: impl Fn(DocNodeId) -> bool,
+        tag_in_scope: impl Fn(TagId) -> bool,
+        prev: Option<&ConnectionIndex>,
+    ) -> Self {
         let n = forest.num_nodes();
         let mut doc_sets: Vec<HashSet<DocConn>> = vec![HashSet::new(); n];
         let mut tag_sets: Vec<HashSet<TagConn>> = vec![HashSet::new(); tags.len()];
 
-        // Lookup structures for the propagation rules.
+        // Lookup structures for the propagation rules (scoped tags and
+        // comments only; rules never leave a component-closed scope).
         let mut endorsements_on_frag: HashMap<DocNodeId, Vec<TagId>> = HashMap::new();
         let mut endorsements_on_tag: HashMap<TagId, Vec<TagId>> = HashMap::new();
         for (i, t) in tags.iter().enumerate() {
+            if !tag_in_scope(TagId(i as u32)) {
+                continue;
+            }
             if t.keyword.is_none() {
                 match t.subject {
                     TagSubject::Frag(f) => {
@@ -136,7 +185,9 @@ impl ConnectionIndex {
         }
         let mut comments_of_root: HashMap<DocNodeId, Vec<DocNodeId>> = HashMap::new();
         for &(root, target) in comments {
-            comments_of_root.entry(root).or_default().push(target);
+            if doc_in_scope(root) {
+                comments_of_root.entry(root).or_default().push(target);
+            }
         }
 
         let mut queue: VecDeque<(Item, DocConn, Option<TagConn>)> = VecDeque::new();
@@ -145,7 +196,7 @@ impl ConnectionIndex {
         // ancestor-or-self with itself as source.
         for idx in 0..n {
             let f = DocNodeId(idx as u32);
-            if forest.content(f).is_empty() {
+            if forest.content(f).is_empty() || !doc_in_scope(f) {
                 continue;
             }
             let kws: Vec<KeywordId> = {
@@ -167,6 +218,9 @@ impl ConnectionIndex {
 
         // Seed 2: keyword tags.
         for (i, t) in tags.iter().enumerate() {
+            if !tag_in_scope(TagId(i as u32)) {
+                continue;
+            }
             if let Some(kw) = t.keyword {
                 let origin = match t.subject {
                     TagSubject::Frag(f) => Some(f),
@@ -276,10 +330,18 @@ impl ConnectionIndex {
         }
 
         // Freeze: group per (doc, keyword), record |pos(d, f)| per tuple.
+        // Out-of-scope documents keep their previous entries verbatim.
         let mut per_doc: Vec<HashMap<KeywordId, Vec<Connection>>> = vec![HashMap::new(); n];
         let mut total = 0usize;
         for (idx, set) in doc_sets.into_iter().enumerate() {
             let d = DocNodeId(idx as u32);
+            if !doc_in_scope(d) {
+                let prev = prev.expect("scoped builds carry the previous index");
+                let entry = prev.per_doc[idx].clone();
+                total += entry.values().map(Vec::len).sum::<usize>();
+                per_doc[idx] = entry;
+                continue;
+            }
             let map = &mut per_doc[idx];
             for c in set {
                 let depth = forest

@@ -1,0 +1,730 @@
+//! Live ingestion: extending a frozen [`S3Instance`] with new data without
+//! a stop-the-world rebuild.
+//!
+//! [`InstanceBuilder::build`] freezes an instance once; the ROADMAP's
+//! north-star is a server ingesting documents, tags, social edges and users
+//! *while serving*. This module provides the instance-level half of that
+//! story (the serving half — snapshot swap, epoch-scoped cache
+//! invalidation — lives in `s3-engine`):
+//!
+//! * [`IngestBatch`] collects a batch of additions, referencing existing
+//!   entities by id and batch-local ones positionally ([`UserRef`],
+//!   [`DocRef`], [`FragRef`], [`TagRef`]);
+//! * [`InstanceBuilder::apply`] appends the batch to the retained builder
+//!   and produces a **new** [`S3Instance`] by *extending* the previous
+//!   snapshot: the forest and vocabulary grow in place (cloned, appended),
+//!   the network graph is replayed with stable node numbering and
+//!   stable component ids ([`s3_graph::Components::build_extending`]), the
+//!   saturated RDF store is `Arc`-shared, and the expensive `con(d,k)`
+//!   fixpoint reruns **only inside the touched components** — untouched
+//!   documents keep their connection entries verbatim.
+//!
+//! The correctness bar, property-tested in `crates/engine/tests/ingest.rs`:
+//! after any sequence of batches, the extended instance is
+//! query-for-query **byte-identical** to a cold
+//! [`InstanceBuilder::snapshot`] of the same final data. The key invariant
+//! is numbering: nodes are numbered by replaying the builder's
+//! insertion-order event log, so appending events never renumbers anything.
+//!
+//! # Detached deltas
+//!
+//! [`IngestSummary::detached`] classifies a batch: a *detached* delta adds
+//! no out-edge to any pre-existing graph node (social edges leave batch-new
+//! users only — social edges have no inverse; documents are posted by
+//! batch-new users or nobody; tags are authored by batch-new users on
+//! batch-new subjects; comments relate batch-new documents) and bridges no
+//! new keyword into the RDF dictionary. For such a delta every
+//! pre-existing node keeps its exact adjacency, out-weights and
+//! neighborhood weights, and nothing new is reachable from any
+//! pre-existing node — so every previously computed propagation, score and
+//! result remains exact. This is what lets the sharded serving layer scope
+//! its epoch bump to the touched shards plus the front cache, and *rebase*
+//! untouched warm propagation states onto the new graph
+//! ([`s3_graph::PropagationState::rebase`]) instead of dropping them.
+
+use crate::connections::ConnectionIndex;
+use crate::ids::{TagId, TagSubject, UserId};
+use crate::instance::{
+    build_graph, derived_social_edges, keyword_bridges, tag_inputs, tag_records, GraphParts,
+    InstanceBuilder, S3Instance,
+};
+use s3_doc::{DocBuilder, DocNodeId, LocalNodeId, TreeId};
+use s3_graph::{CompId, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// A user mentioned by a batch: one that already exists in the instance, or
+/// one the batch itself creates (by position in the batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserRef {
+    /// A user of the current instance.
+    Existing(UserId),
+    /// The `i`-th user added by this batch ([`IngestBatch::add_user`]).
+    New(usize),
+}
+
+/// A document (tree) mentioned by a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocRef {
+    /// A tree of the current instance.
+    Existing(TreeId),
+    /// The `i`-th document added by this batch
+    /// ([`IngestBatch::add_document`]).
+    New(usize),
+}
+
+/// A document fragment mentioned by a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragRef {
+    /// A fragment of the current instance.
+    Existing(DocNodeId),
+    /// A node of the `doc`-th document added by this batch.
+    New {
+        /// Batch-local document index.
+        doc: usize,
+        /// The node inside that document's builder.
+        node: LocalNodeId,
+    },
+}
+
+/// A tag mentioned by a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagRef {
+    /// A tag of the current instance.
+    Existing(TagId),
+    /// The `i`-th tag added by this batch (must precede the referencing
+    /// tag, mirroring [`InstanceBuilder::add_tag`]'s ordering rule).
+    New(usize),
+}
+
+/// What a batch tag annotates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSubjectRef {
+    /// A document fragment.
+    Frag(FragRef),
+    /// Another tag (higher-level annotation, requirement R4).
+    Tag(TagRef),
+}
+
+/// One document under construction for a batch: a [`DocBuilder`] tree shape
+/// plus raw text per node, analyzed against the live vocabulary when the
+/// batch is applied (so new terms are interned exactly as a cold build
+/// would intern them).
+#[derive(Debug, Clone)]
+pub struct IngestDoc {
+    pub(crate) builder: DocBuilder,
+    pub(crate) texts: Vec<(LocalNodeId, String)>,
+}
+
+impl IngestDoc {
+    /// Start a document whose root node has the given name.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        IngestDoc { builder: DocBuilder::new(root_name), texts: Vec::new() }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> LocalNodeId {
+        self.builder.root()
+    }
+
+    /// Append a child node under `parent`; returns its id.
+    pub fn child(&mut self, parent: LocalNodeId, name: impl Into<String>) -> LocalNodeId {
+        self.builder.child(parent, name)
+    }
+
+    /// Set the text content of a node (analyzed at apply time; calling
+    /// again replaces the node's pending text).
+    pub fn set_text(&mut self, node: LocalNodeId, text: impl Into<String>) {
+        assert!((node.0 as usize) < self.builder.len(), "unknown node");
+        self.texts.retain(|(n, _)| *n != node);
+        self.texts.push((node, text.into()));
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.builder.len()
+    }
+
+    /// A document always has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A batch of additions for [`InstanceBuilder::apply`]: users, weighted
+/// social edges, documents (with posters), comment edges and tags.
+///
+/// ```
+/// use s3_core::{IngestBatch, IngestDoc};
+///
+/// let mut batch = IngestBatch::new();
+/// let poster = batch.add_user();
+/// let mut doc = IngestDoc::new("post");
+/// doc.set_text(doc.root(), "a fresh degree");
+/// batch.add_document(doc, Some(poster));
+/// assert_eq!((batch.num_users(), batch.num_documents()), (1, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IngestBatch {
+    pub(crate) new_users: usize,
+    pub(crate) social_edges: Vec<(UserRef, UserRef, f64)>,
+    pub(crate) documents: Vec<(IngestDoc, Option<UserRef>)>,
+    pub(crate) comments: Vec<(DocRef, FragRef)>,
+    pub(crate) tags: Vec<(TagSubjectRef, UserRef, Option<String>)>,
+}
+
+impl IngestBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        IngestBatch::default()
+    }
+
+    /// Add a user; the returned reference is valid within this batch.
+    pub fn add_user(&mut self) -> UserRef {
+        self.new_users += 1;
+        UserRef::New(self.new_users - 1)
+    }
+
+    /// Add a weighted social edge `from S3:social to` (weight in `(0, 1]`).
+    pub fn add_social_edge(&mut self, from: UserRef, to: UserRef, weight: f64) {
+        self.social_edges.push((from, to, weight));
+    }
+
+    /// Add a document, optionally posted by a user.
+    pub fn add_document(&mut self, doc: IngestDoc, poster: Option<UserRef>) -> DocRef {
+        self.documents.push((doc, poster));
+        DocRef::New(self.documents.len() - 1)
+    }
+
+    /// Declare that document `comment` comments on fragment `target`.
+    pub fn add_comment(&mut self, comment: DocRef, target: FragRef) {
+        self.comments.push((comment, target));
+    }
+
+    /// Add a tag; `keyword = None` is an endorsement (like/+1/retweet).
+    /// The keyword string is interned verbatim into the vocabulary at
+    /// apply time (pass the stemmed/normalized form, as
+    /// [`InstanceBuilder::add_tag`] callers do).
+    pub fn add_tag(
+        &mut self,
+        subject: TagSubjectRef,
+        author: UserRef,
+        keyword: Option<&str>,
+    ) -> TagRef {
+        self.tags.push((subject, author, keyword.map(str::to_owned)));
+        TagRef::New(self.tags.len() - 1)
+    }
+
+    /// Users this batch creates.
+    pub fn num_users(&self) -> usize {
+        self.new_users
+    }
+
+    /// Documents this batch creates.
+    pub fn num_documents(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Tags this batch creates.
+    pub fn num_tags(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when the batch adds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.new_users == 0
+            && self.social_edges.is_empty()
+            && self.documents.is_empty()
+            && self.comments.is_empty()
+            && self.tags.is_empty()
+    }
+}
+
+/// What an [`InstanceBuilder::apply`] did: delta sizes, the delta class and
+/// the components it touched (under the new instance's stable numbering).
+#[derive(Debug, Clone)]
+pub struct IngestSummary {
+    /// Users added.
+    pub new_users: usize,
+    /// Documents (trees) added.
+    pub new_documents: usize,
+    /// Tags added.
+    pub new_tags: usize,
+    /// Graph nodes of the previous snapshot (new nodes are
+    /// `first_new_node..`).
+    pub first_new_node: usize,
+    /// Was the delta *detached* (see the module docs)? Detached deltas
+    /// leave every pre-existing propagation, score and cached result
+    /// exact, so the serving layer may scope invalidation to the touched
+    /// shards plus its front cache and rebase warm propagation state.
+    pub detached: bool,
+    /// Components that gained nodes or edges (or were merged away),
+    /// ascending. Their connection entries were recomputed.
+    pub touched_components: Vec<CompId>,
+    /// The subset of [`Self::touched_components`] that did not exist
+    /// before (ids at or beyond the previous component count).
+    pub new_components: Vec<CompId>,
+}
+
+impl InstanceBuilder {
+    /// Append `batch` to this builder and extend `prev` — which must be the
+    /// instance last built from this builder (`build`, `snapshot` or a
+    /// previous `apply`) — into a new frozen instance.
+    ///
+    /// Query results over the returned instance are byte-identical to a
+    /// cold [`InstanceBuilder::snapshot`] of the builder's (now grown)
+    /// data; only component *ids* may differ (merged-away ids stay
+    /// allocated and empty), which no query-visible output depends on.
+    ///
+    /// Panics on invalid references or weights, before mutating anything.
+    pub fn apply(&mut self, prev: &S3Instance, batch: &IngestBatch) -> (S3Instance, IngestSummary) {
+        self.validate(prev, batch);
+        let users0 = self.num_users as usize;
+        let vocab0 = self.analyzer.vocabulary().len();
+        let nodes0 = prev.graph.num_nodes();
+        let comps0 = prev.graph.components().len();
+
+        // ---- Append the batch to the builder, classifying the delta. ----
+        let new_users: Vec<UserId> = (0..batch.new_users).map(|_| self.add_user()).collect();
+        let user = |r: UserRef| match r {
+            UserRef::Existing(u) => u,
+            UserRef::New(i) => new_users[i],
+        };
+        let mut detached = true;
+        for &(from, to, w) in &batch.social_edges {
+            detached &= matches!(from, UserRef::New(_));
+            self.add_social_edge(user(from), user(to), w);
+        }
+        let mut new_trees: Vec<TreeId> = Vec::with_capacity(batch.documents.len());
+        for (doc, poster) in &batch.documents {
+            detached &= matches!(poster, None | Some(UserRef::New(_)));
+            let mut db = doc.builder.clone();
+            for (node, text) in &doc.texts {
+                let kws = self.analyzer.analyze(text);
+                db.set_content(*node, kws);
+            }
+            new_trees.push(self.add_document(db, poster.map(user)));
+        }
+        let tree = |r: DocRef| match r {
+            DocRef::Existing(t) => t,
+            DocRef::New(i) => new_trees[i],
+        };
+        let frag = |forest: &s3_doc::Forest, r: FragRef| match r {
+            FragRef::Existing(f) => f,
+            FragRef::New { doc, node } => forest.resolve(new_trees[doc], node),
+        };
+        for &(comment, target) in &batch.comments {
+            detached &= matches!(comment, DocRef::New(_)) && matches!(target, FragRef::New { .. });
+            let (c, t) = (tree(comment), frag(&self.forest, target));
+            self.add_comment_edge(c, t);
+        }
+        let tags0 = self.tags.len();
+        for (subject, author, keyword) in &batch.tags {
+            detached &= matches!(author, UserRef::New(_));
+            let subject = match *subject {
+                TagSubjectRef::Frag(f) => {
+                    detached &= matches!(f, FragRef::New { .. });
+                    TagSubject::Frag(frag(&self.forest, f))
+                }
+                TagSubjectRef::Tag(t) => {
+                    detached &= matches!(t, TagRef::New(_));
+                    TagSubject::Tag(match t {
+                        TagRef::Existing(id) => id,
+                        TagRef::New(i) => TagId((tags0 + i) as u32),
+                    })
+                }
+            };
+            let keyword = keyword.as_deref().map(|s| self.analyzer.vocabulary_mut().intern(s));
+            self.add_tag(subject, user(*author), keyword);
+        }
+        // A new vocabulary entry that matches an RDF URI bridges keyword
+        // extension to the ontology: old queries' `Ext` sets may grow, so
+        // the delta cannot be treated as detached. Only the entries this
+        // batch interned need checking.
+        for idx in vocab0..self.analyzer.vocabulary().len() {
+            let text = self.analyzer.vocabulary().text(s3_text::KeywordId(idx as u32));
+            if prev.rdf.dictionary().get(text).is_some() {
+                detached = false;
+                break;
+            }
+        }
+
+        // ---- Extend the graph: stable node numbering, stable comp ids. ----
+        let mut social_all = self.social_edges.clone();
+        social_all.extend(derived_social_edges(&prev.rdf, &self.user_uris, &social_all));
+        let GraphParts { graph, user_nodes, tag_nodes, poster_of, comment_pairs } = build_graph(
+            &self.events,
+            self.forest.clone(),
+            &social_all,
+            &self.posters,
+            &self.comments,
+            &self.tags,
+            Some(prev.graph.components()),
+        );
+        debug_assert_eq!(graph.num_nodes(), nodes0 + (graph.num_nodes() - nodes0));
+        debug_assert!(user_nodes[..users0].iter().zip(&prev.user_nodes).all(|(a, b)| a == b));
+
+        // ---- Touched components: every component holding a new node,
+        // plus old ids merged away (their entries must empty out). ----
+        let comps = graph.components();
+        let mut touched: Vec<CompId> =
+            (nodes0..graph.num_nodes()).map(|i| comps.component_of(NodeId(i as u32))).collect();
+        for c in 0..comps0 {
+            let c = CompId(c as u32);
+            if comps.members(c).is_empty() && !prev.graph.components().members(c).is_empty() {
+                touched.push(c);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let mut comp_touched = vec![false; comps.len()];
+        for &c in &touched {
+            comp_touched[c.index()] = true;
+        }
+        let new_components: Vec<CompId> =
+            touched.iter().copied().filter(|c| c.index() >= comps0).collect();
+
+        // ---- Extend the con index: rerun the fixpoint inside the touched
+        // components only; untouched documents keep their entries. ----
+        let inputs = tag_inputs(&self.tags, &user_nodes);
+        let comp_of_frag =
+            |d: DocNodeId| comps.component_of(graph.node_of_frag(d).expect("registered"));
+        let conn_index = ConnectionIndex::rebuilt_scoped(
+            &prev.conn_index,
+            graph.forest(),
+            &inputs,
+            &comment_pairs,
+            |d| graph.node_of_frag(d).expect("registered"),
+            |d| comp_touched[comp_of_frag(d).index()],
+            |t| comp_touched[comps.component_of(tag_nodes[t.index()]).index()],
+        );
+
+        // ---- Extend the per-component keyword sets. ----
+        let mut comp_keywords: Vec<HashSet<_>> = Vec::with_capacity(comps.len());
+        for c in comps.iter() {
+            if c.index() < comps0 && !comp_touched[c.index()] {
+                comp_keywords.push(prev.comp_keywords[c.index()].clone());
+            } else {
+                let mut kws = HashSet::new();
+                for &node in comps.members(c) {
+                    if let Some(d) = graph.frag_of_node(node) {
+                        kws.extend(conn_index.keywords_of(d));
+                    }
+                }
+                comp_keywords.push(kws);
+            }
+        }
+
+        // ---- Extend the keyword ↔ URI bridge over the new vocabulary. ----
+        let vocabulary = self.analyzer.vocabulary().clone();
+        let mut kw_to_uri = prev.kw_to_uri.clone();
+        let mut uri_to_kw = prev.uri_to_kw.clone();
+        keyword_bridges(&vocabulary, &prev.rdf, vocab0, &mut kw_to_uri, &mut uri_to_kw);
+
+        let instance = S3Instance {
+            language: self.analyzer.language(),
+            vocabulary,
+            rdf: Arc::clone(&prev.rdf),
+            graph,
+            tag_records: tag_records(&self.tags, &tag_nodes),
+            user_nodes,
+            poster_of,
+            comment_pairs,
+            conn_index,
+            comp_keywords,
+            kw_to_uri,
+            uri_to_kw,
+            ext_cache: Mutex::new(HashMap::new()),
+            smax_cache: Mutex::new(HashMap::new()),
+        };
+        let summary = IngestSummary {
+            new_users: batch.new_users,
+            new_documents: batch.documents.len(),
+            new_tags: batch.tags.len(),
+            first_new_node: nodes0,
+            detached,
+            touched_components: touched,
+            new_components,
+        };
+        (instance, summary)
+    }
+
+    /// Check every reference and weight of `batch` against the current
+    /// builder state, before anything is mutated.
+    fn validate(&self, prev: &S3Instance, batch: &IngestBatch) {
+        assert_eq!(
+            prev.graph.num_nodes(),
+            self.num_users as usize + self.forest.num_nodes() + self.tags.len(),
+            "`prev` must be the instance last built from this builder"
+        );
+        assert!(
+            !self.rdf_dirty.get(),
+            "the RDF layer changed since the last snapshot; apply() shares the previous \
+             snapshot's saturated store and would drop those changes — take a fresh \
+             snapshot() (full rebuild) first"
+        );
+        let users = self.num_users as usize;
+        let check_user = |r: UserRef| match r {
+            UserRef::Existing(u) => assert!(u.index() < users, "unknown user {u}"),
+            UserRef::New(i) => assert!(i < batch.new_users, "batch user {i} out of range"),
+        };
+        let check_doc = |r: DocRef| match r {
+            DocRef::Existing(t) => {
+                assert!(t.index() < self.forest.num_trees(), "unknown tree {t:?}")
+            }
+            DocRef::New(i) => assert!(i < batch.documents.len(), "batch doc {i} out of range"),
+        };
+        let check_frag = |r: FragRef| match r {
+            FragRef::Existing(f) => {
+                assert!(f.index() < self.forest.num_nodes(), "unknown fragment {f}")
+            }
+            FragRef::New { doc, node } => {
+                assert!(doc < batch.documents.len(), "batch doc {doc} out of range");
+                assert!(
+                    (node.0 as usize) < batch.documents[doc].0.len(),
+                    "node {node:?} outside batch doc {doc}"
+                );
+            }
+        };
+        for &(from, to, w) in &batch.social_edges {
+            assert!(w > 0.0 && w <= 1.0, "social weight must be in (0,1]");
+            check_user(from);
+            check_user(to);
+        }
+        for (_, poster) in &batch.documents {
+            if let Some(p) = poster {
+                check_user(*p);
+            }
+        }
+        for &(comment, target) in &batch.comments {
+            check_doc(comment);
+            check_frag(target);
+        }
+        for (i, (subject, author, _)) in batch.tags.iter().enumerate() {
+            check_user(*author);
+            match *subject {
+                TagSubjectRef::Frag(f) => check_frag(f),
+                TagSubjectRef::Tag(TagRef::Existing(t)) => {
+                    assert!(t.index() < self.tags.len(), "unknown tag {t}")
+                }
+                TagSubjectRef::Tag(TagRef::New(j)) => {
+                    assert!(j < i, "tag subjects must already exist (batch tag {j} after {i})")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{Query, SearchConfig};
+    use s3_text::Language;
+
+    fn base() -> (InstanceBuilder, UserId, S3Instance) {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u0 = b.add_user();
+        let seeker = b.add_user();
+        b.add_social_edge(seeker, u0, 1.0);
+        let kws = b.analyze("universities give degrees");
+        let mut doc = DocBuilder::new("post");
+        doc.set_content(doc.root(), kws);
+        b.add_document(doc, Some(u0));
+        let prev = b.snapshot();
+        (b, seeker, prev)
+    }
+
+    fn all_queries(inst: &S3Instance, text: &str) -> Vec<Query> {
+        let kws = inst.query_keywords(text);
+        (0..inst.num_users()).map(|u| Query::new(UserId(u as u32), kws.clone(), 4)).collect()
+    }
+
+    fn assert_matches_cold(builder: &InstanceBuilder, live: &S3Instance, text: &str) {
+        let cold = builder.snapshot();
+        let config = SearchConfig::default();
+        for (ql, qc) in all_queries(live, text).iter().zip(all_queries(&cold, text).iter()) {
+            let a = live.search(ql, &config);
+            let b = cold.search(qc, &config);
+            assert_eq!(a.hits, b.hits, "live vs cold hits for {ql:?}");
+            assert_eq!(a.candidate_docs, b.candidate_docs);
+            assert_eq!(a.stats.stop, b.stats.stop);
+            assert_eq!(a.stats.iterations, b.stats.iterations);
+        }
+    }
+
+    #[test]
+    fn detached_batch_is_classified_and_exact() {
+        let (mut b, _, prev) = base();
+        let mut batch = IngestBatch::new();
+        let poster = batch.add_user();
+        let fan = batch.add_user();
+        batch.add_social_edge(fan, poster, 0.9);
+        batch.add_social_edge(fan, UserRef::Existing(UserId(0)), 0.4);
+        let mut doc = IngestDoc::new("post");
+        doc.set_text(doc.root(), "degrees in the rust language");
+        let d = batch.add_document(doc, Some(poster));
+        let t = batch.add_tag(
+            TagSubjectRef::Frag(FragRef::New { doc: 0, node: LocalNodeId(0) }),
+            fan,
+            Some("degre"),
+        );
+        batch.add_tag(TagSubjectRef::Tag(t), fan, None);
+        let mut reply = IngestDoc::new("reply");
+        reply.set_text(reply.root(), "congratulations");
+        let r = batch.add_document(reply, Some(fan));
+        batch.add_comment(r, FragRef::New { doc: 0, node: LocalNodeId(0) });
+        let _ = d;
+
+        let (live, summary) = b.apply(&prev, &batch);
+        assert!(summary.detached, "nothing points at a pre-existing node");
+        assert_eq!(summary.new_users, 2);
+        assert_eq!(summary.new_documents, 2);
+        assert_eq!(summary.first_new_node, prev.graph().num_nodes());
+        assert!(!summary.new_components.is_empty());
+        assert_eq!(summary.touched_components, summary.new_components);
+        assert_matches_cold(&b, &live, "degrees");
+    }
+
+    #[test]
+    fn attached_batch_touches_the_old_component_and_stays_exact() {
+        let (mut b, seeker, prev) = base();
+        let old_root = prev.forest().root(TreeId(0));
+        let old_comp =
+            prev.graph().components().component_of(prev.graph().node_of_frag(old_root).unwrap());
+
+        let mut batch = IngestBatch::new();
+        let fan = batch.add_user();
+        batch.add_social_edge(UserRef::Existing(seeker), fan, 0.7);
+        batch.add_tag(
+            TagSubjectRef::Frag(FragRef::Existing(old_root)),
+            UserRef::Existing(seeker),
+            Some("univers"),
+        );
+        let mut reply = IngestDoc::new("reply");
+        reply.set_text(reply.root(), "universities matter");
+        let r = batch.add_document(reply, Some(UserRef::Existing(seeker)));
+        batch.add_comment(r, FragRef::Existing(old_root));
+
+        let (live, summary) = b.apply(&prev, &batch);
+        assert!(!summary.detached, "old nodes gained edges");
+        assert!(
+            summary.touched_components.contains(&old_comp),
+            "the annotated component must be recomputed"
+        );
+        assert_matches_cold(&b, &live, "universities");
+        // The old document gained tag + comment connections.
+        let kws = live.query_keywords("universities");
+        let res = live.search(&Query::new(seeker, kws, 3), &SearchConfig::default());
+        assert!(!res.hits.is_empty());
+    }
+
+    #[test]
+    fn batches_compose_across_applies() {
+        let (mut b, seeker, prev) = base();
+        let mut live = prev;
+        for round in 0..3 {
+            let mut batch = IngestBatch::new();
+            let u = batch.add_user();
+            batch.add_social_edge(u, UserRef::Existing(seeker), 0.8);
+            let mut doc = IngestDoc::new("post");
+            doc.set_text(doc.root(), format!("degrees round {round}"));
+            batch.add_document(doc, Some(u));
+            let (next, _) = b.apply(&live, &batch);
+            live = next;
+            assert_matches_cold(&b, &live, "degrees");
+        }
+        assert_eq!(live.num_users(), 5);
+        assert_eq!(live.num_documents(), 4);
+    }
+
+    #[test]
+    fn merging_two_old_components_keeps_results_exact() {
+        let mut b = InstanceBuilder::new(Language::English);
+        let u = b.add_user();
+        let seeker = b.add_user();
+        b.add_social_edge(seeker, u, 1.0);
+        for text in ["rust degrees", "java degrees"] {
+            let kws = b.analyze(text);
+            let mut doc = DocBuilder::new("post");
+            doc.set_content(doc.root(), kws);
+            b.add_document(doc, Some(u));
+        }
+        let prev = b.snapshot();
+        let comps0 = prev.graph().components().len();
+
+        // A new comment bridging the two previously-separate documents.
+        let mut batch = IngestBatch::new();
+        let mut bridge = IngestDoc::new("bridge");
+        bridge.set_text(bridge.root(), "both languages give degrees");
+        let r = batch.add_document(bridge, None);
+        batch.add_comment(r, FragRef::Existing(prev.forest().root(TreeId(0))));
+        batch.add_comment(r, FragRef::Existing(prev.forest().root(TreeId(1))));
+
+        let (live, summary) = b.apply(&prev, &batch);
+        assert!(!summary.detached);
+        let comps = live.graph().components();
+        assert!(comps.len() > comps0 || comps.iter().any(|c| comps.members(c).is_empty()));
+        // One of the two old components merged away and empties out.
+        let dead: Vec<CompId> = (0..comps0)
+            .map(|c| CompId(c as u32))
+            .filter(|&c| comps.members(c).is_empty())
+            .collect();
+        assert_eq!(dead.len(), 1, "exactly one old component merged away");
+        assert!(summary.touched_components.contains(&dead[0]));
+        assert_matches_cold(&b, &live, "degrees");
+    }
+
+    #[test]
+    fn empty_batch_is_a_detached_noop() {
+        let (mut b, _, prev) = base();
+        let nodes = prev.graph().num_nodes();
+        let (live, summary) = b.apply(&prev, &IngestBatch::new());
+        assert!(summary.detached);
+        assert!(summary.touched_components.is_empty());
+        assert_eq!(live.graph().num_nodes(), nodes);
+        assert_matches_cold(&b, &live, "degrees");
+    }
+
+    #[test]
+    #[should_panic(expected = "RDF layer changed since the last snapshot")]
+    fn rdf_mutation_between_snapshot_and_apply_is_refused() {
+        let (mut b, _, prev) = base();
+        b.rdf_mut().insert_str("ex:a", "ex:p", "ex:b");
+        b.apply(&prev, &IngestBatch::new());
+    }
+
+    #[test]
+    fn rdf_mutation_followed_by_fresh_snapshot_applies_fine() {
+        let (mut b, _, _) = base();
+        b.rdf_mut().insert_str("ex:a", "ex:p", "ex:b");
+        let prev = b.snapshot();
+        let (live, _) = b.apply(&prev, &IngestBatch::new());
+        assert_eq!(live.num_users(), prev.num_users());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown user")]
+    fn bad_reference_panics_before_mutation() {
+        let (mut b, _, prev) = base();
+        let mut batch = IngestBatch::new();
+        batch.add_social_edge(UserRef::Existing(UserId(99)), UserRef::Existing(UserId(0)), 0.5);
+        b.apply(&prev, &batch);
+    }
+
+    #[test]
+    fn validation_failure_leaves_the_builder_unchanged() {
+        let (mut b, _, prev) = base();
+        let users = b.num_users();
+        let mut batch = IngestBatch::new();
+        let u = batch.add_user();
+        batch.add_social_edge(u, UserRef::Existing(UserId(99)), 0.5);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.apply(&prev, &batch);
+        }));
+        assert!(result.is_err());
+        assert_eq!(b.num_users(), users, "validation precedes mutation");
+        // The builder still works.
+        let (live, _) = b.apply(&prev, &IngestBatch::new());
+        assert_eq!(live.num_users(), users);
+    }
+}

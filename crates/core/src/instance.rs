@@ -12,28 +12,56 @@ use std::sync::{Arc, Mutex};
 
 /// Construction-time record of a tag.
 #[derive(Debug, Clone, Copy)]
-struct PendingTag {
-    subject: TagSubject,
-    author: UserId,
-    keyword: Option<KeywordId>,
+pub(crate) struct PendingTag {
+    pub(crate) subject: TagSubject,
+    pub(crate) author: UserId,
+    pub(crate) keyword: Option<KeywordId>,
 }
 
-/// Mutable S3 instance under construction. The build order mirrors the
-/// paper's data model: users + social edges (§2.2), documents (§2.3), tags
-/// and comments (§2.4), RDF schema (§2.1) — then [`InstanceBuilder::build`]
-/// freezes everything and derives the network graph, the saturation, the
-/// `con` index and the component keyword sets.
+/// One entity-creation event, in insertion order. Graph nodes are numbered
+/// by replaying this log, so an instance extended incrementally (live
+/// ingestion appends events) numbers its nodes exactly like a cold
+/// [`InstanceBuilder::build`] of the same final data — the invariant behind
+/// the live engine's byte-identity guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BuildEvent {
+    /// `add_user` (users are numbered in event order).
+    User,
+    /// `add_document` (trees are numbered in event order).
+    Tree,
+    /// `add_tag` (tags are numbered in event order).
+    Tag,
+}
+
+/// Mutable S3 instance under construction, following the paper's data
+/// model: users + social edges (§2.2), documents (§2.3), tags and comments
+/// (§2.4), RDF schema (§2.1) — then [`InstanceBuilder::build`] freezes
+/// everything and derives the network graph, the saturation, the `con`
+/// index and the component keyword sets.
+///
+/// For live serving the builder is *retained* instead of consumed:
+/// [`InstanceBuilder::snapshot`] freezes the current data without giving
+/// the builder up, and [`InstanceBuilder::apply`] (see [`crate::ingest`])
+/// extends a previous snapshot with an [`crate::IngestBatch`] — appending
+/// to, not rebuilding, the forest, vocabulary, graph and connection index.
 #[derive(Debug)]
 pub struct InstanceBuilder {
-    analyzer: Analyzer,
-    rdf: TripleStore,
-    forest: Forest,
-    num_users: u32,
-    user_uris: HashMap<UriId, UserId>,
-    social_edges: Vec<(UserId, UserId, f64)>,
-    posters: Vec<(TreeId, UserId)>,
-    comments: Vec<(TreeId, DocNodeId)>,
-    tags: Vec<PendingTag>,
+    pub(crate) analyzer: Analyzer,
+    pub(crate) rdf: TripleStore,
+    pub(crate) forest: Forest,
+    pub(crate) num_users: u32,
+    pub(crate) user_uris: HashMap<UriId, UserId>,
+    pub(crate) social_edges: Vec<(UserId, UserId, f64)>,
+    pub(crate) posters: Vec<(TreeId, UserId)>,
+    pub(crate) comments: Vec<(TreeId, DocNodeId)>,
+    pub(crate) tags: Vec<PendingTag>,
+    pub(crate) events: Vec<BuildEvent>,
+    /// Has the RDF layer (store or dictionary) been touched since the
+    /// last [`InstanceBuilder::snapshot`]? [`InstanceBuilder::apply`]
+    /// `Arc`-shares the previous snapshot's saturated store, so schema
+    /// changes require a fresh snapshot — apply refuses to silently drop
+    /// them. A `Cell` because `snapshot(&self)` clears it.
+    pub(crate) rdf_dirty: std::cell::Cell<bool>,
 }
 
 impl InstanceBuilder {
@@ -49,6 +77,8 @@ impl InstanceBuilder {
             posters: Vec::new(),
             comments: Vec::new(),
             tags: Vec::new(),
+            events: Vec::new(),
+            rdf_dirty: std::cell::Cell::new(false),
         }
     }
 
@@ -62,14 +92,18 @@ impl InstanceBuilder {
         &mut self.analyzer
     }
 
-    /// The RDF store, for schema and knowledge-base triples.
+    /// The RDF store, for schema and knowledge-base triples. Marks the
+    /// RDF layer dirty: a later [`Self::apply`] needs a fresh
+    /// [`Self::snapshot`] first (see [`crate::ingest`]).
     pub fn rdf_mut(&mut self) -> &mut TripleStore {
+        self.rdf_dirty.set(true);
         &mut self.rdf
     }
 
     /// Intern a keyword that is a URI (entity mention) and bridge it to the
     /// RDF dictionary, so keyword extension can see it. Returns the keyword.
     pub fn intern_entity_keyword(&mut self, uri: &str) -> KeywordId {
+        self.rdf_dirty.set(true);
         self.rdf.dictionary_mut().intern(uri);
         self.analyzer.vocabulary_mut().intern(uri)
     }
@@ -78,6 +112,7 @@ impl InstanceBuilder {
     pub fn add_user(&mut self) -> UserId {
         let id = UserId(self.num_users);
         self.num_users += 1;
+        self.events.push(BuildEvent::User);
         id
     }
 
@@ -89,6 +124,7 @@ impl InstanceBuilder {
     /// [`s3_rdf::Rule`] (§2.2 "Extensibility") — becomes a social edge.
     pub fn add_user_with_uri(&mut self, uri: &str) -> UserId {
         let id = self.add_user();
+        self.rdf_dirty.set(true);
         let u = self.rdf.dictionary_mut().intern(uri);
         self.rdf.insert(u, s3_rdf::vocabulary::RDF_TYPE, s3_rdf::Term::Uri(voc_user()), 1.0);
         self.user_uris.insert(u, id);
@@ -112,6 +148,7 @@ impl InstanceBuilder {
     /// (`d S3:postedBy u`).
     pub fn add_document(&mut self, doc: DocBuilder, poster: Option<UserId>) -> TreeId {
         let tree = self.forest.add_document(doc);
+        self.events.push(BuildEvent::Tree);
         if let Some(u) = poster {
             assert!(u.0 < self.num_users, "unknown poster");
             self.posters.push((tree, u));
@@ -151,6 +188,7 @@ impl InstanceBuilder {
         }
         let id = TagId(self.tags.len() as u32);
         self.tags.push(PendingTag { subject, author, keyword });
+        self.events.push(BuildEvent::Tag);
         id
     }
 
@@ -179,134 +217,260 @@ impl InstanceBuilder {
             analyzer,
             mut rdf,
             forest,
-            num_users,
+            num_users: _,
             user_uris,
-            mut social_edges,
+            social_edges,
             posters,
             comments,
             tags,
+            events,
+            rdf_dirty: _,
         } = self;
         rdf.saturate();
-
-        // §2.2 extensibility: S3:social triples between registered user
-        // URIs (direct or derived through ≺sp by the saturation above)
-        // materialize as social edges.
-        if !user_uris.is_empty() {
-            let mut seen: std::collections::HashSet<(UserId, UserId)> =
-                social_edges.iter().map(|&(a, b, _)| (a, b)).collect();
-            for t in rdf.with_property(s3_rdf::vocabulary::S3_SOCIAL) {
-                let (Some(&a), Some(b)) = (
-                    user_uris.get(&t.triple.s),
-                    t.triple.o.as_uri().and_then(|o| user_uris.get(&o)).copied(),
-                ) else {
-                    continue;
-                };
-                if a != b && t.weight > 0.0 && seen.insert((a, b)) {
-                    social_edges.push((a, b, t.weight.min(1.0)));
-                }
-            }
-        }
         let language = analyzer.language();
         let vocabulary = analyzer.into_vocabulary();
-
-        // Graph: users, then all trees (contiguous in pre-order), then tags.
-        let mut gb = GraphBuilder::new(forest);
-        let user_nodes: Vec<NodeId> = (0..num_users).map(|_| gb.add_user()).collect();
-        for tree in gb.forest().trees().collect::<Vec<_>>() {
-            gb.register_tree(tree);
-        }
-        let tag_nodes: Vec<NodeId> = (0..tags.len()).map(|_| gb.add_tag()).collect();
-
-        for (from, to, w) in social_edges {
-            gb.add_edge(user_nodes[from.index()], user_nodes[to.index()], EdgeKind::Social, w);
-        }
-        let mut poster_of: HashMap<TreeId, UserId> = HashMap::new();
-        for (tree, u) in posters {
-            let root = gb.forest().root(tree);
-            let root_node = gb.node_of_frag(root).expect("registered");
-            gb.add_edge(root_node, user_nodes[u.index()], EdgeKind::PostedBy, 1.0);
-            poster_of.insert(tree, u);
-        }
-        let mut comment_pairs: Vec<(DocNodeId, DocNodeId)> = Vec::new();
-        for (tree, target) in comments {
-            let root = gb.forest().root(tree);
-            let root_node = gb.node_of_frag(root).expect("registered");
-            let target_node = gb.node_of_frag(target).expect("registered");
-            gb.add_edge(root_node, target_node, EdgeKind::CommentsOn, 1.0);
-            comment_pairs.push((root, target));
-        }
-        for (i, t) in tags.iter().enumerate() {
-            let tag_node = tag_nodes[i];
-            let subject_node = match t.subject {
-                TagSubject::Frag(f) => gb.node_of_frag(f).expect("registered"),
-                TagSubject::Tag(b) => tag_nodes[b.index()],
-            };
-            gb.add_edge(tag_node, subject_node, EdgeKind::HasSubject, 1.0);
-            gb.add_edge(tag_node, user_nodes[t.author.index()], EdgeKind::HasAuthor, 1.0);
-        }
-        let graph = gb.build();
-
-        // Connection index (seeker-independent).
-        let tag_inputs: Vec<TagInput> = tags
-            .iter()
-            .map(|t| TagInput {
-                subject: t.subject,
-                author_node: user_nodes[t.author.index()],
-                keyword: t.keyword,
-            })
-            .collect();
-        let conn_index = ConnectionIndex::build(graph.forest(), &tag_inputs, &comment_pairs, |d| {
-            graph.node_of_frag(d).expect("registered")
-        });
-
-        // Keyword ↔ URI bridge (entity mentions are interned in both).
-        let mut kw_to_uri: HashMap<KeywordId, UriId> = HashMap::new();
-        let mut uri_to_kw: HashMap<UriId, KeywordId> = HashMap::new();
-        for (kw, text, _) in vocabulary.iter() {
-            if let Some(uri) = rdf.dictionary().get(text) {
-                kw_to_uri.insert(kw, uri);
-                uri_to_kw.insert(uri, kw);
-            }
-        }
-
-        // Component → keyword sets (the §5.2 pruning test "each keyword is
-        // present in every component").
-        let mut comp_keywords: Vec<HashSet<KeywordId>> =
-            vec![HashSet::new(); graph.components().len()];
-        for idx in 0..graph.forest().num_nodes() {
-            let d = DocNodeId(idx as u32);
-            let node = graph.node_of_frag(d).expect("registered");
-            let comp = graph.components().component_of(node);
-            comp_keywords[comp.index()].extend(conn_index.keywords_of(d));
-        }
-
-        let tag_records: Vec<TagRecord> = tags
-            .iter()
-            .enumerate()
-            .map(|(i, t)| TagRecord {
-                node: tag_nodes[i],
-                subject: t.subject,
-                author: t.author,
-                keyword: t.keyword,
-            })
-            .collect();
-
-        S3Instance {
+        freeze(
             language,
             vocabulary,
             rdf,
-            graph,
-            user_nodes,
-            tag_records,
-            poster_of,
-            comment_pairs,
-            conn_index,
-            comp_keywords,
-            kw_to_uri,
-            uri_to_kw,
-            ext_cache: Mutex::new(HashMap::new()),
-            smax_cache: Mutex::new(HashMap::new()),
+            forest,
+            user_uris,
+            social_edges,
+            posters,
+            comments,
+            tags,
+            events,
+        )
+    }
+
+    /// [`Self::build`] without consuming the builder: freezes a snapshot of
+    /// the current data (cloning it) and leaves the builder free to keep
+    /// growing. This is the cold-rebuild reference the live-ingestion
+    /// property tests compare against, and the initial snapshot of a live
+    /// engine.
+    pub fn snapshot(&self) -> S3Instance {
+        self.rdf_dirty.set(false);
+        let mut rdf = self.rdf.clone();
+        rdf.saturate();
+        freeze(
+            self.analyzer.language(),
+            self.analyzer.vocabulary().clone(),
+            rdf,
+            self.forest.clone(),
+            self.user_uris.clone(),
+            self.social_edges.clone(),
+            self.posters.clone(),
+            self.comments.clone(),
+            self.tags.clone(),
+            self.events.clone(),
+        )
+    }
+}
+
+/// §2.2 extensibility: `S3:social` triples between registered user URIs
+/// (direct, or derived through `≺sp` by saturation) materialize as social
+/// edges, deduplicated against the explicit ones (which win) and each
+/// other. Deterministic in the store's triple order, so an incremental
+/// rebuild derives the same list a cold build would.
+pub(crate) fn derived_social_edges(
+    rdf: &TripleStore,
+    user_uris: &HashMap<UriId, UserId>,
+    explicit: &[(UserId, UserId, f64)],
+) -> Vec<(UserId, UserId, f64)> {
+    if user_uris.is_empty() {
+        return Vec::new();
+    }
+    let mut seen: HashSet<(UserId, UserId)> = explicit.iter().map(|&(a, b, _)| (a, b)).collect();
+    let mut out = Vec::new();
+    for t in rdf.with_property(s3_rdf::vocabulary::S3_SOCIAL) {
+        let (Some(&a), Some(b)) = (
+            user_uris.get(&t.triple.s),
+            t.triple.o.as_uri().and_then(|o| user_uris.get(&o)).copied(),
+        ) else {
+            continue;
+        };
+        if a != b && t.weight > 0.0 && seen.insert((a, b)) {
+            out.push((a, b, t.weight.min(1.0)));
         }
+    }
+    out
+}
+
+/// The frozen network graph plus the node tables derived while wiring it.
+pub(crate) struct GraphParts {
+    pub(crate) graph: SocialGraph,
+    pub(crate) user_nodes: Vec<NodeId>,
+    pub(crate) tag_nodes: Vec<NodeId>,
+    pub(crate) poster_of: HashMap<TreeId, UserId>,
+    pub(crate) comment_pairs: Vec<(DocNodeId, DocNodeId)>,
+}
+
+/// Build the network graph by replaying the entity-creation event log
+/// (nodes are numbered in insertion order — each tree's fragments stay
+/// contiguous in pre-order) and then adding edges grouped by kind in
+/// raw-list order. Replaying base events plus delta events yields the same
+/// node numbering and edge order a cold build of the final data produces —
+/// the determinism the live engine's byte-identity rests on.
+/// `prev_comps` selects stable component ids (the incremental path).
+pub(crate) fn build_graph(
+    events: &[BuildEvent],
+    forest: Forest,
+    social_edges: &[(UserId, UserId, f64)],
+    posters: &[(TreeId, UserId)],
+    comments: &[(TreeId, DocNodeId)],
+    tags: &[PendingTag],
+    prev_comps: Option<&s3_graph::Components>,
+) -> GraphParts {
+    let mut gb = GraphBuilder::new(forest);
+    let mut user_nodes: Vec<NodeId> = Vec::new();
+    let mut tag_nodes: Vec<NodeId> = Vec::new();
+    let mut next_tree = 0u32;
+    for ev in events {
+        match ev {
+            BuildEvent::User => user_nodes.push(gb.add_user()),
+            BuildEvent::Tree => {
+                gb.register_tree(TreeId(next_tree));
+                next_tree += 1;
+            }
+            BuildEvent::Tag => tag_nodes.push(gb.add_tag()),
+        }
+    }
+
+    for &(from, to, w) in social_edges {
+        gb.add_edge(user_nodes[from.index()], user_nodes[to.index()], EdgeKind::Social, w);
+    }
+    let mut poster_of: HashMap<TreeId, UserId> = HashMap::new();
+    for &(tree, u) in posters {
+        let root = gb.forest().root(tree);
+        let root_node = gb.node_of_frag(root).expect("registered");
+        gb.add_edge(root_node, user_nodes[u.index()], EdgeKind::PostedBy, 1.0);
+        poster_of.insert(tree, u);
+    }
+    let mut comment_pairs: Vec<(DocNodeId, DocNodeId)> = Vec::new();
+    for &(tree, target) in comments {
+        let root = gb.forest().root(tree);
+        let root_node = gb.node_of_frag(root).expect("registered");
+        let target_node = gb.node_of_frag(target).expect("registered");
+        gb.add_edge(root_node, target_node, EdgeKind::CommentsOn, 1.0);
+        comment_pairs.push((root, target));
+    }
+    for (i, t) in tags.iter().enumerate() {
+        let tag_node = tag_nodes[i];
+        let subject_node = match t.subject {
+            TagSubject::Frag(f) => gb.node_of_frag(f).expect("registered"),
+            TagSubject::Tag(b) => tag_nodes[b.index()],
+        };
+        gb.add_edge(tag_node, subject_node, EdgeKind::HasSubject, 1.0);
+        gb.add_edge(tag_node, user_nodes[t.author.index()], EdgeKind::HasAuthor, 1.0);
+    }
+    let graph = match prev_comps {
+        Some(prev) => gb.build_extending(prev),
+        None => gb.build(),
+    };
+    GraphParts { graph, user_nodes, tag_nodes, poster_of, comment_pairs }
+}
+
+/// The `con`-index inputs of the stored tags.
+pub(crate) fn tag_inputs(tags: &[PendingTag], user_nodes: &[NodeId]) -> Vec<TagInput> {
+    tags.iter()
+        .map(|t| TagInput {
+            subject: t.subject,
+            author_node: user_nodes[t.author.index()],
+            keyword: t.keyword,
+        })
+        .collect()
+}
+
+/// The keyword ↔ URI bridge for vocabulary entries `from_kw..` (entity
+/// mentions are interned in both the vocabulary and the RDF dictionary).
+pub(crate) fn keyword_bridges(
+    vocabulary: &Vocabulary,
+    rdf: &TripleStore,
+    from_kw: usize,
+    kw_to_uri: &mut HashMap<KeywordId, UriId>,
+    uri_to_kw: &mut HashMap<UriId, KeywordId>,
+) {
+    for idx in from_kw..vocabulary.len() {
+        let kw = KeywordId(idx as u32);
+        if let Some(uri) = rdf.dictionary().get(vocabulary.text(kw)) {
+            kw_to_uri.insert(kw, uri);
+            uri_to_kw.insert(uri, kw);
+        }
+    }
+}
+
+/// The frozen tags as [`TagRecord`]s.
+pub(crate) fn tag_records(tags: &[PendingTag], tag_nodes: &[NodeId]) -> Vec<TagRecord> {
+    tags.iter()
+        .enumerate()
+        .map(|(i, t)| TagRecord {
+            node: tag_nodes[i],
+            subject: t.subject,
+            author: t.author,
+            keyword: t.keyword,
+        })
+        .collect()
+}
+
+/// The full cold freeze shared by [`InstanceBuilder::build`] and
+/// [`InstanceBuilder::snapshot`]: derive rdf-asserted social edges, replay
+/// the graph, run the `con` fixpoint over everything, bridge keywords.
+/// `rdf` must already be saturated.
+#[allow(clippy::too_many_arguments)] // one caller-pair, builder-shaped data
+fn freeze(
+    language: Language,
+    vocabulary: Vocabulary,
+    rdf: TripleStore,
+    forest: Forest,
+    user_uris: HashMap<UriId, UserId>,
+    mut social_edges: Vec<(UserId, UserId, f64)>,
+    posters: Vec<(TreeId, UserId)>,
+    comments: Vec<(TreeId, DocNodeId)>,
+    tags: Vec<PendingTag>,
+    events: Vec<BuildEvent>,
+) -> S3Instance {
+    social_edges.extend(derived_social_edges(&rdf, &user_uris, &social_edges));
+    let GraphParts { graph, user_nodes, tag_nodes, poster_of, comment_pairs } =
+        build_graph(&events, forest, &social_edges, &posters, &comments, &tags, None);
+
+    // Connection index (seeker-independent).
+    let inputs = tag_inputs(&tags, &user_nodes);
+    let conn_index = ConnectionIndex::build(graph.forest(), &inputs, &comment_pairs, |d| {
+        graph.node_of_frag(d).expect("registered")
+    });
+
+    // Keyword ↔ URI bridge (entity mentions are interned in both).
+    let mut kw_to_uri: HashMap<KeywordId, UriId> = HashMap::new();
+    let mut uri_to_kw: HashMap<UriId, KeywordId> = HashMap::new();
+    keyword_bridges(&vocabulary, &rdf, 0, &mut kw_to_uri, &mut uri_to_kw);
+
+    // Component → keyword sets (the §5.2 pruning test "each keyword is
+    // present in every component").
+    let mut comp_keywords: Vec<HashSet<KeywordId>> = vec![HashSet::new(); graph.components().len()];
+    for idx in 0..graph.forest().num_nodes() {
+        let d = DocNodeId(idx as u32);
+        let node = graph.node_of_frag(d).expect("registered");
+        let comp = graph.components().component_of(node);
+        comp_keywords[comp.index()].extend(conn_index.keywords_of(d));
+    }
+
+    let tag_records = tag_records(&tags, &tag_nodes);
+
+    S3Instance {
+        language,
+        vocabulary,
+        rdf: Arc::new(rdf),
+        graph,
+        user_nodes,
+        tag_records,
+        poster_of,
+        comment_pairs,
+        conn_index,
+        comp_keywords,
+        kw_to_uri,
+        uri_to_kw,
+        ext_cache: Mutex::new(HashMap::new()),
+        smax_cache: Mutex::new(HashMap::new()),
     }
 }
 
@@ -333,20 +497,22 @@ pub struct TagRecord {
 /// Frozen, query-ready S3 instance.
 #[derive(Debug)]
 pub struct S3Instance {
-    language: Language,
-    vocabulary: Vocabulary,
-    rdf: TripleStore,
-    graph: SocialGraph,
-    user_nodes: Vec<NodeId>,
-    tag_records: Vec<TagRecord>,
-    poster_of: HashMap<TreeId, UserId>,
-    comment_pairs: Vec<(DocNodeId, DocNodeId)>,
-    conn_index: ConnectionIndex,
-    comp_keywords: Vec<HashSet<KeywordId>>,
-    kw_to_uri: HashMap<KeywordId, UriId>,
-    uri_to_kw: HashMap<UriId, KeywordId>,
-    ext_cache: Mutex<HashMap<KeywordId, Arc<Vec<KeywordId>>>>,
-    smax_cache: SmaxCache,
+    pub(crate) language: Language,
+    pub(crate) vocabulary: Vocabulary,
+    /// Saturated; `Arc`-shared so an incremental snapshot whose batch
+    /// carries no schema change reuses the store instead of cloning it.
+    pub(crate) rdf: Arc<TripleStore>,
+    pub(crate) graph: SocialGraph,
+    pub(crate) user_nodes: Vec<NodeId>,
+    pub(crate) tag_records: Vec<TagRecord>,
+    pub(crate) poster_of: HashMap<TreeId, UserId>,
+    pub(crate) comment_pairs: Vec<(DocNodeId, DocNodeId)>,
+    pub(crate) conn_index: ConnectionIndex,
+    pub(crate) comp_keywords: Vec<HashSet<KeywordId>>,
+    pub(crate) kw_to_uri: HashMap<KeywordId, UriId>,
+    pub(crate) uri_to_kw: HashMap<UriId, KeywordId>,
+    pub(crate) ext_cache: Mutex<HashMap<KeywordId, Arc<Vec<KeywordId>>>>,
+    pub(crate) smax_cache: SmaxCache,
 }
 
 impl S3Instance {

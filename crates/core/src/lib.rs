@@ -47,6 +47,7 @@
 pub mod connections;
 pub mod export;
 pub mod ids;
+pub mod ingest;
 pub mod instance;
 pub mod oracle;
 pub mod partition;
@@ -59,6 +60,9 @@ pub use connections::{ConnType, Connection, ConnectionIndex};
 // layer's seeker-keyed warm propagation pool); re-exported so layers
 // above `core` need not reach into `s3-graph`.
 pub use ids::{TagId, TagSubject, UserId};
+pub use ingest::{
+    DocRef, FragRef, IngestBatch, IngestDoc, IngestSummary, TagRef, TagSubjectRef, UserRef,
+};
 pub use instance::{InstanceBuilder, InstanceStats, S3Instance};
 pub use partition::{ComponentFilter, ComponentPartition};
 pub use s3_graph::CompId;

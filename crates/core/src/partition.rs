@@ -56,6 +56,47 @@ impl ComponentPartition {
         ComponentPartition { shard_of, doc_counts, comp_counts }
     }
 
+    /// Extend this partition to cover `instance`'s (grown) component set
+    /// without moving anything that already had a home: previously-assigned
+    /// components keep their shard (a component merged away during
+    /// ingestion stays allocated, empty, wherever it was), and each
+    /// brand-new component is placed largest-document-count first on the
+    /// currently lightest shard — the same LPT greedy as
+    /// [`Self::balanced`], applied only to the newcomers. Per-shard
+    /// document counts are refreshed from the instance.
+    ///
+    /// This is live ingestion's routing step: untouched shards keep their
+    /// exact universe, so their caches and warm state stay valid.
+    pub fn extended(&self, instance: &S3Instance) -> Self {
+        let graph = instance.graph();
+        let components = graph.components();
+        let num_shards = self.num_shards();
+        assert!(components.len() >= self.shard_of.len(), "components never disappear");
+
+        let mut shard_of = self.shard_of.clone();
+        let mut doc_counts = vec![0usize; num_shards];
+        let mut comp_counts = vec![0usize; num_shards];
+        for (idx, &s) in shard_of.iter().enumerate() {
+            doc_counts[s as usize] += graph.component_doc_count(CompId(idx as u32));
+            comp_counts[s as usize] += 1;
+        }
+
+        let mut sized: Vec<(usize, CompId)> = (self.shard_of.len()..components.len())
+            .map(|i| CompId(i as u32))
+            .map(|c| (graph.component_doc_count(c), c))
+            .collect();
+        sized.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        shard_of.resize(components.len(), 0);
+        for (docs, comp) in sized {
+            let lightest =
+                (0..num_shards).min_by_key(|&s| (doc_counts[s], s)).expect("at least one shard");
+            shard_of[comp.index()] = lightest as u32;
+            doc_counts[lightest] += docs;
+            comp_counts[lightest] += 1;
+        }
+        ComponentPartition { shard_of, doc_counts, comp_counts }
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.doc_counts.len()

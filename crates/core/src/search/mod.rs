@@ -32,11 +32,11 @@
 //! One query is a loop over four stages, each in its own module and each
 //! operating on a caller-provided [`SearchScratch`]:
 //!
-//! 1. [`expand`] — keyword dedup + `Ext` expansion + answerability
+//! 1. `expand` — keyword dedup + `Ext` expansion + answerability
 //!    (runs once, before the loop);
-//! 2. [`discover`] — component discovery and candidate maintenance;
-//! 3. [`bounds`] — score-interval refresh and the undiscovered threshold;
-//! 4. [`stop`] — greedy selection and the certified stop test.
+//! 2. `discover` — component discovery and candidate maintenance;
+//! 3. `bounds` — score-interval refresh and the undiscovered threshold;
+//! 4. `stop` — greedy selection and the certified stop test.
 //!
 //! The scratch (and the [`s3_graph::Propagation`], via
 //! [`s3_graph::Propagation::reset`]) is reused across queries: repeat

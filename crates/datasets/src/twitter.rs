@@ -130,6 +130,15 @@ pub struct TwitterDataset {
 
 /// Generate the Twitter-like instance.
 pub fn generate(config: &TwitterConfig) -> TwitterDataset {
+    let (b, meta, ontology) = generate_builder(config);
+    TwitterDataset { instance: b.build(), meta, ontology }
+}
+
+/// [`generate`], stopping before the freeze: the populated
+/// [`InstanceBuilder`] is returned instead of a frozen instance, so a
+/// live engine (`s3-engine`'s `LiveEngine` / `LiveShardedEngine`) can
+/// retain it and keep ingesting on top of the generated corpus.
+pub fn generate_builder(config: &TwitterConfig) -> (InstanceBuilder, TwitterMeta, Ontology) {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut b = InstanceBuilder::new(Language::English);
     let ontology = Ontology::install(&config.ontology, &mut b);
@@ -292,7 +301,7 @@ pub fn generate(config: &TwitterConfig) -> TwitterDataset {
         originals.push((root, 0));
     }
 
-    TwitterDataset { instance: b.build(), meta, ontology }
+    (b, meta, ontology)
 }
 
 #[cfg(test)]

@@ -8,7 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use s3_core::{Query, S3Instance, UserId};
+use s3_core::{
+    DocRef, FragRef, IngestBatch, IngestDoc, Query, S3Instance, TagSubjectRef, UserId, UserRef,
+};
+use s3_doc::DocNodeId;
 use s3_text::{FrequencyClass, KeywordId};
 
 /// Parameters of one workload.
@@ -163,6 +166,208 @@ pub fn extension_growth(instance: &S3Instance, workloads: &[Workload]) -> f64 {
     }
 }
 
+/// Stem-stable word pool the live-update generator writes and queries with
+/// (the English stemmer leaves these unchanged, so generated query texts
+/// land on generated document keywords).
+const LIVE_WORDS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "lambda", "theta", "zeta",
+    "epsilon", "omicron",
+];
+
+/// Parameters of a replayable live-update workload: a sequence of
+/// [`IngestBatch`]es interleaved with query specs, generated against a
+/// growing view of the instance (later batches may reference entities
+/// earlier batches created).
+#[derive(Debug, Clone, Copy)]
+pub struct LiveWorkloadConfig {
+    /// Ingest steps to generate.
+    pub batches: usize,
+    /// New users per batch.
+    pub users_per_batch: usize,
+    /// New documents per batch.
+    pub docs_per_batch: usize,
+    /// New tags per batch.
+    pub tags_per_batch: usize,
+    /// New comment edges per batch.
+    pub comments_per_batch: usize,
+    /// Query specs per step.
+    pub queries_per_batch: usize,
+    /// Result size per query.
+    pub k: usize,
+    /// Probability that a batch element points at pre-existing data
+    /// (social edge from an existing user, tag/comment on an existing
+    /// document). `0.0` generates only *detached* batches — the class the
+    /// sharded live engine scopes its invalidation for.
+    pub attach_probability: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for LiveWorkloadConfig {
+    fn default() -> Self {
+        LiveWorkloadConfig {
+            batches: 4,
+            users_per_batch: 2,
+            docs_per_batch: 3,
+            tags_per_batch: 2,
+            comments_per_batch: 1,
+            queries_per_batch: 8,
+            k: 5,
+            attach_probability: 0.3,
+            seed: 0x11FE,
+        }
+    }
+}
+
+/// One query of a live workload, as a spec: the text is resolved against
+/// whichever snapshot is current when the step replays
+/// (`S3Instance::query_keywords`), so the same workload drives a live
+/// engine and its cold-rebuild reference identically.
+#[derive(Debug, Clone)]
+pub struct LiveQuerySpec {
+    /// The seeker (guaranteed to exist once the step's batch applied).
+    pub seeker: UserId,
+    /// Query text.
+    pub text: String,
+    /// Result size.
+    pub k: usize,
+}
+
+/// One step of a live workload: ingest `batch`, then run `queries`.
+#[derive(Debug, Clone)]
+pub struct LiveStep {
+    /// The batch to ingest.
+    pub batch: IngestBatch,
+    /// Queries to run after the ingest (seekers may be batch-new users).
+    pub queries: Vec<LiveQuerySpec>,
+}
+
+/// Generate a replayable update workload against `instance` (the state the
+/// first batch applies to). Deterministic per configuration.
+pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<LiveStep> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut num_users = instance.num_users();
+    let mut next_node = instance.forest().num_nodes() as u32;
+    let forest = instance.forest();
+    let mut roots: Vec<DocNodeId> = forest.trees().map(|t| forest.root(t)).collect();
+
+    let mut steps = Vec::with_capacity(config.batches);
+    for _ in 0..config.batches {
+        let mut batch = IngestBatch::new();
+        let attach =
+            |rng: &mut StdRng, ok: bool| ok && rng.gen_bool(config.attach_probability.min(1.0));
+        let new_users: Vec<UserRef> =
+            (0..config.users_per_batch.max(1)).map(|_| batch.add_user()).collect();
+        let any_user = |rng: &mut StdRng, batch_users: &[UserRef]| {
+            batch_users[rng.gen_range(0..batch_users.len())]
+        };
+        // Social edges: every new user follows someone.
+        for &u in &new_users {
+            let to = if attach(&mut rng, num_users > 0) {
+                UserRef::Existing(UserId(rng.gen_range(0..num_users) as u32))
+            } else {
+                any_user(&mut rng, &new_users)
+            };
+            if to != u {
+                batch.add_social_edge(u, to, rng.gen_range(0.1..=1.0));
+            }
+            if attach(&mut rng, num_users > 0) {
+                // An existing user follows back: an *attached* edge (the
+                // delta now touches a pre-existing node).
+                let from = UserId(rng.gen_range(0..num_users) as u32);
+                batch.add_social_edge(UserRef::Existing(from), u, rng.gen_range(0.1..=1.0));
+            }
+        }
+        // Documents.
+        let mut batch_docs: Vec<DocRef> = Vec::new();
+        let mut batch_doc_lens: Vec<usize> = Vec::new();
+        for _ in 0..config.docs_per_batch {
+            let mut doc = IngestDoc::new("post");
+            let words: Vec<&str> =
+                (0..rng.gen_range(2..=5)).map(|_| LIVE_WORDS[zipf_word(&mut rng)]).collect();
+            doc.set_text(doc.root(), words.join(" "));
+            if rng.gen_bool(0.4) {
+                let child = doc.child(doc.root(), "detail");
+                doc.set_text(child, LIVE_WORDS[zipf_word(&mut rng)]);
+            }
+            let poster = if attach(&mut rng, num_users > 0) {
+                Some(UserRef::Existing(UserId(rng.gen_range(0..num_users) as u32)))
+            } else if rng.gen_bool(0.85) {
+                Some(any_user(&mut rng, &new_users))
+            } else {
+                None
+            };
+            batch_doc_lens.push(doc.len());
+            batch_docs.push(batch.add_document(doc, poster));
+        }
+        // Comments: batch docs commenting on earlier batch docs or
+        // existing roots.
+        for _ in 0..config.comments_per_batch {
+            if batch_docs.is_empty() {
+                break;
+            }
+            let (ci, target) = if attach(&mut rng, !roots.is_empty()) {
+                let ci = rng.gen_range(0..batch_docs.len());
+                (ci, FragRef::Existing(roots[rng.gen_range(0..roots.len())]))
+            } else if batch_docs.len() >= 2 {
+                // A comment among the batch's own documents keeps the
+                // delta detached.
+                let ci = rng.gen_range(1..batch_docs.len());
+                (ci, FragRef::New { doc: rng.gen_range(0..ci), node: s3_doc::LocalNodeId(0) })
+            } else {
+                continue;
+            };
+            batch.add_comment(batch_docs[ci], target);
+        }
+        // Tags: keyword tags and endorsements, on batch or existing docs.
+        for _ in 0..config.tags_per_batch {
+            let subject = if attach(&mut rng, !roots.is_empty()) || batch_docs.is_empty() {
+                if roots.is_empty() {
+                    continue;
+                }
+                TagSubjectRef::Frag(FragRef::Existing(roots[rng.gen_range(0..roots.len())]))
+            } else {
+                TagSubjectRef::Frag(FragRef::New {
+                    doc: rng.gen_range(0..batch_docs.len()),
+                    node: s3_doc::LocalNodeId(0),
+                })
+            };
+            let author = if attach(&mut rng, num_users > 0) {
+                UserRef::Existing(UserId(rng.gen_range(0..num_users) as u32))
+            } else {
+                any_user(&mut rng, &new_users)
+            };
+            let keyword = rng.gen_bool(0.7).then(|| LIVE_WORDS[zipf_word(&mut rng)]);
+            batch.add_tag(subject, author, keyword);
+        }
+
+        // Advance the generator's view of the instance.
+        num_users += batch.num_users();
+        for len in batch_doc_lens {
+            roots.push(DocNodeId(next_node));
+            next_node += len as u32;
+        }
+
+        // Queries over the post-ingest population.
+        let queries = (0..config.queries_per_batch)
+            .map(|_| LiveQuerySpec {
+                seeker: UserId(rng.gen_range(0..num_users.max(1)) as u32),
+                text: LIVE_WORDS[zipf_word(&mut rng)].to_string(),
+                k: config.k,
+            })
+            .collect();
+        steps.push(LiveStep { batch, queries });
+    }
+    steps
+}
+
+/// Zipf-ish index into [`LIVE_WORDS`]: low indices dominate, so query
+/// streams repeat enough for caches to matter.
+fn zipf_word(rng: &mut StdRng) -> usize {
+    let r: f64 = rng.gen_range(0.0..1.0);
+    ((LIVE_WORDS.len() as f64).powf(r) - 1.0) as usize % LIVE_WORDS.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +448,51 @@ mod tests {
         let ws = paper_workloads(&inst, 10);
         let g = extension_growth(&inst, &ws);
         assert!(g >= 0.0);
+    }
+
+    #[test]
+    fn live_workload_is_deterministic_and_valid() {
+        let inst = instance();
+        let config = LiveWorkloadConfig { batches: 3, seed: 9, ..LiveWorkloadConfig::default() };
+        let a = live_workload(&inst, &config);
+        let b = live_workload(&inst, &config);
+        assert_eq!(a.len(), 3);
+        let mut users = inst.num_users();
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.batch.num_users(), sb.batch.num_users());
+            assert_eq!(sa.batch.num_documents(), sb.batch.num_documents());
+            assert!(!sa.batch.is_empty());
+            users += sa.batch.num_users();
+            for (qa, qb) in sa.queries.iter().zip(&sb.queries) {
+                assert_eq!(qa.text, qb.text);
+                assert_eq!(qa.seeker, qb.seeker);
+                assert!(qa.seeker.index() < users, "seekers exist after the step's ingest");
+            }
+        }
+    }
+
+    #[test]
+    fn detached_only_workload_applies_detached() {
+        let config = LiveWorkloadConfig {
+            batches: 3,
+            attach_probability: 0.0,
+            seed: 4,
+            ..LiveWorkloadConfig::default()
+        };
+        // Replay through a fresh builder: every batch must classify as
+        // detached and apply cleanly.
+        let mut b = s3_core::InstanceBuilder::new(s3_text::Language::English);
+        let u = b.add_user();
+        let kws = b.analyze("alpha beta");
+        let mut doc = s3_doc::DocBuilder::new("post");
+        doc.set_content(doc.root(), kws);
+        b.add_document(doc, Some(u));
+        let mut prev = b.snapshot();
+        for step in live_workload(&prev, &config) {
+            let (next, summary) = b.apply(&prev, &step.batch);
+            assert!(summary.detached, "attach_probability 0 must yield detached batches");
+            prev = next;
+        }
     }
 
     #[test]

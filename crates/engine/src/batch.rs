@@ -28,7 +28,16 @@ pub(crate) struct EpochConfig {
 
 impl EpochConfig {
     pub(crate) fn new(search: SearchConfig) -> Self {
-        EpochConfig { inner: RwLock::new((search, 0)) }
+        EpochConfig::new_at(search, 0)
+    }
+
+    /// A config line starting at an explicit epoch — how a live-ingestion
+    /// successor engine continues (and advances) its predecessor's line
+    /// without *sharing* it: a reader pinning the old engine can then
+    /// never observe the new epoch, so it can never insert a stale result
+    /// under a servable key.
+    pub(crate) fn new_at(search: SearchConfig, epoch: u64) -> Self {
+        EpochConfig { inner: RwLock::new((search, epoch)) }
     }
 
     /// The configuration and its epoch, snapshotted together (what a
@@ -109,6 +118,7 @@ pub(crate) struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl ResultCache {
@@ -118,6 +128,7 @@ impl ResultCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -126,8 +137,26 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
             entries: self.cache.as_ref().map_or(0, |c| c.lock().expect("cache poisoned").len()),
         }
+    }
+
+    /// Drop every entry (they were computed under an epoch that just got
+    /// bumped and could never be served again) and count them as
+    /// invalidated. Returns how many were dropped. An in-flight batch may
+    /// still insert stale-epoch entries afterwards; their keys never match
+    /// a post-bump lookup, and LRU pressure retires them.
+    pub(crate) fn invalidate(&self) -> u64 {
+        let Some(cache) = &self.cache else { return 0 };
+        let dropped = {
+            let mut cache = cache.lock().expect("cache poisoned");
+            let n = cache.len() as u64;
+            cache.clear();
+            n
+        };
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
     }
 
     /// Look `key` up, counting a hit or a miss.

@@ -36,9 +36,11 @@
 
 mod batch;
 pub mod cache;
+pub mod live;
 pub mod shard;
 mod warm;
 
+pub use live::{IngestReport, InvalidationScope, LiveEngine, LiveShardedEngine};
 pub use shard::{ShardRouter, ShardedEngine};
 pub use warm::ResumeStats;
 
@@ -109,6 +111,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+    /// Entries dropped by an explicit epoch-bump invalidation (a search
+    /// configuration change, or a live-ingestion snapshot swap whose
+    /// delta reached this cache's scope). Scoped ingestion leaves
+    /// untouched shards' caches out of this count — the observable behind
+    /// the shard-local invalidation claim.
+    pub invalidated: u64,
     /// Current number of cached results.
     pub entries: usize,
 }
@@ -153,13 +161,15 @@ impl CacheStats {
 /// ```
 pub struct S3Engine {
     instance: Arc<S3Instance>,
-    /// Search config + epoch, snapshotted per batch.
-    config: EpochConfig,
+    /// Search config + epoch, snapshotted per batch. `Arc`-shared with a
+    /// live engine's successors so the one epoch line survives snapshot
+    /// swaps.
+    config: Arc<EpochConfig>,
     threads: usize,
-    cache: ResultCache,
-    scratch_pool: Mutex<Vec<SearchScratch>>,
+    cache: Arc<ResultCache>,
+    scratch_pool: Arc<Mutex<Vec<SearchScratch>>>,
     /// Seeker-keyed warm propagations for same-seeker resume.
-    props: PropPool,
+    props: Arc<PropPool>,
 }
 
 impl S3Engine {
@@ -169,12 +179,45 @@ impl S3Engine {
         let EngineConfig { search, threads, cache_capacity, warm_seekers } = config.validated();
         S3Engine {
             instance,
-            config: EpochConfig::new(search),
+            config: Arc::new(EpochConfig::new(search)),
             threads,
-            cache: ResultCache::new(cache_capacity),
-            scratch_pool: Mutex::new(Vec::new()),
-            props: PropPool::new(warm_seekers),
+            cache: Arc::new(ResultCache::new(cache_capacity)),
+            scratch_pool: Arc::new(Mutex::new(Vec::new())),
+            props: Arc::new(PropPool::new(warm_seekers)),
         }
+    }
+
+    /// An engine over `instance` that *shares* this engine's cache, warm
+    /// pools and scratch pool — the live-ingestion successor: in-flight
+    /// queries keep the old engine (and its snapshot) alive, new queries
+    /// see the new one, and the warm state carries across because it is
+    /// the same state. The configuration/epoch line is **carried
+    /// forward, not shared**: the successor gets its own `EpochConfig`
+    /// at the predecessor's current value (`+1` when `bump`), so a
+    /// reader still pinning the old engine can only ever stamp cache
+    /// insertions with the *old* epoch — it can never poison a key the
+    /// new engine would serve. The caller is responsible for cache
+    /// purges / warm-pool migration matching the bump it requested.
+    pub(crate) fn succeed(&self, instance: Arc<S3Instance>, bump: bool) -> S3Engine {
+        let (search, epoch) = self.config.snapshot();
+        S3Engine {
+            instance,
+            config: Arc::new(EpochConfig::new_at(search, epoch + u64::from(bump))),
+            threads: self.threads,
+            cache: Arc::clone(&self.cache),
+            scratch_pool: Arc::clone(&self.scratch_pool),
+            props: Arc::clone(&self.props),
+        }
+    }
+
+    /// The shared warm pool (live-ingestion migration hook).
+    pub(crate) fn prop_pool(&self) -> &Arc<PropPool> {
+        &self.props
+    }
+
+    /// The shared result cache (live-ingestion invalidation hook).
+    pub(crate) fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.cache
     }
 
     /// The shared instance.
@@ -195,9 +238,13 @@ impl S3Engine {
     /// Replace the search configuration, bumping the epoch: results cached
     /// under the previous configuration can no longer be served (in-flight
     /// batches may still insert stale-epoch entries; their keys never match
-    /// a post-change lookup, and LRU pressure retires them).
+    /// a post-change lookup, and LRU pressure retires them). The now
+    /// unservable cache entries and warm propagations are dropped and
+    /// counted ([`CacheStats::invalidated`], [`ResumeStats::invalidated`]).
     pub fn set_search_config(&self, search: SearchConfig) {
         self.config.replace(search);
+        self.cache.invalidate();
+        self.props.invalidate_all();
     }
 
     /// Cache effectiveness counters.

@@ -1,0 +1,561 @@
+//! Live serving: ingest while queries run, behind an atomically swapped
+//! snapshot — no stop-the-world rebuild.
+//!
+//! [`LiveEngine`] (and [`LiveShardedEngine`]) wrap the frozen-snapshot
+//! engines behind an `RwLock<Arc<…>>` snapshot pointer: a query clones the
+//! current `Arc` and runs entirely against that snapshot; an ingest builds
+//! the next snapshot **off** the serving path (via
+//! [`InstanceBuilder::apply`], which extends — not rebuilds — the
+//! instance) and publishes it with one pointer swap. In-flight queries
+//! keep their snapshot alive; new queries see the new one. Successor
+//! engines share the predecessor's result cache and warm propagation
+//! pool ([`crate::S3Engine`]'s internals are `Arc`-shared), so warm
+//! state persists *across* swaps and is governed purely by epochs — and
+//! each generation carries its **own** epoch line (advanced, never
+//! shared), so a reader still pinning an old generation can only stamp
+//! old epochs into the shared cache, never a key the new one serves.
+//!
+//! # Epoch scoping
+//!
+//! Every ingest classifies its delta ([`IngestSummary::detached`]):
+//!
+//! * a **detached** delta (nothing points at a pre-existing node) leaves
+//!   every previously computed propagation, score and result exact. The
+//!   sharded engine then bumps only the **touched shards** (those
+//!   receiving the new document components, placed least-loaded-first by
+//!   [`s3_core::ComponentPartition::extended`]) **plus the front cache**;
+//!   untouched shards keep their result-cache entries and have their warm
+//!   propagation states *rebased* onto the appended graph
+//!   ([`s3_graph::PropagationState::rebase`]) instead of dropped.
+//! * anything else — a social edge from an existing user, a tag or
+//!   comment on existing content, a new keyword bridging into the
+//!   ontology — may change scores reachable through the modified nodes,
+//!   so the bump is **global**: every shard and the front.
+//!
+//! The [`IngestReport`] makes the scoping observable: which scope was
+//! chosen, how many cached results and warm states were dropped
+//! ([`crate::CacheStats::invalidated`], [`ResumeStats::invalidated`]) and
+//! how many warm states survived by rebase.
+//!
+//! Correctness bar (property-tested in `tests/ingest.rs`): after any
+//! sequence of batches, query results are byte-identical to a cold
+//! [`InstanceBuilder::snapshot`] of the same final data, on both the
+//! unsharded and the sharded `{1, 2, 4}` paths.
+
+use crate::{CacheStats, EngineConfig, ResumeStats, S3Engine, ShardedEngine};
+use s3_core::{
+    ComponentFilter, ComponentPartition, IngestBatch, IngestSummary, InstanceBuilder, Query,
+    S3Instance, SearchConfig, TopKResult,
+};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Which caches an ingest invalidated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidationScope {
+    /// Every shard and the front: the delta touched pre-existing nodes,
+    /// so results anywhere may have changed.
+    Global,
+    /// Only the listed shards plus the front cache: the delta was
+    /// detached, so untouched shards' caches and warm pools stayed live.
+    /// (Unsharded engines report `Scoped(vec![])` for detached deltas —
+    /// front only.)
+    Scoped(Vec<usize>),
+}
+
+/// What one [`LiveEngine::ingest`] / [`LiveShardedEngine::ingest`] did.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// The instance-level delta summary.
+    pub summary: IngestSummary,
+    /// Which caches were invalidated.
+    pub scope: InvalidationScope,
+    /// Cached results dropped across the bumped caches.
+    pub results_invalidated: u64,
+    /// Warm propagation states dropped across the bumped pools.
+    pub warm_invalidated: u64,
+    /// Warm propagation states that survived by rebasing onto the
+    /// appended graph (detached deltas only).
+    pub warm_rebased: u64,
+}
+
+/// A live, ingestible serving engine over one [`S3Engine`].
+///
+/// ```
+/// use s3_core::{IngestBatch, IngestDoc, InstanceBuilder, Query};
+/// use s3_engine::{EngineConfig, LiveEngine};
+/// use s3_text::Language;
+///
+/// let mut b = InstanceBuilder::new(Language::English);
+/// let u = b.add_user();
+/// let kws = b.analyze("a degree");
+/// let mut doc = s3_doc::DocBuilder::new("post");
+/// doc.set_content(doc.root(), kws);
+/// b.add_document(doc, Some(u));
+/// let live = LiveEngine::new(b, EngineConfig::default());
+///
+/// let keywords = live.instance().query_keywords("degree");
+/// assert_eq!(live.query(&Query::new(u, keywords.clone(), 3)).hits.len(), 1);
+///
+/// let mut batch = IngestBatch::new();
+/// let poster = batch.add_user();
+/// let mut post = IngestDoc::new("post");
+/// post.set_text(post.root(), "another degree");
+/// batch.add_document(post, Some(poster));
+/// let report = live.ingest(&batch);
+/// assert!(report.summary.detached);
+/// assert_eq!(live.instance().num_documents(), 2);
+/// ```
+pub struct LiveEngine {
+    current: RwLock<Arc<S3Engine>>,
+    /// The retained builder (single writer; ingests serialize here).
+    writer: Mutex<InstanceBuilder>,
+}
+
+impl LiveEngine {
+    /// Freeze the builder's current data into the initial snapshot and
+    /// start serving. The builder is retained: every
+    /// [`Self::ingest`] extends it.
+    pub fn new(builder: InstanceBuilder, config: EngineConfig) -> Self {
+        let instance = Arc::new(builder.snapshot());
+        LiveEngine {
+            current: RwLock::new(Arc::new(S3Engine::new(instance, config))),
+            writer: Mutex::new(builder),
+        }
+    }
+
+    /// The current snapshot's engine. The returned `Arc` pins that
+    /// snapshot: callers holding it across an ingest keep reading the
+    /// data they started with.
+    pub fn engine(&self) -> Arc<S3Engine> {
+        Arc::clone(&self.current.read().expect("snapshot pointer poisoned"))
+    }
+
+    /// The current snapshot.
+    pub fn instance(&self) -> Arc<S3Instance> {
+        Arc::clone(self.engine().instance())
+    }
+
+    /// Answer one query against the current snapshot.
+    pub fn query(&self, query: &Query) -> Arc<TopKResult> {
+        self.engine().query(query)
+    }
+
+    /// Answer a batch against the current snapshot.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Arc<TopKResult>> {
+        self.engine().run_batch(queries)
+    }
+
+    /// Result-cache counters (shared across snapshots).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine().cache_stats()
+    }
+
+    /// Warm-propagation counters (shared across snapshots).
+    pub fn resume_stats(&self) -> ResumeStats {
+        self.engine().resume_stats()
+    }
+
+    /// Apply a batch and publish the extended snapshot atomically.
+    ///
+    /// The result cache is always bumped (it is this engine's "front").
+    /// After a detached delta the warm pool survives: its states are
+    /// rebased onto the appended graph and restamped to the new epoch, so
+    /// repeat-seeker traffic keeps resuming across the ingest.
+    pub fn ingest(&self, batch: &IngestBatch) -> IngestReport {
+        let mut builder = self.writer.lock().expect("ingest writer poisoned");
+        let prev = self.engine();
+        let (instance, summary) = builder.apply(prev.instance(), batch);
+        let instance = Arc::new(instance);
+        // The successor gets its own epoch line, one past the
+        // predecessor's: a reader still pinning `prev` can only stamp the
+        // old epoch, so it can never insert a pre-ingest result under a
+        // key the new engine serves.
+        let next = prev.succeed(Arc::clone(&instance), true);
+
+        let results_invalidated = next.result_cache().invalidate();
+        let (scope, warm_invalidated, warm_rebased) = if summary.detached {
+            let gamma = next.search_config().score.gamma;
+            let epoch = next.config_epoch();
+            let (kept, dropped) = next.prop_pool().rebase_all(
+                prev.instance().graph(),
+                instance.graph(),
+                gamma,
+                epoch,
+            );
+            (InvalidationScope::Scoped(Vec::new()), dropped, kept)
+        } else {
+            (InvalidationScope::Global, next.prop_pool().invalidate_all(), 0)
+        };
+
+        *self.current.write().expect("snapshot pointer poisoned") = Arc::new(next);
+        IngestReport { summary, scope, results_invalidated, warm_invalidated, warm_rebased }
+    }
+}
+
+/// A live, ingestible serving engine over a [`ShardedEngine`] fleet with
+/// shard-scoped invalidation.
+///
+/// Unlike the frozen [`ShardedEngine::new`], the shard engines here run
+/// with their own result caches and warm pools (they are individually
+/// queryable serving engines), because that per-shard state is exactly
+/// what scoped invalidation preserves: an ingest whose delta is detached
+/// bumps only the shards that received the new components, plus the front
+/// cache — shard engines it didn't touch keep serving their cached
+/// results and resuming their warm propagations.
+pub struct LiveShardedEngine {
+    current: RwLock<Arc<ShardedEngine>>,
+    writer: Mutex<InstanceBuilder>,
+}
+
+impl LiveShardedEngine {
+    /// Freeze the builder's data, partition it into `num_shards` balanced
+    /// shards and start serving.
+    pub fn new(builder: InstanceBuilder, config: EngineConfig, num_shards: usize) -> Self {
+        let instance = Arc::new(builder.snapshot());
+        let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
+        let engine = ShardedEngine::with_partition(instance, config, partition, true);
+        LiveShardedEngine { current: RwLock::new(Arc::new(engine)), writer: Mutex::new(builder) }
+    }
+
+    /// The current snapshot's sharded engine (the `Arc` pins the
+    /// snapshot; `engine().shard(i)` reaches the per-shard engines).
+    pub fn engine(&self) -> Arc<ShardedEngine> {
+        Arc::clone(&self.current.read().expect("snapshot pointer poisoned"))
+    }
+
+    /// The current snapshot.
+    pub fn instance(&self) -> Arc<S3Instance> {
+        Arc::clone(self.engine().instance())
+    }
+
+    /// Answer one query through the front cache + scatter-gather.
+    pub fn query(&self, query: &Query) -> Arc<TopKResult> {
+        self.engine().query(query)
+    }
+
+    /// Answer a batch through the front cache + scatter-gather.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Arc<TopKResult>> {
+        self.engine().run_batch(queries)
+    }
+
+    /// Front-cache counters (shared across snapshots).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine().cache_stats()
+    }
+
+    /// Apply a batch, extend the partition and publish atomically,
+    /// scoping invalidation to the touched shards when the delta allows
+    /// it (see the module docs).
+    pub fn ingest(&self, batch: &IngestBatch) -> IngestReport {
+        self.ingest_with(batch, false)
+    }
+
+    /// [`Self::ingest`] with an escape hatch: `force_global` bumps every
+    /// shard even for a detached delta (the control arm for measuring
+    /// what scoped invalidation buys — see `tests/zipf_hit_rate.rs`).
+    pub fn ingest_with(&self, batch: &IngestBatch, force_global: bool) -> IngestReport {
+        let mut builder = self.writer.lock().expect("ingest writer poisoned");
+        let prev = self.engine();
+        let (instance, summary) = builder.apply(prev.instance(), batch);
+        let instance = Arc::new(instance);
+        // New components go to the least-loaded shards; nothing moves.
+        let partition = Arc::new(prev.partition().extended(&instance));
+        let next = prev.succeed(Arc::clone(&instance), Arc::clone(&partition));
+
+        // Shards whose universe changed: owners of touched components
+        // that carry documents (doc-less user singletons route nowhere).
+        let touched_shards: BTreeSet<usize> = summary
+            .touched_components
+            .iter()
+            .filter(|&&c| instance.graph().component_doc_count(c) > 0)
+            .map(|&c| partition.shard_of(c))
+            .collect();
+        let scoped = summary.detached && !force_global;
+
+        let mut results_invalidated = 0;
+        let mut warm_invalidated = 0;
+        let mut warm_rebased = 0;
+        let gamma = next.search_config().score.gamma;
+        // The front always bumps (its universe is the union of all
+        // shards; `succeed` advanced its epoch line), but for a detached
+        // delta its warm propagations are still exact — rebase and
+        // restamp them instead of dropping.
+        results_invalidated += next.result_cache().invalidate();
+        if scoped {
+            let (kept, dropped) = next.prop_pool().rebase_all(
+                prev.instance().graph(),
+                instance.graph(),
+                gamma,
+                next.config_epoch(),
+            );
+            warm_rebased += kept;
+            warm_invalidated += dropped;
+        } else {
+            warm_invalidated += next.prop_pool().invalidate_all();
+        }
+        for s in 0..next.num_shards() {
+            let shard = next.shard(s);
+            if !scoped || touched_shards.contains(&s) {
+                // Reinstall the shard's filter for the extended partition
+                // and bump its epoch (set_search_config purges + counts).
+                let filter = Arc::new(ComponentFilter::for_shard(&partition, s));
+                let before = (shard.cache_stats().invalidated, shard.resume_stats().invalidated);
+                let config = shard.search_config();
+                shard.set_search_config(SearchConfig { component_filter: Some(filter), ..config });
+                results_invalidated += shard.cache_stats().invalidated - before.0;
+                warm_invalidated += shard.resume_stats().invalidated - before.1;
+            } else {
+                // Untouched shard under a detached delta: its universe,
+                // scores and filter are unchanged — keep its cache and
+                // carry its warm propagations onto the appended graph.
+                let (kept, dropped) = shard.prop_pool().rebase_all(
+                    prev.instance().graph(),
+                    instance.graph(),
+                    gamma,
+                    shard.config_epoch(),
+                );
+                warm_rebased += kept;
+                warm_invalidated += dropped;
+            }
+        }
+
+        let scope = if scoped {
+            InvalidationScope::Scoped(touched_shards.into_iter().collect())
+        } else {
+            InvalidationScope::Global
+        };
+        *self.current.write().expect("snapshot pointer poisoned") = Arc::new(next);
+        IngestReport { summary, scope, results_invalidated, warm_invalidated, warm_rebased }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_core::{FragRef, IngestDoc, TagSubjectRef, UserId, UserRef};
+    use s3_doc::DocBuilder;
+    use s3_text::Language;
+
+    fn seed_builder() -> (InstanceBuilder, UserId, UserId) {
+        let mut b = InstanceBuilder::new(Language::English);
+        let author = b.add_user();
+        let seeker = b.add_user();
+        b.add_social_edge(seeker, author, 1.0);
+        for text in ["rust degrees", "java degrees"] {
+            let kws = b.analyze(text);
+            let mut doc = DocBuilder::new("post");
+            doc.set_content(doc.root(), kws);
+            b.add_document(doc, Some(author));
+        }
+        (b, author, seeker)
+    }
+
+    fn detached_doc_batch(text: &str) -> IngestBatch {
+        let mut batch = IngestBatch::new();
+        let poster = batch.add_user();
+        let mut doc = IngestDoc::new("post");
+        doc.set_text(doc.root(), text);
+        batch.add_document(doc, Some(poster));
+        batch
+    }
+
+    #[test]
+    fn queries_see_the_new_snapshot_and_pinned_engines_keep_the_old() {
+        let (b, _, seeker) = seed_builder();
+        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let kws = live.instance().query_keywords("degrees");
+        let q = Query::new(seeker, kws, 5);
+        assert_eq!(live.query(&q).hits.len(), 2);
+
+        let pinned = live.engine();
+        let report = live.ingest(&detached_doc_batch("more rust degrees"));
+        assert!(report.summary.detached);
+        assert_eq!(report.scope, InvalidationScope::Scoped(Vec::new()));
+        // The pinned engine still serves the old snapshot's universe...
+        assert_eq!(pinned.instance().num_documents(), 2);
+        // ...while the live path sees three documents (the new doc is
+        // reachable only from its new poster — old seekers still get 2).
+        assert_eq!(live.instance().num_documents(), 3);
+        assert_eq!(live.query(&q).hits.len(), 2);
+    }
+
+    #[test]
+    fn detached_ingest_rebases_the_warm_pool() {
+        let (b, _, seeker) = seed_builder();
+        let live = LiveEngine::new(
+            b,
+            EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+        );
+        let kws = live.instance().query_keywords("degrees");
+        live.query(&Query::new(seeker, kws.clone(), 2));
+        let warm_before = live.resume_stats();
+        assert!(warm_before.warm_misses > 0);
+
+        let report = live.ingest(&detached_doc_batch("fresh degrees"));
+        assert_eq!(report.warm_invalidated, 0, "detached delta drops nothing");
+        assert!(report.warm_rebased > 0, "the parked propagation survives");
+        assert!(report.results_invalidated == 0, "cache was disabled");
+
+        // The next same-seeker query finds the rebased state warm.
+        live.query(&Query::new(seeker, kws, 1));
+        let warm_after = live.resume_stats();
+        assert_eq!(warm_after.warm_hits, warm_before.warm_hits + 1);
+        assert_eq!(warm_after.invalidated, 0);
+    }
+
+    #[test]
+    fn pinned_generation_cannot_poison_the_new_epoch() {
+        let (b, author, seeker) = seed_builder();
+        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let kws = live.instance().query_keywords("degrees");
+        let q = Query::new(seeker, kws, 5);
+        let pinned = live.engine();
+        let epoch = pinned.config_epoch();
+
+        // A non-detached ingest that changes this query's answer.
+        let mut batch = IngestBatch::new();
+        let mut doc = IngestDoc::new("post");
+        doc.set_text(doc.root(), "python degrees");
+        batch.add_document(doc, Some(UserRef::Existing(author)));
+        live.ingest(&batch);
+        assert_eq!(pinned.config_epoch(), epoch, "a pinned generation keeps its epoch line");
+        assert_eq!(live.engine().config_epoch(), epoch + 1);
+
+        // A straggler query through the pinned engine inserts its
+        // pre-ingest answer into the *shared* cache — under the old
+        // epoch, where the live engine can never serve it.
+        let stale = pinned.query(&q);
+        assert_eq!(stale.hits.len(), 2, "the pinned snapshot still has two matching docs");
+        let fresh = live.query(&q);
+        assert_eq!(fresh.hits.len(), 3, "the live path must recompute, not serve the straggler");
+    }
+
+    #[test]
+    fn attached_ingest_goes_global() {
+        let (b, author, seeker) = seed_builder();
+        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let kws = live.instance().query_keywords("degrees");
+        live.query(&Query::new(seeker, kws.clone(), 2));
+        assert_eq!(live.cache_stats().entries, 1);
+
+        // A social edge out of an existing user: scores may change anywhere.
+        let mut batch = IngestBatch::new();
+        let u = batch.add_user();
+        batch.add_social_edge(UserRef::Existing(author), u, 0.5);
+        let report = live.ingest(&batch);
+        assert!(!report.summary.detached);
+        assert_eq!(report.scope, InvalidationScope::Global);
+        assert_eq!(report.results_invalidated, 1);
+        assert_eq!(live.cache_stats().invalidated, 1);
+        assert_eq!(live.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn tag_on_existing_content_recomputes_its_component() {
+        let (b, _, seeker) = seed_builder();
+        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let root = live.instance().forest().root(s3_doc::TreeId(0));
+        let mut batch = IngestBatch::new();
+        let fan = batch.add_user();
+        batch.add_social_edge(UserRef::Existing(seeker), fan, 0.9);
+        batch.add_tag(TagSubjectRef::Frag(FragRef::Existing(root)), fan, Some("tagword"));
+        let report = live.ingest(&batch);
+        assert!(!report.summary.detached, "the tag points at existing content");
+        let kws = live.instance().query_keywords("tagword");
+        assert_eq!(kws.len(), 1);
+        let res = live.query(&Query::new(seeker, kws, 3));
+        assert!(!res.hits.is_empty(), "the tagged document is findable by the tag keyword");
+    }
+
+    #[test]
+    fn sharded_scoped_ingest_spares_untouched_shards() {
+        let (b, _, seeker) = seed_builder();
+        let live = LiveShardedEngine::new(
+            b,
+            EngineConfig { threads: 1, cache_capacity: 64, ..EngineConfig::default() },
+            2,
+        );
+        let engine = live.engine();
+        let kws = live.instance().query_keywords("degrees");
+        // Warm both shards' caches and pools with direct shard queries.
+        for s in 0..2 {
+            engine.shard(s).query(&Query::new(seeker, kws.clone(), 2));
+        }
+        let entries_before: Vec<usize> =
+            (0..2).map(|s| engine.shard(s).cache_stats().entries).collect();
+        assert_eq!(entries_before, vec![1, 1]);
+
+        let report = live.ingest(&detached_doc_batch("new language degrees"));
+        let InvalidationScope::Scoped(ref touched) = report.scope else {
+            panic!("detached delta must scope: {:?}", report.scope);
+        };
+        assert_eq!(touched.len(), 1, "one new component lands on one shard");
+        let touched_shard = touched[0];
+        let spared_shard = 1 - touched_shard;
+
+        let next = live.engine();
+        let touched_stats = next.shard(touched_shard).cache_stats();
+        let spared_stats = next.shard(spared_shard).cache_stats();
+        assert_eq!(touched_stats.invalidated, 1, "touched shard dropped its entry");
+        assert_eq!(touched_stats.entries, 0);
+        assert_eq!(spared_stats.invalidated, 0, "spared shard kept its entry");
+        assert_eq!(spared_stats.entries, 1);
+        // The spared shard serves its cached result (a hit) and resumes
+        // its rebased warm propagation for fresh same-seeker queries.
+        let hits_before = spared_stats.hits;
+        next.shard(spared_shard).query(&Query::new(seeker, kws.clone(), 2));
+        assert_eq!(next.shard(spared_shard).cache_stats().hits, hits_before + 1);
+        let warm_hits_before = next.shard(spared_shard).resume_stats().warm_hits;
+        next.shard(spared_shard).query(&Query::new(seeker, kws.clone(), 1));
+        assert_eq!(
+            next.shard(spared_shard).resume_stats().warm_hits,
+            warm_hits_before + 1,
+            "warm propagation survived the swap by rebase"
+        );
+        assert_eq!(next.shard(spared_shard).resume_stats().invalidated, 0);
+    }
+
+    #[test]
+    fn sharded_force_global_bumps_everything() {
+        let (b, _, seeker) = seed_builder();
+        let live = LiveShardedEngine::new(
+            b,
+            EngineConfig { threads: 1, cache_capacity: 64, ..EngineConfig::default() },
+            2,
+        );
+        let engine = live.engine();
+        let kws = live.instance().query_keywords("degrees");
+        for s in 0..2 {
+            engine.shard(s).query(&Query::new(seeker, kws.clone(), 2));
+        }
+        let report = live.ingest_with(&detached_doc_batch("forced degrees"), true);
+        assert!(report.summary.detached, "the delta itself is detached");
+        assert_eq!(report.scope, InvalidationScope::Global, "...but the bump was forced global");
+        let next = live.engine();
+        for s in 0..2 {
+            assert_eq!(next.shard(s).cache_stats().entries, 0);
+            assert_eq!(next.shard(s).cache_stats().invalidated, 1);
+        }
+    }
+
+    #[test]
+    fn sharded_results_match_unsharded_across_ingests() {
+        let (b, _, seeker) = seed_builder();
+        let (b2, _, _) = seed_builder();
+        let sharded =
+            LiveShardedEngine::new(b, EngineConfig { threads: 2, ..EngineConfig::default() }, 2);
+        let flat = LiveEngine::new(b2, EngineConfig { threads: 1, ..EngineConfig::default() });
+        for round in 0..3 {
+            let batch = detached_doc_batch(&format!("degrees wave {round}"));
+            sharded.ingest(&batch);
+            flat.ingest(&batch);
+            let kws = sharded.instance().query_keywords("degrees");
+            let q = Query::new(seeker, kws, 5);
+            let a = sharded.query(&q);
+            let b = flat.query(&q);
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.candidate_docs, b.candidate_docs);
+        }
+    }
+}

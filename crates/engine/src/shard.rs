@@ -153,17 +153,18 @@ pub struct ShardedEngine {
     shards: Vec<S3Engine>,
     /// Top-level search config + epoch (the scatter path's config; shard
     /// engines carry the same config plus their component filter).
-    config: EpochConfig,
+    /// `Arc`-shared with live-ingestion successors.
+    config: Arc<EpochConfig>,
     threads: usize,
-    cache: ResultCache,
+    cache: Arc<ResultCache>,
     /// Pool of carrier scratches (the scatter driver's query-global
     /// state; per-shard scratches live in each shard's own pool and are
     /// checked out lazily, per query, for the routed shards only).
-    carriers: Mutex<Vec<SearchScratch>>,
+    carriers: Arc<Mutex<Vec<SearchScratch>>>,
     /// Seeker-keyed warm propagations — one per query, shared by every
     /// shard of its scatter, so affinity lives at the front, not per
     /// shard.
-    props: PropPool,
+    props: Arc<PropPool>,
 }
 
 impl ShardedEngine {
@@ -173,9 +174,25 @@ impl ShardedEngine {
     /// `component_filter` it carries is ignored (the engine installs its
     /// own per-shard filters).
     pub fn new(instance: Arc<S3Instance>, config: EngineConfig, num_shards: usize) -> Self {
+        let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
+        ShardedEngine::with_partition(instance, config, partition, false)
+    }
+
+    /// Build over an explicit component partition. `shard_serving` turns
+    /// the per-shard result caches and warm pools **on** (sized like the
+    /// front's): the live sharded engine uses this so each shard is a
+    /// fully-serving, individually queryable engine whose warm state can
+    /// survive ingests that don't touch it. The plain [`Self::new`] path
+    /// keeps them off — behind one front cache they would only duplicate
+    /// entries.
+    pub(crate) fn with_partition(
+        instance: Arc<S3Instance>,
+        config: EngineConfig,
+        partition: Arc<ComponentPartition>,
+        shard_serving: bool,
+    ) -> Self {
         let EngineConfig { mut search, threads, cache_capacity, warm_seekers } = config.validated();
         search.component_filter = None;
-        let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
         let router = ShardRouter::new(&instance, Arc::clone(&partition));
         let shards = (0..partition.num_shards())
             .map(|s| {
@@ -185,12 +202,13 @@ impl ShardedEngine {
                     EngineConfig {
                         search: SearchConfig { component_filter: Some(filter), ..search.clone() },
                         // The scatter is driven per query by the batch
-                        // workers; shard-local batching, caching and
-                        // seeker affinity stay off (the front engine
-                        // already covers all three).
+                        // workers; shard-local batching stays off either
+                        // way, and without `shard_serving` so do caching
+                        // and seeker affinity (the front engine already
+                        // covers all three).
                         threads: 1,
-                        cache_capacity: 0,
-                        warm_seekers: 0,
+                        cache_capacity: if shard_serving { cache_capacity } else { 0 },
+                        warm_seekers: if shard_serving { warm_seekers } else { 0 },
                     },
                 )
             })
@@ -199,12 +217,55 @@ impl ShardedEngine {
             instance,
             router,
             shards,
-            config: EpochConfig::new(search),
+            config: Arc::new(EpochConfig::new(search)),
             threads,
-            cache: ResultCache::new(cache_capacity),
-            carriers: Mutex::new(Vec::new()),
-            props: PropPool::new(warm_seekers),
+            cache: Arc::new(ResultCache::new(cache_capacity)),
+            carriers: Arc::new(Mutex::new(Vec::new())),
+            props: Arc::new(PropPool::new(warm_seekers)),
         }
+    }
+
+    /// A sharded engine over a new snapshot + partition that *shares* this
+    /// one's front cache, warm pool and carrier pool, and whose shard
+    /// engines share their predecessors' state likewise (see
+    /// [`S3Engine::succeed`]). Config/epoch lines are carried forward per
+    /// generation, never shared: the front's epoch advances by one (a
+    /// snapshot swap always invalidates the front), each shard's is
+    /// carried unchanged — the live engine bumps exactly the shards whose
+    /// universe changed by reinstalling their filters through
+    /// `set_search_config` on the *new* generation. A reader pinning the
+    /// old generation therefore stamps only old epochs. The router is
+    /// rebuilt for the new snapshot; stale filters on unbumped shards
+    /// stay correct (unknown component ids are rejected).
+    pub(crate) fn succeed(
+        &self,
+        instance: Arc<S3Instance>,
+        partition: Arc<ComponentPartition>,
+    ) -> ShardedEngine {
+        assert_eq!(partition.num_shards(), self.shards.len(), "shard count is fixed");
+        let router = ShardRouter::new(&instance, partition);
+        let shards = self.shards.iter().map(|s| s.succeed(Arc::clone(&instance), false)).collect();
+        let (search, epoch) = self.config.snapshot();
+        ShardedEngine {
+            instance,
+            router,
+            shards,
+            config: Arc::new(EpochConfig::new_at(search, epoch + 1)),
+            threads: self.threads,
+            cache: Arc::clone(&self.cache),
+            carriers: Arc::clone(&self.carriers),
+            props: Arc::clone(&self.props),
+        }
+    }
+
+    /// The shared front result cache (live-ingestion invalidation hook).
+    pub(crate) fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// The shared front warm pool (live-ingestion migration hook).
+    pub(crate) fn prop_pool(&self) -> &Arc<PropPool> {
+        &self.props
     }
 
     /// The shared instance.
@@ -264,6 +325,8 @@ impl ShardedEngine {
                     .set_search_config(SearchConfig { component_filter: filter, ..search.clone() });
             }
         });
+        self.cache.invalidate();
+        self.props.invalidate_all();
     }
 
     /// Front-cache effectiveness counters.

@@ -42,6 +42,11 @@ pub struct ResumeStats {
     /// Resume attempts replayed cold for byte-identity (the probe's first
     /// stop evaluation would have returned; see `s3_core::ResumeOutcome`).
     pub fallbacks: u64,
+    /// Warm states dropped by an explicit invalidation (a live-ingestion
+    /// epoch bump whose delta made resuming them unsound). States
+    /// *rebased* onto the new graph after a detached delta are not
+    /// counted — they stay live.
+    pub invalidated: u64,
 }
 
 impl ResumeStats {
@@ -96,6 +101,7 @@ pub(crate) struct PropPool {
     cold: AtomicU64,
     resumed: AtomicU64,
     fallbacks: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl PropPool {
@@ -108,7 +114,56 @@ impl PropPool {
             cold: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
+    }
+
+    /// Drop every warm entry's warmth (allocations are spared for reuse)
+    /// and count them as invalidated. Live ingestion calls this on pools
+    /// whose epoch it bumps — the entries could never resume again.
+    pub(crate) fn invalidate_all(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("warm pool poisoned");
+        let dropped = inner.by_seeker.len() as u64;
+        let seekers: Vec<UserId> = inner.by_seeker.keys().copied().collect();
+        for s in seekers {
+            let entry = inner.by_seeker.remove(&s).expect("listed");
+            inner.spare(entry.state);
+        }
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Re-home every warm entry from graph `from` onto graph `to` (a
+    /// strictly-appended successor — the detached-delta contract of
+    /// [`s3_graph::PropagationState::rebase`]) and restamp it with
+    /// `epoch` (sound for the same reason the rebase is: after a detached
+    /// delta the state is exactly what a post-ingest propagation would
+    /// have computed). Entries that refuse the rebase (e.g. parked under
+    /// an even older graph) are spared and counted invalidated. Returns
+    /// `(kept, dropped)`.
+    pub(crate) fn rebase_all(
+        &self,
+        from: &s3_graph::SocialGraph,
+        to: &s3_graph::SocialGraph,
+        gamma: f64,
+        epoch: u64,
+    ) -> (u64, u64) {
+        let mut inner = self.inner.lock().expect("warm pool poisoned");
+        let seekers: Vec<UserId> = inner.by_seeker.keys().copied().collect();
+        let (mut kept, mut dropped) = (0u64, 0u64);
+        for s in seekers {
+            let mut entry = inner.by_seeker.remove(&s).expect("listed");
+            if entry.state.rebase(from, to, gamma) {
+                kept += 1;
+                entry.epoch = epoch;
+                inner.by_seeker.insert(s, entry);
+            } else {
+                dropped += 1;
+                inner.spare(entry.state);
+            }
+        }
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        (kept, dropped)
     }
 
     /// Take a state for `seeker`: the warm one when present and stamped
@@ -178,6 +233,7 @@ impl PropPool {
             cold: self.cold.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
         }
     }
 }

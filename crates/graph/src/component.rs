@@ -39,6 +39,45 @@ impl Components {
         tree_ranges: impl Iterator<Item = std::ops::Range<usize>>,
         content_edges: impl Iterator<Item = (NodeId, NodeId)>,
     ) -> Self {
+        Components::build_inner(num_nodes, kinds, tree_ranges, content_edges, None)
+    }
+
+    /// [`Self::build`] with **stable ids** relative to a previous partition
+    /// of a node-prefix of this graph (live ingestion appends nodes, never
+    /// renumbers them):
+    ///
+    /// * a component containing previously-existing nodes keeps the
+    ///   *smallest* id it had under `prev` — so untouched components keep
+    ///   their id, and components merged by a new content edge collapse
+    ///   onto the id whose first member is earliest;
+    /// * a component of only-new nodes receives the next fresh id, in
+    ///   first-member order;
+    /// * an old id whose component was merged away stays allocated with an
+    ///   empty member list (ids stay dense; `Vec`-indexed side tables keyed
+    ///   by `CompId` never shift).
+    ///
+    /// The surviving ids are ordered exactly as a from-scratch
+    /// [`Self::build`] of the same graph orders its dense ids (both follow
+    /// first-member node order), so any comp-id-ordered iteration visits
+    /// components in the same relative sequence either way.
+    pub fn build_extending(
+        prev: &Components,
+        num_nodes: usize,
+        kinds: &[NodeKind],
+        tree_ranges: impl Iterator<Item = std::ops::Range<usize>>,
+        content_edges: impl Iterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        assert!(prev.comp_of.len() <= num_nodes, "extension cannot drop nodes");
+        Components::build_inner(num_nodes, kinds, tree_ranges, content_edges, Some(prev))
+    }
+
+    fn build_inner(
+        num_nodes: usize,
+        kinds: &[NodeKind],
+        tree_ranges: impl Iterator<Item = std::ops::Range<usize>>,
+        content_edges: impl Iterator<Item = (NodeId, NodeId)>,
+        prev: Option<&Components>,
+    ) -> Self {
         let mut uf = UnionFind::new(num_nodes);
         for range in tree_ranges {
             let root = range.start;
@@ -49,18 +88,30 @@ impl Components {
         for (a, b) in content_edges {
             uf.union(a.index(), b.index());
         }
-        // Dense relabeling.
+        // Relabeling: dense fresh ids, or stable-prefix ids when extending.
         let mut label = vec![u32::MAX; num_nodes];
+        let mut num_comps = 0u32;
+        if let Some(prev) = prev {
+            // Old nodes claim the smallest previous id of their root.
+            for (i, &c) in prev.comp_of.iter().enumerate() {
+                let r = uf.find(i);
+                if label[r] > c.0 {
+                    label[r] = c.0;
+                }
+            }
+            num_comps = prev.members.len() as u32;
+        }
         let mut comp_of = Vec::with_capacity(num_nodes);
-        let mut members: Vec<Vec<NodeId>> = Vec::new();
         for i in 0..num_nodes {
             let r = uf.find(i);
             if label[r] == u32::MAX {
-                label[r] = members.len() as u32;
-                members.push(Vec::new());
+                label[r] = num_comps;
+                num_comps += 1;
             }
-            let c = CompId(label[r]);
-            comp_of.push(c);
+            comp_of.push(CompId(label[r]));
+        }
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_comps as usize];
+        for (i, &c) in comp_of.iter().enumerate() {
             members[c.index()].push(NodeId(i as u32));
         }
         debug_assert_eq!(kinds.len(), num_nodes);
@@ -177,5 +228,60 @@ mod tests {
         let comps = Components::build(0, &[], std::iter::empty(), std::iter::empty());
         assert!(comps.is_empty());
         assert_eq!(comps.len(), 0);
+    }
+
+    #[test]
+    fn extending_keeps_untouched_ids_and_appends_new_ones() {
+        // Base: users 0,1 and tree [2..4) — three components.
+        let kinds = vec![
+            NodeKind::User(0),
+            NodeKind::User(1),
+            NodeKind::Frag(s3_doc::DocNodeId(0)),
+            NodeKind::Frag(s3_doc::DocNodeId(1)),
+        ];
+        let base = Components::build(4, &kinds, std::iter::once(2..4), std::iter::empty());
+        // Append a new tree [4..5) plus a tag 5 on it: one new component.
+        let mut kinds2 = kinds.clone();
+        kinds2.push(NodeKind::Frag(s3_doc::DocNodeId(2)));
+        kinds2.push(NodeKind::Tag(0));
+        let ext = Components::build_extending(
+            &base,
+            6,
+            &kinds2,
+            [2..4usize, 4..5].into_iter(),
+            std::iter::once((NodeId(5), NodeId(4))),
+        );
+        for i in 0..4u32 {
+            assert_eq!(ext.component_of(NodeId(i)), base.component_of(NodeId(i)));
+        }
+        assert_eq!(ext.len(), base.len() + 1);
+        let new_comp = ext.component_of(NodeId(4));
+        assert_eq!(new_comp.index(), base.len(), "fresh ids append after the old ones");
+        assert_eq!(ext.members(new_comp), &[NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn extending_merge_keeps_smallest_id_and_leaves_the_other_empty() {
+        // Two single-node trees, then a new comment node bridging them.
+        let kinds =
+            vec![NodeKind::Frag(s3_doc::DocNodeId(0)), NodeKind::Frag(s3_doc::DocNodeId(1))];
+        let base = Components::build(2, &kinds, [0..1usize, 1..2].into_iter(), std::iter::empty());
+        assert_eq!(base.len(), 2);
+        let mut kinds2 = kinds.clone();
+        kinds2.push(NodeKind::Frag(s3_doc::DocNodeId(2)));
+        let ext = Components::build_extending(
+            &base,
+            3,
+            &kinds2,
+            [0..1usize, 1..2, 2..3].into_iter(),
+            [(NodeId(2), NodeId(0)), (NodeId(2), NodeId(1))].into_iter(),
+        );
+        let survivor = ext.component_of(NodeId(0));
+        assert_eq!(survivor, CompId(0), "merge collapses onto the smallest id");
+        assert_eq!(ext.component_of(NodeId(1)), survivor);
+        assert_eq!(ext.component_of(NodeId(2)), survivor);
+        assert_eq!(ext.len(), 2, "the dead id stays allocated");
+        assert!(ext.members(CompId(1)).is_empty(), "merged-away component is empty");
+        assert_eq!(ext.members(survivor), &[NodeId(0), NodeId(1), NodeId(2)]);
     }
 }

@@ -100,6 +100,18 @@ impl GraphBuilder {
 
     /// Freeze into a [`SocialGraph`].
     pub fn build(self) -> SocialGraph {
+        self.build_inner(None)
+    }
+
+    /// Freeze into a [`SocialGraph`] whose component ids extend `prev`
+    /// stably (see [`Components::build_extending`]) — the live-ingestion
+    /// path, where the graph strictly appends nodes to the one `prev`
+    /// partitioned and side tables indexed by [`CompId`] must not shift.
+    pub fn build_extending(self, prev: &Components) -> SocialGraph {
+        self.build_inner(Some(prev))
+    }
+
+    fn build_inner(self, prev_comps: Option<&Components>) -> SocialGraph {
         let n = self.kinds.len();
         // CSR over out-edges.
         let mut degree = vec![0u32; n];
@@ -166,20 +178,24 @@ impl GraphBuilder {
             }
         }
 
-        let components = Components::build(
-            n,
-            &self.kinds,
+        let tree_ranges =
             self.forest.trees().filter(|t| self.tree_root_node[t.index()] != UNREGISTERED).map(
                 |t| {
                     let base = self.tree_root_node[t.index()] as usize;
                     base..base + self.forest.tree_len(t)
                 },
-            ),
-            self.edges
-                .iter()
-                .filter(|(_, _, k, _)| k.is_content_closure())
-                .map(|&(f, t, _, _)| (f, t)),
-        );
+            );
+        let content_edges = self
+            .edges
+            .iter()
+            .filter(|(_, _, k, _)| k.is_content_closure())
+            .map(|&(f, t, _, _)| (f, t));
+        let components = match prev_comps {
+            Some(prev) => {
+                Components::build_extending(prev, n, &self.kinds, tree_ranges, content_edges)
+            }
+            None => Components::build(n, &self.kinds, tree_ranges, content_edges),
+        };
 
         SocialGraph {
             forest: self.forest,

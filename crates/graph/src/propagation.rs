@@ -174,6 +174,38 @@ impl PropagationState {
     pub fn invalidate(&mut self) {
         self.graph_tag = 0;
     }
+
+    /// Re-home a state warm for `from` onto `to`, **without** losing its
+    /// warmth: per-node buffers grow (zero-filled) to the new graph's
+    /// sizes and the identity tag moves, so the next
+    /// [`Propagation::attach`] on `to` resumes instead of reseeding.
+    ///
+    /// Caller contract (live ingestion's *detached* deltas): `to` must be
+    /// `from` plus strictly appended nodes and trees — every
+    /// previously-existing node keeps its id, out-edges, weights and
+    /// neighborhood weight, and no appended node is reachable from any
+    /// previously-visited one. Under that contract the propagation's past
+    /// *and future* on `to` coincide with what they would have been on
+    /// `from`, step for step. Returns `false` (and invalidates the state)
+    /// when the state was not warm for `(from, gamma)` or the sizes
+    /// shrink; resuming it would then be unsound.
+    pub fn rebase(&mut self, from: &SocialGraph, to: &SocialGraph, gamma: f64) -> bool {
+        if !self.warm_for(from, gamma)
+            || self.x.len() > to.num_nodes()
+            || self.tree_touched.len() > to.forest().num_trees()
+        {
+            self.invalidate();
+            return false;
+        }
+        let n = to.num_nodes();
+        for buf in [&mut self.x, &mut self.x_next, &mut self.acc, &mut self.acc_nb] {
+            buf.resize(n, 0.0);
+        }
+        self.visited.resize(n, false);
+        self.tree_touched.resize(to.forest().num_trees(), false);
+        self.graph_tag = graph_tag(to);
+        true
+    }
 }
 
 /// The identity tag stored in a detached state: the graph's address.
@@ -912,6 +944,62 @@ mod tests {
         for node in [u0, u1, d] {
             assert_eq!(p.prox_leq(node), fresh.prox_leq(node));
         }
+    }
+
+    #[test]
+    fn rebase_carries_warmth_onto_an_appended_graph() {
+        // The same base graph built twice: once alone, once with an
+        // appended (unreachable) document + user. Node ids of the base
+        // prefix coincide, and nothing old points at the appendix —
+        // exactly the detached-delta contract.
+        let build_base = |extend: bool| {
+            let mut forest = Forest::new();
+            let t = forest.add_document(DocBuilder::new("doc"));
+            let t2 = extend.then(|| forest.add_document(DocBuilder::new("appendix")));
+            let mut g = GraphBuilder::new(forest);
+            let u0 = g.add_user();
+            let u1 = g.add_user();
+            let d = g.register_tree(t);
+            g.add_edge(d, u0, EdgeKind::PostedBy, 1.0);
+            g.add_edge(u0, u1, EdgeKind::Social, 0.3);
+            if let Some(t2) = t2 {
+                let u2 = g.add_user();
+                let d2 = g.register_tree(t2);
+                g.add_edge(d2, u2, EdgeKind::PostedBy, 1.0);
+                g.add_edge(u2, u1, EdgeKind::Social, 0.8);
+            }
+            (g.build(), u0, u1, d)
+        };
+        let (old, u0, u1, d) = build_base(false);
+        let (new, ..) = build_base(true);
+
+        let mut warm = Propagation::new(&old, 1.5, u0);
+        let mut cold = Propagation::new(&new, 1.5, u0);
+        for _ in 0..3 {
+            warm.step();
+            cold.step();
+        }
+        let mut state = warm.detach();
+        assert!(state.rebase(&old, &new, 1.5), "appended graph must accept the rebase");
+        assert!(state.warm_for(&new, 1.5));
+        let mut warm = Propagation::attach(&new, 1.5, u0, state);
+        assert_eq!(warm.iteration(), 3, "warmth survives the rebase");
+        for _ in 0..5 {
+            assert_eq!(warm.step(), cold.step());
+            for node in [u0, u1, d] {
+                assert_eq!(warm.prox_leq(node), cold.prox_leq(node));
+            }
+            assert_eq!(warm.border_mass(), cold.border_mass());
+            assert_eq!(warm.bound_beyond(), cold.bound_beyond());
+        }
+
+        // A state that was never warm for `from` refuses the rebase.
+        let mut stale = Propagation::new(&old, 2.0, u0).detach();
+        assert!(!stale.rebase(&old, &new, 1.5), "γ mismatch must invalidate");
+        assert!(!stale.warm_for(&new, 1.5));
+        // Shrinking is refused too (rebase only ever appends).
+        let mut backwards = Propagation::new(&new, 1.5, u0).detach();
+        assert!(!backwards.rebase(&new, &old, 1.5));
     }
 
     #[test]
