@@ -1,0 +1,184 @@
+//! Result-cache policy shootout: LRU vs W-TinyLFU hit rates on seeded
+//! Zipf query streams, with the CI hit-rate regression gate built in.
+//!
+//! Run with `cargo bench --bench cache` (`BENCH_SMOKE=1` or `--smoke`
+//! shrinks the corpus for CI's smoke tier; the gate is enforced either
+//! way). Two streams over the same distinct-query pool, cache sized at
+//! **half** the pool:
+//!
+//! * **zipf** — plain Zipf(s=1.1) replay: the head dominates, so any
+//!   reasonable policy stays hot. The gate on this arm is the ROADMAP's
+//!   baseline claim: TinyLFU ≥ LRU, and ≥ 0.55 absolute.
+//! * **zipf+scan** — every other access is a one-hit-wonder query seen
+//!   exactly once. Wonders flush an LRU's hot head; TinyLFU's admission
+//!   filter rejects them, so its hit rate must stay strictly ahead.
+//!
+//! The gate panics (failing the bench, and CI's smoke job with it) when
+//! a bound is violated. Results are also emitted as `BENCH_cache.json`
+//! when `BENCH_JSON_DIR` is set, so the perf trajectory is tracked as a
+//! workflow artifact instead of log text.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s3_bench::{JsonReport, Table};
+use s3_core::Query;
+use s3_datasets::{twitter, workload, zipf::Zipf, Scale};
+use s3_engine::{CachePolicy, EngineConfig, S3Engine};
+use s3_text::FrequencyClass;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
+/// `(policy label, policy)` arms compared on every stream.
+fn policies() -> Vec<(&'static str, CachePolicy)> {
+    vec![
+        ("lru", CachePolicy::Lru),
+        ("tinylfu", CachePolicy::tiny_lfu()),
+        ("tinylfu_w1", CachePolicy::TinyLfu { window_frac: 0.01, protected_frac: 0.8 }),
+    ]
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let mut config = twitter::TwitterConfig::scaled(Scale::Tiny);
+    if smoke {
+        config.users = 50;
+        config.tweets = 300;
+        println!("[smoke mode: tiny corpus]\n");
+    }
+    let dataset = twitter::generate(&config);
+    let instance = Arc::new(dataset.instance);
+
+    // The seeded distinct-query pool (identical to
+    // `tests/zipf_hit_rate.rs`) and the Zipf replay order over it; the
+    // cache holds half the pool.
+    let distinct = 120;
+    let replays = if smoke { 600 } else { 2400 };
+    let capacity = distinct / 2;
+    let w = workload::generate(
+        &instance,
+        workload::WorkloadConfig {
+            frequency: FrequencyClass::Common,
+            keywords_per_query: 1,
+            k: 5,
+            queries: distinct,
+            seed: 7,
+        },
+    );
+    let pool: Vec<Query> = w.queries.into_iter().map(|q| q.query).collect();
+    let zipf = Zipf::new(pool.len(), 1.1);
+    let mut rng = StdRng::seed_from_u64(99);
+    let stream: Vec<usize> = (0..replays).map(|_| zipf.sample(&mut rng)).collect();
+
+    // One-hit wonders for the scan arm: distinct rare-keyword queries,
+    // each replayed exactly once.
+    let wonders = workload::generate(
+        &instance,
+        workload::WorkloadConfig {
+            frequency: FrequencyClass::Rare,
+            keywords_per_query: 2,
+            k: 7,
+            queries: if smoke { 300 } else { 1200 },
+            seed: 23,
+        },
+    );
+    let wonder_pool: Vec<Query> = wonders.queries.into_iter().map(|q| q.query).collect();
+
+    println!(
+        "cache policy shootout: {} distinct queries, cache capacity {} (half), \
+         {} Zipf replays over {} users / {} docs\n",
+        pool.len(),
+        capacity,
+        stream.len(),
+        instance.num_users(),
+        instance.num_documents()
+    );
+
+    let run = |policy: CachePolicy, scan: bool| -> (s3_engine::CacheStats, f64) {
+        let engine = S3Engine::new(
+            Arc::clone(&instance),
+            EngineConfig {
+                threads: 1,
+                cache_capacity: capacity,
+                cache_policy: policy,
+                ..EngineConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        for (j, &i) in stream.iter().enumerate() {
+            engine.query(&pool[i]);
+            if scan && j % 2 == 0 {
+                engine.query(&wonder_pool[(j / 2) % wonder_pool.len()]);
+            }
+        }
+        (engine.cache_stats(), t0.elapsed().as_secs_f64())
+    };
+
+    let mut report = JsonReport::new("cache");
+    report
+        .str("scale", if smoke { "smoke" } else { "tiny" })
+        .int("distinct_queries", pool.len() as u64)
+        .int("cache_capacity", capacity as u64)
+        .int("replays", stream.len() as u64);
+
+    let mut gates: Vec<(String, f64, f64)> = Vec::new(); // (arm, lru, tinylfu)
+    for (arm, scan) in [("zipf", false), ("zipf+scan", true)] {
+        let mut table = Table::new(&[
+            "policy", "hit rate", "hits", "misses", "admitted", "rejected", "evicted", "q/s",
+        ]);
+        let mut arm_rates = (0.0, 0.0);
+        for (label, policy) in policies() {
+            let (stats, secs) = run(policy, scan);
+            let lookups = stats.hits + stats.misses;
+            table.row(vec![
+                label.to_string(),
+                format!("{:.3}", stats.hit_rate()),
+                stats.hits.to_string(),
+                stats.misses.to_string(),
+                stats.admitted.to_string(),
+                stats.rejected.to_string(),
+                stats.evictions.to_string(),
+                format!("{:.0}", lookups as f64 / secs),
+            ]);
+            let key = arm.replace('+', "_");
+            report
+                .num(&format!("{key}.{label}.hit_rate"), stats.hit_rate())
+                .int(&format!("{key}.{label}.hits"), stats.hits)
+                .int(&format!("{key}.{label}.admitted"), stats.admitted)
+                .int(&format!("{key}.{label}.rejected"), stats.rejected);
+            match label {
+                "lru" => arm_rates.0 = stats.hit_rate(),
+                "tinylfu" => arm_rates.1 = stats.hit_rate(),
+                _ => {}
+            }
+        }
+        println!("stream: {arm}");
+        print!("{}", table.render());
+        println!();
+        gates.push((arm.to_string(), arm_rates.0, arm_rates.1));
+    }
+
+    report.write_and_announce();
+
+    // ---- The CI hit-rate regression gate. ----
+    for (arm, lru, tinylfu) in &gates {
+        assert!(
+            tinylfu >= lru,
+            "GATE FAILED [{arm}]: TinyLFU hit rate {tinylfu:.3} fell below LRU {lru:.3}"
+        );
+    }
+    let (_, _, zipf_tinylfu) = &gates[0];
+    assert!(
+        *zipf_tinylfu >= 0.55,
+        "GATE FAILED [zipf]: TinyLFU hit rate {zipf_tinylfu:.3} below the 0.55 floor"
+    );
+    println!(
+        "hit-rate gate OK: zipf tinylfu {:.3} >= lru {:.3} (floor 0.55); \
+         zipf+scan tinylfu {:.3} >= lru {:.3}",
+        gates[0].2, gates[0].1, gates[1].2, gates[1].1
+    );
+}

@@ -17,7 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use s3_bench::Table;
+use s3_bench::{JsonReport, Table};
 use s3_core::Query;
 use s3_datasets::workload::{live_workload, LiveWorkloadConfig};
 use s3_datasets::{twitter, workload, zipf::Zipf, Scale};
@@ -42,6 +42,8 @@ fn main() {
     if smoke {
         println!("[smoke mode: smallest corpus, one batch per class]\n");
     }
+    let mut report = JsonReport::new("ingest");
+    report.str("scale", if smoke { "smoke" } else { "tiny" });
 
     // ---- Apply latency vs corpus size, detached vs attached. ----
     let sizes: &[usize] = if smoke { &[200] } else { &[200, 800, 2000] };
@@ -87,6 +89,9 @@ fn main() {
                 assert_eq!(cold.num_documents(), live.instance().num_documents());
             }
             let n = steps.len() as f64;
+            report
+                .num(&format!("apply.{class}.{tweets}.apply_ms"), 1e3 * apply_total / n)
+                .num(&format!("apply.{class}.{tweets}.cold_ms"), 1e3 * cold_total / n);
             table.row(vec![
                 tweets.to_string(),
                 class.to_string(),
@@ -156,20 +161,25 @@ fn main() {
     }
     let mut recovery =
         Table::new(&["bump", "entries dropped", "warm rebased", "recovery hits", "hit rate"]);
-    for (label, report, hits) in [
+    for (label, ingest_report, hits) in [
         ("scoped", &rs, shard_hits(&scoped) - before_s),
         ("global", &rg, shard_hits(&global) - before_g),
     ] {
+        report
+            .int(&format!("recovery.{label}.dropped"), ingest_report.results_invalidated)
+            .int(&format!("recovery.{label}.hits"), hits)
+            .num(&format!("recovery.{label}.hit_rate"), hits as f64 / stream.len() as f64);
         recovery.row(vec![
             label.to_string(),
-            report.results_invalidated.to_string(),
-            report.warm_rebased.to_string(),
+            ingest_report.results_invalidated.to_string(),
+            ingest_report.warm_rebased.to_string(),
             hits.to_string(),
             format!("{:.2}", hits as f64 / stream.len() as f64),
         ]);
     }
     println!();
     print!("{}", recovery.render());
+    report.write_and_announce();
     println!(
         "\nscoped vs global: both fleets ingested the same detached batch; the\n\
          scoped fleet dropped only the touched shard's cache entries (plus the\n\

@@ -17,7 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use s3_bench::Table;
+use s3_bench::{JsonReport, Table};
 use s3_core::{Query, SearchConfig, UserId};
 use s3_datasets::{twitter, workload, zipf::Zipf, Scale};
 use s3_engine::{EngineConfig, S3Engine};
@@ -75,6 +75,8 @@ fn main() {
         instance.num_documents()
     );
 
+    let mut report = JsonReport::new("throughput");
+    report.str("scale", if smoke { "smoke" } else { "tiny" }).int("queries", queries.len() as u64);
     let mut table = Table::new(&["threads", "cold q/s", "warm q/s", "speedup", "hits", "misses"]);
     for &threads in thread_counts {
         let engine = S3Engine::new(
@@ -97,6 +99,10 @@ fn main() {
 
         let qps = |elapsed: std::time::Duration| queries.len() as f64 / elapsed.as_secs_f64();
         let stats = engine.cache_stats();
+        report
+            .num(&format!("threads{threads}.cold_qps"), qps(cold))
+            .num(&format!("threads{threads}.warm_qps"), qps(warm))
+            .num(&format!("threads{threads}.hit_rate"), stats.hit_rate());
         table.row(vec![
             threads.to_string(),
             format!("{:.0}", qps(cold)),
@@ -138,6 +144,7 @@ fn main() {
                 threads: 1,
                 cache_capacity: 0, // isolate the propagation lifecycle
                 warm_seekers: if resume { 32 } else { 0 },
+                ..EngineConfig::default()
             },
         );
         let t = Instant::now();
@@ -146,6 +153,10 @@ fn main() {
         }
         let elapsed = t.elapsed();
         let stats = engine.resume_stats();
+        let key = if resume { "resume" } else { "cold" };
+        report
+            .num(&format!("zipf_seeker.{key}.qps"), stream.len() as f64 / elapsed.as_secs_f64())
+            .num(&format!("zipf_seeker.{key}.resume_rate"), stats.resume_rate());
         resume_table.row(vec![
             label.to_string(),
             format!("{:.0}", stream.len() as f64 / elapsed.as_secs_f64()),
@@ -156,6 +167,7 @@ fn main() {
         ]);
     }
     print!("{}", resume_table.render());
+    report.write_and_announce();
     println!(
         "\nwarm-vs-cold: the resume row serves repeat seekers by continuing their\n\
          propagation (hit rate above); the cold row recomputes every propagation\n\

@@ -7,9 +7,11 @@
 
 #![warn(missing_docs)]
 pub mod metrics;
+pub mod report;
 pub mod runner;
 pub mod table;
 
 pub use metrics::{compare_runs, QualitativeMeasures};
+pub use report::JsonReport;
 pub use runner::{run_s3k_workload, run_topks_workload, RuntimeSummary, WorkloadTimes};
 pub use table::Table;

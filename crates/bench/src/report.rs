@@ -1,0 +1,145 @@
+//! Machine-readable bench artifacts: flat `BENCH_<name>.json` files.
+//!
+//! Log text is fine for a human reading one run; tracking a perf
+//! trajectory across PRs needs numbers a script can diff. Each bench
+//! builds a [`JsonReport`] alongside its printed tables and calls
+//! [`JsonReport::write`]: when the `BENCH_JSON_DIR` environment variable
+//! is set (CI's smoke job sets it and uploads the directory as a
+//! workflow artifact), the report lands there as `BENCH_<name>.json`;
+//! otherwise the call is a no-op, so local runs stay clean.
+//!
+//! The format is deliberately flat — one JSON object, dotted keys in
+//! insertion order, numeric or string values — so downstream tooling
+//! needs nothing beyond a JSON parser. The writer is hand-rolled
+//! (serde lives behind an offline shim in this workspace) and guards
+//! every number: non-finite values are recorded as `0.0` rather than
+//! emitting invalid JSON.
+
+use std::path::PathBuf;
+
+/// An ordered flat key/value report serialized as one JSON object.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonReport {
+    /// A report that will serialize to `BENCH_<name>.json`.
+    pub fn new(name: &str) -> Self {
+        JsonReport { name: name.to_string(), fields: Vec::new() }
+    }
+
+    /// The bench name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record a float metric (non-finite values become `0.0`).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.fields.push((key.to_string(), format!("{value}")));
+        self
+    }
+
+    /// Record an integer metric.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Record a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// The serialized JSON object (keys in insertion order).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\"", escape(&self.name)));
+        for (key, value) in &self.fields {
+            out.push_str(&format!(",\n  \"{}\": {}", escape(key), value));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` under `$BENCH_JSON_DIR` (creating the
+    /// directory), returning the path. A no-op returning `None` when the
+    /// variable is unset or the filesystem refuses.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = PathBuf::from(std::env::var_os("BENCH_JSON_DIR")?);
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render()).ok()?;
+        Some(path)
+    }
+
+    /// [`Self::write`] plus a log line saying where the artifact went.
+    pub fn write_and_announce(&self) {
+        if let Some(path) = self.write() {
+            println!("\nbench artifact: {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_object_in_insertion_order() {
+        let mut r = JsonReport::new("cache");
+        r.num("zipf.lru.hit_rate", 0.5).int("zipf.replays", 600).str("scale", "tiny");
+        let json = r.render();
+        assert!(json.starts_with("{\n  \"bench\": \"cache\""));
+        let lru = json.find("zipf.lru.hit_rate").unwrap();
+        let replays = json.find("zipf.replays").unwrap();
+        assert!(lru < replays, "insertion order preserved");
+        assert!(json.contains("\"zipf.replays\": 600"));
+        assert!(json.contains("\"scale\": \"tiny\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_guarded() {
+        let mut r = JsonReport::new("x");
+        r.num("nan", f64::NAN).num("inf", f64::INFINITY);
+        let json = r.render();
+        assert!(json.contains("\"nan\": 0"));
+        assert!(json.contains("\"inf\": 0"));
+        assert!(!json.contains("NaN") && !json.contains("inf\": inf"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = JsonReport::new("x");
+        r.str("label", "a \"quoted\"\nline\\");
+        assert!(r.render().contains("\"label\": \"a \\\"quoted\\\"\\nline\\\\\""));
+    }
+
+    #[test]
+    fn write_is_a_noop_without_the_env_var() {
+        // The test environment does not set BENCH_JSON_DIR.
+        if std::env::var_os("BENCH_JSON_DIR").is_none() {
+            assert!(JsonReport::new("never").write().is_none());
+        }
+    }
+}

@@ -8,13 +8,14 @@
 //! shared front so the sharded engine's cache sits before the scatter: a
 //! hit costs one lookup regardless of shard count.
 
-use crate::cache::LruCache;
+use crate::cache::{CacheClock, CachePolicy, PolicyCache};
 use crate::CacheStats;
 use s3_core::{Query, SearchConfig, TopKResult, UserId};
 use s3_text::KeywordId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Epoch-stamped search configuration, shared by both engines: every
 /// replacement bumps the epoch, and the epoch is part of the cache key,
@@ -110,35 +111,45 @@ impl CacheKey {
     }
 }
 
-/// The epoch-keyed LRU result cache plus its effectiveness counters.
-/// Capacity 0 disables caching (every lookup is a counted miss).
+/// The epoch-keyed, policy-driven result cache plus its effectiveness
+/// counters. Capacity 0 disables caching (every lookup is a counted
+/// miss). The policy ([`CachePolicy`]) and optional TTL only decide
+/// *whether* a lookup hits, never *what* is returned — see
+/// [`crate::cache`].
 #[derive(Debug)]
 pub(crate) struct ResultCache {
-    cache: Option<Mutex<LruCache<CacheKey, Arc<TopKResult>>>>,
+    cache: Option<Mutex<PolicyCache<CacheKey, Arc<TopKResult>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    evictions: AtomicU64,
     invalidated: AtomicU64,
 }
 
 impl ResultCache {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, policy: CachePolicy, ttl: Option<Duration>) -> Self {
         ResultCache {
-            cache: (capacity > 0).then(|| Mutex::new(LruCache::new(capacity))),
+            cache: (capacity > 0).then(|| {
+                Mutex::new(PolicyCache::new(capacity, policy, ttl, CacheClock::monotonic()))
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
+        let (entries, store) = self.cache.as_ref().map_or_else(Default::default, |c| {
+            let cache = c.lock().expect("cache poisoned");
+            (cache.len(), cache.counters())
+        });
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            evictions: store.evictions,
+            admitted: store.admitted,
+            rejected: store.rejected,
+            expired: store.expired,
             invalidated: self.invalidated.load(Ordering::Relaxed),
-            entries: self.cache.as_ref().map_or(0, |c| c.lock().expect("cache poisoned").len()),
+            entries,
         }
     }
 
@@ -171,12 +182,11 @@ impl ResultCache {
         None
     }
 
-    /// Insert a computed result, counting an eviction if one occurs.
+    /// Insert a computed result; the policy decides admission/eviction
+    /// and counts drops by cause.
     fn insert(&self, key: CacheKey, result: Arc<TopKResult>) {
         if let Some(cache) = &self.cache {
-            if cache.lock().expect("cache poisoned").insert(key, result).is_some() {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
+            cache.lock().expect("cache poisoned").insert(key, result);
         }
     }
 

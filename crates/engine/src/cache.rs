@@ -1,141 +1,595 @@
-//! A slab-backed LRU map for query results.
+//! The pluggable result-cache store: LRU or W-TinyLFU admission over a
+//! segmented LRU, with optional per-entry TTL.
 //!
-//! Entries live in a slab (`Vec`) threaded by an intrusive doubly-linked
-//! recency list, with a `HashMap` index by key: `get` and `insert` are
-//! O(1), eviction pops the list tail, and freed slots are recycled so a
-//! warm cache performs no steady-state allocation. Not thread-safe by
-//! itself — the engine wraps it in a `Mutex`.
+//! [`PolicyCache`] keeps every entry in one slab (`Vec`) threaded by
+//! intrusive doubly-linked recency lists — one per segment — with a
+//! `HashMap` index by key, so `get` and `insert` stay O(1) and freed
+//! slots are recycled through a free list. Which segments exist is the
+//! [`CachePolicy`]:
+//!
+//! * **`Lru`** — everything lives in a single recency list (the window);
+//!   a full cache evicts its tail. This is the pre-admission behaviour.
+//! * **`TinyLfu`** — a small LRU *admission window* sits in front of a
+//!   segmented *probation*/*protected* main region. New entries land in
+//!   the window; the window's eviction candidate is admitted to
+//!   probation only if a [`FrequencySketch`] (4-bit count-min counters
+//!   plus a doorkeeper bloom filter, both halved/cleared every sample
+//!   period) estimates it more frequent than the main region's eviction
+//!   victim. A probation hit promotes to protected; protected overflow
+//!   demotes back to probation. One-hit-wonder traffic therefore churns
+//!   the tiny window instead of flushing the hot main region.
+//!
+//! TTL is expire-after-write: entries are stamped at insert (an
+//! overwrite refreshes the stamp), checked **lazily on `get`** — an
+//! expired entry is dropped and reported as a miss — and **swept on
+//! `insert`** by trimming expired runs off each segment's LRU tail. The
+//! sweep is opportunistic (recency order is not expiry order, so a
+//! recently-touched expired entry can linger at a list front until its
+//! next lookup); `get` is the authoritative check, so an expired value
+//! is never *served*. Time comes from a [`CacheClock`] so tests can
+//! drive expiry deterministically.
+//!
+//! The admission policy and TTL only ever decide *whether* a lookup
+//! hits — never *what* is returned — so every policy/TTL configuration
+//! is byte-identical to an uncached run (property-tested in
+//! `tests/parity.rs`). Not thread-safe by itself — the engine wraps the
+//! store in a `Mutex`.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const NIL: usize = usize::MAX;
 
+/// Admission/eviction policy for the result cache (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachePolicy {
+    /// Plain least-recently-used: recency-only, no admission filter.
+    Lru,
+    /// W-TinyLFU: frequency-filtered admission into a probation/protected
+    /// main region behind a small LRU window.
+    TinyLfu {
+        /// Fraction of the capacity given to the admission window
+        /// (clamped so the window holds at least one entry).
+        window_frac: f64,
+        /// Fraction of the main region reserved for the protected
+        /// segment (entries promoted by a probation hit).
+        protected_frac: f64,
+    },
+}
+
+impl Default for CachePolicy {
+    /// `Lru` — the backward-compatible default; serving stacks opt into
+    /// [`CachePolicy::tiny_lfu`].
+    fn default() -> Self {
+        CachePolicy::Lru
+    }
+}
+
+impl CachePolicy {
+    /// W-TinyLFU with this crate's default parameters: a 10% admission
+    /// window and an 80%-protected main region. A window this size keeps
+    /// recency-heavy streams (mild Zipf skew) at LRU-level hit rates
+    /// while the filter still rejects one-hit-wonder scans; shrink it
+    /// toward 1% for strongly frequency-biased traffic.
+    pub fn tiny_lfu() -> Self {
+        CachePolicy::TinyLfu { window_frac: 0.1, protected_frac: 0.8 }
+    }
+
+    /// Clamp the fractions into `[0, 1]`; non-finite values fall back to
+    /// the [`CachePolicy::tiny_lfu`] defaults. Idempotent.
+    pub fn validated(self) -> Self {
+        match self {
+            CachePolicy::Lru => CachePolicy::Lru,
+            CachePolicy::TinyLfu { window_frac, protected_frac } => {
+                let clamp =
+                    |v: f64, dflt: f64| if v.is_finite() { v.clamp(0.0, 1.0) } else { dflt };
+                CachePolicy::TinyLfu {
+                    window_frac: clamp(window_frac, 0.1),
+                    protected_frac: clamp(protected_frac, 0.8),
+                }
+            }
+        }
+    }
+}
+
+/// The cache's time source: monotonic wall clock in production, a shared
+/// manually-advanced counter in tests (deterministic TTL expiry).
+#[derive(Debug, Clone)]
+pub enum CacheClock {
+    /// Elapsed time since the clock was created.
+    Monotonic(Instant),
+    /// Nanoseconds read from a shared counter the test advances.
+    Manual(Arc<AtomicU64>),
+}
+
+impl CacheClock {
+    /// The production clock.
+    pub fn monotonic() -> Self {
+        CacheClock::Monotonic(Instant::now())
+    }
+
+    /// A manual clock plus the handle that advances it (in nanoseconds).
+    pub fn manual() -> (Self, Arc<AtomicU64>) {
+        let ticks = Arc::new(AtomicU64::new(0));
+        (CacheClock::Manual(Arc::clone(&ticks)), ticks)
+    }
+
+    /// Time elapsed since the clock's origin.
+    pub fn now(&self) -> Duration {
+        match self {
+            CacheClock::Monotonic(base) => base.elapsed(),
+            CacheClock::Manual(ticks) => Duration::from_nanos(ticks.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// TinyLFU's frequency estimator: a count-min sketch of 4-bit saturating
+/// counters (16 per `u64` word, 4 probes per key) fronted by a doorkeeper
+/// bloom filter that absorbs the first sighting of every key. Every
+/// `sample_period` recorded accesses, all counters are halved and the
+/// doorkeeper is cleared, so estimates track the *recent* access
+/// distribution instead of all history.
 #[derive(Debug)]
-struct Entry<K, V> {
+pub struct FrequencySketch {
+    table: Vec<u64>,
+    counter_mask: u64,
+    doorkeeper: Vec<u64>,
+    door_mask: u64,
+    additions: u64,
+    sample_period: u64,
+    resets: u64,
+}
+
+const SEEDS: [u64; 4] =
+    [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F, 0x1656_67B1_9E37_79F9, 0xD6E8_FEB8_6659_FD93];
+
+impl FrequencySketch {
+    /// A sketch sized for `capacity` cache entries (16 counters per
+    /// entry, rounded up to a power of two; sample period 10×capacity).
+    pub fn new(capacity: usize) -> Self {
+        let words = capacity.max(16).next_power_of_two();
+        let counters = words * 16;
+        let door_words = counters / 64;
+        FrequencySketch {
+            table: vec![0; words],
+            counter_mask: (counters - 1) as u64,
+            doorkeeper: vec![0; door_words],
+            door_mask: (counters - 1) as u64,
+            additions: 0,
+            sample_period: capacity.max(16) as u64 * 10,
+            resets: 0,
+        }
+    }
+
+    fn spread(hash: u64, seed: u64) -> u64 {
+        let mut h = hash.wrapping_add(seed).wrapping_mul(seed | 1);
+        h ^= h >> 32;
+        h
+    }
+
+    fn door_bits(&self, hash: u64) -> [u64; 2] {
+        [
+            Self::spread(hash, SEEDS[0] ^ SEEDS[2]) & self.door_mask,
+            Self::spread(hash, SEEDS[1] ^ SEEDS[3]) & self.door_mask,
+        ]
+    }
+
+    fn door_contains(&self, hash: u64) -> bool {
+        self.door_bits(hash)
+            .iter()
+            .all(|&b| self.doorkeeper[(b / 64) as usize] & (1 << (b % 64)) != 0)
+    }
+
+    /// Set the doorkeeper bits for `hash`; returns whether they were all
+    /// already set (a repeat sighting within this sample period).
+    fn door_insert(&mut self, hash: u64) -> bool {
+        let mut seen = true;
+        for b in self.door_bits(hash) {
+            let (word, bit) = ((b / 64) as usize, 1u64 << (b % 64));
+            if self.doorkeeper[word] & bit == 0 {
+                seen = false;
+                self.doorkeeper[word] |= bit;
+            }
+        }
+        seen
+    }
+
+    fn increment(&mut self, counter: u64) {
+        let word = (counter >> 4) as usize;
+        let shift = (counter & 15) * 4;
+        if (self.table[word] >> shift) & 0xF < 15 {
+            self.table[word] += 1 << shift;
+        }
+    }
+
+    /// Record one access. The first sighting of a key since the last
+    /// reset only sets its doorkeeper bits; repeats count in the sketch.
+    pub fn record(&mut self, hash: u64) {
+        if self.door_insert(hash) {
+            for seed in SEEDS {
+                self.increment(Self::spread(hash, seed) & self.counter_mask);
+            }
+        }
+        self.additions += 1;
+        if self.additions >= self.sample_period {
+            self.reset();
+        }
+    }
+
+    /// Estimated access count of `hash` within the current sample: the
+    /// minimum over the four probed counters, plus one if the doorkeeper
+    /// has seen the key.
+    pub fn frequency(&self, hash: u64) -> u32 {
+        let mut min = u32::MAX;
+        for seed in SEEDS {
+            let counter = Self::spread(hash, seed) & self.counter_mask;
+            let word = (counter >> 4) as usize;
+            let shift = (counter & 15) * 4;
+            min = min.min(((self.table[word] >> shift) & 0xF) as u32);
+        }
+        min + u32::from(self.door_contains(hash))
+    }
+
+    /// How many sample-period resets (counter halvings) have happened.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Forget everything: zero all counters and the doorkeeper and
+    /// restart the sample. Used when the keyed population changes
+    /// wholesale (an epoch bump), where aged estimates could only alias.
+    pub fn clear(&mut self) {
+        self.table.iter_mut().for_each(|w| *w = 0);
+        self.doorkeeper.iter_mut().for_each(|w| *w = 0);
+        self.additions = 0;
+    }
+
+    /// Halve every counter (dropping each nibble's low bit) and clear
+    /// the doorkeeper — the aging step that keeps the estimate recent.
+    fn reset(&mut self) {
+        for word in &mut self.table {
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.doorkeeper.iter_mut().for_each(|w| *w = 0);
+        self.additions /= 2;
+        self.resets += 1;
+    }
+}
+
+fn hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
+    // DefaultHasher::new() hashes with fixed keys: deterministic within
+    // and across runs, which keeps the sketch (and tests) reproducible.
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Window = 0,
+    Probation = 1,
+    Protected = 2,
+}
+
+#[derive(Debug)]
+struct Node<K, V> {
     key: K,
     value: V,
+    /// Clock time past which this entry may not be served (TTL stamp).
+    expires_at: Option<Duration>,
+    seg: Segment,
     prev: usize,
     next: usize,
 }
 
-/// Fixed-capacity least-recently-used map.
-#[derive(Debug)]
-pub struct LruCache<K, V> {
-    map: HashMap<K, usize>,
-    slab: Vec<Entry<K, V>>,
-    /// Most recently used.
+#[derive(Debug, Clone, Copy)]
+struct List {
     head: usize,
-    /// Least recently used.
     tail: usize,
-    capacity: usize,
+    len: usize,
 }
 
-impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
-    /// An empty cache holding at most `capacity` entries (`capacity` ≥ 1).
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1, "LRU capacity must be at least 1");
-        LruCache {
+impl Default for List {
+    fn default() -> Self {
+        List { head: NIL, tail: NIL, len: 0 }
+    }
+}
+
+/// Why entries left the store, by cause (monotonic; survives `clear`).
+/// The caller layers hit/miss/invalidation counting on top.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Window candidates admitted into the main region (TinyLFU only).
+    pub admitted: u64,
+    /// Window candidates denied admission by the frequency filter and
+    /// dropped (TinyLFU only; *not* counted in `evictions`).
+    pub rejected: u64,
+    /// Entries displaced by capacity pressure: main-region victims that
+    /// lost to an admitted candidate, and window-tail drops under `Lru`.
+    pub evictions: u64,
+    /// Entries dropped because their TTL ran out (lazily on `get` or by
+    /// the insert-time sweep).
+    pub expired: u64,
+}
+
+fn is_expired(expires_at: Option<Duration>, now: Duration) -> bool {
+    expires_at.is_some_and(|e| e <= now)
+}
+
+/// Fixed-capacity policy-driven map (see the module docs).
+#[derive(Debug)]
+pub struct PolicyCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    /// Recycled slab slots (an entry's value is dropped when its slot is
+    /// reused; the slab never outgrows capacity + 1).
+    free: Vec<usize>,
+    lists: [List; 3],
+    window_cap: usize,
+    main_cap: usize,
+    protected_cap: usize,
+    sketch: Option<FrequencySketch>,
+    ttl: Option<Duration>,
+    clock: CacheClock,
+    counters: StoreCounters,
+}
+
+impl<K: Clone + Eq + Hash, V> PolicyCache<K, V> {
+    /// An empty store holding at most `capacity` entries (`capacity` ≥ 1)
+    /// under `policy`, with optional expire-after-write `ttl`.
+    pub fn new(
+        capacity: usize,
+        policy: CachePolicy,
+        ttl: Option<Duration>,
+        clock: CacheClock,
+    ) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        let (window_cap, main_cap, protected_cap, sketch) = match policy.validated() {
+            CachePolicy::Lru => (capacity, 0, 0, None),
+            CachePolicy::TinyLfu { window_frac, protected_frac } => {
+                let window = ((capacity as f64 * window_frac).round() as usize).clamp(1, capacity);
+                let main = capacity - window;
+                let protected = ((main as f64 * protected_frac).round() as usize).min(main);
+                (window, main, protected, Some(FrequencySketch::new(capacity)))
+            }
+        };
+        PolicyCache {
             map: HashMap::with_capacity(capacity),
-            slab: Vec::with_capacity(capacity),
-            head: NIL,
-            tail: NIL,
-            capacity,
+            slab: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            lists: [List::default(); 3],
+            window_cap,
+            main_cap,
+            protected_cap,
+            sketch,
+            ttl,
+            clock,
+            counters: StoreCounters::default(),
         }
     }
 
-    /// Number of live entries.
+    /// Number of live entries (may include expired entries not yet
+    /// observed by a lookup or sweep).
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
-    /// Is the cache empty?
+    /// Is the store empty?
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
     /// Maximum number of entries.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.window_cap + self.main_cap
     }
 
-    /// Look up `key`, marking it most recently used on a hit.
+    /// Drop-cause counters.
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// Look `key` up, marking it most recently used (and promoting a
+    /// probation hit) on success. A TinyLFU store records the access in
+    /// its frequency sketch whether or not the lookup hits; an entry
+    /// past its TTL is dropped and reported as a miss.
     pub fn get(&mut self, key: &K) -> Option<&V> {
+        if let Some(sketch) = &mut self.sketch {
+            sketch.record(hash_of(key));
+        }
         let &idx = self.map.get(key)?;
-        self.move_to_front(idx);
+        if is_expired(self.slab[idx].expires_at, self.clock.now()) {
+            self.unlink(idx);
+            self.discard(idx);
+            self.counters.expired += 1;
+            return None;
+        }
+        self.touch(idx);
         Some(&self.slab[idx].value)
     }
 
-    /// Insert (or overwrite) `key`; returns the evicted least-recently-used
-    /// `(key, value)` pair when the cache was full. A full cache recycles
-    /// its tail slot in place, so the slab never grows past `capacity`.
-    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+    /// Insert (or overwrite, refreshing the TTL stamp of) `key`. New
+    /// entries enter the admission window; the displaced window tail is
+    /// admitted to the main region, evicting its victim, or dropped —
+    /// per the policy. Expired runs are swept off the segment tails
+    /// first.
+    pub fn insert(&mut self, key: K, value: V) {
+        let now = self.clock.now();
+        self.sweep_expired(now);
+        let expires_at = self.ttl.map(|t| now.saturating_add(t));
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
-            self.move_to_front(idx);
-            return None;
+            self.slab[idx].expires_at = expires_at;
+            self.touch(idx);
+            return;
         }
-        if self.map.len() == self.capacity {
-            let tail = self.tail;
-            self.unlink(tail);
-            let entry = &mut self.slab[tail];
-            let old_key = std::mem::replace(&mut entry.key, key.clone());
-            let old_value = std::mem::replace(&mut entry.value, value);
-            self.map.remove(&old_key);
-            self.map.insert(key, tail);
-            self.push_front(tail);
-            Some((old_key, old_value))
-        } else {
-            self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
-            let idx = self.slab.len() - 1;
-            self.map.insert(key, idx);
-            self.push_front(idx);
-            None
+        let idx = self.alloc(key, value, expires_at);
+        self.push_front(Segment::Window, idx);
+        if self.lists[Segment::Window as usize].len > self.window_cap {
+            let candidate = self.lists[Segment::Window as usize].tail;
+            self.unlink(candidate);
+            self.admit(candidate);
         }
     }
 
-    /// Drop every entry (keeps allocations).
+    /// Drop every entry (keeps allocations and counters). The frequency
+    /// sketch is cleared too: a `clear` accompanies an epoch bump, after
+    /// which no old key ever recurs — stale counters would only alias
+    /// into new keys' admission contests.
     pub fn clear(&mut self) {
         self.map.clear();
         self.slab.clear();
-        self.head = NIL;
-        self.tail = NIL;
+        self.free.clear();
+        self.lists = [List::default(); 3];
+        if let Some(sketch) = &mut self.sketch {
+            sketch.clear();
+        }
+    }
+
+    /// The admission decision for the window's eviction candidate
+    /// (already unlinked): into probation, or out of the cache.
+    fn admit(&mut self, candidate: usize) {
+        if self.main_cap == 0 {
+            // Pure-LRU shape (or a degenerate TinyLFU capacity): the
+            // window *is* the cache and its tail is evicted.
+            self.counters.evictions += 1;
+            self.discard(candidate);
+            return;
+        }
+        let main_len = self.lists[Segment::Probation as usize].len
+            + self.lists[Segment::Protected as usize].len;
+        if main_len < self.main_cap {
+            self.counters.admitted += 1;
+            self.push_front(Segment::Probation, candidate);
+            return;
+        }
+        let victim = if self.lists[Segment::Probation as usize].len > 0 {
+            self.lists[Segment::Probation as usize].tail
+        } else {
+            self.lists[Segment::Protected as usize].tail
+        };
+        // The admission invariant: a candidate may only displace the
+        // victim when the sketch estimates it strictly more frequent —
+        // ties keep the incumbent, so one-hit wonders never flush a
+        // warmer entry.
+        let admit = match &self.sketch {
+            Some(sketch) => {
+                sketch.frequency(hash_of(&self.slab[candidate].key))
+                    > sketch.frequency(hash_of(&self.slab[victim].key))
+            }
+            None => true,
+        };
+        if admit {
+            self.unlink(victim);
+            self.discard(victim);
+            self.counters.evictions += 1;
+            self.counters.admitted += 1;
+            self.push_front(Segment::Probation, candidate);
+        } else {
+            self.counters.rejected += 1;
+            self.discard(candidate);
+        }
+    }
+
+    /// Mark a hit: bump recency, promoting probation hits to protected
+    /// (demoting the protected tail back when over capacity).
+    fn touch(&mut self, idx: usize) {
+        let seg = self.slab[idx].seg;
+        self.unlink(idx);
+        if seg == Segment::Probation && self.protected_cap > 0 {
+            self.push_front(Segment::Protected, idx);
+            if self.lists[Segment::Protected as usize].len > self.protected_cap {
+                let demote = self.lists[Segment::Protected as usize].tail;
+                self.unlink(demote);
+                self.push_front(Segment::Probation, demote);
+            }
+        } else {
+            self.push_front(seg, idx);
+        }
+    }
+
+    /// Trim expired runs off each segment's LRU tail (opportunistic; see
+    /// the module docs — `get` is the authoritative expiry check).
+    fn sweep_expired(&mut self, now: Duration) {
+        if self.ttl.is_none() {
+            return;
+        }
+        for seg in [Segment::Window, Segment::Probation, Segment::Protected] {
+            loop {
+                let tail = self.lists[seg as usize].tail;
+                if tail == NIL || !is_expired(self.slab[tail].expires_at, now) {
+                    break;
+                }
+                self.unlink(tail);
+                self.discard(tail);
+                self.counters.expired += 1;
+            }
+        }
+    }
+
+    fn alloc(&mut self, key: K, value: V, expires_at: Option<Duration>) -> usize {
+        let node = Node {
+            key: key.clone(),
+            value,
+            expires_at,
+            seg: Segment::Window,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slab[idx] = node;
+            idx
+        } else {
+            self.slab.push(node);
+            self.slab.len() - 1
+        };
+        self.map.insert(key, idx);
+        idx
+    }
+
+    /// Forget an already-unlinked entry. Its value stays in the slab slot
+    /// until the slot is reused (bounded by capacity), so `Arc` payloads
+    /// are released no later than the next insert cycle.
+    fn discard(&mut self, idx: usize) {
+        self.map.remove(&self.slab[idx].key);
+        self.free.push(idx);
     }
 
     fn unlink(&mut self, idx: usize) {
+        let seg = self.slab[idx].seg as usize;
         let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
         if prev != NIL {
             self.slab[prev].next = next;
         } else {
-            self.head = next;
+            self.lists[seg].head = next;
         }
         if next != NIL {
             self.slab[next].prev = prev;
         } else {
-            self.tail = prev;
+            self.lists[seg].tail = prev;
         }
+        self.lists[seg].len -= 1;
         self.slab[idx].prev = NIL;
         self.slab[idx].next = NIL;
     }
 
-    fn push_front(&mut self, idx: usize) {
+    fn push_front(&mut self, seg: Segment, idx: usize) {
+        let s = seg as usize;
+        self.slab[idx].seg = seg;
         self.slab[idx].prev = NIL;
-        self.slab[idx].next = self.head;
-        if self.head != NIL {
-            self.slab[self.head].prev = idx;
+        self.slab[idx].next = self.lists[s].head;
+        if self.lists[s].head != NIL {
+            self.slab[self.lists[s].head].prev = idx;
         }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
+        self.lists[s].head = idx;
+        if self.lists[s].tail == NIL {
+            self.lists[s].tail = idx;
         }
-    }
-
-    fn move_to_front(&mut self, idx: usize) {
-        if self.head == idx {
-            return;
-        }
-        self.unlink(idx);
-        self.push_front(idx);
+        self.lists[s].len += 1;
     }
 }
 
@@ -143,67 +597,289 @@ impl<K: Clone + Eq + Hash, V> LruCache<K, V> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn evicts_least_recently_used() {
-        let mut lru = LruCache::new(2);
-        assert!(lru.insert("a", 1).is_none());
-        assert!(lru.insert("b", 2).is_none());
-        assert_eq!(lru.get(&"a"), Some(&1)); // refresh a; b is now LRU
-        let evicted = lru.insert("c", 3).expect("must evict");
-        assert_eq!(evicted, ("b", 2));
-        assert_eq!(lru.get(&"b"), None);
-        assert_eq!(lru.get(&"a"), Some(&1));
-        assert_eq!(lru.get(&"c"), Some(&3));
-        assert_eq!(lru.len(), 2);
+    fn lru(capacity: usize) -> PolicyCache<&'static str, i32> {
+        PolicyCache::new(capacity, CachePolicy::Lru, None, CacheClock::monotonic())
     }
 
     #[test]
-    fn overwrite_refreshes_without_evicting() {
-        let mut lru = LruCache::new(2);
-        lru.insert("a", 1);
-        lru.insert("b", 2);
-        assert!(lru.insert("a", 10).is_none());
-        assert_eq!(lru.get(&"a"), Some(&10));
-        // "b" must have been the eviction victim candidate after the
-        // overwrite refreshed "a".
-        let evicted = lru.insert("c", 3).expect("full");
-        assert_eq!(evicted.0, "b");
+    fn lru_evicts_least_recently_used() {
+        let mut cache = lru(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(&1)); // refresh a; b is now LRU
+        cache.insert("c", 3);
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"c"), Some(&3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 1);
     }
 
     #[test]
-    fn capacity_one_cycles() {
-        let mut lru = LruCache::new(1);
+    fn lru_overwrite_refreshes_without_evicting() {
+        let mut cache = lru(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("a", 10);
+        assert_eq!(cache.counters().evictions, 0);
+        assert_eq!(cache.get(&"a"), Some(&10));
+        // "b" must be the eviction victim after the overwrite refreshed "a".
+        cache.insert("c", 3);
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn lru_capacity_one_cycles() {
+        let mut cache: PolicyCache<i32, i32> =
+            PolicyCache::new(1, CachePolicy::Lru, None, CacheClock::monotonic());
         for i in 0..10 {
-            lru.insert(i, i * 2);
-            assert_eq!(lru.len(), 1);
-            assert_eq!(lru.get(&i), Some(&(i * 2)));
+            cache.insert(i, i * 2);
+            assert_eq!(cache.len(), 1);
         }
-        assert_eq!(lru.get(&3), None);
+        assert_eq!(cache.get(&3), None);
+        assert_eq!(cache.get(&9), Some(&18));
     }
 
     #[test]
-    fn clear_resets() {
-        let mut lru = LruCache::new(4);
-        for i in 0..4 {
-            lru.insert(i, i);
+    fn clear_resets_entries_but_keeps_counters() {
+        let mut cache = lru(2);
+        for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {
+            cache.insert(k, v);
         }
-        lru.clear();
-        assert!(lru.is_empty());
-        assert_eq!(lru.get(&1), None);
-        lru.insert(9, 9);
-        assert_eq!(lru.get(&9), Some(&9));
+        let evicted = cache.counters().evictions;
+        assert_eq!(evicted, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&"c"), None);
+        cache.insert("z", 9);
+        assert_eq!(cache.get(&"z"), Some(&9));
+        assert_eq!(cache.counters().evictions, evicted, "clear is not an eviction");
     }
 
     #[test]
     fn slot_recycling_bounds_slab_growth() {
-        let mut lru = LruCache::new(3);
+        let mut cache: PolicyCache<i32, i32> =
+            PolicyCache::new(3, CachePolicy::Lru, None, CacheClock::monotonic());
         for i in 0..100 {
-            lru.insert(i, i);
+            cache.insert(i, i);
         }
-        assert_eq!(lru.len(), 3);
-        assert!(lru.slab.len() <= 3, "slab must not grow past capacity");
-        for i in 97..100 {
-            assert_eq!(lru.get(&i), Some(&i));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.slab.len() <= 4, "slab must stay within capacity + 1");
+    }
+
+    fn tiny(
+        capacity: usize,
+        window_frac: f64,
+        protected_frac: f64,
+    ) -> PolicyCache<&'static str, i32> {
+        PolicyCache::new(
+            capacity,
+            CachePolicy::TinyLfu { window_frac, protected_frac },
+            None,
+            CacheClock::monotonic(),
+        )
+    }
+
+    #[test]
+    fn capacity_splits_into_window_and_main() {
+        let cache = tiny(100, 0.1, 0.5);
+        assert_eq!((cache.window_cap, cache.main_cap, cache.protected_cap), (10, 90, 45));
+        // The window never rounds to zero, and Lru is all window.
+        let one = tiny(8, 0.0, 0.5);
+        assert_eq!(one.window_cap, 1);
+        let all = lru(8);
+        assert_eq!((all.window_cap, all.main_cap), (8, 0));
+    }
+
+    #[test]
+    fn admission_rejects_one_hit_wonders() {
+        // Window 1, main 3: heat up three keys, then stream strangers.
+        let mut cache = tiny(4, 0.25, 0.5);
+        for key in ["a", "b", "c"] {
+            cache.get(&key); // record a sighting before the insert
+            cache.insert(key, 0);
         }
+        // Push them through the window into main and build frequency.
+        cache.insert("pusher", 0);
+        for _ in 0..3 {
+            for key in ["a", "b", "c"] {
+                assert!(cache.get(&key).is_some(), "{key} must be resident");
+            }
+        }
+        let rejected_before = cache.counters().rejected;
+        const WONDERS: [&str; 6] = ["w0", "w1", "w2", "w3", "w4", "w5"];
+        for (i, key) in WONDERS.into_iter().enumerate() {
+            assert_eq!(cache.get(&key), None);
+            cache.insert(key, i as i32);
+        }
+        for key in ["a", "b", "c"] {
+            assert!(cache.get(&key).is_some(), "hot {key} must survive the scan");
+        }
+        assert!(
+            cache.counters().rejected > rejected_before,
+            "the frequency filter must deny cold candidates ({:?})",
+            cache.counters()
+        );
+    }
+
+    #[test]
+    fn repeated_candidate_earns_admission() {
+        let mut cache = tiny(4, 0.25, 0.5);
+        for key in ["a", "b", "c"] {
+            cache.get(&key);
+            cache.insert(key, 0);
+        }
+        cache.insert("pusher", 0); // main now holds a, b, c
+                                   // A new key seen repeatedly outscores the coldest incumbent.
+        for _ in 0..4 {
+            assert_eq!(cache.get(&"hot"), None);
+        }
+        cache.insert("hot", 1);
+        cache.insert("pusher2", 0); // displace "hot" out of the window
+        assert_eq!(cache.get(&"hot"), Some(&1), "frequent candidate must be admitted");
+        assert!(cache.counters().admitted > 0);
+    }
+
+    #[test]
+    fn probation_hit_promotes_and_protected_overflow_demotes() {
+        let mut cache = tiny(8, 0.125, 0.5); // window 1, main 7, protected 4
+        assert_eq!(cache.protected_cap, 4);
+        for key in ["a", "b", "c", "d", "e", "f"] {
+            cache.insert(key, 0);
+        }
+        // Everything but the window resident ("f") sits in probation.
+        assert_eq!(cache.lists[Segment::Probation as usize].len, 5);
+        assert_eq!(cache.lists[Segment::Protected as usize].len, 0);
+        cache.get(&"a");
+        cache.get(&"b");
+        assert_eq!(cache.lists[Segment::Protected as usize].len, 2);
+        assert_eq!(cache.lists[Segment::Probation as usize].len, 3);
+        cache.get(&"c");
+        cache.get(&"d");
+        assert_eq!(cache.lists[Segment::Protected as usize].len, 4);
+        // Promote past the protected capacity: the tail ("a") demotes back.
+        cache.get(&"e");
+        assert_eq!(cache.lists[Segment::Protected as usize].len, cache.protected_cap);
+        assert_eq!(cache.lists[Segment::Probation as usize].len, 1, "one entry demoted");
+        assert!(cache.get(&"a").is_some(), "the demoted entry stays resident");
+    }
+
+    #[test]
+    fn ttl_expires_lazily_on_get() {
+        let (clock, ticks) = CacheClock::manual();
+        let mut cache: PolicyCache<&str, i32> =
+            PolicyCache::new(4, CachePolicy::Lru, Some(Duration::from_nanos(100)), clock);
+        cache.insert("a", 1);
+        ticks.store(50, Ordering::Relaxed);
+        assert_eq!(cache.get(&"a"), Some(&1), "still fresh at t=50");
+        ticks.store(101, Ordering::Relaxed);
+        assert_eq!(cache.get(&"a"), None, "expired at t=101");
+        assert_eq!(cache.counters().expired, 1);
+        assert_eq!(cache.len(), 0, "the expired entry is gone, not hidden");
+    }
+
+    #[test]
+    fn ttl_zero_expires_immediately() {
+        let (clock, _ticks) = CacheClock::manual();
+        let mut cache: PolicyCache<&str, i32> =
+            PolicyCache::new(4, CachePolicy::tiny_lfu(), Some(Duration::ZERO), clock);
+        cache.insert("a", 1);
+        assert_eq!(cache.get(&"a"), None, "TTL 0 entries are never served");
+        assert_eq!(cache.counters().expired, 1);
+    }
+
+    #[test]
+    fn ttl_sweep_trims_expired_tails_on_insert() {
+        let (clock, ticks) = CacheClock::manual();
+        let mut cache: PolicyCache<&str, i32> =
+            PolicyCache::new(8, CachePolicy::Lru, Some(Duration::from_nanos(100)), clock);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        ticks.store(200, Ordering::Relaxed);
+        cache.insert("c", 3);
+        assert_eq!(cache.counters().expired, 2, "the sweep dropped both stale entries");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn ttl_overwrite_refreshes_the_stamp() {
+        let (clock, ticks) = CacheClock::manual();
+        let mut cache: PolicyCache<&str, i32> =
+            PolicyCache::new(4, CachePolicy::Lru, Some(Duration::from_nanos(100)), clock);
+        cache.insert("a", 1);
+        ticks.store(60, Ordering::Relaxed);
+        cache.insert("a", 2);
+        ticks.store(120, Ordering::Relaxed);
+        assert_eq!(cache.get(&"a"), Some(&2), "overwrite at t=60 pushes expiry to t=160");
+        ticks.store(161, Ordering::Relaxed);
+        assert_eq!(cache.get(&"a"), None);
+    }
+
+    #[test]
+    fn sketch_estimates_repeat_accesses() {
+        let mut sketch = FrequencySketch::new(64);
+        let (hot, cold) = (hash_of(&"hot"), hash_of(&"cold"));
+        assert_eq!(sketch.frequency(hot), 0);
+        sketch.record(hot);
+        assert_eq!(sketch.frequency(hot), 1, "first sighting lives in the doorkeeper");
+        for _ in 0..6 {
+            sketch.record(hot);
+        }
+        assert!(sketch.frequency(hot) >= 6);
+        sketch.record(cold);
+        assert!(sketch.frequency(hot) > sketch.frequency(cold));
+    }
+
+    #[test]
+    fn sketch_counters_saturate_at_fifteen() {
+        let mut sketch = FrequencySketch::new(16);
+        let h = hash_of(&42u32);
+        for _ in 0..100 {
+            sketch.record(h);
+        }
+        assert!(sketch.frequency(h) <= 16, "4-bit counters + doorkeeper cap the estimate");
+    }
+
+    #[test]
+    fn clear_resets_the_sketch_with_the_entries() {
+        let mut cache = tiny(4, 0.25, 0.5);
+        for _ in 0..5 {
+            cache.get(&"hot");
+        }
+        cache.insert("hot", 1);
+        assert!(cache.sketch.as_ref().expect("tinylfu").frequency(hash_of(&"hot")) >= 5);
+        cache.clear();
+        assert_eq!(
+            cache.sketch.as_ref().expect("tinylfu").frequency(hash_of(&"hot")),
+            0,
+            "an epoch bump must not leak stale frequencies into new contests"
+        );
+    }
+
+    #[test]
+    fn sample_period_halves_counters_and_clears_doorkeeper() {
+        let mut sketch = FrequencySketch::new(16); // sample period 160
+        let h = hash_of(&"key");
+        for _ in 0..12 {
+            sketch.record(h);
+        }
+        let before = sketch.frequency(h);
+        assert!(before >= 12, "doorkeeper + counters track the accesses (got {before})");
+        // Pad with distinct keys until the period triggers a reset.
+        let mut i = 0u64;
+        while sketch.resets() == 0 {
+            sketch.record(hash_of(&i));
+            i += 1;
+            assert!(i < 10_000, "reset must trigger within the sample period");
+        }
+        let after = sketch.frequency(h);
+        assert!(
+            after <= before / 2,
+            "halving + doorkeeper clear must at least halve the estimate \
+             ({before} -> {after})"
+        );
+        assert_eq!(sketch.resets(), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! The S3 serving layer: concurrent batched query execution over a shared
-//! instance, with per-worker scratch reuse and an LRU result cache.
+//! instance, with per-worker scratch reuse and a policy-driven result
+//! cache (LRU or W-TinyLFU admission, optional TTL).
 //!
 //! The core crate answers one query at a time against a borrowed
 //! [`S3Instance`]. This crate turns that algorithm into a substrate a
@@ -12,11 +13,15 @@
 //!   [`SearchScratch`] checked out of the engine's pool — warm workers
 //!   answer queries without steady-state allocation (the scratch pool
 //!   persists across batches);
-//! * results are cached in an [`cache::LruCache`] keyed by
+//! * results are cached in a [`cache::PolicyCache`] keyed by
 //!   `(seeker, normalized keywords, k, config epoch)` with hit/miss/
-//!   eviction counters. Changing the search configuration bumps the epoch,
-//!   so entries computed under a stale configuration can never be served —
-//!   even when an in-flight batch inserts them after the change;
+//!   eviction counters. The eviction/admission policy is pluggable
+//!   ([`CachePolicy`]: plain LRU, or W-TinyLFU frequency-filtered
+//!   admission), entries can carry an expire-after-write TTL
+//!   ([`EngineConfig::cache_ttl`]), and changing the search configuration
+//!   bumps the epoch, so entries computed under a stale configuration can
+//!   never be served — even when an in-flight batch inserts them after
+//!   the change;
 //! * a seeker-keyed warm propagation pool ([`ResumeStats`], epoch-stamped
 //!   like the cache) routes each query to a propagation already advanced
 //!   for its seeker, which the search *resumes* instead of resetting —
@@ -40,6 +45,7 @@ pub mod live;
 pub mod shard;
 mod warm;
 
+pub use cache::CachePolicy;
 pub use live::{IngestReport, InvalidationScope, LiveEngine, LiveShardedEngine};
 pub use shard::{ShardRouter, ShardedEngine};
 pub use warm::ResumeStats;
@@ -51,6 +57,7 @@ use s3_core::{
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use warm::PropPool;
 
 /// Hard ceiling on batch worker threads: absurd `EngineConfig::threads`
@@ -69,6 +76,18 @@ pub struct EngineConfig {
     /// Result-cache capacity in entries; 0 disables caching cleanly
     /// (every query computes, counters still track the misses).
     pub cache_capacity: usize,
+    /// Result-cache eviction/admission policy. `Lru` (the default) is
+    /// recency-only; [`CachePolicy::tiny_lfu`] adds W-TinyLFU
+    /// frequency-filtered admission, which holds hit rates under
+    /// one-hit-wonder traffic. The policy only changes *whether* a
+    /// lookup hits, never *what* is returned.
+    pub cache_policy: CachePolicy,
+    /// Optional expire-after-write TTL for cached results: entries older
+    /// than this are never served (checked lazily on lookup, swept on
+    /// insert) — the age-out knob for serving stacks that want bounded
+    /// staleness windows without an epoch bump. `None` (the default)
+    /// keeps entries until displaced or invalidated.
+    pub cache_ttl: Option<Duration>,
     /// Capacity of the seeker-keyed warm propagation map: how many
     /// seekers' propagations stay parked between queries for same-seeker
     /// resume ([`ResumeStats`]). Each warm entry holds O(|graph|) buffers,
@@ -84,6 +103,8 @@ impl Default for EngineConfig {
             search: SearchConfig::default(),
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_capacity: 4096,
+            cache_policy: CachePolicy::default(),
+            cache_ttl: None,
             warm_seekers: 16,
         }
     }
@@ -91,10 +112,12 @@ impl Default for EngineConfig {
 
 impl EngineConfig {
     /// Clamp out-of-range values to their documented fallbacks: `threads`
-    /// to `1..=MAX_BATCH_THREADS`. Called by [`S3Engine::new`] and
-    /// [`ShardedEngine::new`]; idempotent.
+    /// to `1..=MAX_BATCH_THREADS`, the cache policy's fractions into
+    /// `[0, 1]` ([`CachePolicy::validated`]). Called by [`S3Engine::new`]
+    /// and [`ShardedEngine::new`]; idempotent.
     pub fn validated(mut self) -> Self {
         self.threads = self.threads.clamp(1, MAX_BATCH_THREADS);
+        self.cache_policy = self.cache_policy.validated();
         self
     }
 }
@@ -109,8 +132,20 @@ pub struct CacheStats {
     /// uncached query each count as a miss even though only the first
     /// occurrence runs a search.
     pub misses: u64,
-    /// Entries displaced by capacity pressure.
+    /// Entries displaced by capacity pressure (main-region victims that
+    /// lost an admission contest, and plain LRU tail drops). Rejected
+    /// admission candidates are counted in `rejected`, not here.
     pub evictions: u64,
+    /// Admission-window candidates accepted into the main cache region
+    /// (always 0 under [`CachePolicy::Lru`]).
+    pub admitted: u64,
+    /// Admission-window candidates denied by the TinyLFU frequency
+    /// filter and dropped (always 0 under [`CachePolicy::Lru`]).
+    pub rejected: u64,
+    /// Entries dropped because their [`EngineConfig::cache_ttl`] ran out
+    /// — a *staleness* age-out, counted separately from the correctness
+    /// drops in `invalidated`.
+    pub expired: u64,
     /// Entries dropped by an explicit epoch-bump invalidation (a search
     /// configuration change, or a live-ingestion snapshot swap whose
     /// delta reached this cache's scope). Scoped ingestion leaves
@@ -131,6 +166,39 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Fraction of admission contests the candidate won (0.0 before any
+    /// candidate reached the filter; 1.0 under plain LRU would mean
+    /// nothing, so it also reports 0.0 when no contest happened).
+    pub fn admission_rate(&self) -> f64 {
+        let total = self.admitted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.admitted as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    /// One serving-log line with every counter and the (guarded) hit
+    /// rate — what the examples print as their final cache report.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses (hit rate {:.2}) — {} entries, {} evicted, \
+             {} admitted, {} rejected, {} expired, {} invalidated",
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.entries,
+            self.evictions,
+            self.admitted,
+            self.rejected,
+            self.expired,
+            self.invalidated,
+        )
     }
 }
 
@@ -176,12 +244,13 @@ impl S3Engine {
     /// Build a serving engine over a shared instance. The configuration
     /// is [`EngineConfig::validated`] first.
     pub fn new(instance: Arc<S3Instance>, config: EngineConfig) -> Self {
-        let EngineConfig { search, threads, cache_capacity, warm_seekers } = config.validated();
+        let EngineConfig { search, threads, cache_capacity, cache_policy, cache_ttl, warm_seekers } =
+            config.validated();
         S3Engine {
             instance,
             config: Arc::new(EpochConfig::new(search)),
             threads,
-            cache: Arc::new(ResultCache::new(cache_capacity)),
+            cache: Arc::new(ResultCache::new(cache_capacity, cache_policy, cache_ttl)),
             scratch_pool: Arc::new(Mutex::new(Vec::new())),
             props: Arc::new(PropPool::new(warm_seekers)),
         }
@@ -347,7 +416,7 @@ mod tests {
     use s3_doc::DocBuilder;
     use s3_text::{KeywordId, Language};
 
-    fn tiny_engine(cache_capacity: usize) -> (S3Engine, UserId, Vec<KeywordId>) {
+    fn tiny_engine_with(config: EngineConfig) -> (S3Engine, UserId, Vec<KeywordId>) {
         let mut b = InstanceBuilder::new(Language::English);
         let u0 = b.add_user();
         let u1 = b.add_user();
@@ -358,11 +427,12 @@ mod tests {
         b.add_document(doc, Some(u0));
         let inst = Arc::new(b.build());
         let keywords = inst.query_keywords("degree");
-        let engine = S3Engine::new(
-            inst,
-            EngineConfig { cache_capacity, threads: 2, ..EngineConfig::default() },
-        );
+        let engine = S3Engine::new(inst, config);
         (engine, u1, keywords)
+    }
+
+    fn tiny_engine(cache_capacity: usize) -> (S3Engine, UserId, Vec<KeywordId>) {
+        tiny_engine_with(EngineConfig { cache_capacity, threads: 2, ..EngineConfig::default() })
     }
 
     #[test]
@@ -466,6 +536,130 @@ mod tests {
         let keywords = inst.query_keywords("degree");
         let batch: Vec<Query> = (0..4).map(|_| Query::new(u, keywords.clone(), 2)).collect();
         assert!(engine.run_batch(&batch).iter().all(|r| r.hits.len() == 1));
+    }
+
+    #[test]
+    fn tinylfu_repeat_query_hits_like_lru() {
+        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
+            cache_capacity: 16,
+            cache_policy: CachePolicy::tiny_lfu(),
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let q = Query::new(seeker, kws, 3);
+        let first = engine.query(&q);
+        let second = engine.query(&q);
+        assert!(Arc::ptr_eq(&first, &second), "second answer must be the cached Arc");
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn tinylfu_capacity_pressure_counts_admissions() {
+        let (engine, seeker, _) = tiny_engine_with(EngineConfig {
+            cache_capacity: 3,
+            cache_policy: CachePolicy::TinyLfu { window_frac: 0.34, protected_frac: 0.5 },
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        // Distinct queries (by k) overflow the 1-entry window into main.
+        for k in 1..=8 {
+            let kws = engine.instance().query_keywords("degree");
+            engine.query(&Query::new(seeker, kws, k));
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.entries <= 3);
+        assert!(stats.admitted >= 2, "main has room for two admissions ({stats})");
+        assert!(
+            stats.admitted + stats.rejected + stats.evictions >= 5,
+            "every window overflow must be accounted for ({stats})"
+        );
+        assert!(stats.admission_rate() > 0.0 && stats.admission_rate() <= 1.0);
+    }
+
+    #[test]
+    fn tinylfu_zero_capacity_still_answers() {
+        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
+            cache_capacity: 0,
+            cache_policy: CachePolicy::tiny_lfu(),
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let q = Query::new(seeker, kws, 3);
+        let a = engine.query(&q);
+        let b = engine.query(&q);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(engine.cache_stats(), CacheStats { misses: 2, ..CacheStats::default() });
+    }
+
+    #[test]
+    fn ttl_zero_expires_immediately_with_identical_answers() {
+        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
+            cache_capacity: 16,
+            cache_ttl: Some(Duration::ZERO),
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let q = Query::new(seeker, kws, 3);
+        let a = engine.query(&q);
+        let b = engine.query(&q);
+        assert_eq!(a.hits, b.hits, "expiry may change whether we hit, never what we return");
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0, "a TTL-0 entry is never served");
+        assert_eq!(stats.misses, 2);
+        assert!(stats.expired >= 1, "the stale entry must be counted expired ({stats})");
+        assert_eq!(stats.invalidated, 0, "no epoch bump happened");
+    }
+
+    #[test]
+    fn ttl_expiry_and_epoch_invalidation_count_separately() {
+        // TTL arm: drops surface as `expired`, not `invalidated`.
+        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
+            cache_capacity: 16,
+            cache_ttl: Some(Duration::ZERO),
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let q = Query::new(seeker, kws.clone(), 3);
+        engine.query(&q);
+        engine.query(&q);
+        let ttl_stats = engine.cache_stats();
+        assert!(ttl_stats.expired >= 1 && ttl_stats.invalidated == 0, "{ttl_stats}");
+
+        // Epoch arm: drops surface as `invalidated`, not `expired`.
+        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
+            cache_capacity: 16,
+            cache_ttl: Some(Duration::from_secs(3600)),
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        engine.query(&Query::new(seeker, kws, 3));
+        engine.set_search_config(SearchConfig {
+            score: s3_core::S3kScore::new(2.0, 0.5),
+            ..SearchConfig::default()
+        });
+        let epoch_stats = engine.cache_stats();
+        assert_eq!(epoch_stats.invalidated, 1, "{epoch_stats}");
+        assert_eq!(epoch_stats.expired, 0, "{epoch_stats}");
+    }
+
+    #[test]
+    fn engine_config_validates_policy_fractions() {
+        let wild = EngineConfig {
+            cache_policy: CachePolicy::TinyLfu { window_frac: 7.0, protected_frac: -3.0 },
+            ..EngineConfig::default()
+        }
+        .validated();
+        assert_eq!(
+            wild.cache_policy,
+            CachePolicy::TinyLfu { window_frac: 1.0, protected_frac: 0.0 }
+        );
+        let nan = EngineConfig {
+            cache_policy: CachePolicy::TinyLfu { window_frac: f64::NAN, protected_frac: f64::NAN },
+            ..EngineConfig::default()
+        }
+        .validated();
+        assert_eq!(nan.cache_policy, CachePolicy::tiny_lfu());
     }
 
     #[test]

@@ -60,6 +60,35 @@ impl ResumeStats {
             self.resumed as f64 / total as f64
         }
     }
+
+    /// Fraction of checkouts that found a warm same-seeker state (0.0
+    /// before any checkout happened — never NaN).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ResumeStats {
+    /// One serving-log line mirroring [`crate::CacheStats`]'s `Display`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} resumed / {} cold / {} fallbacks (resume rate {:.2}) — \
+             {} warm hits, {} warm misses, {} invalidated",
+            self.resumed,
+            self.cold,
+            self.fallbacks,
+            self.resume_rate(),
+            self.warm_hits,
+            self.warm_misses,
+            self.invalidated,
+        )
+    }
 }
 
 /// One pooled entry: the state, the epoch it was computed under, and a

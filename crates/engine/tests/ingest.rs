@@ -16,8 +16,9 @@ mod common;
 use proptest::prelude::*;
 use s3_core::{InstanceBuilder, Query, SearchConfig};
 use s3_datasets::workload::{live_workload, LiveWorkloadConfig};
-use s3_engine::{EngineConfig, LiveEngine, LiveShardedEngine};
+use s3_engine::{CachePolicy, EngineConfig, LiveEngine, LiveShardedEngine};
 use s3_text::Language;
+use std::time::Duration;
 
 /// A small deterministic base corpus: a handful of users, documents and
 /// tags over the same stem-stable word pool the generator uses.
@@ -54,6 +55,23 @@ fn engine_config() -> EngineConfig {
     EngineConfig { threads: 2, cache_capacity: 128, warm_seekers: 8, ..EngineConfig::default() }
 }
 
+/// Per-fleet cache configurations: the live paths must stay
+/// byte-identical to a cold rebuild under every admission policy and TTL
+/// — TinyLFU with a churn-forcing capacity, a TTL that never serves, and
+/// one that never expires.
+fn policy_config(arm: usize) -> EngineConfig {
+    let (cache_policy, cache_ttl, cache_capacity) = match arm {
+        0 => (CachePolicy::Lru, Some(Duration::ZERO), 128),
+        1 => (CachePolicy::tiny_lfu(), None, 8),
+        _ => (
+            CachePolicy::TinyLfu { window_frac: 0.5, protected_frac: 0.5 },
+            Some(Duration::from_secs(3600)),
+            128,
+        ),
+    };
+    EngineConfig { cache_policy, cache_ttl, cache_capacity, ..engine_config() }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
 
@@ -63,10 +81,14 @@ proptest! {
     fn live_engines_match_cold_rebuild(seed in 0u64..1000) {
         // One builder replica per engine (each live engine retains and
         // grows its own), plus one for the cold reference.
-        let flat = LiveEngine::new(base_builder(seed), engine_config());
+        let flat = LiveEngine::new(
+            base_builder(seed),
+            EngineConfig { cache_policy: CachePolicy::tiny_lfu(), ..engine_config() },
+        );
         let sharded: Vec<LiveShardedEngine> = [1usize, 2, 4]
             .into_iter()
-            .map(|n| LiveShardedEngine::new(base_builder(seed), engine_config(), n))
+            .enumerate()
+            .map(|(arm, n)| LiveShardedEngine::new(base_builder(seed), policy_config(arm), n))
             .collect();
         let mut reference = base_builder(seed);
         let mut reference_prev = reference.snapshot();

@@ -11,8 +11,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use s3_core::{S3kEngine, SearchConfig, TopKResult};
-use s3_engine::{EngineConfig, S3Engine};
+use s3_engine::{CachePolicy, EngineConfig, S3Engine};
 use std::sync::Arc;
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
@@ -43,6 +44,57 @@ proptest! {
         }
         let stats = serving.cache_stats();
         prop_assert!(stats.hits >= queries.len() as u64, "warm batch must be cache-served");
+    }
+
+    /// The cache policy and TTL only ever change *whether* a lookup hits,
+    /// never *what* is returned: under every policy/TTL configuration —
+    /// including a capacity small enough to force admission contests and
+    /// a TTL of zero (nothing is ever served from cache) — batched
+    /// execution stays byte-identical to direct cold runs.
+    #[test]
+    fn cache_policy_and_ttl_preserve_results(seed in 0u64..3000) {
+        let (inst, pool) = random_instance(seed);
+        let inst = Arc::new(inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAC4E);
+        let queries = random_queries(&mut rng, inst.num_users(), &pool, 12);
+
+        let direct_engine = S3kEngine::new(&inst, SearchConfig::default());
+        let direct: Vec<TopKResult> =
+            queries.iter().map(|q| direct_engine.run(q)).collect();
+
+        let configs = [
+            (CachePolicy::tiny_lfu(), None),
+            (CachePolicy::tiny_lfu(), Some(Duration::ZERO)),
+            (CachePolicy::TinyLfu { window_frac: 0.5, protected_frac: 0.5 }, None),
+            (CachePolicy::Lru, Some(Duration::ZERO)),
+        ];
+        for (cache_policy, cache_ttl) in configs {
+            let serving = S3Engine::new(
+                Arc::clone(&inst),
+                EngineConfig {
+                    threads: 4,
+                    // Small enough that the admission window overflows and
+                    // the filter actually contests entries.
+                    cache_capacity: 4,
+                    cache_policy,
+                    cache_ttl,
+                    ..EngineConfig::default()
+                },
+            );
+            for round in 0..2 {
+                let results = serving.run_batch_on(&queries, 4);
+                for (r, d) in results.iter().zip(direct.iter()) {
+                    assert_identical(r, d)?;
+                }
+                prop_assert!(round == 0 || serving.cache_stats().misses > 0);
+            }
+            if cache_ttl == Some(Duration::ZERO) {
+                prop_assert_eq!(
+                    serving.cache_stats().hits, 0,
+                    "a TTL-0 cache must never serve ({:?})", cache_policy
+                );
+            }
+        }
     }
 
     /// A reused scratch/session never leaks state between queries: every

@@ -11,8 +11,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use s3_core::{ComponentFilter, ComponentPartition, SearchConfig};
-use s3_engine::{EngineConfig, S3Engine, ShardedEngine};
+use s3_engine::{CachePolicy, EngineConfig, S3Engine, ShardedEngine};
 use std::sync::Arc;
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 25, ..ProptestConfig::default() })]
@@ -57,6 +58,49 @@ proptest! {
             // Single-query path (inline scatter).
             for q in queries.iter().take(3) {
                 assert_identical(&engine.query(q), &baseline.query(q))?;
+            }
+        }
+    }
+
+    /// The front cache's policy and TTL never change scatter-gather
+    /// results: TinyLFU admission under churn-forcing capacity, and a
+    /// TTL-0 front (nothing is ever served from cache), both stay
+    /// byte-identical to the unsharded baseline for shard counts 1/2/4.
+    #[test]
+    fn cache_policy_preserves_sharded_results(seed in 0u64..3000) {
+        let (inst, pool) = random_instance(seed);
+        let inst = Arc::new(inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7F1D);
+        let queries = random_queries(&mut rng, inst.num_users(), &pool, 8);
+
+        let baseline = S3Engine::new(
+            Arc::clone(&inst),
+            EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+        );
+        let direct = baseline.run_batch_on(&queries, 1);
+
+        // Alternate the TTL arm by seed so both configurations soak.
+        let cache_ttl = if seed % 2 == 0 { None } else { Some(Duration::ZERO) };
+        for shards in [1usize, 2, 4] {
+            let engine = ShardedEngine::new(
+                Arc::clone(&inst),
+                EngineConfig {
+                    threads: 2,
+                    cache_capacity: 4,
+                    cache_policy: CachePolicy::tiny_lfu(),
+                    cache_ttl,
+                    ..EngineConfig::default()
+                },
+                shards,
+            );
+            for _ in 0..2 {
+                let results = engine.run_batch_on(&queries, 2);
+                for (r, d) in results.iter().zip(direct.iter()) {
+                    assert_identical(r, d)?;
+                }
+            }
+            if cache_ttl == Some(Duration::ZERO) {
+                prop_assert_eq!(engine.cache_stats().hits, 0);
             }
         }
     }

@@ -16,7 +16,8 @@
 use s3::core::{IngestBatch, IngestDoc, Query, UserRef};
 use s3::datasets::workload::{live_workload, LiveWorkloadConfig};
 use s3::datasets::{twitter, Scale};
-use s3::engine::{EngineConfig, InvalidationScope, LiveShardedEngine};
+use s3::engine::{CachePolicy, EngineConfig, InvalidationScope, LiveShardedEngine};
+use std::time::Duration;
 
 fn main() {
     let mut config = twitter::TwitterConfig::scaled(Scale::Tiny);
@@ -27,7 +28,16 @@ fn main() {
 
     let live = LiveShardedEngine::new(
         builder,
-        EngineConfig { threads: 2, cache_capacity: 512, ..EngineConfig::default() },
+        EngineConfig {
+            threads: 2,
+            cache_capacity: 512,
+            // Frequency-filtered admission plus a staleness bound: live
+            // fleets age results out between epoch bumps instead of
+            // serving arbitrarily old answers.
+            cache_policy: CachePolicy::tiny_lfu(),
+            cache_ttl: Some(Duration::from_secs(600)),
+            ..EngineConfig::default()
+        },
         2,
     );
     println!(
@@ -103,4 +113,8 @@ fn main() {
     let hits = live.query(&Query::new(author_id, kws, 3)).hits.len();
     println!("the new author's search finds {hits} hit(s)");
     assert!(hits > 0);
+
+    // The final serving report: TTL expiry (`expired`) and ingest
+    // invalidation (`invalidated`) are counted separately.
+    println!("\nfront cache: {}", live.cache_stats());
 }
