@@ -7,8 +7,9 @@
 //! reached — the sweep below grows the graph at fixed step counts (reset
 //! time should stay put) and grows the step count at fixed graph size
 //! (reset time should track the touched count). The fresh-build column
-//! (`Propagation::new`, which allocates and zero-fills five O(|graph|)
-//! buffers) is the dense baseline the sparse reset replaces.
+//! (`Propagation::new`, which allocates and zero-fills the SoA node
+//! buffers — four per-node f64 arrays plus the word-packed visited
+//! bitset) is the dense baseline the sparse reset replaces.
 
 use s3_bench::Table;
 use s3_core::UserId;

@@ -8,7 +8,7 @@
 //! interesting signals are warm/cold ratio (cache in front of the
 //! scatter) and the per-shard document balance.
 
-use s3_bench::Table;
+use s3_bench::{JsonReport, Table};
 use s3_core::Query;
 use s3_datasets::{twitter, workload, Scale};
 use s3_engine::{EngineConfig, S3Engine, ShardedEngine};
@@ -47,6 +47,12 @@ fn main() {
     );
     let expected = baseline.run_batch(&queries);
 
+    // Detected core count: the shard-scaling columns can't be read without
+    // knowing how much hardware parallelism the host actually had.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut report = JsonReport::new("shards");
+    report.int("queries", queries.len() as u64).int("cores", cores as u64);
+
     let mut table =
         Table::new(&["shards", "doc balance", "cold q/s", "warm q/s", "speedup", "hits"]);
     for shards in [1usize, 2, 4, 8] {
@@ -77,6 +83,9 @@ fn main() {
         }
 
         let qps = |elapsed: std::time::Duration| queries.len() as f64 / elapsed.as_secs_f64();
+        report
+            .num(&format!("shards{shards}.cold_qps"), qps(cold))
+            .num(&format!("shards{shards}.warm_qps"), qps(warm));
         table.row(vec![
             shards.to_string(),
             balance,
@@ -87,4 +96,5 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.write_and_announce();
 }

@@ -75,8 +75,14 @@ fn main() {
         instance.num_documents()
     );
 
+    // Detected core count: thread-scaling numbers are meaningless without
+    // knowing how much hardware parallelism the host actually had.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut report = JsonReport::new("throughput");
-    report.str("scale", if smoke { "smoke" } else { "tiny" }).int("queries", queries.len() as u64);
+    report
+        .str("scale", if smoke { "smoke" } else { "tiny" })
+        .int("queries", queries.len() as u64)
+        .int("cores", cores as u64);
     let mut table = Table::new(&["threads", "cold q/s", "warm q/s", "speedup", "hits", "misses"]);
     for &threads in thread_counts {
         let engine = S3Engine::new(

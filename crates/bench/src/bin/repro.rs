@@ -198,7 +198,7 @@ fn runtime_figure(name: &str, instance: &S3Instance, opt: Options) {
     }
     println!("{}", t.render());
     println!(
-        "(paper shape: TopkS consistently faster; γ drives cost (stronger damping, larger γ,\n converges earlier — see EXPERIMENTS.md on the paper's γ-direction wording);\n rare-keyword workloads (−) faster than common (+))\n"
+        "(paper shape: TopkS consistently faster; γ drives cost (stronger damping, larger γ,\n converges earlier — the attenuation bound M_n/γ^(n+1) shrinks faster);\n rare-keyword workloads (−) faster than common (+))\n"
     );
 }
 
@@ -333,7 +333,8 @@ fn parallel(opt: Options) {
     println!("{}", t.render());
 
     // Raw explore-step timing with the fan-out FORCED, to expose the
-    // thread-spawn overhead the cutoff protects against at this scale.
+    // buffer-and-merge overhead the cutoff protects against at this scale
+    // (dispatch to the parked pool itself is only microseconds).
     let seeker = instance.user_node(s3_core::UserId(0));
     let mut t2 = Table::new(&["threads (forced fan-out)", "30 steps (ms)"]);
     for threads in [1usize, 2, 4, 8] {
@@ -352,8 +353,9 @@ fn parallel(opt: Options) {
     println!(
         "(paper: ~2x with 8 threads on their 4-core, million-node instances. A step
  at this scale carries ~6k emission units of ~100ns each, so forced fan-out
- pays more in thread spawns than it saves; the engine auto-falls back below
- Propagation::PARALLEL_CUTOFF units — see EXPERIMENTS.md)\n"
+ pays more in per-worker buffering and the sequential merge than it saves;
+ the engine auto-falls back below Propagation::PARALLEL_CUTOFF units — see
+ the cutoff sweep in crates/graph/benches/propagation.rs)\n"
     );
 }
 

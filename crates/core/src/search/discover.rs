@@ -60,10 +60,9 @@ pub(crate) fn discover_component<S: ScoreModel>(
     scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) {
-    if scratch.processed[comp.index()] {
+    if !scratch.processed.insert(comp.index()) {
         return;
     }
-    scratch.processed[comp.index()] = true;
     scratch.touched.push(comp.index());
     if let Some(filter) = &engine.config.component_filter {
         if !filter.allows(comp) {

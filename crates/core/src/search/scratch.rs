@@ -101,8 +101,9 @@ pub struct SearchScratch {
     pub(crate) candidates: CandidatePool,
     /// Candidate index by document.
     pub(crate) candidate_of: HashMap<DocNodeId, usize>,
-    /// Per-component processed flag (cleared through `touched`).
-    pub(crate) processed: Vec<bool>,
+    /// Per-component processed flag, word-packed (cleared through
+    /// `touched`).
+    pub(crate) processed: s3_graph::BitSet,
     /// Components whose `processed` flag was set this query.
     pub(crate) touched: Vec<usize>,
     /// Nodes newly reached by the last explore step (also the discovery
@@ -145,7 +146,7 @@ impl SearchScratch {
         self.exts.clear();
         self.smax_ext.clear();
         if self.processed.len() < num_components {
-            self.processed.resize(num_components, false);
+            self.processed.resize(num_components);
         }
         self.rewind_search();
     }
@@ -157,7 +158,7 @@ impl SearchScratch {
         self.candidates.clear();
         self.candidate_of.clear();
         for &comp in &self.touched {
-            self.processed[comp] = false;
+            self.processed.clear(comp);
         }
         self.touched.clear();
         self.newly.clear();

@@ -296,6 +296,16 @@ impl SocialGraph {
         (s..e).map(move |i| (self.targets[i], self.ekinds[i], self.weights[i]))
     }
 
+    /// The CSR slices of a node's out edges: `(targets, weights)`,
+    /// index-aligned and contiguous. The propagation's emission loop
+    /// iterates these zipped so the neighbor multiply-adds run without
+    /// per-edge bounds checks (and in the fixed CSR order the reduction
+    /// contract documents).
+    pub fn out_edge_slices(&self, node: NodeId) -> (&[NodeId], &[f64]) {
+        let (s, e) = (self.offsets[node.index()] as usize, self.offsets[node.index() + 1] as usize);
+        (&self.targets[s..e], &self.weights[s..e])
+    }
+
     /// Out-degree of a node.
     pub fn out_degree(&self, node: NodeId) -> usize {
         (self.offsets[node.index() + 1] - self.offsets[node.index()]) as usize

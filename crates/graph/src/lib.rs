@@ -26,13 +26,16 @@
 //!   threads).
 
 #![warn(missing_docs)]
+pub mod bitset;
 pub mod component;
 pub mod edge;
 pub mod graph;
 pub mod naive;
 pub mod node;
+mod pool;
 pub mod propagation;
 
+pub use bitset::BitSet;
 pub use component::{CompId, Components};
 pub use edge::EdgeKind;
 pub use graph::{GraphBuilder, SocialGraph};

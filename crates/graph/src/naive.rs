@@ -128,6 +128,59 @@ mod tests {
         }
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 48,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Differential property for the SoA/bitset layout: over random
+        /// graphs and random step sequences (sequential and forced-parallel
+        /// steps interleaved), the propagation matches the path-enumeration
+        /// oracle at every depth, reports newly-visited nodes in ascending
+        /// id order, and keeps `visited_journal()` equal to the seeker
+        /// followed by every step's newly list in turn — the first-visit
+        /// order that resume replay depends on.
+        #[test]
+        fn step_sequences_match_oracle_and_journal_order(seed in 0u64..2000) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let (graph, nodes) = random_instance(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x0D1F);
+            let gamma = 1.0 + (seed % 3) as f64 * 0.5 + 0.25; // 1.25, 1.75, 2.25
+            let seeker = nodes[rng.gen_range(0..nodes.len())];
+            let depths = rng.gen_range(1..5usize);
+            let mut engine = Propagation::new(&graph, gamma, seeker);
+            let mut journal = vec![seeker];
+            for depth in 1..=depths {
+                let newly = if rng.gen_bool(0.5) {
+                    engine.step_parallel_forced(rng.gen_range(2..5usize)).to_vec()
+                } else {
+                    engine.step().to_vec()
+                };
+                prop_assert!(
+                    newly.windows(2).all(|w| w[0].0 < w[1].0),
+                    "newly-visited list must be ascending: {:?}",
+                    newly
+                );
+                journal.extend(newly);
+                prop_assert_eq!(
+                    engine.visited_journal().collect::<Vec<_>>(),
+                    journal.clone(),
+                    "journal must be the concatenated first-visit order"
+                );
+                for &node in &nodes {
+                    let expected = naive_prox(&graph, gamma, seeker, node, depth);
+                    let got = engine.prox_leq(node);
+                    prop_assert!(
+                        (expected - got).abs() < 1e-9,
+                        "seed {}: prox≤{}({}, {}) = {}, naive = {}",
+                        seed, depth, seeker, node, got, expected
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn naive_upper_bound_holds() {
         // prox≤n + B>n must dominate prox≤(n+5): check on random instances.

@@ -1,0 +1,242 @@
+//! Persistent worker pool for the parallel explore step.
+//!
+//! The seed implementation spawned scoped threads on every parallel
+//! [`crate::Propagation::step_into`]; at ~100µs per spawn that overhead is
+//! what forced `PARALLEL_CUTOFF` into the tens of thousands of emission
+//! units, and it made the parallel path allocate every step (thread
+//! stacks, join handles, per-worker buffers). [`EmitPool`] keeps the
+//! workers parked on a condvar between steps instead: dispatching a step
+//! costs two mutex hand-offs and a wakeup, performs **zero heap
+//! allocations** in the steady state, and leaves the measured fan-out
+//! crossover to the per-unit work itself (see
+//! `crates/graph/benches/propagation.rs`).
+//!
+//! The pool runs *jobs*: a job is a `Fn(usize)` invoked once per worker
+//! index, synchronously — [`EmitPool::run`] does not return until every
+//! worker has finished, which is what makes handing the closure to the
+//! workers as a raw pointer sound (the referent outlives every use). A
+//! worker panic is caught, flagged, and re-raised on the caller once the
+//! job completes, mirroring the propagate-on-join behaviour of the scoped
+//! threads it replaces.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The closure type workers execute, lifetime-erased for parking. Only
+/// ever dereferenced while [`EmitPool::run`] blocks the caller, so the
+/// pointee is guaranteed live.
+type Task = *const (dyn Fn(usize) + Sync + 'static);
+
+/// One dispatched job: the task and the epoch identifying it (workers use
+/// the epoch to tell a fresh job from the one they just finished under
+/// spurious condvar wakeups).
+#[derive(Clone, Copy)]
+struct Job {
+    task: Task,
+    epoch: u64,
+}
+
+// SAFETY: the raw task pointer is only dereferenced by workers while the
+// dispatching caller is blocked in `run`, which keeps the closure alive
+// and requires it to be `Sync` (shared across workers).
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct JobState {
+    job: Option<Job>,
+    /// Workers still running the current job.
+    remaining: usize,
+    /// Monotonic job counter.
+    epoch: u64,
+    /// Some worker panicked during the current job.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<JobState>,
+    /// Signalled when a job is posted (or shutdown is requested).
+    go: Condvar,
+    /// Signalled when the last worker finishes a job.
+    done: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads executing one job at a
+/// time. Dropping the pool shuts the workers down and joins them.
+pub(crate) struct EmitPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EmitPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmitPool").field("workers", &self.handles.len()).finish()
+    }
+}
+
+impl EmitPool {
+    /// Spawn `workers` parked threads (the pool's one allocation site,
+    /// paid on the first parallel step).
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState::default()),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("s3-emit-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning emission worker")
+            })
+            .collect();
+        EmitPool { shared, handles }
+    }
+
+    /// Number of workers.
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Execute `task(i)` once per worker index `i` in `0..workers()`,
+    /// concurrently, returning when every invocation has finished.
+    /// Panics (after the job has fully drained) if any worker panicked.
+    pub(crate) fn run(&self, task: &(dyn Fn(usize) + Sync)) {
+        // Erase the caller's lifetime; see the `Job` safety comment.
+        let task: Task = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), Task>(std::ptr::from_ref(task))
+        };
+        let mut state = self.shared.state.lock().expect("emit pool poisoned");
+        debug_assert!(state.job.is_none(), "run is never re-entered");
+        state.epoch += 1;
+        state.remaining = self.handles.len();
+        state.panicked = false;
+        state.job = Some(Job { task, epoch: state.epoch });
+        self.shared.go.notify_all();
+        while state.job.is_some() {
+            state = self.shared.done.wait(state).expect("emit pool poisoned");
+        }
+        if state.panicked {
+            drop(state);
+            panic!("emission worker panicked");
+        }
+    }
+}
+
+impl Drop for EmitPool {
+    fn drop(&mut self) {
+        {
+            let mut state = match self.shared.state.lock() {
+                Ok(s) => s,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("emit pool poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                match state.job {
+                    Some(job) if job.epoch != last_epoch => break job,
+                    _ => state = shared.go.wait(state).expect("emit pool poisoned"),
+                }
+            }
+        };
+        last_epoch = job.epoch;
+        // SAFETY: the dispatcher blocks in `run` until `remaining` hits
+        // zero, so the closure behind `task` is alive for this call.
+        let task = unsafe { &*job.task };
+        let outcome = catch_unwind(AssertUnwindSafe(|| task(index)));
+        let mut state = shared.state.lock().expect("emit pool poisoned");
+        if outcome.is_err() {
+            state.panicked = true;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            state.job = None;
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_worker_index_each_job() {
+        let pool = EmitPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        for _ in 0..50 {
+            pool.run(&|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn jobs_see_caller_state_synchronously() {
+        let pool = EmitPool::new(3);
+        let mut totals = vec![0usize; 3];
+        for round in 1..=10usize {
+            let cells: Vec<Mutex<usize>> = totals.iter().map(|&t| Mutex::new(t)).collect();
+            pool.run(&|i| {
+                *cells[i].lock().unwrap() += round;
+            });
+            for (t, c) in totals.iter_mut().zip(&cells) {
+                *t = *c.lock().unwrap();
+            }
+        }
+        assert_eq!(totals, vec![55, 55, 55]);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_on_the_caller() {
+        let pool = EmitPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the worker panic must propagate");
+        // The pool stays serviceable after a panicked job.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn zero_worker_request_still_provides_one() {
+        let pool = EmitPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

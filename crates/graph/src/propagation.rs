@@ -37,15 +37,48 @@
 //! `prox − prox≤n ≤ M_n / γ^{n+1}` ([`Propagation::bound_beyond`]) — the
 //! paper's `B>n_prox`, which tends to 0 and drives S3k's stop condition.
 //!
+//! # Hot-path layout and reduction order
+//!
+//! The per-node fields `step_into` touches together — `x`, `x_next`,
+//! `acc`, `acc_nb` and the visited flags — live in one `NodeBuffers`
+//! struct-of-arrays block with a single shared length discipline, and the
+//! boolean flags (`visited`, per-tree journal membership) are word-packed
+//! [`crate::BitSet`]s: 64 flags per cache line word instead of one per
+//! byte. Edge emission reads the graph's CSR ranges as contiguous slices
+//! ([`SocialGraph::out_edge_slices`]) so the neighbor multiply-adds run in
+//! tight bounds-check-free loops the compiler can vectorize.
+//!
+//! The floating-point **reduction order is fixed** and part of the API
+//! contract (engine parity asserts byte-identical results):
+//!
+//! * emission units are processed as *active trees in ascending tree id*,
+//!   then *user/tag singles in frontier order*;
+//! * within a unit, edges are emitted in CSR order (tree nodes ascending,
+//!   each node's out-edges in insertion order);
+//! * each contribution is added into `x_next[target]` **at emission time**
+//!   on the sequential path, so per-target accumulation order equals the
+//!   emission order above — exactly the order the seed implementation
+//!   produced by buffering `(target, Δmass)` pairs and merging them
+//!   sequentially;
+//! * the parallel path buffers per-worker contributions and merges them in
+//!   worker-index (= chunk) order, matching the seed's join order; it is
+//!   bit-for-bit stable for a fixed thread count and set-wise identical to
+//!   the sequential path.
+//!
+//! The `reduction_order_is_emission_order` test pins this down.
+//!
 //! # Reuse across queries
 //!
 //! A `Propagation` owns O(|graph|) buffers. Building them per query is the
 //! dominant allocation cost of a search, so the serving layer reuses one
 //! `Propagation` per worker: [`Propagation::reset`] rewinds to a fresh
 //! seeker without reallocating, and [`Propagation::step_into`] appends the
-//! newly-reached nodes to a caller-owned buffer. The sequential explore
-//! path performs no steady-state allocation; the parallel path allocates
-//! only per-worker result buffers (amortized by the spawn cutoff).
+//! newly-reached nodes to a caller-owned buffer. Steady-state stepping
+//! performs **zero heap allocations** on both the sequential and the
+//! parallel path (`crates/graph/tests/alloc.rs` enforces this with a
+//! counting allocator): the parallel fan-out runs on a persistent parked
+//! worker pool (`crate::pool`) whose per-worker buffers are retained in
+//! the state.
 //!
 //! Two lifecycle refinements keep the per-query fixed cost proportional to
 //! the search extent rather than the graph:
@@ -66,8 +99,12 @@
 //!   [`PropagationState`] so a serving layer can pool warm propagations
 //!   keyed by seeker.
 
+use std::sync::Mutex;
+
+use crate::bitset::BitSet;
 use crate::graph::SocialGraph;
 use crate::node::{NodeId, NodeKind};
+use crate::pool::EmitPool;
 use s3_doc::TreeId;
 
 /// Incremental all-paths proximity evaluation from one seeker: a graph
@@ -77,6 +114,53 @@ use s3_doc::TreeId;
 pub struct Propagation<'g> {
     graph: &'g SocialGraph,
     s: PropagationState,
+}
+
+/// The per-node hot fields of a propagation, kept as one struct-of-arrays
+/// block with a single shared length (`x.len() == x_next.len() ==
+/// acc.len() == acc_nb.len() == visited.len()`, the graph's node count).
+/// `step_into` streams these together, so co-sizing them keeps the resize
+/// discipline in one place and the working set contiguous per field.
+#[derive(Debug, Default)]
+struct NodeBuffers {
+    /// Border mass `x_n(v)` per node.
+    x: Vec<f64>,
+    /// Scratch: next border mass.
+    x_next: Vec<f64>,
+    /// `Cγ Σ_{j≤n} x_j(v)/γ^j` per node.
+    acc: Vec<f64>,
+    /// `Σ_{v' ∈ neigh(v)} acc(v')` per node: the bounded proximity
+    /// `prox≤n(seeker, v)`.
+    acc_nb: Vec<f64>,
+    /// Has the node ever carried border mass? Word-packed.
+    visited: BitSet,
+}
+
+impl NodeBuffers {
+    /// The shared length (number of nodes the buffers are sized for).
+    fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Size every buffer for `n` nodes and clear all content (the cold
+    /// attach path; reuses capacity).
+    fn reset_for(&mut self, n: usize) {
+        for buf in [&mut self.x, &mut self.x_next, &mut self.acc, &mut self.acc_nb] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+        self.visited.clear_all();
+        self.visited.resize(n);
+    }
+
+    /// Grow every buffer to `n` nodes, zero-filling the extension and
+    /// preserving existing content (the rebase path).
+    fn grow_to(&mut self, n: usize) {
+        for buf in [&mut self.x, &mut self.x_next, &mut self.acc, &mut self.acc_nb] {
+            buf.resize(n, 0.0);
+        }
+        self.visited.resize(n);
+    }
 }
 
 /// The graph-independent buffers of a [`Propagation`], detached so a
@@ -101,18 +185,12 @@ pub struct PropagationState {
     step: u32,
     /// The node the propagation was seeded from.
     seeker: NodeId,
-    /// Border mass `x_n(v)` per node.
-    x: Vec<f64>,
+    /// The per-node SoA block (`x`, `x_next`, `acc`, `acc_nb`, `visited`).
+    nodes: NodeBuffers,
     /// Nodes with `x > 0`.
     frontier: Vec<u32>,
-    /// `Cγ Σ_{j≤n} x_j(v)/γ^j` per node.
-    acc: Vec<f64>,
-    /// `Σ_{v' ∈ neigh(v)} acc(v')` per node: the bounded proximity
-    /// `prox≤n(seeker, v)`.
-    acc_nb: Vec<f64>,
     /// `M_n`: total border mass.
     border_mass: f64,
-    visited: Vec<bool>,
     /// Did some step produce no newly-visited node? Absorbing: the visited
     /// set can never grow again afterwards.
     frontier_closed: bool,
@@ -124,12 +202,8 @@ pub struct PropagationState {
     /// Journal of trees whose `acc_nb` range was refreshed, deduplicated
     /// via `tree_touched`.
     touched_trees: Vec<TreeId>,
-    /// Per-tree membership flag for `touched_trees`.
-    tree_touched: Vec<bool>,
-    /// Scratch: next border mass.
-    x_next: Vec<f64>,
-    /// Scratch: sequential-path `(target, Δmass)` contributions.
-    emit_buf: Vec<(u32, f64)>,
+    /// Per-tree membership flag for `touched_trees`. Word-packed.
+    tree_touched: BitSet,
     /// Scratch: frontier being assembled for the next step.
     frontier_next: Vec<u32>,
     /// Scratch: active trees of the current frontier, deduplicated.
@@ -138,6 +212,17 @@ pub struct PropagationState {
     unit_singles: Vec<u32>,
     /// Scratch: per-tree prefix/suffix passes.
     tree_scratch: TreeScratch,
+    /// Scratch: the flattened unit list a parallel step fans out over.
+    par_units: Vec<Unit>,
+    /// Per-worker retained emission buffers (each worker locks only its
+    /// own slot, so the locks are never contended).
+    workers: Vec<Mutex<EmitWorker>>,
+    /// Parked worker threads for the parallel path, spawned on the first
+    /// fan-out and reused for every later step.
+    pool: Option<EmitPool>,
+    /// Backing buffer for the [`Propagation::step`] convenience wrappers,
+    /// reused across calls.
+    newly_buf: Vec<NodeId>,
 }
 
 impl PropagationState {
@@ -162,7 +247,7 @@ impl PropagationState {
     pub fn warm_for(&self, graph: &SocialGraph, gamma: f64) -> bool {
         self.graph_tag == graph_tag(graph)
             && self.gamma == gamma
-            && self.x.len() == graph.num_nodes()
+            && self.nodes.len() == graph.num_nodes()
             && self.tree_touched.len() == graph.forest().num_trees()
     }
 
@@ -191,18 +276,14 @@ impl PropagationState {
     /// shrink; resuming it would then be unsound.
     pub fn rebase(&mut self, from: &SocialGraph, to: &SocialGraph, gamma: f64) -> bool {
         if !self.warm_for(from, gamma)
-            || self.x.len() > to.num_nodes()
+            || self.nodes.len() > to.num_nodes()
             || self.tree_touched.len() > to.forest().num_trees()
         {
             self.invalidate();
             return false;
         }
-        let n = to.num_nodes();
-        for buf in [&mut self.x, &mut self.x_next, &mut self.acc, &mut self.acc_nb] {
-            buf.resize(n, 0.0);
-        }
-        self.visited.resize(n, false);
-        self.tree_touched.resize(to.forest().num_trees(), false);
+        self.nodes.grow_to(to.num_nodes());
+        self.tree_touched.resize(to.forest().num_trees());
         self.graph_tag = graph_tag(to);
         true
     }
@@ -227,10 +308,150 @@ struct TreeScratch {
 }
 
 /// One emission work item: a whole active tree, or a single user/tag node.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 enum Unit {
     Tree(TreeId),
     Single(u32),
+}
+
+/// Retained state of one parallel emission worker: its contribution buffer
+/// and tree scratch, kept warm across steps so the parallel path stops
+/// allocating after its high-water marks are reached.
+#[derive(Debug, Default)]
+struct EmitWorker {
+    out: Vec<(u32, f64)>,
+    scratch: TreeScratch,
+}
+
+/// Where a unit's `(target, Δmass)` contributions go. The two
+/// implementations share the per-edge multiply but differ in what happens
+/// to the product: the sequential path scatters straight into `x_next`
+/// (preserving the seed's per-target accumulation order exactly), the
+/// parallel workers buffer pairs for an ordered merge.
+trait EmitSink {
+    /// Emit `scale · weights[i]` to `targets[i]` for every edge of one
+    /// CSR range. `targets` and `weights` are index-aligned contiguous
+    /// slices, so implementations iterate them zipped — a tight
+    /// bounds-check-free loop over the multiply.
+    fn emit(&mut self, targets: &[NodeId], weights: &[f64], scale: f64);
+}
+
+/// Parallel-worker sink: append `(target, Δmass)` pairs for a later
+/// ordered merge.
+struct BufSink<'a>(&'a mut Vec<(u32, f64)>);
+
+impl EmitSink for BufSink<'_> {
+    #[inline]
+    fn emit(&mut self, targets: &[NodeId], weights: &[f64], scale: f64) {
+        self.0.extend(targets.iter().zip(weights).map(|(&t, &w)| (t.0, scale * w)));
+    }
+}
+
+/// Sequential sink: accumulate into `x_next` at emission time and record
+/// first-mass targets. Addition order per target equals emission order,
+/// which is what keeps the sequential path bit-identical to the seed's
+/// buffer-then-merge formulation.
+struct ScatterSink<'a> {
+    x_next: &'a mut [f64],
+    frontier_next: &'a mut Vec<u32>,
+}
+
+impl EmitSink for ScatterSink<'_> {
+    #[inline]
+    fn emit(&mut self, targets: &[NodeId], weights: &[f64], scale: f64) {
+        for (&t, &w) in targets.iter().zip(weights) {
+            scatter(self.x_next, self.frontier_next, t.0, scale * w);
+        }
+    }
+}
+
+/// Add one contribution to `x_next[target]`, recording the target in
+/// `frontier_next` when it goes from zero to positive mass. The single
+/// accumulation point of both the sequential scatter and the parallel
+/// merge — one definition, one rounding behavior.
+#[inline]
+fn scatter(x_next: &mut [f64], frontier_next: &mut Vec<u32>, target: u32, dm: f64) {
+    let slot = &mut x_next[target as usize];
+    if *slot == 0.0 && dm > 0.0 {
+        frontier_next.push(target);
+    }
+    *slot += dm;
+}
+
+/// Emit one unit's contributions into `sink`: ρ-scaled CSR edge ranges for
+/// a user/tag single, or the ancestor-prefix + subtree-suffix aggregated
+/// emission of a whole document tree. Reads only `graph` and the current
+/// border `x`, so the caller can split-borrow the rest of the state for
+/// the sink.
+fn emit_unit(
+    graph: &SocialGraph,
+    x: &[f64],
+    unit: Unit,
+    scratch: &mut TreeScratch,
+    sink: &mut impl EmitSink,
+) {
+    match unit {
+        Unit::Single(v) => {
+            let node = NodeId(v);
+            let w = graph.neighborhood_weight(node);
+            if w <= 0.0 {
+                return;
+            }
+            let rho = x[v as usize] / w;
+            let (targets, weights) = graph.out_edge_slices(node);
+            sink.emit(targets, weights, rho);
+        }
+        Unit::Tree(tree) => {
+            let range = graph.tree_node_range(tree).expect("active tree registered");
+            let forest = graph.forest();
+            let doc_range = forest.tree_range(tree);
+            let len = range.len();
+            let base = range.start;
+            let first_doc = doc_range.start;
+            // ρ per tree node.
+            let rho = &mut scratch.rho;
+            rho.clear();
+            rho.resize(len, 0.0);
+            for (i, r) in rho.iter_mut().enumerate() {
+                let node = base + i;
+                let w = graph.neighborhood_weight(NodeId(node as u32));
+                if w > 0.0 {
+                    *r = x[node] / w;
+                }
+            }
+            // emit(m) = Σ_{n : m ∈ neigh(n)} ρ(n)
+            //         = (strict-ancestor ρ sum) + (subtree ρ sum incl self).
+            let anc = &mut scratch.anc;
+            anc.clear();
+            anc.resize(len, 0.0);
+            let sub = &mut scratch.sub;
+            sub.clear();
+            sub.extend_from_slice(rho);
+            #[allow(clippy::needless_range_loop)] // i indexes three arrays
+            for i in 0..len {
+                let doc = s3_doc::DocNodeId((first_doc + i) as u32);
+                if let Some(p) = forest.parent(doc) {
+                    let pi = p.index() - first_doc;
+                    anc[i] = anc[pi] + rho[pi];
+                }
+            }
+            for i in (0..len).rev() {
+                let doc = s3_doc::DocNodeId((first_doc + i) as u32);
+                if let Some(p) = forest.parent(doc) {
+                    let pi = p.index() - first_doc;
+                    sub[pi] += sub[i];
+                }
+            }
+            for i in 0..len {
+                let emit = anc[i] + sub[i];
+                if emit <= 0.0 {
+                    continue;
+                }
+                let (targets, weights) = graph.out_edge_slices(NodeId((base + i) as u32));
+                sink.emit(targets, weights, emit);
+            }
+        }
+    }
 }
 
 impl<'g> Propagation<'g> {
@@ -260,20 +481,14 @@ impl<'g> Propagation<'g> {
             }
         } else {
             // Stale or fresh state: size every per-node buffer for this
-            // graph (reusing capacity where the vectors are large enough)
+            // graph (reusing capacity where the buffers are large enough)
             // and start cold.
             engine.s.gamma = gamma;
             engine.s.c_gamma = (gamma - 1.0) / gamma;
-            let n = graph.num_nodes();
             let s = &mut engine.s;
-            for buf in [&mut s.x, &mut s.x_next, &mut s.acc, &mut s.acc_nb] {
-                buf.clear();
-                buf.resize(n, 0.0);
-            }
-            s.visited.clear();
-            s.visited.resize(n, false);
-            s.tree_touched.clear();
-            s.tree_touched.resize(graph.forest().num_trees(), false);
+            s.nodes.reset_for(graph.num_nodes());
+            s.tree_touched.clear_all();
+            s.tree_touched.resize(graph.forest().num_trees());
             s.frontier.clear();
             s.frontier_next.clear();
             s.touched.clear();
@@ -299,18 +514,19 @@ impl<'g> Propagation<'g> {
         // border before swapping), so only the journaled buffers hold
         // residue: x/acc/visited at visited nodes, acc_nb at visited
         // users/tags and over every refreshed tree's full node range.
+        let nodes = &mut self.s.nodes;
         for &v in &self.s.touched {
             let v = v as usize;
-            self.s.x[v] = 0.0;
-            self.s.acc[v] = 0.0;
-            self.s.acc_nb[v] = 0.0;
-            self.s.visited[v] = false;
+            nodes.x[v] = 0.0;
+            nodes.acc[v] = 0.0;
+            nodes.acc_nb[v] = 0.0;
+            nodes.visited.clear(v);
         }
         self.s.touched.clear();
         for &tree in &self.s.touched_trees {
             let range = self.graph.tree_node_range(tree).expect("journaled tree registered");
-            self.s.acc_nb[range].fill(0.0);
-            self.s.tree_touched[tree.index()] = false;
+            nodes.acc_nb[range].fill(0.0);
+            self.s.tree_touched.clear(tree.index());
         }
         self.s.touched_trees.clear();
         self.s.frontier.clear();
@@ -331,9 +547,9 @@ impl<'g> Propagation<'g> {
 
     /// Install the seeker's initial mass (the empty path, prox→ = 1).
     fn seed(&mut self, seeker: NodeId) {
-        self.s.x[seeker.index()] = 1.0;
-        self.s.visited[seeker.index()] = true;
-        self.s.acc[seeker.index()] = self.s.c_gamma;
+        self.s.nodes.x[seeker.index()] = 1.0;
+        self.s.nodes.visited.set(seeker.index());
+        self.s.nodes.acc[seeker.index()] = self.s.c_gamma;
         self.s.frontier.push(seeker.0);
         self.s.touched.push(seeker.0);
         let frontier = std::mem::take(&mut self.s.frontier);
@@ -368,7 +584,7 @@ impl<'g> Propagation<'g> {
 
     /// Has this node ever carried border mass?
     pub fn visited(&self, node: NodeId) -> bool {
-        self.s.visited[node.index()]
+        self.s.nodes.visited.get(node.index())
     }
 
     /// Every visited node in first-visit order: the seeker, then each
@@ -395,7 +611,7 @@ impl<'g> Propagation<'g> {
 
     /// `prox≤n(seeker, node)`: proximity over the paths explored so far.
     pub fn prox_leq(&self, node: NodeId) -> f64 {
-        self.s.acc_nb[node.index()]
+        self.s.nodes.acc_nb[node.index()]
     }
 
     /// `B>n`: a bound on `prox − prox≤n` valid for **every** node
@@ -413,11 +629,13 @@ impl<'g> Propagation<'g> {
 
     /// Run one explore step (Algorithm 3's `ExploreStep`, in `borderProx`
     /// form). Returns the nodes that received border mass for the first
-    /// time.
-    pub fn step(&mut self) -> Vec<NodeId> {
-        let mut newly = Vec::new();
+    /// time, in a state-owned buffer reused across calls (copy it out with
+    /// `.to_vec()` to hold it across the next mutating call).
+    pub fn step(&mut self) -> &[NodeId] {
+        let mut newly = std::mem::take(&mut self.s.newly_buf);
         self.step_into(1, false, &mut newly);
-        newly
+        self.s.newly_buf = newly;
+        &self.s.newly_buf
     }
 
     /// Parallel variant: the emission work is split over `threads` workers
@@ -425,22 +643,26 @@ impl<'g> Propagation<'g> {
     /// result is bit-for-bit independent of `threads` up to floating-point
     /// addition order within a target node, and set-wise identical.
     ///
-    /// Worker threads are spawned per step; when the frontier is small the
-    /// spawn cost dominates, so emission falls back to sequential below
-    /// [`Self::PARALLEL_CUTOFF`] emission units (see EXPERIMENTS.md for the
-    /// measured crossover).
-    pub fn step_parallel(&mut self, threads: usize) -> Vec<NodeId> {
-        let mut newly = Vec::new();
+    /// The workers are parked threads reused across steps; dispatching to
+    /// them still costs a few microseconds of hand-off, so emission falls
+    /// back to sequential below [`Self::PARALLEL_CUTOFF`] emission units
+    /// (see `crates/graph/benches/propagation.rs` for the measured
+    /// crossover). Returns the newly-visited nodes in a state-owned buffer
+    /// reused across calls.
+    pub fn step_parallel(&mut self, threads: usize) -> &[NodeId] {
+        let mut newly = std::mem::take(&mut self.s.newly_buf);
         self.step_into(threads.max(1), false, &mut newly);
-        newly
+        self.s.newly_buf = newly;
+        &self.s.newly_buf
     }
 
     /// Like [`Self::step_parallel`] but fans out regardless of the cutoff.
     /// For tests and benchmarks of the parallel path itself.
-    pub fn step_parallel_forced(&mut self, threads: usize) -> Vec<NodeId> {
-        let mut newly = Vec::new();
+    pub fn step_parallel_forced(&mut self, threads: usize) -> &[NodeId] {
+        let mut newly = std::mem::take(&mut self.s.newly_buf);
         self.step_into(threads.max(1), true, &mut newly);
-        newly
+        self.s.newly_buf = newly;
+        &self.s.newly_buf
     }
 
     /// Allocation-free step: `newly` is cleared, then filled with the nodes
@@ -454,34 +676,43 @@ impl<'g> Propagation<'g> {
         let fan_out =
             threads > 1 && units >= 2 && (force_parallel || units >= Self::PARALLEL_CUTOFF);
         if fan_out {
-            let results = self.emit_parallel(threads);
-            for batch in &results {
-                self.merge(batch);
-            }
+            self.emit_parallel(threads);
         } else {
-            // Move the scratch out so `emit_unit` can borrow `self`
-            // immutably while writing into it; hand it back afterwards.
-            let mut buf = std::mem::take(&mut self.s.emit_buf);
-            let mut scratch = std::mem::take(&mut self.s.tree_scratch);
-            buf.clear();
-            for i in 0..self.s.unit_trees.len() {
-                self.emit_unit(Unit::Tree(self.s.unit_trees[i]), &mut scratch, &mut buf);
+            // Split-borrow the state: emission reads `x` and the unit
+            // lists while the sink scatters into `x_next`/`frontier_next`.
+            let s = &mut self.s;
+            let NodeBuffers { x, x_next, .. } = &mut s.nodes;
+            let mut sink = ScatterSink { x_next, frontier_next: &mut s.frontier_next };
+            for &tree in &s.unit_trees {
+                emit_unit(self.graph, x, Unit::Tree(tree), &mut s.tree_scratch, &mut sink);
             }
-            for i in 0..self.s.unit_singles.len() {
-                self.emit_unit(Unit::Single(self.s.unit_singles[i]), &mut scratch, &mut buf);
+            for &v in &s.unit_singles {
+                emit_unit(self.graph, x, Unit::Single(v), &mut s.tree_scratch, &mut sink);
             }
-            self.merge(&buf);
-            self.s.emit_buf = buf;
-            self.s.tree_scratch = scratch;
         }
         self.advance(newly);
     }
 
     /// Minimum number of emission units (active trees + active users/tags)
-    /// before a parallel step actually fans out. A unit costs on the order
-    /// of 100ns, while spawning the scoped workers costs ~100µs per step;
-    /// the fan-out only amortizes once a step carries tens of thousands of
-    /// units (the paper's million-node instances; see EXPERIMENTS.md).
+    /// before a parallel step actually fans out.
+    ///
+    /// Re-measured against the SoA layout with the sweep in
+    /// `crates/graph/benches/propagation.rs` (`cargo bench --bench
+    /// propagation` prints per-step sequential vs forced-parallel
+    /// timings alongside the unit count). Dispatching to the parked
+    /// `EmitPool` costs only microseconds (the scoped spawns it
+    /// replaced cost ~100µs per step), but that is no longer what the
+    /// cutoff protects against: the parallel path must buffer `(target,
+    /// Δmass)` pairs per worker and merge them sequentially, while the
+    /// sequential path scatters into `x_next` at emission time — so the
+    /// fan-out only pays once the per-worker emission compute outweighs
+    /// a full extra pass over the emitted edges. On the 2-core benchmark
+    /// host the forced-parallel step stayed ~2× slower than sequential
+    /// through the largest measured frontier (~6k units), i.e. no
+    /// crossover was observed in range; the cutoff therefore keeps its
+    /// conservative seed value, well above that range, pending a
+    /// measurement on a wider machine (the paper's ~2× at 8 threads
+    /// implies the crossover exists at scale).
     pub const PARALLEL_CUTOFF: usize = 32_768;
 
     /// Fill `unit_trees`/`unit_singles` with this step's emission units.
@@ -498,116 +729,49 @@ impl<'g> Propagation<'g> {
         self.s.unit_trees.dedup();
     }
 
-    /// Emit one unit's `(target, Δmass)` contributions into `out`.
-    fn emit_unit(&self, unit: Unit, scratch: &mut TreeScratch, out: &mut Vec<(u32, f64)>) {
-        match unit {
-            Unit::Single(v) => {
-                let node = NodeId(v);
-                let w = self.graph.neighborhood_weight(node);
-                if w <= 0.0 {
-                    return;
-                }
-                let rho = self.s.x[v as usize] / w;
-                for (target, _, ew) in self.graph.out_edges(node) {
-                    out.push((target.0, rho * ew));
-                }
-            }
-            Unit::Tree(tree) => {
-                let range = self.graph.tree_node_range(tree).expect("active tree registered");
-                let forest = self.graph.forest();
-                let doc_range = forest.tree_range(tree);
-                let len = range.len();
-                let base = range.start;
-                let first_doc = doc_range.start;
-                // ρ per tree node.
-                let rho = &mut scratch.rho;
-                rho.clear();
-                rho.resize(len, 0.0);
-                for (i, r) in rho.iter_mut().enumerate() {
-                    let node = base + i;
-                    let w = self.graph.neighborhood_weight(NodeId(node as u32));
-                    if w > 0.0 {
-                        *r = self.s.x[node] / w;
-                    }
-                }
-                // emit(m) = Σ_{n : m ∈ neigh(n)} ρ(n)
-                //         = (strict-ancestor ρ sum) + (subtree ρ sum incl self).
-                let anc = &mut scratch.anc;
-                anc.clear();
-                anc.resize(len, 0.0);
-                let sub = &mut scratch.sub;
-                sub.clear();
-                sub.extend_from_slice(rho);
-                #[allow(clippy::needless_range_loop)] // i indexes three arrays
-                for i in 0..len {
-                    let doc = s3_doc::DocNodeId((first_doc + i) as u32);
-                    if let Some(p) = forest.parent(doc) {
-                        let pi = p.index() - first_doc;
-                        anc[i] = anc[pi] + rho[pi];
-                    }
-                }
-                for i in (0..len).rev() {
-                    let doc = s3_doc::DocNodeId((first_doc + i) as u32);
-                    if let Some(p) = forest.parent(doc) {
-                        let pi = p.index() - first_doc;
-                        sub[pi] += sub[i];
-                    }
-                }
-                for i in 0..len {
-                    let emit = anc[i] + sub[i];
-                    if emit <= 0.0 {
-                        continue;
-                    }
-                    let node = NodeId((base + i) as u32);
-                    for (target, _, ew) in self.graph.out_edges(node) {
-                        out.push((target.0, emit * ew));
-                    }
-                }
-            }
+    /// Fan the emission units out over the parked worker pool, then merge
+    /// the per-worker buffers in worker-index order. Steady-state
+    /// allocation-free: the pool, the unit list and every worker buffer
+    /// are retained in the state between steps.
+    fn emit_parallel(&mut self, threads: usize) {
+        let s = &mut self.s;
+        s.par_units.clear();
+        s.par_units.extend(s.unit_trees.iter().copied().map(Unit::Tree));
+        s.par_units.extend(s.unit_singles.iter().copied().map(Unit::Single));
+        // The pool only ever grows; a steady thread count reuses it.
+        if s.pool.as_ref().is_none_or(|p| p.workers() < threads) {
+            s.pool = Some(EmitPool::new(threads));
         }
-    }
+        let pool = s.pool.as_ref().expect("pool just ensured");
+        while s.workers.len() < pool.workers() {
+            s.workers.push(Mutex::new(EmitWorker::default()));
+        }
 
-    /// Fan the emission units out over `threads` scoped workers; each
-    /// returns its own contribution buffer.
-    fn emit_parallel(&self, threads: usize) -> Vec<Vec<(u32, f64)>> {
-        let units: Vec<Unit> = self
-            .s
-            .unit_trees
-            .iter()
-            .copied()
-            .map(Unit::Tree)
-            .chain(self.s.unit_singles.iter().copied().map(Unit::Single))
-            .collect();
+        let graph = self.graph;
+        let x: &[f64] = &s.nodes.x;
+        let units: &[Unit] = &s.par_units;
+        let workers: &[Mutex<EmitWorker>] = &s.workers;
+        // Same chunking as the seed's scoped-thread fan-out, so the merge
+        // order (and thus the floating-point result) is unchanged.
         let chunk = units.len().div_ceil(threads);
-        let mut results: Vec<Vec<(u32, f64)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in units.chunks(chunk) {
-                let this = &*self;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut scratch = TreeScratch::default();
-                    for &u in part {
-                        this.emit_unit(u, &mut scratch, &mut out);
-                    }
-                    out
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("emission worker panicked"));
+        pool.run(&|i| {
+            let worker = &mut *workers[i].lock().expect("worker buffer poisoned");
+            worker.out.clear();
+            let start = (i * chunk).min(units.len());
+            let end = ((i + 1) * chunk).min(units.len());
+            let mut sink = BufSink(&mut worker.out);
+            for &u in &units[start..end] {
+                emit_unit(graph, x, u, &mut worker.scratch, &mut sink);
             }
         });
-        results
-    }
 
-    /// Add one contribution batch to `x_next`, tracking which targets went
-    /// from zero to positive mass.
-    fn merge(&mut self, batch: &[(u32, f64)]) {
-        for &(target, dm) in batch {
-            if self.s.x_next[target as usize] == 0.0 && dm > 0.0 {
-                self.s.frontier_next.push(target);
+        // Merge in worker-index (= chunk) order.
+        let NodeBuffers { x_next, .. } = &mut s.nodes;
+        for cell in &s.workers {
+            let worker = cell.lock().expect("worker buffer poisoned");
+            for &(t, dm) in &worker.out {
+                scatter(x_next, &mut s.frontier_next, t, dm);
             }
-            self.s.x_next[target as usize] += dm;
         }
     }
 
@@ -615,34 +779,34 @@ impl<'g> Propagation<'g> {
     /// `acc`, `acc_nb` and the visited set; push first-time nodes to
     /// `newly`.
     fn advance(&mut self, newly: &mut Vec<NodeId>) {
-        self.s.frontier_next.sort_unstable();
-        self.s.frontier_next.dedup();
+        let s = &mut self.s;
+        s.frontier_next.sort_unstable();
+        s.frontier_next.dedup();
 
         // Swap in the new border; clear the old one.
-        for &v in &self.s.frontier {
-            self.s.x[v as usize] = 0.0;
+        for &v in &s.frontier {
+            s.nodes.x[v as usize] = 0.0;
         }
-        std::mem::swap(&mut self.s.x, &mut self.s.x_next);
-        std::mem::swap(&mut self.s.frontier, &mut self.s.frontier_next);
-        self.s.frontier_next.clear();
-        self.s.step += 1;
-        self.s.gamma_pow *= self.s.gamma;
+        std::mem::swap(&mut s.nodes.x, &mut s.nodes.x_next);
+        std::mem::swap(&mut s.frontier, &mut s.frontier_next);
+        s.frontier_next.clear();
+        s.step += 1;
+        s.gamma_pow *= s.gamma;
 
         // Accumulate Cγ·x_n(v)/γ^n and refresh neighborhood sums.
-        let factor = self.s.c_gamma / self.s.gamma_pow;
-        self.s.border_mass = 0.0;
-        let frontier = std::mem::take(&mut self.s.frontier);
+        let factor = s.c_gamma / s.gamma_pow;
+        s.border_mass = 0.0;
+        let frontier = std::mem::take(&mut s.frontier);
         for &v in &frontier {
-            let m = self.s.x[v as usize];
-            self.s.border_mass += m;
-            self.s.acc[v as usize] += m * factor;
-            if !self.s.visited[v as usize] {
-                self.s.visited[v as usize] = true;
-                self.s.touched.push(v);
+            let m = s.nodes.x[v as usize];
+            s.border_mass += m;
+            s.nodes.acc[v as usize] += m * factor;
+            if s.nodes.visited.insert(v as usize) {
+                s.touched.push(v);
                 newly.push(NodeId(v));
             }
         }
-        self.s.frontier_closed |= newly.is_empty();
+        s.frontier_closed |= newly.is_empty();
         self.refresh_acc_nb(&frontier);
         self.s.frontier = frontier;
     }
@@ -654,10 +818,11 @@ impl<'g> Propagation<'g> {
         let mut scratch = std::mem::take(&mut self.s.tree_scratch);
         let trees = &mut scratch.trees;
         trees.clear();
+        let nodes = &mut self.s.nodes;
         for &v in touched {
             match self.graph.kind(NodeId(v)) {
                 NodeKind::User(_) | NodeKind::Tag(_) => {
-                    self.s.acc_nb[v as usize] = self.s.acc[v as usize];
+                    nodes.acc_nb[v as usize] = nodes.acc[v as usize];
                 }
                 NodeKind::Frag(f) => trees.push(self.graph.forest().tree_of(f)),
             }
@@ -665,8 +830,7 @@ impl<'g> Propagation<'g> {
         trees.sort_unstable();
         trees.dedup();
         for &tree in trees.iter() {
-            if !self.s.tree_touched[tree.index()] {
-                self.s.tree_touched[tree.index()] = true;
+            if self.s.tree_touched.insert(tree.index()) {
                 self.s.touched_trees.push(tree);
             }
             let range = self.graph.tree_node_range(tree).expect("registered");
@@ -679,12 +843,12 @@ impl<'g> Propagation<'g> {
             anc.resize(len, 0.0);
             let sub = &mut scratch.sub;
             sub.clear();
-            sub.extend((0..len).map(|i| self.s.acc[base + i]));
+            sub.extend((0..len).map(|i| nodes.acc[base + i]));
             for i in 0..len {
                 let doc = s3_doc::DocNodeId((first_doc + i) as u32);
                 if let Some(p) = forest.parent(doc) {
                     let pi = p.index() - first_doc;
-                    anc[i] = anc[pi] + self.s.acc[base + pi];
+                    anc[i] = anc[pi] + nodes.acc[base + pi];
                 }
             }
             for i in (0..len).rev() {
@@ -695,7 +859,7 @@ impl<'g> Propagation<'g> {
                 }
             }
             for i in 0..len {
-                self.s.acc_nb[base + i] = anc[i] + sub[i];
+                nodes.acc_nb[base + i] = anc[i] + sub[i];
             }
         }
         self.s.tree_scratch = scratch;
@@ -788,9 +952,9 @@ mod tests {
     fn newly_visited_reported_once() {
         let (g, u0, u1, d) = small();
         let mut p = Propagation::new(&g, 2.0, u0);
-        let first = p.step();
+        let first = p.step().to_vec();
         // u0's out edges: postedBy⁻ to d and social to u1.
-        assert_eq!(first, vec![u1, d].into_iter().collect::<Vec<_>>());
+        assert_eq!(first, vec![u1, d]);
         let second = p.step();
         // Mass flows back to u0 (already visited): nothing new.
         assert!(second.is_empty());
@@ -843,7 +1007,7 @@ mod tests {
         let (g, u0, u1, d) = small();
         let mut p = Propagation::new(&g, 2.0, u0);
         assert_eq!(p.visited_journal().collect::<Vec<_>>(), vec![u0]);
-        let newly = p.step();
+        let newly = p.step().to_vec();
         assert_eq!(
             p.visited_journal().collect::<Vec<_>>(),
             std::iter::once(u0).chain(newly).collect::<Vec<_>>()
@@ -862,10 +1026,10 @@ mod tests {
         assert!(!p.frontier_closed());
         let mut closed_at = None;
         for i in 0..10 {
-            let newly = p.step();
+            let newly_empty = p.step().is_empty();
             if p.frontier_closed() {
                 closed_at.get_or_insert(i);
-                assert!(newly.is_empty() || closed_at != Some(i));
+                assert!(newly_empty || closed_at != Some(i));
             } else {
                 assert!(closed_at.is_none(), "closure must be absorbing");
             }
@@ -911,7 +1075,7 @@ mod tests {
         let mut warm = Propagation::attach(&g, 1.5, u0, state);
         assert_eq!(warm.iteration(), 3, "same seeker: state preserved");
         for _ in 0..4 {
-            let a = warm.step();
+            let a = warm.step().to_vec();
             let b = cold.step();
             assert_eq!(a, b);
         }
@@ -985,7 +1149,7 @@ mod tests {
         let mut warm = Propagation::attach(&new, 1.5, u0, state);
         assert_eq!(warm.iteration(), 3, "warmth survives the rebase");
         for _ in 0..5 {
-            assert_eq!(warm.step(), cold.step());
+            assert_eq!(warm.step().to_vec(), cold.step());
             for node in [u0, u1, d] {
                 assert_eq!(warm.prox_leq(node), cold.prox_leq(node));
             }
@@ -1016,35 +1180,73 @@ mod tests {
     }
 
     #[test]
-    fn vertical_neighborhood_traversal() {
-        // A two-level document: mass entering at the root must exit through
-        // edges attached to its descendants (Example 2.3's second edge).
-        let mut forest = Forest::new();
-        let mut b = DocBuilder::new("doc");
-        let leaf = b.child(b.root(), "p");
-        let t = forest.add_document(b);
+    fn step_wrappers_reuse_the_state_buffer() {
+        let (g, u0, _, _) = small();
+        let mut p = Propagation::new(&g, 2.0, u0);
+        let first_ptr = p.step().as_ptr();
+        // Later steps return the same backing buffer (capacity ≥ 2 after
+        // the first step, and nothing ever outgrows it on this graph).
+        assert_eq!(p.step().as_ptr(), first_ptr);
+        assert_eq!(p.step_parallel(2).as_ptr(), first_ptr);
+    }
+
+    /// Pins the documented reduction order: per-target accumulation in
+    /// `x_next` happens in emission order (trees ascending, then singles
+    /// in frontier order; CSR edge order within a unit). A node fed by
+    /// three sources with weights that expose rounding must equal the
+    /// explicit left-to-right sum, **bit for bit** — this is the contract
+    /// engine parity relies on, so any layout change that reorders the
+    /// additions fails here before it fails a parity suite.
+    #[test]
+    fn reduction_order_is_emission_order() {
+        // u0 —w[i]→ u{i+1} —v[i]→ t: three two-hop chains meeting at t.
+        let w = [0.1, 0.2, 0.3];
+        let v = [0.7, 0.11, 0.13];
+        let forest = Forest::new();
         let mut gb = GraphBuilder::new(forest);
         let u0 = gb.add_user();
-        let u1 = gb.add_user();
-        let root = gb.register_tree(t);
-        let leaf = gb.node_of_frag(gb.forest().resolve(t, leaf)).unwrap();
-        gb.add_edge(root, u0, EdgeKind::PostedBy, 1.0);
-        // A tagless comment-like edge from the leaf to another doc would do;
-        // use hasAuthor-style via a comment posted by u1 on the leaf.
-        let g2 = {
-            let mut forest2_edgecase = gb; // keep building
-            forest2_edgecase.add_edge(leaf, u1, EdgeKind::PostedBy, 1.0);
-            forest2_edgecase.build()
-        };
-        let gamma = 2.0;
-        let mut p = Propagation::new(&g2, gamma, u0);
-        p.step(); // u0 → root (normalized weight 1)
-        p.step(); // root's neighborhood = {root, leaf}: exits via both edges
-        let c_gamma = 0.5;
-        // Step 1: x(root) = 1.0 (u0 has a single out edge of weight 1).
-        // Step 2: W(neigh(root)) = 2 (postedBy from root + postedBy from
-        // leaf): each of u0, u1 receives 1·1/2.
-        let expected_u1 = c_gamma * 0.5 / gamma.powi(2);
-        assert!((p.prox_leq(u1) - expected_u1).abs() < 1e-12);
+        let mids = [gb.add_user(), gb.add_user(), gb.add_user()];
+        let t = gb.add_user();
+        for i in 0..3 {
+            gb.add_edge(u0, mids[i], EdgeKind::Social, w[i]);
+        }
+        for i in 0..3 {
+            gb.add_edge(mids[i], t, EdgeKind::Social, v[i]);
+        }
+        let g = gb.build();
+
+        let gamma = 1.7;
+        let mut p = Propagation::new(&g, gamma, u0);
+        p.step();
+        p.step();
+
+        // Re-derive prox≤2(t) with the exact documented operation order:
+        // normalization sums in CSR order, ρ·w per edge, per-target adds
+        // in frontier (= ascending id) order, Cγ/γ² via the incremental
+        // power.
+        let c_gamma = (gamma - 1.0) / gamma;
+        let w0: f64 = w.iter().sum(); // u0's CSR slice is w[0], w[1], w[2]
+        let mut sum_t = 0.0;
+        for i in 0..3 {
+            let x1 = (1.0 / w0) * w[i];
+            // mids[i]'s only out edge is v[i] (social edges have no
+            // inverse), so its neighborhood weight is v[i] alone.
+            let wi: f64 = [v[i]].iter().sum();
+            sum_t += (x1 / wi) * v[i];
+        }
+        let gamma_pow = (1.0 * gamma) * gamma;
+        let expected = sum_t * (c_gamma / gamma_pow);
+        assert_eq!(
+            p.prox_leq(t).to_bits(),
+            expected.to_bits(),
+            "sequential reduction order must match the documented emission order"
+        );
+
+        // The 2-worker parallel merge (chunk order = unit order here)
+        // reproduces the same bits on this topology.
+        let mut par = Propagation::new(&g, gamma, u0);
+        par.step_parallel_forced(2);
+        par.step_parallel_forced(2);
+        assert_eq!(par.prox_leq(t).to_bits(), expected.to_bits());
     }
 }
