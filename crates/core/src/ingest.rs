@@ -140,6 +140,17 @@ impl IngestDoc {
         self.texts.push((node, text.into()));
     }
 
+    /// The underlying tree builder (read-only; the wire protocol
+    /// flattens it for shipping).
+    pub fn builder(&self) -> &DocBuilder {
+        &self.builder
+    }
+
+    /// Pending `(node, text)` assignments, in call order.
+    pub fn texts(&self) -> &[(LocalNodeId, String)] {
+        &self.texts
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.builder.len()
@@ -228,6 +239,26 @@ impl IngestBatch {
     /// Tags this batch creates.
     pub fn num_tags(&self) -> usize {
         self.tags.len()
+    }
+
+    /// Weighted social edges the batch adds.
+    pub fn social_edges(&self) -> &[(UserRef, UserRef, f64)] {
+        &self.social_edges
+    }
+
+    /// Documents the batch adds, with their posters.
+    pub fn documents(&self) -> &[(IngestDoc, Option<UserRef>)] {
+        &self.documents
+    }
+
+    /// Comment edges the batch adds.
+    pub fn comments(&self) -> &[(DocRef, FragRef)] {
+        &self.comments
+    }
+
+    /// Tags the batch adds: subject, author, optional keyword.
+    pub fn tags(&self) -> &[(TagSubjectRef, UserRef, Option<String>)] {
+        &self.tags
     }
 
     /// True when the batch adds nothing.

@@ -69,6 +69,6 @@ pub use s3_graph::CompId;
 pub use s3_graph::{Propagation, PropagationState};
 pub use score::{AnyKeywordScore, S3kScore, ScoreModel, TypeWeightedScore};
 pub use search::{
-    merge_hits, Hit, Query, ResumeOutcome, S3kEngine, S3kSession, SearchConfig, SearchScratch,
-    SearchStats, StopReason, TopKResult,
+    merge_hits, selection_rank, FleetShard, Hit, Query, ResumeOutcome, S3kEngine, S3kSession,
+    SearchConfig, SearchScratch, SearchStats, SelectedCandidate, StopReason, TopKResult,
 };

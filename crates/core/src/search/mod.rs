@@ -50,11 +50,13 @@
 mod bounds;
 mod discover;
 mod expand;
+mod fleet;
 mod merge;
 mod partitioned;
 mod scratch;
 mod stop;
 
+pub use fleet::{selection_rank, FleetShard, SelectedCandidate};
 pub use merge::merge_hits;
 pub use scratch::SearchScratch;
 

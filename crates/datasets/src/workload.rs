@@ -361,6 +361,57 @@ pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<
     steps
 }
 
+/// Parameters of a fleet-serving scenario: a query-only warmup phase
+/// followed by a live-update workload, all replayable against a fleet of
+/// shard servers (or any other engine) from one seed.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetWorkloadConfig {
+    /// Shard-server count the scenario is meant for (recorded in the
+    /// spec; generation itself is shard-count independent so the same
+    /// scenario can drive fleets of different sizes for comparisons).
+    pub shards: usize,
+    /// Query specs in the pre-ingest warmup phase.
+    pub warmup_queries: usize,
+    /// The live phase: ingest batches interleaved with queries
+    /// ([`live_workload`]).
+    pub live: LiveWorkloadConfig,
+}
+
+impl Default for FleetWorkloadConfig {
+    fn default() -> Self {
+        FleetWorkloadConfig { shards: 2, warmup_queries: 16, live: LiveWorkloadConfig::default() }
+    }
+}
+
+/// A replayable fleet scenario: warmup queries over the base instance,
+/// then [`LiveStep`]s (each an [`IngestBatch`] plus post-ingest queries).
+#[derive(Debug, Clone)]
+pub struct FleetWorkload {
+    /// Intended shard-server count.
+    pub shards: usize,
+    /// Pre-ingest queries (seekers exist in the base instance).
+    pub warmup: Vec<LiveQuerySpec>,
+    /// The live phase.
+    pub steps: Vec<LiveStep>,
+}
+
+/// Generate a fleet scenario against `instance` (the state the warmup
+/// queries and the first batch see). Deterministic per configuration;
+/// query texts are specs resolved at replay time, exactly like
+/// [`live_workload`]'s.
+pub fn fleet_workload(instance: &S3Instance, config: &FleetWorkloadConfig) -> FleetWorkload {
+    let mut rng = StdRng::seed_from_u64(config.live.seed ^ 0xF1EE7);
+    let num_users = instance.num_users().max(1);
+    let warmup = (0..config.warmup_queries)
+        .map(|_| LiveQuerySpec {
+            seeker: UserId(rng.gen_range(0..num_users) as u32),
+            text: LIVE_WORDS[zipf_word(&mut rng)].to_string(),
+            k: config.live.k,
+        })
+        .collect();
+    FleetWorkload { shards: config.shards, warmup, steps: live_workload(instance, &config.live) }
+}
+
 /// Zipf-ish index into [`LIVE_WORDS`]: low indices dominate, so query
 /// streams repeat enough for caches to matter.
 fn zipf_word(rng: &mut StdRng) -> usize {
@@ -492,6 +543,30 @@ mod tests {
             let (next, summary) = b.apply(&prev, &step.batch);
             assert!(summary.detached, "attach_probability 0 must yield detached batches");
             prev = next;
+        }
+    }
+
+    #[test]
+    fn fleet_workload_is_deterministic() {
+        let inst = instance();
+        let config = FleetWorkloadConfig {
+            shards: 4,
+            warmup_queries: 5,
+            live: LiveWorkloadConfig { batches: 2, seed: 77, ..LiveWorkloadConfig::default() },
+        };
+        let a = fleet_workload(&inst, &config);
+        let b = fleet_workload(&inst, &config);
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.warmup.len(), 5);
+        assert_eq!(a.steps.len(), 2);
+        for (qa, qb) in a.warmup.iter().zip(&b.warmup) {
+            assert_eq!(qa.seeker, qb.seeker);
+            assert_eq!(qa.text, qb.text);
+            assert!(qa.seeker.index() < inst.num_users(), "warmup seekers pre-exist");
+        }
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa.batch.num_users(), sb.batch.num_users());
+            assert_eq!(sa.queries.len(), sb.queries.len());
         }
     }
 

@@ -86,6 +86,19 @@ impl DocBuilder {
         self.nodes[node.0 as usize].content.extend(content);
     }
 
+    /// The name of a node.
+    pub fn name(&self, node: LocalNodeId) -> &str {
+        &self.nodes[node.0 as usize].name
+    }
+
+    /// The children of a node, in insertion order (their Dewey ranks).
+    /// Node ids are assigned sequentially, so re-adding every node in id
+    /// order with its recorded parent reproduces each child list exactly
+    /// — the invariant the wire form of an ingest document relies on.
+    pub fn children(&self, node: LocalNodeId) -> &[LocalNodeId] {
+        &self.nodes[node.0 as usize].children
+    }
+
     /// Number of nodes so far.
     pub fn len(&self) -> usize {
         self.nodes.len()

@@ -1,0 +1,729 @@
+//! Cross-process sharded serving: shard servers + the fleet client.
+//!
+//! [`crate::ShardedEngine`] runs the iteration-synchronous scatter-gather
+//! inside one process. This module runs the *same algorithm* across
+//! process boundaries:
+//!
+//! * [`ShardServer`] owns one shard — an [`S3Engine`] restricted to its
+//!   components, the deterministically re-derived instance + partition,
+//!   and an [`s3_core::FleetShard`] round executor — and answers the wire
+//!   protocol's round requests ([`ShardServer::serve`] loops over any
+//!   `Read + Write` stream: a unix socket, an in-memory loopback, ...);
+//! * [`FleetEngine`] is the client: it routes each query through the
+//!   regular [`ShardRouter`], drives the fan-out over N
+//!   [`ShardTransport`]s, merges per-shard admissions (by global trigger
+//!   sequence) and selections ([`s3_core::selection_rank`]), and runs the
+//!   merged global stop test — returning results byte-identical to
+//!   [`crate::ShardedEngine`];
+//! * [`LocalShard`] is the zero-cost in-process transport: replies move
+//!   as typed values through option slots, no bytes on the query hot
+//!   path (ingest still exercises the codec — it is rare and the round
+//!   trip doubles as a serialization check).
+//!
+//! Round fan-out is **pipelined**: the client queues every shard's
+//! request, flushes them all, then reads replies — so a round costs the
+//! *slowest* shard, not the sum ([`s3_wire::ShardTransport`] docs).
+//!
+//! Replication model: every shard server holds the full instance (built
+//! from its own [`InstanceBuilder`]) because proximity propagates over
+//! the *whole* graph regardless of which shard owns a component;
+//! shipping an [`IngestBatch`] to every shard keeps the replicas
+//! bit-identical, since [`InstanceBuilder::apply`] and
+//! [`ComponentPartition::extended`] are deterministic. The
+//! [`s3_wire::IngestAck`] fingerprint (node count, detachedness, epoch)
+//! cross-checks that invariant on every ingest.
+
+use crate::{EngineConfig, S3Engine, ShardRouter};
+use s3_core::{
+    ComponentFilter, ComponentPartition, FleetShard, Hit, IngestBatch, IngestSummary,
+    InstanceBuilder, Query, ResumeOutcome, S3Instance, S3kEngine, SearchConfig, SearchStats,
+    StopReason, TopKResult, UserId,
+};
+use s3_doc::DocNodeId;
+use s3_text::KeywordId;
+use s3_wire::{
+    loopback_pair, read_frame, tag, write_frame, FramedTransport, IngestAck, LoopbackConn,
+    RequestBuf, RequestKind, RoundReply, SelectionEntry, ShardTransport, Start, StopCheck,
+    TransportStats, WireError, WireIngest, WIRE_VERSION,
+};
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One shard's server: the replica instance, the shard's serving engine,
+/// and the per-round executor. Drive it through the typed handlers (the
+/// [`LocalShard`] transport does) or hand a connected stream to
+/// [`Self::serve`].
+pub struct ShardServer {
+    builder: InstanceBuilder,
+    instance: Arc<S3Instance>,
+    partition: Arc<ComponentPartition>,
+    shard: usize,
+    /// The scatter search configuration (no component filter — ownership
+    /// is enforced by partition + shard id in the round executor).
+    search: SearchConfig,
+    /// Engine template for rebuilding the serving engine after ingests.
+    config: EngineConfig,
+    engine: S3Engine,
+    session: FleetShard,
+    epoch: u64,
+}
+
+fn shard_engine(
+    instance: &Arc<S3Instance>,
+    partition: &ComponentPartition,
+    shard: usize,
+    config: &EngineConfig,
+) -> S3Engine {
+    let filter = Arc::new(ComponentFilter::for_shard(partition, shard));
+    S3Engine::new(
+        Arc::clone(instance),
+        EngineConfig {
+            search: SearchConfig { component_filter: Some(filter), ..config.search.clone() },
+            threads: 1,
+            ..config.clone()
+        },
+    )
+}
+
+impl ShardServer {
+    /// Build shard `shard` of a `num_shards` fleet from its own instance
+    /// builder. Every server of a fleet (and the [`FleetEngine`] client)
+    /// must be built from identically-generated builders with the same
+    /// configuration — the replicas are kept consistent by determinism,
+    /// and the ingest acks verify it.
+    pub fn new(
+        builder: InstanceBuilder,
+        config: EngineConfig,
+        num_shards: usize,
+        shard: usize,
+    ) -> Self {
+        let config = config.validated();
+        let instance = Arc::new(builder.snapshot());
+        let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
+        assert!(shard < partition.num_shards(), "shard index out of range");
+        let mut search = config.search.clone();
+        search.component_filter = None;
+        let engine = shard_engine(&instance, &partition, shard, &config);
+        ShardServer {
+            builder,
+            instance,
+            partition,
+            shard,
+            search,
+            config,
+            engine,
+            session: FleetShard::new(),
+            epoch: 0,
+        }
+    }
+
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The shard's serving engine (directly queryable over its own
+    /// components, like [`crate::ShardedEngine::shard`]).
+    pub fn engine(&self) -> &S3Engine {
+        &self.engine
+    }
+
+    /// The replica instance.
+    pub fn instance(&self) -> &Arc<S3Instance> {
+        &self.instance
+    }
+
+    /// Ingest epoch (bumped once per applied batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn fill_round(&self, out: &mut RoundReply, no_match: bool) {
+        out.clear();
+        out.no_match = no_match;
+        if no_match {
+            return;
+        }
+        out.iteration = self.session.iteration();
+        out.threshold = self.session.threshold();
+        out.frontier_closed = self.session.frontier_closed();
+        let stats = self.session.stats();
+        out.candidates = stats.candidates as u64;
+        out.rejected = stats.rejected as u64;
+        out.components = stats.components as u64;
+        out.pruned = stats.pruned_components as u64;
+        out.admitted.extend(self.session.admitted().iter().map(|&(seq, doc)| (seq, doc.0)));
+        out.selection.extend(self.session.selection().map(|c| SelectionEntry {
+            index: c.index,
+            doc: c.doc.0,
+            lower: c.lower,
+            upper: c.upper,
+        }));
+    }
+
+    /// Handle a [`Start`]: run round zero, fill the reply.
+    pub fn start_query(&mut self, msg: &Start, out: &mut RoundReply) {
+        let query = Query::new(
+            UserId(msg.seeker),
+            msg.keywords.iter().map(|&k| KeywordId(k)).collect(),
+            msg.k as usize,
+        );
+        let engine = S3kEngine::new(&self.instance, self.search.clone());
+        let matched = self.session.begin(&engine, &self.partition, self.shard, &query);
+        self.fill_round(out, !matched);
+    }
+
+    /// Handle a next-round request: step the propagation, run the round,
+    /// fill the reply.
+    pub fn next_round(&mut self, out: &mut RoundReply) {
+        let engine = S3kEngine::new(&self.instance, self.search.clone());
+        self.session.advance(&engine, &self.partition, self.shard);
+        self.fill_round(out, false);
+    }
+
+    /// Handle a [`StopCheck`]: this shard's vote on the merged global
+    /// stop test.
+    pub fn stop_check(&mut self, msg: &StopCheck) -> bool {
+        let engine = S3kEngine::new(&self.instance, self.search.clone());
+        self.session.stop_check(&engine, msg.merged_full, msg.min_lower, &msg.selected)
+    }
+
+    /// Handle an end-of-query notice.
+    pub fn end_query(&mut self) {
+        self.session.end();
+    }
+
+    /// Handle a shipped ingest: rebuild the batch, apply it to the
+    /// replica, extend the partition, swap the serving engine, bump the
+    /// epoch and fill the consistency ack.
+    pub fn ingest(&mut self, msg: &WireIngest, out: &mut IngestAck) {
+        let batch = msg.to_batch();
+        let (instance, summary) = self.builder.apply(&self.instance, &batch);
+        self.instance = Arc::new(instance);
+        self.partition = Arc::new(self.partition.extended(&self.instance));
+        self.engine = shard_engine(&self.instance, &self.partition, self.shard, &self.config);
+        self.session.invalidate();
+        self.epoch += 1;
+        *out = IngestAck {
+            detached: summary.detached,
+            epoch: self.epoch,
+            nodes: self.instance.graph().num_nodes() as u64,
+            touched: summary.touched_components.len() as u64,
+        };
+    }
+
+    /// Serve the wire protocol over a connected stream until the peer
+    /// hangs up or sends `Shutdown`. Request bodies and the reply buffer
+    /// are reused across rounds — steady-state serving does not allocate
+    /// for the round exchange.
+    pub fn serve<S: Read + Write>(&mut self, mut stream: S) -> Result<(), WireError> {
+        let mut req = RequestBuf::default();
+        let mut frame = Vec::new();
+        let mut reply = RoundReply::default();
+        let mut payload = Vec::new();
+        loop {
+            match read_frame(&mut stream, &mut frame) {
+                Ok(()) => {}
+                Err(WireError::Eof) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+            payload.clear();
+            match req.read(&frame)? {
+                RequestKind::Start => {
+                    self.start_query(&req.start, &mut reply);
+                    reply.encode(&mut payload);
+                }
+                RequestKind::NextRound => {
+                    self.next_round(&mut reply);
+                    reply.encode(&mut payload);
+                }
+                RequestKind::StopCheck => {
+                    let vote = self.stop_check(&req.stop);
+                    payload.extend_from_slice(&[WIRE_VERSION, tag::VOTE, vote as u8]);
+                }
+                RequestKind::EndQuery => {
+                    self.end_query();
+                    continue;
+                }
+                RequestKind::Ingest => {
+                    let mut ack = IngestAck::default();
+                    self.ingest(&req.ingest, &mut ack);
+                    ack.encode(&mut payload);
+                }
+                RequestKind::Shutdown => return Ok(()),
+            }
+            write_frame(&mut stream, &payload)?;
+            stream.flush()?;
+        }
+    }
+
+    /// Spawn this server on its own thread behind an in-memory loopback
+    /// duplex; returns the client transport and the join handle.
+    pub fn spawn_loopback(mut self) -> (FramedTransport<LoopbackConn>, ShardHost) {
+        let (client, server_end) = loopback_pair();
+        let thread = std::thread::spawn(move || self.serve(server_end));
+        (FramedTransport::new(client), ShardHost { thread })
+    }
+
+    /// Bind a unix-domain socket at `path`, spawn this server on its own
+    /// thread accepting one connection there, and connect to it; returns
+    /// the client transport and the join handle. The socket file is
+    /// unlinked once the connection is established.
+    pub fn spawn_unix(
+        mut self,
+        path: &Path,
+    ) -> std::io::Result<(FramedTransport<UnixStream>, ShardHost)> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let at = path.to_path_buf();
+        let thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().map_err(WireError::from)?;
+            drop(listener);
+            let _ = std::fs::remove_file(&at);
+            self.serve(stream)
+        });
+        let stream = UnixStream::connect(path)?;
+        Ok((FramedTransport::new(stream), ShardHost { thread }))
+    }
+}
+
+/// Join handle for a spawned [`ShardServer`] thread.
+pub struct ShardHost {
+    thread: std::thread::JoinHandle<Result<(), WireError>>,
+}
+
+impl ShardHost {
+    /// Wait for the server to exit (send `Shutdown` or drop the client
+    /// transport first, or this blocks forever).
+    pub fn join(self) -> Result<(), WireError> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(WireError::Protocol("shard server thread panicked")),
+        }
+    }
+}
+
+/// The in-process [`ShardTransport`]: wraps a [`ShardServer`] and moves
+/// replies as typed values through single-message slots. The query hot
+/// path is byte-free and copy-free; ingest goes through the wire form
+/// like every other transport (it is rare, and the round trip keeps the
+/// codec honest).
+pub struct LocalShard {
+    server: ShardServer,
+    round: RoundReply,
+    round_ready: bool,
+    vote: Option<bool>,
+    ack: IngestAck,
+    ack_ready: bool,
+    stats: TransportStats,
+}
+
+impl LocalShard {
+    /// Wrap a server.
+    pub fn new(server: ShardServer) -> Self {
+        LocalShard {
+            server,
+            round: RoundReply::default(),
+            round_ready: false,
+            vote: None,
+            ack: IngestAck::default(),
+            ack_ready: false,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &ShardServer {
+        &self.server
+    }
+}
+
+impl ShardTransport for LocalShard {
+    fn send_start(&mut self, msg: &Start) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        self.server.start_query(msg, &mut self.round);
+        self.round_ready = true;
+        Ok(())
+    }
+
+    fn send_next_round(&mut self) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        self.server.next_round(&mut self.round);
+        self.round_ready = true;
+        Ok(())
+    }
+
+    fn send_stop_check(&mut self, msg: &StopCheck) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        self.vote = Some(self.server.stop_check(msg));
+        Ok(())
+    }
+
+    fn send_end_query(&mut self) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        self.server.end_query();
+        Ok(())
+    }
+
+    fn send_ingest(&mut self, msg: &WireIngest) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        let mut ack = IngestAck::default();
+        self.server.ingest(msg, &mut ack);
+        self.ack = ack;
+        self.ack_ready = true;
+        Ok(())
+    }
+
+    fn send_shutdown(&mut self) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn recv_round(&mut self, out: &mut RoundReply) -> Result<(), WireError> {
+        if !self.round_ready {
+            return Err(WireError::Protocol("no round reply pending"));
+        }
+        self.round_ready = false;
+        self.stats.frames_received += 1;
+        std::mem::swap(out, &mut self.round);
+        Ok(())
+    }
+
+    fn recv_vote(&mut self) -> Result<bool, WireError> {
+        self.stats.frames_received += 1;
+        self.vote.take().ok_or(WireError::Protocol("no vote pending"))
+    }
+
+    fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError> {
+        if !self.ack_ready {
+            return Err(WireError::Protocol("no ingest ack pending"));
+        }
+        self.ack_ready = false;
+        self.stats.frames_received += 1;
+        *out = self.ack;
+        Ok(())
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// The fleet client: the sharded scatter-gather driven over N
+/// [`ShardTransport`]s.
+///
+/// For every query and any transport mix, the returned [`TopKResult`] is
+/// byte-identical (hits, candidate order, stop reason) to
+/// [`crate::ShardedEngine`] with the same shard count — including after
+/// shipped ingests. Property-tested in `tests/fleet.rs`.
+pub struct FleetEngine {
+    builder: InstanceBuilder,
+    instance: Arc<S3Instance>,
+    partition: Arc<ComponentPartition>,
+    router: ShardRouter,
+    search: SearchConfig,
+    shards: Vec<Box<dyn ShardTransport>>,
+    epoch: u64,
+    rounds: u64,
+    // Reused across rounds and queries: zero steady-state allocation on
+    // the round exchange (the admission log is part of each result and
+    // is allocated per query by design).
+    start_msg: Start,
+    stop_msg: StopCheck,
+    replies: Vec<RoundReply>,
+    active: Vec<usize>,
+    merged: Vec<(usize, u32)>,
+    cursors: Vec<usize>,
+}
+
+impl FleetEngine {
+    /// Build the client over connected shard transports. `builder` must
+    /// be generated identically to every shard server's.
+    pub fn new(
+        builder: InstanceBuilder,
+        config: EngineConfig,
+        shards: Vec<Box<dyn ShardTransport>>,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a fleet needs at least one shard");
+        let config = config.validated();
+        let mut search = config.search;
+        search.component_filter = None;
+        let instance = Arc::new(builder.snapshot());
+        let partition = Arc::new(ComponentPartition::balanced(&instance, shards.len()));
+        let router = ShardRouter::new(&instance, Arc::clone(&partition));
+        let replies = shards.iter().map(|_| RoundReply::default()).collect();
+        FleetEngine {
+            builder,
+            instance,
+            partition,
+            router,
+            search,
+            shards,
+            epoch: 0,
+            rounds: 0,
+            start_msg: Start::default(),
+            stop_msg: StopCheck::default(),
+            replies,
+            active: Vec::new(),
+            merged: Vec::new(),
+            cursors: Vec::new(),
+        }
+    }
+
+    /// The client's replica instance.
+    pub fn instance(&self) -> &Arc<S3Instance> {
+        &self.instance
+    }
+
+    /// The component partition (identical on every shard server).
+    pub fn partition(&self) -> &ComponentPartition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ingest epoch (bumped once per shipped batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rounds driven so far (reply waves across all queries; `NoMatch`
+    /// probes count as zero rounds, matching the in-process driver).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Per-shard transport traffic counters.
+    pub fn transport_stats(&self) -> Vec<TransportStats> {
+        self.shards.iter().map(|t| t.stats()).collect()
+    }
+
+    /// Merge the active shards' per-round admission logs into `order_log`
+    /// by global trigger sequence. One component belongs to one shard, so
+    /// sequences never tie across shards and the merge reconstructs the
+    /// in-process admission order exactly.
+    fn merge_admissions(&mut self, order_log: &mut Vec<DocNodeId>) {
+        self.cursors.clear();
+        self.cursors.resize(self.active.len(), 0);
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (pos, &s) in self.active.iter().enumerate() {
+                if let Some(&(seq, _)) = self.replies[s].admitted.get(self.cursors[pos]) {
+                    if best.is_none_or(|(bseq, _)| seq < bseq) {
+                        best = Some((seq, pos));
+                    }
+                }
+            }
+            let Some((seq, pos)) = best else { break };
+            let admitted = &self.replies[self.active[pos]].admitted;
+            while let Some(&(sq, doc)) = admitted.get(self.cursors[pos]) {
+                if sq != seq {
+                    break;
+                }
+                order_log.push(DocNodeId(doc));
+                self.cursors[pos] += 1;
+            }
+        }
+    }
+
+    /// Answer one query over the fleet.
+    pub fn query(&mut self, query: &Query) -> Result<TopKResult, WireError> {
+        let started = Instant::now();
+        self.router.route_into(&self.instance, query, &self.search, &mut self.active);
+        if self.active.is_empty() {
+            // No shard can admit a candidate, but the in-process driver
+            // still runs the (empty) round loop to its stop iteration;
+            // one shard reproduces that with an empty candidate pool.
+            self.active.push(0);
+        }
+        self.start_msg.clear();
+        self.start_msg.seeker = query.seeker.0;
+        self.start_msg.k = query.k as u64;
+        self.start_msg.keywords.extend(query.keywords.iter().map(|k| k.0));
+        for &s in &self.active {
+            self.shards[s].send_start(&self.start_msg)?;
+        }
+        for &s in &self.active {
+            self.shards[s].flush()?;
+        }
+        for &s in &self.active {
+            let (shards, replies) = (&mut self.shards, &mut self.replies);
+            shards[s].recv_round(&mut replies[s])?;
+        }
+        if self.replies[self.active[0]].no_match {
+            // Expansion is deterministic: every shard must agree, and no
+            // round state was kept server-side (no EndQuery needed).
+            debug_assert!(self.active.iter().all(|&s| self.replies[s].no_match));
+            let stats = SearchStats { stop: StopReason::NoMatch, ..SearchStats::default() };
+            return Ok(TopKResult { hits: Vec::new(), candidate_docs: Vec::new(), stats });
+        }
+
+        let eps = self.search.epsilon;
+        let k = query.k;
+        let mut order_log: Vec<DocNodeId> = Vec::new();
+        loop {
+            self.rounds += 1;
+            self.merge_admissions(&mut order_log);
+
+            // Gather: merge the per-shard greedy selections exactly like
+            // the in-process driver (rank by upper desc, doc asc; the
+            // merged prefix is the global greedy selection).
+            self.merged.clear();
+            for &s in &self.active {
+                for j in 0..self.replies[s].selection.len() {
+                    self.merged.push((s, j as u32));
+                }
+            }
+            let replies = &self.replies;
+            self.merged.sort_unstable_by(|&(sa, ja), &(sb, jb)| {
+                let a = replies[sa].selection[ja as usize];
+                let b = replies[sb].selection[jb as usize];
+                s3_core::selection_rank(a.upper, DocNodeId(a.doc), b.upper, DocNodeId(b.doc))
+            });
+            self.merged.truncate(k);
+            let min_lower = self
+                .merged
+                .iter()
+                .map(|&(s, j)| self.replies[s].selection[j as usize].lower)
+                .fold(f64::INFINITY, f64::min);
+            let head = &self.replies[self.active[0]];
+            let (threshold, frontier_closed, iteration) =
+                (head.threshold, head.frontier_closed, head.iteration);
+
+            // The global stop test, phase one (`partition_stop`'s
+            // prefix): only when the merged selection passes the global
+            // precondition is the per-shard candidate sweep worth a
+            // round trip.
+            let precondition =
+                if self.merged.len() == k { threshold <= min_lower + eps } else { frontier_closed };
+            let mut stop = None;
+            if precondition {
+                for &s in &self.active {
+                    self.stop_msg.clear();
+                    self.stop_msg.merged_full = self.merged.len() == k;
+                    self.stop_msg.min_lower = min_lower;
+                    self.stop_msg.selected.extend(
+                        self.merged
+                            .iter()
+                            .filter(|&&(ms, _)| ms == s)
+                            .map(|&(ms, j)| self.replies[ms].selection[j as usize].index),
+                    );
+                    self.shards[s].send_stop_check(&self.stop_msg)?;
+                }
+                for &s in &self.active {
+                    self.shards[s].flush()?;
+                }
+                let mut all = true;
+                for &s in &self.active {
+                    all &= self.shards[s].recv_vote()?;
+                }
+                if all {
+                    stop = Some(StopReason::Converged);
+                }
+            }
+            if stop.is_none() && iteration >= self.search.max_iterations {
+                stop = Some(StopReason::MaxIterations);
+            }
+            if stop.is_none()
+                && self.search.time_budget.is_some_and(|budget| started.elapsed() >= budget)
+            {
+                stop = Some(StopReason::TimeBudget);
+            }
+
+            if let Some(reason) = stop {
+                for &s in &self.active {
+                    self.shards[s].send_end_query()?;
+                    self.shards[s].flush()?;
+                }
+                let hits: Vec<Hit> = self
+                    .merged
+                    .iter()
+                    .map(|&(s, j)| {
+                        let e = self.replies[s].selection[j as usize];
+                        Hit { doc: DocNodeId(e.doc), lower: e.lower, upper: e.upper }
+                    })
+                    .collect();
+                let mut stats = SearchStats {
+                    iterations: iteration,
+                    stop: reason,
+                    resume: ResumeOutcome::Cold,
+                    ..SearchStats::default()
+                };
+                for &s in &self.active {
+                    let r = &self.replies[s];
+                    stats.candidates += r.candidates as usize;
+                    stats.rejected += r.rejected as usize;
+                    stats.components += r.components as usize;
+                    stats.pruned_components += r.pruned as usize;
+                }
+                return Ok(TopKResult { hits, candidate_docs: order_log, stats });
+            }
+
+            for &s in &self.active {
+                self.shards[s].send_next_round()?;
+            }
+            for &s in &self.active {
+                self.shards[s].flush()?;
+            }
+            for &s in &self.active {
+                let (shards, replies) = (&mut self.shards, &mut self.replies);
+                shards[s].recv_round(&mut replies[s])?;
+            }
+        }
+    }
+
+    /// Ship a batch to every shard (pipelined), apply it locally, and
+    /// cross-check the acks: every replica must land on the same node
+    /// count, delta class and epoch, or the fleet is declared diverged.
+    pub fn ingest(&mut self, batch: &IngestBatch) -> Result<IngestSummary, WireError> {
+        let wire = WireIngest::from_batch(batch);
+        for t in &mut self.shards {
+            t.send_ingest(&wire)?;
+        }
+        for t in &mut self.shards {
+            t.flush()?;
+        }
+        let (instance, summary) = self.builder.apply(&self.instance, batch);
+        self.instance = Arc::new(instance);
+        self.partition = Arc::new(self.partition.extended(&self.instance));
+        self.router = ShardRouter::new(&self.instance, Arc::clone(&self.partition));
+        self.epoch += 1;
+        let mut ack = IngestAck::default();
+        for t in &mut self.shards {
+            t.recv_ingest_ack(&mut ack)?;
+            let expected = IngestAck {
+                detached: summary.detached,
+                epoch: self.epoch,
+                nodes: self.instance.graph().num_nodes() as u64,
+                touched: summary.touched_components.len() as u64,
+            };
+            if ack != expected {
+                return Err(WireError::Protocol("shard replica diverged after ingest"));
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Send every shard a shutdown request and return the final per-shard
+    /// traffic counters. Remote servers exit their serve loop; join their
+    /// [`ShardHost`]s afterwards.
+    pub fn shutdown(mut self) -> Result<Vec<TransportStats>, WireError> {
+        let mut stats = Vec::with_capacity(self.shards.len());
+        for t in &mut self.shards {
+            t.send_shutdown()?;
+            t.flush()?;
+            stats.push(t.stats());
+        }
+        Ok(stats)
+    }
+}

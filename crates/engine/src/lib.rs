@@ -41,11 +41,13 @@
 
 mod batch;
 pub mod cache;
+pub mod fleet;
 pub mod live;
 pub mod shard;
 mod warm;
 
 pub use cache::CachePolicy;
+pub use fleet::{FleetEngine, LocalShard, ShardHost, ShardServer};
 pub use live::{IngestReport, InvalidationScope, LiveEngine, LiveShardedEngine};
 pub use shard::{ShardRouter, ShardedEngine};
 pub use warm::ResumeStats;

@@ -79,6 +79,32 @@ pub struct IngestReport {
     pub warm_rebased: u64,
 }
 
+impl std::fmt::Display for IngestReport {
+    /// One serving-log line with the delta shape and the invalidation
+    /// fallout — the companion of [`CacheStats`]'s and [`ResumeStats`]'s
+    /// `Display`, and what the examples print after each batch.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "+{} users, +{} docs, +{} tags ({}, {} components touched) — \
+             scope {}, {} results invalidated, {} warm dropped, {} warm rebased",
+            self.summary.new_users,
+            self.summary.new_documents,
+            self.summary.new_tags,
+            if self.summary.detached { "detached" } else { "attached" },
+            self.summary.touched_components.len(),
+            match &self.scope {
+                InvalidationScope::Global => "global".to_string(),
+                InvalidationScope::Scoped(shards) if shards.is_empty() => "front-only".to_string(),
+                InvalidationScope::Scoped(shards) => format!("{} shards", shards.len()),
+            },
+            self.results_invalidated,
+            self.warm_invalidated,
+            self.warm_rebased,
+        )
+    }
+}
+
 /// A live, ingestible serving engine over one [`S3Engine`].
 ///
 /// ```

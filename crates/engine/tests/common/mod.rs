@@ -13,6 +13,15 @@ use s3_text::{KeywordId, Language};
 /// Seeded random instance exercising every data-model feature: multi-node
 /// documents, an ontology bridge, keyword tags, endorsements, comments.
 pub fn random_instance(seed: u64) -> (S3Instance, Vec<KeywordId>) {
+    let (b, queryable) = random_builder(seed);
+    (b.build(), queryable)
+}
+
+/// The builder behind [`random_instance`], before freezing — fully
+/// deterministic per seed, so repeated calls yield *identical* builders:
+/// the replica generator for fleet tests (client and every shard server
+/// must grow from the same data).
+pub fn random_builder(seed: u64) -> (InstanceBuilder, Vec<KeywordId>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = InstanceBuilder::new(Language::English);
 
@@ -86,7 +95,7 @@ pub fn random_instance(seed: u64) -> (S3Instance, Vec<KeywordId>) {
 
     let mut queryable = class_kws;
     queryable.extend(pool);
-    (b.build(), queryable)
+    (b, queryable)
 }
 
 /// Random query workload over the instance's keyword pool.

@@ -1,0 +1,141 @@
+//! The cross-process acceptance property: for every query, the fleet —
+//! shard servers behind the `Local`, `Loopback` and unix-`Socket`
+//! transports — returns byte-identical results (hits with exact bounds,
+//! admission-ordered candidate lists, stop reason) to the in-process
+//! `ShardedEngine` with the same shard count, for shard counts {1, 2, 4},
+//! **including after shipped `IngestBatch`es** (every replica applies the
+//! same wire-shipped batch; the cold reference rebuilds from scratch).
+
+mod common;
+
+use common::{assert_identical, random_builder, random_queries};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use s3_core::Query;
+use s3_datasets::workload::{live_workload, LiveWorkloadConfig};
+use s3_engine::{EngineConfig, FleetEngine, LocalShard, ShardHost, ShardServer, ShardedEngine};
+use s3_wire::ShardTransport;
+use std::sync::Arc;
+
+#[derive(Clone, Copy, Debug)]
+enum Transport {
+    Local,
+    Loopback,
+    Socket,
+}
+
+fn fleet_config() -> EngineConfig {
+    EngineConfig { threads: 1, cache_capacity: 0, warm_seekers: 0, ..EngineConfig::default() }
+}
+
+/// Spawn a fleet of `shards` servers over `transport`, every replica
+/// grown from `random_builder(seed)`.
+fn spawn_fleet(seed: u64, shards: usize, transport: Transport) -> (FleetEngine, Vec<ShardHost>) {
+    let mut hosts = Vec::new();
+    let mut transports: Vec<Box<dyn ShardTransport>> = Vec::new();
+    for s in 0..shards {
+        let server = ShardServer::new(random_builder(seed).0, fleet_config(), shards, s);
+        match transport {
+            Transport::Local => transports.push(Box::new(LocalShard::new(server))),
+            Transport::Loopback => {
+                let (conn, host) = server.spawn_loopback();
+                transports.push(Box::new(conn));
+                hosts.push(host);
+            }
+            Transport::Socket => {
+                let path = std::env::temp_dir()
+                    .join(format!("s3-fleet-{}-{seed:x}-{shards}-{s}.sock", std::process::id()));
+                let (conn, host) = server.spawn_unix(&path).expect("bind unix socket");
+                transports.push(Box::new(conn));
+                hosts.push(host);
+            }
+        }
+    }
+    (FleetEngine::new(random_builder(seed).0, fleet_config(), transports), hosts)
+}
+
+fn shutdown(fleet: FleetEngine, hosts: Vec<ShardHost>) {
+    fleet.shutdown().expect("shutdown");
+    for host in hosts {
+        host.join().expect("shard server exits cleanly");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Query-only byte-identity over every transport and shard count.
+    #[test]
+    fn fleet_matches_sharded_engine(seed in 0u64..3000) {
+        let (builder, pool) = random_builder(seed);
+        let inst = Arc::new(builder.snapshot());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE7);
+        let queries = random_queries(&mut rng, inst.num_users(), &pool, 8);
+
+        for shards in [1usize, 2, 4] {
+            let reference = ShardedEngine::new(Arc::clone(&inst), fleet_config(), shards);
+            let expected: Vec<_> = queries.iter().map(|q| reference.query(q)).collect();
+            for transport in [Transport::Local, Transport::Loopback, Transport::Socket] {
+                let (mut fleet, hosts) = spawn_fleet(seed, shards, transport);
+                prop_assert_eq!(fleet.num_shards(), shards);
+                for (q, want) in queries.iter().zip(&expected) {
+                    let got = fleet.query(q).expect("fleet query");
+                    assert_identical(&got, want)?;
+                }
+                // Repeat a prefix: server-side warm propagation state must
+                // reset cleanly between queries.
+                for (q, want) in queries.iter().zip(&expected).take(3) {
+                    assert_identical(&fleet.query(q).expect("fleet requery"), want)?;
+                }
+                shutdown(fleet, hosts);
+            }
+        }
+    }
+
+    /// Ingest byte-identity: ship batches over the wire to every replica,
+    /// compare post-ingest answers against an in-process `ShardedEngine`
+    /// rebuilt cold from the same batches.
+    #[test]
+    fn fleet_matches_after_shipped_ingest(seed in 0u64..1000) {
+        let base = random_builder(seed).0.snapshot();
+        let config = LiveWorkloadConfig {
+            batches: 2,
+            queries_per_batch: 5,
+            attach_probability: 0.25 + 0.5 * ((seed % 3) as f64 / 2.0),
+            seed: seed ^ 0xF00D,
+            ..LiveWorkloadConfig::default()
+        };
+        let steps = live_workload(&base, &config);
+
+        for shards in [1usize, 2, 4] {
+            let transport = match shards {
+                1 => Transport::Local,
+                2 => Transport::Loopback,
+                _ => Transport::Socket,
+            };
+            let (mut fleet, hosts) = spawn_fleet(seed, shards, transport);
+            let (mut ref_builder, _) = random_builder(seed);
+            let mut prev = ref_builder.snapshot();
+            for step in &steps {
+                let summary = fleet.ingest(&step.batch).expect("fleet ingest");
+                let (next, ref_summary) = ref_builder.apply(&prev, &step.batch);
+                prev = next;
+                prop_assert_eq!(summary.detached, ref_summary.detached);
+                prop_assert_eq!(summary.new_users, ref_summary.new_users);
+
+                let cold = Arc::new(ref_builder.snapshot());
+                let reference = ShardedEngine::new(Arc::clone(&cold), fleet_config(), shards);
+                for spec in &step.queries {
+                    let kws = cold.query_keywords(&spec.text);
+                    let q = Query::new(spec.seeker, kws, spec.k);
+                    let got = fleet.query(&q).expect("fleet query");
+                    assert_identical(&got, &reference.query(&q))?;
+                }
+            }
+            let stats = fleet.transport_stats();
+            prop_assert_eq!(stats.len(), shards);
+            shutdown(fleet, hosts);
+        }
+    }
+}

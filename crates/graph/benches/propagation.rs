@@ -31,6 +31,12 @@
 //! `Propagation::PARALLEL_CUTOFF` is set above the measured crossover so
 //! borderline steps stay sequential (dispatch to the parked pool costs
 //! microseconds; see `crates/graph/src/pool.rs`).
+//!
+//! To try a candidate cutoff on a wider machine without a rebuild, set
+//! `S3_PARALLEL_CUTOFF=<units>` (read once at startup; see
+//! `Propagation::parallel_cutoff`) and re-run any engine-level bench —
+//! this sweep itself measures both paths unconditionally, so the knob
+//! does not change its numbers, only downstream consumers.
 
 use s3_bench::{JsonReport, Table};
 use s3_core::UserId;
@@ -613,6 +619,7 @@ fn main() {
         .num("large_frontier.par2_new_us", micros(par_new_large, reps))
         .int("cutoff.crossover_units", crossover as u64)
         .int("cutoff.constant", Propagation::PARALLEL_CUTOFF as u64)
+        .int("cutoff.effective", Propagation::parallel_cutoff() as u64)
         .int("cutoff.max_units_measured", max_units as u64);
 
     // ---- Regression gate: new must not be slower than the seed path. ---

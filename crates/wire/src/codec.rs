@@ -1,0 +1,137 @@
+//! Primitive value encoding: LEB128 varints, bit-exact `f64`s,
+//! length-prefixed strings, and a bounds-checked [`Reader`].
+
+use crate::WireError;
+
+pub(crate) fn put_u64v(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn put_u32v(out: &mut Vec<u8>, v: u32) {
+    put_u64v(out, v as u64);
+}
+
+pub(crate) fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64v(out, v as u64);
+}
+
+/// `f64`s travel as their IEEE-754 bits, little-endian: the round trip is
+/// bit-exact, which the fleet's byte-identity bar requires.
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over one frame's bytes. Every read checks bounds first; no
+/// method panics on malformed input.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a frame payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Value("boolean byte not 0/1")),
+        }
+    }
+
+    pub(crate) fn u64v(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7f) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(WireError::Value("varint overflows u64"));
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::Value("varint longer than 10 bytes"))
+    }
+
+    pub(crate) fn u32v(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.u64v()?).map_err(|_| WireError::Value("varint overflows u32"))
+    }
+
+    pub(crate) fn usize_v(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64v()?).map_err(|_| WireError::Value("varint overflows usize"))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
+        if self.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.usize_v()?;
+        if len > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let bytes = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        std::str::from_utf8(bytes).map_err(|_| WireError::Value("string is not UTF-8"))
+    }
+
+    /// Read a sequence length and reject it outright when even
+    /// `min_elem_bytes` per element cannot fit in the remaining frame —
+    /// the guard that keeps hostile lengths from pre-allocating.
+    pub(crate) fn seq(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let len = self.usize_v()?;
+        if len.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(len)
+    }
+
+    /// Error unless the whole frame was consumed.
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+}

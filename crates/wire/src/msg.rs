@@ -1,0 +1,794 @@
+//! Message bodies for the per-round fleet exchange and ingest shipping.
+//!
+//! Every reply-carrying struct decodes *into* `&mut self` so the fleet
+//! client and shard servers reuse one buffer per message kind across
+//! rounds — no per-round `Vec` churn on the hot path.
+
+use crate::codec::{put_bool, put_f64, put_str, put_u32v, put_u64v, put_usize, Reader};
+use crate::WireError;
+use s3_core::{
+    DocRef, FragRef, IngestBatch, IngestDoc, TagId, TagRef, TagSubjectRef, UserId, UserRef,
+};
+use s3_doc::{DocNodeId, LocalNodeId, TreeId};
+
+/// Protocol version; bumped on *any* body change (see crate docs).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Message tags. Requests are low numbers, replies start at 64.
+pub mod tag {
+    /// Begin a query round 0 ([`super::Start`]).
+    pub const START: u8 = 1;
+    /// Advance the propagation one step and run the next round.
+    pub const NEXT_ROUND: u8 = 2;
+    /// Global stop probe ([`super::StopCheck`]).
+    pub const STOP_CHECK: u8 = 3;
+    /// The client decided the query is over.
+    pub const END_QUERY: u8 = 4;
+    /// Ship an ingest batch ([`super::WireIngest`]).
+    pub const INGEST: u8 = 5;
+    /// Shut the shard server down.
+    pub const SHUTDOWN: u8 = 6;
+    /// Per-round shard reply ([`super::RoundReply`]).
+    pub const ROUND: u8 = 64;
+    /// Per-shard stop vote (bool body).
+    pub const VOTE: u8 = 65;
+    /// Ingest acknowledgement ([`super::IngestAck`]).
+    pub const INGEST_ACK: u8 = 66;
+}
+
+fn begin(out: &mut Vec<u8>, t: u8) {
+    out.push(WIRE_VERSION);
+    out.push(t);
+}
+
+/// Check the version byte and return the message tag without consuming
+/// the body.
+pub fn peek_tag(frame: &[u8]) -> Result<u8, WireError> {
+    let mut r = Reader::new(frame);
+    let v = r.u8()?;
+    if v != WIRE_VERSION {
+        return Err(WireError::Version(v));
+    }
+    r.u8()
+}
+
+fn expect<'a>(frame: &'a [u8], want: u8) -> Result<Reader<'a>, WireError> {
+    let mut r = Reader::new(frame);
+    let v = r.u8()?;
+    if v != WIRE_VERSION {
+        return Err(WireError::Version(v));
+    }
+    let t = r.u8()?;
+    if t != want {
+        return Err(WireError::Tag(t));
+    }
+    Ok(r)
+}
+
+/// Start a query on a shard: round 0 runs immediately and the shard
+/// replies with a [`RoundReply`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Start {
+    /// Seeker user id ([`UserId`] raw value).
+    pub seeker: u32,
+    /// Requested result count.
+    pub k: u64,
+    /// Deduplicated query keyword ids, in query order.
+    pub keywords: Vec<u32>,
+}
+
+impl Start {
+    /// Reset for reuse.
+    pub fn clear(&mut self) {
+        self.seeker = 0;
+        self.k = 0;
+        self.keywords.clear();
+    }
+
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::START);
+        put_u32v(out, self.seeker);
+        put_u64v(out, self.k);
+        put_usize(out, self.keywords.len());
+        for &k in &self.keywords {
+            put_u32v(out, k);
+        }
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.clear();
+        self.seeker = r.u32v()?;
+        self.k = r.u64v()?;
+        let n = r.seq(1)?;
+        self.keywords.reserve(n);
+        for _ in 0..n {
+            self.keywords.push(r.u32v()?);
+        }
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::START)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+/// One selected candidate in a shard's current greedy selection.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SelectionEntry {
+    /// Index into the shard's candidate pool (stable for the query's
+    /// lifetime — used to address candidates in [`StopCheck`]).
+    pub index: u32,
+    /// Document node id ([`DocNodeId`] raw value).
+    pub doc: u32,
+    /// Certified lower score bound.
+    pub lower: f64,
+    /// Certified upper score bound.
+    pub upper: f64,
+}
+
+/// A shard's answer to `Start`/`NextRound`: what this round admitted, the
+/// shard's current selection, and the global-threshold ingredients.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundReply {
+    /// Query expansion failed — no shard can answer; every other field is
+    /// zero/empty.
+    pub no_match: bool,
+    /// Propagation iteration this round ran at.
+    pub iteration: u32,
+    /// Upper bound on every undiscovered document's score (identical on
+    /// all shards — expansion is deterministic).
+    pub threshold: f64,
+    /// Whether the propagation frontier has closed.
+    pub frontier_closed: bool,
+    /// Cumulative admitted-candidate count (SearchStats mirror).
+    pub candidates: u64,
+    /// Cumulative rejected-document count.
+    pub rejected: u64,
+    /// Cumulative discovered-component count.
+    pub components: u64,
+    /// Cumulative pruned-component count.
+    pub pruned: u64,
+    /// Documents admitted *this round*, tagged with the global trigger
+    /// sequence number that admitted them (the client k-way merges these
+    /// by sequence to reconstruct the single-process admission order).
+    pub admitted: Vec<(u32, u32)>,
+    /// The shard's current selection in greedy order.
+    pub selection: Vec<SelectionEntry>,
+}
+
+impl RoundReply {
+    /// Reset for reuse.
+    pub fn clear(&mut self) {
+        self.no_match = false;
+        self.iteration = 0;
+        self.threshold = 0.0;
+        self.frontier_closed = false;
+        self.candidates = 0;
+        self.rejected = 0;
+        self.components = 0;
+        self.pruned = 0;
+        self.admitted.clear();
+        self.selection.clear();
+    }
+
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::ROUND);
+        put_bool(out, self.no_match);
+        put_u32v(out, self.iteration);
+        put_f64(out, self.threshold);
+        put_bool(out, self.frontier_closed);
+        put_u64v(out, self.candidates);
+        put_u64v(out, self.rejected);
+        put_u64v(out, self.components);
+        put_u64v(out, self.pruned);
+        put_usize(out, self.admitted.len());
+        for &(seq, doc) in &self.admitted {
+            put_u32v(out, seq);
+            put_u32v(out, doc);
+        }
+        put_usize(out, self.selection.len());
+        for e in &self.selection {
+            put_u32v(out, e.index);
+            put_u32v(out, e.doc);
+            put_f64(out, e.lower);
+            put_f64(out, e.upper);
+        }
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.clear();
+        self.no_match = r.bool()?;
+        self.iteration = r.u32v()?;
+        self.threshold = r.f64()?;
+        self.frontier_closed = r.bool()?;
+        self.candidates = r.u64v()?;
+        self.rejected = r.u64v()?;
+        self.components = r.u64v()?;
+        self.pruned = r.u64v()?;
+        let n = r.seq(2)?;
+        self.admitted.reserve(n);
+        for _ in 0..n {
+            let seq = r.u32v()?;
+            let doc = r.u32v()?;
+            self.admitted.push((seq, doc));
+        }
+        let n = r.seq(18)?;
+        self.selection.reserve(n);
+        for _ in 0..n {
+            let index = r.u32v()?;
+            let doc = r.u32v()?;
+            let lower = r.f64()?;
+            let upper = r.f64()?;
+            self.selection.push(SelectionEntry { index, doc, lower, upper });
+        }
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::ROUND)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+/// The merged global stop probe, specialized per shard: `selected` holds
+/// the candidate-pool indices of *this shard's* entries in the merged
+/// global selection.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StopCheck {
+    /// Whether the merged global selection reached `k` entries.
+    pub merged_full: bool,
+    /// Minimum lower bound across the merged selection (`+inf` when
+    /// empty).
+    pub min_lower: f64,
+    /// This shard's selected candidate indices.
+    pub selected: Vec<u32>,
+}
+
+impl StopCheck {
+    /// Reset for reuse.
+    pub fn clear(&mut self) {
+        self.merged_full = false;
+        self.min_lower = 0.0;
+        self.selected.clear();
+    }
+
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::STOP_CHECK);
+        put_bool(out, self.merged_full);
+        put_f64(out, self.min_lower);
+        put_usize(out, self.selected.len());
+        for &i in &self.selected {
+            put_u32v(out, i);
+        }
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.clear();
+        self.merged_full = r.bool()?;
+        self.min_lower = r.f64()?;
+        let n = r.seq(1)?;
+        self.selected.reserve(n);
+        for _ in 0..n {
+            self.selected.push(r.u32v()?);
+        }
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::STOP_CHECK)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+/// Acknowledgement of an applied [`WireIngest`]: consistency fingerprints
+/// the client cross-checks against its own apply (shards must never
+/// drift).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestAck {
+    /// Whether the shard classified the delta as detached.
+    pub detached: bool,
+    /// The shard's epoch after the bump.
+    pub epoch: u64,
+    /// Total graph nodes after the apply.
+    pub nodes: u64,
+    /// Components the apply touched.
+    pub touched: u64,
+}
+
+impl IngestAck {
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::INGEST_ACK);
+        put_bool(out, self.detached);
+        put_u64v(out, self.epoch);
+        put_u64v(out, self.nodes);
+        put_u64v(out, self.touched);
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.detached = r.bool()?;
+        self.epoch = r.u64v()?;
+        self.nodes = r.u64v()?;
+        self.touched = r.u64v()?;
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::INGEST_ACK)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+fn put_user_ref(out: &mut Vec<u8>, r: UserRef) {
+    match r {
+        UserRef::Existing(UserId(u)) => {
+            out.push(0);
+            put_u32v(out, u);
+        }
+        UserRef::New(i) => {
+            out.push(1);
+            put_usize(out, i);
+        }
+    }
+}
+
+fn read_user_ref(r: &mut Reader<'_>) -> Result<UserRef, WireError> {
+    match r.u8()? {
+        0 => Ok(UserRef::Existing(UserId(r.u32v()?))),
+        1 => Ok(UserRef::New(r.usize_v()?)),
+        _ => Err(WireError::Value("user ref discriminant")),
+    }
+}
+
+fn put_doc_ref(out: &mut Vec<u8>, r: DocRef) {
+    match r {
+        DocRef::Existing(TreeId(t)) => {
+            out.push(0);
+            put_u32v(out, t);
+        }
+        DocRef::New(i) => {
+            out.push(1);
+            put_usize(out, i);
+        }
+    }
+}
+
+fn read_doc_ref(r: &mut Reader<'_>) -> Result<DocRef, WireError> {
+    match r.u8()? {
+        0 => Ok(DocRef::Existing(TreeId(r.u32v()?))),
+        1 => Ok(DocRef::New(r.usize_v()?)),
+        _ => Err(WireError::Value("doc ref discriminant")),
+    }
+}
+
+fn put_frag_ref(out: &mut Vec<u8>, r: FragRef) {
+    match r {
+        FragRef::Existing(DocNodeId(n)) => {
+            out.push(0);
+            put_u32v(out, n);
+        }
+        FragRef::New { doc, node } => {
+            out.push(1);
+            put_usize(out, doc);
+            put_u32v(out, node.0);
+        }
+    }
+}
+
+fn read_frag_ref(r: &mut Reader<'_>) -> Result<FragRef, WireError> {
+    match r.u8()? {
+        0 => Ok(FragRef::Existing(DocNodeId(r.u32v()?))),
+        1 => {
+            let doc = r.usize_v()?;
+            let node = LocalNodeId(r.u32v()?);
+            Ok(FragRef::New { doc, node })
+        }
+        _ => Err(WireError::Value("frag ref discriminant")),
+    }
+}
+
+fn put_tag_subject(out: &mut Vec<u8>, s: TagSubjectRef) {
+    match s {
+        TagSubjectRef::Frag(f) => {
+            out.push(0);
+            put_frag_ref(out, f);
+        }
+        TagSubjectRef::Tag(TagRef::Existing(TagId(t))) => {
+            out.push(1);
+            put_u32v(out, t);
+        }
+        TagSubjectRef::Tag(TagRef::New(i)) => {
+            out.push(2);
+            put_usize(out, i);
+        }
+    }
+}
+
+fn read_tag_subject(r: &mut Reader<'_>) -> Result<TagSubjectRef, WireError> {
+    match r.u8()? {
+        0 => Ok(TagSubjectRef::Frag(read_frag_ref(r)?)),
+        1 => Ok(TagSubjectRef::Tag(TagRef::Existing(TagId(r.u32v()?)))),
+        2 => Ok(TagSubjectRef::Tag(TagRef::New(r.usize_v()?))),
+        _ => Err(WireError::Value("tag subject discriminant")),
+    }
+}
+
+/// One document in a [`WireIngest`]: the builder tree flattened to
+/// `(parent, name)` pairs in node-id order (node ids are assigned
+/// sequentially in creation order, so replaying the pairs through
+/// [`IngestDoc::child`] reproduces every child list exactly), plus the
+/// pending per-node texts and the optional poster.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireDoc {
+    /// `(parent, name)` per node; the root's parent slot is 0 and unused.
+    pub nodes: Vec<(u32, String)>,
+    /// `(node, text)` pending text assignments.
+    pub texts: Vec<(u32, String)>,
+    /// Posting user, if any.
+    pub poster: Option<UserRef>,
+}
+
+fn put_wire_doc(out: &mut Vec<u8>, d: &WireDoc) {
+    put_usize(out, d.nodes.len());
+    for (parent, name) in &d.nodes {
+        put_u32v(out, *parent);
+        put_str(out, name);
+    }
+    put_usize(out, d.texts.len());
+    for (node, text) in &d.texts {
+        put_u32v(out, *node);
+        put_str(out, text);
+    }
+    match d.poster {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            put_user_ref(out, p);
+        }
+    }
+}
+
+fn read_wire_doc(r: &mut Reader<'_>) -> Result<WireDoc, WireError> {
+    let mut d = WireDoc::default();
+    let n = r.seq(2)?;
+    if n == 0 {
+        return Err(WireError::Value("document without a root node"));
+    }
+    d.nodes.reserve(n);
+    for i in 0..n {
+        let parent = r.u32v()?;
+        let ok = if i == 0 { parent == 0 } else { (parent as usize) < i };
+        if !ok {
+            return Err(WireError::Value("document node parent out of range"));
+        }
+        d.nodes.push((parent, r.str()?.to_owned()));
+    }
+    let t = r.seq(2)?;
+    d.texts.reserve(t);
+    for _ in 0..t {
+        let node = r.u32v()?;
+        if node as usize >= n {
+            return Err(WireError::Value("text node out of range"));
+        }
+        d.texts.push((node, r.str()?.to_owned()));
+    }
+    d.poster = match r.u8()? {
+        0 => None,
+        1 => Some(read_user_ref(r)?),
+        _ => Err(WireError::Value("poster option discriminant"))?,
+    };
+    Ok(d)
+}
+
+/// An [`IngestBatch`] in wire form. Conversion is loss-free in both
+/// directions; the decode validates every structural index so
+/// [`WireIngest::to_batch`] can always replay through the public batch
+/// builder API without panicking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireIngest {
+    /// Users the batch creates.
+    pub new_users: u64,
+    /// Weighted social edges.
+    pub social_edges: Vec<(UserRef, UserRef, f64)>,
+    /// New documents.
+    pub documents: Vec<WireDoc>,
+    /// Comment edges.
+    pub comments: Vec<(DocRef, FragRef)>,
+    /// Tags: subject, author, optional keyword (`None` = endorsement).
+    pub tags: Vec<(TagSubjectRef, UserRef, Option<String>)>,
+}
+
+impl WireIngest {
+    /// Reset for reuse.
+    pub fn clear(&mut self) {
+        self.new_users = 0;
+        self.social_edges.clear();
+        self.documents.clear();
+        self.comments.clear();
+        self.tags.clear();
+    }
+
+    /// Capture a batch for shipping.
+    pub fn from_batch(batch: &IngestBatch) -> Self {
+        let mut w = WireIngest { new_users: batch.num_users() as u64, ..WireIngest::default() };
+        w.social_edges.extend_from_slice(batch.social_edges());
+        for (doc, poster) in batch.documents() {
+            let builder = doc.builder();
+            let mut nodes: Vec<(u32, String)> = (0..builder.len())
+                .map(|i| (0u32, builder.name(LocalNodeId(i as u32)).to_owned()))
+                .collect();
+            for i in 0..builder.len() {
+                for &child in builder.children(LocalNodeId(i as u32)) {
+                    nodes[child.0 as usize].0 = i as u32;
+                }
+            }
+            let texts = doc.texts().iter().map(|(n, t)| (n.0, t.clone())).collect();
+            w.documents.push(WireDoc { nodes, texts, poster: *poster });
+        }
+        w.comments.extend_from_slice(batch.comments());
+        w.tags.extend(batch.tags().iter().cloned());
+        w
+    }
+
+    /// Rebuild the batch on the receiving side.
+    pub fn to_batch(&self) -> IngestBatch {
+        let mut batch = IngestBatch::new();
+        for _ in 0..self.new_users {
+            batch.add_user();
+        }
+        for &(from, to, weight) in &self.social_edges {
+            batch.add_social_edge(from, to, weight);
+        }
+        for d in &self.documents {
+            let mut doc = IngestDoc::new(d.nodes[0].1.as_str());
+            for (parent, name) in &d.nodes[1..] {
+                doc.child(LocalNodeId(*parent), name.as_str());
+            }
+            for (node, text) in &d.texts {
+                doc.set_text(LocalNodeId(*node), text.as_str());
+            }
+            batch.add_document(doc, d.poster);
+        }
+        for &(comment, target) in &self.comments {
+            batch.add_comment(comment, target);
+        }
+        for (subject, author, keyword) in &self.tags {
+            batch.add_tag(*subject, *author, keyword.as_deref());
+        }
+        batch
+    }
+
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::INGEST);
+        put_u64v(out, self.new_users);
+        put_usize(out, self.social_edges.len());
+        for &(from, to, weight) in &self.social_edges {
+            put_user_ref(out, from);
+            put_user_ref(out, to);
+            put_f64(out, weight);
+        }
+        put_usize(out, self.documents.len());
+        for d in &self.documents {
+            put_wire_doc(out, d);
+        }
+        put_usize(out, self.comments.len());
+        for &(comment, target) in &self.comments {
+            put_doc_ref(out, comment);
+            put_frag_ref(out, target);
+        }
+        put_usize(out, self.tags.len());
+        for (subject, author, keyword) in &self.tags {
+            put_tag_subject(out, *subject);
+            put_user_ref(out, *author);
+            match keyword {
+                None => out.push(0),
+                Some(k) => {
+                    out.push(1);
+                    put_str(out, k);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.clear();
+        self.new_users = r.u64v()?;
+        let n = r.seq(12)?;
+        self.social_edges.reserve(n);
+        for _ in 0..n {
+            let from = read_user_ref(r)?;
+            let to = read_user_ref(r)?;
+            let weight = r.f64()?;
+            self.social_edges.push((from, to, weight));
+        }
+        let n = r.seq(4)?;
+        self.documents.reserve(n);
+        for _ in 0..n {
+            self.documents.push(read_wire_doc(r)?);
+        }
+        let n = r.seq(4)?;
+        self.comments.reserve(n);
+        for _ in 0..n {
+            let comment = read_doc_ref(r)?;
+            let target = read_frag_ref(r)?;
+            self.comments.push((comment, target));
+        }
+        let n = r.seq(5)?;
+        self.tags.reserve(n);
+        for _ in 0..n {
+            let subject = read_tag_subject(r)?;
+            let author = read_user_ref(r)?;
+            let keyword = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?.to_owned()),
+                _ => Err(WireError::Value("tag keyword option discriminant"))?,
+            };
+            self.tags.push((subject, author, keyword));
+        }
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::INGEST)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+/// Owned form of any protocol message — the dispatch/diagnostic
+/// convenience (tests, tooling); the hot path uses the per-type
+/// `encode`/`decode_into` pairs with reused buffers instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Begin a query.
+    Start(Start),
+    /// Advance one propagation step and run the next round.
+    NextRound,
+    /// Global stop probe.
+    StopCheck(StopCheck),
+    /// Query is over.
+    EndQuery,
+    /// Ship an ingest batch.
+    Ingest(WireIngest),
+    /// Shut the server down.
+    Shutdown,
+    /// Per-round shard reply.
+    Round(RoundReply),
+    /// Per-shard stop vote.
+    Vote(bool),
+    /// Ingest acknowledgement.
+    IngestAck(IngestAck),
+}
+
+impl Message {
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Start(m) => m.encode(out),
+            Message::NextRound => begin(out, tag::NEXT_ROUND),
+            Message::StopCheck(m) => m.encode(out),
+            Message::EndQuery => begin(out, tag::END_QUERY),
+            Message::Ingest(m) => m.encode(out),
+            Message::Shutdown => begin(out, tag::SHUTDOWN),
+            Message::Round(m) => m.encode(out),
+            Message::Vote(v) => {
+                begin(out, tag::VOTE);
+                put_bool(out, *v);
+            }
+            Message::IngestAck(m) => m.encode(out),
+        }
+    }
+
+    /// Decode any message from a frame payload.
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        let t = peek_tag(frame)?;
+        let mut r = expect(frame, t)?;
+        let msg = match t {
+            tag::START => {
+                let mut m = Start::default();
+                m.read_body(&mut r)?;
+                Message::Start(m)
+            }
+            tag::NEXT_ROUND => Message::NextRound,
+            tag::STOP_CHECK => {
+                let mut m = StopCheck::default();
+                m.read_body(&mut r)?;
+                Message::StopCheck(m)
+            }
+            tag::END_QUERY => Message::EndQuery,
+            tag::INGEST => {
+                let mut m = WireIngest::default();
+                m.read_body(&mut r)?;
+                Message::Ingest(m)
+            }
+            tag::SHUTDOWN => Message::Shutdown,
+            tag::ROUND => {
+                let mut m = RoundReply::default();
+                m.read_body(&mut r)?;
+                Message::Round(m)
+            }
+            tag::VOTE => Message::Vote(r.bool()?),
+            tag::INGEST_ACK => {
+                let mut m = IngestAck::default();
+                m.read_body(&mut r)?;
+                Message::IngestAck(m)
+            }
+            other => return Err(WireError::Tag(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Reusable decode buffers for a shard server's request loop: one slot
+/// per request kind, so steady-state serving allocates nothing for
+/// `Start`/`StopCheck` bodies (ingest strings still allocate — they are
+/// rare and retained).
+#[derive(Debug, Default)]
+pub struct RequestBuf {
+    /// Last decoded `Start`.
+    pub start: Start,
+    /// Last decoded `StopCheck`.
+    pub stop: StopCheck,
+    /// Last decoded `WireIngest`.
+    pub ingest: WireIngest,
+}
+
+/// Which request a frame carried (bodies land in [`RequestBuf`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// [`Start`] (body in `RequestBuf::start`).
+    Start,
+    /// Advance to the next round.
+    NextRound,
+    /// [`StopCheck`] (body in `RequestBuf::stop`).
+    StopCheck,
+    /// Query is over.
+    EndQuery,
+    /// [`WireIngest`] (body in `RequestBuf::ingest`).
+    Ingest,
+    /// Shut down.
+    Shutdown,
+}
+
+impl RequestBuf {
+    /// Decode one request frame into the matching slot.
+    pub fn read(&mut self, frame: &[u8]) -> Result<RequestKind, WireError> {
+        let t = peek_tag(frame)?;
+        let mut r = expect(frame, t)?;
+        let kind = match t {
+            tag::START => {
+                self.start.read_body(&mut r)?;
+                RequestKind::Start
+            }
+            tag::NEXT_ROUND => RequestKind::NextRound,
+            tag::STOP_CHECK => {
+                self.stop.read_body(&mut r)?;
+                RequestKind::StopCheck
+            }
+            tag::END_QUERY => RequestKind::EndQuery,
+            tag::INGEST => {
+                self.ingest.read_body(&mut r)?;
+                RequestKind::Ingest
+            }
+            tag::SHUTDOWN => RequestKind::Shutdown,
+            other => return Err(WireError::Tag(other)),
+        };
+        r.finish()?;
+        Ok(kind)
+    }
+}

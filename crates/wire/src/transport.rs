@@ -1,0 +1,318 @@
+//! Shard transports: the [`ShardTransport`] trait the fleet client
+//! drives, a buffered [`FramedTransport`] over any byte stream, and the
+//! in-memory [`LoopbackConn`] duplex for offline tests.
+
+use crate::frame::{read_frame, MAX_FRAME};
+use crate::msg::{tag, IngestAck, RoundReply, Start, StopCheck, WireIngest, WIRE_VERSION};
+use crate::WireError;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Frame/byte counters for one transport direction pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames queued for sending.
+    pub frames_sent: u64,
+    /// Bytes flushed to the stream (length prefixes included).
+    pub bytes_sent: u64,
+    /// Frames received.
+    pub frames_received: u64,
+    /// Bytes received (length prefixes included).
+    pub bytes_received: u64,
+}
+
+/// The client side of one shard connection.
+///
+/// Sends are *queued*: nothing hits the stream until [`flush`], so the
+/// fleet client can write every shard's request before reading any reply
+/// — the pipelining that makes round latency max-of-shards instead of
+/// sum. The `recv_*` methods flush implicitly, so a forgotten flush
+/// degrades to unpipelined, never to deadlock.
+///
+/// [`flush`]: ShardTransport::flush
+pub trait ShardTransport: Send {
+    /// Queue a [`Start`] request.
+    fn send_start(&mut self, msg: &Start) -> Result<(), WireError>;
+    /// Queue a next-round request.
+    fn send_next_round(&mut self) -> Result<(), WireError>;
+    /// Queue a [`StopCheck`] probe.
+    fn send_stop_check(&mut self, msg: &StopCheck) -> Result<(), WireError>;
+    /// Queue an end-of-query notice.
+    fn send_end_query(&mut self) -> Result<(), WireError>;
+    /// Queue an ingest shipment.
+    fn send_ingest(&mut self, msg: &WireIngest) -> Result<(), WireError>;
+    /// Queue a shutdown request.
+    fn send_shutdown(&mut self) -> Result<(), WireError>;
+    /// Push every queued request to the peer.
+    fn flush(&mut self) -> Result<(), WireError>;
+    /// Receive a [`RoundReply`] into a reused buffer.
+    fn recv_round(&mut self, out: &mut RoundReply) -> Result<(), WireError>;
+    /// Receive a stop vote.
+    fn recv_vote(&mut self) -> Result<bool, WireError>;
+    /// Receive an [`IngestAck`].
+    fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError>;
+    /// Traffic counters so far.
+    fn stats(&self) -> TransportStats;
+}
+
+/// [`ShardTransport`] over any `Read + Write` byte stream (unix socket,
+/// [`LoopbackConn`], ...). Owns reusable encode/decode buffers; the
+/// steady-state round exchange allocates nothing.
+#[derive(Debug)]
+pub struct FramedTransport<S> {
+    stream: S,
+    out: Vec<u8>,
+    payload: Vec<u8>,
+    inbuf: Vec<u8>,
+    stats: TransportStats,
+}
+
+impl<S: Read + Write + Send> FramedTransport<S> {
+    /// Wrap a connected stream.
+    pub fn new(stream: S) -> Self {
+        FramedTransport {
+            stream,
+            out: Vec::new(),
+            payload: Vec::new(),
+            inbuf: Vec::new(),
+            stats: TransportStats::default(),
+        }
+    }
+
+    fn queue(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> Result<(), WireError> {
+        self.payload.clear();
+        encode(&mut self.payload);
+        if self.payload.len() > MAX_FRAME as usize {
+            return Err(WireError::FrameTooLarge(self.payload.len() as u32));
+        }
+        self.out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&self.payload);
+        self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<(), WireError> {
+        if !self.out.is_empty() {
+            ShardTransport::flush(self)?;
+        }
+        read_frame(&mut self.stream, &mut self.inbuf)?;
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += 4 + self.inbuf.len() as u64;
+        Ok(())
+    }
+}
+
+impl<S: Read + Write + Send> ShardTransport for FramedTransport<S> {
+    fn send_start(&mut self, msg: &Start) -> Result<(), WireError> {
+        self.queue(|out| msg.encode(out))
+    }
+
+    fn send_next_round(&mut self) -> Result<(), WireError> {
+        self.queue(|out| out.extend_from_slice(&[WIRE_VERSION, tag::NEXT_ROUND]))
+    }
+
+    fn send_stop_check(&mut self, msg: &StopCheck) -> Result<(), WireError> {
+        self.queue(|out| msg.encode(out))
+    }
+
+    fn send_end_query(&mut self) -> Result<(), WireError> {
+        self.queue(|out| out.extend_from_slice(&[WIRE_VERSION, tag::END_QUERY]))
+    }
+
+    fn send_ingest(&mut self, msg: &WireIngest) -> Result<(), WireError> {
+        self.queue(|out| msg.encode(out))
+    }
+
+    fn send_shutdown(&mut self) -> Result<(), WireError> {
+        self.queue(|out| out.extend_from_slice(&[WIRE_VERSION, tag::SHUTDOWN]))
+    }
+
+    fn flush(&mut self) -> Result<(), WireError> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.out)?;
+        self.stats.bytes_sent += self.out.len() as u64;
+        self.out.clear();
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv_round(&mut self, out: &mut RoundReply) -> Result<(), WireError> {
+        self.recv_frame()?;
+        out.decode_into(&self.inbuf)
+    }
+
+    fn recv_vote(&mut self) -> Result<bool, WireError> {
+        self.recv_frame()?;
+        let mut r = crate::codec::Reader::new(&self.inbuf);
+        let v = r.u8()?;
+        if v != WIRE_VERSION {
+            return Err(WireError::Version(v));
+        }
+        let t = r.u8()?;
+        if t != tag::VOTE {
+            return Err(WireError::Tag(t));
+        }
+        let vote = r.bool()?;
+        r.finish()?;
+        Ok(vote)
+    }
+
+    fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError> {
+        self.recv_frame()?;
+        out.decode_into(&self.inbuf)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+/// How many empty polls a loopback read spins (`spin_loop` hint) before
+/// escalating to the mixed phase. Round replies usually land within a
+/// few hundred nanoseconds of the request on a loaded fleet, so a short
+/// spin keeps the common handoff off the scheduler entirely.
+const SPIN: usize = 512;
+
+/// How many further polls follow the pure-spin phase before parking on
+/// the condvar. The gaps a loopback end actually waits through during a
+/// query are the *peer's* per-round work — the client's merge between
+/// rounds, the server's propagation step — which is tens of
+/// microseconds; a condvar park/wake across that gap costs more than
+/// the gap itself and showed up as a multi-× round-latency penalty over
+/// the in-process transport in `benches/shards.rs`. During this phase
+/// the poll mostly `spin_loop`s but yields every [`YIELD_EVERY`] polls:
+/// pure spinning would hog a scheduler quantum when fleet threads
+/// outnumber cores (measured: millisecond rounds at 4 shards on 2
+/// cores), while yielding every poll pays a syscall per iteration when
+/// the core is otherwise free. A genuinely idle connection (between
+/// queries, after shutdown) falls through to the condvar after a few
+/// milliseconds instead of burning a CPU.
+const YIELD: usize = 50_000;
+
+/// Yield cadence inside the mixed phase (see [`YIELD`]).
+const YIELD_EVERY: usize = 64;
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: std::collections::VecDeque<u8>,
+    closed: bool,
+    /// Is a reader parked on `ready`? Writers skip the (syscall-priced)
+    /// notify when nobody waits — the common case while the peer spins.
+    waiting: bool,
+}
+
+/// The reader-polled mirrors, padded onto their own cache line: a
+/// spinning reader must not share a line with the mutex or the buffer
+/// bookkeeping, or every byte the writer pushes invalidates the polled
+/// line and the coherence ping-pong taxes the writer per store (measured
+/// ~15µs per ~100-byte round before the padding).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PollFlags {
+    /// `buf.len()` mirrored outside the lock; written once per `write`.
+    size: std::sync::atomic::AtomicUsize,
+    /// `closed` mirrored outside the lock.
+    hung_up: std::sync::atomic::AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    ready: Condvar,
+    poll: PollFlags,
+}
+
+/// One end of an in-memory duplex byte stream — the offline stand-in for
+/// a socket. Blocking `Read`/`Write`; dropping an end closes the peer's
+/// read side (EOF), mirroring socket hangup.
+#[derive(Debug)]
+pub struct LoopbackConn {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+/// Create a connected pair of loopback ends.
+pub fn loopback_pair() -> (LoopbackConn, LoopbackConn) {
+    let a = Arc::new(Pipe::default());
+    let b = Arc::new(Pipe::default());
+    (LoopbackConn { rx: Arc::clone(&a), tx: Arc::clone(&b) }, LoopbackConn { rx: b, tx: a })
+}
+
+impl Read for LoopbackConn {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        use std::sync::atomic::Ordering;
+        if out.is_empty() {
+            return Ok(0);
+        }
+        for i in 0..SPIN + YIELD {
+            if self.rx.poll.size.load(Ordering::Acquire) != 0
+                || self.rx.poll.hung_up.load(Ordering::Acquire)
+            {
+                let state = self.rx.state.lock().unwrap();
+                if !state.buf.is_empty() || state.closed {
+                    return Ok(drain(&self.rx, state, out));
+                }
+            }
+            if i < SPIN || (i - SPIN) % YIELD_EVERY != YIELD_EVERY - 1 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let mut state = self.rx.state.lock().unwrap();
+        while state.buf.is_empty() && !state.closed {
+            state.waiting = true;
+            state = self.rx.ready.wait(state).unwrap();
+        }
+        state.waiting = false;
+        Ok(drain(&self.rx, state, out))
+    }
+}
+
+fn drain(pipe: &Pipe, mut state: std::sync::MutexGuard<'_, PipeState>, out: &mut [u8]) -> usize {
+    let n = state.buf.len().min(out.len());
+    for slot in out.iter_mut().take(n) {
+        *slot = state.buf.pop_front().expect("sized above");
+    }
+    pipe.poll.size.store(state.buf.len(), std::sync::atomic::Ordering::Release);
+    n
+}
+
+impl Write for LoopbackConn {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        use std::sync::atomic::Ordering;
+        let mut state = self.tx.state.lock().unwrap();
+        if state.closed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "loopback peer closed",
+            ));
+        }
+        state.buf.extend(bytes);
+        self.tx.poll.size.store(state.buf.len(), Ordering::Release);
+        let waiting = state.waiting;
+        drop(state);
+        if waiting {
+            self.tx.ready.notify_one();
+        }
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for LoopbackConn {
+    fn drop(&mut self) {
+        for pipe in [&self.rx, &self.tx] {
+            let mut state = pipe.state.lock().unwrap();
+            state.closed = true;
+            pipe.poll.hung_up.store(true, std::sync::atomic::Ordering::Release);
+            drop(state);
+            pipe.ready.notify_all();
+        }
+    }
+}

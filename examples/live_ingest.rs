@@ -16,7 +16,7 @@
 use s3::core::{IngestBatch, IngestDoc, Query, UserRef};
 use s3::datasets::workload::{live_workload, LiveWorkloadConfig};
 use s3::datasets::{twitter, Scale};
-use s3::engine::{CachePolicy, EngineConfig, InvalidationScope, LiveShardedEngine};
+use s3::engine::{CachePolicy, EngineConfig, LiveShardedEngine};
 use std::time::Duration;
 
 fn main() {
@@ -54,20 +54,7 @@ fn main() {
     );
     for (i, step) in steps.iter().enumerate() {
         let report = live.ingest(&step.batch);
-        let scope = match &report.scope {
-            InvalidationScope::Global => "global bump".to_string(),
-            InvalidationScope::Scoped(shards) => format!("scoped bump → shards {shards:?}"),
-        };
-        println!(
-            "step {i}: +{} users +{} docs +{} tags ({}) — {scope}, {} results dropped, \
-             {} warm states rebased",
-            report.summary.new_users,
-            report.summary.new_documents,
-            report.summary.new_tags,
-            if report.summary.detached { "detached" } else { "attached" },
-            report.results_invalidated,
-            report.warm_rebased,
-        );
+        println!("step {i}: {report}");
         let instance = live.instance();
         let mut answered = 0;
         for spec in &step.queries {
