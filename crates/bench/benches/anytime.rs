@@ -1,0 +1,288 @@
+//! Anytime-serving quality trajectory and overload shootout, with the CI
+//! soundness gates built in.
+//!
+//! Run with `cargo bench --bench anytime` (`BENCH_SMOKE=1` or `--smoke`
+//! shrinks the corpus for CI's smoke tier; the gates are enforced either
+//! way). Two parts:
+//!
+//! * **budget sweep** — the same seeded workload under growing iteration
+//!   caps (the deterministic stand-in for a wall-clock budget), compared
+//!   against converged ground truth. Tracks recall, the *certified*
+//!   regret each answer reports, and the *observed* regret ground truth
+//!   reveals. Gates: recall is monotone non-decreasing in the budget,
+//!   certified regret is never below observed regret (the bound is
+//!   sound), and the uncapped arm is fully exact.
+//! * **overload** — oversubscribed concurrent clients against a gated
+//!   engine. Gates: `DegradeAnytime` sheds nothing and every answer
+//!   carries a finite certified bound; `Reject` accounts for every
+//!   arrival as either admitted or shed.
+//!
+//! Gate violations panic (failing the bench, and CI's smoke job with
+//! it). Results are emitted as `BENCH_anytime.json` when
+//! `BENCH_JSON_DIR` is set.
+
+use s3_bench::{JsonReport, Table};
+use s3_core::{Query, SearchConfig, TopKResult};
+use s3_datasets::{twitter, workload, Scale};
+use s3_engine::{EngineConfig, OverloadConfig, OverloadPolicy, S3Engine, ServeOutcome};
+use s3_text::FrequencyClass;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
+/// The regret ground truth actually reveals: how much better than the
+/// anytime answer's bar the best missing converged hit scores (0 when
+/// nothing is missing). Converged hits replaced by a selected vertical
+/// neighbor don't count — the selection rule excludes neighbors, so the
+/// answer already speaks for that chain.
+fn observed_regret(
+    inst: &s3_core::S3Instance,
+    k: usize,
+    any: &TopKResult,
+    truth: &TopKResult,
+) -> f64 {
+    let forest = inst.forest();
+    let full = any.hits.len() == k;
+    let bar = if full { any.stats.quality.floor } else { 0.0 };
+    truth
+        .hits
+        .iter()
+        .filter(|t| !any.hits.iter().any(|h| h.doc == t.doc))
+        .filter(|t| !any.hits.iter().any(|h| forest.is_vertical_neighbor(h.doc, t.doc)))
+        .map(|t| (t.lower - bar).max(0.0))
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let mut config = twitter::TwitterConfig::scaled(Scale::Tiny);
+    if smoke {
+        config.users = 50;
+        config.tweets = 300;
+        println!("[smoke mode: tiny corpus]\n");
+    }
+    let dataset = twitter::generate(&config);
+    let instance = Arc::new(dataset.instance);
+
+    let w = workload::generate(
+        &instance,
+        workload::WorkloadConfig {
+            frequency: FrequencyClass::Common,
+            keywords_per_query: 2,
+            k: 5,
+            queries: if smoke { 60 } else { 200 },
+            seed: 31,
+        },
+    );
+    let queries: Vec<Query> = w.queries.into_iter().map(|q| q.query).collect();
+
+    let engine_at = |cap: u32| {
+        S3Engine::new(
+            Arc::clone(&instance),
+            EngineConfig {
+                search: SearchConfig { max_iterations: cap, ..SearchConfig::default() },
+                threads: 1,
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let full = engine_at(u32::MAX);
+    let truths: Vec<Arc<TopKResult>> = queries.iter().map(|q| full.query(q)).collect();
+
+    println!(
+        "anytime budget sweep: {} queries over {} users / {} docs, k=5\n",
+        queries.len(),
+        instance.num_users(),
+        instance.num_documents()
+    );
+
+    let mut report = JsonReport::new("anytime");
+    report.str("scale", if smoke { "smoke" } else { "tiny" }).int("queries", queries.len() as u64);
+
+    // ---- Part 1: the budget sweep. ----
+    let caps: Vec<(String, u32)> = [1u32, 2, 4, 8, 16]
+        .iter()
+        .map(|&c| (c.to_string(), c))
+        .chain(std::iter::once(("uncapped".to_string(), u32::MAX)))
+        .collect();
+    let mut table = Table::new(&[
+        "cap",
+        "recall",
+        "exact",
+        "avg certified regret",
+        "avg observed regret",
+        "q/s",
+    ]);
+    let mut recalls: Vec<(String, f64)> = Vec::new();
+    let mut soundness_violations = 0usize;
+    let mut uncapped_exact = 0.0f64;
+    for (label, cap) in &caps {
+        let engine = engine_at(*cap);
+        let t0 = Instant::now();
+        let results: Vec<Arc<TopKResult>> = queries.iter().map(|q| engine.query(q)).collect();
+        let secs = t0.elapsed().as_secs_f64();
+
+        let mut recall_sum = 0.0;
+        let mut certified_sum = 0.0;
+        let mut observed_sum = 0.0;
+        let mut exact = 0usize;
+        for ((any, truth), q) in results.iter().zip(&truths).zip(&queries) {
+            let hit = truth.hits.iter().filter(|t| any.hits.iter().any(|h| h.doc == t.doc)).count();
+            recall_sum +=
+                if truth.hits.is_empty() { 1.0 } else { hit as f64 / truth.hits.len() as f64 };
+            let observed = observed_regret(&instance, q.k, any, truth);
+            let certified = any.stats.quality.regret;
+            if certified + 1e-6 < observed {
+                soundness_violations += 1;
+            }
+            certified_sum += certified;
+            observed_sum += observed;
+            exact += any.stats.quality.exact as usize;
+        }
+        let n = results.len() as f64;
+        let recall = recall_sum / n;
+        let exact_frac = exact as f64 / n;
+        table.row(vec![
+            label.clone(),
+            format!("{recall:.3}"),
+            format!("{exact_frac:.3}"),
+            format!("{:.4}", certified_sum / n),
+            format!("{:.4}", observed_sum / n),
+            format!("{:.0}", n / secs),
+        ]);
+        report
+            .num(&format!("cap_{label}.recall"), recall)
+            .num(&format!("cap_{label}.exact_frac"), exact_frac)
+            .num(&format!("cap_{label}.avg_certified_regret"), certified_sum / n)
+            .num(&format!("cap_{label}.avg_observed_regret"), observed_sum / n);
+        recalls.push((label.clone(), recall));
+        if label == "uncapped" {
+            uncapped_exact = exact_frac;
+        }
+    }
+    print!("{}", table.render());
+    println!();
+
+    // ---- Part 2: overload arms. ----
+    const CLIENTS: usize = 4;
+    let serve_arm = |policy: OverloadPolicy| -> (Vec<ServeOutcome>, s3_engine::LoadStats, f64) {
+        let engine = S3Engine::new(
+            Arc::clone(&instance),
+            EngineConfig {
+                threads: 1,
+                cache_capacity: 0,
+                overload: Some(OverloadConfig { max_inflight: 1, policy }),
+                ..EngineConfig::default()
+            },
+        );
+        let barrier = Barrier::new(CLIENTS);
+        let t0 = Instant::now();
+        let outcomes = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        queries.iter().map(|q| engine.serve(q, None)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            workers.into_iter().flat_map(|w| w.join().expect("client thread")).collect::<Vec<_>>()
+        });
+        (outcomes, engine.load_stats(), t0.elapsed().as_secs_f64())
+    };
+
+    let mut overload_table = Table::new(&[
+        "policy",
+        "arrivals",
+        "admitted",
+        "shed",
+        "degraded",
+        "answered exact",
+        "q/s",
+    ]);
+    let arms: Vec<(&str, OverloadPolicy)> = vec![
+        ("degrade", OverloadPolicy::DegradeAnytime { floor_budget: std::time::Duration::ZERO }),
+        ("reject", OverloadPolicy::Reject),
+    ];
+    let mut degrade_finite = true;
+    let mut degrade_shed = 0u64;
+    let mut reject_accounted = true;
+    for (label, policy) in arms {
+        let (outcomes, stats, secs) = serve_arm(policy);
+        let answered_exact = outcomes
+            .iter()
+            .filter_map(ServeOutcome::answer)
+            .filter(|r| r.stats.quality.exact)
+            .count();
+        overload_table.row(vec![
+            label.to_string(),
+            outcomes.len().to_string(),
+            stats.admitted.to_string(),
+            stats.shed.to_string(),
+            stats.degraded.to_string(),
+            answered_exact.to_string(),
+            format!("{:.0}", outcomes.len() as f64 / secs),
+        ]);
+        report
+            .int(&format!("overload.{label}.arrivals"), outcomes.len() as u64)
+            .int(&format!("overload.{label}.admitted"), stats.admitted)
+            .int(&format!("overload.{label}.shed"), stats.shed)
+            .int(&format!("overload.{label}.degraded"), stats.degraded);
+        match label {
+            "degrade" => {
+                degrade_shed = stats.shed;
+                degrade_finite = outcomes
+                    .iter()
+                    .all(|out| out.answer().is_some_and(|r| r.stats.quality.regret.is_finite()));
+            }
+            _ => {
+                reject_accounted = stats.admitted + stats.shed == outcomes.len() as u64;
+            }
+        }
+        println!("overload [{label}]: {stats}");
+    }
+    println!();
+    print!("{}", overload_table.render());
+    println!();
+
+    report.write_and_announce();
+
+    // ---- The CI soundness gates. ----
+    for pair in recalls.windows(2) {
+        assert!(
+            pair[1].1 + 1e-9 >= pair[0].1,
+            "GATE FAILED: recall dropped from {:.3} (cap {}) to {:.3} (cap {}) — \
+             more budget must never hurt",
+            pair[0].1,
+            pair[0].0,
+            pair[1].1,
+            pair[1].0
+        );
+    }
+    assert!(
+        soundness_violations == 0,
+        "GATE FAILED: {soundness_violations} answers reported certified regret \
+         below the regret ground truth reveals"
+    );
+    assert!(
+        uncapped_exact == 1.0,
+        "GATE FAILED: uncapped arm only {uncapped_exact:.3} exact — must converge everywhere"
+    );
+    assert!(
+        degrade_shed == 0 && degrade_finite,
+        "GATE FAILED: DegradeAnytime shed {degrade_shed} arrivals or returned a \
+         non-finite bound — it must answer everything with a certified bound"
+    );
+    assert!(reject_accounted, "GATE FAILED: Reject lost arrivals (admitted + shed != total)");
+    println!(
+        "anytime gates OK: recall monotone over {} caps, certified >= observed regret on \
+         {} answers, uncapped fully exact, degrade answered all, reject accounted all",
+        recalls.len(),
+        queries.len() * caps.len()
+    );
+}

@@ -44,6 +44,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod clock;
 pub mod connections;
 pub mod export;
 pub mod ids;
@@ -54,6 +55,7 @@ pub mod partition;
 pub mod score;
 pub mod search;
 
+pub use clock::SearchClock;
 pub use connections::{ConnType, Connection, ConnectionIndex};
 // The component id and the propagation lifecycle types are part of this
 // crate's public API (component keyword sets, partitioning, the serving
@@ -69,6 +71,7 @@ pub use s3_graph::CompId;
 pub use s3_graph::{Propagation, PropagationState};
 pub use score::{AnyKeywordScore, S3kScore, ScoreModel, TypeWeightedScore};
 pub use search::{
-    merge_hits, selection_rank, FleetShard, Hit, Query, ResumeOutcome, S3kEngine, S3kSession,
-    SearchConfig, SearchScratch, SearchStats, SelectedCandidate, StopReason, TopKResult,
+    merge_hits, selection_rank, FleetShard, Hit, QualityBound, Query, ResumeOutcome, S3kEngine,
+    S3kSession, SearchConfig, SearchScratch, SearchStats, SelectedCandidate, StopReason,
+    TopKResult,
 };

@@ -20,7 +20,7 @@
 //!   shards);
 //! * bounds, the undiscovered-document threshold and the greedy
 //!   selection run shard-locally, exactly as the in-process shards do;
-//! * the stop test's per-shard candidate sweep ([`FleetShard::stop_check`])
+//! * the stop test's per-shard candidate sweep ([`FleetShard::rival_upper`])
 //!   runs against the *merged* selection the client sends back —
 //!   mirroring `partition_stop` term for term.
 //!
@@ -192,26 +192,24 @@ impl FleetShard {
     }
 
     /// This shard's half of the global stop test (`partition_stop`'s
-    /// per-shard candidate sweep): may any of this shard's candidates
-    /// still displace the merged selection? `selected` holds the
+    /// per-shard candidate sweep), reported as a *certified rival bound*
+    /// rather than a bare vote: the largest upper bound among this
+    /// shard's unselected, positive candidates not provably dominated by
+    /// a selected vertical neighbor (0 when none). `selected` holds the
     /// candidate-pool indices of this shard's entries in the merged
-    /// selection; `merged_full`/`min_lower` describe the merged
-    /// selection globally.
-    pub fn stop_check<S: ScoreModel>(
-        &self,
-        engine: &S3kEngine<'_, S>,
-        merged_full: bool,
-        min_lower: f64,
-        selected: &[u32],
-    ) -> bool {
+    /// selection.
+    ///
+    /// The client reconstructs the old boolean vote exactly —
+    /// `rival ≤ min_lower + ε` when the merged selection is full,
+    /// `rival ≤ 0` otherwise — and additionally gets the quantity an
+    /// anytime answer's [`super::QualityBound`] needs, in one reply.
+    pub fn rival_upper<S: ScoreModel>(&self, engine: &S3kEngine<'_, S>, selected: &[u32]) -> f64 {
         let eps = engine.config.epsilon;
         let forest = engine.instance.forest();
         let candidates = self.scratch.candidates.as_slice();
+        let mut rival = 0.0f64;
         for (i, c) in candidates.iter().enumerate() {
             if c.upper <= 0.0 || selected.contains(&(i as u32)) {
-                continue;
-            }
-            if merged_full && c.upper <= min_lower + eps {
                 continue;
             }
             let dominated = selected.iter().any(|&si| {
@@ -219,10 +217,10 @@ impl FleetShard {
                 forest.is_vertical_neighbor(sel.doc, c.doc) && sel.lower + eps >= c.upper
             });
             if !dominated {
-                return false;
+                rival = rival.max(c.upper);
             }
         }
-        true
+        rival
     }
 
     /// The client decided the query is over. The propagation state stays

@@ -7,7 +7,7 @@
 //! arise on documents (a document lives in exactly one component, hence
 //! one shard), making the merged order total and deterministic.
 
-use super::{Hit, SearchStats, StopReason, TopKResult};
+use super::{Hit, QualityBound, SearchStats, StopReason, TopKResult};
 use s3_doc::DocNodeId;
 use std::cmp::Ordering;
 
@@ -50,12 +50,19 @@ impl TopKResult {
         candidate_docs.sort_unstable();
         candidate_docs.dedup();
         let mut stats = SearchStats { stop: StopReason::NoMatch, ..SearchStats::default() };
+        let mut all_exact = true;
+        // The merged answer's rival pool: every part's own rival, plus
+        // every part hit the k-cut truncated away (locally selected, so
+        // excluded from its part's rival, but a displacer globally).
+        let mut rival = 0.0f64;
         for p in parts {
             stats.iterations = stats.iterations.max(p.stats.iterations);
             stats.candidates += p.stats.candidates;
             stats.rejected += p.stats.rejected;
             stats.components += p.stats.components;
             stats.pruned_components += p.stats.pruned_components;
+            all_exact &= p.stats.quality.exact;
+            rival = rival.max(p.stats.quality.rival);
             // The gather is certified only if every part is: any-time
             // terminations and genuine matches take precedence over
             // NoMatch, best-effort reasons over Converged.
@@ -67,7 +74,22 @@ impl TopKResult {
                 }
                 (StopReason::Converged, StopReason::Converged) => StopReason::Converged,
             };
+            for h in &p.hits {
+                if !hits.iter().any(|m| m.doc == h.doc) {
+                    rival = rival.max(h.upper);
+                }
+            }
         }
+        let floor = hits.iter().map(|h| h.lower).fold(f64::INFINITY, f64::min);
+        let floor = if floor.is_finite() { floor } else { 0.0 };
+        let bar = if hits.len() == k { floor } else { 0.0 };
+        stats.quality = if all_exact && rival <= bar {
+            // Every part converged and nothing truncated away can beat
+            // the merged answer's weakest hit: the gather stayed exact.
+            QualityBound::exact(floor)
+        } else {
+            QualityBound::anytime(floor, rival, hits.len() == k)
+        };
         TopKResult { hits, candidate_docs, stats }
     }
 }
@@ -115,5 +137,58 @@ mod tests {
             5,
         );
         assert_eq!(capped.stats.stop, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn merged_quality_counts_truncated_hits_and_part_rivals() {
+        let part = |hits: Vec<Hit>, stop, quality| TopKResult {
+            hits,
+            candidate_docs: Vec::new(),
+            stats: SearchStats { stop, quality, ..SearchStats::default() },
+        };
+        // Two anytime parts, k=2: part B's second hit (upper 0.6) is
+        // truncated away by the merge and must join the rival pool, as
+        // must part A's own reported rival (0.75).
+        let a = part(
+            vec![hit(0, 0.9, 0.8)],
+            StopReason::TimeBudget,
+            QualityBound::anytime(0.8, 0.75, false),
+        );
+        let b = part(
+            vec![hit(1, 0.7, 0.65), hit(2, 0.6, 0.5)],
+            StopReason::TimeBudget,
+            QualityBound::anytime(0.5, 0.3, true),
+        );
+        let merged = TopKResult::merge(&[a, b], 2);
+        let docs: Vec<u32> = merged.hits.iter().map(|h| h.doc.0).collect();
+        assert_eq!(docs, vec![0, 1]);
+        let q = merged.stats.quality;
+        assert!(!q.exact);
+        assert_eq!(q.floor, 0.65, "weakest merged hit");
+        assert_eq!(q.rival, 0.75, "part A's rival beats the truncated 0.6");
+        assert_eq!(q.regret, 0.75 - 0.65);
+    }
+
+    #[test]
+    fn merged_quality_stays_exact_when_nothing_truncated_can_displace() {
+        let part = |hits: Vec<Hit>, quality| TopKResult {
+            hits,
+            candidate_docs: Vec::new(),
+            stats: SearchStats { stop: StopReason::Converged, quality, ..SearchStats::default() },
+        };
+        let a = part(vec![hit(0, 0.9, 0.9)], QualityBound::exact(0.9));
+        let b = part(vec![hit(1, 0.8, 0.8)], QualityBound::exact(0.8));
+        let merged = TopKResult::merge(&[a, b], 2);
+        assert!(merged.stats.quality.exact);
+        assert_eq!(merged.stats.quality.floor, 0.8);
+        assert_eq!(merged.stats.quality.regret, 0.0);
+
+        // ...but an exact part's truncated hit that could beat the merged
+        // floor demotes the gather to best-effort.
+        let c = part(vec![hit(2, 0.95, 0.6)], QualityBound::exact(0.6));
+        let d = part(vec![hit(3, 0.9, 0.85)], QualityBound::exact(0.85));
+        let merged = TopKResult::merge(&[c, d], 1);
+        assert!(!merged.stats.quality.exact, "doc 3's upper 0.9 rivals the 0.6 floor");
+        assert_eq!(merged.stats.quality.rival, 0.9);
     }
 }

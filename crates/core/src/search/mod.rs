@@ -60,6 +60,7 @@ pub use fleet::{selection_rank, FleetShard, SelectedCandidate};
 pub use merge::merge_hits;
 pub use scratch::SearchScratch;
 
+use crate::clock::SearchClock;
 use crate::ids::UserId;
 use crate::instance::S3Instance;
 use crate::score::{S3kScore, ScoreModel};
@@ -68,7 +69,7 @@ use s3_graph::{NodeId, Propagation};
 use s3_text::KeywordId;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Query-local state a search driver exposes to the shared propagation
 /// lifecycle ([`S3kEngine::drive_lifecycle`]): where discovery seeds go,
@@ -144,6 +145,10 @@ pub struct SearchConfig {
     /// the exact top-k among the admitted components' documents: the
     /// per-shard view behind sharded serving.
     pub component_filter: Option<Arc<crate::partition::ComponentFilter>>,
+    /// Time source for [`SearchConfig::time_budget`] checks: the
+    /// monotonic wall clock in production, a manually-advanced counter in
+    /// tests (deterministic deadline behaviour — see [`SearchClock`]).
+    pub clock: SearchClock,
 }
 
 impl Default for SearchConfig {
@@ -158,6 +163,7 @@ impl Default for SearchConfig {
             epsilon: 1e-9,
             resume: true,
             component_filter: None,
+            clock: SearchClock::monotonic(),
         }
     }
 }
@@ -191,6 +197,77 @@ pub enum StopReason {
     MaxIterations,
     /// Time budget exhausted: best-effort answer (any-time mode).
     TimeBudget,
+}
+
+/// A certified quality statement attached to every answer (the serving
+/// contract behind deadline-bounded anytime mode).
+///
+/// The search maintains certified `[lower, upper]` score intervals for
+/// every candidate and an upper bound on every *undiscovered* document,
+/// so even an answer cut short by a time budget or iteration cap can say
+/// how far from the exact top-k it provably is:
+///
+/// * `floor` — the smallest certified lower bound among the returned
+///   hits (0 when the answer is empty);
+/// * `rival` — the largest certified upper bound of anything that could
+///   still displace a returned hit: an unselected, non-dominated
+///   candidate, or an undiscovered document (the threshold);
+/// * `regret` — `max(0, rival − bar)` where `bar` is `floor` when the
+///   answer is full (k hits) and 0 otherwise: no document outside the
+///   answer can out-score a returned hit by more than `regret`
+///   (soundness is property-tested against converged ground truth in
+///   `crates/engine/tests/anytime.rs`);
+/// * `exact` — the stop condition held ([`StopReason::Converged`]) or
+///   the query was unanswerable ([`StopReason::NoMatch`]): the answer
+///   is provably the exact top-k and `regret` is 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityBound {
+    /// Smallest certified lower bound among the returned hits.
+    pub floor: f64,
+    /// Largest certified upper bound of any potential displacer.
+    pub rival: f64,
+    /// Certified regret: how much better than the answer anything
+    /// outside it could possibly be.
+    pub regret: f64,
+    /// The answer is provably exact (converged or no-match).
+    pub exact: bool,
+}
+
+impl QualityBound {
+    /// The bound of a provably exact answer.
+    pub fn exact(floor: f64) -> Self {
+        QualityBound { floor, rival: 0.0, regret: 0.0, exact: true }
+    }
+
+    /// The bound of a best-effort (anytime) answer: `full` says whether
+    /// the answer holds k hits — a short answer's bar is 0, since even a
+    /// zero-scored document could extend it.
+    pub fn anytime(floor: f64, rival: f64, full: bool) -> Self {
+        let bar = if full { floor } else { 0.0 };
+        QualityBound { floor, rival, regret: (rival - bar).max(0.0), exact: false }
+    }
+}
+
+impl Default for QualityBound {
+    fn default() -> Self {
+        QualityBound::exact(0.0)
+    }
+}
+
+impl std::fmt::Display for QualityBound {
+    /// One log-friendly line: `exact (floor 0.1234)` or
+    /// `regret <= 0.0567 (floor 0.1234, rival 0.1801)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.exact {
+            write!(f, "exact (floor {:.4})", self.floor)
+        } else {
+            write!(
+                f,
+                "regret <= {:.4} (floor {:.4}, rival {:.4})",
+                self.regret, self.floor, self.rival
+            )
+        }
+    }
 }
 
 /// One result document.
@@ -233,6 +310,8 @@ pub struct SearchStats {
     pub stop: StopReason,
     /// How the propagation lifecycle served this query.
     pub resume: ResumeOutcome,
+    /// Certified quality of the answer, computed at stop time.
+    pub quality: QualityBound,
 }
 
 /// Reusable S3k engine: holds the per-(instance, score) precomputations
@@ -313,7 +392,7 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
         scratch: &mut SearchScratch,
         prop: &mut Option<Propagation<'i>>,
     ) -> TopKResult {
-        let started = Instant::now();
+        let started = self.config.clock.now();
         let inst = self.instance;
         let graph = inst.graph();
         scratch.begin(graph.components().len());
@@ -398,7 +477,7 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
         query: &Query,
         scratch: &mut SearchScratch,
         prop: &mut Propagation<'i>,
-        started: Instant,
+        started: Duration,
         outcome: ResumeOutcome,
     ) -> Option<TopKResult> {
         let probe = outcome == ResumeOutcome::Resumed;
@@ -433,17 +512,29 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
                 Some(StopReason::Converged)
             } else if prop.iteration() >= self.config.max_iterations {
                 Some(StopReason::MaxIterations)
-            } else if self.config.time_budget.is_some_and(|budget| started.elapsed() >= budget) {
+            } else if self
+                .config
+                .time_budget
+                .is_some_and(|budget| self.config.clock.now().saturating_sub(started) >= budget)
+            {
                 Some(StopReason::TimeBudget)
             } else {
                 None
             };
             if let Some(reason) = reason {
-                if probe && first {
+                // A resumed run rewinds and replays cold when its first
+                // stop evaluation would return — except on a blown time
+                // budget, where a cold replay could only burn more of a
+                // budget that is already gone: the resumed best-effort
+                // answer is returned (with its certified quality) and the
+                // propagation stays warm, so a repeat query can upgrade
+                // the degraded answer instead of restarting.
+                if probe && first && reason != StopReason::TimeBudget {
                     return None;
                 }
                 stats.stop = reason;
                 stats.iterations = prop.iteration();
+                stats.quality = stop::certify(self, scratch, threshold, query.k, reason);
                 return Some(stop::finish(scratch, stats));
             }
             first = false;
@@ -600,11 +691,63 @@ mod tests {
     #[test]
     fn anytime_time_budget_returns_best_effort() {
         let (inst, u1, degree, _) = motivating();
+        // A manual clock (frozen at 0) and a zero budget: the very first
+        // stop evaluation sees the deadline blown — one exact outcome,
+        // no race against the scheduler.
+        let (clock, _ticks) = SearchClock::manual();
         let cfg =
-            SearchConfig { time_budget: Some(Duration::from_nanos(1)), ..SearchConfig::default() };
+            SearchConfig { time_budget: Some(Duration::ZERO), clock, ..SearchConfig::default() };
         let res = inst.search(&Query::new(u1, vec![degree], 3), &cfg);
-        // Either it converged instantly or it reports the budget.
-        assert!(matches!(res.stats.stop, StopReason::TimeBudget | StopReason::Converged));
+        assert_eq!(res.stats.stop, StopReason::TimeBudget);
+        assert_eq!(res.stats.iterations, 0, "stopped before the first explore step");
+        let q = res.stats.quality;
+        assert!(!q.exact, "a budget-stopped answer is best-effort");
+        assert!(q.regret.is_finite() && q.regret >= 0.0, "certified regret is finite: {q}");
+    }
+
+    #[test]
+    fn time_budget_is_measured_from_query_start() {
+        // The budget is relative to the moment the query entered the
+        // search loop, not to the clock's origin: a clock pre-advanced
+        // far past the budget must not expire a fresh query.
+        let (inst, u1, degree, _) = motivating();
+        let (clock, ticks) = SearchClock::manual();
+        ticks.store(2_000_000, std::sync::atomic::Ordering::Relaxed);
+        let cfg = SearchConfig {
+            time_budget: Some(Duration::from_millis(1)),
+            clock,
+            ..SearchConfig::default()
+        };
+        let res = inst.search(&Query::new(u1, vec![degree], 3), &cfg);
+        assert_eq!(res.stats.stop, StopReason::Converged, "the clock never moved mid-query");
+        assert!(res.stats.quality.exact);
+        assert!(res.stats.quality.floor > 0.0);
+    }
+
+    #[test]
+    fn converged_quality_is_exact_and_anchored_at_the_worst_hit() {
+        let (inst, u1, degree, _) = motivating();
+        let res = inst.search(&Query::new(u1, vec![degree], 3), &SearchConfig::default());
+        assert_eq!(res.stats.stop, StopReason::Converged);
+        let q = res.stats.quality;
+        assert!(q.exact);
+        assert_eq!(q.regret, 0.0);
+        let min_lower = res.hits.iter().map(|h| h.lower).fold(f64::INFINITY, f64::min);
+        assert_eq!(q.floor, min_lower);
+        assert_eq!(format!("{q}"), format!("exact (floor {:.4})", min_lower));
+    }
+
+    #[test]
+    fn iteration_capped_quality_reports_finite_regret() {
+        let (inst, u1, degree, _) = motivating();
+        let cfg = SearchConfig { max_iterations: 0, ..SearchConfig::default() };
+        let res = inst.search(&Query::new(u1, vec![degree], 3), &cfg);
+        assert_eq!(res.stats.stop, StopReason::MaxIterations);
+        let q = res.stats.quality;
+        assert!(!q.exact);
+        assert!(q.regret >= 0.0 && q.regret.is_finite());
+        // The display form carries the regret for serving logs.
+        assert!(format!("{q}").starts_with("regret <= "));
     }
 
     #[test]

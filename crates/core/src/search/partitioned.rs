@@ -42,7 +42,7 @@ use crate::partition::ComponentPartition;
 use crate::score::ScoreModel;
 use s3_doc::DocNodeId;
 use s3_graph::{NodeId, Propagation};
-use std::time::Instant;
+use std::time::Duration;
 
 /// The partitioned scatter's query-local state, seen through the shared
 /// propagation lifecycle: seeds go to the carrier's frontier list, and a
@@ -125,7 +125,7 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
             active.windows(2).all(|w| w[0] < w[1]) && active.iter().all(|&s| s < scratches.len()),
             "active shard list must be sorted, deduplicated and in range"
         );
-        let started = Instant::now();
+        let started = self.config.clock.now();
 
         // ---- Stage 1 once: expansion is instance-global, identical in
         // every shard. The carrier holds it; active shards get a copy.
@@ -179,7 +179,7 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
         carrier: &mut SearchScratch,
         scratches: &mut [Option<SearchScratch>],
         prop: &mut Propagation<'i>,
-        started: Instant,
+        started: Duration,
         outcome: ResumeOutcome,
     ) -> Option<TopKResult> {
         let probe = outcome == ResumeOutcome::Resumed;
@@ -245,17 +245,34 @@ impl<'i, S: ScoreModel> S3kEngine<'i, S> {
                 Some(StopReason::Converged)
             } else if prop.iteration() >= self.config.max_iterations {
                 Some(StopReason::MaxIterations)
-            } else if self.config.time_budget.is_some_and(|budget| started.elapsed() >= budget) {
+            } else if self
+                .config
+                .time_budget
+                .is_some_and(|budget| self.config.clock.now().saturating_sub(started) >= budget)
+            {
                 Some(StopReason::TimeBudget)
             } else {
                 None
             };
             if let Some(stop) = stop_reason {
-                if probe && first {
+                // Same probe semantics as the unsharded drive: divert to
+                // a cold replay except on a blown time budget, where the
+                // resumed best-effort answer (and the warm propagation)
+                // is worth more than a colder, equally-truncated rerun.
+                if probe && first && stop != StopReason::TimeBudget {
                     return None;
                 }
                 stats.stop = stop;
                 stats.iterations = prop.iteration();
+                stats.quality = partition_certify(
+                    self,
+                    scratches,
+                    active,
+                    &carrier.gather,
+                    query.k,
+                    threshold,
+                    stop,
+                );
                 return Some(gather(scratches, &carrier.gather, order_log, stats));
             }
             first = false;
@@ -315,6 +332,40 @@ fn partition_stop<S: ScoreModel>(
         }
     }
     true
+}
+
+/// [`stop::certify`] over partitioned candidate pools: the floor comes
+/// from the merged selection, the rival is the max of the undiscovered
+/// threshold and each active shard's pool rival measured against its own
+/// entries of the merged selection (vertical-neighbor domination cannot
+/// cross shards, so per-shard sweeps compose exactly).
+fn partition_certify<S: ScoreModel>(
+    engine: &S3kEngine<'_, S>,
+    scratches: &[Option<SearchScratch>],
+    active: &[usize],
+    merged: &[(usize, usize)],
+    k: usize,
+    threshold: f64,
+    reason: StopReason,
+) -> super::QualityBound {
+    let floor = merged
+        .iter()
+        .map(|&(s, i)| scratches[s].as_ref().expect("active").candidates.as_slice()[i].lower)
+        .fold(f64::INFINITY, f64::min);
+    let floor = if floor.is_finite() { floor } else { 0.0 };
+    match reason {
+        StopReason::Converged | StopReason::NoMatch => super::QualityBound::exact(floor),
+        StopReason::MaxIterations | StopReason::TimeBudget => {
+            let mut rival = threshold;
+            for &s in active {
+                let candidates = scratches[s].as_ref().expect("active").candidates.as_slice();
+                let selected: Vec<usize> =
+                    merged.iter().filter(|&&(ss, _)| ss == s).map(|&(_, i)| i).collect();
+                rival = rival.max(stop::pool_rival_upper(engine, candidates, &selected));
+            }
+            super::QualityBound::anytime(floor, rival, merged.len() == k)
+        }
+    }
 }
 
 /// Materialize the merged result from the global selection and the
@@ -424,6 +475,7 @@ mod tests {
 
     fn assert_same(a: &TopKResult, b: &TopKResult) {
         assert_eq!(a.stats.stop, b.stats.stop);
+        assert_eq!(a.stats.quality, b.stats.quality, "certified quality must merge exactly");
         assert_eq!(a.candidate_docs, b.candidate_docs);
         assert_eq!(a.hits.len(), b.hits.len());
         for (x, y) in a.hits.iter().zip(b.hits.iter()) {
@@ -447,6 +499,30 @@ mod tests {
                     assert_same(&merged, &direct);
                     assert_eq!(merged.stats.candidates, direct.stats.candidates);
                     assert_eq!(merged.stats.iterations, direct.stats.iterations);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_anytime_quality_matches_unsharded() {
+        // Iteration-capped runs stop the scatter and the unsharded loop
+        // at the same iteration, so the certified regret must merge to
+        // the exact same bound, shard count notwithstanding.
+        let (inst, users, pool) = instance();
+        for cap in [0u32, 1, 2, 4] {
+            let config = SearchConfig { max_iterations: cap, ..SearchConfig::default() };
+            let engine = S3kEngine::new(&inst, config);
+            for shards in [1usize, 2, 3] {
+                let partition = ComponentPartition::balanced(&inst, shards);
+                for q in queries(&users, &pool) {
+                    let direct = engine.run(&q);
+                    let merged = engine.run_partitioned(&q, &partition);
+                    assert_same(&merged, &direct);
+                    if direct.stats.stop == StopReason::MaxIterations {
+                        assert!(!direct.stats.quality.exact);
+                        assert!(direct.stats.quality.regret.is_finite());
+                    }
                 }
             }
         }

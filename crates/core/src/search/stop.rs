@@ -6,8 +6,8 @@
 //! (Theorem 4.1), at which point the answer is final.
 
 use super::merge::rank;
-use super::scratch::SearchScratch;
-use super::{Hit, S3kEngine, SearchStats, TopKResult};
+use super::scratch::{Candidate, SearchScratch};
+use super::{Hit, QualityBound, S3kEngine, SearchStats, StopReason, TopKResult};
 use crate::score::ScoreModel;
 
 /// Greedy top-k selection by upper bound, skipping vertical neighbors of
@@ -98,6 +98,63 @@ pub(crate) fn stop_condition<S: ScoreModel>(
         }
     }
     true
+}
+
+/// The strongest *candidate* rival of a selection: the largest upper
+/// bound among unselected, positive candidates not provably dominated by
+/// a selected vertical neighbor (0 when none). The undiscovered-document
+/// threshold is the other rival source; callers `max` the two.
+///
+/// Deliberately *without* the stop test's `beaten_globally` exclusion:
+/// that exclusion is relative to the selection's `min_lower`, which is
+/// exactly the bar the regret is measured against — excluding beaten
+/// candidates here would make the reported regret claim more than the
+/// bounds certify. The stop condition and this rival agree:
+/// `stop_condition` passes its candidate sweep iff `rival` is at most
+/// `min_lower + ε` (full selection) or 0 (short selection).
+pub(crate) fn pool_rival_upper<S: ScoreModel>(
+    engine: &S3kEngine<'_, S>,
+    candidates: &[Candidate],
+    selected: &[usize],
+) -> f64 {
+    let eps = engine.config.epsilon;
+    let forest = engine.instance.forest();
+    let mut rival = 0.0f64;
+    for (i, c) in candidates.iter().enumerate() {
+        if c.upper <= 0.0 || selected.contains(&i) {
+            continue;
+        }
+        let dominated = selected.iter().any(|&s| {
+            let sel = &candidates[s];
+            forest.is_vertical_neighbor(sel.doc, c.doc) && sel.lower + eps >= c.upper
+        });
+        if !dominated {
+            rival = rival.max(c.upper);
+        }
+    }
+    rival
+}
+
+/// Compute the answer's [`QualityBound`] at stop time, from the scratch's
+/// final selection, candidate pool and undiscovered threshold.
+pub(crate) fn certify<S: ScoreModel>(
+    engine: &S3kEngine<'_, S>,
+    scratch: &SearchScratch,
+    threshold: f64,
+    k: usize,
+    reason: StopReason,
+) -> QualityBound {
+    let candidates = scratch.candidates.as_slice();
+    let floor =
+        scratch.selection.iter().map(|&i| candidates[i].lower).fold(f64::INFINITY, f64::min);
+    let floor = if floor.is_finite() { floor } else { 0.0 };
+    match reason {
+        StopReason::Converged | StopReason::NoMatch => QualityBound::exact(floor),
+        StopReason::MaxIterations | StopReason::TimeBudget => {
+            let rival = threshold.max(pool_rival_upper(engine, candidates, &scratch.selection));
+            QualityBound::anytime(floor, rival, scratch.selection.len() == k)
+        }
+    }
 }
 
 /// Materialize the result from the scratch's selection and candidates.

@@ -171,7 +171,7 @@ impl ResultCache {
     }
 
     /// Look `key` up, counting a hit or a miss.
-    fn lookup(&self, key: &CacheKey) -> Option<Arc<TopKResult>> {
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<Arc<TopKResult>> {
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.lock().expect("cache poisoned").get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -184,7 +184,7 @@ impl ResultCache {
 
     /// Insert a computed result; the policy decides admission/eviction
     /// and counts drops by cause.
-    fn insert(&self, key: CacheKey, result: Arc<TopKResult>) {
+    pub(crate) fn insert(&self, key: CacheKey, result: Arc<TopKResult>) {
         if let Some(cache) = &self.cache {
             cache.lock().expect("cache poisoned").insert(key, result);
         }

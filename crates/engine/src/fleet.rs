@@ -33,11 +33,12 @@
 //! [`s3_wire::IngestAck`] fingerprint (node count, detachedness, epoch)
 //! cross-checks that invariant on every ingest.
 
+use crate::gate::{self, Admission, AdmissionGate, LoadStats, ServeOutcome};
 use crate::{EngineConfig, S3Engine, ShardRouter};
 use s3_core::{
     ComponentFilter, ComponentPartition, FleetShard, Hit, IngestBatch, IngestSummary,
-    InstanceBuilder, Query, ResumeOutcome, S3Instance, S3kEngine, SearchConfig, SearchStats,
-    StopReason, TopKResult, UserId,
+    InstanceBuilder, QualityBound, Query, ResumeOutcome, S3Instance, S3kEngine, SearchConfig,
+    SearchStats, StopReason, TopKResult, UserId,
 };
 use s3_doc::DocNodeId;
 use s3_text::KeywordId;
@@ -50,7 +51,7 @@ use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 /// One shard's server: the replica instance, the shard's serving engine,
 /// and the per-round executor. Drive it through the typed handlers (the
@@ -184,11 +185,12 @@ impl ShardServer {
         self.fill_round(out, false);
     }
 
-    /// Handle a [`StopCheck`]: this shard's vote on the merged global
-    /// stop test.
-    pub fn stop_check(&mut self, msg: &StopCheck) -> bool {
+    /// Handle a [`StopCheck`]: this shard's certified rival upper bound
+    /// against the merged selection (the client derives the stop vote
+    /// from it; see [`FleetShard::rival_upper`]).
+    pub fn stop_check(&mut self, msg: &StopCheck) -> f64 {
         let engine = S3kEngine::new(&self.instance, self.search.clone());
-        self.session.stop_check(&engine, msg.merged_full, msg.min_lower, &msg.selected)
+        self.session.rival_upper(&engine, &msg.selected)
     }
 
     /// Handle an end-of-query notice.
@@ -241,8 +243,9 @@ impl ShardServer {
                     reply.encode(&mut payload);
                 }
                 RequestKind::StopCheck => {
-                    let vote = self.stop_check(&req.stop);
-                    payload.extend_from_slice(&[WIRE_VERSION, tag::VOTE, vote as u8]);
+                    let rival = self.stop_check(&req.stop);
+                    payload.extend_from_slice(&[WIRE_VERSION, tag::VOTE]);
+                    payload.extend_from_slice(&rival.to_bits().to_le_bytes());
                 }
                 RequestKind::EndQuery => {
                     self.end_query();
@@ -315,7 +318,7 @@ pub struct LocalShard {
     server: ShardServer,
     round: RoundReply,
     round_ready: bool,
-    vote: Option<bool>,
+    vote: Option<f64>,
     ack: IngestAck,
     ack_ready: bool,
     stats: TransportStats,
@@ -396,7 +399,7 @@ impl ShardTransport for LocalShard {
         Ok(())
     }
 
-    fn recv_vote(&mut self) -> Result<bool, WireError> {
+    fn recv_vote(&mut self) -> Result<f64, WireError> {
         self.stats.frames_received += 1;
         self.vote.take().ok_or(WireError::Protocol("no vote pending"))
     }
@@ -430,6 +433,9 @@ pub struct FleetEngine {
     router: ShardRouter,
     search: SearchConfig,
     shards: Vec<Box<dyn ShardTransport>>,
+    /// Admission gate for [`Self::serve`] (behind an `Arc` so the RAII
+    /// slot ticket can outlive the `&mut self` the query drive needs).
+    gate: Arc<AdmissionGate>,
     epoch: u64,
     rounds: u64,
     // Reused across rounds and queries: zero steady-state allocation on
@@ -453,6 +459,7 @@ impl FleetEngine {
     ) -> Self {
         assert!(!shards.is_empty(), "a fleet needs at least one shard");
         let config = config.validated();
+        let gate = Arc::new(AdmissionGate::new(config.overload));
         let mut search = config.search;
         search.component_filter = None;
         let instance = Arc::new(builder.snapshot());
@@ -466,6 +473,7 @@ impl FleetEngine {
             router,
             search,
             shards,
+            gate,
             epoch: 0,
             rounds: 0,
             start_msg: Start::default(),
@@ -536,9 +544,35 @@ impl FleetEngine {
         }
     }
 
+    /// Fan the merged selection out to every active shard and gather the
+    /// largest certified rival upper bound (the stop test's per-shard
+    /// candidate sweep; [`FleetShard::rival_upper`]).
+    fn rival_fanout(&mut self, min_lower: f64, k: usize) -> Result<f64, WireError> {
+        for &s in &self.active {
+            self.stop_msg.clear();
+            self.stop_msg.merged_full = self.merged.len() == k;
+            self.stop_msg.min_lower = min_lower;
+            self.stop_msg.selected.extend(
+                self.merged
+                    .iter()
+                    .filter(|&&(ms, _)| ms == s)
+                    .map(|&(ms, j)| self.replies[ms].selection[j as usize].index),
+            );
+            self.shards[s].send_stop_check(&self.stop_msg)?;
+        }
+        for &s in &self.active {
+            self.shards[s].flush()?;
+        }
+        let mut rival = 0.0f64;
+        for &s in &self.active {
+            rival = rival.max(self.shards[s].recv_vote()?);
+        }
+        Ok(rival)
+    }
+
     /// Answer one query over the fleet.
     pub fn query(&mut self, query: &Query) -> Result<TopKResult, WireError> {
-        let started = Instant::now();
+        let started = self.search.clock.now();
         self.router.route_into(&self.instance, query, &self.search, &mut self.active);
         if self.active.is_empty() {
             // No shard can admit a candidate, but the in-process driver
@@ -607,27 +641,16 @@ impl FleetEngine {
             let precondition =
                 if self.merged.len() == k { threshold <= min_lower + eps } else { frontier_closed };
             let mut stop = None;
+            let mut pool_rival = None;
             if precondition {
-                for &s in &self.active {
-                    self.stop_msg.clear();
-                    self.stop_msg.merged_full = self.merged.len() == k;
-                    self.stop_msg.min_lower = min_lower;
-                    self.stop_msg.selected.extend(
-                        self.merged
-                            .iter()
-                            .filter(|&&(ms, _)| ms == s)
-                            .map(|&(ms, j)| self.replies[ms].selection[j as usize].index),
-                    );
-                    self.shards[s].send_stop_check(&self.stop_msg)?;
-                }
-                for &s in &self.active {
-                    self.shards[s].flush()?;
-                }
-                let mut all = true;
-                for &s in &self.active {
-                    all &= self.shards[s].recv_vote()?;
-                }
-                if all {
+                let rival = self.rival_fanout(min_lower, k)?;
+                pool_rival = Some(rival);
+                // The per-shard sweeps' unanimous vote, reconstructed
+                // from the rival bound: nothing unselected can displace
+                // the merged answer (within ε when it is full).
+                let converged =
+                    if self.merged.len() == k { rival <= min_lower + eps } else { rival <= 0.0 };
+                if converged {
                     stop = Some(StopReason::Converged);
                 }
             }
@@ -635,12 +658,29 @@ impl FleetEngine {
                 stop = Some(StopReason::MaxIterations);
             }
             if stop.is_none()
-                && self.search.time_budget.is_some_and(|budget| started.elapsed() >= budget)
+                && self
+                    .search
+                    .time_budget
+                    .is_some_and(|budget| self.search.clock.now().saturating_sub(started) >= budget)
             {
                 stop = Some(StopReason::TimeBudget);
             }
 
             if let Some(reason) = stop {
+                let floor = if min_lower.is_finite() { min_lower } else { 0.0 };
+                let quality = match reason {
+                    StopReason::MaxIterations | StopReason::TimeBudget => {
+                        let rival = match pool_rival {
+                            Some(r) => r,
+                            // Anytime stop on a round whose precondition
+                            // failed: run one fan-out so the degraded
+                            // answer still ships a certified bound.
+                            None => self.rival_fanout(min_lower, k)?,
+                        };
+                        QualityBound::anytime(floor, threshold.max(rival), self.merged.len() == k)
+                    }
+                    _ => QualityBound::exact(floor),
+                };
                 for &s in &self.active {
                     self.shards[s].send_end_query()?;
                     self.shards[s].flush()?;
@@ -657,6 +697,7 @@ impl FleetEngine {
                     iterations: iteration,
                     stop: reason,
                     resume: ResumeOutcome::Cold,
+                    quality,
                     ..SearchStats::default()
                 };
                 for &s in &self.active {
@@ -680,6 +721,49 @@ impl FleetEngine {
                 shards[s].recv_round(&mut replies[s])?;
             }
         }
+    }
+
+    /// Load and shedding counters for [`Self::serve`].
+    pub fn load_stats(&self) -> LoadStats {
+        self.gate.stats()
+    }
+
+    /// Answer one query through the admission gate with an optional
+    /// per-query deadline ([`S3Engine::serve`]'s contract, minus the
+    /// result cache — the fleet client does not keep one). A fleet
+    /// client drives queries one at a time (`&mut self`), so the gate
+    /// matters mostly for deadline and load accounting; degraded and
+    /// deadline-capped admissions run the fan-out under the tightened
+    /// time budget and return a certified best-effort answer.
+    pub fn serve(
+        &mut self,
+        query: &Query,
+        deadline: Option<Duration>,
+    ) -> Result<ServeOutcome, WireError> {
+        let arrival = self.search.clock.now();
+        let gate = Arc::clone(&self.gate);
+        let (ticket, floor) = match gate.admit() {
+            Admission::Shed => return Ok(ServeOutcome::Shed),
+            Admission::Full(t) => (t, None),
+            Admission::Degraded(t, floor) => (t, Some(floor)),
+        };
+        let remaining = match deadline {
+            Some(deadline) => {
+                let waited = self.search.clock.now().saturating_sub(arrival);
+                if waited >= deadline {
+                    gate.note_expired();
+                    return Ok(ServeOutcome::Expired);
+                }
+                Some(deadline - waited)
+            }
+            None => None,
+        };
+        let configured = self.search.time_budget;
+        self.search.time_budget = gate::effective_budget(configured, remaining, floor);
+        let result = self.query(query);
+        self.search.time_budget = configured;
+        drop(ticket);
+        Ok(ServeOutcome::Answered(Arc::new(result?)))
     }
 
     /// Ship a batch to every shard (pipelined), apply it locally, and

@@ -42,20 +42,23 @@
 mod batch;
 pub mod cache;
 pub mod fleet;
+pub mod gate;
 pub mod live;
 pub mod shard;
 mod warm;
 
 pub use cache::CachePolicy;
 pub use fleet::{FleetEngine, LocalShard, ShardHost, ShardServer};
+pub use gate::{LoadStats, OverloadConfig, OverloadPolicy, ServeOutcome};
 pub use live::{IngestReport, InvalidationScope, LiveEngine, LiveShardedEngine};
 pub use shard::{ShardRouter, ShardedEngine};
 pub use warm::ResumeStats;
 
-use batch::{EpochConfig, ResultCache};
+use batch::{CacheKey, EpochConfig, ResultCache};
+use gate::{Admission, AdmissionGate};
 use s3_core::{
-    Propagation, Query, S3Instance, S3kEngine, ScoreModel, SearchConfig, SearchScratch, TopKResult,
-    UserId,
+    Propagation, Query, S3Instance, S3kEngine, ScoreModel, SearchConfig, SearchScratch, StopReason,
+    TopKResult, UserId,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -97,6 +100,12 @@ pub struct EngineConfig {
     /// (workers still resume across *consecutive* same-seeker queries
     /// they claim, unless `search.resume` is off).
     pub warm_seekers: usize,
+    /// Overload control for the `serve` entry points: an in-flight cap
+    /// plus the policy applied past it ([`OverloadPolicy`]). `None` (the
+    /// default) admits everything — `serve` then behaves exactly like
+    /// `query` plus deadline accounting, and the query paths are
+    /// untouched either way.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +117,7 @@ impl Default for EngineConfig {
             cache_policy: CachePolicy::default(),
             cache_ttl: None,
             warm_seekers: 16,
+            overload: None,
         }
     }
 }
@@ -120,6 +130,7 @@ impl EngineConfig {
     pub fn validated(mut self) -> Self {
         self.threads = self.threads.clamp(1, MAX_BATCH_THREADS);
         self.cache_policy = self.cache_policy.validated();
+        self.overload = self.overload.map(OverloadConfig::validated);
         self
     }
 }
@@ -240,14 +251,24 @@ pub struct S3Engine {
     scratch_pool: Arc<Mutex<Vec<SearchScratch>>>,
     /// Seeker-keyed warm propagations for same-seeker resume.
     props: Arc<PropPool>,
+    /// Admission gate for the `serve` entry point (shared with live
+    /// successors so load counters and in-flight depth survive swaps).
+    gate: Arc<AdmissionGate>,
 }
 
 impl S3Engine {
     /// Build a serving engine over a shared instance. The configuration
     /// is [`EngineConfig::validated`] first.
     pub fn new(instance: Arc<S3Instance>, config: EngineConfig) -> Self {
-        let EngineConfig { search, threads, cache_capacity, cache_policy, cache_ttl, warm_seekers } =
-            config.validated();
+        let EngineConfig {
+            search,
+            threads,
+            cache_capacity,
+            cache_policy,
+            cache_ttl,
+            warm_seekers,
+            overload,
+        } = config.validated();
         S3Engine {
             instance,
             config: Arc::new(EpochConfig::new(search)),
@@ -255,6 +276,7 @@ impl S3Engine {
             cache: Arc::new(ResultCache::new(cache_capacity, cache_policy, cache_ttl)),
             scratch_pool: Arc::new(Mutex::new(Vec::new())),
             props: Arc::new(PropPool::new(warm_seekers)),
+            gate: Arc::new(AdmissionGate::new(overload)),
         }
     }
 
@@ -278,6 +300,7 @@ impl S3Engine {
             cache: Arc::clone(&self.cache),
             scratch_pool: Arc::clone(&self.scratch_pool),
             props: Arc::clone(&self.props),
+            gate: Arc::clone(&self.gate),
         }
     }
 
@@ -332,6 +355,63 @@ impl S3Engine {
     /// Answer one query (through the cache).
     pub fn query(&self, query: &Query) -> Arc<TopKResult> {
         self.run_batch_on(std::slice::from_ref(query), 1).pop().expect("one result")
+    }
+
+    /// Load and shedding counters for the [`Self::serve`] entry point.
+    pub fn load_stats(&self) -> LoadStats {
+        self.gate.stats()
+    }
+
+    /// Answer one query through the admission gate, with an optional
+    /// per-query deadline measured from this call by the search clock
+    /// (time spent queued for a slot counts against it).
+    ///
+    /// A cache hit is returned without claiming a slot. On a miss the
+    /// gate decides: shed ([`ServeOutcome::Shed`]), admit at full budget,
+    /// or admit degraded — the query's time budget capped at the
+    /// [`OverloadPolicy::DegradeAnytime`] floor and the remaining
+    /// deadline, so it returns a certified best-effort answer
+    /// (`stats.quality`) instead of queueing unboundedly. A query whose
+    /// deadline lapses before it runs is dropped
+    /// ([`ServeOutcome::Expired`]). Only exact answers enter the result
+    /// cache: a degraded answer must never mask the full answer an
+    /// uncongested repeat could compute — the warm propagation pool keeps
+    /// its state, so that repeat resumes instead of starting over.
+    ///
+    /// Without an [`EngineConfig::overload`] policy and without a
+    /// deadline, `serve` is [`Self::query`] with load accounting.
+    pub fn serve(&self, query: &Query, deadline: Option<Duration>) -> ServeOutcome {
+        let (search_config, epoch) = self.config.snapshot();
+        let arrival = search_config.clock.now();
+        if let Some(hit) = self.cache.lookup(&CacheKey::new(query, epoch)) {
+            return ServeOutcome::Answered(hit);
+        }
+        let (ticket, floor) = match self.gate.admit() {
+            Admission::Shed => return ServeOutcome::Shed,
+            Admission::Full(t) => (t, None),
+            Admission::Degraded(t, floor) => (t, Some(floor)),
+        };
+        let remaining = match deadline {
+            Some(deadline) => {
+                let waited = search_config.clock.now().saturating_sub(arrival);
+                if waited >= deadline {
+                    self.gate.note_expired();
+                    return ServeOutcome::Expired;
+                }
+                Some(deadline - waited)
+            }
+            None => None,
+        };
+        let mut config = search_config;
+        config.time_budget = gate::effective_budget(config.time_budget, remaining, floor);
+        let mut out = self.execute(std::slice::from_ref(query), &[0], &config, epoch, 1);
+        drop(ticket);
+        let (_, result) = out.pop().expect("one result");
+        let result = Arc::new(result);
+        if matches!(result.stats.stop, StopReason::Converged | StopReason::NoMatch) {
+            self.cache.insert(CacheKey::new(query, epoch), Arc::clone(&result));
+        }
+        ServeOutcome::Answered(result)
     }
 
     /// Answer a batch concurrently on the configured worker count.

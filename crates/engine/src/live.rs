@@ -42,6 +42,7 @@
 //! [`InstanceBuilder::snapshot`] of the same final data, on both the
 //! unsharded and the sharded `{1, 2, 4}` paths.
 
+use crate::gate::{LoadStats, ServeOutcome};
 use crate::{CacheStats, EngineConfig, ResumeStats, S3Engine, ShardedEngine};
 use s3_core::{
     ComponentFilter, ComponentPartition, IngestBatch, IngestSummary, InstanceBuilder, Query,
@@ -49,6 +50,7 @@ use s3_core::{
 };
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Which caches an ingest invalidated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,6 +174,18 @@ impl LiveEngine {
         self.engine().run_batch(queries)
     }
 
+    /// Answer one query through the admission gate against the current
+    /// snapshot ([`S3Engine::serve`]). The gate is shared across
+    /// snapshot swaps, so in-flight depth and load counters persist.
+    pub fn serve(&self, query: &Query, deadline: Option<Duration>) -> ServeOutcome {
+        self.engine().serve(query, deadline)
+    }
+
+    /// Load and shedding counters (shared across snapshots).
+    pub fn load_stats(&self) -> LoadStats {
+        self.engine().load_stats()
+    }
+
     /// Result-cache counters (shared across snapshots).
     pub fn cache_stats(&self) -> CacheStats {
         self.engine().cache_stats()
@@ -263,6 +277,19 @@ impl LiveShardedEngine {
     /// Answer a batch through the front cache + scatter-gather.
     pub fn run_batch(&self, queries: &[Query]) -> Vec<Arc<TopKResult>> {
         self.engine().run_batch(queries)
+    }
+
+    /// Answer one query through the admission gate, then the front cache
+    /// and the scatter ([`ShardedEngine::serve`]). The gate is shared
+    /// across snapshot swaps, so in-flight depth and load counters
+    /// persist.
+    pub fn serve(&self, query: &Query, deadline: Option<Duration>) -> ServeOutcome {
+        self.engine().serve(query, deadline)
+    }
+
+    /// Load and shedding counters (shared across snapshots).
+    pub fn load_stats(&self) -> LoadStats {
+        self.engine().load_stats()
     }
 
     /// Front-cache counters (shared across snapshots).

@@ -23,17 +23,19 @@
 //! reasons to a single `S3Engine` over the unsharded instance
 //! (property-tested in `tests/sharding.rs`).
 
-use crate::batch::{self, EpochConfig, ResultCache};
+use crate::batch::{self, CacheKey, EpochConfig, ResultCache};
+use crate::gate::{self, Admission, AdmissionGate, LoadStats, ServeOutcome};
 use crate::warm::PropPool;
 use crate::{CacheStats, EngineConfig, ResumeStats, S3Engine};
 use s3_core::{
     CompId, ComponentFilter, ComponentPartition, Propagation, Query, S3Instance, S3kEngine,
-    ScoreModel, SearchConfig, SearchScratch, TopKResult, UserId,
+    ScoreModel, SearchConfig, SearchScratch, StopReason, TopKResult, UserId,
 };
 use s3_text::KeywordId;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Maps seekers, components and query keywords to shards.
 ///
@@ -165,6 +167,9 @@ pub struct ShardedEngine {
     /// shard of its scatter, so affinity lives at the front, not per
     /// shard.
     props: Arc<PropPool>,
+    /// Admission gate for the `serve` entry point — in front of the
+    /// scatter, like the cache, so shedding one query spares every shard.
+    gate: Arc<AdmissionGate>,
 }
 
 impl ShardedEngine {
@@ -198,6 +203,7 @@ impl ShardedEngine {
             cache_policy,
             cache_ttl,
             warm_seekers,
+            overload,
         } = config.validated();
         search.component_filter = None;
         let router = ShardRouter::new(&instance, Arc::clone(&partition));
@@ -220,6 +226,9 @@ impl ShardedEngine {
                         cache_policy,
                         cache_ttl,
                         warm_seekers: if shard_serving { warm_seekers } else { 0 },
+                        // Overload control lives at the front: per-shard
+                        // gates would double-count one scatter's load.
+                        overload: None,
                     },
                 )
             })
@@ -233,6 +242,7 @@ impl ShardedEngine {
             cache: Arc::new(ResultCache::new(cache_capacity, cache_policy, cache_ttl)),
             carriers: Arc::new(Mutex::new(Vec::new())),
             props: Arc::new(PropPool::new(warm_seekers)),
+            gate: Arc::new(AdmissionGate::new(overload)),
         }
     }
 
@@ -266,6 +276,7 @@ impl ShardedEngine {
             cache: Arc::clone(&self.cache),
             carriers: Arc::clone(&self.carriers),
             props: Arc::clone(&self.props),
+            gate: Arc::clone(&self.gate),
         }
     }
 
@@ -355,6 +366,50 @@ impl ShardedEngine {
     /// Answer one query (through the front cache, then the scatter).
     pub fn query(&self, query: &Query) -> Arc<TopKResult> {
         self.run_batch_on(std::slice::from_ref(query), 1).pop().expect("one result")
+    }
+
+    /// Load and shedding counters for the [`Self::serve`] entry point.
+    pub fn load_stats(&self) -> LoadStats {
+        self.gate.stats()
+    }
+
+    /// Answer one query through the admission gate, with an optional
+    /// per-query deadline (same contract as [`S3Engine::serve`]): cache
+    /// hits bypass the gate, shed queries never reach the scatter,
+    /// degraded admissions run the whole scatter under the floor budget,
+    /// and only exact answers enter the front cache.
+    pub fn serve(&self, query: &Query, deadline: Option<Duration>) -> ServeOutcome {
+        let (search_config, epoch) = self.config.snapshot();
+        let arrival = search_config.clock.now();
+        if let Some(hit) = self.cache.lookup(&CacheKey::new(query, epoch)) {
+            return ServeOutcome::Answered(hit);
+        }
+        let (ticket, floor) = match self.gate.admit() {
+            Admission::Shed => return ServeOutcome::Shed,
+            Admission::Full(t) => (t, None),
+            Admission::Degraded(t, floor) => (t, Some(floor)),
+        };
+        let remaining = match deadline {
+            Some(deadline) => {
+                let waited = search_config.clock.now().saturating_sub(arrival);
+                if waited >= deadline {
+                    self.gate.note_expired();
+                    return ServeOutcome::Expired;
+                }
+                Some(deadline - waited)
+            }
+            None => None,
+        };
+        let mut config = search_config;
+        config.time_budget = gate::effective_budget(config.time_budget, remaining, floor);
+        let mut out = self.scatter(std::slice::from_ref(query), &[0], &config, epoch, 1);
+        drop(ticket);
+        let (_, result) = out.pop().expect("one result");
+        let result = Arc::new(result);
+        if matches!(result.stats.stop, StopReason::Converged | StopReason::NoMatch) {
+            self.cache.insert(CacheKey::new(query, epoch), Arc::clone(&result));
+        }
+        ServeOutcome::Answered(result)
     }
 
     /// Answer a batch concurrently on the configured worker count.

@@ -12,7 +12,9 @@ use s3_core::{
 use s3_doc::{DocNodeId, LocalNodeId, TreeId};
 
 /// Protocol version; bumped on *any* body change (see crate docs).
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2: the stop-check reply ([`tag::VOTE`]) carries the shard's
+/// certified rival upper bound (f64) instead of a boolean vote.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Message tags. Requests are low numbers, replies start at 64.
 pub mod tag {
@@ -30,7 +32,9 @@ pub mod tag {
     pub const SHUTDOWN: u8 = 6;
     /// Per-round shard reply ([`super::RoundReply`]).
     pub const ROUND: u8 = 64;
-    /// Per-shard stop vote (bool body).
+    /// Per-shard stop-check reply: the shard's certified rival upper
+    /// bound (f64 body) — the largest upper bound of any local candidate
+    /// that could still displace the merged selection, 0 when none.
     pub const VOTE: u8 = 65;
     /// Ingest acknowledgement ([`super::IngestAck`]).
     pub const INGEST_ACK: u8 = 66;
@@ -668,8 +672,8 @@ pub enum Message {
     Shutdown,
     /// Per-round shard reply.
     Round(RoundReply),
-    /// Per-shard stop vote.
-    Vote(bool),
+    /// Per-shard stop-check reply: the certified rival upper bound.
+    Vote(f64),
     /// Ingest acknowledgement.
     IngestAck(IngestAck),
 }
@@ -687,7 +691,7 @@ impl Message {
             Message::Round(m) => m.encode(out),
             Message::Vote(v) => {
                 begin(out, tag::VOTE);
-                put_bool(out, *v);
+                put_f64(out, *v);
             }
             Message::IngestAck(m) => m.encode(out),
         }
@@ -721,7 +725,7 @@ impl Message {
                 m.read_body(&mut r)?;
                 Message::Round(m)
             }
-            tag::VOTE => Message::Vote(r.bool()?),
+            tag::VOTE => Message::Vote(r.f64()?),
             tag::INGEST_ACK => {
                 let mut m = IngestAck::default();
                 m.read_body(&mut r)?;

@@ -47,8 +47,9 @@ pub trait ShardTransport: Send {
     fn flush(&mut self) -> Result<(), WireError>;
     /// Receive a [`RoundReply`] into a reused buffer.
     fn recv_round(&mut self, out: &mut RoundReply) -> Result<(), WireError>;
-    /// Receive a stop vote.
-    fn recv_vote(&mut self) -> Result<bool, WireError>;
+    /// Receive a stop-check reply: the shard's certified rival upper
+    /// bound (0 when nothing local can displace the merged selection).
+    fn recv_vote(&mut self) -> Result<f64, WireError>;
     /// Receive an [`IngestAck`].
     fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError>;
     /// Traffic counters so far.
@@ -143,7 +144,7 @@ impl<S: Read + Write + Send> ShardTransport for FramedTransport<S> {
         out.decode_into(&self.inbuf)
     }
 
-    fn recv_vote(&mut self) -> Result<bool, WireError> {
+    fn recv_vote(&mut self) -> Result<f64, WireError> {
         self.recv_frame()?;
         let mut r = crate::codec::Reader::new(&self.inbuf);
         let v = r.u8()?;
@@ -154,9 +155,9 @@ impl<S: Read + Write + Send> ShardTransport for FramedTransport<S> {
         if t != tag::VOTE {
             return Err(WireError::Tag(t));
         }
-        let vote = r.bool()?;
+        let rival = r.f64()?;
         r.finish()?;
-        Ok(vote)
+        Ok(rival)
     }
 
     fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError> {

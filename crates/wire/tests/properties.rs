@@ -144,7 +144,7 @@ fn message(rng: &mut StdRng) -> Message {
         4 => Message::Ingest(wire_ingest(rng)),
         5 => Message::Shutdown,
         6 => Message::Round(round_reply(rng)),
-        7 => Message::Vote(rng.gen()),
+        7 => Message::Vote(wire_f64(rng)),
         _ => Message::IngestAck(IngestAck {
             detached: rng.gen(),
             epoch: rng.gen(),
@@ -264,7 +264,7 @@ fn wrong_version_is_rejected() {
 #[test]
 fn trailing_bytes_are_rejected() {
     let mut frame = Vec::new();
-    Message::Vote(true).encode(&mut frame);
+    Message::Vote(1.0).encode(&mut frame);
     frame.push(0);
     match Message::decode(&frame) {
         Err(WireError::TrailingBytes(1)) => {}

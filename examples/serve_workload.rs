@@ -11,9 +11,12 @@
 
 use s3::core::{Query, SearchConfig};
 use s3::datasets::{twitter, workload, Scale};
-use s3::engine::{CachePolicy, EngineConfig, S3Engine};
+use s3::engine::{
+    CachePolicy, EngineConfig, OverloadConfig, OverloadPolicy, S3Engine, ServeOutcome,
+};
 use s3::text::FrequencyClass;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let dataset = twitter::generate(&twitter::TwitterConfig::scaled(Scale::Tiny));
@@ -89,6 +92,77 @@ fn main() {
         shared.config_epoch(),
         retuned.len()
     );
+
+    // --- Overload: more clients than the engine will carry. ---
+    //
+    // A fresh engine with a 2-slot admission gate and the DegradeAnytime
+    // policy: arrivals past capacity are still answered, but under a
+    // floor budget, and each degraded answer carries a certified
+    // `QualityBound` saying how far from exact it provably is.
+    let gated = Arc::new(S3Engine::new(
+        Arc::clone(&instance),
+        EngineConfig {
+            threads: 1,
+            cache_capacity: 0, // every arrival reaches the gate
+            overload: Some(OverloadConfig {
+                max_inflight: 2,
+                policy: OverloadPolicy::DegradeAnytime { floor_budget: Duration::ZERO },
+            }),
+            ..EngineConfig::default()
+        },
+    ));
+    let sample = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..6)
+            .map(|_| {
+                let engine = Arc::clone(&gated);
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut degraded = None;
+                    for q in queries {
+                        match engine.serve(q, None) {
+                            ServeOutcome::Answered(r) if !r.stats.quality.exact => {
+                                degraded.get_or_insert(r);
+                            }
+                            ServeOutcome::Answered(_) => {}
+                            outcome => panic!("DegradeAnytime never sheds, got {outcome:?}"),
+                        }
+                    }
+                    degraded
+                })
+            })
+            .collect();
+        workers.into_iter().filter_map(|w| w.join().expect("client thread")).next()
+    });
+    println!("\n6 oversubscribed clients, DegradeAnytime: {}", gated.load_stats());
+    if let Some(r) = sample {
+        println!("sample degraded answer: {} hits, {}", r.hits.len(), r.stats.quality);
+    }
+
+    // The same pressure against Reject: overflow is shed at the door and
+    // the queries that do get in keep their full budget (exact answers).
+    let rejecting = Arc::new(S3Engine::new(
+        Arc::clone(&instance),
+        EngineConfig {
+            threads: 1,
+            cache_capacity: 0,
+            overload: Some(OverloadConfig { max_inflight: 2, policy: OverloadPolicy::Reject }),
+            ..EngineConfig::default()
+        },
+    ));
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let engine = Arc::clone(&rejecting);
+            let queries = &queries;
+            scope.spawn(move || {
+                for q in queries {
+                    if let Some(r) = engine.serve(q, None).answer() {
+                        assert!(r.stats.quality.exact, "admitted queries keep the full budget");
+                    }
+                }
+            });
+        }
+    });
+    println!("6 oversubscribed clients, Reject:         {}", rejecting.load_stats());
 
     // The final serving report, counters included (admission/expiry
     // counters surface here once the policy or a TTL is on).
