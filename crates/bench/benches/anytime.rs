@@ -83,12 +83,11 @@ fn main() {
     let engine_at = |cap: u32| {
         S3Engine::new(
             Arc::clone(&instance),
-            EngineConfig {
-                search: SearchConfig { max_iterations: cap, ..SearchConfig::default() },
-                threads: 1,
-                cache_capacity: 0,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .search(SearchConfig { max_iterations: cap, ..SearchConfig::default() })
+                .threads(1)
+                .cache_capacity(0)
+                .build(),
         )
     };
     let full = engine_at(u32::MAX);
@@ -173,12 +172,11 @@ fn main() {
     let serve_arm = |policy: OverloadPolicy| -> (Vec<ServeOutcome>, s3_engine::LoadStats, f64) {
         let engine = S3Engine::new(
             Arc::clone(&instance),
-            EngineConfig {
-                threads: 1,
-                cache_capacity: 0,
-                overload: Some(OverloadConfig { max_inflight: 1, policy }),
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .threads(1)
+                .cache_capacity(0)
+                .overload(Some(OverloadConfig { max_inflight: 1, policy }))
+                .build(),
         );
         let barrier = Barrier::new(CLIENTS);
         let t0 = Instant::now();

@@ -101,12 +101,11 @@ fn main() {
     let run = |policy: CachePolicy, scan: bool| -> (s3_engine::CacheStats, f64) {
         let engine = S3Engine::new(
             Arc::clone(&instance),
-            EngineConfig {
-                threads: 1,
-                cache_capacity: capacity,
-                cache_policy: policy,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .threads(1)
+                .cache_capacity(capacity)
+                .cache_policy(policy)
+                .build(),
         );
         let t0 = Instant::now();
         for (j, &i) in stream.iter().enumerate() {

@@ -59,7 +59,7 @@ fn main() {
                     // for the cold-baseline timing below.
                     builder(tweets)
                 },
-                EngineConfig { threads: 1, ..EngineConfig::default() },
+                EngineConfig::builder().threads(1).build(),
             );
             let steps = live_workload(
                 &live.instance(),
@@ -110,7 +110,7 @@ fn main() {
     let make = || {
         LiveShardedEngine::new(
             builder(if smoke { 200 } else { 800 }),
-            EngineConfig { threads: 1, cache_capacity: 256, ..EngineConfig::default() },
+            EngineConfig::builder().threads(1).cache_capacity(256).build(),
             num_shards,
         )
     };

@@ -79,7 +79,7 @@ fn main() {
 
     let baseline = S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig { threads: 4, cache_capacity: 8192, ..EngineConfig::default() },
+        EngineConfig::builder().threads(4).cache_capacity(8192).build(),
     );
     let expected = baseline.run_batch(&queries);
 
@@ -97,7 +97,7 @@ fn main() {
     for shards in [1usize, 2, 4, 8] {
         let engine = ShardedEngine::new(
             Arc::clone(&instance),
-            EngineConfig { threads: 4, cache_capacity: 8192, ..EngineConfig::default() },
+            EngineConfig::builder().threads(4).cache_capacity(8192).build(),
             shards,
         );
         let p = engine.partition();
@@ -162,7 +162,7 @@ impl Transport {
 /// No result cache and no warm pool: every fleet query runs the full
 /// scatter cold, so repeated runs measure the round exchange itself.
 fn fleet_config() -> EngineConfig {
-    EngineConfig { threads: 1, cache_capacity: 0, warm_seekers: 0, ..EngineConfig::default() }
+    EngineConfig::builder().threads(1).cache_capacity(0).warm_seekers(0).build()
 }
 
 /// Spawn a fleet over `transport`; every replica regenerates the corpus

@@ -87,7 +87,7 @@ fn main() {
     for &threads in thread_counts {
         let engine = S3Engine::new(
             Arc::clone(&instance),
-            EngineConfig { threads, cache_capacity: 8192, ..EngineConfig::default() },
+            EngineConfig::builder().threads(threads).cache_capacity(8192).build(),
         );
 
         let t0 = Instant::now();
@@ -145,13 +145,12 @@ fn main() {
     for (label, resume) in [("cold each query", false), ("same-seeker resume", true)] {
         let engine = S3Engine::new(
             Arc::clone(&instance),
-            EngineConfig {
-                search: SearchConfig { resume, ..SearchConfig::default() },
-                threads: 1,
-                cache_capacity: 0, // isolate the propagation lifecycle
-                warm_seekers: if resume { 32 } else { 0 },
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .search(SearchConfig { resume, ..SearchConfig::default() })
+                .threads(1)
+                .cache_capacity(0) // isolate the propagation lifecycle
+                .warm_seekers(if resume { 32 } else { 0 })
+                .build(),
         );
         let t = Instant::now();
         for q in &stream {

@@ -395,6 +395,80 @@ impl ConnectionIndex {
         self.smax_table_with(|_, depth| eta.powi(depth as i32))
     }
 
+    /// Serialize for the durable snapshot format. Keyword entries are
+    /// written in ascending keyword order (hash-map iteration order never
+    /// reaches the encoding) and each entry's connection list verbatim —
+    /// the stored `(frag, src, type)` sort order is part of the query
+    /// contract, so a loaded index is bit-identical to the saved one.
+    pub fn snap_write(&self, out: &mut Vec<u8>) {
+        s3_snap::put_usize(out, self.per_doc.len());
+        for map in &self.per_doc {
+            let mut kws: Vec<KeywordId> = map.keys().copied().collect();
+            kws.sort_unstable();
+            s3_snap::put_usize(out, kws.len());
+            for kw in kws {
+                s3_snap::put_u32v(out, kw.0);
+                let conns = &map[&kw];
+                s3_snap::put_usize(out, conns.len());
+                for c in conns {
+                    out.push(match c.ctype {
+                        ConnType::Contains => 0,
+                        ConnType::RelatedTo => 1,
+                        ConnType::CommentsOn => 2,
+                    });
+                    s3_snap::put_u32v(out, c.frag.0);
+                    out.push(c.depth);
+                    s3_snap::put_u32v(out, c.src.0);
+                }
+            }
+        }
+    }
+
+    /// Decode an index written by [`Self::snap_write`] for a forest of
+    /// `num_doc_nodes` document nodes. Fragment ids are validated against
+    /// the forest; never panics on malformed input.
+    pub fn snap_read(
+        r: &mut s3_snap::SnapReader<'_>,
+        num_doc_nodes: usize,
+    ) -> Result<Self, s3_snap::SnapError> {
+        let n = r.seq(1)?;
+        if n != num_doc_nodes {
+            return Err(s3_snap::SnapError::Value("connection index length mismatch"));
+        }
+        let mut per_doc: Vec<HashMap<KeywordId, Vec<Connection>>> = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for _ in 0..n {
+            let nk = r.seq(2)?;
+            let mut map: HashMap<KeywordId, Vec<Connection>> = HashMap::with_capacity(nk);
+            for _ in 0..nk {
+                let kw = KeywordId(r.u32v()?);
+                let nc = r.seq(4)?;
+                let mut conns = Vec::with_capacity(nc);
+                for _ in 0..nc {
+                    let ctype = match r.u8()? {
+                        0 => ConnType::Contains,
+                        1 => ConnType::RelatedTo,
+                        2 => ConnType::CommentsOn,
+                        _ => return Err(s3_snap::SnapError::Value("connection-type discriminant")),
+                    };
+                    let frag = r.u32v()?;
+                    if frag as usize >= num_doc_nodes {
+                        return Err(s3_snap::SnapError::Value("connection fragment out of range"));
+                    }
+                    let depth = r.u8()?;
+                    let src = NodeId(r.u32v()?);
+                    conns.push(Connection { ctype, frag: DocNodeId(frag), depth, src });
+                }
+                if map.insert(kw, conns).is_some() {
+                    return Err(s3_snap::SnapError::Value("duplicate connection keyword"));
+                }
+                total += nc;
+            }
+            per_doc.push(map);
+        }
+        Ok(ConnectionIndex { per_doc, total })
+    }
+
     /// Generic form of [`Self::smax_table`] for arbitrary structural-weight
     /// functions (generic score models).
     pub fn smax_table_with(&self, weight: impl Fn(ConnType, u8) -> f64) -> HashMap<KeywordId, f64> {

@@ -54,6 +54,8 @@ pub mod oracle;
 pub mod partition;
 pub mod score;
 pub mod search;
+pub mod snapshot;
+pub mod wal;
 
 pub use clock::SearchClock;
 pub use connections::{ConnType, Connection, ConnectionIndex};
@@ -75,3 +77,7 @@ pub use search::{
     S3kSession, SearchConfig, SearchScratch, SearchStats, SelectedCandidate, StopReason,
     TopKResult,
 };
+pub use snapshot::{
+    load_snapshot, read_snapshot, save_snapshot, write_snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use wal::{WalRecovery, WriteAheadLog, MAX_WAL_RECORD, WAL_VERSION};

@@ -1,0 +1,259 @@
+//! Ingest write-ahead log: crash-durable journaling of opaque records.
+//!
+//! The live engines journal every encoded [`crate::IngestBatch`] here
+//! *before* applying it — [`WriteAheadLog::append`] does not return until
+//! the record is fsynced, so a batch whose apply was observed can always
+//! be replayed after a crash (the WAL commit rule). Recovery is
+//! load-snapshot-then-replay-tail: [`WriteAheadLog::open`] scans the
+//! file, returns every intact record in order, and silently truncates a
+//! torn or corrupt tail (the one failure an fsynced journal can still
+//! exhibit after a crash mid-append). After a fresh snapshot lands on
+//! disk, [`WriteAheadLog::truncate`] resets the journal — the checkpoint
+//! invariant is `snapshot + WAL tail ≡ current state` at every instant.
+//!
+//! # File layout
+//!
+//! ```text
+//! ┌──────────┬─────────┬──────────────────────────────────────────────┐
+//! │ magic 8B │ ver u16 │ records: [len u32][crc32 u32][payload len B]*│
+//! └──────────┴─────────┴──────────────────────────────────────────────┘
+//! ```
+//!
+//! Records are opaque bytes to this module; the engine layer owns the
+//! batch codec. Every record is covered by its own CRC-32, so a flipped
+//! byte anywhere in the body yields a clean truncation at that record,
+//! never a panic and never a silently wrong batch.
+
+use s3_snap::SnapError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"S3KWAL\0\0";
+
+/// Version of the WAL format this build reads and writes.
+pub const WAL_VERSION: u16 = 1;
+
+/// Largest accepted record payload (a sanity bound against corrupt
+/// length prefixes; real ingest batches are far smaller).
+pub const MAX_WAL_RECORD: u32 = 1 << 30;
+
+const HEADER_LEN: u64 = 10;
+
+/// What [`WriteAheadLog::open`] recovered from an existing file.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// The intact record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// True when a torn or corrupt tail was discarded (the file has been
+    /// truncated back to the last intact record).
+    pub dropped_tail: bool,
+}
+
+/// An append-only, fsync-on-commit journal of opaque byte records.
+#[derive(Debug)]
+pub struct WriteAheadLog {
+    file: File,
+    path: PathBuf,
+    /// Byte length of the valid prefix (everything up to here is intact
+    /// and durable).
+    end: u64,
+    records: u64,
+}
+
+impl WriteAheadLog {
+    /// Open (or create) the journal at `path`, replaying its intact
+    /// records. A missing file is created with a fresh header; an
+    /// existing file must carry the right magic and version — anything
+    /// else is a hard error (the journal is never silently clobbered).
+    /// A torn or corrupt tail is dropped *and truncated away* so
+    /// subsequent appends extend the valid prefix.
+    pub fn open(path: &Path) -> Result<(Self, WalRecovery), SnapError> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(&WAL_MAGIC);
+            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+            file.write_all(&header)?;
+            file.sync_all()?;
+            let wal = WriteAheadLog { file, path: path.to_path_buf(), end: HEADER_LEN, records: 0 };
+            return Ok((wal, WalRecovery { records: Vec::new(), dropped_tail: false }));
+        }
+
+        if bytes.len() < HEADER_LEN as usize || bytes[..8] != WAL_MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != WAL_VERSION {
+            return Err(SnapError::Version(version));
+        }
+
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN as usize;
+        while let Some(frame) = bytes.get(pos..pos + 8) {
+            let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+            let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+            if len > MAX_WAL_RECORD {
+                break;
+            }
+            let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else { break };
+            if s3_snap::crc32(payload) != crc {
+                break;
+            }
+            records.push(payload.to_vec());
+            pos += 8 + len as usize;
+        }
+
+        let dropped_tail = pos < bytes.len();
+        if dropped_tail {
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        let n = records.len() as u64;
+        let wal = WriteAheadLog { file, path: path.to_path_buf(), end: pos as u64, records: n };
+        Ok((wal, WalRecovery { records, dropped_tail }))
+    }
+
+    /// Append one record and fsync it. When this returns `Ok`, the
+    /// record is durable — callers apply the batch only afterwards (the
+    /// commit rule).
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), SnapError> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_WAL_RECORD)
+            .ok_or(SnapError::Value("WAL record too large"))?;
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&len.to_le_bytes());
+        rec.extend_from_slice(&s3_snap::crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(&rec)?;
+        self.file.sync_data()?;
+        self.end += rec.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Drop every record, keeping the header — called after a fresh
+    /// snapshot (covering everything journaled so far) has durably
+    /// landed, upholding the checkpoint invariant.
+    pub fn truncate(&mut self) -> Result<(), SnapError> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.sync_all()?;
+        self.end = HEADER_LEN;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Number of records in the valid prefix.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// True when the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("s3k-wal-test-{}-{name}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_and_reopen_replays_in_order() {
+        let path = tmp("replay");
+        {
+            let (mut wal, rec) = WriteAheadLog::open(&path).unwrap();
+            assert!(rec.records.is_empty());
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            assert_eq!(wal.len(), 2);
+        }
+        let (wal, rec) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(!rec.dropped_tail);
+        assert_eq!(wal.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_appends_continue() {
+        let path = tmp("torn");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&path).unwrap();
+            wal.append(b"keep").unwrap();
+            wal.append(b"torn-away").unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut wal, rec) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(rec.records, vec![b"keep".to_vec()]);
+        assert!(rec.dropped_tail);
+        wal.append(b"after").unwrap();
+        drop(wal);
+        let (_, rec) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(rec.records, vec![b"keep".to_vec(), b"after".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_truncates_at_the_corrupt_record() {
+        let path = tmp("flip");
+        {
+            let (mut wal, _) = WriteAheadLog::open(&path).unwrap();
+            wal.append(b"good").unwrap();
+            wal.append(b"evil").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(rec.records, vec![b"good".to_vec()]);
+        assert!(rec.dropped_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_resets_to_empty() {
+        let path = tmp("truncate");
+        let (mut wal, _) = WriteAheadLog::open(&path).unwrap();
+        wal.append(b"x").unwrap();
+        wal.truncate().unwrap();
+        assert!(wal.is_empty());
+        drop(wal);
+        let (_, rec) = WriteAheadLog::open(&path).unwrap();
+        assert!(rec.records.is_empty());
+        assert!(!rec.dropped_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_not_clobbered() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a WAL file").unwrap();
+        assert!(matches!(WriteAheadLog::open(&path), Err(SnapError::BadMagic)));
+        assert_eq!(std::fs::read(&path).unwrap(), b"definitely not a WAL file");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -36,16 +36,16 @@
 use crate::gate::{self, Admission, AdmissionGate, LoadStats, ServeOutcome};
 use crate::{EngineConfig, S3Engine, ShardRouter};
 use s3_core::{
-    ComponentFilter, ComponentPartition, FleetShard, Hit, IngestBatch, IngestSummary,
-    InstanceBuilder, QualityBound, Query, ResumeOutcome, S3Instance, S3kEngine, SearchConfig,
-    SearchStats, StopReason, TopKResult, UserId,
+    read_snapshot, ComponentFilter, ComponentPartition, FleetShard, Hit, IngestBatch,
+    IngestSummary, InstanceBuilder, QualityBound, Query, ResumeOutcome, S3Instance, S3kEngine,
+    SearchConfig, SearchStats, StopReason, TopKResult, UserId,
 };
 use s3_doc::DocNodeId;
 use s3_text::KeywordId;
 use s3_wire::{
     loopback_pair, read_frame, tag, write_frame, FramedTransport, IngestAck, LoopbackConn,
-    RequestBuf, RequestKind, RoundReply, SelectionEntry, ShardTransport, Start, StopCheck,
-    TransportStats, WireError, WireIngest, WIRE_VERSION,
+    RequestBuf, RequestKind, RoundReply, SelectionEntry, ShardTransport, Snapshot, SnapshotAck,
+    SnapshotChunk, Start, StopCheck, TransportStats, WireError, WireIngest, WIRE_VERSION,
 };
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -70,6 +70,18 @@ pub struct ShardServer {
     engine: S3Engine,
     session: FleetShard,
     epoch: u64,
+}
+
+/// The consistency fingerprint a freshly-bootstrapped replica reports:
+/// coarse enough to stay cheap, precise enough that a shard built from
+/// different bytes (or a different snapshot version) cannot match.
+fn snapshot_fingerprint(instance: &S3Instance) -> SnapshotAck {
+    SnapshotAck {
+        nodes: instance.graph().num_nodes() as u64,
+        users: instance.num_users() as u64,
+        docs: instance.num_documents() as u64,
+        connections: instance.connections().len() as u64,
+    }
 }
 
 fn shard_engine(
@@ -101,8 +113,21 @@ impl ShardServer {
         num_shards: usize,
         shard: usize,
     ) -> Self {
-        let config = config.validated();
         let instance = Arc::new(builder.snapshot());
+        Self::from_parts(builder, instance, config, num_shards, shard)
+    }
+
+    /// Build shard `shard` from an already-materialised replica instance
+    /// (a decoded [`s3_core::read_snapshot`] pair — the snapshot bootstrap
+    /// path, which must not re-run the builder).
+    pub fn from_parts(
+        builder: InstanceBuilder,
+        instance: Arc<S3Instance>,
+        config: EngineConfig,
+        num_shards: usize,
+        shard: usize,
+    ) -> Self {
+        let config = config.validated();
         let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
         assert!(shard < partition.num_shards(), "shard index out of range");
         let mut search = config.search.clone();
@@ -119,6 +144,77 @@ impl ShardServer {
             session: FleetShard::new(),
             epoch: 0,
         }
+    }
+
+    /// Build shard `shard` of a `num_shards` fleet from serialized
+    /// snapshot bytes (the fleet bootstrap path: no shared builder, the
+    /// replica is exactly the shipped bytes). Errors — never panics — on
+    /// corrupt or version-mismatched snapshots.
+    pub fn from_snapshot(
+        snapshot: &[u8],
+        config: EngineConfig,
+        num_shards: usize,
+        shard: usize,
+    ) -> Result<Self, WireError> {
+        if num_shards == 0 {
+            return Err(WireError::Value("snapshot for a zero-shard fleet"));
+        }
+        if shard >= num_shards {
+            return Err(WireError::Value("snapshot shard index out of range"));
+        }
+        let (builder, instance) =
+            read_snapshot(snapshot).map_err(|_| WireError::Value("snapshot rejected"))?;
+        Ok(Self::from_parts(builder, Arc::new(instance), config, num_shards, shard))
+    }
+
+    /// Bootstrap a shard server from a connected stream: read the
+    /// [`Snapshot`] header plus its chunk frames, decode the replica, and
+    /// answer with the [`SnapshotAck`] consistency fingerprint. This is
+    /// the server half of [`FleetEngine::bootstrap`]; run it before
+    /// [`Self::serve`] on the same stream.
+    pub fn bootstrap_from<S: Read + Write>(
+        stream: &mut S,
+        config: EngineConfig,
+    ) -> Result<Self, WireError> {
+        let mut frame = Vec::new();
+        read_frame(stream, &mut frame)?;
+        let mut header = Snapshot::default();
+        header.decode_into(&frame)?;
+        let total = usize::try_from(header.total_len)
+            .map_err(|_| WireError::Value("snapshot too large for this platform"))?;
+        let mut bytes = Vec::new();
+        let mut chunk = SnapshotChunk::default();
+        for index in 0..header.num_chunks {
+            read_frame(stream, &mut frame)?;
+            chunk.decode_into(&frame)?;
+            if chunk.index != index {
+                return Err(WireError::Protocol("snapshot chunk out of order"));
+            }
+            if bytes.len() + chunk.bytes.len() > total {
+                return Err(WireError::Protocol("snapshot longer than its header"));
+            }
+            bytes.extend_from_slice(&chunk.bytes);
+        }
+        if bytes.len() != total {
+            return Err(WireError::Protocol("snapshot shorter than its header"));
+        }
+        let server =
+            Self::from_snapshot(&bytes, config, header.num_shards as usize, header.shard as usize)?;
+        let mut payload = Vec::new();
+        snapshot_fingerprint(&server.instance).encode(&mut payload);
+        write_frame(stream, &payload)?;
+        stream.flush()?;
+        Ok(server)
+    }
+
+    /// Bootstrap from the stream, then serve the wire protocol on it
+    /// until shutdown ([`Self::bootstrap_from`] + [`Self::serve`]).
+    pub fn serve_bootstrap<S: Read + Write>(
+        mut stream: S,
+        config: EngineConfig,
+    ) -> Result<(), WireError> {
+        let mut server = Self::bootstrap_from(&mut stream, config)?;
+        server.serve(stream)
     }
 
     /// This shard's index.
@@ -291,6 +387,38 @@ impl ShardServer {
         let stream = UnixStream::connect(path)?;
         Ok((FramedTransport::new(stream), ShardHost { thread }))
     }
+
+    /// Spawn a *snapshot-awaiting* server thread behind an in-memory
+    /// loopback duplex: it has no builder yet and constructs itself from
+    /// the first frames on the stream ([`Self::serve_bootstrap`]).
+    /// Hand the returned transport to [`FleetEngine::bootstrap`].
+    pub fn spawn_loopback_bootstrap(
+        config: EngineConfig,
+    ) -> (FramedTransport<LoopbackConn>, ShardHost) {
+        let (client, server_end) = loopback_pair();
+        let thread = std::thread::spawn(move || Self::serve_bootstrap(server_end, config));
+        (FramedTransport::new(client), ShardHost { thread })
+    }
+
+    /// Spawn a snapshot-awaiting server thread accepting one connection
+    /// on a unix-domain socket at `path` ([`Self::spawn_unix`], bootstrap
+    /// flavour). Hand the returned transport to [`FleetEngine::bootstrap`].
+    pub fn spawn_unix_bootstrap(
+        path: &Path,
+        config: EngineConfig,
+    ) -> std::io::Result<(FramedTransport<UnixStream>, ShardHost)> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let at = path.to_path_buf();
+        let thread = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().map_err(WireError::from)?;
+            drop(listener);
+            let _ = std::fs::remove_file(&at);
+            Self::serve_bootstrap(stream, config)
+        });
+        let stream = UnixStream::connect(path)?;
+        Ok((FramedTransport::new(stream), ShardHost { thread }))
+    }
 }
 
 /// Join handle for a spawned [`ShardServer`] thread.
@@ -315,68 +443,125 @@ impl ShardHost {
 /// like every other transport (it is rare, and the round trip keeps the
 /// codec honest).
 pub struct LocalShard {
-    server: ShardServer,
+    /// `None` until bootstrapped ([`Self::awaiting`] + a shipped
+    /// snapshot); always `Some` when built via [`Self::new`].
+    server: Option<ShardServer>,
+    /// Engine template held while awaiting a snapshot.
+    pending: Option<EngineConfig>,
     round: RoundReply,
     round_ready: bool,
     vote: Option<f64>,
     ack: IngestAck,
     ack_ready: bool,
+    snap_ack: SnapshotAck,
+    snap_ack_ready: bool,
     stats: TransportStats,
 }
 
 impl LocalShard {
-    /// Wrap a server.
-    pub fn new(server: ShardServer) -> Self {
+    fn empty(server: Option<ShardServer>, pending: Option<EngineConfig>) -> Self {
         LocalShard {
             server,
+            pending,
             round: RoundReply::default(),
             round_ready: false,
             vote: None,
             ack: IngestAck::default(),
             ack_ready: false,
+            snap_ack: SnapshotAck::default(),
+            snap_ack_ready: false,
             stats: TransportStats::default(),
         }
     }
 
-    /// The wrapped server.
-    pub fn server(&self) -> &ShardServer {
-        &self.server
+    /// Wrap a server.
+    pub fn new(server: ShardServer) -> Self {
+        Self::empty(Some(server), None)
+    }
+
+    /// A snapshot-awaiting transport: it holds only the engine template
+    /// and builds its [`ShardServer`] from the first shipped snapshot —
+    /// the in-process analogue of [`ShardServer::spawn_loopback_bootstrap`].
+    /// Hand it to [`FleetEngine::bootstrap`].
+    pub fn awaiting(config: EngineConfig) -> Self {
+        Self::empty(None, Some(config))
+    }
+
+    /// The wrapped server, if bootstrapped.
+    pub fn server(&self) -> Option<&ShardServer> {
+        self.server.as_ref()
+    }
+
+    fn server_mut(&mut self) -> Result<&mut ShardServer, WireError> {
+        self.server.as_mut().ok_or(WireError::Protocol("shard not bootstrapped"))
     }
 }
 
 impl ShardTransport for LocalShard {
     fn send_start(&mut self, msg: &Start) -> Result<(), WireError> {
         self.stats.frames_sent += 1;
-        self.server.start_query(msg, &mut self.round);
+        let LocalShard { server, round, .. } = self;
+        let server = server.as_mut().ok_or(WireError::Protocol("shard not bootstrapped"))?;
+        server.start_query(msg, round);
         self.round_ready = true;
         Ok(())
     }
 
     fn send_next_round(&mut self) -> Result<(), WireError> {
         self.stats.frames_sent += 1;
-        self.server.next_round(&mut self.round);
+        let LocalShard { server, round, .. } = self;
+        let server = server.as_mut().ok_or(WireError::Protocol("shard not bootstrapped"))?;
+        server.next_round(round);
         self.round_ready = true;
         Ok(())
     }
 
     fn send_stop_check(&mut self, msg: &StopCheck) -> Result<(), WireError> {
         self.stats.frames_sent += 1;
-        self.vote = Some(self.server.stop_check(msg));
+        self.vote = Some(self.server_mut()?.stop_check(msg));
         Ok(())
     }
 
     fn send_end_query(&mut self) -> Result<(), WireError> {
         self.stats.frames_sent += 1;
-        self.server.end_query();
+        self.server_mut()?.end_query();
         Ok(())
     }
 
     fn send_ingest(&mut self, msg: &WireIngest) -> Result<(), WireError> {
         self.stats.frames_sent += 1;
         let mut ack = IngestAck::default();
-        self.server.ingest(msg, &mut ack);
+        self.server_mut()?.ingest(msg, &mut ack);
         self.ack = ack;
         self.ack_ready = true;
+        Ok(())
+    }
+
+    fn send_snapshot(
+        &mut self,
+        num_shards: u32,
+        shard: u32,
+        snapshot: &[u8],
+    ) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        let config =
+            self.pending.take().ok_or(WireError::Protocol("shard already bootstrapped"))?;
+        let server = match ShardServer::from_snapshot(
+            snapshot,
+            config.clone(),
+            num_shards as usize,
+            shard as usize,
+        ) {
+            Ok(server) => server,
+            Err(e) => {
+                // A rejected snapshot leaves the shard still awaiting.
+                self.pending = Some(config);
+                return Err(e);
+            }
+        };
+        self.snap_ack = snapshot_fingerprint(&server.instance);
+        self.snap_ack_ready = true;
+        self.server = Some(server);
         Ok(())
     }
 
@@ -411,6 +596,16 @@ impl ShardTransport for LocalShard {
         self.ack_ready = false;
         self.stats.frames_received += 1;
         *out = self.ack;
+        Ok(())
+    }
+
+    fn recv_snapshot_ack(&mut self, out: &mut SnapshotAck) -> Result<(), WireError> {
+        if !self.snap_ack_ready {
+            return Err(WireError::Protocol("no snapshot ack pending"));
+        }
+        self.snap_ack_ready = false;
+        self.stats.frames_received += 1;
+        *out = self.snap_ack;
         Ok(())
     }
 
@@ -457,12 +652,54 @@ impl FleetEngine {
         config: EngineConfig,
         shards: Vec<Box<dyn ShardTransport>>,
     ) -> Self {
+        let instance = Arc::new(builder.snapshot());
+        Self::from_parts(builder, instance, config, shards)
+    }
+
+    /// Build the client over serialized snapshot bytes, shipping them to
+    /// every shard transport first: each shard decodes the same bytes,
+    /// builds its replica, and answers with a consistency fingerprint
+    /// that must match the client's own — no shard shares a builder with
+    /// the client, and a diverged bootstrap is a hard error. This is how
+    /// a fleet is (re)started from a durable [`s3_core::save_snapshot`].
+    pub fn bootstrap(
+        snapshot: &[u8],
+        config: EngineConfig,
+        mut shards: Vec<Box<dyn ShardTransport>>,
+    ) -> Result<Self, WireError> {
+        assert!(!shards.is_empty(), "a fleet needs at least one shard");
+        let (builder, instance) =
+            read_snapshot(snapshot).map_err(|_| WireError::Value("snapshot rejected"))?;
+        let instance = Arc::new(instance);
+        let num_shards = shards.len() as u32;
+        for (shard, transport) in shards.iter_mut().enumerate() {
+            transport.send_snapshot(num_shards, shard as u32, snapshot)?;
+        }
+        for transport in &mut shards {
+            transport.flush()?;
+        }
+        let expected = snapshot_fingerprint(&instance);
+        let mut ack = SnapshotAck::default();
+        for transport in &mut shards {
+            transport.recv_snapshot_ack(&mut ack)?;
+            if ack != expected {
+                return Err(WireError::Protocol("shard snapshot bootstrap diverged"));
+            }
+        }
+        Ok(Self::from_parts(builder, instance, config, shards))
+    }
+
+    fn from_parts(
+        builder: InstanceBuilder,
+        instance: Arc<S3Instance>,
+        config: EngineConfig,
+        shards: Vec<Box<dyn ShardTransport>>,
+    ) -> Self {
         assert!(!shards.is_empty(), "a fleet needs at least one shard");
         let config = config.validated();
         let gate = Arc::new(AdmissionGate::new(config.overload));
         let mut search = config.search;
         search.component_filter = None;
-        let instance = Arc::new(builder.snapshot());
         let partition = Arc::new(ComponentPartition::balanced(&instance, shards.len()));
         let router = ShardRouter::new(&instance, Arc::clone(&partition));
         let replies = shards.iter().map(|_| RoundReply::default()).collect();

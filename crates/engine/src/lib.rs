@@ -38,19 +38,29 @@
 //! (property-tested in `tests/sharding.rs`).
 
 #![warn(missing_docs)]
+// The public `EngineConfig` fields are deprecated in favour of
+// `EngineConfig::builder()` and will be privatized in the next release;
+// until then the crate itself still reads and fills them directly.
+#![allow(deprecated)]
 
+pub mod api;
 mod batch;
 pub mod cache;
 pub mod fleet;
 pub mod gate;
 pub mod live;
+pub mod persist;
 pub mod shard;
 mod warm;
 
+pub use api::{Engine, EngineError, EngineStats, Ingest};
 pub use cache::CachePolicy;
 pub use fleet::{FleetEngine, LocalShard, ShardHost, ShardServer};
 pub use gate::{LoadStats, OverloadConfig, OverloadPolicy, ServeOutcome};
 pub use live::{IngestReport, InvalidationScope, LiveEngine, LiveShardedEngine};
+pub use persist::{
+    Checkpoint, CheckpointReport, Checkpointer, PersistError, RecoveryReport, RecoverySource,
+};
 pub use shard::{ShardRouter, ShardedEngine};
 pub use warm::ResumeStats;
 
@@ -70,28 +80,51 @@ use warm::PropPool;
 pub const MAX_BATCH_THREADS: usize = 128;
 
 /// Serving-layer configuration.
+///
+/// Build one with [`EngineConfig::builder`]:
+///
+/// ```
+/// use s3_engine::EngineConfig;
+/// let config = EngineConfig::builder().threads(2).cache_capacity(256).build();
+/// assert_eq!(config.threads, 2);
+/// ```
+///
+/// The public fields are deprecated (they will be privatized in the
+/// next release): the builder validates once at [`EngineConfigBuilder::build`],
+/// so hand-assembled out-of-range configurations can no longer reach an
+/// engine unclamped.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// The search configuration every query runs under.
+    #[deprecated(note = "use EngineConfig::builder().search(..)")]
+    #[doc(hidden)]
     pub search: SearchConfig,
     /// Worker threads for batched execution (1 = run the batch inline).
     /// Out-of-range values are clamped at engine construction: 0 becomes
     /// 1, anything above [`MAX_BATCH_THREADS`] becomes that ceiling.
+    #[deprecated(note = "use EngineConfig::builder().threads(..)")]
+    #[doc(hidden)]
     pub threads: usize,
     /// Result-cache capacity in entries; 0 disables caching cleanly
     /// (every query computes, counters still track the misses).
+    #[deprecated(note = "use EngineConfig::builder().cache_capacity(..)")]
+    #[doc(hidden)]
     pub cache_capacity: usize,
     /// Result-cache eviction/admission policy. `Lru` (the default) is
     /// recency-only; [`CachePolicy::tiny_lfu`] adds W-TinyLFU
     /// frequency-filtered admission, which holds hit rates under
     /// one-hit-wonder traffic. The policy only changes *whether* a
     /// lookup hits, never *what* is returned.
+    #[deprecated(note = "use EngineConfig::builder().cache_policy(..)")]
+    #[doc(hidden)]
     pub cache_policy: CachePolicy,
     /// Optional expire-after-write TTL for cached results: entries older
     /// than this are never served (checked lazily on lookup, swept on
     /// insert) — the age-out knob for serving stacks that want bounded
     /// staleness windows without an epoch bump. `None` (the default)
     /// keeps entries until displaced or invalidated.
+    #[deprecated(note = "use EngineConfig::builder().cache_ttl(..)")]
+    #[doc(hidden)]
     pub cache_ttl: Option<Duration>,
     /// Capacity of the seeker-keyed warm propagation map: how many
     /// seekers' propagations stay parked between queries for same-seeker
@@ -99,12 +132,16 @@ pub struct EngineConfig {
     /// so this stays deliberately small; 0 disables seeker affinity
     /// (workers still resume across *consecutive* same-seeker queries
     /// they claim, unless `search.resume` is off).
+    #[deprecated(note = "use EngineConfig::builder().warm_seekers(..)")]
+    #[doc(hidden)]
     pub warm_seekers: usize,
     /// Overload control for the `serve` entry points: an in-flight cap
     /// plus the policy applied past it ([`OverloadPolicy`]). `None` (the
     /// default) admits everything — `serve` then behaves exactly like
     /// `query` plus deadline accounting, and the query paths are
     /// untouched either way.
+    #[deprecated(note = "use EngineConfig::builder().overload(..)")]
+    #[doc(hidden)]
     pub overload: Option<OverloadConfig>,
 }
 
@@ -132,6 +169,74 @@ impl EngineConfig {
         self.cache_policy = self.cache_policy.validated();
         self.overload = self.overload.map(OverloadConfig::validated);
         self
+    }
+
+    /// Start a chained builder from the defaults. [`EngineConfigBuilder::build`]
+    /// runs [`Self::validated`] exactly once, so a built configuration is
+    /// always in range.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { config: EngineConfig::default() }
+    }
+}
+
+/// Chained builder for [`EngineConfig`] — see [`EngineConfig::builder`].
+/// Every setter overwrites the corresponding default; [`Self::build`]
+/// validates once and returns the finished configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// The search configuration every query runs under.
+    pub fn search(mut self, search: SearchConfig) -> Self {
+        self.config.search = search;
+        self
+    }
+
+    /// Worker threads for batched execution (clamped into
+    /// `1..=`[`MAX_BATCH_THREADS`] at [`Self::build`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Result-cache capacity in entries (0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Result-cache eviction/admission policy.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.config.cache_policy = policy;
+        self
+    }
+
+    /// Expire-after-write TTL for cached results. Accepts a bare
+    /// [`Duration`] or an `Option` (to thread a maybe-TTL through).
+    pub fn cache_ttl(mut self, ttl: impl Into<Option<Duration>>) -> Self {
+        self.config.cache_ttl = ttl.into();
+        self
+    }
+
+    /// Capacity of the seeker-keyed warm propagation map.
+    pub fn warm_seekers(mut self, seekers: usize) -> Self {
+        self.config.warm_seekers = seekers;
+        self
+    }
+
+    /// Overload control for the `serve` entry points. Accepts a bare
+    /// [`OverloadConfig`] or an `Option`.
+    pub fn overload(mut self, overload: impl Into<Option<OverloadConfig>>) -> Self {
+        self.config.overload = overload.into();
+        self
+    }
+
+    /// Validate ([`EngineConfig::validated`], once) and return the
+    /// finished configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config.validated()
     }
 }
 
@@ -514,7 +619,7 @@ mod tests {
     }
 
     fn tiny_engine(cache_capacity: usize) -> (S3Engine, UserId, Vec<KeywordId>) {
-        tiny_engine_with(EngineConfig { cache_capacity, threads: 2, ..EngineConfig::default() })
+        tiny_engine_with(EngineConfig::builder().cache_capacity(cache_capacity).threads(2).build())
     }
 
     #[test]
@@ -595,12 +700,12 @@ mod tests {
 
     #[test]
     fn engine_config_clamps_thread_counts() {
-        assert_eq!(EngineConfig { threads: 0, ..EngineConfig::default() }.validated().threads, 1);
+        assert_eq!(EngineConfig::builder().threads(0).build().validated().threads, 1);
         assert_eq!(
-            EngineConfig { threads: usize::MAX, ..EngineConfig::default() }.validated().threads,
+            EngineConfig::builder().threads(usize::MAX).build().validated().threads,
             MAX_BATCH_THREADS
         );
-        let sane = EngineConfig { threads: 3, ..EngineConfig::default() }.validated();
+        let sane = EngineConfig::builder().threads(3).build().validated();
         assert_eq!(sane.threads, 3);
 
         // A zero-thread engine still answers (clamped to inline).
@@ -613,7 +718,7 @@ mod tests {
         let inst = Arc::new(b.build());
         let engine = S3Engine::new(
             Arc::clone(&inst),
-            EngineConfig { threads: 0, cache_capacity: 0, ..EngineConfig::default() },
+            EngineConfig::builder().threads(0).cache_capacity(0).build(),
         );
         let keywords = inst.query_keywords("degree");
         let batch: Vec<Query> = (0..4).map(|_| Query::new(u, keywords.clone(), 2)).collect();
@@ -622,12 +727,13 @@ mod tests {
 
     #[test]
     fn tinylfu_repeat_query_hits_like_lru() {
-        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
-            cache_capacity: 16,
-            cache_policy: CachePolicy::tiny_lfu(),
-            threads: 2,
-            ..EngineConfig::default()
-        });
+        let (engine, seeker, kws) = tiny_engine_with(
+            EngineConfig::builder()
+                .cache_capacity(16)
+                .cache_policy(CachePolicy::tiny_lfu())
+                .threads(2)
+                .build(),
+        );
         let q = Query::new(seeker, kws, 3);
         let first = engine.query(&q);
         let second = engine.query(&q);
@@ -638,12 +744,13 @@ mod tests {
 
     #[test]
     fn tinylfu_capacity_pressure_counts_admissions() {
-        let (engine, seeker, _) = tiny_engine_with(EngineConfig {
-            cache_capacity: 3,
-            cache_policy: CachePolicy::TinyLfu { window_frac: 0.34, protected_frac: 0.5 },
-            threads: 1,
-            ..EngineConfig::default()
-        });
+        let (engine, seeker, _) = tiny_engine_with(
+            EngineConfig::builder()
+                .cache_capacity(3)
+                .cache_policy(CachePolicy::TinyLfu { window_frac: 0.34, protected_frac: 0.5 })
+                .threads(1)
+                .build(),
+        );
         // Distinct queries (by k) overflow the 1-entry window into main.
         for k in 1..=8 {
             let kws = engine.instance().query_keywords("degree");
@@ -661,12 +768,13 @@ mod tests {
 
     #[test]
     fn tinylfu_zero_capacity_still_answers() {
-        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
-            cache_capacity: 0,
-            cache_policy: CachePolicy::tiny_lfu(),
-            threads: 1,
-            ..EngineConfig::default()
-        });
+        let (engine, seeker, kws) = tiny_engine_with(
+            EngineConfig::builder()
+                .cache_capacity(0)
+                .cache_policy(CachePolicy::tiny_lfu())
+                .threads(1)
+                .build(),
+        );
         let q = Query::new(seeker, kws, 3);
         let a = engine.query(&q);
         let b = engine.query(&q);
@@ -676,12 +784,13 @@ mod tests {
 
     #[test]
     fn ttl_zero_expires_immediately_with_identical_answers() {
-        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
-            cache_capacity: 16,
-            cache_ttl: Some(Duration::ZERO),
-            threads: 1,
-            ..EngineConfig::default()
-        });
+        let (engine, seeker, kws) = tiny_engine_with(
+            EngineConfig::builder()
+                .cache_capacity(16)
+                .cache_ttl(Some(Duration::ZERO))
+                .threads(1)
+                .build(),
+        );
         let q = Query::new(seeker, kws, 3);
         let a = engine.query(&q);
         let b = engine.query(&q);
@@ -696,12 +805,13 @@ mod tests {
     #[test]
     fn ttl_expiry_and_epoch_invalidation_count_separately() {
         // TTL arm: drops surface as `expired`, not `invalidated`.
-        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
-            cache_capacity: 16,
-            cache_ttl: Some(Duration::ZERO),
-            threads: 1,
-            ..EngineConfig::default()
-        });
+        let (engine, seeker, kws) = tiny_engine_with(
+            EngineConfig::builder()
+                .cache_capacity(16)
+                .cache_ttl(Some(Duration::ZERO))
+                .threads(1)
+                .build(),
+        );
         let q = Query::new(seeker, kws.clone(), 3);
         engine.query(&q);
         engine.query(&q);
@@ -709,12 +819,13 @@ mod tests {
         assert!(ttl_stats.expired >= 1 && ttl_stats.invalidated == 0, "{ttl_stats}");
 
         // Epoch arm: drops surface as `invalidated`, not `expired`.
-        let (engine, seeker, kws) = tiny_engine_with(EngineConfig {
-            cache_capacity: 16,
-            cache_ttl: Some(Duration::from_secs(3600)),
-            threads: 1,
-            ..EngineConfig::default()
-        });
+        let (engine, seeker, kws) = tiny_engine_with(
+            EngineConfig::builder()
+                .cache_capacity(16)
+                .cache_ttl(Some(Duration::from_secs(3600)))
+                .threads(1)
+                .build(),
+        );
         engine.query(&Query::new(seeker, kws, 3));
         engine.set_search_config(SearchConfig {
             score: s3_core::S3kScore::new(2.0, 0.5),
@@ -727,20 +838,18 @@ mod tests {
 
     #[test]
     fn engine_config_validates_policy_fractions() {
-        let wild = EngineConfig {
-            cache_policy: CachePolicy::TinyLfu { window_frac: 7.0, protected_frac: -3.0 },
-            ..EngineConfig::default()
-        }
-        .validated();
+        let wild = EngineConfig::builder()
+            .cache_policy(CachePolicy::TinyLfu { window_frac: 7.0, protected_frac: -3.0 })
+            .build()
+            .validated();
         assert_eq!(
             wild.cache_policy,
             CachePolicy::TinyLfu { window_frac: 1.0, protected_frac: 0.0 }
         );
-        let nan = EngineConfig {
-            cache_policy: CachePolicy::TinyLfu { window_frac: f64::NAN, protected_frac: f64::NAN },
-            ..EngineConfig::default()
-        }
-        .validated();
+        let nan = EngineConfig::builder()
+            .cache_policy(CachePolicy::TinyLfu { window_frac: f64::NAN, protected_frac: f64::NAN })
+            .build()
+            .validated();
         assert_eq!(nan.cache_policy, CachePolicy::tiny_lfu());
     }
 

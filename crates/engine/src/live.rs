@@ -43,14 +43,65 @@
 //! unsharded and the sharded `{1, 2, 4}` paths.
 
 use crate::gate::{LoadStats, ServeOutcome};
+use crate::persist::{
+    self, Checkpoint, CheckpointReport, PersistError, Persistence, RecoveryReport, RecoverySource,
+};
 use crate::{CacheStats, EngineConfig, ResumeStats, S3Engine, ShardedEngine};
 use s3_core::{
-    ComponentFilter, ComponentPartition, IngestBatch, IngestSummary, InstanceBuilder, Query,
-    S3Instance, SearchConfig, TopKResult,
+    load_snapshot, save_snapshot, ComponentFilter, ComponentPartition, IngestBatch, IngestSummary,
+    InstanceBuilder, Query, S3Instance, SearchConfig, TopKResult, WriteAheadLog,
 };
+use s3_snap::SnapError;
 use std::collections::BTreeSet;
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
+
+/// The single-writer state behind every live engine: the retained
+/// builder, plus the durability journal when the engine was [`open`]ed
+/// from a directory ([`LiveEngine::open`]). Ingests hold this lock from
+/// journal through apply, so the WAL order is the apply order.
+struct Writer {
+    builder: InstanceBuilder,
+    persist: Option<Persistence>,
+}
+
+impl Writer {
+    fn ephemeral(builder: InstanceBuilder) -> Mutex<Self> {
+        Mutex::new(Writer { builder, persist: None })
+    }
+}
+
+/// Recover `(builder, instance, report)` from a persistence directory:
+/// load the snapshot (or fall back to the seed), then replay the WAL's
+/// intact records. Shared by both live engines' `open`.
+fn recover(
+    dir: &Path,
+    seed: InstanceBuilder,
+) -> Result<(Writer, S3Instance, RecoveryReport), PersistError> {
+    std::fs::create_dir_all(dir).map_err(SnapError::from)?;
+    let snapshot_path = persist::snapshot_path(dir);
+    let (source, mut builder, mut instance) = if snapshot_path.exists() {
+        let (builder, instance) = load_snapshot(&snapshot_path)?;
+        (RecoverySource::Snapshot, builder, instance)
+    } else {
+        let instance = seed.snapshot();
+        (RecoverySource::Seed, seed, instance)
+    };
+    let (wal, recovery) = WriteAheadLog::open(&persist::wal_path(dir))?;
+    for record in &recovery.records {
+        let batch = persist::record_to_batch(record)?;
+        let (next, _) = builder.apply(&instance, &batch);
+        instance = next;
+    }
+    let report = RecoveryReport {
+        source,
+        replayed: recovery.records.len(),
+        dropped_tail: recovery.dropped_tail,
+    };
+    let writer = Writer { builder, persist: Some(Persistence { wal, snapshot_path }) };
+    Ok((writer, instance, report))
+}
 
 /// Which caches an ingest invalidated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,20 +187,40 @@ impl std::fmt::Display for IngestReport {
 /// ```
 pub struct LiveEngine {
     current: RwLock<Arc<S3Engine>>,
-    /// The retained builder (single writer; ingests serialize here).
-    writer: Mutex<InstanceBuilder>,
+    /// The retained builder (single writer; ingests serialize here),
+    /// plus the durability journal for [`Self::open`]-built engines.
+    writer: Mutex<Writer>,
 }
 
 impl LiveEngine {
     /// Freeze the builder's current data into the initial snapshot and
     /// start serving. The builder is retained: every
-    /// [`Self::ingest`] extends it.
+    /// [`Self::ingest`] extends it. No durability — see [`Self::open`].
     pub fn new(builder: InstanceBuilder, config: EngineConfig) -> Self {
         let instance = Arc::new(builder.snapshot());
         LiveEngine {
             current: RwLock::new(Arc::new(S3Engine::new(instance, config))),
-            writer: Mutex::new(builder),
+            writer: Writer::ephemeral(builder),
         }
+    }
+
+    /// Open a *durable* live engine from a persistence directory: load
+    /// `<dir>/snapshot.s3k` when present (falling back to `seed` on a
+    /// fresh directory), replay the intact `<dir>/ingest.wal` tail, and
+    /// serve the recovered state. Subsequent [`Self::ingest`]s journal
+    /// to the WAL (fsync before apply); [`Self::checkpoint`] writes a
+    /// fresh snapshot and truncates it. The recovered engine answers
+    /// queries byte-identically to the pre-restart one (warm restart).
+    pub fn open(
+        dir: &Path,
+        seed: InstanceBuilder,
+        config: EngineConfig,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let (writer, instance, report) = recover(dir, seed)?;
+        let engine = S3Engine::new(Arc::new(instance), config);
+        let live =
+            LiveEngine { current: RwLock::new(Arc::new(engine)), writer: Mutex::new(writer) };
+        Ok((live, report))
     }
 
     /// The current snapshot's engine. The returned `Arc` pins that
@@ -203,7 +274,20 @@ impl LiveEngine {
     /// rebased onto the appended graph and restamped to the new epoch, so
     /// repeat-seeker traffic keeps resuming across the ingest.
     pub fn ingest(&self, batch: &IngestBatch) -> IngestReport {
-        let mut builder = self.writer.lock().expect("ingest writer poisoned");
+        self.try_ingest(batch).expect("ingest journaling failed")
+    }
+
+    /// [`Self::ingest`], surfacing journal failures. On a durable engine
+    /// the batch is journaled and fsynced *before* it is applied (the
+    /// WAL commit rule); a journal error means the batch was **not**
+    /// applied and serving state is unchanged. On an ephemeral engine
+    /// this never errors.
+    pub fn try_ingest(&self, batch: &IngestBatch) -> Result<IngestReport, PersistError> {
+        let mut writer = self.writer.lock().expect("ingest writer poisoned");
+        if let Some(persist) = writer.persist.as_mut() {
+            persist.journal(batch)?;
+        }
+        let builder = &mut writer.builder;
         let prev = self.engine();
         let (instance, summary) = builder.apply(prev.instance(), batch);
         let instance = Arc::new(instance);
@@ -229,7 +313,41 @@ impl LiveEngine {
         };
 
         *self.current.write().expect("snapshot pointer poisoned") = Arc::new(next);
-        IngestReport { summary, scope, results_invalidated, warm_invalidated, warm_rebased }
+        Ok(IngestReport { summary, scope, results_invalidated, warm_invalidated, warm_rebased })
+    }
+
+    /// Write a fresh snapshot of the current state atomically, then
+    /// truncate the WAL ([`Checkpoint::checkpoint`]). Errors on an
+    /// engine built without [`Self::open`].
+    pub fn checkpoint(&self) -> Result<CheckpointReport, PersistError> {
+        let mut writer = self.writer.lock().expect("ingest writer poisoned");
+        // Under the writer lock the latest published snapshot is exactly
+        // the builder's state: every ingest publishes before unlocking.
+        let engine = self.engine();
+        let Writer { builder, persist } = &mut *writer;
+        let persist = persist
+            .as_mut()
+            .ok_or(PersistError::Snapshot(SnapError::Value("engine opened without durability")))?;
+        let absorbed = persist.wal.len();
+        save_snapshot(&persist.snapshot_path, builder, engine.instance())?;
+        persist.wal.truncate()?;
+        Ok(CheckpointReport { absorbed })
+    }
+
+    /// Records currently in the WAL (`None` without durability).
+    pub fn wal_records(&self) -> Option<u64> {
+        let writer = self.writer.lock().expect("ingest writer poisoned");
+        writer.persist.as_ref().map(|p| p.wal.len())
+    }
+}
+
+impl Checkpoint for LiveEngine {
+    fn wal_records(&self) -> Option<u64> {
+        LiveEngine::wal_records(self)
+    }
+
+    fn checkpoint(&self) -> Result<CheckpointReport, PersistError> {
+        LiveEngine::checkpoint(self)
     }
 }
 
@@ -245,17 +363,41 @@ impl LiveEngine {
 /// results and resuming their warm propagations.
 pub struct LiveShardedEngine {
     current: RwLock<Arc<ShardedEngine>>,
-    writer: Mutex<InstanceBuilder>,
+    writer: Mutex<Writer>,
 }
 
 impl LiveShardedEngine {
     /// Freeze the builder's data, partition it into `num_shards` balanced
-    /// shards and start serving.
+    /// shards and start serving. No durability — see [`Self::open`].
     pub fn new(builder: InstanceBuilder, config: EngineConfig, num_shards: usize) -> Self {
         let instance = Arc::new(builder.snapshot());
         let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
         let engine = ShardedEngine::with_partition(instance, config, partition, true);
-        LiveShardedEngine { current: RwLock::new(Arc::new(engine)), writer: Mutex::new(builder) }
+        LiveShardedEngine {
+            current: RwLock::new(Arc::new(engine)),
+            writer: Writer::ephemeral(builder),
+        }
+    }
+
+    /// Open a *durable* sharded live engine from a persistence directory
+    /// ([`LiveEngine::open`]'s contract, sharded): load the snapshot or
+    /// fall back to `seed`, replay the WAL tail, partition the recovered
+    /// instance into `num_shards` balanced shards and serve.
+    pub fn open(
+        dir: &Path,
+        seed: InstanceBuilder,
+        config: EngineConfig,
+        num_shards: usize,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let (writer, instance, report) = recover(dir, seed)?;
+        let instance = Arc::new(instance);
+        let partition = Arc::new(ComponentPartition::balanced(&instance, num_shards));
+        let engine = ShardedEngine::with_partition(instance, config, partition, true);
+        let live = LiveShardedEngine {
+            current: RwLock::new(Arc::new(engine)),
+            writer: Mutex::new(writer),
+        };
+        Ok((live, report))
     }
 
     /// The current snapshot's sharded engine (the `Arc` pins the
@@ -297,6 +439,11 @@ impl LiveShardedEngine {
         self.engine().cache_stats()
     }
 
+    /// Warm-propagation counters across the front and every shard.
+    pub fn resume_stats(&self) -> ResumeStats {
+        self.engine().resume_stats()
+    }
+
     /// Apply a batch, extend the partition and publish atomically,
     /// scoping invalidation to the touched shards when the delta allows
     /// it (see the module docs).
@@ -308,7 +455,21 @@ impl LiveShardedEngine {
     /// shard even for a detached delta (the control arm for measuring
     /// what scoped invalidation buys — see `tests/zipf_hit_rate.rs`).
     pub fn ingest_with(&self, batch: &IngestBatch, force_global: bool) -> IngestReport {
-        let mut builder = self.writer.lock().expect("ingest writer poisoned");
+        self.try_ingest_with(batch, force_global).expect("ingest journaling failed")
+    }
+
+    /// [`Self::ingest_with`], surfacing journal failures
+    /// ([`LiveEngine::try_ingest`]'s contract).
+    pub fn try_ingest_with(
+        &self,
+        batch: &IngestBatch,
+        force_global: bool,
+    ) -> Result<IngestReport, PersistError> {
+        let mut writer = self.writer.lock().expect("ingest writer poisoned");
+        if let Some(persist) = writer.persist.as_mut() {
+            persist.journal(batch)?;
+        }
+        let builder = &mut writer.builder;
         let prev = self.engine();
         let (instance, summary) = builder.apply(prev.instance(), batch);
         let instance = Arc::new(instance);
@@ -379,7 +540,38 @@ impl LiveShardedEngine {
             InvalidationScope::Global
         };
         *self.current.write().expect("snapshot pointer poisoned") = Arc::new(next);
-        IngestReport { summary, scope, results_invalidated, warm_invalidated, warm_rebased }
+        Ok(IngestReport { summary, scope, results_invalidated, warm_invalidated, warm_rebased })
+    }
+
+    /// Write a fresh snapshot atomically, then truncate the WAL
+    /// ([`LiveEngine::checkpoint`]'s contract).
+    pub fn checkpoint(&self) -> Result<CheckpointReport, PersistError> {
+        let mut writer = self.writer.lock().expect("ingest writer poisoned");
+        let engine = self.engine();
+        let Writer { builder, persist } = &mut *writer;
+        let persist = persist
+            .as_mut()
+            .ok_or(PersistError::Snapshot(SnapError::Value("engine opened without durability")))?;
+        let absorbed = persist.wal.len();
+        save_snapshot(&persist.snapshot_path, builder, engine.instance())?;
+        persist.wal.truncate()?;
+        Ok(CheckpointReport { absorbed })
+    }
+
+    /// Records currently in the WAL (`None` without durability).
+    pub fn wal_records(&self) -> Option<u64> {
+        let writer = self.writer.lock().expect("ingest writer poisoned");
+        writer.persist.as_ref().map(|p| p.wal.len())
+    }
+}
+
+impl Checkpoint for LiveShardedEngine {
+    fn wal_records(&self) -> Option<u64> {
+        LiveShardedEngine::wal_records(self)
+    }
+
+    fn checkpoint(&self) -> Result<CheckpointReport, PersistError> {
+        LiveShardedEngine::checkpoint(self)
     }
 }
 
@@ -416,7 +608,7 @@ mod tests {
     #[test]
     fn queries_see_the_new_snapshot_and_pinned_engines_keep_the_old() {
         let (b, _, seeker) = seed_builder();
-        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let live = LiveEngine::new(b, EngineConfig::builder().threads(1).build());
         let kws = live.instance().query_keywords("degrees");
         let q = Query::new(seeker, kws, 5);
         assert_eq!(live.query(&q).hits.len(), 2);
@@ -436,10 +628,7 @@ mod tests {
     #[test]
     fn detached_ingest_rebases_the_warm_pool() {
         let (b, _, seeker) = seed_builder();
-        let live = LiveEngine::new(
-            b,
-            EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
-        );
+        let live = LiveEngine::new(b, EngineConfig::builder().threads(1).cache_capacity(0).build());
         let kws = live.instance().query_keywords("degrees");
         live.query(&Query::new(seeker, kws.clone(), 2));
         let warm_before = live.resume_stats();
@@ -460,7 +649,7 @@ mod tests {
     #[test]
     fn pinned_generation_cannot_poison_the_new_epoch() {
         let (b, author, seeker) = seed_builder();
-        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let live = LiveEngine::new(b, EngineConfig::builder().threads(1).build());
         let kws = live.instance().query_keywords("degrees");
         let q = Query::new(seeker, kws, 5);
         let pinned = live.engine();
@@ -490,12 +679,11 @@ mod tests {
         let (b, author, seeker) = seed_builder();
         let live = LiveEngine::new(
             b,
-            EngineConfig {
-                threads: 1,
-                cache_policy: CachePolicy::tiny_lfu(),
-                cache_ttl: Some(std::time::Duration::ZERO),
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .threads(1)
+                .cache_policy(CachePolicy::tiny_lfu())
+                .cache_ttl(Some(std::time::Duration::ZERO))
+                .build(),
         );
         let kws = live.instance().query_keywords("degrees");
         let q = Query::new(seeker, kws, 2);
@@ -520,7 +708,7 @@ mod tests {
     #[test]
     fn attached_ingest_goes_global() {
         let (b, author, seeker) = seed_builder();
-        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let live = LiveEngine::new(b, EngineConfig::builder().threads(1).build());
         let kws = live.instance().query_keywords("degrees");
         live.query(&Query::new(seeker, kws.clone(), 2));
         assert_eq!(live.cache_stats().entries, 1);
@@ -540,7 +728,7 @@ mod tests {
     #[test]
     fn tag_on_existing_content_recomputes_its_component() {
         let (b, _, seeker) = seed_builder();
-        let live = LiveEngine::new(b, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let live = LiveEngine::new(b, EngineConfig::builder().threads(1).build());
         let root = live.instance().forest().root(s3_doc::TreeId(0));
         let mut batch = IngestBatch::new();
         let fan = batch.add_user();
@@ -559,7 +747,7 @@ mod tests {
         let (b, _, seeker) = seed_builder();
         let live = LiveShardedEngine::new(
             b,
-            EngineConfig { threads: 1, cache_capacity: 64, ..EngineConfig::default() },
+            EngineConfig::builder().threads(1).cache_capacity(64).build(),
             2,
         );
         let engine = live.engine();
@@ -607,7 +795,7 @@ mod tests {
         let (b, _, seeker) = seed_builder();
         let live = LiveShardedEngine::new(
             b,
-            EngineConfig { threads: 1, cache_capacity: 64, ..EngineConfig::default() },
+            EngineConfig::builder().threads(1).cache_capacity(64).build(),
             2,
         );
         let engine = live.engine();
@@ -625,13 +813,123 @@ mod tests {
         }
     }
 
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("s3k-live-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn durable_engine_replays_wal_tail_on_reopen() {
+        let dir = tmpdir("wal-tail");
+        let config = || EngineConfig::builder().threads(1).build();
+        let (b, _, seeker) = seed_builder();
+        let (live, report) = LiveEngine::open(&dir, b, config()).unwrap();
+        assert_eq!(report.source, RecoverySource::Seed);
+        assert_eq!(report.replayed, 0);
+        live.ingest(&detached_doc_batch("persistent degrees"));
+        live.ingest(&detached_doc_batch("more persistent degrees"));
+        assert_eq!(live.wal_records(), Some(2));
+        let kws = live.instance().query_keywords("degrees");
+        let q = Query::new(seeker, kws, 8);
+        let before = live.query(&q);
+        drop(live);
+
+        // Same seed + journal replay must land on byte-identical state.
+        let (b2, _, _) = seed_builder();
+        let (reopened, report) = LiveEngine::open(&dir, b2, config()).unwrap();
+        assert_eq!(report.source, RecoverySource::Seed, "no checkpoint was taken");
+        assert_eq!(report.replayed, 2);
+        assert!(!report.dropped_tail);
+        let after = reopened.query(&q);
+        assert_eq!(before.hits, after.hits);
+        assert_eq!(before.candidate_docs, after.candidate_docs);
+        assert_eq!(before.stats.stop, after.stats.stop);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_reopen_loads_the_snapshot() {
+        let dir = tmpdir("checkpoint");
+        let config = || EngineConfig::builder().threads(1).build();
+        let (b, _, seeker) = seed_builder();
+        let (live, _) = LiveEngine::open(&dir, b, config()).unwrap();
+        live.ingest(&detached_doc_batch("checkpointed degrees"));
+        let report = live.checkpoint().unwrap();
+        assert_eq!(report.absorbed, 1);
+        assert_eq!(live.wal_records(), Some(0));
+        // A post-checkpoint ingest lands in the fresh journal.
+        live.ingest(&detached_doc_batch("post checkpoint degrees"));
+        assert_eq!(live.wal_records(), Some(1));
+        let kws = live.instance().query_keywords("degrees");
+        let q = Query::new(seeker, kws, 8);
+        let before = live.query(&q);
+        drop(live);
+
+        // The seed must be ignored: the snapshot carries the state.
+        let empty_seed = InstanceBuilder::new(Language::English);
+        let (reopened, report) = LiveEngine::open(&dir, empty_seed, config()).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot);
+        assert_eq!(report.replayed, 1);
+        let after = reopened.query(&q);
+        assert_eq!(before.hits, after.hits);
+        assert_eq!(before.candidate_docs, after.candidate_docs);
+        assert_eq!(before.stats.stop, after.stats.stop);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_open_recovers_and_matches_unsharded() {
+        let dir = tmpdir("sharded");
+        let config = || EngineConfig::builder().threads(1).build();
+        let (b, _, seeker) = seed_builder();
+        let (live, _) = LiveShardedEngine::open(&dir, b, config(), 2).unwrap();
+        live.ingest(&detached_doc_batch("sharded persistent degrees"));
+        live.checkpoint().unwrap();
+        live.ingest(&detached_doc_batch("sharded wal degrees"));
+        let kws = live.instance().query_keywords("degrees");
+        let q = Query::new(seeker, kws, 8);
+        let before = live.query(&q);
+        drop(live);
+
+        let empty_seed = InstanceBuilder::new(Language::English);
+        let (reopened, report) = LiveShardedEngine::open(&dir, empty_seed, config(), 2).unwrap();
+        assert_eq!(report.source, RecoverySource::Snapshot);
+        assert_eq!(report.replayed, 1);
+        let after = reopened.query(&q);
+        assert_eq!(before.hits, after.hits);
+        assert_eq!(before.candidate_docs, after.candidate_docs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_checkpointer_absorbs_the_journal() {
+        use crate::persist::Checkpointer;
+        let dir = tmpdir("background");
+        let (b, _, _) = seed_builder();
+        let (live, _) =
+            LiveEngine::open(&dir, b, EngineConfig::builder().threads(1).build()).unwrap();
+        let live = Arc::new(live);
+        live.ingest(&detached_doc_batch("background degrees"));
+        let checkpointer = Checkpointer::spawn(Arc::clone(&live), Duration::from_millis(5), 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while live.wal_records() != Some(0) {
+            assert!(std::time::Instant::now() < deadline, "checkpointer never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let taken = checkpointer.stop().unwrap();
+        assert!(taken >= 1);
+        assert!(persist::snapshot_path(&dir).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn sharded_results_match_unsharded_across_ingests() {
         let (b, _, seeker) = seed_builder();
         let (b2, _, _) = seed_builder();
-        let sharded =
-            LiveShardedEngine::new(b, EngineConfig { threads: 2, ..EngineConfig::default() }, 2);
-        let flat = LiveEngine::new(b2, EngineConfig { threads: 1, ..EngineConfig::default() });
+        let sharded = LiveShardedEngine::new(b, EngineConfig::builder().threads(2).build(), 2);
+        let flat = LiveEngine::new(b2, EngineConfig::builder().threads(1).build());
         for round in 0..3 {
             let batch = detached_doc_batch(&format!("degrees wave {round}"));
             sharded.ingest(&batch);

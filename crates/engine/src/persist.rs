@@ -1,0 +1,258 @@
+//! Durable live serving: snapshot + ingest WAL + warm restarts.
+//!
+//! The live engines ([`crate::LiveEngine::open`],
+//! [`crate::LiveShardedEngine::open`]) persist their state in one
+//! directory:
+//!
+//! ```text
+//! <dir>/snapshot.s3k   the last checkpoint (s3_core::save_snapshot)
+//! <dir>/ingest.wal     batches applied since (s3_core::WriteAheadLog)
+//! ```
+//!
+//! **Commit rule.** Every [`s3_core::IngestBatch`] is journaled — as an
+//! encoded [`s3_wire::WireIngest`] frame — and fsynced *before* it is
+//! applied, so an ingest whose effect was ever observable can always be
+//! replayed after a crash.
+//!
+//! **Recovery** is load-snapshot-then-replay-tail: `open` loads the
+//! snapshot (or seeds a fresh builder when none exists) and replays the
+//! WAL's intact records through [`s3_core::InstanceBuilder::apply`].
+//! Because the builder's event log is replay-stable, the recovered
+//! engine answers queries byte-identically to the one that crashed.
+//!
+//! **Checkpointing** (`checkpoint` on the live engines, or a background
+//! [`Checkpointer`]) writes a fresh snapshot atomically and then — only
+//! then — truncates the WAL, upholding the invariant that
+//! `snapshot + WAL tail ≡ current state` at every instant.
+
+use s3_core::{IngestBatch, WriteAheadLog};
+use s3_snap::SnapError;
+use s3_wire::{WireError, WireIngest};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Snapshot file name inside a persistence directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.s3k";
+
+/// WAL file name inside a persistence directory.
+pub const WAL_FILE: &str = "ingest.wal";
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Snapshot or WAL file error (I/O, corruption, version mismatch).
+    Snapshot(SnapError),
+    /// A WAL record's bytes did not decode as an ingest frame. The CRC
+    /// matched, so this is version skew or a writer bug — never applied.
+    Record(WireError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Snapshot(e) => write!(f, "snapshot/WAL: {e}"),
+            PersistError::Record(e) => write!(f, "WAL record decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Snapshot(e) => Some(e),
+            PersistError::Record(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapError> for PersistError {
+    fn from(e: SnapError) -> Self {
+        PersistError::Snapshot(e)
+    }
+}
+
+impl From<WireError> for PersistError {
+    fn from(e: WireError) -> Self {
+        PersistError::Record(e)
+    }
+}
+
+/// Where a recovered engine's initial state came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// No snapshot on disk: the engine started from the seed builder.
+    Seed,
+    /// The on-disk snapshot was loaded.
+    Snapshot,
+}
+
+/// What [`crate::LiveEngine::open`] / [`crate::LiveShardedEngine::open`]
+/// found and did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Snapshot or seed start.
+    pub source: RecoverySource,
+    /// WAL records replayed on top of the starting state.
+    pub replayed: usize,
+    /// True when a torn or corrupt WAL tail was discarded.
+    pub dropped_tail: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovered from {} + {} WAL record{}{}",
+            match self.source {
+                RecoverySource::Seed => "seed",
+                RecoverySource::Snapshot => "snapshot",
+            },
+            self.replayed,
+            if self.replayed == 1 { "" } else { "s" },
+            if self.dropped_tail { " (torn tail dropped)" } else { "" },
+        )
+    }
+}
+
+/// The journal + snapshot path a durable live engine holds (under its
+/// writer lock, so WAL appends serialize with the applies they precede).
+pub(crate) struct Persistence {
+    pub(crate) wal: WriteAheadLog,
+    pub(crate) snapshot_path: PathBuf,
+}
+
+impl Persistence {
+    /// Journal one batch (encoded as a [`WireIngest`] frame) and fsync it
+    /// — the commit rule's first half; the caller applies afterwards.
+    pub(crate) fn journal(&mut self, batch: &IngestBatch) -> Result<(), SnapError> {
+        let wire = WireIngest::from_batch(batch);
+        let mut payload = Vec::new();
+        wire.encode(&mut payload);
+        self.wal.append(&payload)
+    }
+}
+
+/// Decode one WAL record back into a batch.
+pub(crate) fn record_to_batch(record: &[u8]) -> Result<IngestBatch, WireError> {
+    let mut wire = WireIngest::default();
+    wire.decode_into(record)?;
+    Ok(wire.to_batch())
+}
+
+/// The snapshot path inside a persistence directory.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// The WAL path inside a persistence directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+/// What one checkpoint did.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// WAL records the fresh snapshot absorbed (the journal was this
+    /// long before it was truncated).
+    pub absorbed: u64,
+}
+
+/// A live engine that can take checkpoints — implemented by
+/// [`crate::LiveEngine`] and [`crate::LiveShardedEngine`] when opened
+/// with durability, and what a background [`Checkpointer`] drives.
+pub trait Checkpoint: Send + Sync {
+    /// Records currently in the WAL, or `None` when the engine was built
+    /// without durability.
+    fn wal_records(&self) -> Option<u64>;
+
+    /// Write a fresh snapshot atomically, then truncate the WAL.
+    fn checkpoint(&self) -> Result<CheckpointReport, PersistError>;
+}
+
+struct CheckpointerShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    taken: Mutex<u64>,
+    last_error: Mutex<Option<PersistError>>,
+}
+
+/// A background checkpointing thread: every `interval`, if the WAL has
+/// at least `min_records` records, take a checkpoint. Stop (and surface
+/// any error) with [`Self::stop`].
+pub struct Checkpointer {
+    shared: Arc<CheckpointerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    /// Spawn the thread over any [`Checkpoint`]-able engine.
+    pub fn spawn<C: Checkpoint + 'static>(
+        engine: Arc<C>,
+        interval: Duration,
+        min_records: u64,
+    ) -> Self {
+        let shared = Arc::new(CheckpointerShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            taken: Mutex::new(0),
+            last_error: Mutex::new(None),
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::spawn(move || loop {
+            {
+                let stop = worker.stop.lock().expect("checkpointer flag poisoned");
+                let (stop, _) = worker
+                    .wake
+                    .wait_timeout_while(stop, interval, |stopped| !*stopped)
+                    .expect("checkpointer flag poisoned");
+                if *stop {
+                    return;
+                }
+            }
+            if engine.wal_records().is_some_and(|n| n >= min_records.max(1)) {
+                match engine.checkpoint() {
+                    Ok(_) => {
+                        *worker.taken.lock().expect("checkpoint counter poisoned") += 1;
+                    }
+                    Err(e) => {
+                        *worker.last_error.lock().expect("checkpoint error slot poisoned") =
+                            Some(e);
+                    }
+                }
+            }
+        });
+        Checkpointer { shared, thread: Some(thread) }
+    }
+
+    /// Checkpoints taken so far.
+    pub fn taken(&self) -> u64 {
+        *self.shared.taken.lock().expect("checkpoint counter poisoned")
+    }
+
+    /// Signal the thread, join it, and return the number of checkpoints
+    /// taken — or the last checkpoint error, if any occurred.
+    pub fn stop(mut self) -> Result<u64, PersistError> {
+        *self.shared.stop.lock().expect("checkpointer flag poisoned") = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        if let Some(e) =
+            self.shared.last_error.lock().expect("checkpoint error slot poisoned").take()
+        {
+            return Err(e);
+        }
+        Ok(self.taken())
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().expect("checkpointer flag poisoned") = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

@@ -529,7 +529,7 @@ mod tests {
         }
         let engine = ShardedEngine::new(
             Arc::new(b.build()),
-            EngineConfig { threads: 2, cache_capacity: 16, ..EngineConfig::default() },
+            EngineConfig::builder().threads(2).cache_capacity(16).build(),
             num_shards,
         );
         (engine, seeker)

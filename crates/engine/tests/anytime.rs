@@ -32,13 +32,12 @@ enum Transport {
 /// A single-threaded, cache-less config whose searches stop after `cap`
 /// explore iterations — the deterministic stand-in for a time budget.
 fn capped_config(cap: u32) -> EngineConfig {
-    EngineConfig {
-        search: SearchConfig { max_iterations: cap, ..SearchConfig::default() },
-        threads: 1,
-        cache_capacity: 0,
-        warm_seekers: 0,
-        ..EngineConfig::default()
-    }
+    EngineConfig::builder()
+        .search(SearchConfig { max_iterations: cap, ..SearchConfig::default() })
+        .threads(1)
+        .cache_capacity(0)
+        .warm_seekers(0)
+        .build()
 }
 
 /// Spawn a fleet of `shards` servers over `transport` with an iteration
@@ -267,13 +266,12 @@ fn only_exact_answers_enter_the_result_cache() {
 
     let budgeted = S3Engine::new(
         Arc::clone(&inst),
-        EngineConfig {
-            search: SearchConfig { time_budget: Some(Duration::ZERO), ..SearchConfig::default() },
-            threads: 1,
-            cache_capacity: 16,
-            warm_seekers: 2,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .search(SearchConfig { time_budget: Some(Duration::ZERO), ..SearchConfig::default() })
+            .threads(1)
+            .cache_capacity(16)
+            .warm_seekers(2)
+            .build(),
     );
     let degraded = queries
         .iter()
@@ -296,7 +294,7 @@ fn only_exact_answers_enter_the_result_cache() {
 
     let unbudgeted = S3Engine::new(
         Arc::clone(&inst),
-        EngineConfig { threads: 1, cache_capacity: 16, warm_seekers: 2, ..EngineConfig::default() },
+        EngineConfig::builder().threads(1).cache_capacity(16).warm_seekers(2).build(),
     );
     for _ in 0..3 {
         let out = unbudgeted.serve(degraded, None);
@@ -315,13 +313,12 @@ fn hammer(policy: OverloadPolicy) -> (Vec<ServeOutcome>, s3_engine::LoadStats) {
     let inst = Arc::new(builder.snapshot());
     let engine = S3Engine::new(
         Arc::clone(&inst),
-        EngineConfig {
-            threads: 1,
-            cache_capacity: 0,
-            warm_seekers: 0,
-            overload: Some(OverloadConfig { max_inflight: 1, policy }),
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .threads(1)
+            .cache_capacity(0)
+            .warm_seekers(0)
+            .overload(Some(OverloadConfig { max_inflight: 1, policy }))
+            .build(),
     );
     let mut rng = StdRng::seed_from_u64(0x10AD);
     let queries = random_queries(&mut rng, inst.num_users(), &pool, 16);

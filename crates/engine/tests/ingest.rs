@@ -51,8 +51,12 @@ fn base_builder(seed: u64) -> InstanceBuilder {
     b
 }
 
+fn engine_builder() -> s3_engine::EngineConfigBuilder {
+    EngineConfig::builder().threads(2).cache_capacity(128).warm_seekers(8)
+}
+
 fn engine_config() -> EngineConfig {
-    EngineConfig { threads: 2, cache_capacity: 128, warm_seekers: 8, ..EngineConfig::default() }
+    engine_builder().build()
 }
 
 /// Per-fleet cache configurations: the live paths must stay
@@ -69,7 +73,11 @@ fn policy_config(arm: usize) -> EngineConfig {
             128,
         ),
     };
-    EngineConfig { cache_policy, cache_ttl, cache_capacity, ..engine_config() }
+    engine_builder()
+        .cache_policy(cache_policy)
+        .cache_ttl(cache_ttl)
+        .cache_capacity(cache_capacity)
+        .build()
 }
 
 proptest! {
@@ -83,7 +91,7 @@ proptest! {
         // grows its own), plus one for the cold reference.
         let flat = LiveEngine::new(
             base_builder(seed),
-            EngineConfig { cache_policy: CachePolicy::tiny_lfu(), ..engine_config() },
+            engine_builder().cache_policy(CachePolicy::tiny_lfu()).build(),
         );
         let sharded: Vec<LiveShardedEngine> = [1usize, 2, 4]
             .into_iter()

@@ -32,7 +32,7 @@ proptest! {
 
         let serving = S3Engine::new(
             Arc::new(inst),
-            EngineConfig { threads: 4, cache_capacity: 64, ..EngineConfig::default() },
+            EngineConfig::builder().threads(4).cache_capacity(64).build(),
         );
         let cold = serving.run_batch_on(&queries, 4);
         for (c, d) in cold.iter().zip(direct.iter()) {
@@ -71,15 +71,14 @@ proptest! {
         for (cache_policy, cache_ttl) in configs {
             let serving = S3Engine::new(
                 Arc::clone(&inst),
-                EngineConfig {
-                    threads: 4,
+                EngineConfig::builder()
+                    .threads(4)
                     // Small enough that the admission window overflows and
                     // the filter actually contests entries.
-                    cache_capacity: 4,
-                    cache_policy,
-                    cache_ttl,
-                    ..EngineConfig::default()
-                },
+                    .cache_capacity(4)
+                    .cache_policy(cache_policy)
+                    .cache_ttl(cache_ttl)
+                    .build(),
             );
             for round in 0..2 {
                 let results = serving.run_batch_on(&queries, 4);

@@ -92,7 +92,7 @@ proptest! {
         // (not the result cache) is what serves the repeats.
         let serving = S3Engine::new(
             Arc::clone(&inst),
-            EngineConfig { threads: 2, cache_capacity: 0, ..EngineConfig::default() },
+            EngineConfig::builder().threads(2).cache_capacity(0).build(),
         );
         for _pass in 0..2 {
             let got = serving.run_batch_on(&queries, 2);
@@ -104,7 +104,7 @@ proptest! {
         for shards in [1usize, 2, 4] {
             let sharded = ShardedEngine::new(
                 Arc::clone(&inst),
-                EngineConfig { threads: 2, cache_capacity: 0, ..EngineConfig::default() },
+                EngineConfig::builder().threads(2).cache_capacity(0).build(),
                 shards,
             );
             for _pass in 0..2 {
@@ -132,16 +132,11 @@ proptest! {
         let queries = skewed_queries(&mut rng, inst.num_users(), &pool, 8);
         let on = S3Engine::new(
             Arc::clone(&inst),
-            EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+            EngineConfig::builder().threads(1).cache_capacity(0).build(),
         );
         let off = S3Engine::new(
             Arc::clone(&inst),
-            EngineConfig {
-                search: SearchConfig { resume: false, ..SearchConfig::default() },
-                threads: 1,
-                cache_capacity: 0,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder().search(SearchConfig { resume: false, ..SearchConfig::default() }).threads(1).cache_capacity(0).build(),
         );
         let a = on.run_batch_on(&queries, 1);
         let b = off.run_batch_on(&queries, 1);
@@ -190,7 +185,7 @@ fn warm_pool_counters_and_epoch_invalidation() {
     ];
     let engine = S3Engine::new(
         Arc::clone(&inst),
-        EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+        EngineConfig::builder().threads(1).cache_capacity(0).build(),
     );
     for (got, q) in engine.run_batch_on(&queries, 1).iter().zip(&queries) {
         let cold = direct.run(q);
@@ -238,7 +233,7 @@ fn sharded_warm_pool_serves_returning_seekers() {
     ];
     let sharded = ShardedEngine::new(
         Arc::clone(&inst),
-        EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+        EngineConfig::builder().threads(1).cache_capacity(0).build(),
         3,
     );
     for (got, q) in sharded.run_batch_on(&queries, 1).iter().zip(&queries) {
@@ -262,7 +257,7 @@ fn zero_warm_capacity_stays_exact() {
     let queries = random_queries(&mut rng, inst.num_users(), &pool, 12);
     let engine = S3Engine::new(
         Arc::clone(&inst),
-        EngineConfig { threads: 2, cache_capacity: 0, warm_seekers: 0, ..EngineConfig::default() },
+        EngineConfig::builder().threads(2).cache_capacity(0).warm_seekers(0).build(),
     );
     let direct = S3kEngine::new(&inst, SearchConfig::default());
     for (got, q) in engine.run_batch_on(&queries, 2).iter().zip(&queries) {

@@ -28,14 +28,14 @@ proptest! {
 
         let baseline = S3Engine::new(
             Arc::clone(&inst),
-            EngineConfig { threads: 2, cache_capacity: 64, ..EngineConfig::default() },
+            EngineConfig::builder().threads(2).cache_capacity(64).build(),
         );
         let direct = baseline.run_batch_on(&queries, 2);
 
         for shards in [1usize, 2, 4] {
             let engine = ShardedEngine::new(
                 Arc::clone(&inst),
-                EngineConfig { threads: 2, cache_capacity: 64, ..EngineConfig::default() },
+                EngineConfig::builder().threads(2).cache_capacity(64).build(),
                 shards,
             );
             prop_assert_eq!(engine.num_shards(), shards);
@@ -75,7 +75,7 @@ proptest! {
 
         let baseline = S3Engine::new(
             Arc::clone(&inst),
-            EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+            EngineConfig::builder().threads(1).cache_capacity(0).build(),
         );
         let direct = baseline.run_batch_on(&queries, 1);
 
@@ -84,13 +84,7 @@ proptest! {
         for shards in [1usize, 2, 4] {
             let engine = ShardedEngine::new(
                 Arc::clone(&inst),
-                EngineConfig {
-                    threads: 2,
-                    cache_capacity: 4,
-                    cache_policy: CachePolicy::tiny_lfu(),
-                    cache_ttl,
-                    ..EngineConfig::default()
-                },
+                EngineConfig::builder().threads(2).cache_capacity(4).cache_policy(CachePolicy::tiny_lfu()).cache_ttl(cache_ttl).build(),
                 shards,
             );
             for _ in 0..2 {
@@ -124,14 +118,10 @@ proptest! {
                 let filter = Arc::new(ComponentFilter::for_shard(&partition, s));
                 let shard = S3Engine::new(
                     Arc::clone(&inst),
-                    EngineConfig {
-                        search: SearchConfig {
+                    EngineConfig::builder().search(SearchConfig {
                             component_filter: Some(filter),
                             ..SearchConfig::default()
-                        },
-                        cache_capacity: 0,
-                        ..EngineConfig::default()
-                    },
+                        }).cache_capacity(0).build(),
                 );
                 union.extend(shard.query(q).candidate_docs.iter().copied());
             }

@@ -28,7 +28,7 @@ fn warm_cache_beats_cold_execution() {
     let queries: Vec<Query> = w.queries.into_iter().map(|q| q.query).collect();
     let engine = S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig { threads: 2, cache_capacity: 1024, ..EngineConfig::default() },
+        EngineConfig::builder().threads(2).cache_capacity(1024).build(),
     );
 
     let t0 = Instant::now();

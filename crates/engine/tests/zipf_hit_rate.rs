@@ -44,7 +44,7 @@ fn zipf_workload_hit_rate() {
     // expectation (~capacity/population = 0.5) and evictions must occur.
     let engine = S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig { threads: 1, cache_capacity: 60, ..EngineConfig::default() },
+        EngineConfig::builder().threads(1).cache_capacity(60).build(),
     );
     for &i in &stream {
         engine.query(&pool[i]);
@@ -59,7 +59,7 @@ fn zipf_workload_hit_rate() {
     // Caching disabled: identical answers, zero hit rate.
     let uncached = S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+        EngineConfig::builder().threads(1).cache_capacity(0).build(),
     );
     for &i in &stream[..50] {
         assert_eq!(uncached.query(&pool[i]).hits, engine.query(&pool[i]).hits);
@@ -70,7 +70,7 @@ fn zipf_workload_hit_rate() {
     // lookup per repeat, no scatter.
     let sharded = ShardedEngine::new(
         Arc::clone(&instance),
-        EngineConfig { threads: 1, cache_capacity: 60, ..EngineConfig::default() },
+        EngineConfig::builder().threads(1).cache_capacity(60).build(),
         4,
     );
     for &i in &stream {
@@ -95,12 +95,7 @@ fn tinylfu_admission_beats_lru_under_skew() {
     let engine_with = |policy: CachePolicy| {
         S3Engine::new(
             Arc::clone(&instance),
-            EngineConfig {
-                threads: 1,
-                cache_capacity: 60,
-                cache_policy: policy,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder().threads(1).cache_capacity(60).cache_policy(policy).build(),
         )
     };
     let replay = |engine: &S3Engine| {
@@ -158,7 +153,7 @@ fn tinylfu_admission_beats_lru_under_skew() {
     // The policy changed whether we hit, never what we return.
     let uncached = S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig { threads: 1, cache_capacity: 0, ..EngineConfig::default() },
+        EngineConfig::builder().threads(1).cache_capacity(0).build(),
     );
     for &i in &stream[..40] {
         assert_eq!(uncached.query(&pool[i]).hits, tlfu_scan.query(&pool[i]).hits);
@@ -179,7 +174,7 @@ fn interleaved_ingestion_scoped_bump_recovers_faster() {
         c.tweets = 300;
         twitter::generate_builder(&c).0
     };
-    let config = || EngineConfig { threads: 1, cache_capacity: 256, ..EngineConfig::default() };
+    let config = || EngineConfig::builder().threads(1).cache_capacity(256).build();
     let num_shards = 4;
     let scoped = LiveShardedEngine::new(builder(), config(), num_shards);
     let global = LiveShardedEngine::new(builder(), config(), num_shards);

@@ -54,6 +54,25 @@ pub enum Language {
     French,
 }
 
+impl Language {
+    /// Serialize for the durable snapshot format: one discriminant byte.
+    pub fn snap_write(self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Language::English => 0,
+            Language::French => 1,
+        });
+    }
+
+    /// Decode a language written by [`Self::snap_write`].
+    pub fn snap_read(r: &mut s3_snap::SnapReader<'_>) -> Result<Self, s3_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(Language::English),
+            1 => Ok(Language::French),
+            _ => Err(s3_snap::SnapError::Value("language discriminant")),
+        }
+    }
+}
+
 /// End-to-end text analysis pipeline: tokenize, drop stop words, stem, intern.
 ///
 /// This is the component every document/tag ingestion path goes through; it
@@ -74,6 +93,13 @@ impl Analyzer {
             stopwords: StopWords::for_language(language),
             vocabulary: Vocabulary::new(),
         }
+    }
+
+    /// Reassemble an analyzer from a language and a previously-accumulated
+    /// vocabulary (the snapshot load path: stop words are derived from the
+    /// language, so only these two parts are persisted).
+    pub fn from_parts(language: Language, vocabulary: Vocabulary) -> Self {
+        Analyzer { language, stopwords: StopWords::for_language(language), vocabulary }
     }
 
     /// The language this analyzer was built for.

@@ -9,6 +9,7 @@
 //! query workloads (§5.1) draw "rare" keywords from the 25% least frequent
 //! and "common" keywords from the 25% most frequent of the document set.
 
+use s3_snap::{put_str, put_u64v, put_usize, SnapError, SnapReader};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -163,6 +164,39 @@ impl Vocabulary {
             .collect();
         out.sort_unstable_by_key(|k| (self.occurrences[k.index()], k.0));
         out
+    }
+
+    /// Serialize for the durable snapshot format (`s3-core`'s snapshot
+    /// module): interned texts in id order plus occurrence counts. The
+    /// text→id index is rebuilt on read, so the encoding is independent
+    /// of hash-map iteration order.
+    pub fn snap_write(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.texts.len());
+        for (text, &occ) in self.texts.iter().zip(&self.occurrences) {
+            put_str(out, text);
+            put_u64v(out, occ);
+        }
+    }
+
+    /// Decode a vocabulary written by [`Self::snap_write`]. Never panics
+    /// on malformed input.
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.seq(2)?;
+        let mut v = Vocabulary {
+            by_text: HashMap::with_capacity(n),
+            texts: Vec::with_capacity(n),
+            occurrences: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let text = r.str()?;
+            let occ = r.u64v()?;
+            if v.by_text.insert(text.to_owned(), KeywordId(i as u32)).is_some() {
+                return Err(SnapError::Value("duplicate vocabulary text"));
+            }
+            v.texts.push(text.to_owned());
+            v.occurrences.push(occ);
+        }
+        Ok(v)
     }
 }
 

@@ -105,6 +105,17 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(u64::from_le_bytes(bytes)))
     }
 
+    /// A varint-length-prefixed byte string, borrowed from the frame.
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.usize_v()?;
+        if len > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let bytes = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(bytes)
+    }
+
     pub(crate) fn str(&mut self) -> Result<&'a str, WireError> {
         let len = self.usize_v()?;
         if len > self.remaining() {

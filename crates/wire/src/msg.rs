@@ -14,7 +14,16 @@ use s3_doc::{DocNodeId, LocalNodeId, TreeId};
 /// Protocol version; bumped on *any* body change (see crate docs).
 /// Version 2: the stop-check reply ([`tag::VOTE`]) carries the shard's
 /// certified rival upper bound (f64) instead of a boolean vote.
-pub const WIRE_VERSION: u8 = 2;
+/// Version 3: snapshot bootstrap frames ([`tag::SNAPSHOT`],
+/// [`tag::SNAPSHOT_CHUNK`], [`tag::SNAPSHOT_ACK`]) let the fleet client
+/// ship a full instance snapshot to shard servers instead of every
+/// replica regenerating from an identically-seeded builder.
+pub const WIRE_VERSION: u8 = 3;
+
+/// Payload bytes per [`SnapshotChunk`] frame (8 MiB — comfortably under
+/// [`crate::frame::MAX_FRAME`], so a shipped snapshot of any size frames
+/// cleanly).
+pub const SNAPSHOT_CHUNK_BYTES: usize = 1 << 23;
 
 /// Message tags. Requests are low numbers, replies start at 64.
 pub mod tag {
@@ -30,6 +39,11 @@ pub mod tag {
     pub const INGEST: u8 = 5;
     /// Shut the shard server down.
     pub const SHUTDOWN: u8 = 6;
+    /// Announce a snapshot shipment ([`super::Snapshot`]); its chunks
+    /// follow immediately.
+    pub const SNAPSHOT: u8 = 7;
+    /// One chunk of a shipped snapshot ([`super::SnapshotChunk`]).
+    pub const SNAPSHOT_CHUNK: u8 = 8;
     /// Per-round shard reply ([`super::RoundReply`]).
     pub const ROUND: u8 = 64;
     /// Per-shard stop-check reply: the shard's certified rival upper
@@ -38,6 +52,8 @@ pub mod tag {
     pub const VOTE: u8 = 65;
     /// Ingest acknowledgement ([`super::IngestAck`]).
     pub const INGEST_ACK: u8 = 66;
+    /// Snapshot bootstrap acknowledgement ([`super::SnapshotAck`]).
+    pub const SNAPSHOT_ACK: u8 = 67;
 }
 
 fn begin(out: &mut Vec<u8>, t: u8) {
@@ -330,6 +346,146 @@ impl IngestAck {
     /// Decode a full frame into `self`.
     pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
         let mut r = expect(frame, tag::INGEST_ACK)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+/// Announce a snapshot shipment to a shard server that is waiting to
+/// bootstrap: which shard of how many it is to become, and how the
+/// snapshot bytes are framed. Exactly `num_chunks` [`SnapshotChunk`]
+/// frames follow, in index order; the server replies with a
+/// [`SnapshotAck`] once the decoded instance is serving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Fleet size the receiving server partitions for.
+    pub num_shards: u32,
+    /// The shard index this server takes.
+    pub shard: u32,
+    /// Total snapshot byte length (the chunks concatenate to this).
+    pub total_len: u64,
+    /// Number of chunk frames that follow.
+    pub num_chunks: u32,
+}
+
+impl Snapshot {
+    /// Reset for reuse.
+    pub fn clear(&mut self) {
+        *self = Snapshot::default();
+    }
+
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::SNAPSHOT);
+        put_u32v(out, self.num_shards);
+        put_u32v(out, self.shard);
+        put_u64v(out, self.total_len);
+        put_u32v(out, self.num_chunks);
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.num_shards = r.u32v()?;
+        self.shard = r.u32v()?;
+        self.total_len = r.u64v()?;
+        self.num_chunks = r.u32v()?;
+        if self.num_shards == 0 {
+            return Err(WireError::Value("snapshot for a zero-shard fleet"));
+        }
+        if self.shard >= self.num_shards {
+            return Err(WireError::Value("snapshot shard index out of range"));
+        }
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::SNAPSHOT)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+/// Encode one snapshot chunk frame without materializing a
+/// [`SnapshotChunk`] (the send path slices the snapshot in place).
+pub fn encode_snapshot_chunk(out: &mut Vec<u8>, index: u32, bytes: &[u8]) {
+    begin(out, tag::SNAPSHOT_CHUNK);
+    put_u32v(out, index);
+    put_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// One chunk of a shipped snapshot (see [`Snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Chunk index (0-based, ascending).
+    pub index: u32,
+    /// The chunk's slice of the snapshot bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl SnapshotChunk {
+    /// Reset for reuse.
+    pub fn clear(&mut self) {
+        self.index = 0;
+        self.bytes.clear();
+    }
+
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        encode_snapshot_chunk(out, self.index, &self.bytes);
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.clear();
+        self.index = r.u32v()?;
+        self.bytes.extend_from_slice(r.bytes()?);
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::SNAPSHOT_CHUNK)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
+/// Acknowledgement of a completed snapshot bootstrap: the decoded
+/// instance's consistency fingerprint, which the fleet client
+/// cross-checks against its own decode of the same bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotAck {
+    /// Graph nodes in the decoded instance.
+    pub nodes: u64,
+    /// Users in the decoded instance.
+    pub users: u64,
+    /// Documents in the decoded instance.
+    pub docs: u64,
+    /// `con(d,k)` connections in the decoded instance.
+    pub connections: u64,
+}
+
+impl SnapshotAck {
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::SNAPSHOT_ACK);
+        put_u64v(out, self.nodes);
+        put_u64v(out, self.users);
+        put_u64v(out, self.docs);
+        put_u64v(out, self.connections);
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.nodes = r.u64v()?;
+        self.users = r.u64v()?;
+        self.docs = r.u64v()?;
+        self.connections = r.u64v()?;
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::SNAPSHOT_ACK)?;
         self.read_body(&mut r)?;
         r.finish()
     }
@@ -670,12 +826,18 @@ pub enum Message {
     Ingest(WireIngest),
     /// Shut the server down.
     Shutdown,
+    /// Announce a snapshot shipment.
+    Snapshot(Snapshot),
+    /// One chunk of a shipped snapshot.
+    SnapshotChunk(SnapshotChunk),
     /// Per-round shard reply.
     Round(RoundReply),
     /// Per-shard stop-check reply: the certified rival upper bound.
     Vote(f64),
     /// Ingest acknowledgement.
     IngestAck(IngestAck),
+    /// Snapshot bootstrap acknowledgement.
+    SnapshotAck(SnapshotAck),
 }
 
 impl Message {
@@ -688,12 +850,15 @@ impl Message {
             Message::EndQuery => begin(out, tag::END_QUERY),
             Message::Ingest(m) => m.encode(out),
             Message::Shutdown => begin(out, tag::SHUTDOWN),
+            Message::Snapshot(m) => m.encode(out),
+            Message::SnapshotChunk(m) => m.encode(out),
             Message::Round(m) => m.encode(out),
             Message::Vote(v) => {
                 begin(out, tag::VOTE);
                 put_f64(out, *v);
             }
             Message::IngestAck(m) => m.encode(out),
+            Message::SnapshotAck(m) => m.encode(out),
         }
     }
 
@@ -720,6 +885,16 @@ impl Message {
                 Message::Ingest(m)
             }
             tag::SHUTDOWN => Message::Shutdown,
+            tag::SNAPSHOT => {
+                let mut m = Snapshot::default();
+                m.read_body(&mut r)?;
+                Message::Snapshot(m)
+            }
+            tag::SNAPSHOT_CHUNK => {
+                let mut m = SnapshotChunk::default();
+                m.read_body(&mut r)?;
+                Message::SnapshotChunk(m)
+            }
             tag::ROUND => {
                 let mut m = RoundReply::default();
                 m.read_body(&mut r)?;
@@ -730,6 +905,11 @@ impl Message {
                 let mut m = IngestAck::default();
                 m.read_body(&mut r)?;
                 Message::IngestAck(m)
+            }
+            tag::SNAPSHOT_ACK => {
+                let mut m = SnapshotAck::default();
+                m.read_body(&mut r)?;
+                Message::SnapshotAck(m)
             }
             other => return Err(WireError::Tag(other)),
         };

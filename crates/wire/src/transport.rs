@@ -3,7 +3,10 @@
 //! in-memory [`LoopbackConn`] duplex for offline tests.
 
 use crate::frame::{read_frame, MAX_FRAME};
-use crate::msg::{tag, IngestAck, RoundReply, Start, StopCheck, WireIngest, WIRE_VERSION};
+use crate::msg::{
+    encode_snapshot_chunk, tag, IngestAck, RoundReply, Snapshot, SnapshotAck, Start, StopCheck,
+    WireIngest, SNAPSHOT_CHUNK_BYTES, WIRE_VERSION,
+};
 use crate::WireError;
 use std::io::{Read, Write};
 use std::sync::{Arc, Condvar, Mutex};
@@ -41,6 +44,16 @@ pub trait ShardTransport: Send {
     fn send_end_query(&mut self) -> Result<(), WireError>;
     /// Queue an ingest shipment.
     fn send_ingest(&mut self, msg: &WireIngest) -> Result<(), WireError>;
+    /// Queue a snapshot shipment for a bootstrapping shard server: one
+    /// [`Snapshot`] header naming the shard's place in the fleet, then
+    /// the snapshot bytes chunked under
+    /// [`crate::msg::SNAPSHOT_CHUNK_BYTES`] per frame.
+    fn send_snapshot(
+        &mut self,
+        num_shards: u32,
+        shard: u32,
+        snapshot: &[u8],
+    ) -> Result<(), WireError>;
     /// Queue a shutdown request.
     fn send_shutdown(&mut self) -> Result<(), WireError>;
     /// Push every queued request to the peer.
@@ -52,6 +65,8 @@ pub trait ShardTransport: Send {
     fn recv_vote(&mut self) -> Result<f64, WireError>;
     /// Receive an [`IngestAck`].
     fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError>;
+    /// Receive a [`SnapshotAck`].
+    fn recv_snapshot_ack(&mut self, out: &mut SnapshotAck) -> Result<(), WireError>;
     /// Traffic counters so far.
     fn stats(&self) -> TransportStats;
 }
@@ -124,6 +139,25 @@ impl<S: Read + Write + Send> ShardTransport for FramedTransport<S> {
         self.queue(|out| msg.encode(out))
     }
 
+    fn send_snapshot(
+        &mut self,
+        num_shards: u32,
+        shard: u32,
+        snapshot: &[u8],
+    ) -> Result<(), WireError> {
+        let header = Snapshot {
+            num_shards,
+            shard,
+            total_len: snapshot.len() as u64,
+            num_chunks: snapshot.len().div_ceil(SNAPSHOT_CHUNK_BYTES) as u32,
+        };
+        self.queue(|out| header.encode(out))?;
+        for (i, chunk) in snapshot.chunks(SNAPSHOT_CHUNK_BYTES).enumerate() {
+            self.queue(|out| encode_snapshot_chunk(out, i as u32, chunk))?;
+        }
+        Ok(())
+    }
+
     fn send_shutdown(&mut self) -> Result<(), WireError> {
         self.queue(|out| out.extend_from_slice(&[WIRE_VERSION, tag::SHUTDOWN]))
     }
@@ -161,6 +195,11 @@ impl<S: Read + Write + Send> ShardTransport for FramedTransport<S> {
     }
 
     fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError> {
+        self.recv_frame()?;
+        out.decode_into(&self.inbuf)
+    }
+
+    fn recv_snapshot_ack(&mut self, out: &mut SnapshotAck) -> Result<(), WireError> {
         self.recv_frame()?;
         out.decode_into(&self.inbuf)
     }

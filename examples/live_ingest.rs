@@ -28,16 +28,15 @@ fn main() {
 
     let live = LiveShardedEngine::new(
         builder,
-        EngineConfig {
-            threads: 2,
-            cache_capacity: 512,
+        EngineConfig::builder()
+            .threads(2)
+            .cache_capacity(512)
             // Frequency-filtered admission plus a staleness bound: live
             // fleets age results out between epoch bumps instead of
             // serving arbitrarily old answers.
-            cache_policy: CachePolicy::tiny_lfu(),
-            cache_ttl: Some(Duration::from_secs(600)),
-            ..EngineConfig::default()
-        },
+            .cache_policy(CachePolicy::tiny_lfu())
+            .cache_ttl(Duration::from_secs(600))
+            .build(),
         2,
     );
     println!(

@@ -30,14 +30,13 @@ fn main() {
 
     let engine = S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig {
-            threads: 4,
-            cache_capacity: 1024,
+        EngineConfig::builder()
+            .threads(4)
+            .cache_capacity(1024)
             // W-TinyLFU admission: one-hit-wonder queries churn the small
             // window instead of evicting the hot entries.
-            cache_policy: CachePolicy::tiny_lfu(),
-            ..EngineConfig::default()
-        },
+            .cache_policy(CachePolicy::tiny_lfu())
+            .build(),
     );
 
     // A server sees overlapping traffic: generate a workload and replay it
@@ -101,15 +100,14 @@ fn main() {
     // `QualityBound` saying how far from exact it provably is.
     let gated = Arc::new(S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig {
-            threads: 1,
-            cache_capacity: 0, // every arrival reaches the gate
-            overload: Some(OverloadConfig {
+        EngineConfig::builder()
+            .threads(1)
+            .cache_capacity(0) // every arrival reaches the gate
+            .overload(OverloadConfig {
                 max_inflight: 2,
                 policy: OverloadPolicy::DegradeAnytime { floor_budget: Duration::ZERO },
-            }),
-            ..EngineConfig::default()
-        },
+            })
+            .build(),
     ));
     let sample = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..6)
@@ -142,12 +140,11 @@ fn main() {
     // the queries that do get in keep their full budget (exact answers).
     let rejecting = Arc::new(S3Engine::new(
         Arc::clone(&instance),
-        EngineConfig {
-            threads: 1,
-            cache_capacity: 0,
-            overload: Some(OverloadConfig { max_inflight: 2, policy: OverloadPolicy::Reject }),
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .threads(1)
+            .cache_capacity(0)
+            .overload(Some(OverloadConfig { max_inflight: 2, policy: OverloadPolicy::Reject }))
+            .build(),
     ));
     std::thread::scope(|scope| {
         for _ in 0..6 {

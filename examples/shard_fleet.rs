@@ -32,7 +32,7 @@ fn corpus() -> twitter::TwitterConfig {
 /// No result cache and no warm pool: shard servers answer every scatter
 /// cold, so the comparison below is propagation against propagation.
 fn fleet_config() -> EngineConfig {
-    EngineConfig { threads: 1, cache_capacity: 0, warm_seekers: 0, ..EngineConfig::default() }
+    EngineConfig::builder().threads(1).cache_capacity(0).warm_seekers(0).build()
 }
 
 /// Spawn one fleet; every replica regenerates the corpus from the

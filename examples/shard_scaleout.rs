@@ -29,7 +29,7 @@ fn main() {
     // Partition the components across 4 shards, balanced by documents.
     let engine = ShardedEngine::new(
         Arc::clone(&instance),
-        EngineConfig { threads: 4, cache_capacity: 1024, ..EngineConfig::default() },
+        EngineConfig::builder().threads(4).cache_capacity(1024).build(),
         4,
     );
     let partition = engine.partition();
