@@ -4,7 +4,7 @@
 //! Run with `cargo bench --bench ingest` (`BENCH_SMOKE=1` or `--smoke`
 //! for CI's one-iteration smoke tier).
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * **apply latency** — time to ingest a batch into a live engine as the
 //!   corpus grows, detached batches vs attached ones (the attached path
@@ -13,7 +13,10 @@
 //!   the stop-the-world baseline the incremental path replaces);
 //! * **recovery hits** — per-shard cache hits while replaying a Zipf
 //!   stream after an ingest, scoped bump vs forced-global bump on
-//!   identical twin fleets.
+//!   identical twin fleets;
+//! * **mutation arm** — tombstoned apply (deletes + updates riding along
+//!   with appends) vs append-only at equal batch size, plus the cost of
+//!   the off-path compaction epoch and what it reclaims.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -179,6 +182,68 @@ fn main() {
     }
     println!();
     print!("{}", recovery.render());
+
+    // ---- Mutation arm: tombstoned apply vs append-only at equal batch
+    // size (both arms append 4 documents per batch; the mutating arm
+    // additionally tombstones 2 trees per batch), plus the off-path
+    // compaction cost and what it reclaims. ----
+    let tweets = if smoke { 200 } else { 800 };
+    let batches = if smoke { 4 } else { 8 };
+    let mut mutation =
+        Table::new(&["arm", "apply ms/batch", "dead fraction", "compact ms", "docs dropped"]);
+    for (arm, deletes, updates, docs) in
+        [("append-only", 0usize, 0usize, 4usize), ("mutating", 1, 1, 3)]
+    {
+        let live = LiveEngine::new(builder(tweets), EngineConfig::builder().threads(1).build());
+        let steps = live_workload(
+            &live.instance(),
+            &LiveWorkloadConfig {
+                batches,
+                docs_per_batch: docs,
+                deletes_per_batch: deletes,
+                updates_per_batch: updates,
+                // Deletions always touch pre-existing components, so both
+                // arms run fully attached to keep the comparison fair.
+                attach_probability: 1.0,
+                seed: 11,
+                ..LiveWorkloadConfig::default()
+            },
+        );
+        let mut apply_total = 0.0;
+        for step in &steps {
+            let t = Instant::now();
+            live.ingest(&step.batch);
+            apply_total += t.elapsed().as_secs_f64();
+        }
+        let apply_ms = 1e3 * apply_total / steps.len() as f64;
+        let dead = live.dead_fraction();
+        let (compact_ms, dropped) = if deletes > 0 {
+            let t = Instant::now();
+            let r = live.compact().expect("compact");
+            (1e3 * t.elapsed().as_secs_f64(), r.compaction.dropped_documents)
+        } else {
+            (0.0, 0)
+        };
+        report
+            .num(&format!("mutation.{arm}.apply_ms"), apply_ms)
+            .num(&format!("mutation.{arm}.dead_fraction"), dead);
+        if deletes > 0 {
+            report
+                .num("mutation.compact_ms", compact_ms)
+                .int("mutation.compact_dropped_docs", dropped as u64);
+            assert_eq!(live.dead_fraction(), 0.0, "compaction reclaims every tombstone");
+        }
+        mutation.row(vec![
+            arm.to_string(),
+            format!("{apply_ms:.2}"),
+            format!("{dead:.3}"),
+            if deletes > 0 { format!("{compact_ms:.2}") } else { "-".to_string() },
+            dropped.to_string(),
+        ]);
+    }
+    println!();
+    print!("{}", mutation.render());
+
     report.write_and_announce();
     println!(
         "\nscoped vs global: both fleets ingested the same detached batch; the\n\

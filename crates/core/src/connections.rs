@@ -34,6 +34,7 @@ use s3_graph::NodeId;
 use s3_text::KeywordId;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Connection type (§3.2): how `d` relates to the keyword.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -95,11 +96,14 @@ enum Item {
     Tag(TagId),
 }
 
-/// The frozen `con` index.
+/// The frozen `con` index. Per-document entries are `Arc`-shared: an
+/// incremental rebuild (`rebuilt_scoped`, crate-internal) keeps untouched
+/// documents' entries by bumping a refcount instead of deep-cloning the
+/// maps, making the live `apply` path O(touched) in memory traffic.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ConnectionIndex {
     /// Per doc node: keyword → connections, sorted by (frag, src, type).
-    per_doc: Vec<HashMap<KeywordId, Vec<Connection>>>,
+    per_doc: Vec<Arc<HashMap<KeywordId, Vec<Connection>>>>,
     /// Total number of stored tuples.
     total: usize,
 }
@@ -115,22 +119,63 @@ impl ConnectionIndex {
         comments: &[(DocNodeId, DocNodeId)],
         doc_src_node: impl Fn(DocNodeId) -> NodeId,
     ) -> Self {
-        Self::build_filtered(forest, tags, comments, doc_src_node, |_| true, |_| true, None)
+        Self::build_filtered(
+            forest,
+            tags,
+            comments,
+            doc_src_node,
+            |_| true,
+            |_| true,
+            |_| true,
+            |_| true,
+            None,
+        )
+    }
+
+    /// [`Self::build`] over a tombstoned instance: dead documents seed no
+    /// `contains` connections and dead tags are excluded from the fixpoint
+    /// entirely, so dead entities' entries stay empty — exactly what the
+    /// incremental mutation path produces, making a cold freeze the
+    /// byte-identity reference for live deletions too. Comment edges of
+    /// dead documents must already be gone from `comments` (the builder
+    /// removes them physically at retraction time).
+    pub(crate) fn build_tombstoned(
+        forest: &Forest,
+        tags: &[TagInput],
+        comments: &[(DocNodeId, DocNodeId)],
+        doc_src_node: impl Fn(DocNodeId) -> NodeId,
+        doc_alive: impl Fn(DocNodeId) -> bool,
+        tag_alive: impl Fn(TagId) -> bool,
+    ) -> Self {
+        Self::build_filtered(
+            forest,
+            tags,
+            comments,
+            doc_src_node,
+            |_| true,
+            |_| true,
+            doc_alive,
+            tag_alive,
+            None,
+        )
     }
 
     /// Rebuild the index with the fixpoint restricted to a *component-closed*
     /// scope: only in-scope documents are seeded and only in-scope tags and
     /// comments participate, while every out-of-scope document keeps its
-    /// previous entry (cloned from `prev`). Connections never cross content
-    /// components (tags, comments and containment all stay inside one), so
-    /// when the scope is a union of components this equals a full rebuild —
-    /// at the cost of the touched components only. This is live ingestion's
-    /// `con` extension path.
+    /// previous entry (`Arc`-shared from `prev` — no copy). Connections
+    /// never cross content components (tags, comments and containment all
+    /// stay inside one), so when the scope is a union of components this
+    /// equals a full rebuild — at the cost of the touched components only.
+    /// This is live ingestion's `con` extension path.
     ///
     /// `doc_in_scope` must be component-closed (ancestors/descendants of an
     /// in-scope fragment are in scope) and `tag_in_scope(i)` must hold
     /// exactly for tags whose subject lies in scope; `prev` must cover every
-    /// out-of-scope document.
+    /// out-of-scope document. `doc_alive`/`tag_alive` carry the tombstone
+    /// sets: dead in-scope entities participate as if absent (their entries
+    /// recompute to empty).
+    #[allow(clippy::too_many_arguments)] // one internal caller chain
     pub(crate) fn rebuilt_scoped(
         prev: &ConnectionIndex,
         forest: &Forest,
@@ -139,6 +184,8 @@ impl ConnectionIndex {
         doc_src_node: impl Fn(DocNodeId) -> NodeId,
         doc_in_scope: impl Fn(DocNodeId) -> bool,
         tag_in_scope: impl Fn(TagId) -> bool,
+        doc_alive: impl Fn(DocNodeId) -> bool,
+        tag_alive: impl Fn(TagId) -> bool,
     ) -> Self {
         Self::build_filtered(
             forest,
@@ -147,10 +194,13 @@ impl ConnectionIndex {
             doc_src_node,
             doc_in_scope,
             tag_in_scope,
+            doc_alive,
+            tag_alive,
             Some(prev),
         )
     }
 
+    #[allow(clippy::too_many_arguments)] // one internal caller chain
     fn build_filtered(
         forest: &Forest,
         tags: &[TagInput],
@@ -158,6 +208,8 @@ impl ConnectionIndex {
         doc_src_node: impl Fn(DocNodeId) -> NodeId,
         doc_in_scope: impl Fn(DocNodeId) -> bool,
         tag_in_scope: impl Fn(TagId) -> bool,
+        doc_alive: impl Fn(DocNodeId) -> bool,
+        tag_alive: impl Fn(TagId) -> bool,
         prev: Option<&ConnectionIndex>,
     ) -> Self {
         let n = forest.num_nodes();
@@ -169,7 +221,7 @@ impl ConnectionIndex {
         let mut endorsements_on_frag: HashMap<DocNodeId, Vec<TagId>> = HashMap::new();
         let mut endorsements_on_tag: HashMap<TagId, Vec<TagId>> = HashMap::new();
         for (i, t) in tags.iter().enumerate() {
-            if !tag_in_scope(TagId(i as u32)) {
+            if !tag_in_scope(TagId(i as u32)) || !tag_alive(TagId(i as u32)) {
                 continue;
             }
             if t.keyword.is_none() {
@@ -196,7 +248,7 @@ impl ConnectionIndex {
         // ancestor-or-self with itself as source.
         for idx in 0..n {
             let f = DocNodeId(idx as u32);
-            if forest.content(f).is_empty() || !doc_in_scope(f) {
+            if forest.content(f).is_empty() || !doc_in_scope(f) || !doc_alive(f) {
                 continue;
             }
             let kws: Vec<KeywordId> = {
@@ -218,7 +270,7 @@ impl ConnectionIndex {
 
         // Seed 2: keyword tags.
         for (i, t) in tags.iter().enumerate() {
-            if !tag_in_scope(TagId(i as u32)) {
+            if !tag_in_scope(TagId(i as u32)) || !tag_alive(TagId(i as u32)) {
                 continue;
             }
             if let Some(kw) = t.keyword {
@@ -330,19 +382,23 @@ impl ConnectionIndex {
         }
 
         // Freeze: group per (doc, keyword), record |pos(d, f)| per tuple.
-        // Out-of-scope documents keep their previous entries verbatim.
-        let mut per_doc: Vec<HashMap<KeywordId, Vec<Connection>>> = vec![HashMap::new(); n];
-        let mut total = 0usize;
+        // Out-of-scope documents keep their previous entries by Arc-share
+        // (a refcount bump, not a copy — the O(touched) memory-traffic
+        // contract), and `total` is carried over from `prev` adjusted by
+        // the in-scope documents' old and new counts only.
+        let mut per_doc: Vec<Arc<HashMap<KeywordId, Vec<Connection>>>> = Vec::with_capacity(n);
+        let mut total = prev.map_or(0, |p| p.total);
         for (idx, set) in doc_sets.into_iter().enumerate() {
             let d = DocNodeId(idx as u32);
             if !doc_in_scope(d) {
                 let prev = prev.expect("scoped builds carry the previous index");
-                let entry = prev.per_doc[idx].clone();
-                total += entry.values().map(Vec::len).sum::<usize>();
-                per_doc[idx] = entry;
+                per_doc.push(Arc::clone(&prev.per_doc[idx]));
                 continue;
             }
-            let map = &mut per_doc[idx];
+            if let Some(prev) = prev.filter(|p| idx < p.per_doc.len()) {
+                total -= prev.per_doc[idx].values().map(Vec::len).sum::<usize>();
+            }
+            let mut map: HashMap<KeywordId, Vec<Connection>> = HashMap::new();
             for c in set {
                 let depth = forest
                     .structural_distance(d, c.frag)
@@ -359,6 +415,7 @@ impl ConnectionIndex {
             for v in map.values_mut() {
                 v.sort_unstable_by_key(|c| (c.frag, c.src, c.ctype));
             }
+            per_doc.push(Arc::new(map));
         }
         ConnectionIndex { per_doc, total }
     }
@@ -435,7 +492,7 @@ impl ConnectionIndex {
         if n != num_doc_nodes {
             return Err(s3_snap::SnapError::Value("connection index length mismatch"));
         }
-        let mut per_doc: Vec<HashMap<KeywordId, Vec<Connection>>> = Vec::with_capacity(n);
+        let mut per_doc: Vec<Arc<HashMap<KeywordId, Vec<Connection>>>> = Vec::with_capacity(n);
         let mut total = 0usize;
         for _ in 0..n {
             let nk = r.seq(2)?;
@@ -464,7 +521,7 @@ impl ConnectionIndex {
                 }
                 total += nc;
             }
-            per_doc.push(map);
+            per_doc.push(Arc::new(map));
         }
         Ok(ConnectionIndex { per_doc, total })
     }
@@ -474,7 +531,7 @@ impl ConnectionIndex {
     pub fn smax_table_with(&self, weight: impl Fn(ConnType, u8) -> f64) -> HashMap<KeywordId, f64> {
         let mut out: HashMap<KeywordId, f64> = HashMap::new();
         for map in &self.per_doc {
-            for (&kw, conns) in map {
+            for (&kw, conns) in map.iter() {
                 let s: f64 = conns.iter().map(|c| weight(c.ctype, c.depth)).sum();
                 let e = out.entry(kw).or_insert(0.0);
                 if s > *e {

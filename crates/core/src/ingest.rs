@@ -46,7 +46,7 @@ use crate::connections::ConnectionIndex;
 use crate::ids::{TagId, TagSubject, UserId};
 use crate::instance::{
     build_graph, derived_social_edges, keyword_bridges, tag_inputs, tag_records, GraphParts,
-    InstanceBuilder, S3Instance,
+    InstanceBuilder, RetractionLog, S3Instance,
 };
 use s3_doc::{DocBuilder, DocNodeId, LocalNodeId, TreeId};
 use s3_graph::{CompId, NodeId};
@@ -182,6 +182,11 @@ pub struct IngestBatch {
     pub(crate) documents: Vec<(IngestDoc, Option<UserRef>)>,
     pub(crate) comments: Vec<(DocRef, FragRef)>,
     pub(crate) tags: Vec<(TagSubjectRef, UserRef, Option<String>)>,
+    pub(crate) delete_users: Vec<UserId>,
+    pub(crate) delete_documents: Vec<TreeId>,
+    pub(crate) delete_tags: Vec<TagId>,
+    pub(crate) remove_social_edges: Vec<(UserId, UserId)>,
+    pub(crate) remove_comments: Vec<(TreeId, DocNodeId)>,
 }
 
 impl IngestBatch {
@@ -226,6 +231,68 @@ impl IngestBatch {
         TagRef::New(self.tags.len() - 1)
     }
 
+    /// Delete an existing user (tombstone; cascades to their social edges,
+    /// poster records and authored tags — see
+    /// [`InstanceBuilder::delete_user`]). Unknown or already-deleted ids
+    /// are idempotent no-ops.
+    pub fn delete_user(&mut self, u: UserId) {
+        self.delete_users.push(u);
+    }
+
+    /// Delete an existing document (tombstone; cascades to its poster
+    /// record, comment edges and tags — see
+    /// [`InstanceBuilder::delete_document`]). Idempotent no-op for unknown
+    /// or already-deleted ids.
+    pub fn delete_document(&mut self, tree: TreeId) {
+        self.delete_documents.push(tree);
+    }
+
+    /// Delete an existing tag (tombstone; cascades to tags on it — see
+    /// [`InstanceBuilder::delete_tag`]). Idempotent no-op for unknown or
+    /// already-deleted ids.
+    pub fn delete_tag(&mut self, t: TagId) {
+        self.delete_tags.push(t);
+    }
+
+    /// Remove every explicit social edge `from → to`. Idempotent no-op
+    /// when no such edge exists.
+    pub fn remove_social_edge(&mut self, from: UserId, to: UserId) {
+        self.remove_social_edges.push((from, to));
+    }
+
+    /// Remove every `comment S3:commentsOn target` edge. Idempotent no-op
+    /// when no such edge exists.
+    pub fn remove_comment(&mut self, comment: TreeId, target: DocNodeId) {
+        self.remove_comments.push((comment, target));
+    }
+
+    /// Update-in-place as delete + append: tombstone `old` and add `doc`
+    /// as its replacement. The replacement gets a **fresh stable id** (the
+    /// old id stays allocated as a tombstone); callers that track external
+    /// keys remap them to the returned [`DocRef`]'s resolved id.
+    pub fn update_document(
+        &mut self,
+        old: TreeId,
+        doc: IngestDoc,
+        poster: Option<UserRef>,
+    ) -> DocRef {
+        self.delete_documents.push(old);
+        self.add_document(doc, poster)
+    }
+
+    /// Retag as delete + append: tombstone tag `old` (cascading to tags on
+    /// it) and add a replacement tag with a fresh id.
+    pub fn retag(
+        &mut self,
+        old: TagId,
+        subject: TagSubjectRef,
+        author: UserRef,
+        keyword: Option<&str>,
+    ) -> TagRef {
+        self.delete_tags.push(old);
+        self.add_tag(subject, author, keyword)
+    }
+
     /// Users this batch creates.
     pub fn num_users(&self) -> usize {
         self.new_users
@@ -261,13 +328,48 @@ impl IngestBatch {
         &self.tags
     }
 
-    /// True when the batch adds nothing.
+    /// Users the batch deletes.
+    pub fn deleted_users(&self) -> &[UserId] {
+        &self.delete_users
+    }
+
+    /// Documents the batch deletes.
+    pub fn deleted_documents(&self) -> &[TreeId] {
+        &self.delete_documents
+    }
+
+    /// Tags the batch deletes.
+    pub fn deleted_tags(&self) -> &[TagId] {
+        &self.delete_tags
+    }
+
+    /// Social edges the batch removes.
+    pub fn removed_social_edges(&self) -> &[(UserId, UserId)] {
+        &self.remove_social_edges
+    }
+
+    /// Comment edges the batch removes.
+    pub fn removed_comments(&self) -> &[(TreeId, DocNodeId)] {
+        &self.remove_comments
+    }
+
+    /// Does the batch carry any retraction?
+    pub fn has_retractions(&self) -> bool {
+        !self.delete_users.is_empty()
+            || !self.delete_documents.is_empty()
+            || !self.delete_tags.is_empty()
+            || !self.remove_social_edges.is_empty()
+            || !self.remove_comments.is_empty()
+    }
+
+    /// True when the batch adds and retracts nothing.
     pub fn is_empty(&self) -> bool {
         self.new_users == 0
             && self.social_edges.is_empty()
             && self.documents.is_empty()
             && self.comments.is_empty()
             && self.tags.is_empty()
+            && !self.has_retractions()
     }
 }
 
@@ -295,6 +397,16 @@ pub struct IngestSummary {
     /// The subset of [`Self::touched_components`] that did not exist
     /// before (ids at or beyond the previous component count).
     pub new_components: Vec<CompId>,
+    /// Users tombstoned by this batch, cascades included.
+    pub deleted_users: usize,
+    /// Documents tombstoned by this batch, cascades included.
+    pub deleted_documents: usize,
+    /// Tags tombstoned by this batch, cascades included.
+    pub deleted_tags: usize,
+    /// Explicit social edges removed (deletions cascade here too).
+    pub removed_social_edges: usize,
+    /// Comment edges removed (deletions cascade here too).
+    pub removed_comment_edges: usize,
 }
 
 impl InstanceBuilder {
@@ -315,13 +427,36 @@ impl InstanceBuilder {
         let nodes0 = prev.graph.num_nodes();
         let comps0 = prev.graph.components().len();
 
+        // ---- Retractions first: tombstone entities (with cascades) and
+        // physically unlink their edges, so the additions below see the
+        // post-retraction state — a batch may delete a document and add
+        // its replacement in one atomic step (`update_document`). ----
+        let mut rlog = RetractionLog::default();
+        for &u in &batch.delete_users {
+            self.retract_user(u, &mut rlog);
+        }
+        for &t in &batch.delete_documents {
+            self.retract_document(t, &mut rlog);
+        }
+        for &t in &batch.delete_tags {
+            self.retract_tag(t, &mut rlog);
+        }
+        for &(from, to) in &batch.remove_social_edges {
+            rlog.removed_social += self.remove_social_edge(from, to);
+        }
+        for &(c, tgt) in &batch.remove_comments {
+            self.retract_comment_edge(c, tgt, &mut rlog);
+        }
+
         // ---- Append the batch to the builder, classifying the delta. ----
+        // Any effective retraction invalidates pre-existing propagation
+        // state globally (edges vanished), so the delta is not detached.
         let new_users: Vec<UserId> = (0..batch.new_users).map(|_| self.add_user()).collect();
         let user = |r: UserRef| match r {
             UserRef::Existing(u) => u,
             UserRef::New(i) => new_users[i],
         };
-        let mut detached = true;
+        let mut detached = rlog.is_empty();
         for &(from, to, w) in &batch.social_edges {
             detached &= matches!(from, UserRef::New(_));
             self.add_social_edge(user(from), user(to), w);
@@ -390,13 +525,22 @@ impl InstanceBuilder {
             &self.posters,
             &self.comments,
             &self.tags,
+            &self.dead.tags,
             Some(prev.graph.components()),
         );
         debug_assert_eq!(graph.num_nodes(), nodes0 + (graph.num_nodes() - nodes0));
         debug_assert!(user_nodes[..users0].iter().zip(&prev.user_nodes).all(|(a, b)| a == b));
 
         // ---- Touched components: every component holding a new node,
-        // plus old ids merged away (their entries must empty out). ----
+        // plus old ids merged away (their entries must empty out), plus
+        // every component affected by a retraction — the tombstoned
+        // entities' own nodes, removed comment edges' endpoints and dead
+        // tags' subjects. Node ids are stable, so prev-graph nodes keep
+        // their ids in the new graph; a split scatters a prev component
+        // over several new ids, and each split-off part contains at least
+        // one of the nodes below (the dead node, or the endpoint it lost
+        // its bridge to), so flagging their *new* components covers every
+        // document whose connections changed. ----
         let comps = graph.components();
         let mut touched: Vec<CompId> =
             (nodes0..graph.num_nodes()).map(|i| comps.component_of(NodeId(i as u32))).collect();
@@ -406,6 +550,28 @@ impl InstanceBuilder {
                 touched.push(c);
             }
         }
+        let mut retracted_nodes: Vec<NodeId> = Vec::new();
+        for &t in &rlog.dead_trees {
+            for idx in self.forest.tree_range(t) {
+                retracted_nodes
+                    .push(graph.node_of_frag(DocNodeId(idx as u32)).expect("registered"));
+            }
+        }
+        for &u in &rlog.dead_users {
+            retracted_nodes.push(user_nodes[u.index()]);
+        }
+        for &t in &rlog.dead_tags {
+            retracted_nodes.push(tag_nodes[t.index()]);
+            retracted_nodes.push(match self.tags[t.index()].subject {
+                TagSubject::Frag(f) => graph.node_of_frag(f).expect("registered"),
+                TagSubject::Tag(b) => tag_nodes[b.index()],
+            });
+        }
+        for &(c, tgt) in &rlog.removed_comments {
+            retracted_nodes.push(graph.node_of_frag(self.forest.root(c)).expect("registered"));
+            retracted_nodes.push(graph.node_of_frag(tgt).expect("registered"));
+        }
+        touched.extend(retracted_nodes.iter().map(|&n| comps.component_of(n)));
         touched.sort_unstable();
         touched.dedup();
         let mut comp_touched = vec![false; comps.len()];
@@ -428,6 +594,8 @@ impl InstanceBuilder {
             |d| graph.node_of_frag(d).expect("registered"),
             |d| comp_touched[comp_of_frag(d).index()],
             |t| comp_touched[comps.component_of(tag_nodes[t.index()]).index()],
+            |d| self.dead.doc_alive(&self.forest, d),
+            |t| self.dead.tag_alive(t),
         );
 
         // ---- Extend the per-component keyword sets. ----
@@ -452,6 +620,7 @@ impl InstanceBuilder {
         let mut uri_to_kw = prev.uri_to_kw.clone();
         keyword_bridges(&vocabulary, &prev.rdf, vocab0, &mut kw_to_uri, &mut uri_to_kw);
 
+        let dead_nodes = self.dead.mark_nodes(&graph, &user_nodes, &tag_nodes);
         let instance = S3Instance {
             language: self.analyzer.language(),
             vocabulary,
@@ -465,6 +634,7 @@ impl InstanceBuilder {
             comp_keywords,
             kw_to_uri,
             uri_to_kw,
+            dead_nodes,
             ext_cache: Mutex::new(HashMap::new()),
             smax_cache: Mutex::new(HashMap::new()),
         };
@@ -476,12 +646,22 @@ impl InstanceBuilder {
             detached,
             touched_components: touched,
             new_components,
+            deleted_users: rlog.dead_users.len(),
+            deleted_documents: rlog.dead_trees.len(),
+            deleted_tags: rlog.dead_tags.len(),
+            removed_social_edges: rlog.removed_social,
+            removed_comment_edges: rlog.removed_comments.len(),
         };
         (instance, summary)
     }
 
     /// Check every reference and weight of `batch` against the current
-    /// builder state, before anything is mutated.
+    /// builder state, before anything is mutated. `Existing` references
+    /// must be alive: already-tombstoned entities and entities the same
+    /// batch *directly* deletes are rejected here (retractions apply
+    /// before additions). References to entities that die only through a
+    /// cascade (e.g. a tag on a document the batch deletes) are caught by
+    /// the builder's liveness assertions during the apply itself.
     fn validate(&self, prev: &S3Instance, batch: &IngestBatch) {
         assert_eq!(
             prev.graph.num_nodes(),
@@ -494,20 +674,35 @@ impl InstanceBuilder {
              snapshot's saturated store and would drop those changes — take a fresh \
              snapshot() (full rebuild) first"
         );
+        let del_users: HashSet<UserId> = batch.delete_users.iter().copied().collect();
+        let del_trees: HashSet<TreeId> = batch.delete_documents.iter().copied().collect();
+        let del_tags: HashSet<TagId> = batch.delete_tags.iter().copied().collect();
         let users = self.num_users as usize;
         let check_user = |r: UserRef| match r {
-            UserRef::Existing(u) => assert!(u.index() < users, "unknown user {u}"),
+            UserRef::Existing(u) => {
+                assert!(u.index() < users, "unknown user {u}");
+                assert!(self.dead.user_alive(u) && !del_users.contains(&u), "user {u} is deleted");
+            }
             UserRef::New(i) => assert!(i < batch.new_users, "batch user {i} out of range"),
         };
         let check_doc = |r: DocRef| match r {
             DocRef::Existing(t) => {
-                assert!(t.index() < self.forest.num_trees(), "unknown tree {t:?}")
+                assert!(t.index() < self.forest.num_trees(), "unknown tree {t:?}");
+                assert!(
+                    self.dead.tree_alive(t) && !del_trees.contains(&t),
+                    "document {t:?} is deleted"
+                );
             }
             DocRef::New(i) => assert!(i < batch.documents.len(), "batch doc {i} out of range"),
         };
         let check_frag = |r: FragRef| match r {
             FragRef::Existing(f) => {
-                assert!(f.index() < self.forest.num_nodes(), "unknown fragment {f}")
+                assert!(f.index() < self.forest.num_nodes(), "unknown fragment {f}");
+                let t = self.forest.tree_of(f);
+                assert!(
+                    self.dead.tree_alive(t) && !del_trees.contains(&t),
+                    "fragment {f} belongs to a deleted document"
+                );
             }
             FragRef::New { doc, node } => {
                 assert!(doc < batch.documents.len(), "batch doc {doc} out of range");
@@ -536,7 +731,8 @@ impl InstanceBuilder {
             match *subject {
                 TagSubjectRef::Frag(f) => check_frag(f),
                 TagSubjectRef::Tag(TagRef::Existing(t)) => {
-                    assert!(t.index() < self.tags.len(), "unknown tag {t}")
+                    assert!(t.index() < self.tags.len(), "unknown tag {t}");
+                    assert!(self.dead.tag_alive(t) && !del_tags.contains(&t), "tag {t} is deleted");
                 }
                 TagSubjectRef::Tag(TagRef::New(j)) => {
                     assert!(j < i, "tag subjects must already exist (batch tag {j} after {i})")

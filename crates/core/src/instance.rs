@@ -18,11 +18,17 @@ pub(crate) struct PendingTag {
     pub(crate) keyword: Option<KeywordId>,
 }
 
-/// One entity-creation event, in insertion order. Graph nodes are numbered
-/// by replaying this log, so an instance extended incrementally (live
+/// One entity event, in insertion order. Graph nodes are numbered by
+/// replaying this log, so an instance extended incrementally (live
 /// ingestion appends events) numbers its nodes exactly like a cold
 /// [`InstanceBuilder::build`] of the same final data — the invariant behind
 /// the live engine's byte-identity guarantee.
+///
+/// Retractions append `Dead*` events instead of erasing creation events:
+/// dead entities keep their ids (and their graph nodes stay allocated as
+/// permanent gaps), so nothing already handed out to callers ever
+/// renumbers. Replaying the log therefore reconstructs both the entity
+/// numbering *and* the tombstone sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum BuildEvent {
     /// `add_user` (users are numbered in event order).
@@ -31,6 +37,127 @@ pub(crate) enum BuildEvent {
     Tree,
     /// `add_tag` (tags are numbered in event order).
     Tag,
+    /// `delete_user` (the id stays allocated; the node loses all edges).
+    DeadUser(UserId),
+    /// `delete_document` (likewise).
+    DeadTree(TreeId),
+    /// `delete_tag` (likewise; also pushed by cascades).
+    DeadTag(TagId),
+}
+
+/// The builder's tombstone sets: entities deleted but never deallocated
+/// (ids are stable forever). A dead entity keeps its graph node but loses
+/// every edge, every content seed and every `con` contribution — it can
+/// never be discovered, admitted or emitted again.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tombstones {
+    pub(crate) users: HashSet<UserId>,
+    pub(crate) trees: HashSet<TreeId>,
+    pub(crate) tags: HashSet<TagId>,
+}
+
+impl Tombstones {
+    pub(crate) fn user_alive(&self, u: UserId) -> bool {
+        !self.users.contains(&u)
+    }
+
+    pub(crate) fn tree_alive(&self, t: TreeId) -> bool {
+        !self.trees.contains(&t)
+    }
+
+    pub(crate) fn tag_alive(&self, t: TagId) -> bool {
+        !self.tags.contains(&t)
+    }
+
+    pub(crate) fn doc_alive(&self, forest: &Forest, d: DocNodeId) -> bool {
+        self.tree_alive(forest.tree_of(d))
+    }
+
+    /// The tombstoned graph nodes as a bit set over `graph`'s node ids.
+    pub(crate) fn mark_nodes(
+        &self,
+        graph: &SocialGraph,
+        user_nodes: &[NodeId],
+        tag_nodes: &[NodeId],
+    ) -> s3_graph::BitSet {
+        let mut dead = s3_graph::BitSet::with_len(graph.num_nodes());
+        for &u in &self.users {
+            dead.set(user_nodes[u.index()].index());
+        }
+        for &t in &self.trees {
+            for idx in graph.forest().tree_range(t) {
+                let node = graph.node_of_frag(DocNodeId(idx as u32)).expect("registered");
+                dead.set(node.index());
+            }
+        }
+        for &t in &self.tags {
+            dead.set(tag_nodes[t.index()].index());
+        }
+        dead
+    }
+}
+
+/// What a batch of retractions actually killed (cascades included) and
+/// physically unlinked — the delta [`InstanceBuilder::apply`] needs to
+/// compute the retraction-affected components.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RetractionLog {
+    pub(crate) dead_users: Vec<UserId>,
+    pub(crate) dead_trees: Vec<TreeId>,
+    pub(crate) dead_tags: Vec<TagId>,
+    pub(crate) removed_social: usize,
+    pub(crate) removed_comments: Vec<(TreeId, DocNodeId)>,
+}
+
+impl RetractionLog {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.dead_users.is_empty()
+            && self.dead_trees.is_empty()
+            && self.dead_tags.is_empty()
+            && self.removed_social == 0
+            && self.removed_comments.is_empty()
+    }
+}
+
+/// What one [`InstanceBuilder::compact`] reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Tombstoned users dropped.
+    pub dropped_users: usize,
+    /// Tombstoned documents dropped.
+    pub dropped_documents: usize,
+    /// Tombstoned tags dropped.
+    pub dropped_tags: usize,
+    /// Forest nodes reclaimed (the dead trees' fragments).
+    pub dropped_forest_nodes: usize,
+    /// Event-log length before compaction (creations + tombstones).
+    pub events_before: usize,
+    /// Event-log length after (surviving creations only).
+    pub events_after: usize,
+}
+
+impl std::fmt::Display for CompactionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compacted away {} users, {} docs ({} nodes), {} tags; event log {} -> {}",
+            self.dropped_users,
+            self.dropped_documents,
+            self.dropped_forest_nodes,
+            self.dropped_tags,
+            self.events_before,
+            self.events_after,
+        )
+    }
+}
+
+/// Remap a fragment id across a compaction: same offset inside its tree's
+/// (re-frozen, offset-preserving — [`Forest::extract`]) node range.
+fn remap_frag(old: &Forest, new: &Forest, tree_map: &[Option<TreeId>], f: DocNodeId) -> DocNodeId {
+    let tree = old.tree_of(f);
+    let offset = f.index() - old.tree_range(tree).start;
+    let new_tree = tree_map[tree.index()].expect("fragment of a dead tree");
+    DocNodeId((new.tree_range(new_tree).start + offset) as u32)
 }
 
 /// Mutable S3 instance under construction, following the paper's data
@@ -56,6 +183,7 @@ pub struct InstanceBuilder {
     pub(crate) comments: Vec<(TreeId, DocNodeId)>,
     pub(crate) tags: Vec<PendingTag>,
     pub(crate) events: Vec<BuildEvent>,
+    pub(crate) dead: Tombstones,
     /// Has the RDF layer (store or dictionary) been touched since the
     /// last [`InstanceBuilder::snapshot`]? [`InstanceBuilder::apply`]
     /// `Arc`-shares the previous snapshot's saturated store, so schema
@@ -78,6 +206,7 @@ impl InstanceBuilder {
             comments: Vec::new(),
             tags: Vec::new(),
             events: Vec::new(),
+            dead: Tombstones::default(),
             rdf_dirty: std::cell::Cell::new(false),
         }
     }
@@ -140,6 +269,7 @@ impl InstanceBuilder {
     /// the weight, the closer the users.
     pub fn add_social_edge(&mut self, from: UserId, to: UserId, weight: f64) {
         assert!(from.0 < self.num_users && to.0 < self.num_users, "unknown user");
+        assert!(self.dead.user_alive(from) && self.dead.user_alive(to), "deleted user");
         assert!(weight > 0.0 && weight <= 1.0, "social weight must be in (0,1]");
         self.social_edges.push((from, to, weight));
     }
@@ -151,6 +281,7 @@ impl InstanceBuilder {
         self.events.push(BuildEvent::Tree);
         if let Some(u) = poster {
             assert!(u.0 < self.num_users, "unknown poster");
+            assert!(self.dead.user_alive(u), "deleted poster");
             self.posters.push((tree, u));
         }
         tree
@@ -171,6 +302,10 @@ impl InstanceBuilder {
     /// specializations of it).
     pub fn add_comment_edge(&mut self, comment: TreeId, target: DocNodeId) {
         assert_ne!(self.forest.tree_of(target), comment, "a document cannot comment on itself");
+        assert!(
+            self.dead.tree_alive(comment) && self.dead.doc_alive(&self.forest, target),
+            "deleted document"
+        );
         self.comments.push((comment, target));
     }
 
@@ -183,13 +318,306 @@ impl InstanceBuilder {
         keyword: Option<KeywordId>,
     ) -> TagId {
         assert!(author.0 < self.num_users, "unknown author");
-        if let TagSubject::Tag(t) = subject {
-            assert!(t.index() < self.tags.len(), "tag subjects must already exist");
+        assert!(self.dead.user_alive(author), "deleted author");
+        match subject {
+            TagSubject::Tag(t) => {
+                assert!(t.index() < self.tags.len(), "tag subjects must already exist");
+                assert!(self.dead.tag_alive(t), "deleted tag subject");
+            }
+            TagSubject::Frag(f) => {
+                assert!(self.dead.doc_alive(&self.forest, f), "deleted tag subject");
+            }
         }
         let id = TagId(self.tags.len() as u32);
         self.tags.push(PendingTag { subject, author, keyword });
         self.events.push(BuildEvent::Tag);
         id
+    }
+
+    /// Delete a user (tombstone: the id stays allocated, the node loses
+    /// all edges). Cascades: the user's incident social edges, poster
+    /// records and authored tags (recursively through tags-on-tags) are
+    /// retracted too. Documents the user posted survive, merely losing
+    /// their `S3:postedBy` edge. Unknown or already-deleted ids are
+    /// idempotent no-ops (returns `false`) — the wire path relies on this
+    /// when a replica receives a delete for an id it never saw.
+    pub fn delete_user(&mut self, u: UserId) -> bool {
+        let mut log = RetractionLog::default();
+        self.retract_user(u, &mut log)
+    }
+
+    /// Delete a document tree (tombstone). Cascades: its poster record,
+    /// every comment edge touching it (either side) and every tag on any
+    /// of its fragments (recursively) are retracted. Returns `false` on
+    /// unknown or already-deleted ids (idempotent no-op).
+    pub fn delete_document(&mut self, tree: TreeId) -> bool {
+        let mut log = RetractionLog::default();
+        self.retract_document(tree, &mut log)
+    }
+
+    /// Delete a tag (tombstone). Cascades: tags whose subject is this tag
+    /// die with it, recursively. Returns `false` on unknown or
+    /// already-deleted ids (idempotent no-op).
+    pub fn delete_tag(&mut self, t: TagId) -> bool {
+        let mut log = RetractionLog::default();
+        self.retract_tag(t, &mut log)
+    }
+
+    /// Remove every explicit social edge `from → to` (derived edges from
+    /// RDF triples are not touched — retract the triple instead). Returns
+    /// how many edges were removed (0 is an idempotent no-op).
+    pub fn remove_social_edge(&mut self, from: UserId, to: UserId) -> usize {
+        let before = self.social_edges.len();
+        self.social_edges.retain(|&(a, b, _)| !(a == from && b == to));
+        before - self.social_edges.len()
+    }
+
+    /// Remove every `comment S3:commentsOn target` edge. Returns how many
+    /// were removed (0 is an idempotent no-op).
+    pub fn remove_comment_edge(&mut self, comment: TreeId, target: DocNodeId) -> usize {
+        let mut log = RetractionLog::default();
+        self.retract_comment_edge(comment, target, &mut log);
+        log.removed_comments.len()
+    }
+
+    /// Is this user deleted?
+    pub fn user_is_deleted(&self, u: UserId) -> bool {
+        !self.dead.user_alive(u)
+    }
+
+    /// Is this document deleted?
+    pub fn document_is_deleted(&self, tree: TreeId) -> bool {
+        !self.dead.tree_alive(tree)
+    }
+
+    /// Is this tag deleted?
+    pub fn tag_is_deleted(&self, t: TagId) -> bool {
+        !self.dead.tag_alive(t)
+    }
+
+    /// Tombstone counts `(users, documents, tags)`.
+    pub fn dead_counts(&self) -> (usize, usize, usize) {
+        (self.dead.users.len(), self.dead.trees.len(), self.dead.tags.len())
+    }
+
+    /// Rebuild a dense, tombstone-free builder by replaying the surviving
+    /// events in their original interleaving. The compacted builder is
+    /// exactly what a cold build of the surviving data produces — same
+    /// event order, same (renumbered) ids, same graph — so its snapshot
+    /// answers queries identically to one built from scratch without the
+    /// deleted entities. The analyzer (keyword ids stay stable) and the
+    /// RDF store are carried over unchanged.
+    ///
+    /// Surviving entities are **renumbered densely**: external holders of
+    /// old `UserId`/`TreeId`/`TagId`/`DocNodeId` values must re-resolve
+    /// after a compaction (the serving layer invalidates globally for
+    /// this reason). Runs entirely off the serving path — `&self`.
+    pub fn compact(&self) -> (InstanceBuilder, CompactionReport) {
+        let mut out = InstanceBuilder::new(self.analyzer.language());
+        out.analyzer =
+            Analyzer::from_parts(self.analyzer.language(), self.analyzer.vocabulary().clone());
+        out.rdf = self.rdf.clone();
+
+        let mut user_map: Vec<Option<UserId>> = vec![None; self.num_users as usize];
+        let mut tree_map: Vec<Option<TreeId>> = vec![None; self.forest.num_trees()];
+        let mut tag_map: Vec<Option<TagId>> = vec![None; self.tags.len()];
+        let (mut users, mut trees, mut tags) = (0u32, 0u32, 0u32);
+        for &ev in &self.events {
+            match ev {
+                BuildEvent::User => {
+                    let old = UserId(users);
+                    users += 1;
+                    if self.dead.user_alive(old) {
+                        user_map[old.index()] = Some(out.add_user());
+                    }
+                }
+                BuildEvent::Tree => {
+                    let old = TreeId(trees);
+                    trees += 1;
+                    if self.dead.tree_alive(old) {
+                        let new = out.forest.add_document(self.forest.extract(old));
+                        out.events.push(BuildEvent::Tree);
+                        tree_map[old.index()] = Some(new);
+                    }
+                }
+                BuildEvent::Tag => {
+                    let old = TagId(tags);
+                    tags += 1;
+                    if self.dead.tag_alive(old) {
+                        let rec = &self.tags[old.index()];
+                        // Cascades keep live tags closed over live
+                        // subjects and authors, so the remaps are total.
+                        let subject = match rec.subject {
+                            TagSubject::Frag(f) => TagSubject::Frag(remap_frag(
+                                &self.forest,
+                                &out.forest,
+                                &tree_map,
+                                f,
+                            )),
+                            TagSubject::Tag(b) => {
+                                TagSubject::Tag(tag_map[b.index()].expect("live tag on a dead tag"))
+                            }
+                        };
+                        let author =
+                            user_map[rec.author.index()].expect("live tag by a dead author");
+                        tag_map[old.index()] = Some(TagId(out.tags.len() as u32));
+                        out.tags.push(PendingTag { subject, author, keyword: rec.keyword });
+                        out.events.push(BuildEvent::Tag);
+                    }
+                }
+                BuildEvent::DeadUser(_) | BuildEvent::DeadTree(_) | BuildEvent::DeadTag(_) => {}
+            }
+        }
+
+        // Relational state holds only live endpoints (retractions pruned
+        // eagerly), so every remap below is total; list order — which
+        // freeze() preserves into edge order — is kept.
+        out.user_uris = self
+            .user_uris
+            .iter()
+            .map(|(&uri, &u)| (uri, user_map[u.index()].expect("uri of a dead user")))
+            .collect();
+        out.social_edges = self
+            .social_edges
+            .iter()
+            .map(|&(a, b, w)| {
+                (
+                    user_map[a.index()].expect("social edge from a dead user"),
+                    user_map[b.index()].expect("social edge to a dead user"),
+                    w,
+                )
+            })
+            .collect();
+        out.posters = self
+            .posters
+            .iter()
+            .map(|&(t, u)| {
+                (
+                    tree_map[t.index()].expect("poster of a dead tree"),
+                    user_map[u.index()].expect("dead poster"),
+                )
+            })
+            .collect();
+        out.comments = self
+            .comments
+            .iter()
+            .map(|&(c, tgt)| {
+                (
+                    tree_map[c.index()].expect("comment from a dead tree"),
+                    remap_frag(&self.forest, &out.forest, &tree_map, tgt),
+                )
+            })
+            .collect();
+
+        let report = CompactionReport {
+            dropped_users: self.dead.users.len(),
+            dropped_documents: self.dead.trees.len(),
+            dropped_tags: self.dead.tags.len(),
+            dropped_forest_nodes: self.forest.num_nodes() - out.forest.num_nodes(),
+            events_before: self.events.len(),
+            events_after: out.events.len(),
+        };
+        (out, report)
+    }
+
+    pub(crate) fn retract_user(&mut self, u: UserId, log: &mut RetractionLog) -> bool {
+        if u.index() >= self.num_users as usize || !self.dead.users.insert(u) {
+            return false;
+        }
+        self.events.push(BuildEvent::DeadUser(u));
+        log.dead_users.push(u);
+        self.user_uris.retain(|_, id| *id != u);
+        let before = self.social_edges.len();
+        self.social_edges.retain(|&(a, b, _)| a != u && b != u);
+        log.removed_social += before - self.social_edges.len();
+        self.posters.retain(|&(_, p)| p != u);
+        // Cascade: tags the user authored die with them (deterministic
+        // index-order scan; cascades may recurse through tags-on-tags).
+        let authored: Vec<TagId> = self
+            .tags
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| t.author == u && self.dead.tag_alive(TagId(i as u32)))
+            .map(|(i, _)| TagId(i as u32))
+            .collect();
+        for t in authored {
+            self.retract_tag(t, log);
+        }
+        true
+    }
+
+    pub(crate) fn retract_document(&mut self, tree: TreeId, log: &mut RetractionLog) -> bool {
+        if tree.index() >= self.forest.num_trees() || !self.dead.trees.insert(tree) {
+            return false;
+        }
+        self.events.push(BuildEvent::DeadTree(tree));
+        log.dead_trees.push(tree);
+        self.posters.retain(|&(t, _)| t != tree);
+        // Comment edges touching the tree on either side vanish; both
+        // endpoints are logged so apply() can flag the split-off parts.
+        let forest = &self.forest;
+        let removed: Vec<(TreeId, DocNodeId)> = self
+            .comments
+            .iter()
+            .copied()
+            .filter(|&(c, tgt)| c == tree || forest.tree_of(tgt) == tree)
+            .collect();
+        self.comments.retain(|&(c, tgt)| c != tree && forest.tree_of(tgt) != tree);
+        log.removed_comments.extend(removed);
+        // Cascade: tags on any fragment of the tree die.
+        let range = self.forest.tree_range(tree);
+        let on_tree: Vec<TagId> = self
+            .tags
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| {
+                self.dead.tag_alive(TagId(i as u32))
+                    && matches!(t.subject, TagSubject::Frag(f) if range.contains(&f.index()))
+            })
+            .map(|(i, _)| TagId(i as u32))
+            .collect();
+        for t in on_tree {
+            self.retract_tag(t, log);
+        }
+        true
+    }
+
+    pub(crate) fn retract_tag(&mut self, t: TagId, log: &mut RetractionLog) -> bool {
+        if t.index() >= self.tags.len() || !self.dead.tag_alive(t) {
+            return false;
+        }
+        // Worklist instead of recursion: tag-on-tag chains can be long.
+        let mut stack = vec![t];
+        while let Some(t) = stack.pop() {
+            if !self.dead.tags.insert(t) {
+                continue;
+            }
+            self.events.push(BuildEvent::DeadTag(t));
+            log.dead_tags.push(t);
+            for (i, tag) in self.tags.iter().enumerate() {
+                let id = TagId(i as u32);
+                if self.dead.tag_alive(id) && tag.subject == TagSubject::Tag(t) {
+                    stack.push(id);
+                }
+            }
+        }
+        true
+    }
+
+    pub(crate) fn retract_comment_edge(
+        &mut self,
+        comment: TreeId,
+        target: DocNodeId,
+        log: &mut RetractionLog,
+    ) {
+        let removed: Vec<(TreeId, DocNodeId)> = self
+            .comments
+            .iter()
+            .copied()
+            .filter(|&(c, tgt)| c == comment && tgt == target)
+            .collect();
+        self.comments.retain(|&(c, tgt)| !(c == comment && tgt == target));
+        log.removed_comments.extend(removed);
     }
 
     /// Current number of users.
@@ -224,6 +652,7 @@ impl InstanceBuilder {
             comments,
             tags,
             events,
+            dead,
             rdf_dirty: _,
         } = self;
         rdf.saturate();
@@ -240,6 +669,7 @@ impl InstanceBuilder {
             comments,
             tags,
             events,
+            dead,
         )
     }
 
@@ -263,6 +693,7 @@ impl InstanceBuilder {
             self.comments.clone(),
             self.tags.clone(),
             self.events.clone(),
+            self.dead.clone(),
         )
     }
 }
@@ -312,6 +743,12 @@ pub(crate) struct GraphParts {
 /// node numbering and edge order a cold build of the final data produces —
 /// the determinism the live engine's byte-identity rests on.
 /// `prev_comps` selects stable component ids (the incremental path).
+///
+/// Dead entities still allocate their nodes (ids are permanent) but
+/// contribute no edges: social edges, poster records and comment edges of
+/// dead entities were physically removed at retraction time, and dead
+/// tags' `HasSubject`/`HasAuthor` edges are skipped here.
+#[allow(clippy::too_many_arguments)] // one positional slice per builder side table
 pub(crate) fn build_graph(
     events: &[BuildEvent],
     forest: Forest,
@@ -319,6 +756,7 @@ pub(crate) fn build_graph(
     posters: &[(TreeId, UserId)],
     comments: &[(TreeId, DocNodeId)],
     tags: &[PendingTag],
+    dead_tags: &HashSet<TagId>,
     prev_comps: Option<&s3_graph::Components>,
 ) -> GraphParts {
     let mut gb = GraphBuilder::new(forest);
@@ -333,6 +771,7 @@ pub(crate) fn build_graph(
                 next_tree += 1;
             }
             BuildEvent::Tag => tag_nodes.push(gb.add_tag()),
+            BuildEvent::DeadUser(_) | BuildEvent::DeadTree(_) | BuildEvent::DeadTag(_) => {}
         }
     }
 
@@ -355,6 +794,9 @@ pub(crate) fn build_graph(
         comment_pairs.push((root, target));
     }
     for (i, t) in tags.iter().enumerate() {
+        if dead_tags.contains(&TagId(i as u32)) {
+            continue;
+        }
         let tag_node = tag_nodes[i];
         let subject_node = match t.subject {
             TagSubject::Frag(f) => gb.node_of_frag(f).expect("registered"),
@@ -414,8 +856,10 @@ pub(crate) fn tag_records(tags: &[PendingTag], tag_nodes: &[NodeId]) -> Vec<TagR
 
 /// The full cold freeze shared by [`InstanceBuilder::build`] and
 /// [`InstanceBuilder::snapshot`]: derive rdf-asserted social edges, replay
-/// the graph, run the `con` fixpoint over everything, bridge keywords.
-/// `rdf` must already be saturated.
+/// the graph, run the `con` fixpoint over everything alive, bridge
+/// keywords. `rdf` must already be saturated. Dead entities keep their
+/// node ids but seed nothing — a cold freeze of a tombstoned builder is
+/// the byte-identity reference for the live mutation path.
 #[allow(clippy::too_many_arguments)] // one caller-pair, builder-shaped data
 fn freeze(
     language: Language,
@@ -428,16 +872,23 @@ fn freeze(
     comments: Vec<(TreeId, DocNodeId)>,
     tags: Vec<PendingTag>,
     events: Vec<BuildEvent>,
+    dead: Tombstones,
 ) -> S3Instance {
     social_edges.extend(derived_social_edges(&rdf, &user_uris, &social_edges));
     let GraphParts { graph, user_nodes, tag_nodes, poster_of, comment_pairs } =
-        build_graph(&events, forest, &social_edges, &posters, &comments, &tags, None);
+        build_graph(&events, forest, &social_edges, &posters, &comments, &tags, &dead.tags, None);
 
-    // Connection index (seeker-independent).
+    // Connection index (seeker-independent); dead documents and tags are
+    // excluded from the fixpoint, so their entries stay empty.
     let inputs = tag_inputs(&tags, &user_nodes);
-    let conn_index = ConnectionIndex::build(graph.forest(), &inputs, &comment_pairs, |d| {
-        graph.node_of_frag(d).expect("registered")
-    });
+    let conn_index = ConnectionIndex::build_tombstoned(
+        graph.forest(),
+        &inputs,
+        &comment_pairs,
+        |d| graph.node_of_frag(d).expect("registered"),
+        |d| dead.doc_alive(graph.forest(), d),
+        |t| dead.tag_alive(t),
+    );
 
     // Keyword ↔ URI bridge (entity mentions are interned in both).
     let mut kw_to_uri: HashMap<KeywordId, UriId> = HashMap::new();
@@ -455,6 +906,7 @@ fn freeze(
     }
 
     let tag_records = tag_records(&tags, &tag_nodes);
+    let dead_nodes = dead.mark_nodes(&graph, &user_nodes, &tag_nodes);
 
     S3Instance {
         language,
@@ -469,6 +921,7 @@ fn freeze(
         comp_keywords,
         kw_to_uri,
         uri_to_kw,
+        dead_nodes,
         ext_cache: Mutex::new(HashMap::new()),
         smax_cache: Mutex::new(HashMap::new()),
     }
@@ -511,6 +964,10 @@ pub struct S3Instance {
     pub(crate) comp_keywords: Vec<HashSet<KeywordId>>,
     pub(crate) kw_to_uri: HashMap<KeywordId, UriId>,
     pub(crate) uri_to_kw: HashMap<UriId, KeywordId>,
+    /// Tombstoned graph nodes (dead users/fragments/tags). Dead nodes have
+    /// no edges and no `con` entries, so discovery, admission and emission
+    /// skip them structurally; this set makes the invariant checkable.
+    pub(crate) dead_nodes: s3_graph::BitSet,
     pub(crate) ext_cache: Mutex<HashMap<KeywordId, Arc<Vec<KeywordId>>>>,
     pub(crate) smax_cache: SmaxCache,
 }
@@ -621,6 +1078,28 @@ impl S3Instance {
         table
     }
 
+    /// Is a graph node tombstoned (a deleted user, fragment of a deleted
+    /// document, or deleted tag)? Dead nodes keep their ids but have no
+    /// edges and no connections — they can never appear in results.
+    pub fn node_is_dead(&self, n: NodeId) -> bool {
+        self.dead_nodes.get(n.index())
+    }
+
+    /// Number of tombstoned graph nodes.
+    pub fn num_dead_nodes(&self) -> usize {
+        self.dead_nodes.count_ones()
+    }
+
+    /// Fraction of graph nodes that are tombstoned — the signal compaction
+    /// trigger policies watch (`s3-engine`'s `CompactionPolicy`).
+    pub fn dead_fraction(&self) -> f64 {
+        if self.graph.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_dead_nodes() as f64 / self.graph.num_nodes() as f64
+        }
+    }
+
     /// The corpus language.
     pub fn language(&self) -> Language {
         self.language
@@ -670,6 +1149,7 @@ impl S3Instance {
             nodes: self.graph.num_nodes(),
             edges: self.graph.num_edges(),
             connections: self.conn_index.len(),
+            dead_nodes: self.num_dead_nodes(),
         }
     }
 }
@@ -697,6 +1177,9 @@ pub struct InstanceStats {
     pub edges: usize,
     /// `con` tuples in the index.
     pub connections: usize,
+    /// Tombstoned graph nodes (kept allocated; reclaimed derived-state-wise
+    /// by compaction).
+    pub dead_nodes: usize,
 }
 
 #[cfg(test)]
@@ -852,5 +1335,125 @@ mod tests {
         assert_eq!(kws.len(), 1);
         assert_eq!(inst.vocabulary().text(kws[0]), "univers");
         assert!(inst.query_keywords("nonexistentword").is_empty());
+    }
+
+    use crate::search::{Query, SearchConfig};
+
+    fn mutation_base() -> (InstanceBuilder, UserId, UserId) {
+        let mut b = InstanceBuilder::new(Language::English);
+        let author = b.add_user();
+        let seeker = b.add_user();
+        b.add_social_edge(seeker, author, 1.0);
+        for text in ["rust degrees", "java degrees", "python degrees"] {
+            let kws = b.analyze(text);
+            let mut doc = DocBuilder::new("post");
+            doc.set_content(doc.root(), kws);
+            b.add_document(doc, Some(author));
+        }
+        (b, author, seeker)
+    }
+
+    #[test]
+    fn deleted_document_disappears_from_results() {
+        let (mut b, _, seeker) = mutation_base();
+        assert!(b.delete_document(s3_doc::TreeId(1)));
+        assert!(!b.delete_document(s3_doc::TreeId(1)), "second delete is an idempotent no-op");
+        assert!(b.document_is_deleted(s3_doc::TreeId(1)));
+        let inst = b.snapshot();
+        assert!(inst.stats().dead_nodes >= 1);
+        let kws = inst.query_keywords("degrees");
+        let res = inst.search(&Query::new(seeker, kws, 10), &SearchConfig::default());
+        assert_eq!(res.hits.len(), 2);
+        for h in &res.hits {
+            assert_ne!(inst.forest().tree_of(h.doc), s3_doc::TreeId(1));
+        }
+    }
+
+    #[test]
+    fn deleted_user_loses_edges_but_documents_survive() {
+        let (mut b, author, seeker) = mutation_base();
+        let root = b.doc_root(s3_doc::TreeId(0));
+        let kw = b.analyzer_mut().vocabulary_mut().intern("tagword");
+        b.add_tag(TagSubject::Frag(root), author, Some(kw));
+        assert!(b.delete_user(author));
+        let inst = b.snapshot();
+        // Documents survive; the social edge, poster records and the
+        // author's tag are gone, so the seeker can no longer reach them.
+        assert_eq!(inst.num_documents(), 3);
+        assert_eq!(inst.stats().social_edges, 0);
+        let kws = inst.query_keywords("degrees");
+        let res = inst.search(&Query::new(seeker, kws, 10), &SearchConfig::default());
+        assert!(res.hits.is_empty(), "no social path to the orphaned documents");
+    }
+
+    #[test]
+    fn tag_cascade_follows_tags_on_tags() {
+        let (mut b, author, seeker) = mutation_base();
+        let root = b.doc_root(s3_doc::TreeId(0));
+        let kw = b.analyzer_mut().vocabulary_mut().intern("tagword");
+        let t0 = b.add_tag(TagSubject::Frag(root), author, Some(kw));
+        let t1 = b.add_tag(TagSubject::Tag(t0), seeker, None);
+        assert!(b.delete_tag(t0));
+        assert!(b.tag_is_deleted(t1), "the endorsement dies with its subject");
+        assert_eq!(b.dead_counts(), (0, 0, 2));
+    }
+
+    #[test]
+    fn compact_equals_cold_build_of_survivors() {
+        let (mut b, _author, seeker) = mutation_base();
+        let root1 = b.doc_root(s3_doc::TreeId(1));
+        let kw = b.analyzer_mut().vocabulary_mut().intern("tagword");
+        b.add_tag(TagSubject::Frag(root1), seeker, Some(kw));
+        let mut comment = DocBuilder::new("comment");
+        let ckws = b.analyze("great degrees");
+        comment.set_content(comment.root(), ckws);
+        let c = b.add_document(comment, Some(seeker));
+        b.add_comment_edge(c, root1);
+        b.delete_document(s3_doc::TreeId(0));
+
+        let (compacted, report) = b.compact();
+        assert_eq!(report.dropped_documents, 1);
+        assert_eq!(report.events_after, report.events_before - 2);
+        let ci = compacted.snapshot();
+        assert_eq!(ci.stats().dead_nodes, 0, "compaction reclaims every tombstone");
+
+        // Cold reference: only the surviving entities, original order.
+        let mut cold = InstanceBuilder::new(Language::English);
+        let author2 = cold.add_user();
+        let seeker2 = cold.add_user();
+        cold.add_social_edge(seeker2, author2, 1.0);
+        for text in ["java degrees", "python degrees"] {
+            let kws = cold.analyze(text);
+            let mut doc = DocBuilder::new("post");
+            doc.set_content(doc.root(), kws);
+            cold.add_document(doc, Some(author2));
+        }
+        let root1c = cold.doc_root(s3_doc::TreeId(0));
+        let kwc = cold.analyzer_mut().vocabulary_mut().intern("tagword");
+        cold.add_tag(TagSubject::Frag(root1c), seeker2, Some(kwc));
+        let mut comment = DocBuilder::new("comment");
+        let ckws = cold.analyze("great degrees");
+        comment.set_content(comment.root(), ckws);
+        let cc = cold.add_document(comment, Some(seeker2));
+        cold.add_comment_edge(cc, root1c);
+        let coldi = cold.build();
+
+        // Vocabulary sizes differ (the compacted side never forgets a
+        // word), but every structural and derived count must agree…
+        let (a, b_) = (ci.stats(), coldi.stats());
+        assert_eq!(
+            (a.users, a.social_edges, a.documents, a.fragments_non_root, a.tags),
+            (b_.users, b_.social_edges, b_.documents, b_.fragments_non_root, b_.tags),
+        );
+        assert_eq!((a.nodes, a.edges, a.connections), (b_.nodes, b_.edges, b_.connections));
+        // …and so must search results, byte for byte (ids renumber
+        // identically because the replay order is identical).
+        let q = Query::new(seeker, ci.query_keywords("degrees"), 10);
+        let qc = Query::new(seeker2, coldi.query_keywords("degrees"), 10);
+        let (ra, rb) =
+            (ci.search(&q, &SearchConfig::default()), coldi.search(&qc, &SearchConfig::default()));
+        assert_eq!(ra.hits, rb.hits);
+        assert_eq!(ra.candidate_docs, rb.candidate_docs);
+        assert_eq!(ra.stats.stop, rb.stats.stop);
     }
 }

@@ -67,7 +67,7 @@ pub use ids::{TagId, TagSubject, UserId};
 pub use ingest::{
     DocRef, FragRef, IngestBatch, IngestDoc, IngestSummary, TagRef, TagSubjectRef, UserRef,
 };
-pub use instance::{InstanceBuilder, InstanceStats, S3Instance};
+pub use instance::{CompactionReport, InstanceBuilder, InstanceStats, S3Instance};
 pub use partition::{ComponentFilter, ComponentPartition};
 pub use s3_graph::CompId;
 pub use s3_graph::{Propagation, PropagationState};

@@ -35,7 +35,7 @@
 use crate::connections::ConnectionIndex;
 use crate::ids::{TagId, TagSubject, UserId};
 use crate::instance::{
-    keyword_bridges, tag_records, BuildEvent, InstanceBuilder, PendingTag, S3Instance,
+    keyword_bridges, tag_records, BuildEvent, InstanceBuilder, PendingTag, S3Instance, Tombstones,
 };
 use s3_doc::{DocNodeId, Forest, TreeId};
 use s3_graph::{NodeKind, SocialGraph};
@@ -50,10 +50,15 @@ use std::sync::{Arc, Mutex};
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"S3KSNAP\0";
 
-/// Version of the snapshot format this build reads and writes. Any change
-/// to the payload encoding must bump it; there are no compatibility
-/// shims — a version mismatch is a hard load error.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Version of the snapshot format this build writes. Any change to the
+/// payload encoding must bump it. Version 2 added tombstone events
+/// (`Dead*` discriminants in the event log); version-1 files predate
+/// deletions, decode under the same rules (their logs simply carry no
+/// tombstones) and remain loadable. Anything else is a hard load error.
+pub const SNAPSHOT_VERSION: u16 = 2;
+
+/// Oldest snapshot version this build still reads.
+pub const SNAPSHOT_MIN_VERSION: u16 = 1;
 
 /// Serialize a `(builder, instance)` pair into the snapshot format.
 ///
@@ -94,7 +99,7 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<(InstanceBuilder, S3Instance), Snap
         return Err(SnapError::BadMagic);
     }
     let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapError::Version(version));
     }
     let crc = u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
@@ -199,11 +204,23 @@ fn write_builder_block(b: &InstanceBuilder, out: &mut Vec<u8>) {
     }
     put_usize(out, b.events.len());
     for ev in &b.events {
-        out.push(match ev {
-            BuildEvent::User => 0,
-            BuildEvent::Tree => 1,
-            BuildEvent::Tag => 2,
-        });
+        match ev {
+            BuildEvent::User => out.push(0),
+            BuildEvent::Tree => out.push(1),
+            BuildEvent::Tag => out.push(2),
+            BuildEvent::DeadUser(u) => {
+                out.push(3);
+                put_u32v(out, u.0);
+            }
+            BuildEvent::DeadTree(t) => {
+                out.push(4);
+                put_u32v(out, t.0);
+            }
+            BuildEvent::DeadTag(t) => {
+                out.push(5);
+                put_u32v(out, t.0);
+            }
+        }
     }
 }
 
@@ -306,8 +323,12 @@ fn read_builder_block(r: &mut SnapReader<'_>) -> Result<InstanceBuilder, SnapErr
         tags.push(PendingTag { subject, author: UserId(author), keyword });
     }
 
+    // Event log: creation events must replay to the entity counts, and
+    // tombstone events (version 2) must kill only already-created, not
+    // yet dead entities — replaying the log reconstructs the dead sets.
     let n = r.seq(1)?;
     let mut events = Vec::with_capacity(n);
+    let mut dead = Tombstones::default();
     let (mut ev_users, mut ev_trees, mut ev_tags) = (0u32, 0usize, 0usize);
     for _ in 0..n {
         events.push(match r.u8()? {
@@ -323,11 +344,58 @@ fn read_builder_block(r: &mut SnapReader<'_>) -> Result<InstanceBuilder, SnapErr
                 ev_tags += 1;
                 BuildEvent::Tag
             }
+            3 => {
+                let u = r.u32v()?;
+                if u >= ev_users || !dead.users.insert(UserId(u)) {
+                    return Err(SnapError::Value("invalid user tombstone"));
+                }
+                BuildEvent::DeadUser(UserId(u))
+            }
+            4 => {
+                let t = r.u32v()?;
+                if t as usize >= ev_trees || !dead.trees.insert(TreeId(t)) {
+                    return Err(SnapError::Value("invalid document tombstone"));
+                }
+                BuildEvent::DeadTree(TreeId(t))
+            }
+            5 => {
+                let t = r.u32v()?;
+                if t as usize >= ev_tags || !dead.tags.insert(TagId(t)) {
+                    return Err(SnapError::Value("invalid tag tombstone"));
+                }
+                BuildEvent::DeadTag(TagId(t))
+            }
             _ => return Err(SnapError::Value("build-event discriminant")),
         });
     }
     if ev_users != num_users || ev_trees != num_trees || ev_tags != tags.len() {
         return Err(SnapError::Value("event log disagrees with entity counts"));
+    }
+
+    // Retractions physically unlink edges when they land, so a consistent
+    // snapshot never stores a list entry touching a tombstoned entity
+    // (live tags only; dead tags legitimately keep their stored shape).
+    if social_edges.iter().any(|&(a, b, _)| !dead.user_alive(a) || !dead.user_alive(b)) {
+        return Err(SnapError::Value("social edge touches a tombstoned user"));
+    }
+    if posters.iter().any(|&(t, u)| !dead.tree_alive(t) || !dead.user_alive(u)) {
+        return Err(SnapError::Value("poster entry touches a tombstoned entity"));
+    }
+    if comments.iter().any(|&(t, tgt)| !dead.tree_alive(t) || !dead.tree_alive(forest.tree_of(tgt)))
+    {
+        return Err(SnapError::Value("comment edge touches a tombstoned document"));
+    }
+    for (i, t) in tags.iter().enumerate() {
+        if !dead.tag_alive(TagId(i as u32)) {
+            continue;
+        }
+        let subject_dead = match t.subject {
+            TagSubject::Frag(f) => !dead.tree_alive(forest.tree_of(f)),
+            TagSubject::Tag(b) => !dead.tag_alive(b),
+        };
+        if subject_dead || !dead.user_alive(t.author) {
+            return Err(SnapError::Value("live tag touches a tombstoned entity"));
+        }
     }
 
     Ok(InstanceBuilder {
@@ -341,6 +409,7 @@ fn read_builder_block(r: &mut SnapReader<'_>) -> Result<InstanceBuilder, SnapErr
         comments,
         tags,
         events,
+        dead,
         rdf_dirty: std::cell::Cell::new(false),
     })
 }
@@ -399,6 +468,8 @@ fn assemble_instance(
     let mut uri_to_kw: HashMap<UriId, KeywordId> = HashMap::new();
     keyword_bridges(builder.analyzer.vocabulary(), &rdf_sat, 0, &mut kw_to_uri, &mut uri_to_kw);
 
+    let dead_nodes = builder.dead.mark_nodes(&graph, &user_nodes, &tag_nodes);
+
     Ok(S3Instance {
         language: builder.analyzer.language(),
         vocabulary: builder.analyzer.vocabulary().clone(),
@@ -412,6 +483,7 @@ fn assemble_instance(
         comp_keywords,
         kw_to_uri,
         uri_to_kw,
+        dead_nodes,
         ext_cache: Mutex::new(HashMap::new()),
         smax_cache: Mutex::new(HashMap::new()),
     })
@@ -469,6 +541,23 @@ mod tests {
         let r1 = inst.search(&q, &cfg);
         let r2 = inst2.search(&q, &cfg);
         assert_eq!(format!("{r1:?}"), format!("{r2:?}"), "results must be byte-identical");
+    }
+
+    #[test]
+    fn version1_snapshots_still_load() {
+        // A tombstone-free event log is byte-identical between versions 1
+        // and 2 (version 2 only *added* the `Dead*` discriminants), so a
+        // faithful v1 file is today's bytes with the header version
+        // patched — the CRC covers the payload only.
+        let b = sample();
+        let inst = b.snapshot();
+        let mut bytes = write_snapshot(&b, &inst);
+        assert_eq!(u16::from_le_bytes([bytes[8], bytes[9]]), SNAPSHOT_VERSION);
+        bytes[8..10].copy_from_slice(&SNAPSHOT_MIN_VERSION.to_le_bytes());
+        let (b2, inst2) = read_snapshot(&bytes).expect("v1 snapshots must keep loading");
+        assert_eq!(inst2.num_users(), inst.num_users());
+        assert_eq!(inst2.num_documents(), inst.num_documents());
+        assert_eq!(b2.dead_counts(), (0, 0, 0));
     }
 
     #[test]

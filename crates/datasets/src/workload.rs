@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use s3_core::{
     DocRef, FragRef, IngestBatch, IngestDoc, Query, S3Instance, TagSubjectRef, UserId, UserRef,
 };
-use s3_doc::DocNodeId;
+use s3_doc::{DocNodeId, TreeId};
 use s3_text::{FrequencyClass, KeywordId};
 
 /// Parameters of one workload.
@@ -190,6 +190,13 @@ pub struct LiveWorkloadConfig {
     pub tags_per_batch: usize,
     /// New comment edges per batch.
     pub comments_per_batch: usize,
+    /// Document deletions per batch (tombstones a live tree; deleted
+    /// documents leave the generator's attach pool, so later steps never
+    /// reference dead targets).
+    pub deletes_per_batch: usize,
+    /// In-place document updates per batch (delete + append with a fresh
+    /// stable id, via [`IngestBatch::update_document`]).
+    pub updates_per_batch: usize,
     /// Query specs per step.
     pub queries_per_batch: usize,
     /// Result size per query.
@@ -211,6 +218,8 @@ impl Default for LiveWorkloadConfig {
             docs_per_batch: 3,
             tags_per_batch: 2,
             comments_per_batch: 1,
+            deletes_per_batch: 0,
+            updates_per_batch: 0,
             queries_per_batch: 8,
             k: 5,
             attach_probability: 0.3,
@@ -249,7 +258,12 @@ pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<
     let mut num_users = instance.num_users();
     let mut next_node = instance.forest().num_nodes() as u32;
     let forest = instance.forest();
-    let mut roots: Vec<DocNodeId> = forest.trees().map(|t| forest.root(t)).collect();
+    // The attach pool: live documents as (tree, root) pairs. Deletions and
+    // updates remove entries, so later steps only target surviving trees;
+    // appended trees take the next dense id (tombstoned ids stay
+    // allocated, so the counter never goes backwards).
+    let mut roots: Vec<(TreeId, DocNodeId)> = forest.trees().map(|t| (t, forest.root(t))).collect();
+    let mut next_tree = roots.len() as u32;
 
     let mut steps = Vec::with_capacity(config.batches);
     for _ in 0..config.batches {
@@ -261,6 +275,15 @@ pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<
         let any_user = |rng: &mut StdRng, batch_users: &[UserRef]| {
             batch_users[rng.gen_range(0..batch_users.len())]
         };
+        // Deletions: tombstone live documents, drawn (and removed) from
+        // the attach pool before anything else targets it.
+        for _ in 0..config.deletes_per_batch {
+            if roots.is_empty() {
+                break;
+            }
+            let (tree, _) = roots.swap_remove(rng.gen_range(0..roots.len()));
+            batch.delete_document(tree);
+        }
         // Social edges: every new user follows someone.
         for &u in &new_users {
             let to = if attach(&mut rng, num_users > 0) {
@@ -300,6 +323,26 @@ pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<
             batch_doc_lens.push(doc.len());
             batch_docs.push(batch.add_document(doc, poster));
         }
+        // Updates: replace a live document in place (delete + append with
+        // a fresh stable id). The replacement joins the batch's doc pool,
+        // so comments and tags below may land on it.
+        for _ in 0..config.updates_per_batch {
+            if roots.is_empty() {
+                break;
+            }
+            let (tree, _) = roots.swap_remove(rng.gen_range(0..roots.len()));
+            let mut doc = IngestDoc::new("post");
+            let words: Vec<&str> =
+                (0..rng.gen_range(2..=5)).map(|_| LIVE_WORDS[zipf_word(&mut rng)]).collect();
+            doc.set_text(doc.root(), words.join(" "));
+            let poster = if attach(&mut rng, num_users > 0) {
+                Some(UserRef::Existing(UserId(rng.gen_range(0..num_users) as u32)))
+            } else {
+                Some(any_user(&mut rng, &new_users))
+            };
+            batch_doc_lens.push(doc.len());
+            batch_docs.push(batch.update_document(tree, doc, poster));
+        }
         // Comments: batch docs commenting on earlier batch docs or
         // existing roots.
         for _ in 0..config.comments_per_batch {
@@ -308,7 +351,7 @@ pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<
             }
             let (ci, target) = if attach(&mut rng, !roots.is_empty()) {
                 let ci = rng.gen_range(0..batch_docs.len());
-                (ci, FragRef::Existing(roots[rng.gen_range(0..roots.len())]))
+                (ci, FragRef::Existing(roots[rng.gen_range(0..roots.len())].1))
             } else if batch_docs.len() >= 2 {
                 // A comment among the batch's own documents keeps the
                 // delta detached.
@@ -325,7 +368,7 @@ pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<
                 if roots.is_empty() {
                     continue;
                 }
-                TagSubjectRef::Frag(FragRef::Existing(roots[rng.gen_range(0..roots.len())]))
+                TagSubjectRef::Frag(FragRef::Existing(roots[rng.gen_range(0..roots.len())].1))
             } else {
                 TagSubjectRef::Frag(FragRef::New {
                     doc: rng.gen_range(0..batch_docs.len()),
@@ -344,7 +387,8 @@ pub fn live_workload(instance: &S3Instance, config: &LiveWorkloadConfig) -> Vec<
         // Advance the generator's view of the instance.
         num_users += batch.num_users();
         for len in batch_doc_lens {
-            roots.push(DocNodeId(next_node));
+            roots.push((TreeId(next_tree), DocNodeId(next_node)));
+            next_tree += 1;
             next_node += len as u32;
         }
 
@@ -544,6 +588,42 @@ mod tests {
             assert!(summary.detached, "attach_probability 0 must yield detached batches");
             prev = next;
         }
+    }
+
+    #[test]
+    fn mutating_workload_replays_cleanly() {
+        let mut c = TwitterConfig::scaled(Scale::Tiny);
+        c.users = 50;
+        c.tweets = 300;
+        let (mut builder, _, _) = twitter::generate_builder(&c);
+        let mut prev = builder.snapshot();
+        let config = LiveWorkloadConfig {
+            batches: 4,
+            deletes_per_batch: 2,
+            updates_per_batch: 2,
+            seed: 21,
+            ..LiveWorkloadConfig::default()
+        };
+        let a = live_workload(&prev, &config);
+        let b = live_workload(&prev, &config);
+        let mut deleted_total = 0usize;
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.batch.deleted_documents(), sb.batch.deleted_documents());
+            assert_eq!(sa.batch.num_documents(), sb.batch.num_documents());
+            // deletes + the updates' tombstoned halves.
+            assert_eq!(sa.batch.deleted_documents().len(), 4);
+            // Every retraction targets a tree that is live going in: the
+            // generator's attach pool tracks survivors exactly.
+            for &t in sa.batch.deleted_documents() {
+                assert!(!builder.document_is_deleted(t), "workload targeted a dead tree");
+            }
+            deleted_total += sa.batch.deleted_documents().len();
+            let (next, _) = builder.apply(&prev, &sa.batch);
+            prev = next;
+        }
+        let (_, dead_docs, _) = builder.dead_counts();
+        assert_eq!(dead_docs, deleted_total, "every generated retraction landed");
+        assert!(prev.dead_fraction() > 0.0, "mutations leave tombstones behind");
     }
 
     #[test]

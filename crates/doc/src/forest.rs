@@ -270,6 +270,36 @@ impl Forest {
         self.content.iter().map(|c| c.len()).sum()
     }
 
+    /// Rebuild a [`DocBuilder`] equivalent to one frozen tree: re-adding
+    /// the returned builder to any forest reproduces the tree's pre-order
+    /// shape, names, content and URI exactly, so a node at offset `i`
+    /// within the tree's range lands at offset `i` again. Compaction
+    /// relies on this to remap fragment ids across a rebuild.
+    pub fn extract(&self, tree: TreeId) -> DocBuilder {
+        let range = self.tree_range(tree);
+        let root = self.root(tree);
+        let mut b = DocBuilder::new(self.name(root));
+        b.set_content(b.root(), self.content(root).to_vec());
+        // Nodes are pre-order contiguous, so walking the range in order
+        // visits every parent before its children, and appending each
+        // child in ascending id order preserves document order — the
+        // re-frozen pre-order assigns the same offsets.
+        for i in range.start + 1..range.end {
+            let node = DocNodeId(i as u32);
+            let parent = self.parent(node).expect("non-root node has a parent");
+            let local = b.child(
+                crate::builder::LocalNodeId((parent.index() - range.start) as u32),
+                self.name(node),
+            );
+            debug_assert_eq!(local.0 as usize, i - range.start);
+            b.set_content(local, self.content(node).to_vec());
+        }
+        match self.uri(tree) {
+            Some(uri) => b.with_uri(uri),
+            None => b,
+        }
+    }
+
     /// Serialize for the durable snapshot format: the tree directory and
     /// the struct-of-arrays node storage, verbatim. The name-interning
     /// index is rebuilt on read, so the encoding is independent of
@@ -526,6 +556,37 @@ mod tests {
         assert_eq!(fst.content(text), &[s3_text::KeywordId(5)]);
         assert_eq!(fst.name(text), "text");
         assert_eq!(fst.total_keywords(), 1);
+    }
+
+    #[test]
+    fn extract_round_trips_a_tree() {
+        let mut fst = Forest::new();
+        let mut b = DocBuilder::new("article");
+        let s1 = b.child(b.root(), "section");
+        b.child_with_content(s1, "p", vec![KeywordId(3), KeywordId(9)]);
+        let s2 = b.child(b.root(), "section");
+        b.child_with_content(s2, "p", vec![KeywordId(5)]);
+        b.set_content(b.root(), vec![KeywordId(1)]);
+        let filler = fst.add_document(DocBuilder::new("noise"));
+        let t = fst.add_document(b.with_uri("ex:d0"));
+
+        let mut copy = Forest::new();
+        let t2 = copy.add_document(fst.extract(t));
+        assert_eq!(copy.tree_len(t2), fst.tree_len(t));
+        assert_eq!(copy.uri(t2), Some("ex:d0"));
+        let (old_range, new_range) = (fst.tree_range(t), copy.tree_range(t2));
+        for offset in 0..fst.tree_len(t) {
+            let old = DocNodeId((old_range.start + offset) as u32);
+            let new = DocNodeId((new_range.start + offset) as u32);
+            assert_eq!(fst.name(old), copy.name(new));
+            assert_eq!(fst.content(old), copy.content(new));
+            assert_eq!(fst.depth(old), copy.depth(new));
+            assert_eq!(
+                fst.parent(old).map(|p| p.index() - old_range.start),
+                copy.parent(new).map(|p| p.index() - new_range.start),
+            );
+        }
+        let _ = filler;
     }
 
     #[test]

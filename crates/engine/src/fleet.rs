@@ -36,16 +36,17 @@
 use crate::gate::{self, Admission, AdmissionGate, LoadStats, ServeOutcome};
 use crate::{EngineConfig, S3Engine, ShardRouter};
 use s3_core::{
-    read_snapshot, ComponentFilter, ComponentPartition, FleetShard, Hit, IngestBatch,
-    IngestSummary, InstanceBuilder, QualityBound, Query, ResumeOutcome, S3Instance, S3kEngine,
-    SearchConfig, SearchStats, StopReason, TopKResult, UserId,
+    read_snapshot, CompactionReport, ComponentFilter, ComponentPartition, FleetShard, Hit,
+    IngestBatch, IngestSummary, InstanceBuilder, QualityBound, Query, ResumeOutcome, S3Instance,
+    S3kEngine, SearchConfig, SearchStats, StopReason, TopKResult, UserId,
 };
 use s3_doc::DocNodeId;
 use s3_text::KeywordId;
 use s3_wire::{
-    loopback_pair, read_frame, tag, write_frame, FramedTransport, IngestAck, LoopbackConn,
-    RequestBuf, RequestKind, RoundReply, SelectionEntry, ShardTransport, Snapshot, SnapshotAck,
-    SnapshotChunk, Start, StopCheck, TransportStats, WireError, WireIngest, WIRE_VERSION,
+    loopback_pair, read_frame, tag, write_frame, CompactAck, FramedTransport, IngestAck,
+    LoopbackConn, RequestBuf, RequestKind, RoundReply, SelectionEntry, ShardTransport, Snapshot,
+    SnapshotAck, SnapshotChunk, Start, StopCheck, TransportStats, WireError, WireIngest,
+    WIRE_VERSION,
 };
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -313,6 +314,31 @@ impl ShardServer {
         };
     }
 
+    /// Handle a compaction request: rebuild the replica without
+    /// tombstoned state ([`InstanceBuilder::compact`]), re-partition the
+    /// clean instance, swap the serving engine, bump the epoch and fill
+    /// the consistency ack. Entity ids are densely renumbered, so any
+    /// in-flight session is invalidated.
+    pub fn compact(&mut self, out: &mut CompactAck) -> CompactionReport {
+        let (builder, report) = self.builder.compact();
+        self.builder = builder;
+        self.instance = Arc::new(self.builder.snapshot());
+        self.partition =
+            Arc::new(ComponentPartition::balanced(&self.instance, self.partition.num_shards()));
+        self.engine = shard_engine(&self.instance, &self.partition, self.shard, &self.config);
+        self.session.invalidate();
+        self.epoch += 1;
+        let fp = snapshot_fingerprint(&self.instance);
+        *out = CompactAck {
+            epoch: self.epoch,
+            nodes: fp.nodes,
+            users: fp.users,
+            docs: fp.docs,
+            connections: fp.connections,
+        };
+        report
+    }
+
     /// Serve the wire protocol over a connected stream until the peer
     /// hangs up or sends `Shutdown`. Request bodies and the reply buffer
     /// are reused across rounds — steady-state serving does not allocate
@@ -353,6 +379,11 @@ impl ShardServer {
                     ack.encode(&mut payload);
                 }
                 RequestKind::Shutdown => return Ok(()),
+                RequestKind::Compact => {
+                    let mut ack = CompactAck::default();
+                    self.compact(&mut ack);
+                    ack.encode(&mut payload);
+                }
             }
             write_frame(&mut stream, &payload)?;
             stream.flush()?;
@@ -455,6 +486,8 @@ pub struct LocalShard {
     ack_ready: bool,
     snap_ack: SnapshotAck,
     snap_ack_ready: bool,
+    compact_ack: CompactAck,
+    compact_ack_ready: bool,
     stats: TransportStats,
 }
 
@@ -470,6 +503,8 @@ impl LocalShard {
             ack_ready: false,
             snap_ack: SnapshotAck::default(),
             snap_ack_ready: false,
+            compact_ack: CompactAck::default(),
+            compact_ack_ready: false,
             stats: TransportStats::default(),
         }
     }
@@ -565,6 +600,15 @@ impl ShardTransport for LocalShard {
         Ok(())
     }
 
+    fn send_compact(&mut self) -> Result<(), WireError> {
+        self.stats.frames_sent += 1;
+        let mut ack = CompactAck::default();
+        self.server_mut()?.compact(&mut ack);
+        self.compact_ack = ack;
+        self.compact_ack_ready = true;
+        Ok(())
+    }
+
     fn send_shutdown(&mut self) -> Result<(), WireError> {
         self.stats.frames_sent += 1;
         Ok(())
@@ -606,6 +650,16 @@ impl ShardTransport for LocalShard {
         self.snap_ack_ready = false;
         self.stats.frames_received += 1;
         *out = self.snap_ack;
+        Ok(())
+    }
+
+    fn recv_compact_ack(&mut self, out: &mut CompactAck) -> Result<(), WireError> {
+        if !self.compact_ack_ready {
+            return Err(WireError::Protocol("no compact ack pending"));
+        }
+        self.compact_ack_ready = false;
+        self.stats.frames_received += 1;
+        *out = self.compact_ack;
         Ok(())
     }
 
@@ -1033,6 +1087,43 @@ impl FleetEngine {
             }
         }
         Ok(summary)
+    }
+
+    /// Compact every replica: ship a compaction request to every shard
+    /// (pipelined), run the same [`InstanceBuilder::compact`] locally,
+    /// re-partition and re-route over the clean instance, and cross-check
+    /// the acks — every replica must land on the same fingerprint and
+    /// epoch, or the fleet is declared diverged. Compaction densely
+    /// renumbers entity ids, so callers must refresh any ids they hold.
+    pub fn compact(&mut self) -> Result<CompactionReport, WireError> {
+        for t in &mut self.shards {
+            t.send_compact()?;
+        }
+        for t in &mut self.shards {
+            t.flush()?;
+        }
+        let (builder, report) = self.builder.compact();
+        self.builder = builder;
+        self.instance = Arc::new(self.builder.snapshot());
+        self.partition = Arc::new(ComponentPartition::balanced(&self.instance, self.shards.len()));
+        self.router = ShardRouter::new(&self.instance, Arc::clone(&self.partition));
+        self.epoch += 1;
+        let fp = snapshot_fingerprint(&self.instance);
+        let expected = CompactAck {
+            epoch: self.epoch,
+            nodes: fp.nodes,
+            users: fp.users,
+            docs: fp.docs,
+            connections: fp.connections,
+        };
+        let mut ack = CompactAck::default();
+        for t in &mut self.shards {
+            t.recv_compact_ack(&mut ack)?;
+            if ack != expected {
+                return Err(WireError::Protocol("shard replica diverged after compaction"));
+            }
+        }
+        Ok(report)
     }
 
     /// Send every shard a shutdown request and return the final per-shard

@@ -59,7 +59,8 @@ pub use fleet::{FleetEngine, LocalShard, ShardHost, ShardServer};
 pub use gate::{LoadStats, OverloadConfig, OverloadPolicy, ServeOutcome};
 pub use live::{IngestReport, InvalidationScope, LiveEngine, LiveShardedEngine};
 pub use persist::{
-    Checkpoint, CheckpointReport, Checkpointer, PersistError, RecoveryReport, RecoverySource,
+    Checkpoint, CheckpointReport, Checkpointer, Compact, CompactReport, CompactionPolicy,
+    Compactor, PersistError, RecoveryReport, RecoverySource,
 };
 pub use shard::{ShardRouter, ShardedEngine};
 pub use warm::ResumeStats;
@@ -335,7 +336,7 @@ impl std::fmt::Display for CacheStats {
 /// let mut doc = DocBuilder::new("post");
 /// doc.set_content(doc.root(), kws);
 /// b.add_document(doc, Some(u));
-/// let engine = S3Engine::new(Arc::new(b.build()), EngineConfig::default());
+/// let engine = S3Engine::new(Arc::new(b.build()), EngineConfig::builder().threads(2).build());
 ///
 /// let keywords = engine.instance().query_keywords("degree");
 /// let batch: Vec<Query> = (0..8).map(|_| Query::new(u, keywords.clone(), 3)).collect();

@@ -44,7 +44,8 @@
 
 use crate::gate::{LoadStats, ServeOutcome};
 use crate::persist::{
-    self, Checkpoint, CheckpointReport, PersistError, Persistence, RecoveryReport, RecoverySource,
+    self, Checkpoint, CheckpointReport, Compact, CompactReport, PersistError, Persistence,
+    RecoveryReport, RecoverySource,
 };
 use crate::{CacheStats, EngineConfig, ResumeStats, S3Engine, ShardedEngine};
 use s3_core::{
@@ -171,7 +172,7 @@ impl std::fmt::Display for IngestReport {
 /// let mut doc = s3_doc::DocBuilder::new("post");
 /// doc.set_content(doc.root(), kws);
 /// b.add_document(doc, Some(u));
-/// let live = LiveEngine::new(b, EngineConfig::default());
+/// let live = LiveEngine::new(b, EngineConfig::builder().cache_capacity(64).build());
 ///
 /// let keywords = live.instance().query_keywords("degree");
 /// assert_eq!(live.query(&Query::new(u, keywords.clone(), 3)).hits.len(), 1);
@@ -338,6 +339,55 @@ impl LiveEngine {
     pub fn wal_records(&self) -> Option<u64> {
         let writer = self.writer.lock().expect("ingest writer poisoned");
         writer.persist.as_ref().map(|p| p.wal.len())
+    }
+
+    /// Fraction of the current snapshot's graph nodes that are
+    /// tombstoned — the compaction trigger signal.
+    pub fn dead_fraction(&self) -> f64 {
+        self.instance().dead_fraction()
+    }
+
+    /// Run one compaction epoch: rebuild the instance without tombstoned
+    /// state off the serving path ([`InstanceBuilder::compact`]) and
+    /// publish the clean snapshot atomically. Queries keep being served
+    /// from the old snapshot until the swap; in-flight readers pinning it
+    /// stay consistent.
+    ///
+    /// Compaction densely renumbers every entity id, so the invalidation
+    /// is always global (caches and warm pools drop), and callers must
+    /// refresh any [`s3_core::UserId`]/[`s3_doc::TreeId`]/tag ids they
+    /// hold. On a durable engine the compaction **checkpoints before it
+    /// publishes** — the compacted snapshot is written and the WAL
+    /// truncated in the same critical section, because the journal's
+    /// records reference pre-compaction ids and must never replay on top
+    /// of the compacted snapshot.
+    pub fn compact(&self) -> Result<CompactReport, PersistError> {
+        let mut writer = self.writer.lock().expect("ingest writer poisoned");
+        let (compacted, compaction) = writer.builder.compact();
+        let instance = Arc::new(compacted.snapshot());
+        let mut checkpointed = None;
+        if let Some(persist) = writer.persist.as_mut() {
+            checkpointed = Some(persist.wal.len());
+            save_snapshot(&persist.snapshot_path, &compacted, &instance)?;
+            persist.wal.truncate()?;
+        }
+        writer.builder = compacted;
+        let prev = self.engine();
+        let next = prev.succeed(Arc::clone(&instance), true);
+        let results_invalidated = next.result_cache().invalidate();
+        let warm_invalidated = next.prop_pool().invalidate_all();
+        *self.current.write().expect("snapshot pointer poisoned") = Arc::new(next);
+        Ok(CompactReport { compaction, results_invalidated, warm_invalidated, checkpointed })
+    }
+}
+
+impl Compact for LiveEngine {
+    fn dead_fraction(&self) -> f64 {
+        LiveEngine::dead_fraction(self)
+    }
+
+    fn compact(&self) -> Result<CompactReport, PersistError> {
+        LiveEngine::compact(self)
     }
 }
 
@@ -562,6 +612,59 @@ impl LiveShardedEngine {
     pub fn wal_records(&self) -> Option<u64> {
         let writer = self.writer.lock().expect("ingest writer poisoned");
         writer.persist.as_ref().map(|p| p.wal.len())
+    }
+
+    /// Fraction of the current snapshot's graph nodes that are
+    /// tombstoned — the compaction trigger signal.
+    pub fn dead_fraction(&self) -> f64 {
+        self.instance().dead_fraction()
+    }
+
+    /// Run one compaction epoch ([`LiveEngine::compact`]'s contract,
+    /// sharded): rebuild without tombstoned state, re-partition the
+    /// clean instance into fresh balanced shards (compaction renumbers
+    /// components, so the old placement is meaningless), reinstall every
+    /// shard's component filter, and publish atomically. Invalidation is
+    /// global across the front and every shard; on a durable engine the
+    /// compacted snapshot is checkpointed and the WAL truncated before
+    /// the publish.
+    pub fn compact(&self) -> Result<CompactReport, PersistError> {
+        let mut writer = self.writer.lock().expect("ingest writer poisoned");
+        let (compacted, compaction) = writer.builder.compact();
+        let instance = Arc::new(compacted.snapshot());
+        let mut checkpointed = None;
+        if let Some(persist) = writer.persist.as_mut() {
+            checkpointed = Some(persist.wal.len());
+            save_snapshot(&persist.snapshot_path, &compacted, &instance)?;
+            persist.wal.truncate()?;
+        }
+        writer.builder = compacted;
+        let prev = self.engine();
+        let partition = Arc::new(ComponentPartition::balanced(&instance, prev.num_shards()));
+        let next = prev.succeed(Arc::clone(&instance), Arc::clone(&partition));
+        let mut results_invalidated = next.result_cache().invalidate();
+        let mut warm_invalidated = next.prop_pool().invalidate_all();
+        for s in 0..next.num_shards() {
+            let shard = next.shard(s);
+            let filter = Arc::new(ComponentFilter::for_shard(&partition, s));
+            let before = (shard.cache_stats().invalidated, shard.resume_stats().invalidated);
+            let config = shard.search_config();
+            shard.set_search_config(SearchConfig { component_filter: Some(filter), ..config });
+            results_invalidated += shard.cache_stats().invalidated - before.0;
+            warm_invalidated += shard.resume_stats().invalidated - before.1;
+        }
+        *self.current.write().expect("snapshot pointer poisoned") = Arc::new(next);
+        Ok(CompactReport { compaction, results_invalidated, warm_invalidated, checkpointed })
+    }
+}
+
+impl Compact for LiveShardedEngine {
+    fn dead_fraction(&self) -> f64 {
+        LiveShardedEngine::dead_fraction(self)
+    }
+
+    fn compact(&self) -> Result<CompactReport, PersistError> {
+        LiveShardedEngine::compact(self)
     }
 }
 
@@ -922,6 +1025,33 @@ mod tests {
         assert!(taken >= 1);
         assert!(persist::snapshot_path(&dir).exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_compactor_reclaims_tombstones() {
+        use crate::persist::{CompactionPolicy, Compactor};
+        let (b, _, seeker) = seed_builder();
+        let live = Arc::new(LiveEngine::new(b, EngineConfig::builder().threads(1).build()));
+        let mut batch = IngestBatch::new();
+        batch.delete_document(s3_doc::TreeId(0));
+        live.ingest(&batch);
+        assert!(live.dead_fraction() > 0.0, "the deletion left a tombstone");
+
+        let compactor = Compactor::spawn(
+            Arc::clone(&live),
+            CompactionPolicy { interval: Duration::from_millis(5), min_dead_fraction: 0.0 },
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while live.dead_fraction() > 0.0 {
+            assert!(std::time::Instant::now() < deadline, "compactor never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let taken = compactor.stop().unwrap();
+        assert!(taken >= 1);
+        // The surviving document still answers on the compacted state.
+        let kws = live.instance().query_keywords("degrees");
+        let res = live.query(&Query::new(seeker, kws, 5));
+        assert_eq!(res.hits.len(), 1);
     }
 
     #[test]

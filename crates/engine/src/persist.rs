@@ -25,7 +25,7 @@
 //! then — truncates the WAL, upholding the invariant that
 //! `snapshot + WAL tail ≡ current state` at every instant.
 
-use s3_core::{IngestBatch, WriteAheadLog};
+use s3_core::{CompactionReport, IngestBatch, WriteAheadLog};
 use s3_snap::SnapError;
 use s3_wire::{WireError, WireIngest};
 use std::path::{Path, PathBuf};
@@ -250,6 +250,158 @@ impl Checkpointer {
 impl Drop for Checkpointer {
     fn drop(&mut self) {
         *self.shared.stop.lock().expect("checkpointer flag poisoned") = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// What one compaction epoch did: the instance-level rebuild summary
+/// plus the serving-layer fallout (compaction renumbers every entity id,
+/// so the invalidation is always global).
+#[derive(Debug, Clone)]
+pub struct CompactReport {
+    /// The clean rebuild's drop counts ([`s3_core::InstanceBuilder::compact`]).
+    pub compaction: CompactionReport,
+    /// Cached results dropped across the front and every shard.
+    pub results_invalidated: u64,
+    /// Warm propagation states dropped across the front and every shard.
+    pub warm_invalidated: u64,
+    /// WAL records absorbed by the checkpoint the compaction forced
+    /// (`None` on an engine without durability). A durable compaction
+    /// *must* checkpoint before publishing: the journal's records
+    /// reference pre-compaction ids and would replay wrongly on top of
+    /// the compacted snapshot.
+    pub checkpointed: Option<u64>,
+}
+
+impl std::fmt::Display for CompactReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} — {} results invalidated, {} warm dropped{}",
+            self.compaction,
+            self.results_invalidated,
+            self.warm_invalidated,
+            match self.checkpointed {
+                Some(n) => format!(", checkpoint absorbed {n} WAL records"),
+                None => String::new(),
+            },
+        )
+    }
+}
+
+/// A live engine that can compact tombstoned state away — implemented by
+/// [`crate::LiveEngine`] and [`crate::LiveShardedEngine`], and what a
+/// background [`Compactor`] drives.
+pub trait Compact: Send + Sync {
+    /// Fraction of the current snapshot's graph nodes that are
+    /// tombstoned (the compaction trigger signal; 0 when nothing has
+    /// been deleted).
+    fn dead_fraction(&self) -> f64;
+
+    /// Rebuild the instance without tombstoned state off the serving
+    /// path and swap the clean snapshot in.
+    fn compact(&self) -> Result<CompactReport, PersistError>;
+}
+
+/// When a background [`Compactor`] fires.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// How often the trigger signal is polled.
+    pub interval: Duration,
+    /// Compact once at least this fraction of graph nodes is tombstoned
+    /// (a compaction epoch costs a full rebuild, so fire only when the
+    /// reclaimed memory and pruned dead-node skips pay for it).
+    pub min_dead_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    /// Poll every 60 s; compact at ≥ 20 % dead nodes.
+    fn default() -> Self {
+        CompactionPolicy { interval: Duration::from_secs(60), min_dead_fraction: 0.2 }
+    }
+}
+
+struct CompactorShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    taken: Mutex<u64>,
+    last_error: Mutex<Option<PersistError>>,
+}
+
+/// A background compaction thread: every [`CompactionPolicy::interval`],
+/// if the engine's dead-node fraction has reached
+/// [`CompactionPolicy::min_dead_fraction`], run one compaction epoch.
+/// Stop (and surface any error) with [`Self::stop`].
+pub struct Compactor {
+    shared: Arc<CompactorShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawn the thread over any [`Compact`]-able engine.
+    pub fn spawn<C: Compact + 'static>(engine: Arc<C>, policy: CompactionPolicy) -> Self {
+        let shared = Arc::new(CompactorShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            taken: Mutex::new(0),
+            last_error: Mutex::new(None),
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::spawn(move || loop {
+            {
+                let stop = worker.stop.lock().expect("compactor flag poisoned");
+                let (stop, _) = worker
+                    .wake
+                    .wait_timeout_while(stop, policy.interval, |stopped| !*stopped)
+                    .expect("compactor flag poisoned");
+                if *stop {
+                    return;
+                }
+            }
+            let dead = engine.dead_fraction();
+            if dead > 0.0 && dead >= policy.min_dead_fraction {
+                match engine.compact() {
+                    Ok(_) => {
+                        *worker.taken.lock().expect("compaction counter poisoned") += 1;
+                    }
+                    Err(e) => {
+                        *worker.last_error.lock().expect("compaction error slot poisoned") =
+                            Some(e);
+                    }
+                }
+            }
+        });
+        Compactor { shared, thread: Some(thread) }
+    }
+
+    /// Compaction epochs completed so far.
+    pub fn taken(&self) -> u64 {
+        *self.shared.taken.lock().expect("compaction counter poisoned")
+    }
+
+    /// Signal the thread, join it, and return the number of compactions
+    /// taken — or the last compaction error, if any occurred.
+    pub fn stop(mut self) -> Result<u64, PersistError> {
+        *self.shared.stop.lock().expect("compactor flag poisoned") = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        if let Some(e) =
+            self.shared.last_error.lock().expect("compaction error slot poisoned").take()
+        {
+            return Err(e);
+        }
+        Ok(self.taken())
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().expect("compactor flag poisoned") = true;
         self.shared.wake.notify_all();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();

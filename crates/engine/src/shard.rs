@@ -137,7 +137,7 @@ impl ShardRouter {
 ///     doc.set_content(doc.root(), kws);
 ///     b.add_document(doc, Some(u));
 /// }
-/// let engine = ShardedEngine::new(Arc::new(b.build()), EngineConfig::default(), 2);
+/// let engine = ShardedEngine::new(Arc::new(b.build()), EngineConfig::builder().build(), 2);
 /// assert_eq!(engine.num_shards(), 2);
 ///
 /// let keywords = engine.instance().query_keywords("degree");

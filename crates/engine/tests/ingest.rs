@@ -111,6 +111,7 @@ proptest! {
             k: 4,
             attach_probability: 0.25 + 0.5 * ((seed % 3) as f64 / 2.0),
             seed: seed ^ 0xF00D,
+            ..LiveWorkloadConfig::default()
         };
         let steps = live_workload(&flat.instance(), &config);
 

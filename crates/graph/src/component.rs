@@ -46,20 +46,25 @@ impl Components {
     /// of a node-prefix of this graph (live ingestion appends nodes, never
     /// renumbers them):
     ///
-    /// * a component containing previously-existing nodes keeps the
-    ///   *smallest* id it had under `prev` — so untouched components keep
-    ///   their id, and components merged by a new content edge collapse
-    ///   onto the id whose first member is earliest;
-    /// * a component of only-new nodes receives the next fresh id, in
-    ///   first-member order;
-    /// * an old id whose component was merged away stays allocated with an
-    ///   empty member list (ids stay dense; `Vec`-indexed side tables keyed
-    ///   by `CompId` never shift).
+    /// * the component containing a previous component's **first member**
+    ///   keeps that id — so untouched components keep their id, and
+    ///   components merged by a new content edge collapse onto the
+    ///   smallest id among those they absorbed (first-claimant wins);
+    /// * when edge *removal* (tombstone retraction) splits a previous
+    ///   component, only the part holding its first member keeps the old
+    ///   id; every split-off part receives a fresh id like a component of
+    ///   only-new nodes — so side tables keyed by the old id are never
+    ///   silently shared by two disjoint node sets;
+    /// * a component of only-new or split-off nodes receives the next
+    ///   fresh id, in first-member order;
+    /// * an old id whose component was merged away (or emptied by
+    ///   deletion) stays allocated with an empty member list (ids stay
+    ///   dense; `Vec`-indexed side tables keyed by `CompId` never shift).
     ///
-    /// The surviving ids are ordered exactly as a from-scratch
-    /// [`Self::build`] of the same graph orders its dense ids (both follow
-    /// first-member node order), so any comp-id-ordered iteration visits
-    /// components in the same relative sequence either way.
+    /// Under pure appends the surviving ids are ordered exactly as a
+    /// from-scratch [`Self::build`] of the same graph orders its dense ids
+    /// (both follow first-member node order); retraction splits may break
+    /// that relative order until the next compaction renumbers densely.
     pub fn build_extending(
         prev: &Components,
         num_nodes: usize,
@@ -92,11 +97,19 @@ impl Components {
         let mut label = vec![u32::MAX; num_nodes];
         let mut num_comps = 0u32;
         if let Some(prev) = prev {
-            // Old nodes claim the smallest previous id of their root.
-            for (i, &c) in prev.comp_of.iter().enumerate() {
-                let r = uf.find(i);
-                if label[r] > c.0 {
-                    label[r] = c.0;
+            // Each previous component's *first member* claims its old id
+            // for the root it now lives under (a root absorbing several
+            // old components keeps the smallest — ids ascend with first
+            // members, so ascending-id iteration visits claims in order).
+            // A split-off part that lost the first member claims nothing
+            // and falls through to a fresh id below: one old id is never
+            // shared by two disjoint node sets.
+            for (c, members) in prev.members.iter().enumerate() {
+                if let Some(&m0) = members.first() {
+                    let r = uf.find(m0.index());
+                    if label[r] > c as u32 {
+                        label[r] = c as u32;
+                    }
                 }
             }
             num_comps = prev.members.len() as u32;
@@ -298,6 +311,60 @@ mod tests {
         let new_comp = ext.component_of(NodeId(4));
         assert_eq!(new_comp.index(), base.len(), "fresh ids append after the old ones");
         assert_eq!(ext.members(new_comp), &[NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn extending_split_keeps_id_with_first_member_and_mints_fresh_ids() {
+        // Three single-node trees bridged into one component, then the
+        // bridging edges disappear (tombstoned comment edges): the part
+        // holding the first member keeps the id, the others get fresh ids.
+        let kinds = vec![
+            NodeKind::Frag(s3_doc::DocNodeId(0)),
+            NodeKind::Frag(s3_doc::DocNodeId(1)),
+            NodeKind::Frag(s3_doc::DocNodeId(2)),
+        ];
+        let ranges = || [0..1usize, 1..2, 2..3].into_iter();
+        let base = Components::build(
+            3,
+            &kinds,
+            ranges(),
+            [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))].into_iter(),
+        );
+        assert_eq!(base.len(), 1);
+        let split = Components::build_extending(&base, 3, &kinds, ranges(), std::iter::empty());
+        assert_eq!(split.component_of(NodeId(0)), CompId(0), "first member keeps the id");
+        assert_ne!(split.component_of(NodeId(1)), CompId(0), "split-off part gets a fresh id");
+        assert_ne!(split.component_of(NodeId(2)), split.component_of(NodeId(1)));
+        assert_eq!(split.len(), 3);
+        assert_eq!(split.members(CompId(0)), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn extending_split_never_aliases_one_old_id_to_two_parts() {
+        // Regression: the old min-over-members relabeling let *both* halves
+        // of a split claim the same previous id, silently fusing disjoint
+        // node sets under one component. Two two-node components, each
+        // split apart: the four resulting parts must all be distinct.
+        let kinds = vec![
+            NodeKind::Frag(s3_doc::DocNodeId(0)),
+            NodeKind::Frag(s3_doc::DocNodeId(1)),
+            NodeKind::Frag(s3_doc::DocNodeId(2)),
+            NodeKind::Frag(s3_doc::DocNodeId(3)),
+        ];
+        let ranges = || [0..1usize, 1..2, 2..3, 3..4].into_iter();
+        let base = Components::build(
+            4,
+            &kinds,
+            ranges(),
+            [(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))].into_iter(),
+        );
+        assert_eq!(base.len(), 2);
+        let split = Components::build_extending(&base, 4, &kinds, ranges(), std::iter::empty());
+        let parts: std::collections::HashSet<CompId> =
+            (0..4).map(|i| split.component_of(NodeId(i))).collect();
+        assert_eq!(parts.len(), 4, "every split part must be its own component");
+        assert_eq!(split.component_of(NodeId(0)), base.component_of(NodeId(0)));
+        assert_eq!(split.component_of(NodeId(2)), base.component_of(NodeId(2)));
     }
 
     #[test]

@@ -52,9 +52,9 @@ mod transport;
 pub use codec::Reader;
 pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use msg::{
-    encode_snapshot_chunk, peek_tag, tag, IngestAck, Message, RequestBuf, RequestKind, RoundReply,
-    SelectionEntry, Snapshot, SnapshotAck, SnapshotChunk, Start, StopCheck, WireDoc, WireIngest,
-    SNAPSHOT_CHUNK_BYTES, WIRE_VERSION,
+    encode_snapshot_chunk, peek_tag, tag, CompactAck, IngestAck, Message, RequestBuf, RequestKind,
+    RoundReply, SelectionEntry, Snapshot, SnapshotAck, SnapshotChunk, Start, StopCheck, WireDoc,
+    WireIngest, SNAPSHOT_CHUNK_BYTES, WIRE_VERSION,
 };
 pub use transport::{loopback_pair, FramedTransport, LoopbackConn, ShardTransport, TransportStats};
 

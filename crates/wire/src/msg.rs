@@ -18,7 +18,12 @@ use s3_doc::{DocNodeId, LocalNodeId, TreeId};
 /// [`tag::SNAPSHOT_CHUNK`], [`tag::SNAPSHOT_ACK`]) let the fleet client
 /// ship a full instance snapshot to shard servers instead of every
 /// replica regenerating from an identically-seeded builder.
-pub const WIRE_VERSION: u8 = 3;
+/// Version 4: ingest bodies carry retraction lists (deleted users,
+/// documents and tags, removed social and comment edges), and a
+/// compaction request/acknowledgement pair ([`tag::COMPACT`],
+/// [`tag::COMPACT_ACK`]) lets the fleet client drive the off-path
+/// rebuild on every replica and cross-check the resulting fingerprints.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Payload bytes per [`SnapshotChunk`] frame (8 MiB — comfortably under
 /// [`crate::frame::MAX_FRAME`], so a shipped snapshot of any size frames
@@ -44,6 +49,10 @@ pub mod tag {
     pub const SNAPSHOT: u8 = 7;
     /// One chunk of a shipped snapshot ([`super::SnapshotChunk`]).
     pub const SNAPSHOT_CHUNK: u8 = 8;
+    /// Compact the replica: rebuild without tombstoned state and swap
+    /// the clean instance in (empty body; replied with
+    /// [`super::CompactAck`]).
+    pub const COMPACT: u8 = 9;
     /// Per-round shard reply ([`super::RoundReply`]).
     pub const ROUND: u8 = 64;
     /// Per-shard stop-check reply: the shard's certified rival upper
@@ -54,6 +63,8 @@ pub mod tag {
     pub const INGEST_ACK: u8 = 66;
     /// Snapshot bootstrap acknowledgement ([`super::SnapshotAck`]).
     pub const SNAPSHOT_ACK: u8 = 67;
+    /// Compaction acknowledgement ([`super::CompactAck`]).
+    pub const COMPACT_ACK: u8 = 68;
 }
 
 fn begin(out: &mut Vec<u8>, t: u8) {
@@ -491,6 +502,52 @@ impl SnapshotAck {
     }
 }
 
+/// Acknowledgement of a completed compaction: the rebuilt instance's
+/// consistency fingerprint, which the fleet client cross-checks against
+/// its own compaction of the same replica state (deterministic replay
+/// must produce identical clean instances on every shard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactAck {
+    /// The shard's epoch after the compaction bump.
+    pub epoch: u64,
+    /// Graph nodes in the compacted instance.
+    pub nodes: u64,
+    /// Users in the compacted instance.
+    pub users: u64,
+    /// Documents in the compacted instance.
+    pub docs: u64,
+    /// `con(d,k)` connections in the compacted instance.
+    pub connections: u64,
+}
+
+impl CompactAck {
+    /// Append version + tag + body to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin(out, tag::COMPACT_ACK);
+        put_u64v(out, self.epoch);
+        put_u64v(out, self.nodes);
+        put_u64v(out, self.users);
+        put_u64v(out, self.docs);
+        put_u64v(out, self.connections);
+    }
+
+    pub(crate) fn read_body(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        self.epoch = r.u64v()?;
+        self.nodes = r.u64v()?;
+        self.users = r.u64v()?;
+        self.docs = r.u64v()?;
+        self.connections = r.u64v()?;
+        Ok(())
+    }
+
+    /// Decode a full frame into `self`.
+    pub fn decode_into(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let mut r = expect(frame, tag::COMPACT_ACK)?;
+        self.read_body(&mut r)?;
+        r.finish()
+    }
+}
+
 fn put_user_ref(out: &mut Vec<u8>, r: UserRef) {
     match r {
         UserRef::Existing(UserId(u)) => {
@@ -668,6 +725,17 @@ pub struct WireIngest {
     pub comments: Vec<(DocRef, FragRef)>,
     /// Tags: subject, author, optional keyword (`None` = endorsement).
     pub tags: Vec<(TagSubjectRef, UserRef, Option<String>)>,
+    /// Users the batch tombstones (raw [`UserId`] values).
+    pub delete_users: Vec<u32>,
+    /// Documents the batch tombstones (raw [`TreeId`] values).
+    pub delete_documents: Vec<u32>,
+    /// Tags the batch tombstones (raw [`TagId`] values).
+    pub delete_tags: Vec<u32>,
+    /// Social edges the batch removes (raw `(from, to)` [`UserId`] pairs).
+    pub remove_social_edges: Vec<(u32, u32)>,
+    /// Comment edges the batch removes (raw `(comment TreeId, target
+    /// DocNodeId)` pairs).
+    pub remove_comments: Vec<(u32, u32)>,
 }
 
 impl WireIngest {
@@ -678,6 +746,11 @@ impl WireIngest {
         self.documents.clear();
         self.comments.clear();
         self.tags.clear();
+        self.delete_users.clear();
+        self.delete_documents.clear();
+        self.delete_tags.clear();
+        self.remove_social_edges.clear();
+        self.remove_comments.clear();
     }
 
     /// Capture a batch for shipping.
@@ -699,6 +772,11 @@ impl WireIngest {
         }
         w.comments.extend_from_slice(batch.comments());
         w.tags.extend(batch.tags().iter().cloned());
+        w.delete_users.extend(batch.deleted_users().iter().map(|u| u.0));
+        w.delete_documents.extend(batch.deleted_documents().iter().map(|t| t.0));
+        w.delete_tags.extend(batch.deleted_tags().iter().map(|t| t.0));
+        w.remove_social_edges.extend(batch.removed_social_edges().iter().map(|&(a, b)| (a.0, b.0)));
+        w.remove_comments.extend(batch.removed_comments().iter().map(|&(c, t)| (c.0, t.0)));
         w
     }
 
@@ -726,6 +804,21 @@ impl WireIngest {
         }
         for (subject, author, keyword) in &self.tags {
             batch.add_tag(*subject, *author, keyword.as_deref());
+        }
+        for &u in &self.delete_users {
+            batch.delete_user(UserId(u));
+        }
+        for &t in &self.delete_documents {
+            batch.delete_document(TreeId(t));
+        }
+        for &t in &self.delete_tags {
+            batch.delete_tag(TagId(t));
+        }
+        for &(from, to) in &self.remove_social_edges {
+            batch.remove_social_edge(UserId(from), UserId(to));
+        }
+        for &(comment, target) in &self.remove_comments {
+            batch.remove_comment(TreeId(comment), DocNodeId(target));
         }
         batch
     }
@@ -760,6 +853,28 @@ impl WireIngest {
                     put_str(out, k);
                 }
             }
+        }
+        put_usize(out, self.delete_users.len());
+        for &u in &self.delete_users {
+            put_u32v(out, u);
+        }
+        put_usize(out, self.delete_documents.len());
+        for &t in &self.delete_documents {
+            put_u32v(out, t);
+        }
+        put_usize(out, self.delete_tags.len());
+        for &t in &self.delete_tags {
+            put_u32v(out, t);
+        }
+        put_usize(out, self.remove_social_edges.len());
+        for &(from, to) in &self.remove_social_edges {
+            put_u32v(out, from);
+            put_u32v(out, to);
+        }
+        put_usize(out, self.remove_comments.len());
+        for &(comment, target) in &self.remove_comments {
+            put_u32v(out, comment);
+            put_u32v(out, target);
         }
     }
 
@@ -798,6 +913,35 @@ impl WireIngest {
             };
             self.tags.push((subject, author, keyword));
         }
+        let n = r.seq(1)?;
+        self.delete_users.reserve(n);
+        for _ in 0..n {
+            self.delete_users.push(r.u32v()?);
+        }
+        let n = r.seq(1)?;
+        self.delete_documents.reserve(n);
+        for _ in 0..n {
+            self.delete_documents.push(r.u32v()?);
+        }
+        let n = r.seq(1)?;
+        self.delete_tags.reserve(n);
+        for _ in 0..n {
+            self.delete_tags.push(r.u32v()?);
+        }
+        let n = r.seq(2)?;
+        self.remove_social_edges.reserve(n);
+        for _ in 0..n {
+            let from = r.u32v()?;
+            let to = r.u32v()?;
+            self.remove_social_edges.push((from, to));
+        }
+        let n = r.seq(2)?;
+        self.remove_comments.reserve(n);
+        for _ in 0..n {
+            let comment = r.u32v()?;
+            let target = r.u32v()?;
+            self.remove_comments.push((comment, target));
+        }
         Ok(())
     }
 
@@ -830,6 +974,8 @@ pub enum Message {
     Snapshot(Snapshot),
     /// One chunk of a shipped snapshot.
     SnapshotChunk(SnapshotChunk),
+    /// Compact the replica off the serving path.
+    Compact,
     /// Per-round shard reply.
     Round(RoundReply),
     /// Per-shard stop-check reply: the certified rival upper bound.
@@ -838,6 +984,8 @@ pub enum Message {
     IngestAck(IngestAck),
     /// Snapshot bootstrap acknowledgement.
     SnapshotAck(SnapshotAck),
+    /// Compaction acknowledgement.
+    CompactAck(CompactAck),
 }
 
 impl Message {
@@ -852,6 +1000,7 @@ impl Message {
             Message::Shutdown => begin(out, tag::SHUTDOWN),
             Message::Snapshot(m) => m.encode(out),
             Message::SnapshotChunk(m) => m.encode(out),
+            Message::Compact => begin(out, tag::COMPACT),
             Message::Round(m) => m.encode(out),
             Message::Vote(v) => {
                 begin(out, tag::VOTE);
@@ -859,6 +1008,7 @@ impl Message {
             }
             Message::IngestAck(m) => m.encode(out),
             Message::SnapshotAck(m) => m.encode(out),
+            Message::CompactAck(m) => m.encode(out),
         }
     }
 
@@ -895,6 +1045,7 @@ impl Message {
                 m.read_body(&mut r)?;
                 Message::SnapshotChunk(m)
             }
+            tag::COMPACT => Message::Compact,
             tag::ROUND => {
                 let mut m = RoundReply::default();
                 m.read_body(&mut r)?;
@@ -910,6 +1061,11 @@ impl Message {
                 let mut m = SnapshotAck::default();
                 m.read_body(&mut r)?;
                 Message::SnapshotAck(m)
+            }
+            tag::COMPACT_ACK => {
+                let mut m = CompactAck::default();
+                m.read_body(&mut r)?;
+                Message::CompactAck(m)
             }
             other => return Err(WireError::Tag(other)),
         };
@@ -947,6 +1103,8 @@ pub enum RequestKind {
     Ingest,
     /// Shut down.
     Shutdown,
+    /// Compact the replica (empty body).
+    Compact,
 }
 
 impl RequestBuf {
@@ -970,6 +1128,7 @@ impl RequestBuf {
                 RequestKind::Ingest
             }
             tag::SHUTDOWN => RequestKind::Shutdown,
+            tag::COMPACT => RequestKind::Compact,
             other => return Err(WireError::Tag(other)),
         };
         r.finish()?;

@@ -4,8 +4,8 @@
 
 use crate::frame::{read_frame, MAX_FRAME};
 use crate::msg::{
-    encode_snapshot_chunk, tag, IngestAck, RoundReply, Snapshot, SnapshotAck, Start, StopCheck,
-    WireIngest, SNAPSHOT_CHUNK_BYTES, WIRE_VERSION,
+    encode_snapshot_chunk, tag, CompactAck, IngestAck, RoundReply, Snapshot, SnapshotAck, Start,
+    StopCheck, WireIngest, SNAPSHOT_CHUNK_BYTES, WIRE_VERSION,
 };
 use crate::WireError;
 use std::io::{Read, Write};
@@ -54,6 +54,9 @@ pub trait ShardTransport: Send {
         shard: u32,
         snapshot: &[u8],
     ) -> Result<(), WireError>;
+    /// Queue a compaction request: the shard rebuilds its replica
+    /// without tombstoned state and swaps the clean instance in.
+    fn send_compact(&mut self) -> Result<(), WireError>;
     /// Queue a shutdown request.
     fn send_shutdown(&mut self) -> Result<(), WireError>;
     /// Push every queued request to the peer.
@@ -67,6 +70,8 @@ pub trait ShardTransport: Send {
     fn recv_ingest_ack(&mut self, out: &mut IngestAck) -> Result<(), WireError>;
     /// Receive a [`SnapshotAck`].
     fn recv_snapshot_ack(&mut self, out: &mut SnapshotAck) -> Result<(), WireError>;
+    /// Receive a [`CompactAck`].
+    fn recv_compact_ack(&mut self, out: &mut CompactAck) -> Result<(), WireError>;
     /// Traffic counters so far.
     fn stats(&self) -> TransportStats;
 }
@@ -158,6 +163,10 @@ impl<S: Read + Write + Send> ShardTransport for FramedTransport<S> {
         Ok(())
     }
 
+    fn send_compact(&mut self) -> Result<(), WireError> {
+        self.queue(|out| out.extend_from_slice(&[WIRE_VERSION, tag::COMPACT]))
+    }
+
     fn send_shutdown(&mut self) -> Result<(), WireError> {
         self.queue(|out| out.extend_from_slice(&[WIRE_VERSION, tag::SHUTDOWN]))
     }
@@ -200,6 +209,11 @@ impl<S: Read + Write + Send> ShardTransport for FramedTransport<S> {
     }
 
     fn recv_snapshot_ack(&mut self, out: &mut SnapshotAck) -> Result<(), WireError> {
+        self.recv_frame()?;
+        out.decode_into(&self.inbuf)
+    }
+
+    fn recv_compact_ack(&mut self, out: &mut CompactAck) -> Result<(), WireError> {
         self.recv_frame()?;
         out.decode_into(&self.inbuf)
     }

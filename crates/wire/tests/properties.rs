@@ -13,8 +13,8 @@ use rand::{Rng, SeedableRng};
 use s3_core::{DocRef, FragRef, TagId, TagRef, TagSubjectRef, UserId, UserRef};
 use s3_doc::{DocNodeId, LocalNodeId, TreeId};
 use s3_wire::{
-    peek_tag, read_frame, write_frame, IngestAck, Message, RequestBuf, RoundReply, SelectionEntry,
-    Start, StopCheck, WireDoc, WireError, WireIngest, MAX_FRAME,
+    peek_tag, read_frame, write_frame, CompactAck, IngestAck, Message, RequestBuf, RoundReply,
+    SelectionEntry, Start, StopCheck, WireDoc, WireError, WireIngest, MAX_FRAME,
 };
 
 // ---- generators ---------------------------------------------------------
@@ -101,6 +101,13 @@ fn wire_ingest(rng: &mut StdRng) -> WireIngest {
         tags: (0..rng.gen_range(0..4usize))
             .map(|_| (tag_subject(rng), user_ref(rng), rng.gen_bool(0.7).then(|| word(rng, 5))))
             .collect(),
+        delete_users: (0..rng.gen_range(0..4usize)).map(|_| rng.gen()).collect(),
+        delete_documents: (0..rng.gen_range(0..4usize)).map(|_| rng.gen()).collect(),
+        delete_tags: (0..rng.gen_range(0..4usize)).map(|_| rng.gen()).collect(),
+        remove_social_edges: (0..rng.gen_range(0..4usize))
+            .map(|_| (rng.gen(), rng.gen()))
+            .collect(),
+        remove_comments: (0..rng.gen_range(0..4usize)).map(|_| (rng.gen(), rng.gen())).collect(),
     }
 }
 
@@ -126,9 +133,10 @@ fn round_reply(rng: &mut StdRng) -> RoundReply {
     }
 }
 
-/// One random message of any of the nine protocol kinds.
+/// One random message of any of the eleven protocol kinds (snapshot
+/// shipping aside).
 fn message(rng: &mut StdRng) -> Message {
-    match rng.gen_range(0..9) {
+    match rng.gen_range(0..11) {
         0 => Message::Start(Start {
             seeker: rng.gen(),
             k: rng.gen(),
@@ -145,11 +153,19 @@ fn message(rng: &mut StdRng) -> Message {
         5 => Message::Shutdown,
         6 => Message::Round(round_reply(rng)),
         7 => Message::Vote(wire_f64(rng)),
-        _ => Message::IngestAck(IngestAck {
+        8 => Message::IngestAck(IngestAck {
             detached: rng.gen(),
             epoch: rng.gen(),
             nodes: rng.gen(),
             touched: rng.gen(),
+        }),
+        9 => Message::Compact,
+        _ => Message::CompactAck(CompactAck {
+            epoch: rng.gen(),
+            nodes: rng.gen(),
+            users: rng.gen(),
+            docs: rng.gen(),
+            connections: rng.gen(),
         }),
     }
 }

@@ -1,0 +1,152 @@
+//! The full mutation story: tombstone deletions, updates-in-place, and
+//! the off-path compaction epoch that reclaims them.
+//!
+//! Replays a mutating workload (deletes and updates riding along with
+//! appends) against a [`s3::engine::LiveEngine`], checking every answer
+//! byte-for-byte against a cold rebuild of the full event log; then runs
+//! one explicit compaction epoch (verified against a cold build of the
+//! *surviving* events only) and finally hands the trigger to a background
+//! [`s3::engine::Compactor`].
+//!
+//! ```text
+//! cargo run --release --example compaction
+//! ```
+
+use s3::core::Query;
+use s3::datasets::workload::{live_workload, LiveWorkloadConfig};
+use s3::datasets::{twitter, Scale};
+use s3::engine::{CompactionPolicy, Compactor, EngineConfig, LiveEngine, S3Engine};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn corpus() -> s3::core::InstanceBuilder {
+    let mut config = twitter::TwitterConfig::scaled(Scale::Tiny);
+    config.users = 40;
+    config.tweets = 240;
+    twitter::generate_builder(&config).0
+}
+
+/// Every hit must agree bit-for-bit: document, and both certified bounds.
+fn assert_same_answer(live: &s3::core::TopKResult, cold: &s3::core::TopKResult) {
+    assert_eq!(live.hits.len(), cold.hits.len());
+    for (a, b) in live.hits.iter().zip(&cold.hits) {
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+    }
+}
+
+fn main() {
+    // Twin builders: the live engine retains one; the other replays the
+    // same batches as the cold reference every answer is checked against.
+    let live = Arc::new(LiveEngine::new(
+        corpus(),
+        EngineConfig::builder().threads(2).cache_capacity(256).build(),
+    ));
+    let mut reference = corpus();
+    let mut prev = Arc::new(reference.snapshot());
+    println!("serving {} documents\n", live.instance().num_documents());
+
+    // ---- Phase 1: deletes and updates ride along with appends. ----
+    let steps = live_workload(
+        &live.instance(),
+        &LiveWorkloadConfig {
+            batches: 3,
+            docs_per_batch: 3,
+            deletes_per_batch: 2,
+            updates_per_batch: 2,
+            attach_probability: 0.5,
+            seed: 17,
+            ..Default::default()
+        },
+    );
+    for (i, step) in steps.iter().enumerate() {
+        live.ingest(&step.batch);
+        let (next, _) = reference.apply(&prev, &step.batch);
+        prev = Arc::new(next);
+        println!(
+            "step {i}: {} tombstoned ({} deletes + update halves), dead fraction {:.3}",
+            step.batch.deleted_documents().len(),
+            step.batch.deleted_documents().len() - 2,
+            live.dead_fraction()
+        );
+        // Tombstoned serving is exact: every answer matches a cold
+        // rebuild of the full event log (dead events included).
+        let cold = S3Engine::new(Arc::clone(&prev), EngineConfig::default());
+        for spec in &step.queries {
+            let kws = live.instance().query_keywords(&spec.text);
+            let q = Query::new(spec.seeker, kws, spec.k);
+            assert_same_answer(&live.query(&q), &cold.query(&q));
+        }
+        println!("        {} queries byte-identical to the cold rebuild", step.queries.len());
+    }
+
+    // ---- One explicit compaction epoch: rebuild without the dead
+    // state off the serving path, swap the clean snapshot in. ----
+    let report = live.compact().expect("compact");
+    println!("\ncompaction: {report}");
+    assert_eq!(live.dead_fraction(), 0.0, "compaction reclaims every tombstone");
+    // Compaction renumbers ids densely, so the reference compacts too —
+    // and the result is provably a cold build of the *survivors* only.
+    let (compacted, _) = reference.compact();
+    reference = compacted;
+    prev = Arc::new(reference.snapshot());
+    assert_eq!(live.instance().num_documents(), prev.num_documents());
+
+    // ---- Phase 2: the compacted instance keeps serving mutations.
+    // (External id holders re-resolve after a compaction epoch, so the
+    // workload is generated against the post-compaction instance.) ----
+    let steps = live_workload(
+        &live.instance(),
+        &LiveWorkloadConfig {
+            batches: 1,
+            docs_per_batch: 3,
+            deletes_per_batch: 2,
+            attach_probability: 0.5,
+            seed: 18,
+            ..Default::default()
+        },
+    );
+    let step = &steps[0];
+    live.ingest(&step.batch);
+    let (next, _) = reference.apply(&prev, &step.batch);
+    prev = Arc::new(next);
+    let cold = S3Engine::new(Arc::clone(&prev), EngineConfig::default());
+    for spec in &step.queries {
+        let kws = live.instance().query_keywords(&spec.text);
+        let q = Query::new(spec.seeker, kws, spec.k);
+        assert_same_answer(&live.query(&q), &cold.query(&q));
+    }
+    println!(
+        "post-compaction: {} more tombstones, {} queries still byte-identical",
+        step.batch.deleted_documents().len(),
+        step.queries.len()
+    );
+
+    // ---- Hand the trigger to a background compactor: poll every 50 ms,
+    // fire as soon as anything is tombstoned (production defaults are
+    // 60 s / 20% dead — a compaction epoch costs a full rebuild). ----
+    let compactor = Compactor::spawn(
+        Arc::clone(&live),
+        CompactionPolicy { interval: Duration::from_millis(50), min_dead_fraction: 0.0 },
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while live.dead_fraction() > 0.0 {
+        assert!(std::time::Instant::now() < deadline, "compactor never fired");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let epochs = compactor.stop().expect("compactor");
+    println!("background compactor reclaimed the tail in {epochs} epoch(s)");
+    assert!(epochs >= 1);
+    assert_eq!(live.dead_fraction(), 0.0);
+
+    // The compacted live instance agrees with a compacted cold build.
+    let (compacted, stats) = reference.compact();
+    let cold = compacted.snapshot();
+    assert_eq!(live.instance().num_documents(), cold.num_documents());
+    println!(
+        "\nfinal state: {} documents, {} dropped in the final epoch",
+        cold.num_documents(),
+        stats.dropped_documents
+    );
+}

@@ -24,8 +24,11 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour,
 //! `examples/serve_workload.rs` for the serving layer,
-//! `examples/shard_scaleout.rs` for sharded scale-out and
-//! `examples/shard_fleet.rs` for the cross-process fleet.
+//! `examples/shard_scaleout.rs` for sharded scale-out,
+//! `examples/live_ingest.rs` for live ingestion,
+//! `examples/compaction.rs` for deletions, updates and compaction,
+//! `examples/shard_fleet.rs` for the cross-process fleet and
+//! `examples/warm_restart.rs` for durable restarts.
 
 #![warn(missing_docs)]
 pub use s3_core as core;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fail if any tracked markdown file contains a relative link to a path
+# that does not exist. External links (http/https/mailto) and pure
+# in-page anchors are skipped; `#section` suffixes on file links are
+# stripped before the existence check. Run from the repository root:
+#
+#   tools/check_md_links.sh
+set -u
+
+status=0
+# Markdown inline links: ](target). Reference-style definitions are rare
+# enough here that inline coverage is the whole story.
+while IFS=$'\t' read -r file link; do
+    target=${link%%#*}
+    # Pure in-page anchor ("#invariants") or empty target.
+    [ -z "$target" ] && continue
+    case "$target" in
+    http://* | https://* | mailto:*) continue ;;
+    esac
+    # Links resolve relative to the file that contains them.
+    base=$(dirname "$file")
+    if [ ! -e "$base/$target" ]; then
+        echo "dead link in $file: ($link)"
+        status=1
+    fi
+# PAPERS.md and SNIPPETS.md are imported reference material (paper
+# retrievals, exemplar code from other repos); their links point into
+# their source repositories, not into this one.
+done < <(grep -RoE --include='*.md' --exclude-dir=target --exclude-dir=.git \
+    --exclude=PAPERS.md --exclude=SNIPPETS.md \
+    '\]\([^)]+\)' . | sed -E 's/^([^:]+):\]\((<?)([^)>]*)(>?)\)$/\1\t\3/')
+
+if [ "$status" -eq 0 ]; then
+    echo "all markdown relative links resolve"
+fi
+exit $status
